@@ -1,0 +1,29 @@
+//! E7 / §7 bench: negotiation cost across β policies.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadbal_core::beta::BetaPolicy;
+use loadbal_core::session::ScenarioBuilder;
+use loadbal_core::utility_agent::UtilityAgentConfig;
+
+fn bench_beta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("beta_sweep");
+    let policies = [
+        ("beta_0.5", BetaPolicy::constant(0.5)),
+        ("beta_2", BetaPolicy::constant(2.0)),
+        ("beta_8", BetaPolicy::constant(8.0)),
+        ("adaptive", BetaPolicy::adaptive(1.0)),
+        ("annealing", BetaPolicy::annealing(4.0, 0.7)),
+    ];
+    for (name, policy) in policies {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &policy, |b, &policy| {
+            let scenario = ScenarioBuilder::random(200, 0.35, 7)
+                .config(UtilityAgentConfig::paper().with_beta_policy(policy))
+                .build();
+            b.iter(|| std::hint::black_box(scenario.run()));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_beta);
+criterion_main!(benches);

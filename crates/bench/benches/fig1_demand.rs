@@ -1,0 +1,23 @@
+//! E1 / Figure 1 bench: aggregate demand-curve generation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use powergrid::prelude::*;
+
+fn bench_fig1(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig1_demand");
+    for &n in &[100usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let axis = TimeAxis::quarter_hourly();
+            let homes = PopulationBuilder::new().households(n).build(42);
+            let weather = WeatherModel::winter().temperatures(&axis, 42);
+            b.iter(|| {
+                let curve = aggregate_demand(&homes, &weather, &axis, 42);
+                std::hint::black_box(curve.peak_interval(8));
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig1);
+criterion_main!(benches);

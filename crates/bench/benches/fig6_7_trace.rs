@@ -1,0 +1,18 @@
+//! E3/E4 / Figures 6–9 bench: the calibrated paper negotiation, in the
+//! native and the DESIRE-hosted execution modes.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loadbal_bench::experiments::paper_scenario;
+
+fn bench_trace(c: &mut Criterion) {
+    let scenario = paper_scenario();
+    c.bench_function("fig6_7_negotiation", |b| {
+        b.iter(|| std::hint::black_box(scenario.run()))
+    });
+    c.bench_function("fig6_7_desire_hosted", |b| {
+        b.iter(|| std::hint::black_box(loadbal_core::desire_host::run_hosted(&scenario)))
+    });
+}
+
+criterion_group!(benches, bench_trace);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! E6 / §6 bench: the reward-update rule and table operations.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loadbal_core::reward::{RewardFormula, RewardTable, DEFAULT_LEVELS};
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, Money};
+
+fn bench_formula(c: &mut Criterion) {
+    let formula = RewardFormula::paper();
+    c.bench_function("formula_next_reward", |b| {
+        b.iter(|| std::hint::black_box(formula.next_reward(Money(17.0), 0.35, 2.0)))
+    });
+
+    let table = RewardTable::quadratic(
+        Interval::new(72, 80),
+        &DEFAULT_LEVELS,
+        Money(17.0),
+        Fraction::clamped(0.4),
+    );
+    c.bench_function("table_update", |b| {
+        b.iter(|| std::hint::black_box(table.updated(&formula, 0.35, 2.0)))
+    });
+    let next = table.updated(&formula, 0.35, 2.0);
+    c.bench_function("table_dominates", |b| {
+        b.iter(|| std::hint::black_box(next.dominates(&table)))
+    });
+}
+
+criterion_group!(benches, bench_formula);
+criterion_main!(benches);

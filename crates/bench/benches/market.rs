@@ -1,0 +1,18 @@
+//! E10 bench: the computational-market baseline vs reward tables.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use loadbal_core::market::{run_market, AuctionConfig};
+use loadbal_core::session::ScenarioBuilder;
+
+fn bench_market(c: &mut Criterion) {
+    let scenario = ScenarioBuilder::random(500, 0.35, 42).build();
+    c.bench_function("market_auction", |b| {
+        b.iter(|| std::hint::black_box(run_market(&scenario, AuctionConfig::default())))
+    });
+    c.bench_function("reward_tables_same_population", |b| {
+        b.iter(|| std::hint::black_box(scenario.run()))
+    });
+}
+
+criterion_group!(benches, bench_market);
+criterion_main!(benches);

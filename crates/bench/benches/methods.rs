@@ -1,0 +1,21 @@
+//! E5 / §3.2.4 bench: the three announcement methods on one scenario.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadbal_core::methods::AnnouncementMethod;
+use loadbal_core::session::ScenarioBuilder;
+
+fn bench_methods(c: &mut Criterion) {
+    let scenario = ScenarioBuilder::random(500, 0.35, 42).build();
+    let mut group = c.benchmark_group("methods");
+    for method in AnnouncementMethod::all() {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(method),
+            &method,
+            |b, &method| b.iter(|| std::hint::black_box(scenario.run_with(method))),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods);
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! E8 bench: negotiation cost versus population size, in both execution
+//! modes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use loadbal_core::distributed::run_distributed;
+use loadbal_core::session::ScenarioBuilder;
+use massim::clock::SimDuration;
+use massim::network::NetworkModel;
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling_sync");
+    for &n in &[10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let scenario = ScenarioBuilder::random(n, 0.35, 42).build();
+            b.iter(|| std::hint::black_box(scenario.run()));
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling_distributed");
+    group.sample_size(10);
+    for &n in &[10usize, 100, 1000] {
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let scenario = ScenarioBuilder::random(n, 0.35, 42).build();
+            b.iter(|| {
+                std::hint::black_box(run_distributed(
+                    &scenario,
+                    NetworkModel::uniform(1, 10),
+                    42,
+                    SimDuration::from_ticks(100),
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

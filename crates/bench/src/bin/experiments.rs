@@ -1,0 +1,76 @@
+//! Experiment runner: regenerates every table and figure of the paper.
+//!
+//! ```text
+//! cargo run --release -p loadbal-bench --bin experiments -- all
+//! cargo run --release -p loadbal-bench --bin experiments -- fig6_7
+//! ```
+
+use loadbal_bench::experiments;
+
+const USAGE: &str = "usage: experiments <id>
+  ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
+       invariants | market | categories | shapes | all";
+
+fn run(id: &str) -> bool {
+    match id {
+        "fig1" => println!("{}", experiments::fig1_demand(1000, 42)),
+        "fig2_5" => {
+            println!("E2 / Figures 2–5 — process abstraction hierarchies\n");
+            println!("Figure 2 (UA own process control):");
+            println!(
+                "{}",
+                desire::render::render_tree(&loadbal_core::desire_host::ua_own_process_control_tree())
+            );
+            println!("Figure 3 (UA cooperation management):");
+            println!(
+                "{}",
+                desire::render::render_tree(&loadbal_core::desire_host::ua_cooperation_tree())
+            );
+            println!("Figure 4 (CA own process control):");
+            println!(
+                "{}",
+                desire::render::render_tree(&loadbal_core::desire_host::ca_own_process_control_tree())
+            );
+            println!("Figure 5 (CA cooperation management):");
+            println!(
+                "{}",
+                desire::render::render_tree(&loadbal_core::desire_host::ca_cooperation_tree())
+            );
+        }
+        "fig6_7" => println!("{}", experiments::fig6_7_trace()),
+        "fig8_9" => println!("{}", experiments::fig8_9_customer()),
+        "methods" => println!("{}", experiments::methods_comparison(500, 42)),
+        "formula" => println!("{}", experiments::formula_sweep()),
+        "beta" => println!("{}", experiments::beta_sweep(200, 10)),
+        "scaling" => println!("{}", experiments::scaling(&[10, 100, 1000, 10000], 42)),
+        "invariants" => println!("{}", experiments::invariants(50)),
+        "market" => println!("{}", experiments::market_comparison(500, 42)),
+        "categories" => println!("{}", experiments::offer_categories(500, 42)),
+        "shapes" => println!("{}", experiments::shape_ablation(200, 10)),
+        "all" => {
+            for id in [
+                "fig1", "fig2_5", "fig6_7", "fig8_9", "methods", "formula", "beta", "scaling",
+                "invariants", "market", "categories", "shapes",
+            ] {
+                run(id);
+                println!();
+            }
+        }
+        _ => return false,
+    }
+    true
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+    for id in &args {
+        if !run(id) {
+            eprintln!("unknown experiment '{id}'\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,1059 @@
+//! The experiment implementations (E1–E9).
+
+use loadbal_core::beta::BetaPolicy;
+use loadbal_core::concession::{verify_announcements, verify_bids};
+use loadbal_core::distributed::run_distributed;
+use loadbal_core::methods::AnnouncementMethod;
+use loadbal_core::outcome::SettlementSummary;
+use loadbal_core::producer_agent::ProducerAgent;
+use loadbal_core::reward::RewardFormula;
+use loadbal_core::session::{NegotiationReport, Scenario, ScenarioBuilder};
+use loadbal_core::utility_agent::UtilityAgentConfig;
+use massim::clock::SimDuration;
+use massim::network::NetworkModel;
+use powergrid::prelude::*;
+use std::fmt;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// E1 — Figure 1: demand curve with peak
+// ---------------------------------------------------------------------
+
+/// Result of the Figure 1 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig1Result {
+    /// The aggregate demand curve (kWh per slot).
+    pub curve: DemandCurve,
+    /// Normal capacity per slot (the horizontal line in Figure 1).
+    pub normal_capacity_per_slot: f64,
+    /// Slots served partly by expensive production.
+    pub expensive_slots: Vec<usize>,
+    /// Energy above normal capacity (the shaded peak area).
+    pub energy_above_normal: KilowattHours,
+    /// The maximal-energy 2-hour window.
+    pub peak_interval: Interval,
+}
+
+/// E1: regenerates Figure 1 — a winter-weekday demand curve for a
+/// synthetic population, crossing into the expensive-production band in
+/// the evening.
+pub fn fig1_demand(households: usize, seed: u64) -> Fig1Result {
+    let axis = TimeAxis::quarter_hourly();
+    let homes = PopulationBuilder::new().households(households).build(seed);
+    let weather = WeatherModel::winter().temperatures(&axis, seed);
+    let curve = aggregate_demand(&homes, &weather, &axis, seed);
+    // Normal capacity at 90 % of the observed peak slot: the evening peak
+    // (and only the peak) needs expensive production, as in Figure 1.
+    let peak_kwh = curve.series().max();
+    let normal = Kilowatts(peak_kwh / axis.slot_hours() * 0.90);
+    let production = ProductionModel::two_tier(normal, Kilowatts(normal.value() * 2.0));
+    Fig1Result {
+        expensive_slots: curve.slots_above_normal(&production),
+        energy_above_normal: curve.energy_above_normal(&production),
+        normal_capacity_per_slot: production.normal_capacity_per_slot(axis).value(),
+        peak_interval: curve.peak_interval(8),
+        curve,
+    }
+}
+
+impl fmt::Display for Fig1Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let axis = self.curve.axis();
+        writeln!(f, "E1 / Figure 1 — daily demand curve (kWh per 15-min slot)")?;
+        writeln!(f, "  {}", self.curve.series().sparkline())?;
+        writeln!(
+            f,
+            "  peak window {} ({}–{}), normal capacity {:.1} kWh/slot",
+            self.peak_interval,
+            axis.start_of(self.peak_interval.start()),
+            axis.start_of(self.peak_interval.end() - 1),
+            self.normal_capacity_per_slot,
+        )?;
+        writeln!(
+            f,
+            "  expensive production in {} slots, {:.1} kWh above normal",
+            self.expensive_slots.len(),
+            self.energy_above_normal.value()
+        )?;
+        writeln!(f, "  slot,time,demand_kwh,above_normal")?;
+        for (i, &v) in self.curve.series().values().iter().enumerate() {
+            writeln!(
+                f,
+                "  {},{},{:.3},{}",
+                i,
+                axis.start_of(i),
+                v,
+                if v > self.normal_capacity_per_slot { 1 } else { 0 }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E3 — Figures 6–7: the Utility Agent's trace
+// ---------------------------------------------------------------------
+
+/// Result of the Figure 6/7 experiment: the UA's view per round.
+#[derive(Debug, Clone)]
+pub struct Fig67Result {
+    /// The underlying report.
+    pub report: NegotiationReport,
+    /// reward(0.4) announced in round 1 (paper: 17).
+    pub round1_reward_04: f64,
+    /// reward(0.4) announced in the final round (paper: 24.8).
+    pub final_reward_04: f64,
+    /// Predicted overuse before negotiation (paper: 35).
+    pub initial_overuse: f64,
+    /// Predicted overuse after the final round (paper: 13).
+    pub final_overuse: f64,
+}
+
+/// E3: runs the calibrated Figure 6/7 scenario and extracts the
+/// checkpoints the screenshots show.
+pub fn fig6_7_trace() -> Fig67Result {
+    let report = ScenarioBuilder::paper_figure_6().build().run();
+    let reward_04 = |idx: usize| {
+        report.rounds()[idx]
+            .table
+            .as_ref()
+            .expect("reward-table rounds carry tables")
+            .reward_for(Fraction::clamped(0.4))
+            .value()
+    };
+    Fig67Result {
+        round1_reward_04: reward_04(0),
+        final_reward_04: reward_04(report.rounds().len() - 1),
+        initial_overuse: report.initial_overuse().value(),
+        final_overuse: report.final_overuse().value(),
+        report,
+    }
+}
+
+impl fmt::Display for Fig67Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E3 / Figures 6–7 — Utility Agent during the negotiation")?;
+        writeln!(
+            f,
+            "  normal capacity 100.0 | predicted usage {:.1} | predicted overuse {:.1}",
+            100.0 + self.initial_overuse,
+            self.initial_overuse
+        )?;
+        for r in self.report.rounds() {
+            let table = r.table.as_ref().expect("table present");
+            write!(f, "  round {} | rewards:", r.round)?;
+            for (c, m) in table.entries() {
+                write!(f, " {c}→{:.1}", m.value())?;
+            }
+            writeln!(
+                f,
+                " | predicted use {:.1} | overuse {:.1}",
+                r.predicted_total.value(),
+                (r.predicted_total - self.report.normal_use()).value()
+            )?;
+        }
+        writeln!(f, "  outcome: {}", self.report.status())?;
+        writeln!(
+            f,
+            "  checkpoints: r1 reward(0.4) = {:.2} (paper 17) | final reward(0.4) = {:.2} (paper 24.8) | overuse {:.1} → {:.1} (paper 35 → 13)",
+            self.round1_reward_04, self.final_reward_04, self.initial_overuse, self.final_overuse
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E4 — Figures 8–9: the Customer Agent's trace
+// ---------------------------------------------------------------------
+
+/// One round from the highlighted customer's perspective.
+#[derive(Debug, Clone)]
+pub struct CustomerRound {
+    /// Round number.
+    pub round: u32,
+    /// `(cutdown, offered, required, acceptable)` per level.
+    pub comparison: Vec<(f64, f64, f64, bool)>,
+    /// The bid chosen.
+    pub bid: f64,
+}
+
+/// Result of the Figure 8/9 experiment.
+#[derive(Debug, Clone)]
+pub struct Fig89Result {
+    /// Per-round view of customer 0 (the Figure 8/9 customer).
+    pub rounds: Vec<CustomerRound>,
+}
+
+/// E4: the highlighted Figure 8/9 customer's view of the calibrated
+/// negotiation — thresholds 10 at 0.3 and 21 at 0.4; bids 0.2 / 0.4 / 0.4.
+pub fn fig8_9_customer() -> Fig89Result {
+    let scenario = ScenarioBuilder::paper_figure_6().build();
+    let report = scenario.run();
+    let prefs = &scenario.customers[0].preferences;
+    let rounds = report
+        .rounds()
+        .iter()
+        .map(|r| {
+            let table = r.table.as_ref().expect("table present");
+            let comparison = table
+                .entries()
+                .iter()
+                .map(|&(c, offered)| {
+                    let required = prefs.required_for(c).map(|m| m.value()).unwrap_or(f64::NAN);
+                    (
+                        c.value(),
+                        offered.value(),
+                        required,
+                        prefs.accepts(c, offered),
+                    )
+                })
+                .collect();
+            CustomerRound { round: r.round, comparison, bid: r.bids[0].value() }
+        })
+        .collect();
+    Fig89Result { rounds }
+}
+
+impl fmt::Display for Fig89Result {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E4 / Figures 8–9 — Customer Agent during the negotiation")?;
+        for r in &self.rounds {
+            writeln!(f, "  round {}:", r.round)?;
+            writeln!(f, "    cutdown  offered  required  acceptable")?;
+            for (c, offered, required, ok) in &r.comparison {
+                writeln!(
+                    f,
+                    "    {:>7.2}  {:>7.2}  {:>8.2}  {}",
+                    c,
+                    offered,
+                    required,
+                    if *ok { "yes" } else { "no" }
+                )?;
+            }
+            writeln!(f, "    → preferred cut-down: {:.2}", r.bid)?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E5 — §3.2.4: method comparison
+// ---------------------------------------------------------------------
+
+/// One row of the method-comparison table.
+#[derive(Debug, Clone)]
+pub struct MethodRow {
+    /// The method.
+    pub method: AnnouncementMethod,
+    /// Rounds used.
+    pub rounds: usize,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Final relative overuse.
+    pub final_overuse: f64,
+    /// Reward / billing-advantage outlay.
+    pub outlay: f64,
+    /// Customers with non-zero cut-down.
+    pub participants: usize,
+    /// Utility net gain (avoided expensive production − outlay).
+    pub utility_net_gain: f64,
+}
+
+/// Result of the method comparison.
+#[derive(Debug, Clone)]
+pub struct MethodsResult {
+    /// One row per method, in paper order.
+    pub rows: Vec<MethodRow>,
+    /// Initial relative overuse of the shared scenario.
+    pub initial_overuse: f64,
+}
+
+/// E5: quantifies the qualitative §3.2.4 trade-off table by running all
+/// three methods on one scenario.
+pub fn methods_comparison(customers: usize, seed: u64) -> MethodsResult {
+    let scenario = ScenarioBuilder::random(customers, 0.35, seed).build();
+    let producer = ProducerAgent::new(ProductionModel::with_costs(
+        Kilowatts(scenario.normal_use.value() / 2.0),
+        Kilowatts(scenario.normal_use.value()),
+        PricePerKwh(0.3),
+        PricePerKwh(4.0),
+    ));
+    let rows = AnnouncementMethod::all()
+        .into_iter()
+        .map(|method| {
+            let report = scenario.run_with(method);
+            let summary = SettlementSummary::compute(&scenario, &report, &producer, 2.0);
+            MethodRow {
+                method,
+                rounds: report.rounds().len(),
+                messages: report.total_messages(),
+                final_overuse: report.final_overuse_fraction(),
+                outlay: report.total_rewards().value(),
+                participants: summary.participants,
+                utility_net_gain: summary.utility_net_gain.value(),
+            }
+        })
+        .collect();
+    MethodsResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+}
+
+impl fmt::Display for MethodsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E5 / §3.2.4 — announcement methods on one scenario (initial overuse {:.1} %)",
+            100.0 * self.initial_overuse
+        )?;
+        writeln!(
+            f,
+            "  {:<18} {:>6} {:>9} {:>11} {:>9} {:>13} {:>12}",
+            "method", "rounds", "messages", "overuse %", "outlay", "participants", "utility gain"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<18} {:>6} {:>9} {:>11.1} {:>9.1} {:>13} {:>12.1}",
+                r.method.to_string(),
+                r.rounds,
+                r.messages,
+                100.0 * r.final_overuse,
+                r.outlay,
+                r.participants,
+                r.utility_net_gain
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E6 — §6: the reward formula
+// ---------------------------------------------------------------------
+
+/// One trajectory of the §6 update rule.
+#[derive(Debug, Clone)]
+pub struct FormulaRow {
+    /// Fixed relative overuse driving the updates.
+    pub overuse: f64,
+    /// Starting reward.
+    pub reward0: f64,
+    /// Steps until the increment drops to ε.
+    pub steps_to_saturation: usize,
+    /// Final reward (≤ max_reward).
+    pub final_reward: f64,
+    /// Size of the first update step (the "reward increases more when
+    /// the predicted overuse is higher" claim).
+    pub first_step: f64,
+}
+
+/// Result of the formula sweep.
+#[derive(Debug, Clone)]
+pub struct FormulaResult {
+    /// One row per (overuse, reward₀) pair.
+    pub rows: Vec<FormulaRow>,
+    /// The formula used.
+    pub formula: RewardFormula,
+}
+
+/// E6: sweeps the §6 rule over overuse levels and starting rewards,
+/// demonstrating logistic saturation below `max_reward` and faster
+/// growth under higher overuse.
+pub fn formula_sweep() -> FormulaResult {
+    let formula = RewardFormula::paper();
+    let mut rows = Vec::new();
+    for &overuse in &[0.05, 0.1, 0.2, 0.35, 0.5] {
+        for &reward0 in &[5.0, 10.0, 17.0, 25.0] {
+            let mut reward = Money(reward0);
+            let first_step =
+                (formula.next_reward(reward, overuse, formula.beta) - reward).value();
+            let mut steps = 0;
+            loop {
+                let next = formula.next_reward(reward, overuse, formula.beta);
+                steps += 1;
+                if (next - reward).abs() <= formula.epsilon || steps > 500 {
+                    reward = next;
+                    break;
+                }
+                reward = next;
+            }
+            rows.push(FormulaRow {
+                overuse,
+                reward0,
+                steps_to_saturation: steps,
+                final_reward: reward.value(),
+                first_step,
+            });
+        }
+    }
+    FormulaResult { rows, formula }
+}
+
+impl fmt::Display for FormulaResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E6 / §6 — reward-update trajectories (β = {}, max = {}, ε = {})",
+            self.formula.beta,
+            self.formula.max_reward.value(),
+            self.formula.epsilon.value()
+        )?;
+        writeln!(
+            f,
+            "  {:>8} {:>8} {:>11} {:>6} {:>12}",
+            "overuse", "reward0", "first step", "steps", "final"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>8.2} {:>8.1} {:>11.2} {:>6} {:>12.2}",
+                r.overuse, r.reward0, r.first_step, r.steps_to_saturation, r.final_reward
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E7 — §7: β sensitivity (constant vs dynamic)
+// ---------------------------------------------------------------------
+
+/// One row of the β sweep.
+#[derive(Debug, Clone)]
+pub struct BetaRow {
+    /// Policy description.
+    pub policy: String,
+    /// Mean rounds to convergence.
+    pub mean_rounds: f64,
+    /// Mean final relative overuse.
+    pub mean_final_overuse: f64,
+    /// Mean reward outlay.
+    pub mean_outlay: f64,
+    /// Convergence rate over the seeds.
+    pub converged: f64,
+}
+
+/// Result of the β sweep.
+#[derive(Debug, Clone)]
+pub struct BetaResult {
+    /// One row per policy.
+    pub rows: Vec<BetaRow>,
+    /// Seeds per policy.
+    pub repetitions: usize,
+}
+
+/// E7: the §7 future-work experiment — constant β at several values plus
+/// the two dynamic policies, averaged over seeded populations.
+pub fn beta_sweep(customers: usize, repetitions: usize) -> BetaResult {
+    let mut policies: Vec<BetaPolicy> = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
+        .iter()
+        .map(|&b| BetaPolicy::constant(b))
+        .collect();
+    policies.push(BetaPolicy::adaptive(1.0));
+    policies.push(BetaPolicy::annealing(4.0, 0.7));
+
+    let rows = policies
+        .into_iter()
+        .map(|policy| {
+            let mut rounds = 0.0;
+            let mut overuse = 0.0;
+            let mut outlay = 0.0;
+            let mut converged = 0.0;
+            for seed in 0..repetitions as u64 {
+                let report = ScenarioBuilder::random(customers, 0.35, seed)
+                    .config(UtilityAgentConfig::paper().with_beta_policy(policy))
+                    .build()
+                    .run();
+                rounds += report.rounds().len() as f64;
+                overuse += report.final_overuse_fraction();
+                outlay += report.total_rewards().value();
+                if report.converged() {
+                    converged += 1.0;
+                }
+            }
+            let n = repetitions as f64;
+            BetaRow {
+                policy: policy.to_string(),
+                mean_rounds: rounds / n,
+                mean_final_overuse: overuse / n,
+                mean_outlay: outlay / n,
+                converged: converged / n,
+            }
+        })
+        .collect();
+    BetaResult { rows, repetitions }
+}
+
+impl fmt::Display for BetaResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E7 / §7 — β sensitivity ({} seeded populations per policy)",
+            self.repetitions
+        )?;
+        writeln!(
+            f,
+            "  {:<42} {:>7} {:>11} {:>9} {:>10}",
+            "policy", "rounds", "overuse %", "outlay", "converged"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<42} {:>7.2} {:>11.1} {:>9.1} {:>9.0}%",
+                r.policy,
+                r.mean_rounds,
+                100.0 * r.mean_final_overuse,
+                r.mean_outlay,
+                100.0 * r.converged
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E8 — scalability
+// ---------------------------------------------------------------------
+
+/// One row of the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingRow {
+    /// Number of Customer Agents.
+    pub customers: usize,
+    /// Rounds to convergence.
+    pub rounds: usize,
+    /// Messages exchanged (protocol level).
+    pub messages: u64,
+    /// Wall-clock of the synchronous run, microseconds.
+    pub sync_us: u128,
+    /// Wall-clock of the distributed (massim) run, microseconds.
+    pub distributed_us: u128,
+    /// Virtual end-time of the distributed run (ticks).
+    pub virtual_ticks: u64,
+}
+
+/// Result of the scaling experiment.
+#[derive(Debug, Clone)]
+pub struct ScalingResult {
+    /// One row per population size.
+    pub rows: Vec<ScalingRow>,
+}
+
+/// E8: rounds, message volume and wall-clock versus population size, in
+/// both execution modes.
+pub fn scaling(sizes: &[usize], seed: u64) -> ScalingResult {
+    let rows = sizes
+        .iter()
+        .map(|&n| {
+            let scenario = ScenarioBuilder::random(n, 0.35, seed).build();
+            let t0 = Instant::now();
+            let sync = scenario.run();
+            let sync_us = t0.elapsed().as_micros();
+            let t1 = Instant::now();
+            let dist = run_distributed(
+                &scenario,
+                NetworkModel::uniform(1, 10),
+                seed,
+                SimDuration::from_ticks(100),
+            );
+            let distributed_us = t1.elapsed().as_micros();
+            ScalingRow {
+                customers: n,
+                rounds: sync.rounds().len(),
+                messages: sync.total_messages(),
+                sync_us,
+                distributed_us,
+                virtual_ticks: dist.metrics.end_time.ticks(),
+            }
+        })
+        .collect();
+    ScalingResult { rows }
+}
+
+impl fmt::Display for ScalingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E8 — scalability with population size")?;
+        writeln!(
+            f,
+            "  {:>9} {:>6} {:>10} {:>10} {:>13} {:>13}",
+            "customers", "rounds", "messages", "sync µs", "massim µs", "virtual ticks"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>9} {:>6} {:>10} {:>10} {:>13} {:>13}",
+                r.customers, r.rounds, r.messages, r.sync_us, r.distributed_us, r.virtual_ticks
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E9 — concession invariants
+// ---------------------------------------------------------------------
+
+/// Result of the invariant check.
+#[derive(Debug, Clone)]
+pub struct InvariantsResult {
+    /// Populations checked.
+    pub checked: usize,
+    /// Announcement-monotonicity violations found.
+    pub announcement_violations: usize,
+    /// Bid-monotonicity violations found.
+    pub bid_violations: usize,
+    /// Negotiations that failed to converge.
+    pub non_convergent: usize,
+}
+
+/// E9: verifies the §3.1 monotonic-concession invariants over seeded
+/// random populations (the proptests cover the same ground generatively).
+pub fn invariants(populations: usize) -> InvariantsResult {
+    let mut result = InvariantsResult {
+        checked: populations,
+        announcement_violations: 0,
+        bid_violations: 0,
+        non_convergent: 0,
+    };
+    for seed in 0..populations as u64 {
+        let report = ScenarioBuilder::random(40, 0.3 + (seed % 3) as f64 * 0.1, seed)
+            .build()
+            .run();
+        let tables: Vec<_> = report.rounds().iter().filter_map(|r| r.table.clone()).collect();
+        if verify_announcements(&tables).is_err() {
+            result.announcement_violations += 1;
+        }
+        let bids: Vec<_> = report.rounds().iter().map(|r| r.bids.clone()).collect();
+        if verify_bids(&bids).is_err() {
+            result.bid_violations += 1;
+        }
+        if !report.converged() {
+            result.non_convergent += 1;
+        }
+    }
+    result
+}
+
+impl fmt::Display for InvariantsResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "E9 / §3.1 — monotonic-concession invariants")?;
+        writeln!(f, "  populations checked:        {}", self.checked)?;
+        writeln!(f, "  announcement violations:    {}", self.announcement_violations)?;
+        writeln!(f, "  bid-retreat violations:     {}", self.bid_violations)?;
+        writeln!(f, "  non-convergent negotiations: {}", self.non_convergent)
+    }
+}
+
+// ---------------------------------------------------------------------
+// E10 — §7 ref [12]: computational market vs reward tables
+// ---------------------------------------------------------------------
+
+/// One row of the market-vs-protocol comparison.
+#[derive(Debug, Clone)]
+pub struct MarketRow {
+    /// Strategy name.
+    pub strategy: String,
+    /// Quote/announcement iterations.
+    pub iterations: usize,
+    /// Messages exchanged.
+    pub messages: u64,
+    /// Final relative overuse.
+    pub final_overuse: f64,
+    /// Money paid to customers.
+    pub paid: f64,
+}
+
+/// Result of the market comparison.
+#[derive(Debug, Clone)]
+pub struct MarketResult {
+    /// Reward-table and market rows.
+    pub rows: Vec<MarketRow>,
+    /// Initial relative overuse.
+    pub initial_overuse: f64,
+}
+
+/// E10: the computational-market strategy (§7, ref \[12\]) versus the
+/// prototype's reward tables, on the same population.
+pub fn market_comparison(customers: usize, seed: u64) -> MarketResult {
+    use loadbal_core::market::{run_market, AuctionConfig};
+    let scenario = ScenarioBuilder::random(customers, 0.35, seed).build();
+    let tables = scenario.run();
+    let market = run_market(&scenario, AuctionConfig::default());
+    let rows = vec![
+        MarketRow {
+            strategy: "reward-tables (§3.2.3)".into(),
+            iterations: tables.rounds().len(),
+            messages: tables.total_messages(),
+            final_overuse: tables.final_overuse_fraction(),
+            paid: tables.total_rewards().value(),
+        },
+        MarketRow {
+            strategy: "computational market [12]".into(),
+            iterations: market.iterations.len(),
+            messages: market.messages,
+            final_overuse: market.final_overuse_fraction(scenario.normal_use),
+            paid: market.payments.value(),
+        },
+    ];
+    MarketResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+}
+
+impl fmt::Display for MarketResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E10 / §7 [12] — reward tables vs computational market (initial overuse {:.1} %)",
+            100.0 * self.initial_overuse
+        )?;
+        writeln!(
+            f,
+            "  {:<28} {:>10} {:>9} {:>11} {:>9}",
+            "strategy", "iterations", "messages", "overuse %", "paid"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<28} {:>10} {:>9} {:>11.1} {:>9.1}",
+                r.strategy, r.iterations, r.messages, 100.0 * r.final_overuse, r.paid
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E11 — §3.2.1: categorized vs uniform offers
+// ---------------------------------------------------------------------
+
+/// One row of the offer-targeting comparison.
+#[derive(Debug, Clone)]
+pub struct OfferRow {
+    /// Variant name.
+    pub variant: String,
+    /// Final relative overuse.
+    pub final_overuse: f64,
+    /// Customers accepting.
+    pub acceptors: usize,
+    /// Billing advantage granted.
+    pub outlay: f64,
+}
+
+/// Result of the offer-targeting comparison.
+#[derive(Debug, Clone)]
+pub struct OfferResult {
+    /// Uniform and categorized rows.
+    pub rows: Vec<OfferRow>,
+    /// Initial relative overuse.
+    pub initial_overuse: f64,
+}
+
+/// E11: the §3.2.1 refinement — dividing customers into consumption
+/// categories with per-category `x_max` — against the uniform offer.
+/// Two categorization policies are compared: a naive "stricter caps for
+/// heavier users" heuristic, and per-category `x_max` optimization.
+pub fn offer_categories(customers: usize, seed: u64) -> OfferResult {
+    use loadbal_core::category::{
+        consumption_categories, optimized_categories, run_categorized_offer,
+    };
+    use powergrid::units::Fraction;
+    let scenario = ScenarioBuilder::random(customers, 0.35, seed).build();
+    let uniform = scenario.run_with(AnnouncementMethod::Offer);
+    let row_from = |variant: String, report: &NegotiationReport| OfferRow {
+        variant,
+        final_overuse: report.final_overuse_fraction(),
+        acceptors: report.final_bids().iter().filter(|b| b.value() > 0.0).count(),
+        outlay: report.total_rewards().value(),
+    };
+    let mut rows = vec![row_from("uniform offer".into(), &uniform)];
+    let candidates: Vec<Fraction> = [0.5, 0.6, 0.7, 0.8, 0.9]
+        .iter()
+        .map(|&v| Fraction::clamped(v))
+        .collect();
+    for buckets in [2usize, 3, 5] {
+        let naive = consumption_categories(&scenario, buckets);
+        let naive_report = run_categorized_offer(&scenario, &naive);
+        rows.push(row_from(format!("{buckets} naive categories"), &naive_report));
+        let optimized = optimized_categories(&scenario, buckets, &candidates);
+        let optimized_report = run_categorized_offer(&scenario, &optimized);
+        rows.push(row_from(format!("{buckets} optimized categories"), &optimized_report));
+    }
+    OfferResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+}
+
+impl fmt::Display for OfferResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E11 / §3.2.1 — offer targeting (initial overuse {:.1} %)",
+            100.0 * self.initial_overuse
+        )?;
+        writeln!(
+            f,
+            "  {:<24} {:>11} {:>10} {:>9}",
+            "variant", "overuse %", "acceptors", "outlay"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<24} {:>11.1} {:>10} {:>9.1}",
+                r.variant, 100.0 * r.final_overuse, r.acceptors, r.outlay
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E12 — ablation: initial-table shape (quadratic vs linear)
+// ---------------------------------------------------------------------
+
+/// One row of the table-shape ablation.
+#[derive(Debug, Clone)]
+pub struct ShapeRow {
+    /// Shape name.
+    pub shape: String,
+    /// The Figure-8 customer's round-1 bid under this shape (paper: 0.2).
+    pub fig8_round1_bid: f64,
+    /// Mean rounds over random populations.
+    pub mean_rounds: f64,
+    /// Mean final overuse over random populations.
+    pub mean_final_overuse: f64,
+    /// Mean reward outlay over random populations.
+    pub mean_outlay: f64,
+}
+
+/// Result of the shape ablation.
+#[derive(Debug, Clone)]
+pub struct ShapeResult {
+    /// Quadratic and linear rows.
+    pub rows: Vec<ShapeRow>,
+    /// Random populations per shape.
+    pub repetitions: usize,
+}
+
+/// E12: ablates the quadratic initial reward table (the Figure 6
+/// calibration, DESIGN.md §5) against a linear one. The quadratic shape
+/// is what makes the highlighted customer open at 0.2 (Figure 9): linear
+/// pricing overpays small cut-downs, pulling the opening bid up.
+pub fn shape_ablation(customers: usize, repetitions: usize) -> ShapeResult {
+    use loadbal_core::utility_agent::TableShape;
+    let rows = [TableShape::Quadratic, TableShape::Linear]
+        .into_iter()
+        .map(|shape| {
+            let config_for = || {
+                let mut c = UtilityAgentConfig::paper();
+                c.table_shape = shape;
+                c
+            };
+            // The Figure-8 customer's opening bid under this shape.
+            let paper = ScenarioBuilder::paper_figure_6().config(config_for()).build();
+            let paper_report = paper.run();
+            let fig8_round1_bid = paper_report.rounds()[0].bids[0].value();
+            // Aggregate behaviour over random populations.
+            let mut rounds = 0.0;
+            let mut overuse = 0.0;
+            let mut outlay = 0.0;
+            for seed in 0..repetitions as u64 {
+                let report = ScenarioBuilder::random(customers, 0.35, seed)
+                    .config(config_for())
+                    .build()
+                    .run();
+                rounds += report.rounds().len() as f64;
+                overuse += report.final_overuse_fraction();
+                outlay += report.total_rewards().value();
+            }
+            let n = repetitions as f64;
+            ShapeRow {
+                shape: format!("{shape:?}").to_lowercase(),
+                fig8_round1_bid,
+                mean_rounds: rounds / n,
+                mean_final_overuse: overuse / n,
+                mean_outlay: outlay / n,
+            }
+        })
+        .collect();
+    ShapeResult { rows, repetitions }
+}
+
+impl fmt::Display for ShapeResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E12 — initial-table shape ablation ({} populations per shape)",
+            self.repetitions
+        )?;
+        writeln!(
+            f,
+            "  {:<11} {:>14} {:>7} {:>11} {:>9}",
+            "shape", "fig8 r1 bid", "rounds", "overuse %", "outlay"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<11} {:>14.2} {:>7.2} {:>11.1} {:>9.1}",
+                r.shape,
+                r.fig8_round1_bid,
+                r.mean_rounds,
+                100.0 * r.mean_final_overuse,
+                r.mean_outlay
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Convenience used by the Figure 6/7 bench: the calibrated scenario.
+pub fn paper_scenario() -> Scenario {
+    ScenarioBuilder::paper_figure_6().build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn e1_has_evening_peak_and_expensive_band() {
+        let r = fig1_demand(200, 7);
+        assert!(!r.expensive_slots.is_empty());
+        assert!(r.energy_above_normal.value() > 0.0);
+        let start = r.curve.axis().start_of(r.peak_interval.start());
+        assert!((16..=20).contains(&start.hour()), "peak at {start}");
+        let text = r.to_string();
+        assert!(text.contains("Figure 1"));
+    }
+
+    #[test]
+    fn e3_checkpoints_match_paper() {
+        let r = fig6_7_trace();
+        assert!((r.round1_reward_04 - 17.0).abs() < 1e-9);
+        assert!((23.5..=26.0).contains(&r.final_reward_04), "{}", r.final_reward_04);
+        assert!((r.initial_overuse - 35.0).abs() < 1e-9);
+        assert!((10.0..=16.0).contains(&r.final_overuse), "{}", r.final_overuse);
+        assert_eq!(r.report.rounds().len(), 3);
+    }
+
+    #[test]
+    fn e4_customer_bids_match_figures() {
+        let r = fig8_9_customer();
+        let bids: Vec<f64> = r.rounds.iter().map(|x| x.bid).collect();
+        assert_eq!(bids, vec![0.2, 0.4, 0.4]);
+        // Round 1: 0.3 not acceptable (9.56 < 10), 0.2 acceptable.
+        let round1 = &r.rounds[0];
+        let at = |c: f64| {
+            round1
+                .comparison
+                .iter()
+                .find(|e| (e.0 - c).abs() < 1e-9)
+                .expect("level present")
+        };
+        assert!(!at(0.3).3);
+        assert!(at(0.2).3);
+    }
+
+    #[test]
+    fn e5_orders_methods_as_paper_claims() {
+        let r = methods_comparison(200, 5);
+        let row = |m: AnnouncementMethod| r.rows.iter().find(|x| x.method == m).unwrap();
+        let offer = row(AnnouncementMethod::Offer);
+        let rfb = row(AnnouncementMethod::RequestForBids);
+        let rt = row(AnnouncementMethod::RewardTables);
+        // Offer: exactly one round, fewest messages.
+        assert_eq!(offer.rounds, 1);
+        assert!(offer.messages <= rt.messages);
+        assert!(rt.messages <= rfb.messages || rt.rounds <= rfb.rounds);
+        // All methods reduce the peak.
+        for x in &r.rows {
+            assert!(x.final_overuse <= r.initial_overuse + 1e-9);
+        }
+    }
+
+    #[test]
+    fn e6_saturates_below_max() {
+        let r = formula_sweep();
+        for row in &r.rows {
+            assert!(row.final_reward <= 30.0 + 1e-9);
+            assert!(row.steps_to_saturation < 500);
+        }
+        // "The reward value increases more when the predicted overuse is
+        // higher": the first step grows with overuse (same reward0), and
+        // the trajectory climbs closer to max_reward before the ε rule
+        // stops it.
+        let low = r.rows.iter().find(|x| x.overuse == 0.05 && x.reward0 == 17.0).unwrap();
+        let high = r.rows.iter().find(|x| x.overuse == 0.5 && x.reward0 == 17.0).unwrap();
+        assert!(high.first_step > low.first_step);
+        assert!(high.final_reward >= low.final_reward);
+    }
+
+    #[test]
+    fn e7_beta_trades_outlay_for_peak_reduction() {
+        let r = beta_sweep(60, 3);
+        let row = |p: &str| r.rows.iter().find(|x| x.policy.contains(p)).unwrap();
+        let timid = row("β=0.25");
+        let bold = row("β=8");
+        // A timid β saturates early (ε rule) and leaves more overuse; a
+        // bold β buys the peak down.
+        assert!(bold.mean_final_overuse <= timid.mean_final_overuse);
+        assert!(r.rows.iter().all(|x| x.converged == 1.0));
+    }
+
+    #[test]
+    fn e8_scaling_messages_grow_linearly_in_n() {
+        let r = scaling(&[10, 100], 3);
+        assert_eq!(r.rows.len(), 2);
+        let small = &r.rows[0];
+        let large = &r.rows[1];
+        // Messages scale roughly with N × rounds.
+        let per_n_small = small.messages as f64 / small.customers as f64;
+        let per_n_large = large.messages as f64 / large.customers as f64;
+        assert!(per_n_small > 0.0 && per_n_large > 0.0);
+        assert!(large.messages > small.messages);
+    }
+
+    #[test]
+    fn e9_no_violations() {
+        let r = invariants(10);
+        assert_eq!(r.announcement_violations, 0);
+        assert_eq!(r.bid_violations, 0);
+        assert_eq!(r.non_convergent, 0);
+    }
+
+    #[test]
+    fn e10_both_strategies_shave_the_peak() {
+        let r = market_comparison(150, 7);
+        assert_eq!(r.rows.len(), 2);
+        for row in &r.rows {
+            assert!(
+                row.final_overuse < r.initial_overuse,
+                "{} failed to reduce the peak",
+                row.strategy
+            );
+        }
+        assert!(r.to_string().contains("market"));
+    }
+
+    #[test]
+    fn e12_quadratic_shape_is_what_reproduces_figure_9() {
+        let r = shape_ablation(60, 3);
+        let quad = r.rows.iter().find(|x| x.shape == "quadratic").unwrap();
+        let lin = r.rows.iter().find(|x| x.shape == "linear").unwrap();
+        assert!((quad.fig8_round1_bid - 0.2).abs() < 1e-9, "paper opening bid");
+        assert!(
+            lin.fig8_round1_bid > 0.2,
+            "linear pricing overpays small cut-downs, pulling the opening bid up: {}",
+            lin.fig8_round1_bid
+        );
+    }
+
+    #[test]
+    fn e11_optimized_categories_beat_or_match_uniform() {
+        let r = offer_categories(200, 11);
+        let uniform = &r.rows[0];
+        for row in r.rows.iter().filter(|x| x.variant.contains("optimized")) {
+            assert!(
+                row.final_overuse <= uniform.final_overuse + 1e-9,
+                "{}: {} vs uniform {}",
+                row.variant,
+                row.final_overuse,
+                uniform.final_overuse
+            );
+        }
+    }
+}

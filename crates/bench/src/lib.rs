@@ -1,0 +1,24 @@
+//! Experiment harness regenerating every table and figure of the paper.
+//!
+//! Each experiment (see `DESIGN.md` §4 for the full index) is a pure
+//! function returning a result struct with a `Display` implementation
+//! that prints the same quantities the paper reports. The `experiments`
+//! binary dispatches on experiment id; the Criterion benches in
+//! `benches/` time the underlying workloads.
+//!
+//! | id | paper artefact | function |
+//! |----|----------------|----------|
+//! | E1 | Figure 1 (demand curve with peak) | [`experiments::fig1_demand`] |
+//! | E2 | Figures 2–5 (process trees) | `loadbal_core::desire_host` + `examples/process_tree.rs` |
+//! | E3 | Figures 6–7 (UA trace) | [`experiments::fig6_7_trace`] |
+//! | E4 | Figures 8–9 (CA trace) | [`experiments::fig8_9_customer`] |
+//! | E5 | §3.2.4 method comparison | [`experiments::methods_comparison`] |
+//! | E6 | §6 reward formula | [`experiments::formula_sweep`] |
+//! | E7 | §7 β sensitivity | [`experiments::beta_sweep`] |
+//! | E8 | §1/§7 scalability | [`experiments::scaling`] |
+//! | E9 | §3.1 concession invariants | [`experiments::invariants`] |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;

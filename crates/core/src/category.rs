@@ -1,0 +1,283 @@
+//! Customer categories for the offer method (§3.2.1).
+//!
+//! "A possible solution to this problem is to divide the customers into
+//! different categories (for example according to the number of persons
+//! in the household) and treat all customers in a certain category in the
+//! same way." This module implements that refinement: customers are
+//! bucketed by predicted use and each bucket receives its own `x_max`,
+//! while all members of a bucket still get identical terms (the Swedish
+//! equal-treatment constraint applies *within* a category).
+
+use crate::concession::{NegotiationStatus, TerminationReason};
+use crate::customer_agent::decide_offer;
+use crate::methods::AnnouncementMethod;
+use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
+use powergrid::units::{Fraction, KilowattHours, Money};
+use serde::{Deserialize, Serialize};
+
+/// A consumption category: all customers whose predicted use falls in
+/// `[lower, upper)` receive the category's `x_max`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Category {
+    /// Inclusive lower bound on predicted use.
+    pub lower: KilowattHours,
+    /// Exclusive upper bound on predicted use (`f64::INFINITY` allowed).
+    pub upper: KilowattHours,
+    /// The offer parameter for this category.
+    pub x_max: Fraction,
+}
+
+impl Category {
+    /// True if a customer with this predicted use belongs here.
+    pub fn contains(&self, predicted_use: KilowattHours) -> bool {
+        predicted_use >= self.lower && predicted_use < self.upper
+    }
+}
+
+/// Splits the scenario's population into `buckets` equal-width
+/// consumption bands and assigns stricter `x_max` values to heavier
+/// consumers (they have more flexible load to shed).
+///
+/// # Panics
+///
+/// Panics if `buckets` is zero.
+pub fn consumption_categories(scenario: &Scenario, buckets: usize) -> Vec<Category> {
+    assert!(buckets > 0, "need at least one category");
+    let min = scenario
+        .customers
+        .iter()
+        .map(|c| c.predicted_use.value())
+        .fold(f64::INFINITY, f64::min);
+    let max = scenario
+        .customers
+        .iter()
+        .map(|c| c.predicted_use.value())
+        .fold(f64::NEG_INFINITY, f64::max);
+    let width = ((max - min) / buckets as f64).max(f64::EPSILON);
+    (0..buckets)
+        .map(|i| {
+            let lower = min + i as f64 * width;
+            let upper = if i + 1 == buckets { f64::INFINITY } else { lower + width };
+            // Heavier consumers get a stricter cap: base x_max minus 5 %
+            // per bucket step.
+            let x_max = Fraction::clamped(
+                scenario.config.offer_x_max.value() - 0.05 * i as f64,
+            );
+            Category { lower: KilowattHours(lower), upper: KilowattHours(upper), x_max }
+        })
+        .collect()
+}
+
+/// Splits the population into `buckets` consumption bands and picks each
+/// band's `x_max` from `candidates` to maximise the predicted energy
+/// reduction of that band — the Utility Agent "optimisation" tactic of
+/// §5.1.3 applied per category. The uniform offer is always among the
+/// candidates, so the optimized categorization never predicts worse than
+/// uniform.
+///
+/// # Panics
+///
+/// Panics if `buckets` is zero or `candidates` is empty.
+pub fn optimized_categories(
+    scenario: &Scenario,
+    buckets: usize,
+    candidates: &[Fraction],
+) -> Vec<Category> {
+    assert!(!candidates.is_empty(), "need candidate x_max values");
+    let mut categories = consumption_categories(scenario, buckets);
+    for category in &mut categories {
+        let members: Vec<_> = scenario
+            .customers
+            .iter()
+            .filter(|c| category.contains(c.predicted_use))
+            .collect();
+        let mut best = (category.x_max, KilowattHours(f64::NEG_INFINITY));
+        for &x_max in candidates {
+            let reduction: KilowattHours = members
+                .iter()
+                .map(|c| {
+                    let accept = decide_offer(
+                        &c.preferences,
+                        c.predicted_use,
+                        c.allowed_use,
+                        x_max,
+                        &scenario.tariff,
+                    );
+                    if accept {
+                        (c.predicted_use - c.predicted_use.min(x_max * c.allowed_use))
+                            .clamp_non_negative()
+                    } else {
+                        KilowattHours::ZERO
+                    }
+                })
+                .sum();
+            if reduction > best.1 {
+                best = (x_max, reduction);
+            }
+        }
+        category.x_max = best.0;
+    }
+    categories
+}
+
+/// Runs the categorized offer method: like §3.2.1's offer, but each
+/// category has its own `x_max`.
+///
+/// # Panics
+///
+/// Panics if some customer falls outside every category.
+pub fn run_categorized_offer(scenario: &Scenario, categories: &[Category]) -> NegotiationReport {
+    let n = scenario.customers.len() as u64;
+    let mut bids = Vec::with_capacity(scenario.customers.len());
+    let mut settlements = Vec::with_capacity(scenario.customers.len());
+    let mut predicted_total = KilowattHours::ZERO;
+
+    for customer in &scenario.customers {
+        let category = categories
+            .iter()
+            .find(|cat| cat.contains(customer.predicted_use))
+            .unwrap_or_else(|| {
+                panic!("customer with predicted use {} has no category", customer.predicted_use)
+            });
+        let x_max = category.x_max;
+        let accept = decide_offer(
+            &customer.preferences,
+            customer.predicted_use,
+            customer.allowed_use,
+            x_max,
+            &scenario.tariff,
+        );
+        if accept {
+            let limit = x_max * customer.allowed_use;
+            let new_use = customer.predicted_use.min(limit);
+            let cutdown = if customer.predicted_use.value() > f64::EPSILON {
+                Fraction::clamped((customer.predicted_use - new_use) / customer.predicted_use)
+            } else {
+                Fraction::ZERO
+            };
+            let reward = scenario.tariff.bill_normal(customer.predicted_use)
+                - scenario.tariff.bill_with_limit(new_use, limit);
+            predicted_total += new_use;
+            bids.push(cutdown);
+            settlements.push(Settlement { cutdown, reward: reward.max(Money::ZERO) });
+        } else {
+            predicted_total += customer.predicted_use;
+            bids.push(Fraction::ZERO);
+            settlements.push(Settlement { cutdown: Fraction::ZERO, reward: Money::ZERO });
+        }
+    }
+
+    let rounds = vec![RoundRecord {
+        round: 1,
+        table: None,
+        bids,
+        predicted_total,
+        messages: 2 * n,
+    }];
+    NegotiationReport::new(
+        AnnouncementMethod::Offer,
+        scenario.normal_use,
+        scenario.initial_total(),
+        rounds,
+        NegotiationStatus::Converged(TerminationReason::SingleRound),
+        settlements,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn categories_cover_the_population() {
+        let scenario = ScenarioBuilder::random(100, 0.35, 5).build();
+        let cats = consumption_categories(&scenario, 3);
+        assert_eq!(cats.len(), 3);
+        for c in &scenario.customers {
+            assert!(
+                cats.iter().any(|cat| cat.contains(c.predicted_use)),
+                "uncovered customer at {}",
+                c.predicted_use
+            );
+        }
+    }
+
+    #[test]
+    fn heavier_categories_get_stricter_caps() {
+        let scenario = ScenarioBuilder::random(100, 0.35, 5).build();
+        let cats = consumption_categories(&scenario, 3);
+        for pair in cats.windows(2) {
+            assert!(pair[1].x_max <= pair[0].x_max);
+        }
+    }
+
+    #[test]
+    fn categorized_offer_runs_single_round() {
+        let scenario = ScenarioBuilder::random(100, 0.35, 5).build();
+        let cats = consumption_categories(&scenario, 3);
+        let report = run_categorized_offer(&scenario, &cats);
+        assert_eq!(report.rounds().len(), 1);
+        assert!(report.converged());
+        assert!(report.final_overuse() <= report.initial_overuse());
+    }
+
+    #[test]
+    fn single_category_equals_uniform_offer() {
+        let scenario = ScenarioBuilder::random(80, 0.35, 9).build();
+        let uniform = scenario.run_with(AnnouncementMethod::Offer);
+        let one = vec![Category {
+            lower: KilowattHours(0.0),
+            upper: KilowattHours(f64::INFINITY),
+            x_max: scenario.config.offer_x_max,
+        }];
+        let categorized = run_categorized_offer(&scenario, &one);
+        assert_eq!(categorized.final_bids(), uniform.final_bids());
+        assert_eq!(categorized.final_overuse(), uniform.final_overuse());
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one category")]
+    fn zero_buckets_panics() {
+        let scenario = ScenarioBuilder::random(10, 0.35, 1).build();
+        let _ = consumption_categories(&scenario, 0);
+    }
+
+    #[test]
+    fn optimized_categories_never_reduce_less_than_uniform() {
+        let scenario = ScenarioBuilder::random(150, 0.35, 13).build();
+        let uniform = scenario.run_with(AnnouncementMethod::Offer);
+        let candidates: Vec<Fraction> = [0.5, 0.6, 0.7, 0.8, 0.9]
+            .iter()
+            .map(|&v| Fraction::clamped(v))
+            .collect();
+        assert!(candidates.contains(&scenario.config.offer_x_max));
+        let cats = optimized_categories(&scenario, 3, &candidates);
+        let report = run_categorized_offer(&scenario, &cats);
+        assert!(
+            report.final_overuse() <= uniform.final_overuse() + KilowattHours(1e-9),
+            "optimized categories ({}) must not trail uniform ({})",
+            report.final_overuse(),
+            uniform.final_overuse()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "candidate")]
+    fn optimizer_needs_candidates() {
+        let scenario = ScenarioBuilder::random(10, 0.35, 1).build();
+        let _ = optimized_categories(&scenario, 2, &[]);
+    }
+
+    #[test]
+    fn within_category_treatment_is_equal() {
+        // §3.2.1: same kind of customers treated the same — identical
+        // profiles must end with identical settlements.
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let cats = consumption_categories(&scenario, 2);
+        let report = run_categorized_offer(&scenario, &cats);
+        // Customers 0 and 1 are identical (k = 1.0 twins).
+        assert_eq!(report.settlements()[0], report.settlements()[1]);
+    }
+}

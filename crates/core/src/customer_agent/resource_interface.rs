@@ -1,0 +1,135 @@
+//! The CA ↔ Resource Consumer Agent interface (§5.2.2).
+//!
+//! "Based on information received from its Resource Consumer Agents on
+//! the amount of electricity that can be saved in a given time interval,
+//! a Customer Agent examines and evaluates the rewards for the different
+//! cut-down values" — this module aggregates RCA saving reports into the
+//! physical cut-down ceiling the CA negotiates under.
+
+use crate::resource_consumer::ResourceConsumerAgent;
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, KilowattHours};
+
+/// *Determine needs of resource consumers* (Figure 5): query each RCA for
+/// its saving potential over the interval and sum.
+pub fn total_saving_potential(
+    rcas: &[ResourceConsumerAgent],
+    interval: Interval,
+) -> KilowattHours {
+    rcas.iter().map(|rca| rca.saving_potential(interval)).sum()
+}
+
+/// Derives the physical cut-down ceiling from RCA reports: the largest
+/// fraction of interval usage the household's devices can actually shed,
+/// snapped *down* to the nearest offered level (a CA must not promise a
+/// cut-down its resources cannot implement).
+pub fn max_cutdown_from_rcas(
+    rcas: &[ResourceConsumerAgent],
+    interval: Interval,
+    levels: &[f64],
+) -> Fraction {
+    let usage: KilowattHours = rcas.iter().map(|rca| rca.interval_usage(interval)).sum();
+    if usage.value() <= f64::EPSILON {
+        return Fraction::ZERO;
+    }
+    let potential = total_saving_potential(rcas, interval);
+    let raw = (potential / usage).clamp(0.0, 1.0);
+    let mut best = 0.0;
+    for &level in levels {
+        if level <= raw && level > best {
+            best = level;
+        }
+    }
+    Fraction::clamped(best)
+}
+
+/// *Determine implementation instructions* (Figure 5): split an agreed
+/// cut-down over the RCAs proportionally to their saving potential.
+/// Returns per-RCA energy reductions summing to `cutdown × usage`.
+pub fn implementation_instructions(
+    rcas: &[ResourceConsumerAgent],
+    interval: Interval,
+    cutdown: Fraction,
+) -> Vec<KilowattHours> {
+    let usage: KilowattHours = rcas.iter().map(|rca| rca.interval_usage(interval)).sum();
+    let target = cutdown * usage;
+    let total_potential = total_saving_potential(rcas, interval);
+    if total_potential.value() <= f64::EPSILON {
+        return vec![KilowattHours::ZERO; rcas.len()];
+    }
+    rcas.iter()
+        .map(|rca| {
+            let share = rca.saving_potential(interval) / total_potential;
+            share * target
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powergrid::device::{Device, DeviceKind};
+    use powergrid::time::TimeAxis;
+
+    fn rcas() -> Vec<ResourceConsumerAgent> {
+        let axis = TimeAxis::hourly();
+        vec![
+            ResourceConsumerAgent::new(Device::typical(DeviceKind::SpaceHeating), &axis, -4.0, 1.0),
+            ResourceConsumerAgent::new(Device::typical(DeviceKind::Laundry), &axis, -4.0, 1.0),
+            ResourceConsumerAgent::new(Device::typical(DeviceKind::Cooking), &axis, -4.0, 1.0),
+        ]
+    }
+
+    fn evening() -> Interval {
+        Interval::new(17, 21)
+    }
+
+    #[test]
+    fn potential_is_sum_of_devices() {
+        let rcas = rcas();
+        let total = total_saving_potential(&rcas, evening());
+        let by_hand: KilowattHours =
+            rcas.iter().map(|r| r.saving_potential(evening())).sum();
+        assert_eq!(total, by_hand);
+        assert!(total.value() > 0.0);
+    }
+
+    #[test]
+    fn ceiling_snaps_down_to_level() {
+        let rcas = rcas();
+        let levels = [0.0, 0.1, 0.2, 0.3, 0.4, 0.5];
+        let ceiling = max_cutdown_from_rcas(&rcas, evening(), &levels);
+        // It must be a tabled level and not exceed the raw ratio.
+        assert!(levels.contains(&ceiling.value()));
+        let usage: KilowattHours = rcas.iter().map(|r| r.interval_usage(evening())).sum();
+        let raw = total_saving_potential(&rcas, evening()) / usage;
+        assert!(ceiling.value() <= raw);
+    }
+
+    #[test]
+    fn empty_interval_gives_zero_ceiling() {
+        let rcas = rcas();
+        let ceiling = max_cutdown_from_rcas(&rcas, Interval::new(5, 5), &[0.0, 0.5]);
+        assert_eq!(ceiling, Fraction::ZERO);
+    }
+
+    #[test]
+    fn instructions_sum_to_target() {
+        let rcas = rcas();
+        let cutdown = Fraction::clamped(0.2);
+        let instructions = implementation_instructions(&rcas, evening(), cutdown);
+        assert_eq!(instructions.len(), rcas.len());
+        let total: KilowattHours = instructions.iter().copied().sum();
+        let usage: KilowattHours = rcas.iter().map(|r| r.interval_usage(evening())).sum();
+        assert!((total.value() - (cutdown * usage).value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn inflexible_devices_get_smaller_share() {
+        let rcas = rcas();
+        let instructions =
+            implementation_instructions(&rcas, evening(), Fraction::clamped(0.2));
+        // Laundry (fully flexible) should carry more than cooking (5 %).
+        assert!(instructions[1] > instructions[2]);
+    }
+}

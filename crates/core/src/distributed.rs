@@ -1,0 +1,361 @@
+//! Distributed execution: the negotiation as message-passing actors.
+//!
+//! The paper's vision is "large open distributed industrial systems"
+//! (§7): one Utility Agent process negotiating with thousands of Customer
+//! Agent processes over a real network. This module runs the
+//! reward-table method on the [`massim`] runtime — with latency, loss and
+//! response deadlines — and is cross-validated against the synchronous
+//! session: on a perfect network both produce identical outcomes.
+
+use crate::concession::NegotiationStatus;
+use crate::customer_agent::CustomerAgentState;
+use crate::message::Msg;
+use crate::methods::AnnouncementMethod;
+use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
+use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
+use crate::utility_agent::cooperation::assess_bids;
+use crate::utility_agent::{RewardTableNegotiator, UaDecision};
+use massim::agent::{Agent, AgentId, Context, TimerToken};
+use massim::clock::SimDuration;
+use massim::metrics::Metrics;
+use massim::network::NetworkModel;
+use massim::runtime::Simulation;
+use powergrid::units::{Fraction, KilowattHours};
+use std::collections::BTreeMap;
+
+/// A Customer Agent process.
+#[derive(Debug)]
+pub struct CustomerProcess {
+    state: CustomerAgentState,
+    awarded: Option<Settlement>,
+}
+
+impl CustomerProcess {
+    /// Creates the process from per-customer state.
+    pub fn new(state: CustomerAgentState) -> CustomerProcess {
+        CustomerProcess { state, awarded: None }
+    }
+
+    /// The award received at the end, if any.
+    pub fn awarded(&self) -> Option<&Settlement> {
+        self.awarded.as_ref()
+    }
+}
+
+impl Agent<Msg> for CustomerProcess {
+    fn on_message(&mut self, from: AgentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        match msg {
+            Msg::Announce { round, table } => {
+                let cutdown = self.state.respond(&table);
+                ctx.send(from, Msg::Bid { round, cutdown });
+            }
+            Msg::Award { round, cutdown, reward } => {
+                let _ = round;
+                self.awarded = Some(Settlement { cutdown, reward });
+            }
+            _ => {}
+        }
+    }
+}
+
+/// The Utility Agent process: announces, collects bids until all arrive
+/// or the round deadline fires, evaluates, and either awards or announces
+/// the next table.
+#[derive(Debug)]
+pub struct UtilityProcess {
+    negotiator: RewardTableNegotiator,
+    customers: Vec<AgentId>,
+    /// `(predicted_use, allowed_use)` per customer, same order as ids.
+    profiles: Vec<(KilowattHours, KilowattHours)>,
+    normal_use: KilowattHours,
+    deadline: SimDuration,
+    received: BTreeMap<AgentId, Fraction>,
+    last_bids: Vec<Fraction>,
+    concluded_round: u32,
+    rounds: Vec<RoundRecord>,
+    status: Option<NegotiationStatus>,
+}
+
+impl UtilityProcess {
+    /// Creates the UA process for a scenario. `customers` must be the
+    /// already-registered Customer Agent ids, in scenario order.
+    pub fn new(
+        scenario: &Scenario,
+        customers: Vec<AgentId>,
+        deadline: SimDuration,
+    ) -> UtilityProcess {
+        let profiles = scenario
+            .customers
+            .iter()
+            .map(|c| (c.predicted_use, c.allowed_use))
+            .collect::<Vec<_>>();
+        let n = profiles.len();
+        UtilityProcess {
+            negotiator: RewardTableNegotiator::new(scenario.config.clone(), scenario.interval),
+            customers,
+            profiles,
+            normal_use: scenario.normal_use,
+            deadline,
+            received: BTreeMap::new(),
+            last_bids: vec![Fraction::ZERO; n],
+            concluded_round: 0,
+            rounds: Vec::new(),
+            status: None,
+        }
+    }
+
+    /// The per-round history collected so far.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// The final status once the negotiation is over.
+    pub fn status(&self) -> Option<NegotiationStatus> {
+        self.status
+    }
+
+    fn announce_current(&mut self, ctx: &mut Context<'_, Msg>) {
+        let round = self.negotiator.round();
+        let table = self.negotiator.current_table().clone();
+        ctx.broadcast(&self.customers, Msg::Announce { round, table });
+        ctx.set_timer(TimerToken(u64::from(round)), self.deadline);
+    }
+
+    fn conclude_round(&mut self, ctx: &mut Context<'_, Msg>) {
+        let round = self.negotiator.round();
+        self.concluded_round = round;
+        // Missing responders (lost announce or lost bid) keep their last
+        // known bid — monotonic concession makes this safe.
+        let bids: Vec<Fraction> = self
+            .customers
+            .iter()
+            .zip(&self.last_bids)
+            .map(|(id, &last)| self.received.get(id).copied().unwrap_or(last).max(last))
+            .collect();
+        let table = self.negotiator.current_table().clone();
+        let accepted = assess_bids(&table, &bids);
+        self.last_bids = accepted.clone();
+        self.received.clear();
+
+        let predicted_total: KilowattHours = self
+            .profiles
+            .iter()
+            .zip(&accepted)
+            .map(|(&(pred, allowed), &b)| predicted_use_with_cutdown(pred, allowed, b))
+            .sum();
+        let n = self.customers.len() as u64;
+        self.rounds.push(RoundRecord {
+            round,
+            table: Some(table.clone()),
+            bids: accepted.clone(),
+            predicted_total,
+            messages: 2 * n,
+        });
+        let overuse = overuse_fraction(predicted_total, self.normal_use);
+        match self.negotiator.evaluate(overuse) {
+            UaDecision::Converged(reason) => {
+                self.status = Some(NegotiationStatus::Converged(reason));
+                // No halt: the simulation drains naturally so the award
+                // messages still reach the customers.
+                for (id, &cutdown) in self.customers.clone().iter().zip(&accepted) {
+                    ctx.send(
+                        *id,
+                        Msg::Award { round, cutdown, reward: table.reward_for(cutdown) },
+                    );
+                }
+            }
+            UaDecision::NextTable(_) => {
+                self.announce_current(ctx);
+            }
+        }
+    }
+}
+
+impl Agent<Msg> for UtilityProcess {
+    fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
+        self.announce_current(ctx);
+    }
+
+    fn on_message(&mut self, from: AgentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+        if let Msg::Bid { round, cutdown } = msg {
+            if round != self.negotiator.round() || self.status.is_some() {
+                return; // stale bid from a slow or replayed message
+            }
+            self.received.insert(from, cutdown);
+            if self.received.len() == self.customers.len() {
+                self.conclude_round(ctx);
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
+        let round = token.0 as u32;
+        if round == self.negotiator.round() && self.concluded_round < round && self.status.is_none()
+        {
+            self.conclude_round(ctx);
+        }
+    }
+}
+
+/// Result of a distributed run: the report plus runtime metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DistributedOutcome {
+    /// The negotiation report (same shape as the synchronous one).
+    pub report: NegotiationReport,
+    /// Runtime metrics: real message counts, drops, virtual end time.
+    pub metrics: Metrics,
+}
+
+/// Runs the reward-table negotiation as a distributed simulation.
+///
+/// `deadline` is the UA's per-round response deadline; it must exceed a
+/// network round trip or every round concludes empty. On a perfect
+/// network the outcome is identical to [`Scenario::run`].
+///
+/// # Panics
+///
+/// Panics if the simulation fails (event-budget exhaustion — impossible
+/// for terminating negotiations).
+pub fn run_distributed(
+    scenario: &Scenario,
+    network: NetworkModel,
+    seed: u64,
+    deadline: SimDuration,
+) -> DistributedOutcome {
+    let mut sim: Simulation<Msg> = Simulation::with_network(seed, network);
+    sim.set_logging(false);
+    let customer_ids: Vec<AgentId> = scenario
+        .customers
+        .iter()
+        .map(|c| sim.add_agent(CustomerProcess::new(CustomerAgentState::new(c.preferences.clone()))))
+        .collect();
+    let ua = sim.add_agent(UtilityProcess::new(scenario, customer_ids, deadline));
+    sim.run().expect("negotiation simulation terminates");
+
+    let process = sim.agent::<UtilityProcess>(ua).expect("UA process exists");
+    let rounds = process.rounds().to_vec();
+    let status = process.status().unwrap_or(NegotiationStatus::MaxRoundsExceeded);
+    let final_table = rounds
+        .last()
+        .and_then(|r| r.table.clone())
+        .expect("at least one round concluded");
+    let settlements: Vec<Settlement> = rounds
+        .last()
+        .map(|r| {
+            r.bids
+                .iter()
+                .map(|&cutdown| Settlement { cutdown, reward: final_table.reward_for(cutdown) })
+                .collect()
+        })
+        .unwrap_or_default();
+    let n = scenario.customers.len() as u64;
+    let report = NegotiationReport::new(
+        AnnouncementMethod::RewardTables,
+        scenario.normal_use,
+        scenario.initial_total(),
+        rounds,
+        status,
+        settlements,
+        n,
+    );
+    DistributedOutcome { report, metrics: *sim.metrics() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    fn deadline() -> SimDuration {
+        SimDuration::from_ticks(100)
+    }
+
+    #[test]
+    fn perfect_network_matches_synchronous_run() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let sync = scenario.run();
+        let dist = run_distributed(&scenario, NetworkModel::perfect(), 1, deadline());
+        assert_eq!(dist.report.rounds().len(), sync.rounds().len());
+        assert_eq!(dist.report.status(), sync.status());
+        assert_eq!(dist.report.final_bids(), sync.final_bids());
+        assert_eq!(dist.report.final_overuse(), sync.final_overuse());
+    }
+
+    #[test]
+    fn perfect_network_matches_on_random_populations() {
+        for seed in 0..5 {
+            let scenario = ScenarioBuilder::random(40, 0.35, seed).build();
+            let sync = scenario.run();
+            let dist = run_distributed(&scenario, NetworkModel::perfect(), seed, deadline());
+            assert_eq!(
+                dist.report.final_bids(),
+                sync.final_bids(),
+                "seed {seed} diverged"
+            );
+            assert_eq!(dist.report.status(), sync.status());
+        }
+    }
+
+    #[test]
+    fn latency_does_not_change_outcome() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let sync = scenario.run();
+        let dist = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 30),
+            7,
+            SimDuration::from_ticks(200),
+        );
+        assert_eq!(dist.report.final_bids(), sync.final_bids());
+    }
+
+    #[test]
+    fn lossy_network_still_converges() {
+        let scenario = ScenarioBuilder::random(30, 0.35, 3).build();
+        let dist = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 10).with_drop_probability(0.2),
+            9,
+            SimDuration::from_ticks(200),
+        );
+        assert!(dist.report.converged(), "{}", dist.report);
+        assert!(dist.metrics.messages_dropped > 0, "loss should actually occur");
+        // Overuse still improves despite losses.
+        assert!(dist.report.final_overuse() <= dist.report.initial_overuse());
+    }
+
+    #[test]
+    fn customers_receive_awards() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let mut sim: Simulation<Msg> = Simulation::new(1);
+        let ids: Vec<AgentId> = scenario
+            .customers
+            .iter()
+            .map(|c| {
+                sim.add_agent(CustomerProcess::new(CustomerAgentState::new(
+                    c.preferences.clone(),
+                )))
+            })
+            .collect();
+        let _ua = sim.add_agent(UtilityProcess::new(&scenario, ids.clone(), deadline()));
+        sim.run().unwrap();
+        let awarded = ids
+            .iter()
+            .filter(|&&id| {
+                sim.agent::<CustomerProcess>(id)
+                    .and_then(|c| c.awarded())
+                    .is_some()
+            })
+            .count();
+        assert_eq!(awarded, ids.len(), "every CA gets an award message");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let scenario = ScenarioBuilder::random(25, 0.35, 4).build();
+        let net = NetworkModel::uniform(1, 20).with_drop_probability(0.1);
+        let a = run_distributed(&scenario, net.clone(), 42, SimDuration::from_ticks(300));
+        let b = run_distributed(&scenario, net, 42, SimDuration::from_ticks(300));
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,76 @@
+//! `loadbal-core` — negotiating agents for load balancing of electricity
+//! use, after Brazier, Cornelissen, Gustavsson, Jonker, Lindeberg, Polak
+//! and Treur, *Agents Negotiating for Load Balancing of Electricity Use*,
+//! ICDCS 1998.
+//!
+//! One **Utility Agent** negotiates with many **Customer Agents** to shave
+//! a predicted demand peak. Three announcement methods are implemented
+//! (Section 3.2 of the paper):
+//!
+//! * [`methods::offer`] — one-round take-it-or-leave-it offer;
+//! * [`methods::request_bids`] — iterated request for bids;
+//! * [`methods::reward_table`] — the paper's prototype strategy:
+//!   announced reward tables under the monotonic concession protocol,
+//!   with the Section-6 update rule
+//!   `new_reward = reward + β · overuse · (1 − reward/max_reward) · reward`.
+//!
+//! The negotiation can run in three execution modes that share the same
+//! decision logic and produce the same outcomes:
+//!
+//! 1. **Synchronous** ([`session`]) — direct round-based execution, used
+//!    by the experiment harness;
+//! 2. **Distributed** ([`distributed`]) — Utility and Customer Agents as
+//!    [`massim`] actors exchanging [`message::Msg`] over a lossy network;
+//! 3. **DESIRE-hosted** ([`desire_host`]) — the Utility Agent's decision
+//!    step executed inside the [`desire`] compositional framework,
+//!    mirroring the paper's Figures 2–5 process hierarchies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use loadbal_core::prelude::*;
+//!
+//! // The calibrated Figure 6/7 scenario: capacity 100, predicted use 135.
+//! let scenario = ScenarioBuilder::paper_figure_6().build();
+//! let report = scenario.run();
+//! assert!(report.converged());
+//! assert!(report.final_overuse() < report.initial_overuse());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod beta;
+pub mod category;
+pub mod concession;
+pub mod desire_host;
+pub mod distributed;
+pub mod market;
+pub mod message;
+pub mod methods;
+pub mod outcome;
+pub mod preferences;
+pub mod producer_agent;
+pub mod resource_consumer;
+pub mod reward;
+pub mod session;
+pub mod strategy;
+
+pub mod customer_agent;
+pub mod utility_agent;
+
+/// The most frequently used items.
+pub mod prelude {
+    pub use crate::beta::BetaPolicy;
+    pub use crate::concession::{NegotiationStatus, TerminationReason};
+    pub use crate::message::Msg;
+    pub use crate::methods::AnnouncementMethod;
+    pub use crate::outcome::SettlementSummary;
+    pub use crate::preferences::CustomerPreferences;
+    pub use crate::reward::{RewardFormula, RewardTable};
+    pub use crate::session::{
+        CustomerProfile, NegotiationReport, RoundRecord, Scenario, ScenarioBuilder,
+    };
+    pub use crate::strategy::select_method;
+    pub use crate::utility_agent::UtilityAgentConfig;
+}

@@ -1,0 +1,210 @@
+//! Protocol messages exchanged in the distributed execution mode.
+//!
+//! The vocabulary follows §3.2 of the paper: announcements flow from the
+//! Utility Agent to all Customer Agents, bids flow back, and awards
+//! confirm accepted bids. Peripheral traffic covers the Producer Agent
+//! (availability/cost) and the Resource Consumer Agents (saving
+//! potential).
+
+use crate::reward::RewardTable;
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, KilowattHours, Kilowatts, Money, PricePerKwh};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A protocol message.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum Msg {
+    // ----- announce-reward-tables method (§3.2.3) -----
+    /// UA → CA: a reward table for `round`.
+    Announce {
+        /// Negotiation round, 1-based.
+        round: u32,
+        /// The announced table.
+        table: RewardTable,
+    },
+    /// CA → UA: the chosen cut-down for `round`.
+    Bid {
+        /// Negotiation round the bid answers.
+        round: u32,
+        /// The chosen cut-down ("the highest acceptable cut-down").
+        cutdown: Fraction,
+    },
+    /// UA → CA: the bid is accepted; the reward will be paid if the
+    /// cut-down is implemented.
+    Award {
+        /// Final negotiation round.
+        round: u32,
+        /// The cut-down being rewarded.
+        cutdown: Fraction,
+        /// The reward due.
+        reward: Money,
+    },
+
+    // ----- offer method (§3.2.1) -----
+    /// UA → CA: take-it-or-leave-it offer — "use at most `x_max` of your
+    /// allowance at the lower price; excess at the higher price".
+    Offer {
+        /// The fraction of allowed use covered by the lower price.
+        x_max: Fraction,
+    },
+    /// CA → UA: "Customer Agents may only answer 'yes' or 'no'".
+    OfferReply {
+        /// The yes/no answer.
+        accept: bool,
+    },
+
+    // ----- request-for-bids method (§3.2.2) -----
+    /// UA → CA: request for bids in `round`.
+    RequestBids {
+        /// Negotiation round, 1-based.
+        round: u32,
+    },
+    /// CA → UA: "how much electricity it really needs": `y_min`, plus the
+    /// cut-down it corresponds to.
+    NeedBid {
+        /// Negotiation round the bid answers.
+        round: u32,
+        /// The electricity the customer commits to needing at most.
+        y_min: KilowattHours,
+        /// The equivalent cut-down fraction of allowed use.
+        cutdown: Fraction,
+    },
+
+    // ----- Producer Agent traffic (§5.1) -----
+    /// UA → PA: what can you produce and at what cost?
+    QueryAvailability,
+    /// PA → UA: capacity and marginal costs.
+    Availability {
+        /// Normal (cheap) capacity.
+        normal_capacity: Kilowatts,
+        /// Cost within normal capacity.
+        normal_cost: PricePerKwh,
+        /// Cost beyond normal capacity.
+        expensive_cost: PricePerKwh,
+    },
+
+    // ----- Resource Consumer Agent traffic (§5.2) -----
+    /// CA → RCA: how much can be saved during `interval`?
+    QuerySavings {
+        /// The cut-down interval.
+        interval: Interval,
+    },
+    /// RCA → CA: the device's saving potential.
+    Savings {
+        /// Energy that can be shed during the interval.
+        potential: KilowattHours,
+    },
+}
+
+impl Msg {
+    /// Short tag for logs and metrics.
+    pub fn tag(&self) -> &'static str {
+        match self {
+            Msg::Announce { .. } => "announce",
+            Msg::Bid { .. } => "bid",
+            Msg::Award { .. } => "award",
+            Msg::Offer { .. } => "offer",
+            Msg::OfferReply { .. } => "offer-reply",
+            Msg::RequestBids { .. } => "request-bids",
+            Msg::NeedBid { .. } => "need-bid",
+            Msg::QueryAvailability => "query-availability",
+            Msg::Availability { .. } => "availability",
+            Msg::QuerySavings { .. } => "query-savings",
+            Msg::Savings { .. } => "savings",
+        }
+    }
+
+    /// The negotiation round the message belongs to, if any.
+    pub fn round(&self) -> Option<u32> {
+        match self {
+            Msg::Announce { round, .. }
+            | Msg::Bid { round, .. }
+            | Msg::Award { round, .. }
+            | Msg::RequestBids { round }
+            | Msg::NeedBid { round, .. } => Some(*round),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Msg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Msg::Announce { round, table } => write!(f, "announce[r{round}] {table}"),
+            Msg::Bid { round, cutdown } => write!(f, "bid[r{round}] {cutdown}"),
+            Msg::Award { round, cutdown, reward } => {
+                write!(f, "award[r{round}] {cutdown} for {reward}")
+            }
+            Msg::Offer { x_max } => write!(f, "offer x_max={x_max}"),
+            Msg::OfferReply { accept } => {
+                write!(f, "offer-reply {}", if *accept { "yes" } else { "no" })
+            }
+            Msg::RequestBids { round } => write!(f, "request-bids[r{round}]"),
+            Msg::NeedBid { round, y_min, cutdown } => {
+                write!(f, "need-bid[r{round}] y_min={y_min} ({cutdown})")
+            }
+            Msg::QueryAvailability => f.write_str("query-availability"),
+            Msg::Availability { normal_capacity, .. } => {
+                write!(f, "availability {normal_capacity}")
+            }
+            Msg::QuerySavings { interval } => write!(f, "query-savings {interval}"),
+            Msg::Savings { potential } => write!(f, "savings {potential}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::DEFAULT_LEVELS;
+
+    fn fr(v: f64) -> Fraction {
+        Fraction::clamped(v)
+    }
+
+    #[test]
+    fn tags_are_distinct() {
+        let msgs = [
+            Msg::Announce {
+                round: 1,
+                table: RewardTable::quadratic(
+                    Interval::new(0, 4),
+                    &DEFAULT_LEVELS,
+                    Money(17.0),
+                    fr(0.4),
+                ),
+            },
+            Msg::Bid { round: 1, cutdown: fr(0.2) },
+            Msg::Award { round: 3, cutdown: fr(0.4), reward: Money(24.8) },
+            Msg::Offer { x_max: fr(0.8) },
+            Msg::OfferReply { accept: true },
+            Msg::RequestBids { round: 2 },
+            Msg::NeedBid { round: 2, y_min: KilowattHours(5.0), cutdown: fr(0.3) },
+            Msg::QueryAvailability,
+            Msg::Availability {
+                normal_capacity: Kilowatts(100.0),
+                normal_cost: PricePerKwh(0.3),
+                expensive_cost: PricePerKwh(1.1),
+            },
+            Msg::QuerySavings { interval: Interval::new(0, 4) },
+            Msg::Savings { potential: KilowattHours(2.0) },
+        ];
+        let tags: std::collections::HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
+        assert_eq!(tags.len(), msgs.len());
+    }
+
+    #[test]
+    fn rounds_extracted() {
+        assert_eq!(Msg::Bid { round: 3, cutdown: fr(0.1) }.round(), Some(3));
+        assert_eq!(Msg::QueryAvailability.round(), None);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let m = Msg::Award { round: 3, cutdown: fr(0.4), reward: Money(24.8) };
+        let s = m.to_string();
+        assert!(s.contains("r3"));
+        assert!(s.contains("24.8"));
+    }
+}

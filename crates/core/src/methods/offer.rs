@@ -1,0 +1,143 @@
+//! The offer method (§3.2.1): one-round take-it-or-leave-it.
+//!
+//! "The offer the Utility Agent proposes to its Customer Agents is that
+//! if they only use x_max % of a given amount of electricity, they will
+//! receive that electricity for a lower price. ... Customer Agents may
+//! only answer 'yes' or 'no' to this offer."
+
+use crate::concession::{NegotiationStatus, TerminationReason};
+use crate::customer_agent::decide_offer;
+use crate::methods::AnnouncementMethod;
+use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
+use powergrid::units::{Fraction, KilowattHours, Money};
+
+/// Runs the offer method on a scenario.
+pub fn run(scenario: &Scenario) -> NegotiationReport {
+    let n = scenario.customers.len() as u64;
+    let x_max = scenario.config.offer_x_max;
+    let mut bids = Vec::with_capacity(scenario.customers.len());
+    let mut settlements = Vec::with_capacity(scenario.customers.len());
+    let mut predicted_total = KilowattHours::ZERO;
+
+    for customer in &scenario.customers {
+        let accept = decide_offer(
+            &customer.preferences,
+            customer.predicted_use,
+            customer.allowed_use,
+            x_max,
+            &scenario.tariff,
+        );
+        if accept {
+            let limit = x_max * customer.allowed_use;
+            let new_use = customer.predicted_use.min(limit);
+            // The implied cut-down, as a fraction of predicted use.
+            let cutdown = if customer.predicted_use.value() > f64::EPSILON {
+                Fraction::clamped(
+                    (customer.predicted_use - new_use) / customer.predicted_use,
+                )
+            } else {
+                Fraction::ZERO
+            };
+            // The "reward" is the billing advantage the utility grants.
+            let reward = scenario.tariff.bill_normal(customer.predicted_use)
+                - scenario.tariff.bill_with_limit(new_use, limit);
+            predicted_total += new_use;
+            bids.push(cutdown);
+            settlements.push(Settlement { cutdown, reward: reward.max(Money::ZERO) });
+        } else {
+            predicted_total += customer.predicted_use;
+            bids.push(Fraction::ZERO);
+            settlements.push(Settlement { cutdown: Fraction::ZERO, reward: Money::ZERO });
+        }
+    }
+
+    let rounds = vec![RoundRecord {
+        round: 1,
+        table: None,
+        bids,
+        predicted_total,
+        // Offer out (N) + yes/no back (N).
+        messages: 2 * n,
+    }];
+
+    NegotiationReport::new(
+        AnnouncementMethod::Offer,
+        scenario.normal_use,
+        scenario.initial_total(),
+        rounds,
+        NegotiationStatus::Converged(TerminationReason::SingleRound),
+        settlements,
+        0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn single_round_always() {
+        let report = ScenarioBuilder::paper_figure_6()
+            .method(AnnouncementMethod::Offer)
+            .build()
+            .run();
+        assert_eq!(report.rounds().len(), 1);
+        assert!(report.converged());
+        assert_eq!(report.total_messages(), 40);
+    }
+
+    #[test]
+    fn acceptors_reduce_overuse() {
+        let report = ScenarioBuilder::random(100, 0.35, 5)
+            .method(AnnouncementMethod::Offer)
+            .build()
+            .run();
+        assert!(
+            report.final_overuse() <= report.initial_overuse(),
+            "offer must not worsen the peak"
+        );
+        // Someone accepts in a heterogeneous population.
+        assert!(report.final_bids().iter().any(|b| b.value() > 0.0));
+    }
+
+    #[test]
+    fn all_customers_get_identical_terms() {
+        // §3.2.1: "all customers are treated in the same way" — the offer
+        // itself has no per-customer parameters; verify settlements only
+        // differ because predicted uses and preferences differ.
+        let report = ScenarioBuilder::paper_figure_6()
+            .method(AnnouncementMethod::Offer)
+            .build()
+            .run();
+        // The two k=1.0 customers are identical, so their settlements are.
+        assert_eq!(report.settlements()[0], report.settlements()[1]);
+    }
+
+    #[test]
+    fn stricter_offer_cuts_more_but_fewer_accept() {
+        let lenient = ScenarioBuilder::random(200, 0.35, 9)
+            .config(
+                crate::utility_agent::UtilityAgentConfig::paper()
+                    .with_offer_x_max(Fraction::clamped(0.9)),
+            )
+            .method(AnnouncementMethod::Offer)
+            .build()
+            .run();
+        let strict = ScenarioBuilder::random(200, 0.35, 9)
+            .config(
+                crate::utility_agent::UtilityAgentConfig::paper()
+                    .with_offer_x_max(Fraction::clamped(0.5)),
+            )
+            .method(AnnouncementMethod::Offer)
+            .build()
+            .run();
+        let acceptors = |r: &NegotiationReport| {
+            r.final_bids().iter().filter(|b| b.value() > 0.0).count()
+        };
+        assert!(
+            acceptors(&strict) <= acceptors(&lenient),
+            "a harsher cap cannot attract more acceptors"
+        );
+    }
+}

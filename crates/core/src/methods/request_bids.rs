@@ -1,0 +1,172 @@
+//! The request-for-bids method (§3.2.2): iterated, maximal customer
+//! influence.
+//!
+//! "Each Customer Agent is obliged to respond by saying how much
+//! electricity it really needs when a reward is promised: y_min. ...
+//! they respond by doing either the same bid again ('stand still') or by
+//! doing a (slightly) better bid ('one step forward')."
+
+use crate::concession::{NegotiationStatus, TerminationReason};
+use crate::customer_agent::rfb_step;
+use crate::methods::AnnouncementMethod;
+use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
+use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
+use powergrid::units::{Fraction, KilowattHours, Money};
+
+/// Runs the request-for-bids method on a scenario.
+pub fn run(scenario: &Scenario) -> NegotiationReport {
+    let n = scenario.customers.len() as u64;
+    let mut commitments: Vec<Fraction> = vec![Fraction::ZERO; scenario.customers.len()];
+    let mut rounds = Vec::new();
+    let mut status = NegotiationStatus::MaxRoundsExceeded;
+
+    for round in 1..=scenario.config.max_rounds {
+        // Request (N) + responses (N).
+        let mut moved = false;
+        for (c, commitment) in scenario.customers.iter().zip(commitments.iter_mut()) {
+            let next = rfb_step(
+                &c.preferences,
+                *commitment,
+                c.predicted_use,
+                c.allowed_use,
+                &scenario.tariff,
+            );
+            if next > *commitment {
+                moved = true;
+            }
+            *commitment = next;
+        }
+        let predicted_total: KilowattHours = scenario
+            .customers
+            .iter()
+            .zip(&commitments)
+            .map(|(c, &b)| predicted_use_with_cutdown(c.predicted_use, c.allowed_use, b))
+            .sum();
+        rounds.push(RoundRecord {
+            round,
+            table: None,
+            bids: commitments.clone(),
+            predicted_total,
+            messages: 2 * n,
+        });
+        let overuse = overuse_fraction(predicted_total, scenario.normal_use);
+        if overuse <= scenario.config.max_allowed_overuse {
+            status = NegotiationStatus::Converged(TerminationReason::OveruseAcceptable);
+            break;
+        }
+        if !moved {
+            status = NegotiationStatus::Converged(TerminationReason::NoMovement);
+            break;
+        }
+    }
+
+    // Settlement: awarded bids pay the lower price for y_min, higher for
+    // the excess; report the billing advantage as the reward analogue.
+    let settlements: Vec<Settlement> = scenario
+        .customers
+        .iter()
+        .zip(&commitments)
+        .map(|(c, &cutdown)| {
+            if cutdown == Fraction::ZERO {
+                return Settlement { cutdown, reward: Money::ZERO };
+            }
+            let y_min = cutdown.complement() * c.allowed_use;
+            let committed_use = c.predicted_use.min(y_min);
+            let reward = scenario.tariff.bill_normal(c.predicted_use)
+                - scenario.tariff.bill_with_limit(committed_use, y_min);
+            Settlement { cutdown, reward: reward.max(Money::ZERO) }
+        })
+        .collect();
+
+    NegotiationReport::new(
+        AnnouncementMethod::RequestForBids,
+        scenario.normal_use,
+        scenario.initial_total(),
+        rounds,
+        status,
+        settlements,
+        n,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concession::verify_bids;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn terminates_on_every_random_population() {
+        for seed in 0..10 {
+            let report = ScenarioBuilder::random(60, 0.35, seed)
+                .method(AnnouncementMethod::RequestForBids)
+                .build()
+                .run();
+            assert!(report.converged(), "seed {seed}: {report}");
+        }
+    }
+
+    #[test]
+    fn bids_step_forward_monotonically() {
+        let report = ScenarioBuilder::random(40, 0.35, 3)
+            .method(AnnouncementMethod::RequestForBids)
+            .build()
+            .run();
+        let bid_rounds: Vec<Vec<Fraction>> =
+            report.rounds().iter().map(|r| r.bids.clone()).collect();
+        assert!(verify_bids(&bid_rounds).is_ok());
+    }
+
+    #[test]
+    fn takes_more_rounds_than_reward_tables() {
+        // §3.2.4: "this type of announcement may entail a more complex
+        // and time consuming negotiation process".
+        let scenario = ScenarioBuilder::random(100, 0.35, 7).build();
+        let rfb = scenario.run_with(AnnouncementMethod::RequestForBids);
+        let rt = scenario.run_with(AnnouncementMethod::RewardTables);
+        assert!(
+            rfb.rounds().len() >= rt.rounds().len(),
+            "request-for-bids ({}) should not finish before reward tables ({})",
+            rfb.rounds().len(),
+            rt.rounds().len()
+        );
+    }
+
+    #[test]
+    fn no_movement_detected_with_rigid_population() {
+        let mut b = ScenarioBuilder::new();
+        for _ in 0..5 {
+            b = b.customer(crate::session::CustomerProfile {
+                predicted_use: KilowattHours(27.0),
+                allowed_use: KilowattHours(27.0),
+                preferences: crate::preferences::CustomerPreferences::from_base_scaled(
+                    100.0,
+                    Fraction::clamped(0.5),
+                ),
+            });
+        }
+        let report = b.method(AnnouncementMethod::RequestForBids).build().run();
+        assert_eq!(
+            report.status(),
+            NegotiationStatus::Converged(TerminationReason::NoMovement)
+        );
+    }
+
+    #[test]
+    fn settlements_reflect_commitments() {
+        let report = ScenarioBuilder::random(50, 0.3, 5)
+            .method(AnnouncementMethod::RequestForBids)
+            .build()
+            .run();
+        for (s, &final_bid) in report
+            .settlements()
+            .iter()
+            .zip(&report.rounds().last().unwrap().bids)
+        {
+            assert_eq!(s.cutdown, final_bid);
+            if s.cutdown > Fraction::ZERO {
+                assert!(s.reward >= Money::ZERO);
+            }
+        }
+    }
+}

@@ -1,0 +1,342 @@
+//! Customer preferences: the cut-down/required-reward table.
+//!
+//! "Within the Customer Agent, knowledge of the customer's preferences is
+//! represented in the form of a cut-down-reward table. The cut-down-reward
+//! table specifies the percentage with which a Customer Agent is willing
+//! to decrease (cut-down) its electricity usage, given a specific level of
+//! financial compensation" (Section 6.2).
+
+use crate::reward::RewardTable;
+use powergrid::units::{Fraction, Money};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A customer's private required-reward thresholds per cut-down level.
+///
+/// # Example
+///
+/// ```
+/// use loadbal_core::preferences::CustomerPreferences;
+/// use powergrid::units::{Fraction, Money};
+///
+/// // The Figure 8/9 customer: requires ≥ 10 for 0.3 and ≥ 21 for 0.4.
+/// let prefs = CustomerPreferences::paper_figure_8();
+/// assert_eq!(prefs.required_for(Fraction::clamped(0.3)), Some(Money(10.0)));
+/// assert_eq!(prefs.required_for(Fraction::clamped(0.4)), Some(Money(21.0)));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomerPreferences {
+    /// `(cutdown, minimum acceptable reward)`, sorted by cut-down.
+    thresholds: Vec<(Fraction, Money)>,
+    /// Physical/comfort ceiling on cut-down (from the Resource Consumer
+    /// Agents: "the amount of electricity that can be saved in a given
+    /// time interval").
+    max_cutdown: Fraction,
+}
+
+impl CustomerPreferences {
+    /// Creates preferences from `(cutdown, required reward)` pairs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `thresholds` is empty, has duplicate cut-downs, or the
+    /// required reward decreases as the cut-down grows (a rational
+    /// customer never demands less for giving up more).
+    pub fn new(mut thresholds: Vec<(Fraction, Money)>, max_cutdown: Fraction) -> CustomerPreferences {
+        assert!(!thresholds.is_empty(), "preferences need at least one threshold");
+        thresholds.sort_by_key(|e| e.0);
+        for w in thresholds.windows(2) {
+            assert!(w[0].0 < w[1].0, "duplicate cut-down {}", w[1].0);
+            assert!(
+                w[0].1 <= w[1].1,
+                "required reward decreases from {} at {} to {} at {}",
+                w[0].1,
+                w[0].0,
+                w[1].1,
+                w[1].0
+            );
+        }
+        CustomerPreferences { thresholds, max_cutdown }
+    }
+
+    /// The highlighted customer of Figures 8–9: thresholds
+    /// 0→0, 0.1→2, 0.2→4, 0.3→10, 0.4→21, 0.5→30.
+    pub fn paper_figure_8() -> CustomerPreferences {
+        CustomerPreferences::from_base_scaled(1.0, Fraction::clamped(0.5))
+    }
+
+    /// The Figure-8 threshold shape scaled by `k` (population
+    /// heterogeneity: `k < 1` = more flexible, `k > 1` = more reluctant),
+    /// with the given physical cut-down ceiling.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k` is negative or non-finite.
+    pub fn from_base_scaled(k: f64, max_cutdown: Fraction) -> CustomerPreferences {
+        assert!(k >= 0.0 && k.is_finite(), "scale factor must be non-negative");
+        let base = [
+            (0.0, 0.0),
+            (0.1, 2.0),
+            (0.2, 4.0),
+            (0.3, 10.0),
+            (0.4, 21.0),
+            (0.5, 30.0),
+        ];
+        let thresholds = base
+            .iter()
+            .map(|&(c, r)| (Fraction::clamped(c), Money(r * k)))
+            .collect();
+        CustomerPreferences::new(thresholds, max_cutdown)
+    }
+
+    /// Generates a heterogeneous population of preferences, seeded.
+    ///
+    /// Scale factors are drawn uniformly from `[k_min, k_max]` and
+    /// physical ceilings from the levels {0.3, 0.4, 0.5}.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_min > k_max` or either is negative.
+    pub fn population(n: usize, k_min: f64, k_max: f64, seed: u64) -> Vec<CustomerPreferences> {
+        assert!(0.0 <= k_min && k_min <= k_max, "bad scale range [{k_min}, {k_max}]");
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0c0f_fee0);
+        (0..n)
+            .map(|_| {
+                let k = if (k_max - k_min).abs() < f64::EPSILON {
+                    k_min
+                } else {
+                    rng.gen_range(k_min..=k_max)
+                };
+                let ceiling = [0.3, 0.4, 0.5][rng.gen_range(0..3usize)];
+                CustomerPreferences::from_base_scaled(k, Fraction::clamped(ceiling))
+            })
+            .collect()
+    }
+
+    /// The thresholds, sorted by cut-down.
+    pub fn thresholds(&self) -> &[(Fraction, Money)] {
+        &self.thresholds
+    }
+
+    /// The physical/comfort ceiling on cut-downs.
+    pub fn max_cutdown(&self) -> Fraction {
+        self.max_cutdown
+    }
+
+    /// The required reward for an exact cut-down level (`None` if the
+    /// level is not in the customer's table).
+    pub fn required_for(&self, cutdown: Fraction) -> Option<Money> {
+        self.thresholds
+            .iter()
+            .find(|&&(c, _)| c == cutdown)
+            .map(|&(_, r)| r)
+    }
+
+    /// Whether `cutdown` at `offered` reward is acceptable: the level is
+    /// known, within the physical ceiling, and the offer meets the
+    /// threshold.
+    pub fn accepts(&self, cutdown: Fraction, offered: Money) -> bool {
+        if cutdown > self.max_cutdown {
+            return false;
+        }
+        match self.required_for(cutdown) {
+            Some(required) => offered >= required,
+            None => false,
+        }
+    }
+
+    /// The customer's response to an announced reward table: "the
+    /// Customer Agent chooses the highest acceptable cut-down as its
+    /// preferred cut-down" (Section 6.2), never retreating below
+    /// `previous_bid` (monotonic concession, §3.1).
+    pub fn respond(&self, table: &RewardTable, previous_bid: Fraction) -> Fraction {
+        let mut best = previous_bid;
+        for &(cutdown, offered) in table.entries() {
+            if cutdown > best && self.accepts(cutdown, offered) {
+                best = cutdown;
+            }
+        }
+        best
+    }
+
+    /// Total "effort cost" the customer attaches to a cut-down — its own
+    /// threshold, used in surplus accounting ([`crate::outcome`]).
+    pub fn effort_cost(&self, cutdown: Fraction) -> Money {
+        self.required_for(cutdown).unwrap_or(Money::ZERO)
+    }
+
+    /// The effort cost of an *arbitrary* cut-down fraction: the threshold
+    /// of the smallest tabled level that covers it. Returns `None` when
+    /// the fraction exceeds the physical ceiling or every tabled level —
+    /// the customer simply cannot implement it.
+    ///
+    /// Used by the offer and request-for-bids methods, where the required
+    /// cut-down is dictated by `x_max` rather than chosen from a table.
+    pub fn effort_for_fraction(&self, cutdown: Fraction) -> Option<Money> {
+        if cutdown > self.max_cutdown {
+            return None;
+        }
+        self.thresholds
+            .iter()
+            .find(|&&(c, _)| c >= cutdown)
+            .map(|&(_, r)| r)
+    }
+
+    /// The cut-down levels in the customer's table, ascending.
+    pub fn levels(&self) -> impl Iterator<Item = Fraction> + '_ {
+        self.thresholds.iter().map(|&(c, _)| c)
+    }
+}
+
+impl fmt::Display for CustomerPreferences {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "max {} |", self.max_cutdown)?;
+        for (c, r) in &self.thresholds {
+            write!(f, " {c}⇒{:.1}", r.value())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::{RewardTable, DEFAULT_LEVELS};
+    use powergrid::time::Interval;
+
+    fn fr(v: f64) -> Fraction {
+        Fraction::clamped(v)
+    }
+
+    fn round1_table() -> RewardTable {
+        RewardTable::quadratic(Interval::new(72, 80), &DEFAULT_LEVELS, Money(17.0), fr(0.4))
+    }
+
+    #[test]
+    fn figure_8_customer_thresholds() {
+        let p = CustomerPreferences::paper_figure_8();
+        assert_eq!(p.required_for(fr(0.3)), Some(Money(10.0)));
+        assert_eq!(p.required_for(fr(0.4)), Some(Money(21.0)));
+        assert_eq!(p.required_for(fr(0.15)), None);
+    }
+
+    #[test]
+    fn figure_9_round_1_choice_is_0_2() {
+        // Round 1 (Figure 9): table pinned at 17 for 0.4; the highlighted
+        // customer accepts at most 0.2.
+        let p = CustomerPreferences::paper_figure_8();
+        let bid = p.respond(&round1_table(), Fraction::ZERO);
+        assert_eq!(bid, fr(0.2));
+    }
+
+    #[test]
+    fn figure_8_round_3_choice_is_0_4() {
+        // Round 3 (Figure 8): reward(0.4) has grown to 24.8 ≥ 21, but
+        // reward(0.5) has saturated below the 30 threshold (the logistic
+        // factor caps it at max_reward = 30 only asymptotically).
+        let p = CustomerPreferences::paper_figure_8();
+        let table = RewardTable::new(
+            Interval::new(72, 80),
+            vec![
+                (fr(0.0), Money(0.0)),
+                (fr(0.1), Money(2.1)),
+                (fr(0.2), Money(9.1)),
+                (fr(0.3), Money(17.4)),
+                (fr(0.4), Money(24.8)),
+                (fr(0.5), Money(29.2)),
+            ],
+        );
+        let bid = p.respond(&table, fr(0.2));
+        assert_eq!(bid, fr(0.4));
+    }
+
+    #[test]
+    fn respond_never_retreats() {
+        let p = CustomerPreferences::paper_figure_8();
+        // Previous bid 0.4; a table paying less than needed cannot pull
+        // the bid back down.
+        let stingy = RewardTable::quadratic(
+            Interval::new(72, 80),
+            &DEFAULT_LEVELS,
+            Money(1.0),
+            fr(0.4),
+        );
+        assert_eq!(p.respond(&stingy, fr(0.4)), fr(0.4));
+    }
+
+    #[test]
+    fn physical_ceiling_caps_bids() {
+        let p = CustomerPreferences::from_base_scaled(0.1, fr(0.3));
+        let generous = RewardTable::quadratic(
+            Interval::new(72, 80),
+            &DEFAULT_LEVELS,
+            Money(30.0),
+            fr(0.4),
+        );
+        let bid = p.respond(&generous, Fraction::ZERO);
+        assert_eq!(bid, fr(0.3), "cannot exceed physical ceiling");
+    }
+
+    #[test]
+    fn accepts_logic() {
+        let p = CustomerPreferences::paper_figure_8();
+        assert!(p.accepts(fr(0.3), Money(10.0)));
+        assert!(!p.accepts(fr(0.3), Money(9.9)));
+        assert!(!p.accepts(fr(0.15), Money(100.0)), "unknown level");
+        let capped = CustomerPreferences::from_base_scaled(1.0, fr(0.3));
+        assert!(!capped.accepts(fr(0.4), Money(100.0)), "above ceiling");
+    }
+
+    #[test]
+    fn scaled_preferences() {
+        let cheap = CustomerPreferences::from_base_scaled(0.5, fr(0.5));
+        assert_eq!(cheap.required_for(fr(0.4)), Some(Money(10.5)));
+        // Round-1 table pays 26.56 for 0.5 ≥ the scaled threshold 15, so
+        // the flexible customer concedes the maximum straight away.
+        let bid = cheap.respond(&round1_table(), Fraction::ZERO);
+        assert_eq!(bid, fr(0.5), "flexible customer concedes fully in round 1");
+        // With a 0.4 physical ceiling the same customer bids 0.4.
+        let capped = CustomerPreferences::from_base_scaled(0.5, fr(0.4));
+        assert_eq!(capped.respond(&round1_table(), Fraction::ZERO), fr(0.4));
+    }
+
+    #[test]
+    fn population_is_deterministic_and_heterogeneous() {
+        let a = CustomerPreferences::population(50, 0.7, 1.5, 9);
+        let b = CustomerPreferences::population(50, 0.7, 1.5, 9);
+        assert_eq!(a, b);
+        let distinct: std::collections::HashSet<String> =
+            a.iter().map(|p| p.to_string()).collect();
+        assert!(distinct.len() > 10, "population should be heterogeneous");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one threshold")]
+    fn empty_thresholds_panic() {
+        let _ = CustomerPreferences::new(vec![], fr(0.5));
+    }
+
+    #[test]
+    #[should_panic(expected = "required reward decreases")]
+    fn decreasing_thresholds_panic() {
+        let _ = CustomerPreferences::new(
+            vec![(fr(0.1), Money(5.0)), (fr(0.2), Money(1.0))],
+            fr(0.5),
+        );
+    }
+
+    #[test]
+    fn effort_cost_defaults_to_zero() {
+        let p = CustomerPreferences::paper_figure_8();
+        assert_eq!(p.effort_cost(fr(0.3)), Money(10.0));
+        assert_eq!(p.effort_cost(fr(0.17)), Money::ZERO);
+    }
+
+    #[test]
+    fn display_shows_thresholds() {
+        let p = CustomerPreferences::paper_figure_8();
+        assert!(p.to_string().contains("0.40⇒21.0"));
+    }
+}

@@ -1,0 +1,123 @@
+//! The Producer Agent (PA): reports production availability and cost.
+//!
+//! "Interaction with the Producer Agent is essential to acquire
+//! information about the availability of electricity and the cost
+//! involved" (§5.1.4). UA ↔ PA *negotiation* is out of the paper's scope;
+//! the PA here is an information source backed by the two-tier production
+//! model.
+
+use crate::message::Msg;
+use powergrid::production::ProductionModel;
+use powergrid::units::{KilowattHours, Kilowatts, Money, PricePerKwh};
+
+/// Availability report from the producer.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Availability {
+    /// Cheap capacity.
+    pub normal_capacity: Kilowatts,
+    /// Total installed capacity.
+    pub total_capacity: Kilowatts,
+    /// Cost within normal capacity.
+    pub normal_cost: PricePerKwh,
+    /// Cost beyond normal capacity.
+    pub expensive_cost: PricePerKwh,
+}
+
+/// An agent wrapping a production model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ProducerAgent {
+    production: ProductionModel,
+}
+
+impl ProducerAgent {
+    /// Creates a producer agent.
+    pub fn new(production: ProductionModel) -> ProducerAgent {
+        ProducerAgent { production }
+    }
+
+    /// The underlying production model.
+    pub fn production(&self) -> &ProductionModel {
+        &self.production
+    }
+
+    /// The availability report (the answer to `QueryAvailability`).
+    pub fn availability(&self) -> Availability {
+        Availability {
+            normal_capacity: self.production.normal_capacity(),
+            total_capacity: self.production.total_capacity(),
+            normal_cost: self.production.normal_cost(),
+            expensive_cost: self.production.expensive_cost(),
+        }
+    }
+
+    /// The availability report as a protocol message.
+    pub fn availability_msg(&self) -> Msg {
+        let a = self.availability();
+        Msg::Availability {
+            normal_capacity: a.normal_capacity,
+            normal_cost: a.normal_cost,
+            expensive_cost: a.expensive_cost,
+        }
+    }
+
+    /// Marginal production cost saved per kWh of peak energy avoided —
+    /// what a unit of negotiated cut-down is worth to the utility.
+    pub fn peak_saving_value(&self) -> PricePerKwh {
+        PricePerKwh(self.production.expensive_cost().value() - self.production.normal_cost().value())
+    }
+
+    /// Production cost of serving `energy` over `hours`.
+    pub fn cost_of_energy(&self, energy: KilowattHours, hours: f64) -> Money {
+        self.production.cost_of_energy(energy, hours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agent() -> ProducerAgent {
+        ProducerAgent::new(ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(150.0)))
+    }
+
+    #[test]
+    fn availability_reflects_model() {
+        let a = agent().availability();
+        assert_eq!(a.normal_capacity, Kilowatts(100.0));
+        assert_eq!(a.total_capacity, Kilowatts(150.0));
+        assert!(a.expensive_cost > a.normal_cost);
+    }
+
+    #[test]
+    fn availability_msg_roundtrip() {
+        match agent().availability_msg() {
+            Msg::Availability { normal_capacity, normal_cost, expensive_cost } => {
+                assert_eq!(normal_capacity, Kilowatts(100.0));
+                assert!(expensive_cost > normal_cost);
+            }
+            other => panic!("unexpected message {other:?}"),
+        }
+    }
+
+    #[test]
+    fn peak_saving_value_is_cost_spread() {
+        let a = agent();
+        let spread = a.peak_saving_value();
+        assert!(
+            (spread.value()
+                - (a.production().expensive_cost().value() - a.production().normal_cost().value()))
+            .abs()
+                < 1e-12
+        );
+        assert!(spread.value() > 0.0);
+    }
+
+    #[test]
+    fn cost_delegation() {
+        let a = agent();
+        assert_eq!(
+            a.cost_of_energy(KilowattHours(10.0), 1.0),
+            a.production().cost_of_energy(KilowattHours(10.0), 1.0)
+        );
+    }
+}

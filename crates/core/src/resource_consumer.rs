@@ -1,0 +1,85 @@
+//! Resource Consumer Agents (RCAs): one per household device.
+//!
+//! The paper leaves CA ↔ RCA negotiation out of scope (§2) but the agents
+//! exist and feed real inputs into the main negotiation: each RCA knows
+//! its device's load profile and reports "the amount of electricity that
+//! can be saved in a given time interval" (§3.2.3).
+
+use powergrid::device::Device;
+use powergrid::series::Series;
+use powergrid::time::{Interval, TimeAxis};
+use powergrid::units::KilowattHours;
+
+/// An agent wrapping one device and its day-ahead load profile.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ResourceConsumerAgent {
+    device: Device,
+    load: Series,
+}
+
+impl ResourceConsumerAgent {
+    /// Creates an RCA for a device on a day with the given mean outdoor
+    /// temperature and usage intensity.
+    pub fn new(device: Device, axis: &TimeAxis, mean_temp: f64, intensity: f64) -> Self {
+        let load = device.load_profile(axis, mean_temp, intensity);
+        ResourceConsumerAgent { device, load }
+    }
+
+    /// The wrapped device.
+    pub fn device(&self) -> &Device {
+        &self.device
+    }
+
+    /// The device's expected load profile (kWh per slot).
+    pub fn load(&self) -> &Series {
+        &self.load
+    }
+
+    /// Energy the device is expected to use during `interval`.
+    pub fn interval_usage(&self, interval: Interval) -> KilowattHours {
+        self.load.energy_over(interval)
+    }
+
+    /// Energy the device can shed during `interval` — its answer to the
+    /// CA's `QuerySavings`.
+    pub fn saving_potential(&self, interval: Interval) -> KilowattHours {
+        self.device.saving_potential(&self.load, interval)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powergrid::device::DeviceKind;
+    use powergrid::units::{Fraction, Kilowatts};
+
+    #[test]
+    fn rca_reports_usage_and_potential() {
+        let axis = TimeAxis::hourly();
+        let rca =
+            ResourceConsumerAgent::new(Device::typical(DeviceKind::WaterHeater), &axis, -4.0, 1.0);
+        let evening = Interval::new(17, 22);
+        let usage = rca.interval_usage(evening);
+        let potential = rca.saving_potential(evening);
+        assert!(usage.value() > 0.0);
+        assert!(potential.value() > 0.0);
+        assert!(potential <= usage);
+    }
+
+    #[test]
+    fn rigid_device_has_no_potential() {
+        let axis = TimeAxis::hourly();
+        let rigid = Device::new(DeviceKind::Entertainment, Kilowatts(0.3), Fraction::ZERO);
+        let rca = ResourceConsumerAgent::new(rigid, &axis, 10.0, 1.0);
+        assert_eq!(rca.saving_potential(Interval::new(18, 22)), KilowattHours::ZERO);
+    }
+
+    #[test]
+    fn accessors() {
+        let axis = TimeAxis::hourly();
+        let rca =
+            ResourceConsumerAgent::new(Device::typical(DeviceKind::Lighting), &axis, 0.0, 1.0);
+        assert_eq!(rca.device().kind(), DeviceKind::Lighting);
+        assert_eq!(rca.load().len(), 24);
+    }
+}

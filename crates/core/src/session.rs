@@ -1,0 +1,513 @@
+//! Synchronous negotiation sessions: scenarios, round records and
+//! reports.
+//!
+//! A [`Scenario`] fixes everything a negotiation needs — the normal-use
+//! capacity, the customer population, the Utility Agent configuration,
+//! the tariff — and [`Scenario::run`] executes the configured
+//! announcement method round by round, producing a [`NegotiationReport`]
+//! with the full per-round history (exactly the quantities the paper's
+//! GUI screenshots in Figures 6–9 display).
+
+use crate::concession::NegotiationStatus;
+use crate::methods::{offer, request_bids, reward_table, AnnouncementMethod};
+use crate::preferences::CustomerPreferences;
+use crate::reward::{overuse_fraction, RewardTable};
+use crate::utility_agent::UtilityAgentConfig;
+use powergrid::tariff::Tariff;
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, KilowattHours, Money};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// One customer in a scenario: the physical quantities and private
+/// preferences its Customer Agent negotiates with.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CustomerProfile {
+    /// Predicted consumption during the peak interval, absent any deal.
+    pub predicted_use: KilowattHours,
+    /// Contracted allowance for the interval (`allowed_use(c)` in §6).
+    pub allowed_use: KilowattHours,
+    /// The private cut-down/required-reward table.
+    pub preferences: CustomerPreferences,
+}
+
+/// A complete negotiation scenario.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Scenario {
+    /// Normal production capacity over the interval (`normal_use` in §6).
+    pub normal_use: KilowattHours,
+    /// The cut-down interval announced in reward tables.
+    pub interval: Interval,
+    /// The customer population.
+    pub customers: Vec<CustomerProfile>,
+    /// Utility Agent configuration.
+    pub config: UtilityAgentConfig,
+    /// The announcement method to use.
+    pub method: AnnouncementMethod,
+    /// The three-level tariff (offer and request-for-bids settlement).
+    pub tariff: Tariff,
+}
+
+impl Scenario {
+    /// Total predicted consumption before any negotiation.
+    pub fn initial_total(&self) -> KilowattHours {
+        self.customers.iter().map(|c| c.predicted_use).sum()
+    }
+
+    /// Initial relative overuse.
+    pub fn initial_overuse_fraction(&self) -> f64 {
+        overuse_fraction(self.initial_total(), self.normal_use)
+    }
+
+    /// Runs the configured announcement method.
+    pub fn run(&self) -> NegotiationReport {
+        self.run_with(self.method)
+    }
+
+    /// Runs a specific announcement method on this scenario.
+    pub fn run_with(&self, method: AnnouncementMethod) -> NegotiationReport {
+        match method {
+            AnnouncementMethod::RewardTables => reward_table::run(self),
+            AnnouncementMethod::Offer => offer::run(self),
+            AnnouncementMethod::RequestForBids => request_bids::run(self),
+        }
+    }
+}
+
+/// Everything that happened in one negotiation round.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RoundRecord {
+    /// Round number, 1-based.
+    pub round: u32,
+    /// The announced reward table (reward-table method only).
+    pub table: Option<RewardTable>,
+    /// Accepted cut-down per customer after this round.
+    pub bids: Vec<Fraction>,
+    /// Σ `predicted_use_with_cutdown` over customers (§6).
+    pub predicted_total: KilowattHours,
+    /// Messages exchanged this round.
+    pub messages: u64,
+}
+
+impl RoundRecord {
+    /// Relative overuse implied by this round's prediction.
+    pub fn overuse_fraction(&self, normal_use: KilowattHours) -> f64 {
+        overuse_fraction(self.predicted_total, normal_use)
+    }
+}
+
+/// One customer's final settlement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Settlement {
+    /// The implemented cut-down.
+    pub cutdown: Fraction,
+    /// The reward paid (reward-table method) or billing advantage
+    /// granted (offer / request-for-bids).
+    pub reward: Money,
+}
+
+/// The complete result of one negotiation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationReport {
+    method: AnnouncementMethod,
+    normal_use: KilowattHours,
+    initial_total: KilowattHours,
+    rounds: Vec<RoundRecord>,
+    status: NegotiationStatus,
+    settlements: Vec<Settlement>,
+    extra_messages: u64,
+}
+
+impl NegotiationReport {
+    /// Assembles a report (used by the method implementations).
+    pub(crate) fn new(
+        method: AnnouncementMethod,
+        normal_use: KilowattHours,
+        initial_total: KilowattHours,
+        rounds: Vec<RoundRecord>,
+        status: NegotiationStatus,
+        settlements: Vec<Settlement>,
+        extra_messages: u64,
+    ) -> NegotiationReport {
+        NegotiationReport {
+            method,
+            normal_use,
+            initial_total,
+            rounds,
+            status,
+            settlements,
+            extra_messages,
+        }
+    }
+
+    /// The announcement method used.
+    pub fn method(&self) -> AnnouncementMethod {
+        self.method
+    }
+
+    /// The per-round history.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// Protocol outcome.
+    pub fn status(&self) -> NegotiationStatus {
+        self.status
+    }
+
+    /// True if the protocol terminated by its own rules.
+    pub fn converged(&self) -> bool {
+        self.status.is_converged()
+    }
+
+    /// Per-customer settlements.
+    pub fn settlements(&self) -> &[Settlement] {
+        &self.settlements
+    }
+
+    /// The normal-use capacity.
+    pub fn normal_use(&self) -> KilowattHours {
+        self.normal_use
+    }
+
+    /// Predicted overuse before negotiation, in energy.
+    pub fn initial_overuse(&self) -> KilowattHours {
+        (self.initial_total - self.normal_use).clamp_non_negative()
+    }
+
+    /// Predicted overuse after the final round, in energy.
+    pub fn final_overuse(&self) -> KilowattHours {
+        let total = self
+            .rounds
+            .last()
+            .map(|r| r.predicted_total)
+            .unwrap_or(self.initial_total);
+        (total - self.normal_use).clamp_non_negative()
+    }
+
+    /// Initial relative overuse.
+    pub fn initial_overuse_fraction(&self) -> f64 {
+        overuse_fraction(self.initial_total, self.normal_use)
+    }
+
+    /// Final relative overuse.
+    pub fn final_overuse_fraction(&self) -> f64 {
+        let total = self
+            .rounds
+            .last()
+            .map(|r| r.predicted_total)
+            .unwrap_or(self.initial_total);
+        overuse_fraction(total, self.normal_use)
+    }
+
+    /// Total reward outlay across settlements.
+    pub fn total_rewards(&self) -> Money {
+        self.settlements.iter().map(|s| s.reward).sum()
+    }
+
+    /// Total messages exchanged (rounds plus awards/confirmations).
+    pub fn total_messages(&self) -> u64 {
+        self.rounds.iter().map(|r| r.messages).sum::<u64>() + self.extra_messages
+    }
+
+    /// Final accepted cut-down per customer.
+    pub fn final_bids(&self) -> Vec<Fraction> {
+        self.settlements.iter().map(|s| s.cutdown).collect()
+    }
+}
+
+impl fmt::Display for NegotiationReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} | {} rounds | overuse {:.1} → {:.1} | rewards {:.1} | msgs {} | {}",
+            self.method,
+            self.rounds.len(),
+            self.initial_overuse().value(),
+            self.final_overuse().value(),
+            self.total_rewards().value(),
+            self.total_messages(),
+            self.status
+        )
+    }
+}
+
+/// Builds scenarios: the calibrated paper trace, seeded random
+/// populations, or populations derived from `powergrid` households.
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    normal_use: KilowattHours,
+    interval: Interval,
+    customers: Vec<CustomerProfile>,
+    config: UtilityAgentConfig,
+    method: AnnouncementMethod,
+    tariff: Tariff,
+}
+
+impl ScenarioBuilder {
+    /// An empty builder with paper defaults (no customers yet).
+    pub fn new() -> ScenarioBuilder {
+        ScenarioBuilder {
+            normal_use: KilowattHours(100.0),
+            interval: Interval::new(72, 80),
+            customers: Vec::new(),
+            config: UtilityAgentConfig::paper(),
+            method: AnnouncementMethod::RewardTables,
+            tariff: Tariff::default_scheme(),
+        }
+    }
+
+    /// The calibrated Figure 6–9 scenario: normal capacity 100, predicted
+    /// use 135 (20 customers × 6.75), a population whose thresholds make
+    /// the negotiation follow the published trace — overuse 35 → ≈13 in
+    /// three rounds, reward(0.4): 17 → ≈24.8 — and whose two most
+    /// flexible members are the highlighted Figure 8/9 customer (bids
+    /// 0.2, then 0.4, then 0.4).
+    pub fn paper_figure_6() -> ScenarioBuilder {
+        // Scale factors of the required-reward tables; ceilings chosen so
+        // physical limits never distort the trace. Calibrated against §6
+        // (see DESIGN.md §5): k = 1.0 customers are the Figure 8/9 ones.
+        const POPULATION: [(f64, f64, usize); 5] = [
+            // (k, ceiling, count)
+            (1.0, 0.5, 2),
+            (1.6, 0.4, 4),
+            (1.7, 0.4, 2),
+            (2.2, 0.3, 3),
+            (3.0, 0.3, 9),
+        ];
+        let mut customers = Vec::new();
+        for &(k, ceiling, count) in &POPULATION {
+            for _ in 0..count {
+                customers.push(CustomerProfile {
+                    predicted_use: KilowattHours(6.75),
+                    allowed_use: KilowattHours(6.75),
+                    preferences: CustomerPreferences::from_base_scaled(
+                        k,
+                        Fraction::clamped(ceiling),
+                    ),
+                });
+            }
+        }
+        let mut b = ScenarioBuilder::new();
+        b.customers = customers;
+        b
+    }
+
+    /// A seeded random population of `n` customers with total predicted
+    /// use set to `(1 + overuse)` times the normal capacity of 100 per
+    /// customer-20 equivalent (scaled with `n`).
+    pub fn random(n: usize, overuse: f64, seed: u64) -> ScenarioBuilder {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5ce0_a110);
+        let prefs = CustomerPreferences::population(n, 0.8, 3.0, seed);
+        let mut customers = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for p in prefs {
+            let predicted = rng.gen_range(4.0..9.0);
+            let allowed = predicted * rng.gen_range(0.95..1.10);
+            total += predicted;
+            customers.push(CustomerProfile {
+                predicted_use: KilowattHours(predicted),
+                allowed_use: KilowattHours(allowed),
+                preferences: p,
+            });
+        }
+        let mut b = ScenarioBuilder::new();
+        b.normal_use = KilowattHours(total / (1.0 + overuse.max(0.0)));
+        b.customers = customers;
+        b
+    }
+
+    /// Derives a population from `powergrid` households: predicted use is
+    /// each household's demand over the peak interval; the physical
+    /// ceiling comes from its devices' flexibility; preference scale
+    /// factors are seeded per household.
+    pub fn from_households(
+        households: &[powergrid::household::Household],
+        axis: &powergrid::time::TimeAxis,
+        mean_temp: f64,
+        interval: Interval,
+        capacity_margin: f64,
+        seed: u64,
+    ) -> ScenarioBuilder {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x0040_b5e5);
+        let mut customers = Vec::with_capacity(households.len());
+        let mut total = KilowattHours::ZERO;
+        for h in households {
+            let predicted = h.demand_profile(axis, mean_temp, seed).energy_over(interval);
+            let day_share = interval.hours(*axis) / 24.0;
+            let allowed = h.allowed_use() * day_share;
+            let ceiling = h.max_cutdown(axis, mean_temp, seed, interval);
+            let k = rng.gen_range(0.8..2.5);
+            total += predicted;
+            customers.push(CustomerProfile {
+                predicted_use: predicted,
+                allowed_use: allowed.max(predicted),
+                preferences: CustomerPreferences::from_base_scaled(k, ceiling),
+            });
+        }
+        let mut b = ScenarioBuilder::new();
+        b.interval = interval;
+        b.normal_use = total * capacity_margin;
+        b.customers = customers;
+        b
+    }
+
+    /// Overrides the UA configuration.
+    pub fn config(mut self, config: UtilityAgentConfig) -> ScenarioBuilder {
+        self.config = config;
+        self
+    }
+
+    /// Overrides the announcement method.
+    pub fn method(mut self, method: AnnouncementMethod) -> ScenarioBuilder {
+        self.method = method;
+        self
+    }
+
+    /// Overrides the tariff.
+    pub fn tariff(mut self, tariff: Tariff) -> ScenarioBuilder {
+        self.tariff = tariff;
+        self
+    }
+
+    /// Overrides the normal-use capacity.
+    pub fn normal_use(mut self, normal_use: KilowattHours) -> ScenarioBuilder {
+        self.normal_use = normal_use;
+        self
+    }
+
+    /// Adds a customer.
+    pub fn customer(mut self, profile: CustomerProfile) -> ScenarioBuilder {
+        self.customers.push(profile);
+        self
+    }
+
+    /// Finalises the scenario.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no customers were added.
+    pub fn build(self) -> Scenario {
+        assert!(!self.customers.is_empty(), "a scenario needs customers");
+        Scenario {
+            normal_use: self.normal_use,
+            interval: self.interval,
+            customers: self.customers,
+            config: self.config,
+            method: self.method,
+            tariff: self.tariff,
+        }
+    }
+}
+
+impl Default for ScenarioBuilder {
+    fn default() -> Self {
+        ScenarioBuilder::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concession::TerminationReason;
+
+    #[test]
+    fn figure_6_scenario_has_paper_numbers() {
+        let s = ScenarioBuilder::paper_figure_6().build();
+        assert_eq!(s.customers.len(), 20);
+        assert!((s.initial_total().value() - 135.0).abs() < 1e-9);
+        assert!((s.initial_overuse_fraction() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn figure_6_trace_matches_paper() {
+        let report = ScenarioBuilder::paper_figure_6().build().run();
+        // Three rounds, as in Figures 6–7.
+        assert_eq!(report.rounds().len(), 3, "paper trace has 3 rounds: {report}");
+        assert_eq!(
+            report.status(),
+            NegotiationStatus::Converged(TerminationReason::OveruseAcceptable)
+        );
+        // Round 1: reward(0.4) = 17 (Figure 6).
+        let r1 = report.rounds()[0].table.as_ref().unwrap();
+        assert!((r1.reward_for(Fraction::clamped(0.4)).value() - 17.0).abs() < 1e-9);
+        // Round 3: reward(0.4) ≈ 24.8 (Figure 7; we land at 24.65).
+        let r3 = report.rounds()[2].table.as_ref().unwrap();
+        let r3_04 = r3.reward_for(Fraction::clamped(0.4)).value();
+        assert!((23.5..=26.0).contains(&r3_04), "round-3 reward(0.4) = {r3_04}");
+        // Final overuse ≈ 13 (Figure 7; we land at 13.4).
+        let final_overuse = report.final_overuse().value();
+        assert!((10.0..=16.0).contains(&final_overuse), "final overuse {final_overuse}");
+    }
+
+    #[test]
+    fn figure_8_customer_bids_match_paper() {
+        let report = ScenarioBuilder::paper_figure_6().build().run();
+        // Customers 0 and 1 are the k = 1.0 Figure 8/9 customers.
+        let per_round: Vec<Fraction> =
+            report.rounds().iter().map(|r| r.bids[0]).collect();
+        assert_eq!(
+            per_round,
+            vec![
+                Fraction::clamped(0.2),
+                Fraction::clamped(0.4),
+                Fraction::clamped(0.4)
+            ],
+            "Figure 8/9: bids 0.2 in round 1, 0.4 in rounds 2 and 3"
+        );
+    }
+
+    #[test]
+    fn random_scenarios_are_deterministic() {
+        let a = ScenarioBuilder::random(30, 0.35, 7).build();
+        let b = ScenarioBuilder::random(30, 0.35, 7).build();
+        assert_eq!(a, b);
+        assert!((a.initial_overuse_fraction() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn builder_overrides() {
+        let s = ScenarioBuilder::paper_figure_6()
+            .method(AnnouncementMethod::Offer)
+            .normal_use(KilowattHours(120.0))
+            .build();
+        assert_eq!(s.method, AnnouncementMethod::Offer);
+        assert_eq!(s.normal_use, KilowattHours(120.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "needs customers")]
+    fn empty_scenario_panics() {
+        let _ = ScenarioBuilder::new().build();
+    }
+
+    #[test]
+    fn from_households_builds_consistent_profiles() {
+        use powergrid::population::PopulationBuilder;
+        use powergrid::time::{TimeAxis, TimeOfDay};
+        let axis = TimeAxis::quarter_hourly();
+        let homes = PopulationBuilder::new().households(15).build(3);
+        let interval =
+            axis.between(TimeOfDay::hm(17, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
+        let s = ScenarioBuilder::from_households(&homes, &axis, -4.0, interval, 0.8, 3).build();
+        assert_eq!(s.customers.len(), 15);
+        assert!(s.initial_overuse_fraction() > 0.0);
+        for c in &s.customers {
+            assert!(c.allowed_use >= c.predicted_use);
+        }
+    }
+
+    #[test]
+    fn report_accessors_consistent() {
+        let report = ScenarioBuilder::paper_figure_6().build().run();
+        assert_eq!(report.method(), AnnouncementMethod::RewardTables);
+        assert_eq!(report.final_bids().len(), 20);
+        assert!(report.total_messages() > 0);
+        assert!(report.total_rewards() > Money::ZERO);
+        assert!(report.to_string().contains("reward-tables"));
+        let frac = report.final_overuse_fraction();
+        assert!((frac - report.final_overuse().value() / 100.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,177 @@
+//! Negotiation-strategy selection knowledge (§3.2.4).
+//!
+//! "One solution is to allow agents to use all three methods (and maybe
+//! even more) as different strategies. The agents can then decide
+//! themselves which strategy to use and when. ... This depends, for
+//! example, on the amount of time available for the negotiation process."
+
+use crate::methods::AnnouncementMethod;
+use serde::{Deserialize, Serialize};
+
+/// Situation features the selection knowledge conditions on.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationContext {
+    /// Communication rounds that fit before the peak arrives.
+    pub rounds_available: u32,
+    /// Predicted relative overuse (e.g. `0.35`).
+    pub overuse: f64,
+    /// Number of Customer Agents involved.
+    pub customers: usize,
+}
+
+/// Selects an announcement method for the context, with the §3.2.4
+/// rationale:
+///
+/// * almost no time (< 2 rounds) → **offer** — "very fast, because only
+///   one round of negotiation is required";
+/// * a moderate budget → **reward tables** — the structured intermediate,
+///   customers keep influence but convergence is driven by the UA;
+/// * plenty of time and a mild peak → **request for bids** — maximal
+///   customer influence, but "a more complex and time consuming
+///   negotiation process and therefore cannot be made shortly before a
+///   peak is expected".
+pub fn select_method(ctx: NegotiationContext) -> (AnnouncementMethod, &'static str) {
+    if ctx.rounds_available < 2 {
+        return (
+            AnnouncementMethod::Offer,
+            "peak imminent: only the one-round offer method fits",
+        );
+    }
+    if ctx.rounds_available >= 10 && ctx.overuse < 0.25 {
+        return (
+            AnnouncementMethod::RequestForBids,
+            "ample time and a mild peak: grant customers maximal influence",
+        );
+    }
+    (
+        AnnouncementMethod::RewardTables,
+        "moderate time budget: reward tables converge fast with customer influence",
+    )
+}
+
+/// The same selection knowledge as [`select_method`], represented
+/// explicitly as a DESIRE knowledge base — "agent models have been
+/// designed in which explicit knowledge of negotiation strategies and
+/// their applicability is represented" (§7). The UA's
+/// `determine_announcement_method` component (Figure 2) reasons over
+/// exactly these rules.
+pub fn strategy_kb() -> desire::kb::KnowledgeBase {
+    desire::kb::KnowledgeBase::new("determine_announcement_method").with_rules(&[
+        // Peak imminent: only the one-round method fits.
+        "rounds_available(R) and lt(R, 2) => method(offer)",
+        // Ample time and a mild peak: grant customers maximal influence.
+        "rounds_available(R) and gte(R, 10) and overuse(O) and lt(O, 0.25) \
+         => method(request_for_bids)",
+        // Otherwise: the structured intermediate.
+        "rounds_available(R) and gte(R, 2) and overuse(O) and gte(O, 0.25) \
+         => method(reward_tables)",
+        "rounds_available(R) and gte(R, 2) and lt(R, 10) and overuse(O) and lt(O, 0.25) \
+         => method(reward_tables)",
+    ])
+}
+
+/// Runs the [`strategy_kb`] on a context via the DESIRE engine; returns
+/// the selected method.
+///
+/// # Panics
+///
+/// Panics if the knowledge base fails to derive exactly one method — a
+/// knowledge-engineering bug the tests guard against.
+pub fn select_method_by_kb(ctx: NegotiationContext) -> AnnouncementMethod {
+    use desire::engine::{Engine, FactBase, TruthValue};
+    use desire::term::{Atom, Term};
+    let mut facts = FactBase::new();
+    facts.assert(
+        Atom::new("rounds_available", vec![Term::number(f64::from(ctx.rounds_available))]),
+        TruthValue::True,
+    );
+    facts.assert(
+        Atom::new("overuse", vec![Term::number(ctx.overuse)]),
+        TruthValue::True,
+    );
+    Engine::new()
+        .infer(&strategy_kb(), &mut facts)
+        .expect("strategy rules are consistent");
+    let candidates = [
+        ("offer", AnnouncementMethod::Offer),
+        ("request_for_bids", AnnouncementMethod::RequestForBids),
+        ("reward_tables", AnnouncementMethod::RewardTables),
+    ];
+    let derived: Vec<AnnouncementMethod> = candidates
+        .iter()
+        .filter(|(name, _)| {
+            facts.holds(&Atom::new("method", vec![Term::constant(*name)]))
+        })
+        .map(|&(_, m)| m)
+        .collect();
+    assert_eq!(
+        derived.len(),
+        1,
+        "strategy knowledge must select exactly one method, got {derived:?}"
+    );
+    derived[0]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kb_and_function_agree_everywhere() {
+        for rounds in [0u32, 1, 2, 5, 9, 10, 15, 30] {
+            for overuse in [0.05, 0.15, 0.24, 0.25, 0.3, 0.5] {
+                let ctx = NegotiationContext { rounds_available: rounds, overuse, customers: 100 };
+                let (functional, _) = select_method(ctx);
+                let declarative = select_method_by_kb(ctx);
+                assert_eq!(
+                    functional, declarative,
+                    "divergence at rounds={rounds}, overuse={overuse}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn kb_has_rules_for_each_method() {
+        let kb = strategy_kb();
+        assert!(kb.rules().len() >= 3);
+    }
+
+    #[test]
+    fn imminent_peak_forces_offer() {
+        let (m, why) = select_method(NegotiationContext {
+            rounds_available: 1,
+            overuse: 0.4,
+            customers: 1000,
+        });
+        assert_eq!(m, AnnouncementMethod::Offer);
+        assert!(why.contains("one-round"));
+    }
+
+    #[test]
+    fn ample_time_mild_peak_uses_request_for_bids() {
+        let (m, _) = select_method(NegotiationContext {
+            rounds_available: 20,
+            overuse: 0.1,
+            customers: 100,
+        });
+        assert_eq!(m, AnnouncementMethod::RequestForBids);
+    }
+
+    #[test]
+    fn default_is_reward_tables() {
+        let (m, _) = select_method(NegotiationContext {
+            rounds_available: 5,
+            overuse: 0.35,
+            customers: 100,
+        });
+        assert_eq!(m, AnnouncementMethod::RewardTables);
+        // Severe peak with lots of time still avoids the slow method.
+        let (m2, _) = select_method(NegotiationContext {
+            rounds_available: 20,
+            overuse: 0.5,
+            customers: 100,
+        });
+        assert_eq!(m2, AnnouncementMethod::RewardTables);
+    }
+}

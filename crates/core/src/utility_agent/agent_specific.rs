@@ -1,0 +1,108 @@
+//! The UA's agent-specific tasks (§5.1.2): *determine predicted balance
+//! consumption/production* and *evaluate prediction*.
+//!
+//! "To predict the balance between consumption and production, available
+//! information is analysed and predictions are calculated on the basis of
+//! statistical models. The decision to start a negotiation process is
+//! based on a predicted balance."
+
+use powergrid::peak::{Peak, PeakDetector};
+use powergrid::prediction::LoadPredictor;
+use powergrid::production::ProductionModel;
+use powergrid::series::Series;
+
+/// Outcome of the *evaluate prediction* task.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum BalanceAssessment {
+    /// "In a stable situation no peak usage is expected and the situation
+    /// can be left unchanged."
+    Stable,
+    /// A peak is expected and "the predicted overuse is high enough to
+    /// warrant the effort involved" — start negotiating.
+    NegotiationWarranted(Peak),
+}
+
+impl BalanceAssessment {
+    /// The peak, if negotiation is warranted.
+    pub fn peak(&self) -> Option<&Peak> {
+        match self {
+            BalanceAssessment::NegotiationWarranted(p) => Some(p),
+            BalanceAssessment::Stable => None,
+        }
+    }
+}
+
+/// The *determine predicted balance* task: runs the statistical predictor
+/// over history and today's weather forecast.
+pub fn predict_balance(
+    predictor: &dyn LoadPredictor,
+    history: &[Series],
+    weather_forecast: &Series,
+) -> Series {
+    predictor.predict(history, weather_forecast)
+}
+
+/// The *evaluate prediction* task: peak detection against production
+/// capacity, thresholded by effort-worthiness.
+pub fn evaluate_prediction(
+    predicted: &Series,
+    production: &ProductionModel,
+    detector: &PeakDetector,
+) -> BalanceAssessment {
+    match detector.detect(predicted, production) {
+        Some(peak) => BalanceAssessment::NegotiationWarranted(peak),
+        None => BalanceAssessment::Stable,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powergrid::prediction::MovingAverage;
+    use powergrid::time::TimeAxis;
+    use powergrid::units::Kilowatts;
+
+    fn production() -> ProductionModel {
+        ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(200.0))
+    }
+
+    #[test]
+    fn stable_situation_detected() {
+        let axis = TimeAxis::hourly();
+        let history = vec![Series::constant(axis, 60.0); 3];
+        let weather = Series::constant(axis, -4.0);
+        let predicted = predict_balance(&MovingAverage::new(3), &history, &weather);
+        let assessment = evaluate_prediction(&predicted, &production(), &PeakDetector::default());
+        assert_eq!(assessment, BalanceAssessment::Stable);
+        assert!(assessment.peak().is_none());
+    }
+
+    #[test]
+    fn peak_triggers_negotiation() {
+        let axis = TimeAxis::hourly();
+        let mut day = Series::constant(axis, 60.0);
+        for h in 17..21 {
+            day.values_mut()[h] = 135.0;
+        }
+        let history = vec![day; 3];
+        let weather = Series::constant(axis, -4.0);
+        let predicted = predict_balance(&MovingAverage::new(3), &history, &weather);
+        let assessment = evaluate_prediction(&predicted, &production(), &PeakDetector::default());
+        let peak = assessment.peak().expect("peak expected");
+        assert!((peak.overuse_fraction() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn high_threshold_suppresses_marginal_peaks() {
+        let axis = TimeAxis::hourly();
+        let mut day = Series::constant(axis, 60.0);
+        day.values_mut()[18] = 104.0;
+        let history = vec![day; 2];
+        let weather = Series::constant(axis, 0.0);
+        let predicted = predict_balance(&MovingAverage::new(2), &history, &weather);
+        let lax = evaluate_prediction(&predicted, &production(), &PeakDetector::new(0.10));
+        assert_eq!(lax, BalanceAssessment::Stable, "4 % overuse not worth the effort");
+        let eager = evaluate_prediction(&predicted, &production(), &PeakDetector::new(0.01));
+        assert!(matches!(eager, BalanceAssessment::NegotiationWarranted(_)));
+    }
+}

@@ -1,0 +1,190 @@
+//! Maintenance of agent information (§5.1.4): the UA's models of its
+//! Customer Agents.
+//!
+//! "The Utility Agent has models of other agents, including for example,
+//! information on how often Customer Agents have positively responded to
+//! announcements. The task maintenance of agent information is
+//! responsible for not only storing this information, but also updating
+//! this information on the basis of interaction with the agents."
+
+use crate::reward::RewardTable;
+use powergrid::units::{Fraction, Money};
+use serde::{Deserialize, Serialize};
+
+/// The UA's empirical model of the customer population: for each
+/// cut-down level, an estimate of the reward at which customers accept
+/// it, learned from observed bids.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct CustomerModel {
+    /// Per-level observations: `(cutdown, sum of accepted rewards,
+    /// acceptance count, offer count)`.
+    observations: Vec<LevelStats>,
+    /// Negotiations observed.
+    negotiations: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct LevelStats {
+    cutdown: Fraction,
+    accepted_reward_sum: f64,
+    acceptances: u64,
+    offers: u64,
+}
+
+impl CustomerModel {
+    /// Creates an empty model.
+    pub fn new() -> CustomerModel {
+        CustomerModel::default()
+    }
+
+    /// Number of negotiations folded into the model.
+    pub fn negotiations(&self) -> u32 {
+        self.negotiations
+    }
+
+    /// Records one round: the announced table and the bids it drew.
+    ///
+    /// A customer bidding cut-down `c` is counted as accepting level `c`
+    /// at the announced reward (and implicitly declining every higher
+    /// level).
+    pub fn observe_round(&mut self, table: &RewardTable, bids: &[Fraction]) {
+        for &(level, reward) in table.entries() {
+            if level == Fraction::ZERO {
+                continue;
+            }
+            let stats = self.stats_mut(level);
+            stats.offers += bids.len() as u64;
+            let accepted = bids.iter().filter(|&&b| b >= level).count() as u64;
+            stats.acceptances += accepted;
+            stats.accepted_reward_sum += reward.value() * accepted as f64;
+        }
+    }
+
+    /// Marks the end of one negotiation (for bookkeeping).
+    pub fn finish_negotiation(&mut self) {
+        self.negotiations += 1;
+    }
+
+    /// Fraction of customers expected to implement at least `level` when
+    /// offered `reward` for it. A simple monotone estimate: the observed
+    /// acceptance rate at the nearest recorded level, scaled by how the
+    /// offered reward compares with the mean accepted reward.
+    ///
+    /// Before any observations the prior is 70 % — the paper's own
+    /// example: "the Utility Agent knows that normally about 70% of the
+    /// Customer Agents will respond positively" (§3.2.1).
+    pub fn acceptance_rate(&self, level: Fraction, reward: Money) -> f64 {
+        let Some(stats) = self.observations.iter().find(|s| s.cutdown == level) else {
+            return 0.7;
+        };
+        if stats.offers == 0 {
+            return 0.7;
+        }
+        let base = stats.acceptances as f64 / stats.offers as f64;
+        if stats.acceptances == 0 {
+            return 0.0;
+        }
+        let mean_accepted = stats.accepted_reward_sum / stats.acceptances as f64;
+        if mean_accepted <= f64::EPSILON {
+            return base;
+        }
+        // More reward than historically needed ⇒ at least the base rate;
+        // less ⇒ proportionally fewer.
+        (base * (reward.value() / mean_accepted)).clamp(0.0, 1.0)
+    }
+
+    /// Expected aggregate cut-down fraction for a hypothetical table —
+    /// the input to the generate-and-select announcement strategy.
+    pub fn expected_cutdown(&self, table: &RewardTable) -> f64 {
+        // For each customer we approximate: P(bid ≥ level) known per
+        // level; expected bid = Σ_level (P(bid ≥ level) − P(bid ≥ next)) · level.
+        let mut entries: Vec<(Fraction, f64)> = table
+            .entries()
+            .iter()
+            .filter(|&&(c, _)| c > Fraction::ZERO)
+            .map(|&(c, r)| (c, self.acceptance_rate(c, r)))
+            .collect();
+        entries.sort_by_key(|e| e.0);
+        let mut expected = 0.0;
+        for i in 0..entries.len() {
+            let (level, p) = entries[i];
+            let p_next = entries.get(i + 1).map(|&(_, p)| p).unwrap_or(0.0);
+            expected += (p - p_next).max(0.0) * level.value();
+        }
+        expected
+    }
+
+    fn stats_mut(&mut self, cutdown: Fraction) -> &mut LevelStats {
+        if let Some(i) = self.observations.iter().position(|s| s.cutdown == cutdown) {
+            return &mut self.observations[i];
+        }
+        self.observations.push(LevelStats {
+            cutdown,
+            accepted_reward_sum: 0.0,
+            acceptances: 0,
+            offers: 0,
+        });
+        self.observations.last_mut().expect("just pushed")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reward::DEFAULT_LEVELS;
+    use powergrid::time::Interval;
+
+    fn fr(v: f64) -> Fraction {
+        Fraction::clamped(v)
+    }
+
+    fn table(reward_at: f64) -> RewardTable {
+        RewardTable::quadratic(Interval::new(0, 8), &DEFAULT_LEVELS, Money(reward_at), fr(0.4))
+    }
+
+    #[test]
+    fn prior_is_70_percent() {
+        let m = CustomerModel::new();
+        assert_eq!(m.acceptance_rate(fr(0.3), Money(10.0)), 0.7);
+    }
+
+    #[test]
+    fn observations_update_rates() {
+        let mut m = CustomerModel::new();
+        // 4 customers: two bid 0.4, one bids 0.2, one bids 0.
+        m.observe_round(&table(17.0), &[fr(0.4), fr(0.4), fr(0.2), fr(0.0)]);
+        // At level 0.4: 2/4 accepted at reward 17.
+        let rate_at_observed = m.acceptance_rate(fr(0.4), Money(17.0));
+        assert!((rate_at_observed - 0.5).abs() < 1e-9);
+        // Offering more than historically needed keeps or raises the rate.
+        assert!(m.acceptance_rate(fr(0.4), Money(25.0)) >= rate_at_observed);
+        // Offering much less shrinks it.
+        assert!(m.acceptance_rate(fr(0.4), Money(5.0)) < rate_at_observed);
+    }
+
+    #[test]
+    fn zero_acceptances_mean_zero_rate() {
+        let mut m = CustomerModel::new();
+        m.observe_round(&table(1.0), &[fr(0.0), fr(0.0)]);
+        assert_eq!(m.acceptance_rate(fr(0.4), Money(50.0)), 0.0);
+    }
+
+    #[test]
+    fn expected_cutdown_grows_with_reward() {
+        let mut m = CustomerModel::new();
+        // Observe a population that needs ~17 at 0.4 and ~4 at 0.2.
+        m.observe_round(&table(17.0), &[fr(0.4), fr(0.2), fr(0.2), fr(0.0)]);
+        let low = m.expected_cutdown(&table(8.0));
+        let high = m.expected_cutdown(&table(25.0));
+        assert!(high >= low, "more reward must not predict less cut-down");
+        assert!(high > 0.0);
+    }
+
+    #[test]
+    fn negotiation_counter() {
+        let mut m = CustomerModel::new();
+        assert_eq!(m.negotiations(), 0);
+        m.finish_negotiation();
+        assert_eq!(m.negotiations(), 1);
+    }
+}

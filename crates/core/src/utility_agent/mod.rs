@@ -1,0 +1,295 @@
+//! The Utility Agent (UA): configuration and the reward-table negotiator
+//! state machine, plus the generic-agent-model task modules of Figures
+//! 2–3:
+//!
+//! * [`own_process_control`] — strategy determination and negotiation
+//!   evaluation (Figure 2);
+//! * [`agent_specific`] — predicting the consumption/production balance
+//!   and deciding whether to negotiate (§5.1.2);
+//! * [`cooperation`] — announcement determination (generate & select) and
+//!   bid assessment (Figure 3);
+//! * [`maintenance`] — models of the Customer Agents, updated from
+//!   observed behaviour (§5.1.4).
+
+pub mod agent_specific;
+pub mod cooperation;
+pub mod maintenance;
+pub mod own_process_control;
+
+use crate::beta::BetaPolicy;
+use crate::concession::TerminationReason;
+use crate::reward::{RewardFormula, RewardTable, DEFAULT_LEVELS};
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, Money};
+use serde::{Deserialize, Serialize};
+
+/// Shape of the initial reward table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TableShape {
+    /// Rewards grow quadratically in the cut-down (the Figure-6
+    /// calibration).
+    Quadratic,
+    /// Rewards grow linearly in the cut-down.
+    Linear,
+}
+
+/// Full configuration of a Utility Agent.
+///
+/// # Example
+///
+/// ```
+/// use loadbal_core::utility_agent::UtilityAgentConfig;
+///
+/// let config = UtilityAgentConfig::paper();
+/// assert_eq!(config.formula.beta, 2.0);
+/// assert_eq!(config.max_allowed_overuse, 0.15);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilityAgentConfig {
+    /// The §6 update rule parameters.
+    pub formula: RewardFormula,
+    /// How β evolves across rounds (constant in the prototype).
+    pub beta_policy: BetaPolicy,
+    /// "The maximal allowed overuse": the relative overuse the UA will
+    /// accept without further negotiation.
+    pub max_allowed_overuse: f64,
+    /// Cut-down levels offered in reward tables.
+    pub levels: Vec<f64>,
+    /// Reward pinned at [`UtilityAgentConfig::pin`] in the initial table.
+    pub initial_reward_at: Money,
+    /// The cut-down level the initial reward is pinned to.
+    pub pin: Fraction,
+    /// Shape of the initial table.
+    pub table_shape: TableShape,
+    /// `x_max` for the offer method (§3.2.1).
+    pub offer_x_max: Fraction,
+    /// Round budget (a protocol safety net, not a convergence mechanism).
+    pub max_rounds: u32,
+}
+
+impl UtilityAgentConfig {
+    /// The Figure 6/7 calibration: β = 2, max reward 30, ε = 1, quadratic
+    /// initial table pinned at 17 for cut-down 0.4, 15 % allowed overuse.
+    pub fn paper() -> UtilityAgentConfig {
+        UtilityAgentConfig {
+            formula: RewardFormula::paper(),
+            beta_policy: BetaPolicy::paper(),
+            max_allowed_overuse: 0.15,
+            levels: DEFAULT_LEVELS.to_vec(),
+            initial_reward_at: Money(17.0),
+            pin: Fraction::clamped(0.4),
+            table_shape: TableShape::Quadratic,
+            offer_x_max: Fraction::clamped(0.8),
+            max_rounds: 50,
+        }
+    }
+
+    /// Replaces the β policy (builder style).
+    pub fn with_beta_policy(mut self, policy: BetaPolicy) -> UtilityAgentConfig {
+        self.beta_policy = policy;
+        self
+    }
+
+    /// Replaces the allowed-overuse threshold (builder style).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative.
+    pub fn with_max_allowed_overuse(mut self, threshold: f64) -> UtilityAgentConfig {
+        assert!(threshold >= 0.0, "overuse threshold must be non-negative");
+        self.max_allowed_overuse = threshold;
+        self
+    }
+
+    /// Replaces the offer-method `x_max` (builder style).
+    pub fn with_offer_x_max(mut self, x_max: Fraction) -> UtilityAgentConfig {
+        self.offer_x_max = x_max;
+        self
+    }
+
+    /// Builds the initial reward table for a cut-down interval.
+    pub fn initial_table(&self, interval: Interval) -> RewardTable {
+        match self.table_shape {
+            TableShape::Quadratic => {
+                RewardTable::quadratic(interval, &self.levels, self.initial_reward_at, self.pin)
+            }
+            TableShape::Linear => {
+                RewardTable::linear(interval, &self.levels, self.initial_reward_at, self.pin)
+            }
+        }
+    }
+}
+
+impl Default for UtilityAgentConfig {
+    fn default() -> Self {
+        UtilityAgentConfig::paper()
+    }
+}
+
+/// The UA's verdict after evaluating a round of bids.
+#[derive(Debug, Clone, PartialEq)]
+pub enum UaDecision {
+    /// Stop: the protocol's own termination rules fired.
+    Converged(TerminationReason),
+    /// Continue: announce this table next round.
+    NextTable(RewardTable),
+}
+
+/// The reward-table negotiation state machine on the UA side.
+///
+/// Drives §3.2.3: announce, collect bids, predict the new balance, then
+/// either accept or announce a dominating table. Both the synchronous
+/// session and the distributed actors drive this same machine, so their
+/// outcomes agree by construction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RewardTableNegotiator {
+    config: UtilityAgentConfig,
+    current: RewardTable,
+    round: u32,
+    stall_rounds: u32,
+    prev_overuse: Option<f64>,
+}
+
+impl RewardTableNegotiator {
+    /// Starts a negotiation over `interval` with the initial table
+    /// announced as round 1.
+    pub fn new(config: UtilityAgentConfig, interval: Interval) -> RewardTableNegotiator {
+        let current = config.initial_table(interval);
+        RewardTableNegotiator { config, current, round: 1, stall_rounds: 0, prev_overuse: None }
+    }
+
+    /// The table announced for the current round.
+    pub fn current_table(&self) -> &RewardTable {
+        &self.current
+    }
+
+    /// The current round number (1-based).
+    pub fn round(&self) -> u32 {
+        self.round
+    }
+
+    /// The configuration in use.
+    pub fn config(&self) -> &UtilityAgentConfig {
+        &self.config
+    }
+
+    /// Evaluates the predicted relative overuse after this round's bids
+    /// and decides whether to stop or announce a new table.
+    ///
+    /// Termination (§3.2.3 / §6): overuse at or below the allowed
+    /// maximum; the table step at most ε ("difference ... less than or
+    /// equal to 1"); or the round budget spent.
+    pub fn evaluate(&mut self, overuse: f64) -> UaDecision {
+        if overuse <= self.config.max_allowed_overuse {
+            return UaDecision::Converged(TerminationReason::OveruseAcceptable);
+        }
+        if self.round >= self.config.max_rounds {
+            // Round budget spent; treat as saturation for reporting — the
+            // session maps this onto MaxRoundsExceeded.
+            return UaDecision::Converged(TerminationReason::RewardSaturated);
+        }
+        // Track progress for adaptive β policies.
+        if let Some(prev) = self.prev_overuse {
+            let progress = prev - overuse;
+            if progress < self.config.beta_policy.min_progress() {
+                self.stall_rounds += 1;
+            } else {
+                self.stall_rounds = 0;
+            }
+        }
+        self.prev_overuse = Some(overuse);
+
+        let beta = self.config.beta_policy.beta(self.round - 1, self.stall_rounds);
+        let next = self.current.updated(&self.config.formula, overuse, beta);
+        if next.max_delta(&self.current) <= self.config.formula.epsilon {
+            return UaDecision::Converged(TerminationReason::RewardSaturated);
+        }
+        debug_assert!(next.dominates(&self.current), "§3.1 monotonic concession");
+        self.current = next.clone();
+        self.round += 1;
+        UaDecision::NextTable(next)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn interval() -> Interval {
+        Interval::new(72, 80)
+    }
+
+    #[test]
+    fn initial_table_matches_figure_6() {
+        let n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        assert_eq!(n.round(), 1);
+        assert_eq!(
+            n.current_table().reward_for(Fraction::clamped(0.4)),
+            Money(17.0)
+        );
+    }
+
+    #[test]
+    fn low_overuse_converges_immediately() {
+        let mut n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        let d = n.evaluate(0.10);
+        assert_eq!(d, UaDecision::Converged(TerminationReason::OveruseAcceptable));
+    }
+
+    #[test]
+    fn high_overuse_announces_dominating_table() {
+        let mut n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        let first = n.current_table().clone();
+        match n.evaluate(0.35) {
+            UaDecision::NextTable(t) => {
+                assert!(t.dominates(&first));
+                assert_eq!(n.round(), 2);
+            }
+            other => panic!("expected next table, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn saturation_terminates_despite_high_overuse() {
+        let mut n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        let mut rounds = 0;
+        loop {
+            rounds += 1;
+            match n.evaluate(0.5) {
+                UaDecision::NextTable(_) => continue,
+                UaDecision::Converged(TerminationReason::RewardSaturated) => break,
+                other => panic!("unexpected {other:?}"),
+            }
+        }
+        assert!(rounds < 60, "saturation within a reasonable horizon, got {rounds}");
+    }
+
+    #[test]
+    fn round_budget_is_a_backstop() {
+        let mut config = UtilityAgentConfig::paper();
+        config.max_rounds = 2;
+        let mut n = RewardTableNegotiator::new(config, interval());
+        assert!(matches!(n.evaluate(0.5), UaDecision::NextTable(_)));
+        assert!(matches!(n.evaluate(0.5), UaDecision::Converged(_)));
+    }
+
+    #[test]
+    fn builders() {
+        let c = UtilityAgentConfig::paper()
+            .with_max_allowed_overuse(0.05)
+            .with_beta_policy(BetaPolicy::constant(1.0))
+            .with_offer_x_max(Fraction::clamped(0.7));
+        assert_eq!(c.max_allowed_overuse, 0.05);
+        assert_eq!(c.beta_policy, BetaPolicy::constant(1.0));
+        assert_eq!(c.offer_x_max, Fraction::clamped(0.7));
+    }
+
+    #[test]
+    fn linear_shape_builds_linear_table() {
+        let mut config = UtilityAgentConfig::paper();
+        config.table_shape = TableShape::Linear;
+        let t = config.initial_table(interval());
+        let r02 = t.reward_for(Fraction::clamped(0.2)).value();
+        assert!((r02 - 8.5).abs() < 1e-9, "linear at 0.2 should be 8.5, got {r02}");
+    }
+}

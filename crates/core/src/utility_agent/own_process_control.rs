@@ -1,0 +1,210 @@
+//! Own process control within the UA (Figure 2): *determine general
+//! negotiation strategy* and *evaluate negotiation process*.
+//!
+//! The evaluation feeds back into strategy determination — the "on the
+//! basis of experience" adaptation the paper flags as future work for β.
+
+use crate::concession::NegotiationStatus;
+use crate::methods::AnnouncementMethod;
+use crate::session::NegotiationReport;
+use crate::strategy::{select_method, NegotiationContext};
+use crate::utility_agent::UtilityAgentConfig;
+use serde::{Deserialize, Serialize};
+
+/// The *evaluate negotiation process* output for one finished
+/// negotiation.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NegotiationEvaluation {
+    /// Method used.
+    pub method: AnnouncementMethod,
+    /// Rounds executed.
+    pub rounds: u32,
+    /// Relative overuse at the start.
+    pub initial_overuse: f64,
+    /// Relative overuse at the end.
+    pub final_overuse: f64,
+    /// Total reward outlay committed.
+    pub reward_outlay: f64,
+    /// Whether the protocol converged by its own rules.
+    pub converged: bool,
+}
+
+impl NegotiationEvaluation {
+    /// Summarises a finished negotiation report.
+    pub fn from_report(report: &NegotiationReport) -> NegotiationEvaluation {
+        NegotiationEvaluation {
+            method: report.method(),
+            rounds: report.rounds().len() as u32,
+            initial_overuse: report.initial_overuse_fraction(),
+            final_overuse: report.final_overuse_fraction(),
+            reward_outlay: report.total_rewards().value(),
+            converged: report.status().is_converged(),
+        }
+    }
+
+    /// Overuse removed per unit of reward spent (∞ when free, 0 when
+    /// nothing improved).
+    pub fn efficiency(&self) -> f64 {
+        let removed = (self.initial_overuse - self.final_overuse).max(0.0);
+        if removed <= 0.0 {
+            0.0
+        } else if self.reward_outlay <= f64::EPSILON {
+            f64::INFINITY
+        } else {
+            removed / self.reward_outlay
+        }
+    }
+}
+
+/// The UA's own-process-control state: evaluation history plus the
+/// strategy-determination step.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct OwnProcessControl {
+    history: Vec<NegotiationEvaluation>,
+}
+
+impl OwnProcessControl {
+    /// Creates an empty history.
+    pub fn new() -> OwnProcessControl {
+        OwnProcessControl::default()
+    }
+
+    /// Records one finished negotiation.
+    pub fn record(&mut self, report: &NegotiationReport) {
+        self.history.push(NegotiationEvaluation::from_report(report));
+    }
+
+    /// The evaluation history, oldest first.
+    pub fn history(&self) -> &[NegotiationEvaluation] {
+        &self.history
+    }
+
+    /// *Determine general negotiation strategy*: delegate to the §3.2.4
+    /// selection knowledge.
+    pub fn determine_strategy(&self, ctx: NegotiationContext) -> (AnnouncementMethod, &'static str) {
+        select_method(ctx)
+    }
+
+    /// Experience-based tuning (§7 "dynamically varying the value of beta
+    /// on the basis of experience"): if recent reward-table negotiations
+    /// ran long, steepen β; if they converged in very few rounds while
+    /// overspending, flatten it. Returns the adjusted config.
+    pub fn tune(&self, mut config: UtilityAgentConfig) -> UtilityAgentConfig {
+        let recent: Vec<&NegotiationEvaluation> = self
+            .history
+            .iter()
+            .rev()
+            .take(5)
+            .filter(|e| e.method == AnnouncementMethod::RewardTables)
+            .collect();
+        if recent.is_empty() {
+            return config;
+        }
+        let mean_rounds: f64 =
+            recent.iter().map(|e| f64::from(e.rounds)).sum::<f64>() / recent.len() as f64;
+        if mean_rounds > 6.0 {
+            config.formula.beta *= 1.5;
+        } else if mean_rounds < 2.5 {
+            config.formula.beta *= 0.75;
+        }
+        config
+    }
+
+    /// True if the last negotiation failed to converge — the trigger for
+    /// a strategy review.
+    pub fn last_failed(&self) -> bool {
+        self.history
+            .last()
+            .map(|e| !e.converged)
+            .unwrap_or(false)
+    }
+}
+
+/// Re-export of the status type used in evaluations.
+pub type Status = NegotiationStatus;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn evaluation_from_real_report() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let report = scenario.run();
+        let eval = NegotiationEvaluation::from_report(&report);
+        assert!(eval.converged);
+        assert!(eval.initial_overuse > eval.final_overuse);
+        assert!(eval.efficiency() > 0.0);
+    }
+
+    #[test]
+    fn history_records() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let report = scenario.run();
+        let mut opc = OwnProcessControl::new();
+        assert!(!opc.last_failed());
+        opc.record(&report);
+        assert_eq!(opc.history().len(), 1);
+        assert!(!opc.last_failed());
+    }
+
+    #[test]
+    fn tuning_steepens_beta_after_long_negotiations() {
+        let mut opc = OwnProcessControl::new();
+        for _ in 0..5 {
+            opc.history.push(NegotiationEvaluation {
+                method: AnnouncementMethod::RewardTables,
+                rounds: 10,
+                initial_overuse: 0.35,
+                final_overuse: 0.14,
+                reward_outlay: 100.0,
+                converged: true,
+            });
+        }
+        let base = UtilityAgentConfig::paper();
+        let tuned = opc.tune(base.clone());
+        assert!(tuned.formula.beta > base.formula.beta);
+    }
+
+    #[test]
+    fn tuning_flattens_beta_after_instant_convergence() {
+        let mut opc = OwnProcessControl::new();
+        for _ in 0..5 {
+            opc.history.push(NegotiationEvaluation {
+                method: AnnouncementMethod::RewardTables,
+                rounds: 1,
+                initial_overuse: 0.2,
+                final_overuse: 0.1,
+                reward_outlay: 400.0,
+                converged: true,
+            });
+        }
+        let base = UtilityAgentConfig::paper();
+        let tuned = opc.tune(base.clone());
+        assert!(tuned.formula.beta < base.formula.beta);
+    }
+
+    #[test]
+    fn tuning_without_history_is_identity() {
+        let opc = OwnProcessControl::new();
+        let base = UtilityAgentConfig::paper();
+        assert_eq!(opc.tune(base.clone()), base);
+    }
+
+    #[test]
+    fn efficiency_edge_cases() {
+        let mut e = NegotiationEvaluation {
+            method: AnnouncementMethod::Offer,
+            rounds: 1,
+            initial_overuse: 0.3,
+            final_overuse: 0.3,
+            reward_outlay: 10.0,
+            converged: true,
+        };
+        assert_eq!(e.efficiency(), 0.0);
+        e.final_overuse = 0.1;
+        e.reward_outlay = 0.0;
+        assert_eq!(e.efficiency(), f64::INFINITY);
+    }
+}

@@ -1,0 +1,193 @@
+//! Names and hierarchical component paths.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::sync::Arc;
+
+/// An interned identifier: component, predicate, sort or variable name.
+///
+/// Cheap to clone (shared `Arc<str>`), compared by content.
+///
+/// # Example
+///
+/// ```
+/// use desire::ident::Name;
+///
+/// let a = Name::from("own_process_control");
+/// let b: Name = "own_process_control".into();
+/// assert_eq!(a, b);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name(Arc<str>);
+
+impl Default for Name {
+    /// The empty name — useful only as a placeholder.
+    fn default() -> Self {
+        Name(Arc::from(""))
+    }
+}
+
+impl Serialize for Name {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(&self.0)
+    }
+}
+
+impl<'de> Deserialize<'de> for Name {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Name, D::Error> {
+        let s = String::deserialize(deserializer)?;
+        Ok(Name::new(s))
+    }
+}
+
+impl Name {
+    /// Creates a name from any string-like value.
+    pub fn new(s: impl AsRef<str>) -> Name {
+        Name(Arc::from(s.as_ref()))
+    }
+
+    /// The underlying string.
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+
+    /// True if the name is a well-formed identifier: non-empty, starting
+    /// with a letter, containing only alphanumerics, `_` and `-`.
+    pub fn is_well_formed(&self) -> bool {
+        let mut chars = self.0.chars();
+        match chars.next() {
+            Some(c) if c.is_ascii_alphabetic() => {}
+            _ => return false,
+        }
+        chars.all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-')
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for Name {
+    fn from(s: &str) -> Name {
+        Name::new(s)
+    }
+}
+
+impl From<String> for Name {
+    fn from(s: String) -> Name {
+        Name::new(s)
+    }
+}
+
+impl AsRef<str> for Name {
+    fn as_ref(&self) -> &str {
+        &self.0
+    }
+}
+
+/// A path through the component hierarchy, e.g.
+/// `utility_agent/own_process_control/evaluate_negotiation_process`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct ComponentPath(Vec<Name>);
+
+impl ComponentPath {
+    /// The empty path (the system root).
+    pub fn root() -> ComponentPath {
+        ComponentPath(Vec::new())
+    }
+
+    /// Creates a path from segments.
+    pub fn from_segments(segments: impl IntoIterator<Item = Name>) -> ComponentPath {
+        ComponentPath(segments.into_iter().collect())
+    }
+
+    /// Appends a child segment, returning the extended path.
+    pub fn child(&self, name: Name) -> ComponentPath {
+        let mut segments = self.0.clone();
+        segments.push(name);
+        ComponentPath(segments)
+    }
+
+    /// The path's segments.
+    pub fn segments(&self) -> &[Name] {
+        &self.0
+    }
+
+    /// Nesting depth (root = 0).
+    pub fn depth(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The final segment, if any.
+    pub fn leaf(&self) -> Option<&Name> {
+        self.0.last()
+    }
+
+    /// True if `self` is a (non-strict) prefix of `other`.
+    pub fn is_prefix_of(&self, other: &ComponentPath) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+}
+
+impl fmt::Display for ComponentPath {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0.is_empty() {
+            return f.write_str("/");
+        }
+        for segment in &self.0 {
+            write!(f, "/{segment}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn names_compare_by_content() {
+        assert_eq!(Name::from("abc"), Name::new(String::from("abc")));
+        assert_ne!(Name::from("abc"), Name::from("abd"));
+        assert_eq!(Name::from("abc").as_str(), "abc");
+    }
+
+    #[test]
+    fn well_formedness() {
+        assert!(Name::from("own_process_control").is_well_formed());
+        assert!(Name::from("a-b_c9").is_well_formed());
+        assert!(!Name::from("").is_well_formed());
+        assert!(!Name::from("9abc").is_well_formed());
+        assert!(!Name::from("a b").is_well_formed());
+    }
+
+    #[test]
+    fn paths_display_like_filesystem() {
+        let p = ComponentPath::root()
+            .child("utility_agent".into())
+            .child("own_process_control".into());
+        assert_eq!(p.to_string(), "/utility_agent/own_process_control");
+        assert_eq!(ComponentPath::root().to_string(), "/");
+        assert_eq!(p.depth(), 2);
+        assert_eq!(p.leaf().unwrap().as_str(), "own_process_control");
+    }
+
+    #[test]
+    fn prefix_relation() {
+        let root = ComponentPath::root();
+        let ua = root.child("ua".into());
+        let opc = ua.child("opc".into());
+        assert!(root.is_prefix_of(&opc));
+        assert!(ua.is_prefix_of(&opc));
+        assert!(opc.is_prefix_of(&opc));
+        assert!(!opc.is_prefix_of(&ua));
+    }
+
+    #[test]
+    fn from_segments_roundtrip() {
+        let p = ComponentPath::from_segments(vec![Name::from("a"), Name::from("b")]);
+        assert_eq!(p.segments().len(), 2);
+    }
+}

@@ -1,0 +1,106 @@
+//! Textual rendering of component hierarchies.
+//!
+//! Replaces DESIRE's graphical design tools: [`render_tree`] prints the
+//! process-abstraction trees of Figures 2–5 of the paper.
+
+use crate::component::{Body, Component};
+
+/// Renders the component hierarchy as an indented tree.
+///
+/// # Example
+///
+/// ```
+/// use desire::prelude::*;
+///
+/// let leaf = Component::primitive("evaluate", KnowledgeBase::new("k"));
+/// let root = Component::composed("own_process_control", vec![leaf], vec![], TaskControl::new());
+/// let tree = render_tree(&root);
+/// assert!(tree.contains("own_process_control"));
+/// assert!(tree.contains("evaluate"));
+/// ```
+pub fn render_tree(component: &Component) -> String {
+    let mut out = String::new();
+    render_into(component, "", true, true, &mut out);
+    out
+}
+
+fn kind_label(component: &Component) -> &'static str {
+    match component.body() {
+        Body::Reasoning(_) => "[kb]",
+        Body::Calculation(_) => "[calc]",
+        Body::Composed(_) => "",
+    }
+}
+
+fn render_into(component: &Component, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+    if is_root {
+        out.push_str(format!("{} {}\n", component.name(), kind_label(component)).trim_end());
+        out.push('\n');
+    } else {
+        let connector = if is_last { "└── " } else { "├── " };
+        let line = format!("{prefix}{connector}{} {}", component.name(), kind_label(component));
+        out.push_str(line.trim_end());
+        out.push('\n');
+    }
+    let children = component.children();
+    for (i, child) in children.iter().enumerate() {
+        let last = i + 1 == children.len();
+        let child_prefix = if is_root {
+            String::new()
+        } else {
+            format!("{prefix}{}", if is_last { "    " } else { "│   " })
+        };
+        render_into(child, &child_prefix, last, false, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kb::KnowledgeBase;
+    use crate::task_control::TaskControl;
+
+    fn leaf(name: &str) -> Component {
+        Component::primitive(name, KnowledgeBase::new(name))
+    }
+
+    #[test]
+    fn renders_figure_2_shape() {
+        // Figure 2: own process control of the UA.
+        let determine = Component::composed(
+            "determine_general_negotiation_strategy",
+            vec![leaf("determine_announcement_method"), leaf("determine_bid_acceptance_strategy")],
+            vec![],
+            TaskControl::new(),
+        );
+        let opc = Component::composed(
+            "own_process_control",
+            vec![determine, leaf("evaluate_negotiation_process")],
+            vec![],
+            TaskControl::new(),
+        );
+        let tree = render_tree(&opc);
+        assert!(tree.contains("own_process_control"));
+        assert!(tree.contains("├── determine_general_negotiation_strategy"));
+        assert!(tree.contains("│   ├── determine_announcement_method"));
+        assert!(tree.contains("│   └── determine_bid_acceptance_strategy"));
+        assert!(tree.contains("└── evaluate_negotiation_process"));
+    }
+
+    #[test]
+    fn primitive_kinds_are_annotated() {
+        let tree = render_tree(&Component::composed(
+            "parent",
+            vec![leaf("reasoner")],
+            vec![],
+            TaskControl::new(),
+        ));
+        assert!(tree.contains("reasoner [kb]"));
+    }
+
+    #[test]
+    fn single_primitive_renders() {
+        let tree = render_tree(&leaf("alone"));
+        assert!(tree.starts_with("alone"));
+    }
+}

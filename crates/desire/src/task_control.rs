@@ -1,0 +1,189 @@
+//! Task-control knowledge: the dynamic view of process composition.
+//!
+//! "...and a specification of task control knowledge used to control
+//! processes and information exchange (dynamic view on the composition)"
+//! (Section 4.1.2). Task control decides which children are activated, in
+//! what order, and under which conditions, each macro-round of a composed
+//! component's execution.
+
+use crate::ident::Name;
+use crate::term::Atom;
+use serde::{Deserialize, Serialize};
+
+/// Condition gating a child's activation: the atom must have the given
+/// truth on the *parent's input* interface.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActivationCondition {
+    /// The gated child.
+    pub child: Name,
+    /// The atom inspected on the parent input interface.
+    pub condition: Atom,
+}
+
+/// Task-control knowledge of one composed component.
+///
+/// The kernel executes macro-rounds: links fire, then each activated
+/// child runs, then links fire again; rounds repeat until the composition
+/// is quiescent (no interface changed) or `max_rounds` is hit.
+///
+/// # Example
+///
+/// ```
+/// use desire::task_control::TaskControl;
+///
+/// let tc = TaskControl::new()
+///     .with_order(["predict", "evaluate", "announce"])
+///     .with_max_rounds(10);
+/// assert_eq!(tc.max_rounds(), 10);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskControl {
+    /// Explicit activation order; children not listed run afterwards in
+    /// declaration order. `None` means plain declaration order.
+    order: Option<Vec<Name>>,
+    /// Conditions gating individual children.
+    conditions: Vec<ActivationCondition>,
+    /// Maximum macro-rounds before the kernel reports non-quiescence.
+    max_rounds: usize,
+}
+
+impl TaskControl {
+    /// Default task control: declaration order, no conditions, 100 rounds.
+    pub fn new() -> TaskControl {
+        TaskControl { order: None, conditions: Vec::new(), max_rounds: 100 }
+    }
+
+    /// Sets an explicit child activation order.
+    pub fn with_order<I, S>(mut self, order: I) -> TaskControl
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<Name>,
+    {
+        self.order = Some(order.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Gates `child` on `condition` holding (true) on the parent input.
+    pub fn with_condition(mut self, child: impl Into<Name>, condition: Atom) -> TaskControl {
+        self.conditions
+            .push(ActivationCondition { child: child.into(), condition });
+        self
+    }
+
+    /// Sets the macro-round limit.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_rounds` is zero.
+    pub fn with_max_rounds(mut self, max_rounds: usize) -> TaskControl {
+        assert!(max_rounds > 0, "round limit must be positive");
+        self.max_rounds = max_rounds;
+        self
+    }
+
+    /// The macro-round limit.
+    pub fn max_rounds(&self) -> usize {
+        self.max_rounds
+    }
+
+    /// The explicit order, if set.
+    pub fn order(&self) -> Option<&[Name]> {
+        self.order.as_deref()
+    }
+
+    /// Condition on `child`, if any.
+    pub fn condition_for(&self, child: &Name) -> Option<&Atom> {
+        self.conditions
+            .iter()
+            .find(|c| &c.child == child)
+            .map(|c| &c.condition)
+    }
+
+    /// Computes the activation sequence over the given declared children:
+    /// explicitly ordered ones first (in order), then the rest in
+    /// declaration order. Unknown names in the order are ignored.
+    pub fn schedule<'a>(&self, declared: &'a [Name]) -> Vec<&'a Name> {
+        match &self.order {
+            None => declared.iter().collect(),
+            Some(order) => {
+                let mut out: Vec<&Name> = Vec::with_capacity(declared.len());
+                for name in order {
+                    if let Some(n) = declared.iter().find(|d| *d == name) {
+                        if !out.contains(&n) {
+                            out.push(n);
+                        }
+                    }
+                }
+                for n in declared {
+                    if !out.contains(&n) {
+                        out.push(n);
+                    }
+                }
+                out
+            }
+        }
+    }
+}
+
+impl Default for TaskControl {
+    fn default() -> Self {
+        TaskControl::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn names(items: &[&str]) -> Vec<Name> {
+        items.iter().map(|s| Name::from(*s)).collect()
+    }
+
+    #[test]
+    fn default_schedule_is_declaration_order() {
+        let declared = names(&["a", "b", "c"]);
+        let tc = TaskControl::new();
+        let sched: Vec<&str> = tc.schedule(&declared).iter().map(|n| n.as_str()).collect();
+        assert_eq!(sched, vec!["a", "b", "c"]);
+    }
+
+    #[test]
+    fn explicit_order_respected_with_stragglers() {
+        let declared = names(&["a", "b", "c"]);
+        let tc = TaskControl::new().with_order(["c", "a"]);
+        let sched: Vec<&str> = tc.schedule(&declared).iter().map(|n| n.as_str()).collect();
+        assert_eq!(sched, vec!["c", "a", "b"]);
+    }
+
+    #[test]
+    fn unknown_names_in_order_ignored() {
+        let declared = names(&["a"]);
+        let tc = TaskControl::new().with_order(["ghost", "a"]);
+        let sched: Vec<&str> = tc.schedule(&declared).iter().map(|n| n.as_str()).collect();
+        assert_eq!(sched, vec!["a"]);
+    }
+
+    #[test]
+    fn duplicate_order_entries_deduplicated() {
+        let declared = names(&["a", "b"]);
+        let tc = TaskControl::new().with_order(["b", "b", "a"]);
+        let sched: Vec<&str> = tc.schedule(&declared).iter().map(|n| n.as_str()).collect();
+        assert_eq!(sched, vec!["b", "a"]);
+    }
+
+    #[test]
+    fn conditions_lookup() {
+        let tc = TaskControl::new().with_condition("announce", Atom::prop("peak_expected"));
+        assert_eq!(
+            tc.condition_for(&"announce".into()),
+            Some(&Atom::prop("peak_expected"))
+        );
+        assert!(tc.condition_for(&"other".into()).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_rounds_panics() {
+        let _ = TaskControl::new().with_max_rounds(0);
+    }
+}

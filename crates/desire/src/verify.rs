@@ -1,0 +1,353 @@
+//! Compositional verification: temporal properties over execution traces.
+//!
+//! The companion paper (Brazier et al., ICMAS'98; also Jonker & Treur,
+//! COMPOS'97) verifies the load-balancing system by establishing
+//! properties of components from properties of their sub-components.
+//! Here a [`Property`] is checked against a recorded [`Trace`]; the
+//! negotiation crate uses these to verify pro-activeness ("the UA
+//! eventually announces") and reactiveness ("every announcement is
+//! eventually answered").
+
+use crate::engine::TruthValue;
+use crate::ident::Name;
+use crate::term::{unify_atoms, Atom, Substitution};
+use crate::trace::{Trace, TraceEvent};
+use std::fmt;
+
+/// A checkable property of an execution trace.
+///
+/// Atom arguments may contain variables; a derivation event matches if it
+/// unifies with the pattern.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Property {
+    /// Some fact matching `atom` is eventually derived at a component
+    /// whose leaf name is `component` (pro-activeness).
+    EventuallyDerived {
+        /// Leaf name of the component.
+        component: Name,
+        /// Pattern to match (may contain variables).
+        atom: Atom,
+        /// Required truth value of the derivation.
+        value: TruthValue,
+    },
+    /// No fact matching `atom` is ever derived at `component` (safety).
+    NeverDerived {
+        /// Leaf name of the component.
+        component: Name,
+        /// Pattern to match.
+        atom: Atom,
+    },
+    /// Every derivation matching `trigger` is followed (strictly later)
+    /// by a derivation matching `response` (reactiveness).
+    Responds {
+        /// The triggering pattern.
+        trigger: Atom,
+        /// The response pattern.
+        response: Atom,
+    },
+    /// The first derivation matching `first` precedes the first matching
+    /// `then` (ordering).
+    DerivedBefore {
+        /// Pattern expected earlier.
+        first: Atom,
+        /// Pattern expected later.
+        then: Atom,
+    },
+    /// The component with leaf name `component` was activated at least
+    /// `at_least` times (liveness of control).
+    ActivatedAtLeast {
+        /// Leaf name of the component.
+        component: Name,
+        /// Minimum number of activations.
+        at_least: usize,
+    },
+    /// Conjunction of sub-properties (compositional verification: a
+    /// system property decomposes into component properties).
+    All(Vec<Property>),
+}
+
+/// The result of checking a property.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Verdict {
+    /// Whether the property holds.
+    pub holds: bool,
+    /// Human-readable explanation (the witness or the failure).
+    pub explanation: String,
+}
+
+impl Verdict {
+    fn pass(explanation: impl Into<String>) -> Verdict {
+        Verdict { holds: true, explanation: explanation.into() }
+    }
+
+    fn fail(explanation: impl Into<String>) -> Verdict {
+        Verdict { holds: false, explanation: explanation.into() }
+    }
+}
+
+impl fmt::Display for Verdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", if self.holds { "holds" } else { "FAILS" }, self.explanation)
+    }
+}
+
+fn matches_pattern(pattern: &Atom, atom: &Atom) -> bool {
+    unify_atoms(pattern, atom, &Substitution::new()).is_some()
+}
+
+/// Positions of derivations matching `pattern` (optionally at a specific
+/// component leaf and truth value).
+fn derivation_indices(
+    trace: &Trace,
+    pattern: &Atom,
+    component: Option<&Name>,
+    value: Option<TruthValue>,
+) -> Vec<usize> {
+    trace
+        .events()
+        .iter()
+        .enumerate()
+        .filter_map(|(i, e)| match e {
+            TraceEvent::FactDerived { path, atom, value: v } => {
+                if let Some(c) = component {
+                    if path.leaf() != Some(c) {
+                        return None;
+                    }
+                }
+                if let Some(want) = value {
+                    if *v != want {
+                        return None;
+                    }
+                }
+                matches_pattern(pattern, atom).then_some(i)
+            }
+            _ => None,
+        })
+        .collect()
+}
+
+impl Property {
+    /// Checks the property against a trace.
+    pub fn check(&self, trace: &Trace) -> Verdict {
+        match self {
+            Property::EventuallyDerived { component, atom, value } => {
+                let hits = derivation_indices(trace, atom, Some(component), Some(*value));
+                if let Some(&i) = hits.first() {
+                    Verdict::pass(format!("{atom} derived at event {i} in {component}"))
+                } else {
+                    Verdict::fail(format!("{atom} never derived ({value}) at {component}"))
+                }
+            }
+            Property::NeverDerived { component, atom } => {
+                let hits = derivation_indices(trace, atom, Some(component), None);
+                if hits.is_empty() {
+                    Verdict::pass(format!("{atom} never derived at {component}"))
+                } else {
+                    Verdict::fail(format!(
+                        "{atom} derived at event {} in {component}",
+                        hits[0]
+                    ))
+                }
+            }
+            Property::Responds { trigger, response } => {
+                let triggers = derivation_indices(trace, trigger, None, None);
+                let responses = derivation_indices(trace, response, None, None);
+                for &t in &triggers {
+                    if !responses.iter().any(|&r| r > t) {
+                        return Verdict::fail(format!(
+                            "trigger {trigger} at event {t} has no later {response}"
+                        ));
+                    }
+                }
+                Verdict::pass(format!(
+                    "all {} trigger(s) answered by {response}",
+                    triggers.len()
+                ))
+            }
+            Property::DerivedBefore { first, then } => {
+                let a = derivation_indices(trace, first, None, None);
+                let b = derivation_indices(trace, then, None, None);
+                match (a.first(), b.first()) {
+                    (Some(&fa), Some(&fb)) if fa < fb => {
+                        Verdict::pass(format!("{first} (event {fa}) precedes {then} (event {fb})"))
+                    }
+                    (Some(&fa), Some(&fb)) => {
+                        Verdict::fail(format!("{then} (event {fb}) precedes {first} (event {fa})"))
+                    }
+                    (None, _) => Verdict::fail(format!("{first} never derived")),
+                    (_, None) => Verdict::fail(format!("{then} never derived")),
+                }
+            }
+            Property::ActivatedAtLeast { component, at_least } => {
+                let count = trace.activation_count(component);
+                if count >= *at_least {
+                    Verdict::pass(format!("{component} activated {count} time(s)"))
+                } else {
+                    Verdict::fail(format!(
+                        "{component} activated {count} time(s), needed {at_least}"
+                    ))
+                }
+            }
+            Property::All(props) => {
+                for (i, p) in props.iter().enumerate() {
+                    let v = p.check(trace);
+                    if !v.holds {
+                        return Verdict::fail(format!("conjunct {i} fails: {}", v.explanation));
+                    }
+                }
+                Verdict::pass(format!("all {} conjunct(s) hold", props.len()))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ident::ComponentPath;
+
+    fn trace_with(events: &[(&str, &str)]) -> Trace {
+        let mut t = Trace::new();
+        for (component, atom) in events {
+            t.push(TraceEvent::FactDerived {
+                path: ComponentPath::root().child((*component).into()),
+                atom: Atom::parse(atom).unwrap(),
+                value: TruthValue::True,
+            });
+        }
+        t
+    }
+
+    #[test]
+    fn eventually_derived() {
+        let t = trace_with(&[("ua", "announce(17)")]);
+        let p = Property::EventuallyDerived {
+            component: "ua".into(),
+            atom: Atom::parse("announce(R)").unwrap(),
+            value: TruthValue::True,
+        };
+        assert!(p.check(&t).holds);
+        let q = Property::EventuallyDerived {
+            component: "ca".into(),
+            atom: Atom::parse("announce(R)").unwrap(),
+            value: TruthValue::True,
+        };
+        assert!(!q.check(&t).holds);
+    }
+
+    #[test]
+    fn never_derived() {
+        let t = trace_with(&[("ua", "announce(17)")]);
+        let p = Property::NeverDerived {
+            component: "ua".into(),
+            atom: Atom::parse("retract(X)").unwrap(),
+        };
+        assert!(p.check(&t).holds);
+        let q = Property::NeverDerived {
+            component: "ua".into(),
+            atom: Atom::parse("announce(X)").unwrap(),
+        };
+        assert!(!q.check(&t).holds);
+    }
+
+    #[test]
+    fn responds_requires_later_response() {
+        let ok = trace_with(&[("ua", "announce(1)"), ("ca", "bid(1)")]);
+        let p = Property::Responds {
+            trigger: Atom::parse("announce(X)").unwrap(),
+            response: Atom::parse("bid(X)").unwrap(),
+        };
+        assert!(p.check(&ok).holds);
+
+        let bad = trace_with(&[("ca", "bid(1)"), ("ua", "announce(1)")]);
+        assert!(!p.check(&bad).holds);
+    }
+
+    #[test]
+    fn responds_with_multiple_triggers() {
+        let t = trace_with(&[
+            ("ua", "announce(1)"),
+            ("ca", "bid(1)"),
+            ("ua", "announce(2)"),
+            ("ca", "bid(2)"),
+        ]);
+        let p = Property::Responds {
+            trigger: Atom::parse("announce(X)").unwrap(),
+            response: Atom::parse("bid(Y)").unwrap(),
+        };
+        assert!(p.check(&t).holds);
+
+        let truncated = trace_with(&[
+            ("ua", "announce(1)"),
+            ("ca", "bid(1)"),
+            ("ua", "announce(2)"),
+        ]);
+        assert!(!p.check(&truncated).holds);
+    }
+
+    #[test]
+    fn derived_before() {
+        let t = trace_with(&[("ua", "predict(135)"), ("ua", "announce(17)")]);
+        let p = Property::DerivedBefore {
+            first: Atom::parse("predict(X)").unwrap(),
+            then: Atom::parse("announce(Y)").unwrap(),
+        };
+        assert!(p.check(&t).holds);
+        let q = Property::DerivedBefore {
+            first: Atom::parse("announce(Y)").unwrap(),
+            then: Atom::parse("predict(X)").unwrap(),
+        };
+        assert!(!q.check(&t).holds);
+    }
+
+    #[test]
+    fn derived_before_missing_events() {
+        let t = trace_with(&[("ua", "predict(1)")]);
+        let p = Property::DerivedBefore {
+            first: Atom::parse("predict(X)").unwrap(),
+            then: Atom::parse("announce(Y)").unwrap(),
+        };
+        let v = p.check(&t);
+        assert!(!v.holds);
+        assert!(v.explanation.contains("never derived"));
+    }
+
+    #[test]
+    fn activated_at_least() {
+        let mut t = Trace::new();
+        t.push(TraceEvent::Activated {
+            path: ComponentPath::root().child("ua".into()),
+            derived: 0,
+        });
+        let p = Property::ActivatedAtLeast { component: "ua".into(), at_least: 1 };
+        assert!(p.check(&t).holds);
+        let q = Property::ActivatedAtLeast { component: "ua".into(), at_least: 2 };
+        assert!(!q.check(&t).holds);
+    }
+
+    #[test]
+    fn conjunction_reports_failing_conjunct() {
+        let t = trace_with(&[("ua", "a")]);
+        let p = Property::All(vec![
+            Property::EventuallyDerived {
+                component: "ua".into(),
+                atom: Atom::prop("a"),
+                value: TruthValue::True,
+            },
+            Property::EventuallyDerived {
+                component: "ua".into(),
+                atom: Atom::prop("b"),
+                value: TruthValue::True,
+            },
+        ]);
+        let v = p.check(&t);
+        assert!(!v.holds);
+        assert!(v.explanation.contains("conjunct 1"));
+    }
+
+    #[test]
+    fn verdict_display() {
+        let v = Verdict::pass("ok");
+        assert_eq!(v.to_string(), "holds: ok");
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the term language and inference engine.
+
+use desire::engine::{Engine, FactBase, TruthValue};
+use desire::kb::{KnowledgeBase, Rule};
+use desire::term::{unify_atoms, Atom, Substitution, Term};
+use proptest::prelude::*;
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,6}"
+}
+
+fn arb_var() -> impl Strategy<Value = String> {
+    "[A-Z][a-z0-9]{0,4}"
+}
+
+fn arb_term() -> impl Strategy<Value = Term> {
+    let leaf = prop_oneof![
+        arb_name().prop_map(Term::constant),
+        arb_var().prop_map(Term::var),
+        (-1000.0f64..1000.0).prop_map(Term::number),
+    ];
+    leaf.prop_recursive(2, 8, 3, |inner| {
+        (arb_name(), prop::collection::vec(inner, 1..3))
+            .prop_map(|(f, args)| Term::app(f, args))
+    })
+}
+
+fn arb_ground_term() -> impl Strategy<Value = Term> {
+    prop_oneof![
+        arb_name().prop_map(Term::constant),
+        (-1000.0f64..1000.0).prop_map(Term::number),
+    ]
+}
+
+fn arb_atom() -> impl Strategy<Value = Atom> {
+    (arb_name(), prop::collection::vec(arb_term(), 0..3))
+        .prop_map(|(p, args)| Atom::new(p, args))
+}
+
+fn arb_ground_atom() -> impl Strategy<Value = Atom> {
+    (arb_name(), prop::collection::vec(arb_ground_term(), 0..3))
+        .prop_map(|(p, args)| Atom::new(p, args))
+}
+
+proptest! {
+    /// Display → parse is the identity on terms.
+    #[test]
+    fn term_display_parse_roundtrip(term in arb_term()) {
+        let text = term.to_string();
+        let parsed = Term::parse(&text).unwrap();
+        // Numeric display may drop trailing zeros but must round-trip to
+        // the same fixed-point value.
+        prop_assert_eq!(parsed, term);
+    }
+
+    /// Display → parse is the identity on atoms.
+    #[test]
+    fn atom_display_parse_roundtrip(atom in arb_atom()) {
+        let parsed = Atom::parse(&atom.to_string()).unwrap();
+        prop_assert_eq!(parsed, atom);
+    }
+
+    /// Unification of an atom with itself succeeds and binds nothing new
+    /// for ground atoms.
+    #[test]
+    fn unify_reflexive(atom in arb_ground_atom()) {
+        let subst = unify_atoms(&atom, &atom, &Substitution::new());
+        prop_assert!(subst.is_some());
+        prop_assert!(subst.unwrap().is_empty());
+    }
+
+    /// A pattern unified against a ground atom, when applied to the
+    /// pattern, yields the ground atom (soundness of unification).
+    #[test]
+    fn unify_application_soundness(
+        predicate in arb_name(),
+        args in prop::collection::vec(arb_ground_term(), 0..3),
+        var_positions in prop::collection::vec(any::<bool>(), 0..3),
+    ) {
+        let ground = Atom::new(predicate.clone(), args.clone());
+        // Replace some argument positions with fresh variables.
+        let pattern_args: Vec<Term> = args
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                if var_positions.get(i).copied().unwrap_or(false) {
+                    Term::var(format!("V{i}"))
+                } else {
+                    t.clone()
+                }
+            })
+            .collect();
+        let pattern = Atom::new(predicate, pattern_args);
+        let subst = unify_atoms(&pattern, &ground, &Substitution::new())
+            .expect("pattern must match its own ground instance");
+        prop_assert_eq!(pattern.apply(&subst), ground);
+    }
+
+    /// Ground facts asserted into a fact base are found with the exact
+    /// truth value, and pattern matching finds exactly the facts with
+    /// the requested value.
+    #[test]
+    fn factbase_assert_lookup(
+        atoms in prop::collection::btree_set(arb_ground_atom(), 1..20),
+    ) {
+        let atoms: Vec<Atom> = atoms.into_iter().collect();
+        let mut fb = FactBase::new();
+        for (i, atom) in atoms.iter().enumerate() {
+            let value = if i % 2 == 0 { TruthValue::True } else { TruthValue::False };
+            fb.assert(atom.clone(), value);
+        }
+        prop_assert_eq!(fb.len(), atoms.len());
+        for (i, atom) in atoms.iter().enumerate() {
+            let expected = if i % 2 == 0 { TruthValue::True } else { TruthValue::False };
+            prop_assert_eq!(fb.truth(atom), expected);
+        }
+    }
+
+    /// The engine is idempotent: running the same KB twice derives
+    /// nothing new the second time.
+    #[test]
+    fn engine_idempotent(
+        seeds in prop::collection::vec(arb_name(), 1..5),
+    ) {
+        // Chain rules a1 => a2 => ... over the generated names.
+        let mut kb = KnowledgeBase::new("chain");
+        for pair in seeds.windows(2) {
+            if pair[0] != pair[1] {
+                kb.push(Rule::parse(&format!("{} => {}", pair[0], pair[1])).unwrap());
+            }
+        }
+        let mut fb = FactBase::new();
+        fb.assert(Atom::prop(seeds[0].clone()), TruthValue::True);
+        let engine = Engine::new();
+        engine.infer(&kb, &mut fb).unwrap();
+        let snapshot = fb.clone();
+        let stats = engine.infer(&kb, &mut fb).unwrap();
+        prop_assert_eq!(stats.derived, 0);
+        prop_assert_eq!(fb, snapshot);
+    }
+}

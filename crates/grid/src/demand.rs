@@ -1,0 +1,306 @@
+//! Aggregate demand curves — the substrate behind Figure 1 of the paper.
+//!
+//! Summing household profiles over a winter weekday produces the classic
+//! demand curve with an evening peak; where it exceeds normal production
+//! capacity, the expensive production band of Figure 1 is entered.
+
+use crate::household::Household;
+use crate::production::ProductionModel;
+use crate::series::Series;
+use crate::time::{Interval, TimeAxis};
+use crate::units::KilowattHours;
+use crate::weather::WeatherModel;
+use serde::{Deserialize, Serialize};
+
+/// Aggregates household demand for a day with the given weather.
+///
+/// The returned series is in kWh per slot over all households.
+pub fn aggregate_demand(
+    households: &[Household],
+    weather: &Series,
+    axis: &TimeAxis,
+    seed: u64,
+) -> DemandCurve {
+    let mean_temp = weather.mean();
+    let mut total = Series::zeros(*axis);
+    for h in households {
+        total.accumulate(&h.demand_profile(axis, mean_temp, seed));
+    }
+    DemandCurve::new(total)
+}
+
+/// Convenience: demand for a weather model rather than a realised series.
+pub fn aggregate_demand_for_model(
+    households: &[Household],
+    model: &WeatherModel,
+    axis: &TimeAxis,
+    seed: u64,
+) -> DemandCurve {
+    let weather = model.temperatures(axis, seed);
+    aggregate_demand(households, &weather, axis, seed)
+}
+
+/// A demand curve (kWh per slot, aggregated over consumers).
+///
+/// # Example
+///
+/// ```
+/// use powergrid::prelude::*;
+///
+/// let axis = TimeAxis::hourly();
+/// let homes = PopulationBuilder::new().households(20).build(7);
+/// let weather = WeatherModel::winter().temperatures(&axis, 7);
+/// let curve = aggregate_demand(&homes, &weather, &axis, 7);
+/// let peak = curve.peak_interval(4);
+/// assert_eq!(peak.len(), 4);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DemandCurve {
+    series: Series,
+}
+
+impl DemandCurve {
+    /// Wraps a per-slot energy series as a demand curve.
+    pub fn new(series: Series) -> DemandCurve {
+        DemandCurve { series }
+    }
+
+    /// The underlying series (kWh per slot).
+    pub fn series(&self) -> &Series {
+        &self.series
+    }
+
+    /// The time axis of the curve.
+    pub fn axis(&self) -> TimeAxis {
+        self.series.axis()
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.series.len()
+    }
+
+    /// True if the curve has no slots.
+    pub fn is_empty(&self) -> bool {
+        self.series.is_empty()
+    }
+
+    /// Total energy over the day.
+    pub fn total(&self) -> KilowattHours {
+        self.series.total()
+    }
+
+    /// Energy over an interval.
+    pub fn energy_over(&self, interval: Interval) -> KilowattHours {
+        self.series.energy_over(interval)
+    }
+
+    /// The contiguous window of `width` slots with maximal energy — the
+    /// demand peak the Utility Agent wants to shave.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero or exceeds the day length.
+    pub fn peak_interval(&self, width: usize) -> Interval {
+        let n = self.len();
+        assert!(width > 0 && width <= n, "peak width {width} out of range (1..={n})");
+        let values = self.series.values();
+        let mut window: f64 = values[..width].iter().sum();
+        let mut best = window;
+        let mut best_start = 0;
+        for start in 1..=(n - width) {
+            window += values[start + width - 1] - values[start - 1];
+            if window > best {
+                best = window;
+                best_start = start;
+            }
+        }
+        Interval::new(best_start, best_start + width)
+    }
+
+    /// Slots whose demand exceeds the normal capacity of `production`,
+    /// i.e. the slots served by expensive production in Figure 1.
+    pub fn slots_above_normal(&self, production: &ProductionModel) -> Vec<usize> {
+        let cap = production.normal_capacity_per_slot(self.axis());
+        self.series
+            .values()
+            .iter()
+            .enumerate()
+            .filter(|(_, &v)| v > cap.value())
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// Energy above normal capacity over the whole day (the shaded peak
+    /// area of Figure 1).
+    pub fn energy_above_normal(&self, production: &ProductionModel) -> KilowattHours {
+        let cap = production.normal_capacity_per_slot(self.axis()).value();
+        KilowattHours(
+            self.series
+                .values()
+                .iter()
+                .map(|&v| (v - cap).max(0.0))
+                .sum(),
+        )
+    }
+
+    /// Applies a uniform relative reduction over `interval` (what the grid
+    /// sees when customers implement cut-downs).
+    pub fn with_reduction(&self, interval: Interval, fraction: f64) -> DemandCurve {
+        let mut series = self.series.clone();
+        for i in interval.intersect(Interval::new(0, series.len())) {
+            series.values_mut()[i] *= 1.0 - fraction.clamp(0.0, 1.0);
+        }
+        DemandCurve::new(series)
+    }
+}
+
+/// Simulates demand over a multi-day [`Horizon`](crate::calendar::Horizon):
+/// one curve per day, with weekday/weekend intensity factors applied and
+/// the day index seeding per-day weather and jitter.
+///
+/// Returns `(demand, weather)` series pairs, one per day.
+pub fn simulate_horizon(
+    households: &[Household],
+    model: &WeatherModel,
+    horizon: &crate::calendar::Horizon,
+    axis: &TimeAxis,
+) -> Vec<(DemandCurve, Series)> {
+    horizon
+        .days()
+        .map(|day| {
+            let weather = model.temperatures(axis, day.index);
+            let base = aggregate_demand(households, &weather, axis, day.index);
+            let curve =
+                DemandCurve::new(base.series().scale(day.day_type.intensity_factor()));
+            (curve, weather)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::calendar::Horizon;
+    use crate::population::PopulationBuilder;
+    use crate::production::ProductionModel;
+    use crate::time::TimeOfDay;
+    use crate::units::Kilowatts;
+    use crate::weather::Season;
+
+    fn curve() -> DemandCurve {
+        let axis = TimeAxis::quarter_hourly();
+        let homes = PopulationBuilder::new().households(100).build(7);
+        aggregate_demand_for_model(&homes, &WeatherModel::winter(), &axis, 7)
+    }
+
+    #[test]
+    fn aggregate_is_sum_of_households() {
+        let axis = TimeAxis::hourly();
+        let homes = PopulationBuilder::new().households(5).build(1);
+        let weather = WeatherModel::winter().temperatures(&axis, 1);
+        let curve = aggregate_demand(&homes, &weather, &axis, 1);
+        let mean = weather.mean();
+        let by_hand: f64 = homes
+            .iter()
+            .map(|h| h.demand_profile(&axis, mean, 1).sum())
+            .sum();
+        assert!((curve.total().value() - by_hand).abs() < 1e-9);
+    }
+
+    #[test]
+    fn peak_is_in_the_evening() {
+        let c = curve();
+        let peak = c.peak_interval(8); // 2 hours
+        let start = c.axis().start_of(peak.start());
+        assert!(
+            (16..=20).contains(&start.hour()),
+            "peak starts at {start}, expected evening (Figure 1 shape)"
+        );
+    }
+
+    #[test]
+    fn peak_window_is_maximal() {
+        let c = curve();
+        let peak = c.peak_interval(8);
+        let peak_energy = c.energy_over(peak);
+        for start in 0..(c.len() - 8) {
+            let window = c.energy_over(Interval::new(start, start + 8));
+            assert!(window <= peak_energy + KilowattHours(1e-9));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn zero_width_peak_panics() {
+        let _ = curve().peak_interval(0);
+    }
+
+    #[test]
+    fn expensive_band_appears_when_capacity_below_peak() {
+        let c = curve();
+        // Set normal capacity just below the peak slot demand.
+        let axis = c.axis();
+        let peak_kwh_per_slot = c.series().max();
+        let cap = Kilowatts(peak_kwh_per_slot / axis.slot_hours() * 0.8);
+        let production = ProductionModel::two_tier(cap, Kilowatts(cap.value() * 2.0));
+        assert!(!c.slots_above_normal(&production).is_empty());
+        assert!(c.energy_above_normal(&production).value() > 0.0);
+    }
+
+    #[test]
+    fn no_expensive_band_with_ample_capacity() {
+        let c = curve();
+        let production = ProductionModel::two_tier(Kilowatts(1e9), Kilowatts(2e9));
+        assert!(c.slots_above_normal(&production).is_empty());
+        assert_eq!(c.energy_above_normal(&production), KilowattHours::ZERO);
+    }
+
+    #[test]
+    fn reduction_lowers_interval_energy_only() {
+        let c = curve();
+        let axis = c.axis();
+        let evening = axis.between(TimeOfDay::hm(18, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
+        let reduced = c.with_reduction(evening, 0.3);
+        assert!(reduced.energy_over(evening) < c.energy_over(evening));
+        let morning = axis.between(TimeOfDay::hm(6, 0).unwrap(), TimeOfDay::hm(8, 0).unwrap());
+        assert_eq!(reduced.energy_over(morning), c.energy_over(morning));
+    }
+
+    #[test]
+    fn reduction_clamps_fraction() {
+        let c = curve();
+        let whole = c.axis().whole_day();
+        let zeroed = c.with_reduction(whole, 2.0);
+        assert_eq!(zeroed.total(), KilowattHours::ZERO);
+    }
+
+    #[test]
+    fn horizon_simulation_produces_one_curve_per_day() {
+        let axis = TimeAxis::hourly();
+        let homes = PopulationBuilder::new().households(20).build(5);
+        let horizon = Horizon::new(7, 0, Season::Winter);
+        let days = simulate_horizon(&homes, &WeatherModel::winter(), &horizon, &axis);
+        assert_eq!(days.len(), 7);
+        for (curve, weather) in &days {
+            assert_eq!(curve.len(), 24);
+            assert_eq!(weather.len(), 24);
+            assert!(curve.total().value() > 0.0);
+        }
+        // Weekend days (indices 5, 6 from a Monday start) carry the
+        // weekend intensity factor versus the same-seed weekday baseline.
+        let weekday_equivalent =
+            aggregate_demand_for_model(&homes, &WeatherModel::winter(), &axis, 5);
+        assert!(days[5].0.total() > weekday_equivalent.total());
+    }
+
+    #[test]
+    fn horizon_simulation_is_deterministic() {
+        let axis = TimeAxis::hourly();
+        let homes = PopulationBuilder::new().households(10).build(1);
+        let horizon = Horizon::new(3, 2, Season::Autumn);
+        let a = simulate_horizon(&homes, &WeatherModel::winter(), &horizon, &axis);
+        let b = simulate_horizon(&homes, &WeatherModel::winter(), &horizon, &axis);
+        assert_eq!(a, b);
+    }
+}

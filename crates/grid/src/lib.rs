@@ -1,0 +1,67 @@
+//! Electricity-grid domain substrate for the load-balancing multi-agent
+//! system of Brazier et al. (ICDCS 1998).
+//!
+//! The paper's prototype was driven by real utility data (Sydkraft) that is
+//! not available; this crate provides a synthetic but behaviourally faithful
+//! replacement:
+//!
+//! * typed physical quantities ([`units`]),
+//! * a discretised day ([`time`]) and time series over it ([`series`]),
+//! * weather ([`weather`]) driving device-level household demand
+//!   ([`device`], [`household`], [`population`]),
+//! * aggregate demand curves with evening peaks ([`demand`]) against a
+//!   two-tier production-cost model ([`production`]) — together these
+//!   regenerate Figure 1 of the paper,
+//! * statistical load predictors ([`prediction`]) and peak detection
+//!   ([`peak`]) used by the Utility Agent,
+//! * the lower/normal/higher price scheme ([`tariff`]) of Section 3.2.
+//!
+//! # Example
+//!
+//! ```
+//! use powergrid::prelude::*;
+//!
+//! let axis = TimeAxis::quarter_hourly();
+//! let weather = WeatherModel::winter().temperatures(&axis, 7);
+//! let population = PopulationBuilder::new().households(100).build(42);
+//! let demand = aggregate_demand(&population, &weather, &axis, 42);
+//! assert_eq!(demand.len(), axis.slots_per_day());
+//! assert!(demand.total().0 > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod calendar;
+pub mod demand;
+pub mod device;
+pub mod household;
+pub mod peak;
+pub mod population;
+pub mod prediction;
+pub mod production;
+pub mod series;
+pub mod tariff;
+pub mod time;
+pub mod units;
+pub mod weather;
+
+/// Convenient glob-import of the most frequently used items.
+pub mod prelude {
+    pub use crate::demand::{aggregate_demand, simulate_horizon, DemandCurve};
+    pub use crate::device::{Device, DeviceKind};
+    pub use crate::household::{Household, HouseholdId};
+    pub use crate::peak::{Peak, PeakDetector};
+    pub use crate::population::PopulationBuilder;
+    pub use crate::calendar::{CalendarDay, DayType, Horizon};
+    pub use crate::prediction::{
+        backtest, ExponentialSmoothing, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive,
+        WeatherRegression,
+    };
+    pub use crate::production::ProductionModel;
+    pub use crate::series::Series;
+    pub use crate::tariff::Tariff;
+    pub use crate::time::{Interval, TimeAxis, TimeOfDay};
+    pub use crate::units::{Celsius, Fraction, KilowattHours, Kilowatts, Money, PricePerKwh};
+    pub use crate::weather::{Season, WeatherModel};
+}

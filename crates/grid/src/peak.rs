@@ -1,0 +1,234 @@
+//! Peak detection and overuse computation.
+//!
+//! Section 5.1.2: the Utility Agent's decision to start a negotiation
+//! "depends on level of predicted overuse: whether the predicted overuse is
+//! high enough to warrant the effort involved". This module turns a
+//! predicted demand curve and a production model into that decision input.
+
+use crate::production::ProductionModel;
+use crate::series::Series;
+use crate::time::Interval;
+use crate::units::KilowattHours;
+use serde::{Deserialize, Serialize};
+
+/// A detected demand peak: where it is and how much overuse it carries.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Peak {
+    /// Slots during which predicted demand exceeds normal capacity.
+    pub interval: Interval,
+    /// Predicted energy above normal capacity within the interval.
+    pub predicted_overuse: KilowattHours,
+    /// Normal-capacity energy over the interval ("normal_use" of §6).
+    pub normal_use: KilowattHours,
+}
+
+impl Peak {
+    /// Relative overuse `predicted_overuse / normal_use` — the `overuse`
+    /// quantity in the paper's reward-update formula.
+    pub fn overuse_fraction(&self) -> f64 {
+        if self.normal_use.value() <= f64::EPSILON {
+            0.0
+        } else {
+            self.predicted_overuse / self.normal_use
+        }
+    }
+}
+
+impl std::fmt::Display for Peak {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "peak {} overuse {} ({:.1}% of normal use {})",
+            self.interval,
+            self.predicted_overuse,
+            100.0 * self.overuse_fraction(),
+            self.normal_use
+        )
+    }
+}
+
+/// Detects peaks in predicted demand and judges whether they warrant a
+/// negotiation.
+///
+/// # Example
+///
+/// ```
+/// use powergrid::peak::PeakDetector;
+/// use powergrid::production::ProductionModel;
+/// use powergrid::series::Series;
+/// use powergrid::time::TimeAxis;
+/// use powergrid::units::Kilowatts;
+///
+/// let axis = TimeAxis::hourly();
+/// let mut demand = Series::constant(axis, 80.0);
+/// demand.values_mut()[18] = 130.0; // evening spike above 100 kW capacity
+/// let production = ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(200.0));
+/// let detector = PeakDetector::new(0.05);
+/// let peak = detector.detect(&demand, &production).expect("peak expected");
+/// assert!(peak.interval.contains(18));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PeakDetector {
+    /// Minimum overuse fraction that makes negotiation worth the effort.
+    threshold: f64,
+}
+
+impl PeakDetector {
+    /// Creates a detector that reports peaks whose overuse fraction is at
+    /// least `threshold` (e.g. `0.05` = 5 % above normal capacity).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is negative or not finite.
+    pub fn new(threshold: f64) -> PeakDetector {
+        assert!(threshold >= 0.0 && threshold.is_finite(), "threshold must be ≥ 0");
+        PeakDetector { threshold }
+    }
+
+    /// The configured overuse threshold.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Finds the largest contiguous run of slots where `predicted` exceeds
+    /// normal capacity, and returns it as a [`Peak`] if its overuse
+    /// fraction is at or above the threshold.
+    ///
+    /// Returns `None` in a "stable situation" (§5.1.2): no slot exceeds
+    /// capacity, or the peak is too small to warrant negotiation.
+    pub fn detect(&self, predicted: &Series, production: &ProductionModel) -> Option<Peak> {
+        let cap = production.normal_capacity_per_slot(predicted.axis()).value();
+        // Find all maximal runs of slots above capacity.
+        let mut best: Option<(Interval, f64)> = None;
+        let values = predicted.values();
+        let mut i = 0;
+        while i < values.len() {
+            if values[i] > cap {
+                let start = i;
+                let mut excess = 0.0;
+                while i < values.len() && values[i] > cap {
+                    excess += values[i] - cap;
+                    i += 1;
+                }
+                let candidate = (Interval::new(start, i), excess);
+                match &best {
+                    Some((_, e)) if *e >= excess => {}
+                    _ => best = Some(candidate),
+                }
+            } else {
+                i += 1;
+            }
+        }
+        let (interval, excess) = best?;
+        let normal_use = KilowattHours(cap * interval.len() as f64);
+        let peak = Peak {
+            interval,
+            predicted_overuse: KilowattHours(excess),
+            normal_use,
+        };
+        if peak.overuse_fraction() >= self.threshold {
+            Some(peak)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for PeakDetector {
+    /// A detector with a 5 % overuse threshold.
+    fn default() -> Self {
+        PeakDetector::new(0.05)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeAxis;
+    use crate::units::Kilowatts;
+
+    fn production() -> ProductionModel {
+        ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(200.0))
+    }
+
+    fn axis() -> TimeAxis {
+        TimeAxis::hourly()
+    }
+
+    #[test]
+    fn no_peak_in_stable_situation() {
+        let demand = Series::constant(axis(), 80.0);
+        assert!(PeakDetector::default().detect(&demand, &production()).is_none());
+    }
+
+    #[test]
+    fn detects_single_peak() {
+        let mut demand = Series::constant(axis(), 80.0);
+        for h in 17..21 {
+            demand.values_mut()[h] = 130.0;
+        }
+        let peak = PeakDetector::default().detect(&demand, &production()).unwrap();
+        assert_eq!(peak.interval, Interval::new(17, 21));
+        assert!((peak.predicted_overuse.value() - 120.0).abs() < 1e-9);
+        assert!((peak.normal_use.value() - 400.0).abs() < 1e-9);
+        assert!((peak.overuse_fraction() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn picks_largest_of_multiple_peaks() {
+        let mut demand = Series::constant(axis(), 80.0);
+        demand.values_mut()[8] = 110.0; // small morning bump: excess 10
+        for h in 18..20 {
+            demand.values_mut()[h] = 140.0; // evening: excess 80
+        }
+        let peak = PeakDetector::new(0.0).detect(&demand, &production()).unwrap();
+        assert_eq!(peak.interval, Interval::new(18, 20));
+    }
+
+    #[test]
+    fn threshold_filters_small_peaks() {
+        let mut demand = Series::constant(axis(), 80.0);
+        demand.values_mut()[18] = 102.0; // 2 % overuse in that slot
+        assert!(PeakDetector::new(0.05).detect(&demand, &production()).is_none());
+        assert!(PeakDetector::new(0.01).detect(&demand, &production()).is_some());
+    }
+
+    #[test]
+    fn paper_scenario_numbers() {
+        // Figures 6–7: normal capacity 100, predicted usage 135 → overuse 35.
+        let axis = TimeAxis::hourly();
+        let mut demand = Series::constant(axis, 50.0);
+        demand.values_mut()[18] = 135.0;
+        let peak = PeakDetector::default().detect(&demand, &production()).unwrap();
+        assert!((peak.predicted_overuse.value() - 35.0).abs() < 1e-9);
+        assert!((peak.overuse_fraction() - 0.35).abs() < 1e-9);
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let peak = Peak {
+            interval: Interval::new(18, 20),
+            predicted_overuse: KilowattHours(35.0),
+            normal_use: KilowattHours(100.0),
+        };
+        let s = peak.to_string();
+        assert!(s.contains("35.0"));
+        assert!(s.contains('%'));
+    }
+
+    #[test]
+    #[should_panic(expected = "threshold")]
+    fn negative_threshold_panics() {
+        let _ = PeakDetector::new(-0.1);
+    }
+
+    #[test]
+    fn zero_normal_use_gives_zero_fraction() {
+        let peak = Peak {
+            interval: Interval::new(0, 0),
+            predicted_overuse: KilowattHours::ZERO,
+            normal_use: KilowattHours::ZERO,
+        };
+        assert_eq!(peak.overuse_fraction(), 0.0);
+    }
+}

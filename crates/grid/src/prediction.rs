@@ -1,0 +1,478 @@
+//! Statistical load predictors.
+//!
+//! Section 5.1.2: "To predict the balance between consumption and
+//! production, available information is analysed and predictions are
+//! calculated on the basis of statistical models." The Utility Agent can be
+//! configured with any of the predictors here; accuracy metrics allow the
+//! experiments to compare them.
+
+use crate::series::Series;
+use crate::time::TimeAxis;
+use std::fmt;
+
+/// A statistical model predicting today's demand curve from recent history
+/// and (optionally) today's weather forecast.
+pub trait LoadPredictor: fmt::Debug {
+    /// Predicts today's demand (kWh per slot).
+    ///
+    /// `history` holds the most recent full days, oldest first; `weather`
+    /// is today's forecast temperature series on the same axis.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if `history` is empty or series axes disagree.
+    fn predict(&self, history: &[Series], weather: &Series) -> Series;
+
+    /// A short human-readable name for reports.
+    fn name(&self) -> &'static str;
+}
+
+fn check_history(history: &[Series], axis: TimeAxis) {
+    assert!(!history.is_empty(), "predictor needs at least one day of history");
+    for day in history {
+        assert_eq!(day.axis(), axis, "history days must share the forecast axis");
+    }
+}
+
+/// Predicts the mean of the last `window` days.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MovingAverage {
+    window: usize,
+}
+
+impl MovingAverage {
+    /// Creates a moving-average predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero.
+    pub fn new(window: usize) -> MovingAverage {
+        assert!(window > 0, "window must be positive");
+        MovingAverage { window }
+    }
+}
+
+impl LoadPredictor for MovingAverage {
+    fn predict(&self, history: &[Series], weather: &Series) -> Series {
+        check_history(history, weather.axis());
+        let days = &history[history.len().saturating_sub(self.window)..];
+        let mut acc = Series::zeros(weather.axis());
+        for day in days {
+            acc.accumulate(day);
+        }
+        acc.scale(1.0 / days.len() as f64)
+    }
+
+    fn name(&self) -> &'static str {
+        "moving-average"
+    }
+}
+
+/// Exponentially weighted average: `s_t = α·x_t + (1-α)·s_{t-1}`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExponentialSmoothing {
+    alpha: f64,
+}
+
+impl ExponentialSmoothing {
+    /// Creates an exponential-smoothing predictor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `alpha` is outside `(0, 1]`.
+    pub fn new(alpha: f64) -> ExponentialSmoothing {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        ExponentialSmoothing { alpha }
+    }
+}
+
+impl LoadPredictor for ExponentialSmoothing {
+    fn predict(&self, history: &[Series], weather: &Series) -> Series {
+        check_history(history, weather.axis());
+        let mut state = history[0].clone();
+        for day in &history[1..] {
+            state = state
+                .zip_with(day, |s, x| self.alpha * x + (1.0 - self.alpha) * s)
+                .expect("axes checked above");
+        }
+        state
+    }
+
+    fn name(&self) -> &'static str {
+        "exponential-smoothing"
+    }
+}
+
+/// Predicts a repeat of the most recent day (seasonal naïve with period 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SeasonalNaive;
+
+impl LoadPredictor for SeasonalNaive {
+    fn predict(&self, history: &[Series], weather: &Series) -> Series {
+        check_history(history, weather.axis());
+        history.last().expect("non-empty history").clone()
+    }
+
+    fn name(&self) -> &'static str {
+        "seasonal-naive"
+    }
+}
+
+/// Scales the recent average by a linear temperature-sensitivity term
+/// fitted implicitly: colder forecast ⇒ higher prediction.
+///
+/// The model is `pred = avg · (1 + k · (T_ref − T_forecast))` with
+/// reference temperature `t_ref` and sensitivity `k` per °C.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WeatherRegression {
+    base: MovingAverage,
+    t_ref: f64,
+    sensitivity: f64,
+}
+
+impl WeatherRegression {
+    /// Creates a weather-sensitive predictor over a `window`-day average.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window` is zero or `sensitivity` is negative.
+    pub fn new(window: usize, t_ref: f64, sensitivity: f64) -> WeatherRegression {
+        assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
+        WeatherRegression { base: MovingAverage::new(window), t_ref, sensitivity }
+    }
+
+    /// A predictor calibrated to the household heating model of this crate
+    /// (reference 0 °C, ~1.5 %/°C aggregate sensitivity).
+    pub fn calibrated() -> WeatherRegression {
+        WeatherRegression::new(3, 0.0, 0.015)
+    }
+}
+
+impl LoadPredictor for WeatherRegression {
+    fn predict(&self, history: &[Series], weather: &Series) -> Series {
+        let avg = self.base.predict(history, weather);
+        let t_forecast = weather.mean();
+        let factor = (1.0 + self.sensitivity * (self.t_ref - t_forecast)).max(0.0);
+        avg.scale(factor)
+    }
+
+    fn name(&self) -> &'static str {
+        "weather-regression"
+    }
+}
+
+/// Holt's linear-trend method applied per slot: level and trend are
+/// updated day over day, and the forecast extrapolates one day ahead.
+/// Captures demand drifting with a cold spell where plain smoothing lags.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HoltTrend {
+    alpha: f64,
+    beta: f64,
+}
+
+impl HoltTrend {
+    /// Creates a Holt predictor with level gain `alpha` and trend gain
+    /// `beta`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both gains are in `(0, 1]`.
+    pub fn new(alpha: f64, beta: f64) -> HoltTrend {
+        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1], got {beta}");
+        HoltTrend { alpha, beta }
+    }
+}
+
+impl LoadPredictor for HoltTrend {
+    fn predict(&self, history: &[Series], weather: &Series) -> Series {
+        check_history(history, weather.axis());
+        let n = weather.axis().slots_per_day();
+        let mut level: Vec<f64> = history[0].values().to_vec();
+        let mut trend = vec![0.0f64; n];
+        for day in &history[1..] {
+            for i in 0..n {
+                let prev_level = level[i];
+                level[i] =
+                    self.alpha * day[i] + (1.0 - self.alpha) * (prev_level + trend[i]);
+                trend[i] = self.beta * (level[i] - prev_level) + (1.0 - self.beta) * trend[i];
+            }
+        }
+        let values = (0..n).map(|i| (level[i] + trend[i]).max(0.0)).collect();
+        Series::from_values(weather.axis(), values)
+    }
+
+    fn name(&self) -> &'static str {
+        "holt-trend"
+    }
+}
+
+/// Prediction-accuracy metrics.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Accuracy {
+    /// Root-mean-squared error, kWh per slot.
+    pub rmse: f64,
+    /// Mean absolute percentage error, in `[0, ∞)`.
+    pub mape: f64,
+}
+
+/// Computes accuracy of `predicted` against `actual`.
+///
+/// # Panics
+///
+/// Panics if the series axes differ.
+pub fn accuracy(predicted: &Series, actual: &Series) -> Accuracy {
+    assert_eq!(predicted.axis(), actual.axis(), "accuracy over mismatched axes");
+    let n = actual.len() as f64;
+    let mut se = 0.0;
+    let mut ape = 0.0;
+    let mut ape_n = 0.0;
+    for (&p, &a) in predicted.values().iter().zip(actual.values()) {
+        se += (p - a).powi(2);
+        if a.abs() > f64::EPSILON {
+            ape += ((p - a) / a).abs();
+            ape_n += 1.0;
+        }
+    }
+    Accuracy {
+        rmse: (se / n).sqrt(),
+        mape: if ape_n > 0.0 { ape / ape_n } else { 0.0 },
+    }
+}
+
+/// Backtest report for one predictor over a rolling evaluation.
+#[derive(Debug, Clone)]
+pub struct BacktestRow {
+    /// Predictor name.
+    pub name: &'static str,
+    /// Mean RMSE across evaluation days.
+    pub mean_rmse: f64,
+    /// Mean MAPE across evaluation days.
+    pub mean_mape: f64,
+    /// Days evaluated.
+    pub days: usize,
+}
+
+/// Rolling-origin backtest: for each day `d ≥ warmup`, predict day `d`
+/// from days `0..d` and score against the actual. Returns one row per
+/// predictor, sorted by MAPE (best first).
+///
+/// # Panics
+///
+/// Panics if `actuals.len() <= warmup`, if `warmup` is zero, or if the
+/// weather series list does not match the actuals.
+pub fn backtest(
+    predictors: &[&dyn LoadPredictor],
+    actuals: &[Series],
+    weather: &[Series],
+    warmup: usize,
+) -> Vec<BacktestRow> {
+    assert!(warmup > 0, "need at least one warmup day");
+    assert!(actuals.len() > warmup, "not enough days to evaluate");
+    assert_eq!(actuals.len(), weather.len(), "weather must cover every day");
+    let mut rows: Vec<BacktestRow> = predictors
+        .iter()
+        .map(|p| {
+            let mut rmse = 0.0;
+            let mut mape = 0.0;
+            let mut days = 0;
+            for d in warmup..actuals.len() {
+                let pred = p.predict(&actuals[..d], &weather[d]);
+                let acc = accuracy(&pred, &actuals[d]);
+                rmse += acc.rmse;
+                mape += acc.mape;
+                days += 1;
+            }
+            BacktestRow {
+                name: p.name(),
+                mean_rmse: rmse / days as f64,
+                mean_mape: mape / days as f64,
+                days,
+            }
+        })
+        .collect();
+    rows.sort_by(|a, b| a.mean_mape.partial_cmp(&b.mean_mape).expect("finite scores"));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::demand::aggregate_demand;
+    use crate::population::PopulationBuilder;
+    use crate::weather::WeatherModel;
+
+    fn axis() -> TimeAxis {
+        TimeAxis::hourly()
+    }
+
+    fn history_and_today() -> (Vec<Series>, Series, Series) {
+        let homes = PopulationBuilder::new().households(40).build(11);
+        let model = WeatherModel::winter();
+        let mut history = Vec::new();
+        for day in 0..5 {
+            let weather = model.temperatures(&axis(), day);
+            history.push(aggregate_demand(&homes, &weather, &axis(), day).series().clone());
+        }
+        let today_weather = model.temperatures(&axis(), 5);
+        let today = aggregate_demand(&homes, &today_weather, &axis(), 5).series().clone();
+        (history, today_weather, today)
+    }
+
+    #[test]
+    fn moving_average_of_constant_history() {
+        let history = vec![Series::constant(axis(), 2.0); 4];
+        let weather = Series::constant(axis(), -4.0);
+        let pred = MovingAverage::new(3).predict(&history, &weather);
+        assert!((pred.sum() - 48.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one day")]
+    fn empty_history_panics() {
+        let weather = Series::constant(axis(), 0.0);
+        let _ = MovingAverage::new(3).predict(&[], &weather);
+    }
+
+    #[test]
+    fn exponential_smoothing_converges_to_recent() {
+        let old = Series::constant(axis(), 1.0);
+        let new = Series::constant(axis(), 10.0);
+        let history = vec![old, new.clone(), new.clone(), new.clone(), new.clone()];
+        let weather = Series::constant(axis(), 0.0);
+        let pred = ExponentialSmoothing::new(0.7).predict(&history, &weather);
+        assert!((pred[0] - 10.0).abs() < 0.1, "pred {} should be near 10", pred[0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn bad_alpha_panics() {
+        let _ = ExponentialSmoothing::new(0.0);
+    }
+
+    #[test]
+    fn seasonal_naive_repeats_yesterday() {
+        let (history, weather, _) = history_and_today();
+        let pred = SeasonalNaive.predict(&history, &weather);
+        assert_eq!(&pred, history.last().unwrap());
+    }
+
+    #[test]
+    fn weather_regression_raises_prediction_on_cold_forecast() {
+        let history = vec![Series::constant(axis(), 5.0); 3];
+        let reg = WeatherRegression::new(3, 0.0, 0.02);
+        let cold = reg.predict(&history, &Series::constant(axis(), -10.0));
+        let warm = reg.predict(&history, &Series::constant(axis(), 10.0));
+        assert!(cold.sum() > warm.sum());
+    }
+
+    #[test]
+    fn predictors_have_reasonable_accuracy_on_real_series() {
+        let (history, weather, today) = history_and_today();
+        let predictors: Vec<Box<dyn LoadPredictor>> = vec![
+            Box::new(MovingAverage::new(3)),
+            Box::new(ExponentialSmoothing::new(0.5)),
+            Box::new(SeasonalNaive),
+            Box::new(WeatherRegression::calibrated()),
+        ];
+        for p in &predictors {
+            let pred = p.predict(&history, &weather);
+            let acc = accuracy(&pred, &today);
+            assert!(
+                acc.mape < 0.25,
+                "{} MAPE {} too high for stable winter demand",
+                p.name(),
+                acc.mape
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_of_perfect_prediction_is_zero() {
+        let s = Series::constant(axis(), 3.0);
+        let acc = accuracy(&s, &s);
+        assert_eq!(acc.rmse, 0.0);
+        assert_eq!(acc.mape, 0.0);
+    }
+
+    #[test]
+    fn predictor_names_are_distinct() {
+        let names = [
+            MovingAverage::new(1).name(),
+            ExponentialSmoothing::new(0.5).name(),
+            SeasonalNaive.name(),
+            WeatherRegression::calibrated().name(),
+            HoltTrend::new(0.5, 0.3).name(),
+        ];
+        let unique: std::collections::HashSet<_> = names.iter().collect();
+        assert_eq!(unique.len(), names.len());
+    }
+
+    #[test]
+    fn holt_tracks_a_linear_trend() {
+        // Demand rising 1 kWh/slot per day: Holt extrapolates, the plain
+        // moving average lags behind.
+        let history: Vec<Series> = (0..6)
+            .map(|d| Series::constant(axis(), 10.0 + d as f64))
+            .collect();
+        let actual_next = Series::constant(axis(), 16.0);
+        let weather = Series::constant(axis(), 0.0);
+        let holt = HoltTrend::new(0.6, 0.4).predict(&history, &weather);
+        let ma = MovingAverage::new(3).predict(&history, &weather);
+        let holt_err = accuracy(&holt, &actual_next).rmse;
+        let ma_err = accuracy(&ma, &actual_next).rmse;
+        assert!(holt_err < ma_err, "Holt {holt_err} should beat MA {ma_err} on a trend");
+    }
+
+    #[test]
+    fn holt_never_predicts_negative() {
+        let history: Vec<Series> =
+            (0..4).map(|d| Series::constant(axis(), (3 - d) as f64)).collect();
+        let weather = Series::constant(axis(), 0.0);
+        let pred = HoltTrend::new(0.9, 0.9).predict(&history, &weather);
+        assert!(pred.min() >= 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "alpha must be in")]
+    fn holt_validates_gains() {
+        let _ = HoltTrend::new(0.0, 0.5);
+    }
+
+    #[test]
+    fn backtest_ranks_predictors() {
+        let (history, _, _) = history_and_today();
+        let homes = PopulationBuilder::new().households(40).build(11);
+        let model = WeatherModel::winter();
+        let mut actuals = history.clone();
+        let mut weathers: Vec<Series> =
+            (0..actuals.len() as u64).map(|d| model.temperatures(&axis(), d)).collect();
+        for day in 5..9u64 {
+            let w = model.temperatures(&axis(), day);
+            actuals.push(aggregate_demand(&homes, &w, &axis(), day).series().clone());
+            weathers.push(w);
+        }
+        let ma = MovingAverage::new(3);
+        let naive = SeasonalNaive;
+        let holt = HoltTrend::new(0.5, 0.2);
+        let rows = backtest(&[&ma, &naive, &holt], &actuals, &weathers, 3);
+        assert_eq!(rows.len(), 3);
+        // Sorted best-first.
+        for pair in rows.windows(2) {
+            assert!(pair[0].mean_mape <= pair[1].mean_mape);
+        }
+        for row in &rows {
+            assert!(row.days == actuals.len() - 3);
+            assert!(row.mean_mape < 0.5, "{} wildly off: {}", row.name, row.mean_mape);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "not enough days")]
+    fn backtest_needs_evaluation_days() {
+        let actuals = vec![Series::constant(axis(), 1.0); 2];
+        let weathers = vec![Series::constant(axis(), 0.0); 2];
+        let ma = MovingAverage::new(1);
+        let _ = backtest(&[&ma], &actuals, &weathers, 2);
+    }
+}

@@ -1,0 +1,254 @@
+//! Two-tier production model: normal vs expensive production (Figure 1).
+//!
+//! Figure 1 of the paper shows a demand curve crossing from "normal
+//! production costs" into "expensive production costs" at peak times. The
+//! Producer Agent reports availability and cost from this model.
+
+use crate::series::Series;
+use crate::time::TimeAxis;
+use crate::units::{KilowattHours, Kilowatts, Money, PricePerKwh};
+use serde::{Deserialize, Serialize};
+
+/// Generation capacity split into a cheap base tier and an expensive
+/// peaking tier.
+///
+/// # Example
+///
+/// ```
+/// use powergrid::production::ProductionModel;
+/// use powergrid::units::{Kilowatts, KilowattHours};
+///
+/// let p = ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(150.0));
+/// // Energy served within normal capacity costs the base rate.
+/// let cheap = p.cost_of_energy(KilowattHours(50.0), 1.0);
+/// let pricey = p.cost_of_energy(KilowattHours(120.0), 1.0);
+/// assert!(pricey.value() > cheap.value() * 2.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProductionModel {
+    normal_capacity: Kilowatts,
+    total_capacity: Kilowatts,
+    normal_cost: PricePerKwh,
+    expensive_cost: PricePerKwh,
+}
+
+/// Error returned when demand exceeds even the expensive capacity.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CapacityExceededError {
+    /// Demanded power.
+    pub demanded: Kilowatts,
+    /// Total installed capacity.
+    pub capacity: Kilowatts,
+}
+
+impl std::fmt::Display for CapacityExceededError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "demand {} exceeds total capacity {}",
+            self.demanded, self.capacity
+        )
+    }
+}
+
+impl std::error::Error for CapacityExceededError {}
+
+impl ProductionModel {
+    /// Default cost of base-tier production.
+    pub const DEFAULT_NORMAL_COST: PricePerKwh = PricePerKwh(0.30);
+    /// Default cost of peaking-tier production.
+    pub const DEFAULT_EXPENSIVE_COST: PricePerKwh = PricePerKwh(1.10);
+
+    /// Creates a two-tier model with default costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities are negative or `total < normal`.
+    pub fn two_tier(normal_capacity: Kilowatts, total_capacity: Kilowatts) -> ProductionModel {
+        ProductionModel::with_costs(
+            normal_capacity,
+            total_capacity,
+            Self::DEFAULT_NORMAL_COST,
+            Self::DEFAULT_EXPENSIVE_COST,
+        )
+    }
+
+    /// Creates a two-tier model with explicit costs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if capacities are negative, `total < normal`, or the
+    /// expensive cost is below the normal cost.
+    pub fn with_costs(
+        normal_capacity: Kilowatts,
+        total_capacity: Kilowatts,
+        normal_cost: PricePerKwh,
+        expensive_cost: PricePerKwh,
+    ) -> ProductionModel {
+        assert!(normal_capacity.value() >= 0.0, "normal capacity must be non-negative");
+        assert!(
+            total_capacity >= normal_capacity,
+            "total capacity {total_capacity} below normal capacity {normal_capacity}"
+        );
+        assert!(
+            expensive_cost >= normal_cost,
+            "expensive production should not be cheaper than normal production"
+        );
+        ProductionModel { normal_capacity, total_capacity, normal_cost, expensive_cost }
+    }
+
+    /// Base-tier capacity.
+    pub fn normal_capacity(&self) -> Kilowatts {
+        self.normal_capacity
+    }
+
+    /// Total installed capacity.
+    pub fn total_capacity(&self) -> Kilowatts {
+        self.total_capacity
+    }
+
+    /// Cost of base-tier energy.
+    pub fn normal_cost(&self) -> PricePerKwh {
+        self.normal_cost
+    }
+
+    /// Cost of peaking-tier energy.
+    pub fn expensive_cost(&self) -> PricePerKwh {
+        self.expensive_cost
+    }
+
+    /// Normal capacity expressed as energy per slot on `axis`.
+    pub fn normal_capacity_per_slot(&self, axis: TimeAxis) -> KilowattHours {
+        self.normal_capacity.for_hours(axis.slot_hours())
+    }
+
+    /// Production cost of serving `energy` delivered over `hours` hours:
+    /// energy within normal capacity at the base rate, the excess at the
+    /// expensive rate. Demand beyond total capacity is still billed at the
+    /// expensive rate (interpreted as imports), mirroring how the paper's
+    /// utility always serves demand but at higher production cost.
+    pub fn cost_of_energy(&self, energy: KilowattHours, hours: f64) -> Money {
+        assert!(hours > 0.0, "duration must be positive");
+        let cheap_cap = self.normal_capacity.for_hours(hours);
+        let cheap = energy.min(cheap_cap).clamp_non_negative();
+        let pricey = (energy - cheap).clamp_non_negative();
+        cheap * self.normal_cost + pricey * self.expensive_cost
+    }
+
+    /// Production cost of an entire demand curve (kWh per slot).
+    pub fn cost_of_curve(&self, demand: &Series) -> Money {
+        let slot_hours = demand.axis().slot_hours();
+        demand
+            .values()
+            .iter()
+            .map(|&kwh| self.cost_of_energy(KilowattHours(kwh), slot_hours))
+            .sum()
+    }
+
+    /// Checks whether average power `demanded` can be served at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CapacityExceededError`] when `demanded` exceeds the total
+    /// installed capacity.
+    pub fn check_feasible(&self, demanded: Kilowatts) -> Result<(), CapacityExceededError> {
+        if demanded > self.total_capacity {
+            Err(CapacityExceededError { demanded, capacity: self.total_capacity })
+        } else {
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::TimeAxis;
+
+    fn model() -> ProductionModel {
+        ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(150.0))
+    }
+
+    #[test]
+    fn accessors() {
+        let m = model();
+        assert_eq!(m.normal_capacity(), Kilowatts(100.0));
+        assert_eq!(m.total_capacity(), Kilowatts(150.0));
+        assert!(m.expensive_cost() > m.normal_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "below normal capacity")]
+    fn total_below_normal_panics() {
+        let _ = ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(50.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "cheaper than normal")]
+    fn inverted_costs_panic() {
+        let _ = ProductionModel::with_costs(
+            Kilowatts(10.0),
+            Kilowatts(20.0),
+            PricePerKwh(1.0),
+            PricePerKwh(0.5),
+        );
+    }
+
+    #[test]
+    fn cheap_energy_at_base_rate() {
+        let m = model();
+        let cost = m.cost_of_energy(KilowattHours(50.0), 1.0);
+        assert_eq!(cost, Money(50.0 * m.normal_cost().value()));
+    }
+
+    #[test]
+    fn peak_energy_split_across_tiers() {
+        let m = model();
+        let cost = m.cost_of_energy(KilowattHours(120.0), 1.0);
+        let expected =
+            100.0 * m.normal_cost().value() + 20.0 * m.expensive_cost().value();
+        assert!((cost.value() - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn marginal_cost_jumps_at_capacity() {
+        let m = model();
+        let below = m.cost_of_energy(KilowattHours(100.0), 1.0);
+        let above = m.cost_of_energy(KilowattHours(101.0), 1.0);
+        let marginal = above - below;
+        assert!((marginal.value() - m.expensive_cost().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn per_slot_capacity_scales_with_axis() {
+        let m = model();
+        assert_eq!(m.normal_capacity_per_slot(TimeAxis::hourly()), KilowattHours(100.0));
+        assert_eq!(
+            m.normal_capacity_per_slot(TimeAxis::quarter_hourly()),
+            KilowattHours(25.0)
+        );
+    }
+
+    #[test]
+    fn curve_cost_sums_slots() {
+        let m = model();
+        let axis = TimeAxis::hourly();
+        let demand = Series::constant(axis, 50.0);
+        let cost = m.cost_of_curve(&demand);
+        assert!((cost.value() - 24.0 * 50.0 * m.normal_cost().value()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn feasibility_check() {
+        let m = model();
+        assert!(m.check_feasible(Kilowatts(150.0)).is_ok());
+        let err = m.check_feasible(Kilowatts(151.0)).unwrap_err();
+        assert!(err.to_string().contains("exceeds"));
+    }
+
+    #[test]
+    fn negative_energy_costs_nothing() {
+        let m = model();
+        assert_eq!(m.cost_of_energy(KilowattHours(-5.0), 1.0), Money::ZERO);
+    }
+}

@@ -1,0 +1,212 @@
+//! Weather model driving temperature-sensitive demand.
+//!
+//! The paper's Utility Agent "acquires information from the External World
+//! (e.g., weather conditions)" to predict demand. We model daily temperature
+//! as a seasonal base level plus a sinusoidal diurnal cycle plus seeded
+//! noise, which is enough structure for the weather-regression predictor to
+//! have signal to exploit.
+
+use crate::series::Series;
+use crate::time::TimeAxis;
+use crate::units::Celsius;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Season of the year, selecting a base temperature regime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Season {
+    /// Cold, heating-dominated demand (the paper's peak scenario).
+    Winter,
+    /// Mild shoulder season.
+    Spring,
+    /// Warm, low heating demand.
+    Summer,
+    /// Mild shoulder season.
+    Autumn,
+}
+
+impl Season {
+    /// Mean daily temperature for the season (northern-European climate).
+    pub fn base_temperature(self) -> Celsius {
+        match self {
+            Season::Winter => Celsius(-4.0),
+            Season::Spring => Celsius(8.0),
+            Season::Summer => Celsius(19.0),
+            Season::Autumn => Celsius(7.0),
+        }
+    }
+
+    /// All four seasons.
+    pub fn all() -> [Season; 4] {
+        [Season::Winter, Season::Spring, Season::Summer, Season::Autumn]
+    }
+}
+
+impl std::fmt::Display for Season {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            Season::Winter => "winter",
+            Season::Spring => "spring",
+            Season::Summer => "summer",
+            Season::Autumn => "autumn",
+        };
+        f.write_str(name)
+    }
+}
+
+/// A parametric daily temperature model.
+///
+/// # Example
+///
+/// ```
+/// use powergrid::weather::WeatherModel;
+/// use powergrid::time::TimeAxis;
+///
+/// let axis = TimeAxis::hourly();
+/// let temps = WeatherModel::winter().temperatures(&axis, 1);
+/// assert_eq!(temps.len(), 24);
+/// // Winter days stay cold.
+/// assert!(temps.max() < 10.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WeatherModel {
+    season: Season,
+    /// Half of the day/night temperature swing, in °C.
+    diurnal_amplitude: f64,
+    /// Standard deviation of per-slot noise, in °C.
+    noise_sd: f64,
+    /// Offset added to the seasonal base (cold snaps, warm spells).
+    anomaly: f64,
+}
+
+impl WeatherModel {
+    /// Creates a model for a season with default amplitude and noise.
+    pub fn new(season: Season) -> WeatherModel {
+        WeatherModel { season, diurnal_amplitude: 3.0, noise_sd: 0.5, anomaly: 0.0 }
+    }
+
+    /// Winter model (the Figure 1 peak scenario).
+    pub fn winter() -> WeatherModel {
+        WeatherModel::new(Season::Winter)
+    }
+
+    /// Summer model.
+    pub fn summer() -> WeatherModel {
+        WeatherModel::new(Season::Summer)
+    }
+
+    /// Sets the diurnal amplitude (°C).
+    pub fn with_amplitude(mut self, amplitude: f64) -> WeatherModel {
+        self.diurnal_amplitude = amplitude;
+        self
+    }
+
+    /// Sets the per-slot noise standard deviation (°C).
+    pub fn with_noise(mut self, sd: f64) -> WeatherModel {
+        self.noise_sd = sd;
+        self
+    }
+
+    /// Adds a temperature anomaly (e.g. `-6.0` for a cold snap).
+    pub fn with_anomaly(mut self, anomaly: f64) -> WeatherModel {
+        self.anomaly = anomaly;
+        self
+    }
+
+    /// The season this model describes.
+    pub fn season(&self) -> Season {
+        self.season
+    }
+
+    /// Generates the day's temperature series (°C per slot), seeded for
+    /// reproducibility: the same seed always yields the same weather.
+    pub fn temperatures(&self, axis: &TimeAxis, seed: u64) -> Series {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x5eed_5eed);
+        let base = self.season.base_temperature().value() + self.anomaly;
+        let amp = self.diurnal_amplitude;
+        let sd = self.noise_sd;
+        Series::from_fn(*axis, |t| {
+            // Coldest around 05:00, warmest around 15:00.
+            let phase = (t - 15.0 / 24.0) * std::f64::consts::TAU;
+            let diurnal = amp * phase.cos();
+            let noise: f64 = if sd > 0.0 {
+                // Box-Muller on two uniform draws keeps us independent of
+                // rand_distr, which is not in the sanctioned crate set.
+                let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+                let u2: f64 = rng.gen_range(0.0..1.0);
+                sd * (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+            } else {
+                0.0
+            };
+            base + diurnal + noise
+        })
+    }
+
+    /// Mean temperature of a generated day.
+    pub fn mean_temperature(&self, axis: &TimeAxis, seed: u64) -> Celsius {
+        Celsius(self.temperatures(axis, seed).mean())
+    }
+}
+
+impl Default for WeatherModel {
+    fn default() -> Self {
+        WeatherModel::winter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seasons_have_expected_ordering() {
+        assert!(Season::Winter.base_temperature() < Season::Spring.base_temperature());
+        assert!(Season::Spring.base_temperature() < Season::Summer.base_temperature());
+        assert_eq!(Season::all().len(), 4);
+    }
+
+    #[test]
+    fn deterministic_for_same_seed() {
+        let axis = TimeAxis::hourly();
+        let model = WeatherModel::winter();
+        assert_eq!(model.temperatures(&axis, 1), model.temperatures(&axis, 1));
+        assert_ne!(model.temperatures(&axis, 1), model.temperatures(&axis, 2));
+    }
+
+    #[test]
+    fn winter_colder_than_summer() {
+        let axis = TimeAxis::hourly();
+        let w = WeatherModel::winter().mean_temperature(&axis, 3);
+        let s = WeatherModel::summer().mean_temperature(&axis, 3);
+        assert!(w < s);
+    }
+
+    #[test]
+    fn anomaly_shifts_mean() {
+        let axis = TimeAxis::hourly();
+        let normal = WeatherModel::winter().with_noise(0.0).mean_temperature(&axis, 0);
+        let snap = WeatherModel::winter()
+            .with_noise(0.0)
+            .with_anomaly(-6.0)
+            .mean_temperature(&axis, 0);
+        assert!((normal.value() - snap.value() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn diurnal_cycle_peaks_in_afternoon() {
+        let axis = TimeAxis::hourly();
+        let temps = WeatherModel::winter().with_noise(0.0).temperatures(&axis, 0);
+        let warmest = temps.argmax();
+        assert!((14..=16).contains(&warmest), "warmest hour was {warmest}");
+    }
+
+    #[test]
+    fn noise_free_model_is_smooth() {
+        let axis = TimeAxis::quarter_hourly();
+        let temps = WeatherModel::winter().with_noise(0.0).temperatures(&axis, 0);
+        for i in 1..temps.len() {
+            assert!((temps[i] - temps[i - 1]).abs() < 0.5);
+        }
+    }
+}

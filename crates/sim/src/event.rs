@@ -1,0 +1,183 @@
+//! The event queue: a total order over scheduled deliveries and timers.
+
+use crate::agent::{AgentId, TimerToken};
+use crate::clock::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// A message in flight.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Envelope<M> {
+    /// Sender.
+    pub from: AgentId,
+    /// Recipient.
+    pub to: AgentId,
+    /// Payload.
+    pub msg: M,
+}
+
+/// What happens when an event fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EventKind<M> {
+    /// Deliver a message to its recipient.
+    Deliver(Envelope<M>),
+    /// Fire a timer at an agent.
+    Timer {
+        /// The agent owning the timer.
+        agent: AgentId,
+        /// The token passed back to the agent.
+        token: TimerToken,
+    },
+}
+
+/// A scheduled event. Ordering is `(time, seq)`: virtual time first, then
+/// insertion sequence — two events never tie, so execution order is total
+/// and deterministic. Equality and ordering deliberately ignore the
+/// payload, so `M` needs no `Eq` bound (protocol messages carry `f64`
+/// reward values).
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<M> {
+    /// When the event fires.
+    pub at: SimTime,
+    /// Tie-breaking insertion sequence number.
+    pub seq: u64,
+    /// The payload.
+    pub kind: EventKind<M>,
+}
+
+impl<M> PartialEq for ScheduledEvent<M> {
+    fn eq(&self, other: &Self) -> bool {
+        self.at == other.at && self.seq == other.seq
+    }
+}
+
+impl<M> Eq for ScheduledEvent<M> {}
+
+impl<M> Ord for ScheduledEvent<M> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert to pop the earliest event.
+        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<M> PartialOrd for ScheduledEvent<M> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+/// A deterministic future-event list.
+#[derive(Debug)]
+pub struct EventQueue<M> {
+    heap: BinaryHeap<ScheduledEvent<M>>,
+    next_seq: u64,
+}
+
+impl<M> EventQueue<M> {
+    /// Creates an empty queue.
+    pub fn new() -> EventQueue<M> {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules an event at `at`.
+    pub fn schedule(&mut self, at: SimTime, kind: EventKind<M>) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { at, seq, kind });
+    }
+
+    /// Pops the earliest event.
+    pub fn pop(&mut self) -> Option<ScheduledEvent<M>> {
+        self.heap.pop()
+    }
+
+    /// Time of the earliest pending event.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|e| e.at)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True if nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<M> Default for EventQueue<M> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn deliver(n: u32) -> EventKind<u32> {
+        EventKind::Deliver(Envelope { from: AgentId(0), to: AgentId(1), msg: n })
+    }
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_ticks(20), deliver(2));
+        q.schedule(SimTime::from_ticks(10), deliver(1));
+        q.schedule(SimTime::from_ticks(30), deliver(3));
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop().map(|e| e.at.ticks())).collect();
+        assert_eq!(order, vec![10, 20, 30]);
+    }
+
+    #[test]
+    fn ties_break_by_insertion_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_ticks(5);
+        for n in 0..10 {
+            q.schedule(t, deliver(n));
+        }
+        let msgs: Vec<u32> = std::iter::from_fn(|| {
+            q.pop().map(|e| match e.kind {
+                EventKind::Deliver(env) => env.msg,
+                _ => unreachable!(),
+            })
+        })
+        .collect();
+        assert_eq!(msgs, (0..10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peek_and_len() {
+        let mut q = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.peek_time(), None);
+        q.schedule(SimTime::from_ticks(7), deliver(0));
+        assert_eq!(q.peek_time(), Some(SimTime::from_ticks(7)));
+        assert_eq!(q.len(), 1);
+    }
+
+    #[test]
+    fn timers_and_deliveries_interleave() {
+        let mut q = EventQueue::new();
+        q.schedule(
+            SimTime::from_ticks(2),
+            EventKind::Timer { agent: AgentId(1), token: TimerToken(9) },
+        );
+        q.schedule(SimTime::from_ticks(1), deliver(5));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Deliver(_)));
+        assert!(matches!(q.pop().unwrap().kind, EventKind::Timer { .. }));
+    }
+
+    #[test]
+    fn float_payloads_need_no_eq() {
+        // Compile-time check: f64 messages (no Eq) are accepted.
+        let mut q: EventQueue<f64> = EventQueue::new();
+        q.schedule(
+            SimTime::from_ticks(1),
+            EventKind::Deliver(Envelope { from: AgentId(0), to: AgentId(1), msg: 24.8 }),
+        );
+        assert_eq!(q.len(), 1);
+    }
+}

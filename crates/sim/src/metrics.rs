@@ -1,0 +1,72 @@
+//! Counters collected during a simulation run.
+
+use crate::clock::SimTime;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Aggregate metrics of one simulation run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Messages handed to the network.
+    pub messages_sent: u64,
+    /// Messages delivered to recipients.
+    pub messages_delivered: u64,
+    /// Messages dropped by the network model.
+    pub messages_dropped: u64,
+    /// Timer events fired.
+    pub timers_fired: u64,
+    /// Agent callbacks executed (start + message + timer).
+    pub callbacks: u64,
+    /// Virtual time at the end of the run.
+    pub end_time: SimTime,
+}
+
+impl Metrics {
+    /// Creates zeroed metrics.
+    pub fn new() -> Metrics {
+        Metrics::default()
+    }
+
+    /// Fraction of sent messages that were dropped (0 when none sent).
+    pub fn drop_rate(&self) -> f64 {
+        if self.messages_sent == 0 {
+            0.0
+        } else {
+            self.messages_dropped as f64 / self.messages_sent as f64
+        }
+    }
+}
+
+impl fmt::Display for Metrics {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "sent {} delivered {} dropped {} timers {} callbacks {} end {}",
+            self.messages_sent,
+            self.messages_delivered,
+            self.messages_dropped,
+            self.timers_fired,
+            self.callbacks,
+            self.end_time
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn drop_rate_guards_division() {
+        let m = Metrics::new();
+        assert_eq!(m.drop_rate(), 0.0);
+        let m2 = Metrics { messages_sent: 10, messages_dropped: 3, ..Metrics::new() };
+        assert!((m2.drop_rate() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_mentions_counts() {
+        let m = Metrics { messages_sent: 5, ..Metrics::new() };
+        assert!(m.to_string().contains("sent 5"));
+    }
+}

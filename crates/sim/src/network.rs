@@ -1,0 +1,213 @@
+//! Network models: latency and loss between agents.
+//!
+//! The paper assumes "emerging technologies allowing two-way
+//! communication between utility companies and their customers" — i.e. a
+//! real WAN. Latency spreads bids over time; loss lets the fault-injection
+//! tests exercise "customer never responds" paths.
+
+use crate::clock::SimDuration;
+use rand::rngs::StdRng;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// How the network treats one message.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delivery {
+    /// Deliver after the given latency.
+    After(SimDuration),
+    /// Silently drop the message.
+    Drop,
+}
+
+/// A stochastic network model, optionally with total-outage windows.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct NetworkModel {
+    min_latency: u64,
+    max_latency: u64,
+    drop_probability: f64,
+    /// Half-open virtual-time windows `[from, to)` during which every
+    /// message is lost (backhaul outage, concentrator reboot, ...).
+    outages: Vec<(u64, u64)>,
+}
+
+impl NetworkModel {
+    /// A perfect network: 1-tick latency, no loss.
+    pub fn perfect() -> NetworkModel {
+        NetworkModel { min_latency: 1, max_latency: 1, drop_probability: 0.0, outages: Vec::new() }
+    }
+
+    /// Uniform latency in `[min, max]` ticks, no loss.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `min > max` or `min` is zero (zero-latency messages make
+    /// same-instant feedback loops possible).
+    pub fn uniform(min: u64, max: u64) -> NetworkModel {
+        assert!(min > 0, "latency must be at least one tick");
+        assert!(min <= max, "min latency {min} exceeds max {max}");
+        NetworkModel {
+            min_latency: min,
+            max_latency: max,
+            drop_probability: 0.0,
+            outages: Vec::new(),
+        }
+    }
+
+    /// Adds a total-outage window: every message sent at a virtual time
+    /// in `[from, to)` ticks is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `from < to`.
+    pub fn with_outage(mut self, from: u64, to: u64) -> NetworkModel {
+        assert!(from < to, "outage window [{from}, {to}) is empty");
+        self.outages.push((from, to));
+        self
+    }
+
+    /// Adds i.i.d. message loss with probability `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_drop_probability(mut self, p: f64) -> NetworkModel {
+        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        self.drop_probability = p;
+        self
+    }
+
+    /// The configured loss probability.
+    pub fn drop_probability(&self) -> f64 {
+        self.drop_probability
+    }
+
+    /// Latency bounds `(min, max)` in ticks.
+    pub fn latency_bounds(&self) -> (u64, u64) {
+        (self.min_latency, self.max_latency)
+    }
+
+    /// Decides the fate of one message sent at virtual time zero —
+    /// shorthand for [`NetworkModel::route_at`] when no outages are
+    /// configured.
+    pub fn route(&self, rng: &mut StdRng) -> Delivery {
+        self.route_at(rng, crate::clock::SimTime::ZERO)
+    }
+
+    /// Decides the fate of one message sent at `now`.
+    pub fn route_at(&self, rng: &mut StdRng, now: crate::clock::SimTime) -> Delivery {
+        let t = now.ticks();
+        if self.outages.iter().any(|&(from, to)| t >= from && t < to) {
+            return Delivery::Drop;
+        }
+        if self.drop_probability > 0.0 && rng.gen_range(0.0..1.0) < self.drop_probability {
+            return Delivery::Drop;
+        }
+        let latency = if self.min_latency == self.max_latency {
+            self.min_latency
+        } else {
+            rng.gen_range(self.min_latency..=self.max_latency)
+        };
+        Delivery::After(SimDuration::from_ticks(latency))
+    }
+}
+
+impl Default for NetworkModel {
+    fn default() -> Self {
+        NetworkModel::perfect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn perfect_network_always_one_tick() {
+        let net = NetworkModel::perfect();
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(net.route(&mut rng), Delivery::After(SimDuration::from_ticks(1)));
+        }
+    }
+
+    #[test]
+    fn uniform_latency_in_bounds() {
+        let net = NetworkModel::uniform(3, 9);
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..200 {
+            match net.route(&mut rng) {
+                Delivery::After(d) => assert!((3..=9).contains(&d.ticks())),
+                Delivery::Drop => panic!("lossless network dropped"),
+            }
+        }
+    }
+
+    #[test]
+    fn drop_rate_roughly_matches() {
+        let net = NetworkModel::uniform(1, 1).with_drop_probability(0.3);
+        let mut rng = StdRng::seed_from_u64(3);
+        let drops = (0..10_000)
+            .filter(|_| matches!(net.route(&mut rng), Delivery::Drop))
+            .count();
+        let rate = drops as f64 / 10_000.0;
+        assert!((0.25..0.35).contains(&rate), "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let net = NetworkModel::uniform(1, 10).with_drop_probability(0.1);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..50).map(|_| net.route(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one tick")]
+    fn zero_latency_panics() {
+        let _ = NetworkModel::uniform(0, 5);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside")]
+    fn bad_drop_probability_panics() {
+        let _ = NetworkModel::perfect().with_drop_probability(1.0);
+    }
+
+    #[test]
+    fn accessors() {
+        let net = NetworkModel::uniform(2, 4).with_drop_probability(0.05);
+        assert_eq!(net.latency_bounds(), (2, 4));
+        assert!((net.drop_probability() - 0.05).abs() < 1e-12);
+    }
+
+    #[test]
+    fn outage_window_drops_everything_inside() {
+        use crate::clock::SimTime;
+        let net = NetworkModel::perfect().with_outage(10, 20);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(9)), Delivery::After(_)));
+        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(10)), Delivery::Drop);
+        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(19)), Delivery::Drop);
+        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(20)), Delivery::After(_)));
+    }
+
+    #[test]
+    fn multiple_outages() {
+        use crate::clock::SimTime;
+        let net = NetworkModel::perfect().with_outage(0, 5).with_outage(50, 60);
+        let mut rng = StdRng::seed_from_u64(2);
+        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(2)), Delivery::Drop);
+        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(30)), Delivery::After(_)));
+        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(55)), Delivery::Drop);
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_outage_panics() {
+        let _ = NetworkModel::perfect().with_outage(7, 7);
+    }
+}

@@ -1,0 +1,173 @@
+//! Crossbeam-threaded batch execution of independent simulations.
+//!
+//! Parameter sweeps (the β-sensitivity and scaling experiments) run many
+//! *independent* simulations; each one stays deterministic, and the batch
+//! executor fans them across OS threads with `crossbeam::scope`. Results
+//! come back in input order regardless of completion order.
+
+use crossbeam::channel;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Runs `jobs.len()` independent tasks across up to `threads` worker
+/// threads, returning results in input order.
+///
+/// Each job is a closure producing a result; jobs must be `Send` and are
+/// executed exactly once. With `threads == 1` this degenerates to a
+/// sequential loop (useful for debugging).
+///
+/// # Example
+///
+/// ```
+/// use massim::threaded::run_batch;
+/// use std::num::NonZeroUsize;
+///
+/// let jobs: Vec<Box<dyn FnOnce() -> u64 + Send>> = (0..8u64)
+///     .map(|i| Box::new(move || i * i) as Box<dyn FnOnce() -> u64 + Send>)
+///     .collect();
+/// let results = run_batch(jobs, NonZeroUsize::new(4).unwrap());
+/// assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_batch<R: Send>(
+    jobs: Vec<Box<dyn FnOnce() -> R + Send>>,
+    threads: NonZeroUsize,
+) -> Vec<R> {
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = threads.get().min(n);
+    if workers == 1 {
+        return jobs.into_iter().map(|j| j()).collect();
+    }
+
+    let (job_tx, job_rx) = channel::unbounded::<(usize, Box<dyn FnOnce() -> R + Send>)>();
+    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
+    for item in jobs.into_iter().enumerate() {
+        job_tx.send(item).expect("queue accepts jobs");
+    }
+    drop(job_tx);
+
+    thread::scope(|scope| {
+        for _ in 0..workers {
+            let job_rx = job_rx.clone();
+            let result_tx = result_tx.clone();
+            scope.spawn(move || {
+                while let Ok((index, job)) = job_rx.recv() {
+                    let result = job();
+                    if result_tx.send((index, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+        while let Ok((index, result)) = result_rx.recv() {
+            slots[index] = Some(result);
+        }
+        slots
+            .into_iter()
+            .map(|s| s.expect("every job completed"))
+            .collect()
+    })
+}
+
+/// A convenience wrapper: runs the same seeded experiment for each seed,
+/// using all available parallelism.
+pub fn run_seeds<R, F>(seeds: &[u64], f: F) -> Vec<R>
+where
+    R: Send,
+    F: Fn(u64) -> R + Send + Sync,
+{
+    let threads = thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("1 > 0"));
+    let f = &f;
+    thread::scope(|scope| {
+        let handles: Vec<_> = seeds
+            .chunks(seeds.len().div_ceil(threads.get()).max(1))
+            .map(|chunk| scope.spawn(move || chunk.iter().map(|&s| f(s)).collect::<Vec<R>>()))
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("worker thread panicked"))
+            .collect()
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::agent::{Agent, AgentId, Context};
+    use crate::runtime::Simulation;
+
+    #[test]
+    fn empty_batch() {
+        let jobs: Vec<Box<dyn FnOnce() -> u8 + Send>> = Vec::new();
+        assert!(run_batch(jobs, NonZeroUsize::new(4).unwrap()).is_empty());
+    }
+
+    #[test]
+    fn single_thread_sequential() {
+        let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..5u32)
+            .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u32 + Send>)
+            .collect();
+        assert_eq!(run_batch(jobs, NonZeroUsize::new(1).unwrap()), vec![1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn results_in_input_order_despite_parallelism() {
+        let jobs: Vec<Box<dyn FnOnce() -> usize + Send>> = (0..64usize)
+            .map(|i| {
+                Box::new(move || {
+                    // Vary work so completion order differs from input order.
+                    let spins = (64 - i) * 1000;
+                    let mut acc = 0usize;
+                    for k in 0..spins {
+                        acc = acc.wrapping_add(k);
+                    }
+                    std::hint::black_box(acc);
+                    i
+                }) as Box<dyn FnOnce() -> usize + Send>
+            })
+            .collect();
+        let results = run_batch(jobs, NonZeroUsize::new(8).unwrap());
+        assert_eq!(results, (0..64).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn simulations_in_parallel_stay_deterministic() {
+        #[derive(Debug, Clone)]
+        struct Tick;
+        struct Counter {
+            n: u64,
+        }
+        impl Agent<Tick> for Counter {
+            fn on_start(&mut self, ctx: &mut Context<'_, Tick>) {
+                ctx.send(ctx.self_id(), Tick);
+            }
+            fn on_message(&mut self, _: AgentId, _: Tick, ctx: &mut Context<'_, Tick>) {
+                self.n += 1;
+                if self.n < 50 {
+                    ctx.send(ctx.self_id(), Tick);
+                }
+            }
+        }
+        fn run_one(seed: u64) -> u64 {
+            let mut sim = Simulation::new(seed);
+            let id = sim.add_agent(Counter { n: 0 });
+            sim.run().unwrap();
+            sim.agent::<Counter>(id).unwrap().n
+        }
+        let seeds: Vec<u64> = (0..16).collect();
+        let parallel = run_seeds(&seeds, run_one);
+        let sequential: Vec<u64> = seeds.iter().map(|&s| run_one(s)).collect();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn run_seeds_preserves_order() {
+        let seeds: Vec<u64> = (0..23).collect();
+        let out = run_seeds(&seeds, |s| s * 2);
+        assert_eq!(out, seeds.iter().map(|s| s * 2).collect::<Vec<_>>());
+    }
+}

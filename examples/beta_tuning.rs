@@ -1,0 +1,52 @@
+//! The §7 future-work experiment as a living system: a utility runs one
+//! negotiation per day for two weeks, evaluating each (own process
+//! control) and tuning β from experience; compared against the constant-β
+//! prototype and the dynamic policies.
+//!
+//! ```text
+//! cargo run --release --example beta_tuning
+//! ```
+
+use loadbal::core::beta::BetaPolicy;
+use loadbal::core::utility_agent::own_process_control::OwnProcessControl;
+use loadbal::prelude::*;
+
+fn fortnight(config_for_day: impl Fn(&OwnProcessControl, u64) -> UtilityAgentConfig) -> (f64, f64, f64) {
+    let mut opc = OwnProcessControl::new();
+    let mut rounds = 0.0;
+    let mut overuse = 0.0;
+    let mut outlay = 0.0;
+    for day in 0..14u64 {
+        let config = config_for_day(&opc, day);
+        let report = ScenarioBuilder::random(150, 0.35, day).config(config).build().run();
+        rounds += report.rounds().len() as f64;
+        overuse += report.final_overuse_fraction();
+        outlay += report.total_rewards().value();
+        opc.record(&report);
+    }
+    (rounds / 14.0, overuse / 14.0, outlay / 14.0)
+}
+
+fn main() {
+    println!("two-week run, one negotiation per day, 150 customers each\n");
+    println!(
+        "{:<34} {:>7} {:>11} {:>9}",
+        "policy", "rounds", "overuse %", "outlay"
+    );
+
+    // The prototype: constant β, never adjusted.
+    let (r, o, pay) = fortnight(|_, _| UtilityAgentConfig::paper());
+    println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", "constant β = 2 (prototype)", r, 100.0 * o, pay);
+
+    // §7: "dynamically varying the value of beta on the basis of
+    // experience" — the own-process-control tuner.
+    let (r, o, pay) = fortnight(|opc, _| opc.tune(UtilityAgentConfig::paper()));
+    println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", "experience-tuned β", r, 100.0 * o, pay);
+
+    // Within-negotiation dynamic policies.
+    for policy in [BetaPolicy::adaptive(1.0), BetaPolicy::annealing(4.0, 0.7)] {
+        let (r, o, pay) =
+            fortnight(move |_, _| UtilityAgentConfig::paper().with_beta_policy(policy));
+        println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", policy.to_string(), r, 100.0 * o, pay);
+    }
+}

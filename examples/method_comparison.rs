@@ -1,0 +1,84 @@
+//! The full pipeline on a realistic population: synthesize households,
+//! predict tomorrow's demand from history and weather, detect the peak,
+//! let the UA pick a strategy (§3.2.4), and compare all three
+//! announcement methods on the resulting scenario.
+//!
+//! ```text
+//! cargo run --release --example method_comparison
+//! ```
+
+use loadbal::core::strategy::{select_method, NegotiationContext};
+use loadbal::core::utility_agent::agent_specific::{evaluate_prediction, predict_balance};
+use loadbal::prelude::*;
+use powergrid::peak::PeakDetector;
+use powergrid::prediction::WeatherRegression;
+
+fn main() {
+    let axis = TimeAxis::quarter_hourly();
+    let homes = PopulationBuilder::new().households(300).build(42);
+
+    // History: the last five winter days.
+    let model = WeatherModel::winter();
+    let history: Vec<Series> = (0..5)
+        .map(|day| {
+            let weather = model.temperatures(&axis, day);
+            aggregate_demand(&homes, &weather, &axis, day).series().clone()
+        })
+        .collect();
+
+    // Tomorrow: a cold snap.
+    let forecast = model.with_anomaly(-5.0).temperatures(&axis, 6);
+    let predicted = predict_balance(&WeatherRegression::calibrated(), &history, &forecast);
+
+    // Production sized so the evening peak crosses into the expensive band.
+    let capacity = Kilowatts(predicted.max() / axis.slot_hours() * 0.85);
+    let production = ProductionModel::two_tier(capacity, Kilowatts(capacity.value() * 2.0));
+    let assessment = evaluate_prediction(&predicted, &production, &PeakDetector::new(0.05));
+
+    let Some(peak) = assessment.peak().copied() else {
+        println!("stable situation — no negotiation needed");
+        return;
+    };
+    println!(
+        "predicted peak: {peak}\nstrategy selection (§3.2.4):"
+    );
+    for rounds_available in [1u32, 5, 20] {
+        let (method, rationale) = select_method(NegotiationContext {
+            rounds_available,
+            overuse: peak.overuse_fraction(),
+            customers: homes.len(),
+        });
+        println!("  {rounds_available:>2} rounds available → {method}: {rationale}");
+    }
+
+    // Build the scenario from the physical households and compare methods.
+    let scenario = ScenarioBuilder::from_households(
+        &homes,
+        &axis,
+        forecast.mean(),
+        peak.interval,
+        1.0 / (1.0 + peak.overuse_fraction()),
+        42,
+    )
+    .build();
+    println!(
+        "\nscenario: {} customers, initial overuse {:.1} %",
+        scenario.customers.len(),
+        100.0 * scenario.initial_overuse_fraction()
+    );
+    println!(
+        "{:<18} {:>6} {:>9} {:>11} {:>9}",
+        "method", "rounds", "messages", "overuse %", "outlay"
+    );
+    for method in AnnouncementMethod::all() {
+        let report = scenario.run_with(method);
+        println!(
+            "{:<18} {:>6} {:>9} {:>11.1} {:>9.1}",
+            method.to_string(),
+            report.rounds().len(),
+            report.total_messages(),
+            100.0 * report.final_overuse_fraction(),
+            report.total_rewards().value(),
+        );
+    }
+}

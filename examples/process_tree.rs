@@ -1,0 +1,28 @@
+//! Prints the process-abstraction hierarchies of Figures 2–5 plus the
+//! full generic agent models of §5, rendered from the DESIRE component
+//! structures the negotiation actually runs on.
+//!
+//! ```text
+//! cargo run --example process_tree
+//! ```
+
+use loadbal::core::desire_host::{
+    ca_cooperation_tree, ca_own_process_control_tree, customer_agent_tree, ua_cooperation_tree,
+    ua_own_process_control_tree, utility_agent_tree,
+};
+use loadbal::desire::render::render_tree;
+
+fn main() {
+    println!("Figure 2 — own process control of the Utility Agent\n");
+    println!("{}", render_tree(&ua_own_process_control_tree()));
+    println!("Figure 3 — cooperation management of the Utility Agent\n");
+    println!("{}", render_tree(&ua_cooperation_tree()));
+    println!("Figure 4 — own process control of the Customer Agent\n");
+    println!("{}", render_tree(&ca_own_process_control_tree()));
+    println!("Figure 5 — cooperation management of the Customer Agent\n");
+    println!("{}", render_tree(&ca_cooperation_tree()));
+    println!("§5.1 — the full Utility Agent (generic agent model)\n");
+    println!("{}", render_tree(&utility_agent_tree()));
+    println!("§5.2 — the full Customer Agent (generic agent model)\n");
+    println!("{}", render_tree(&customer_agent_tree()));
+}

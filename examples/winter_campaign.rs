@@ -1,0 +1,121 @@
+//! A multi-week winter campaign: the full daily cycle of the paper's
+//! system over a [`Horizon`] with weekday/weekend structure —
+//!
+//! 1. the UA predicts tomorrow's demand from history and the weather
+//!    forecast (backtesting several statistical models first),
+//! 2. peak detection decides whether negotiation is warranted (§5.1.2),
+//! 3. if so, a reward-table negotiation runs and is settled,
+//! 4. the UA's own-process-control records and tunes from experience.
+//!
+//! ```text
+//! cargo run --release --example winter_campaign
+//! ```
+
+use loadbal::core::outcome::SettlementSummary;
+use loadbal::core::producer_agent::ProducerAgent;
+use loadbal::core::utility_agent::agent_specific::{evaluate_prediction, predict_balance};
+use loadbal::core::utility_agent::own_process_control::OwnProcessControl;
+use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::peak::PeakDetector;
+use powergrid::prediction::{backtest, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive};
+
+fn main() {
+    let axis = TimeAxis::quarter_hourly();
+    let homes = PopulationBuilder::new().households(250).build(99);
+    let weather_model = WeatherModel::winter();
+    let horizon = Horizon::new(21, 0, Season::Winter); // three weeks from a Monday
+
+    // Generate the campaign's actual demand and weather, day by day.
+    let mut actuals: Vec<Series> = Vec::new();
+    let mut weathers: Vec<Series> = Vec::new();
+    for day in horizon.days() {
+        // Mid-campaign cold snap.
+        let anomaly = if (8..12).contains(&day.index) { -6.0 } else { 0.0 };
+        let w = weather_model.clone().with_anomaly(anomaly).temperatures(&axis, day.index);
+        let mut demand = aggregate_demand(&homes, &w, &axis, day.index).series().clone();
+        demand = demand.scale(day.day_type.intensity_factor());
+        actuals.push(demand);
+        weathers.push(w);
+    }
+
+    // Pick the best predictor by rolling backtest over the first week.
+    let ma = MovingAverage::new(3);
+    let naive = SeasonalNaive;
+    let holt = HoltTrend::new(0.5, 0.2);
+    let predictors: [&dyn LoadPredictor; 3] = [&ma, &naive, &holt];
+    let ranking = backtest(&predictors, &actuals[..7], &weathers[..7], 3);
+    println!("predictor backtest over week 1 (MAPE, best first):");
+    for row in &ranking {
+        println!("  {:<18} {:.3}", row.name, row.mean_mape);
+    }
+    let best: &dyn LoadPredictor = match ranking[0].name {
+        "moving-average" => &ma,
+        "seasonal-naive" => &naive,
+        _ => &holt,
+    };
+
+    // Capacity sized to make cold-snap evenings peak above normal.
+    let typical_peak = actuals[0].max() / axis.slot_hours();
+    // Peak production is drastically more expensive than base production
+    // (rewards are in the paper's abstract units, so the spread carries
+    // the economic weight of the peak).
+    let production = ProductionModel::with_costs(
+        Kilowatts(typical_peak * 1.02),
+        Kilowatts(typical_peak * 2.0),
+        PricePerKwh(0.3),
+        PricePerKwh(10.0),
+    );
+    let producer = ProducerAgent::new(production.clone());
+    let detector = PeakDetector::new(0.03);
+    let mut opc = OwnProcessControl::new();
+
+    println!("\nday  type     peak?   rounds  overuse before→after   utility net");
+    let mut negotiations = 0;
+    for day in horizon.days().skip(7) {
+        let d = day.index as usize;
+        let predicted = predict_balance(best, &actuals[..d], &weathers[d]);
+        let assessment = evaluate_prediction(&predicted, &production, &detector);
+        match assessment.peak() {
+            None => {
+                println!("{:>3}  {:<8} stable", day.index, day.day_type.to_string());
+            }
+            Some(peak) => {
+                negotiations += 1;
+                let config = opc.tune(UtilityAgentConfig::paper());
+                let scenario = ScenarioBuilder::from_households(
+                    &homes,
+                    &axis,
+                    weathers[d].mean(),
+                    peak.interval,
+                    1.0 / (1.0 + peak.overuse_fraction()),
+                    day.index,
+                )
+                .config(config)
+                .build();
+                let report = scenario.run();
+                let summary = SettlementSummary::compute(
+                    &scenario,
+                    &report,
+                    &producer,
+                    peak.interval.hours(axis),
+                );
+                opc.record(&report);
+                println!(
+                    "{:>3}  {:<8} PEAK    {:>6}  {:>7.1}% → {:>5.1}%    {:>10.1}",
+                    day.index,
+                    day.day_type.to_string(),
+                    report.rounds().len(),
+                    100.0 * report.initial_overuse_fraction(),
+                    100.0 * report.final_overuse_fraction(),
+                    summary.utility_net_gain.value(),
+                );
+            }
+        }
+    }
+    println!(
+        "\n{negotiations} negotiations over {} evaluated days; β after tuning: {:.2}",
+        horizon.len() - 7,
+        opc.tune(UtilityAgentConfig::paper()).formula.beta
+    );
+}

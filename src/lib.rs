@@ -1,0 +1,36 @@
+//! Facade crate for the load-balancing multi-agent system — a Rust
+//! reproduction of Brazier et al., *Agents Negotiating for Load Balancing
+//! of Electricity Use* (ICDCS 1998).
+//!
+//! This crate re-exports the four member crates:
+//!
+//! * [`desire`] — the compositional agent framework (DESIRE) the paper's
+//!   prototype was built in,
+//! * [`powergrid`] — the electricity-domain substrate (households, demand,
+//!   production, prediction),
+//! * [`massim`] — the deterministic multi-agent message-passing runtime,
+//! * [`core`] (crate `loadbal-core`) — the negotiating agents and the three
+//!   announcement methods.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use loadbal::prelude::*;
+//!
+//! // A small peak scenario: capacity 100, predicted use 135.
+//! let scenario = ScenarioBuilder::paper_figure_6().build();
+//! let report = scenario.run();
+//! assert!(report.converged());
+//! assert!(report.final_overuse() < report.initial_overuse());
+//! ```
+
+pub use desire;
+pub use loadbal_core as core;
+pub use massim;
+pub use powergrid;
+
+/// The most frequently used items across all member crates.
+pub mod prelude {
+    pub use loadbal_core::prelude::*;
+    pub use powergrid::prelude::*;
+}

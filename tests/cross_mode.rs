@@ -1,0 +1,66 @@
+//! The three execution modes — synchronous session, distributed massim
+//! actors, DESIRE-hosted components — must agree on every outcome.
+
+use loadbal::core::desire_host::run_hosted;
+use loadbal::core::distributed::run_distributed;
+use loadbal::massim::clock::SimDuration;
+use loadbal::massim::network::NetworkModel;
+use loadbal::prelude::*;
+
+#[test]
+fn three_modes_agree_on_the_paper_scenario() {
+    let scenario = ScenarioBuilder::paper_figure_6().build();
+    let sync = scenario.run();
+    let dist = run_distributed(
+        &scenario,
+        NetworkModel::perfect(),
+        1,
+        SimDuration::from_ticks(100),
+    );
+    let hosted = run_hosted(&scenario);
+
+    assert_eq!(sync.rounds().len(), 3);
+    for other in [&dist.report, &hosted] {
+        assert_eq!(other.rounds().len(), sync.rounds().len());
+        assert_eq!(other.status(), sync.status());
+        assert_eq!(other.final_bids(), sync.final_bids());
+        assert_eq!(other.final_overuse(), sync.final_overuse());
+    }
+}
+
+#[test]
+fn three_modes_agree_on_random_scenarios() {
+    for seed in [3u64, 17, 91] {
+        let scenario = ScenarioBuilder::random(20, 0.35, seed).build();
+        let sync = scenario.run();
+        let dist = run_distributed(
+            &scenario,
+            NetworkModel::perfect(),
+            seed,
+            SimDuration::from_ticks(100),
+        );
+        let hosted = run_hosted(&scenario);
+        assert_eq!(dist.report.final_bids(), sync.final_bids(), "seed {seed} (distributed)");
+        assert_eq!(hosted.final_bids(), sync.final_bids(), "seed {seed} (hosted)");
+        assert_eq!(dist.report.status(), sync.status(), "seed {seed}");
+        assert_eq!(hosted.status(), sync.status(), "seed {seed}");
+    }
+}
+
+#[test]
+fn per_round_tables_agree_between_sync_and_distributed() {
+    let scenario = ScenarioBuilder::random(25, 0.4, 7).build();
+    let sync = scenario.run();
+    let dist = run_distributed(
+        &scenario,
+        NetworkModel::perfect(),
+        7,
+        SimDuration::from_ticks(100),
+    );
+    for (a, b) in sync.rounds().iter().zip(dist.report.rounds()) {
+        assert_eq!(a.round, b.round);
+        assert_eq!(a.table, b.table);
+        assert_eq!(a.bids, b.bids);
+        assert_eq!(a.predicted_total, b.predicted_total);
+    }
+}

@@ -1,0 +1,111 @@
+//! Compositional verification of the hosted negotiation, in the spirit
+//! of the companion ICMAS'98 paper: temporal properties — pro-activeness,
+//! reactiveness, safety — checked against the DESIRE kernel's execution
+//! trace of the real Figure 6/7 negotiation.
+
+use loadbal::core::desire_host::{
+    customer_agent_tree, run_hosted_traced, ua_cooperation_tree, utility_agent_tree,
+};
+use loadbal::desire::checker::{check_design, Severity};
+use loadbal::desire::engine::TruthValue;
+use loadbal::desire::term::Atom;
+use loadbal::desire::verify::Property;
+use loadbal::prelude::*;
+
+fn paper_trace() -> loadbal::desire::trace::Trace {
+    let scenario = ScenarioBuilder::paper_figure_6().build();
+    run_hosted_traced(&scenario).1
+}
+
+#[test]
+fn ua_is_proactive() {
+    // Pro-activeness: the UA eventually announces a reward table without
+    // any external trigger.
+    let trace = paper_trace();
+    let property = Property::EventuallyDerived {
+        component: "utility_agent".into(),
+        atom: Atom::parse("announced(R, C, W)").unwrap(),
+        value: TruthValue::True,
+    };
+    let verdict = property.check(&trace);
+    assert!(verdict.holds, "{verdict}");
+}
+
+#[test]
+fn cas_are_reactive() {
+    // Reactiveness: every announcement round is followed by bids.
+    let trace = paper_trace();
+    let property = Property::Responds {
+        trigger: Atom::parse("announce_round(R)").unwrap(),
+        response: Atom::parse("bid(I, R2, C)").unwrap(),
+    };
+    let verdict = property.check(&trace);
+    assert!(verdict.holds, "{verdict}");
+}
+
+#[test]
+fn announcement_precedes_bids_and_termination() {
+    let trace = paper_trace();
+    let ordering = Property::All(vec![
+        Property::DerivedBefore {
+            first: Atom::parse("announce_round(R)").unwrap(),
+            then: Atom::parse("bid(I, R2, C)").unwrap(),
+        },
+        Property::DerivedBefore {
+            first: Atom::parse("bid(I, R2, C)").unwrap(),
+            then: Atom::parse("negotiation_ended(R3)").unwrap(),
+        },
+    ]);
+    let verdict = ordering.check(&trace);
+    assert!(verdict.holds, "{verdict}");
+}
+
+#[test]
+fn negotiation_terminates_exactly_once() {
+    let trace = paper_trace();
+    let ended = Property::EventuallyDerived {
+        component: "utility_agent".into(),
+        atom: Atom::parse("negotiation_ended(R)").unwrap(),
+        value: TruthValue::True,
+    };
+    assert!(ended.check(&trace).holds);
+    // No derivations at the UA after the end marker: count events after
+    // the first `negotiation_ended`.
+    let end_index = trace
+        .first_derivation(&Atom::parse("negotiation_ended(3)").unwrap())
+        .expect("three-round trace ends in round 3");
+    let later_ua_derivations = trace.events()[end_index + 1..]
+        .iter()
+        .filter(|e| {
+            matches!(
+                e,
+                loadbal::desire::trace::TraceEvent::FactDerived { path, .. }
+                    if path.leaf().map(|n| n.as_str()) == Some("utility_agent")
+            )
+        })
+        .count();
+    assert_eq!(later_ua_derivations, 0, "the UA stays quiet after termination");
+}
+
+#[test]
+fn both_agents_activated_repeatedly() {
+    let trace = paper_trace();
+    for component in ["utility_agent", "customer_agents"] {
+        let property = Property::ActivatedAtLeast {
+            component: component.into(),
+            at_least: 3, // once per negotiation round
+        };
+        let verdict = property.check(&trace);
+        assert!(verdict.holds, "{component}: {verdict}");
+    }
+}
+
+#[test]
+fn paper_process_trees_pass_the_design_checker() {
+    for tree in [utility_agent_tree(), customer_agent_tree(), ua_cooperation_tree()] {
+        let issues = check_design(&tree);
+        let errors: Vec<_> =
+            issues.iter().filter(|i| i.severity == Severity::Error).collect();
+        assert!(errors.is_empty(), "errors in {}: {errors:?}", tree.name());
+    }
+}

@@ -1,0 +1,190 @@
+//! Fault injection: the distributed negotiation under message loss and
+//! extreme latency, and the protocol-level equal-treatment invariant.
+
+use loadbal::core::distributed::run_distributed;
+use loadbal::core::message::Msg;
+use loadbal::massim::clock::SimDuration;
+use loadbal::massim::network::NetworkModel;
+use loadbal::prelude::*;
+
+#[test]
+fn negotiations_survive_heavy_loss() {
+    for &drop in &[0.1, 0.3, 0.5] {
+        let scenario = ScenarioBuilder::random(40, 0.35, 5).build();
+        let outcome = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 10).with_drop_probability(drop),
+            11,
+            SimDuration::from_ticks(300),
+        );
+        assert!(
+            outcome.report.converged(),
+            "drop {drop}: {}",
+            outcome.report
+        );
+        assert!(
+            outcome.report.final_overuse() <= outcome.report.initial_overuse(),
+            "drop {drop} must not worsen the peak"
+        );
+    }
+}
+
+#[test]
+fn loss_costs_rounds_but_not_safety() {
+    let scenario = ScenarioBuilder::random(60, 0.35, 9).build();
+    let clean = run_distributed(
+        &scenario,
+        NetworkModel::uniform(1, 10),
+        13,
+        SimDuration::from_ticks(300),
+    );
+    let lossy = run_distributed(
+        &scenario,
+        NetworkModel::uniform(1, 10).with_drop_probability(0.4),
+        13,
+        SimDuration::from_ticks(300),
+    );
+    // Bids can only be delayed, never retracted — monotonic concession
+    // means the lossy run's final overuse is at most slightly worse.
+    assert!(lossy.report.converged());
+    assert!(
+        lossy.report.final_overuse_fraction()
+            <= clean.report.final_overuse_fraction() + 0.25,
+        "lossy {} vs clean {}",
+        lossy.report.final_overuse_fraction(),
+        clean.report.final_overuse_fraction()
+    );
+}
+
+#[test]
+fn negotiation_survives_a_total_outage_window() {
+    // The backhaul is completely down for a window covering the first
+    // announcement round; the UA's deadlines ride it out and the
+    // negotiation still converges afterwards.
+    let scenario = ScenarioBuilder::random(25, 0.35, 8).build();
+    let outcome = run_distributed(
+        &scenario,
+        NetworkModel::uniform(1, 5).with_outage(0, 120),
+        21,
+        SimDuration::from_ticks(100),
+    );
+    assert!(outcome.report.converged(), "{}", outcome.report);
+    assert!(outcome.metrics.messages_dropped > 0, "outage must bite");
+    assert!(outcome.report.final_overuse() <= outcome.report.initial_overuse());
+}
+
+#[test]
+fn short_deadline_still_terminates() {
+    // A deadline shorter than the round trip: every round concludes with
+    // carried-forward bids; the ε rule still terminates the protocol.
+    let scenario = ScenarioBuilder::random(20, 0.35, 3).build();
+    let outcome = run_distributed(
+        &scenario,
+        NetworkModel::uniform(5, 10),
+        3,
+        SimDuration::from_ticks(2),
+    );
+    assert!(outcome.report.converged(), "{}", outcome.report);
+}
+
+#[test]
+fn crashed_customers_do_not_block_the_negotiation() {
+    // A customer process that goes silent after its first bid (crash,
+    // smart-meter failure, ...). The UA's deadline mechanism must carry
+    // the negotiation to a proper termination regardless, keeping the
+    // crashed customer's last bid (monotonic concession allows that).
+    use loadbal::core::customer_agent::CustomerAgentState;
+    use loadbal::core::distributed::UtilityProcess;
+    use loadbal::massim::agent::{Agent, AgentId, Context};
+    use loadbal::massim::runtime::Simulation;
+
+    struct CrashingCustomer {
+        state: CustomerAgentState,
+        responses_left: u32,
+    }
+
+    impl Agent<Msg> for CrashingCustomer {
+        fn on_message(&mut self, from: AgentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
+            if let Msg::Announce { round, table } = msg {
+                if self.responses_left == 0 {
+                    return; // crashed: never answers again
+                }
+                self.responses_left -= 1;
+                let cutdown = self.state.respond(&table);
+                ctx.send(from, Msg::Bid { round, cutdown });
+            }
+        }
+    }
+
+    let scenario = ScenarioBuilder::random(30, 0.35, 6).build();
+    let mut sim: Simulation<Msg> = Simulation::new(4);
+    sim.set_logging(false);
+    let ids: Vec<AgentId> = scenario
+        .customers
+        .iter()
+        .enumerate()
+        .map(|(i, c)| {
+            sim.add_agent(CrashingCustomer {
+                state: CustomerAgentState::new(c.preferences.clone()),
+                // A third of the fleet crashes after round 1.
+                responses_left: if i % 3 == 0 { 1 } else { u32::MAX },
+            })
+        })
+        .collect();
+    let ua = sim.add_agent(UtilityProcess::new(
+        &scenario,
+        ids,
+        SimDuration::from_ticks(50),
+    ));
+    sim.run().expect("negotiation with crashed customers terminates");
+    let process = sim.agent::<UtilityProcess>(ua).expect("UA exists");
+    let status = process.status().expect("negotiation concluded");
+    assert!(status.is_converged(), "status: {status}");
+    // Live customers still produced peak reduction.
+    let rounds = process.rounds();
+    let first = rounds.first().unwrap().predicted_total;
+    let last = rounds.last().unwrap().predicted_total;
+    assert!(last <= first, "peak must not grow: {first} → {last}");
+}
+
+#[test]
+fn equal_treatment_all_customers_see_identical_announcements() {
+    // §6.1: "the Utility Agent communicates all Customer Agents the same
+    // announcements, in compliance with Swedish law". Verify on the
+    // delivered-message log.
+    use loadbal::core::customer_agent::CustomerAgentState;
+    use loadbal::core::distributed::{CustomerProcess, UtilityProcess};
+    use loadbal::massim::runtime::Simulation;
+
+    let scenario = ScenarioBuilder::random(10, 0.35, 2).build();
+    let mut sim: Simulation<Msg> = Simulation::new(8);
+    let ids: Vec<_> = scenario
+        .customers
+        .iter()
+        .map(|c| sim.add_agent(CustomerProcess::new(CustomerAgentState::new(c.preferences.clone()))))
+        .collect();
+    let _ua = sim.add_agent(UtilityProcess::new(
+        &scenario,
+        ids.clone(),
+        SimDuration::from_ticks(100),
+    ));
+    sim.run().unwrap();
+
+    let log = sim.log().expect("logging enabled by default");
+    // Group announcements by round; every customer must receive the same
+    // table in every round.
+    use std::collections::BTreeMap;
+    let mut by_round: BTreeMap<u32, Vec<&loadbal::core::reward::RewardTable>> = BTreeMap::new();
+    for (_, _, _, msg) in log.deliveries() {
+        if let Msg::Announce { round, table } = msg {
+            by_round.entry(*round).or_default().push(table);
+        }
+    }
+    assert!(!by_round.is_empty());
+    for (round, tables) in by_round {
+        assert_eq!(tables.len(), ids.len(), "round {round} reached everyone");
+        for t in &tables {
+            assert_eq!(*t, tables[0], "round {round}: differing announcements");
+        }
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate integration: the full pipeline from physical households
+//! through prediction and peak detection to a settled negotiation.
+
+use loadbal::core::outcome::SettlementSummary;
+use loadbal::core::producer_agent::ProducerAgent;
+use loadbal::core::utility_agent::agent_specific::{evaluate_prediction, predict_balance};
+use loadbal::prelude::*;
+use powergrid::peak::PeakDetector;
+use powergrid::prediction::{LoadPredictor, MovingAverage, WeatherRegression};
+
+fn history_for(homes: &[Household], axis: &TimeAxis, days: u64) -> Vec<Series> {
+    let model = WeatherModel::winter();
+    (0..days)
+        .map(|day| {
+            let weather = model.temperatures(axis, day);
+            aggregate_demand(homes, &weather, axis, day).series().clone()
+        })
+        .collect()
+}
+
+#[test]
+fn grid_to_negotiation_pipeline_shaves_the_peak() {
+    let axis = TimeAxis::quarter_hourly();
+    let homes = PopulationBuilder::new().households(200).build(11);
+    let history = history_for(&homes, &axis, 5);
+    let forecast = WeatherModel::winter().with_anomaly(-4.0).temperatures(&axis, 6);
+
+    // UA agent-specific tasks: predict, then evaluate.
+    let predicted = predict_balance(&WeatherRegression::calibrated(), &history, &forecast);
+    let capacity = Kilowatts(predicted.max() / axis.slot_hours() * 0.85);
+    let production = ProductionModel::two_tier(capacity, Kilowatts(capacity.value() * 3.0));
+    let assessment = evaluate_prediction(&predicted, &production, &PeakDetector::new(0.02));
+    let peak = *assessment.peak().expect("cold snap must produce a peak");
+    assert!(peak.overuse_fraction() > 0.0);
+
+    // Build and run the negotiation over the detected interval.
+    let scenario = ScenarioBuilder::from_households(
+        &homes,
+        &axis,
+        forecast.mean(),
+        peak.interval,
+        1.0 / (1.0 + peak.overuse_fraction()),
+        11,
+    )
+    .build();
+    let report = scenario.run();
+    assert!(report.converged(), "{report}");
+    assert!(
+        report.final_overuse_fraction() < report.initial_overuse_fraction(),
+        "negotiation must shave the peak: {report}"
+    );
+
+    // Settle: customers must not lose (their thresholds are honoured).
+    let producer = ProducerAgent::new(production);
+    let summary =
+        SettlementSummary::compute(&scenario, &report, &producer, peak.interval.hours(axis));
+    assert!(summary.customer_surplus.value() >= 0.0);
+    assert!(summary.participants > 0);
+}
+
+#[test]
+fn predictors_agree_on_stable_history() {
+    let axis = TimeAxis::hourly();
+    let homes = PopulationBuilder::new().households(50).build(5);
+    let history = history_for(&homes, &axis, 4);
+    let weather = WeatherModel::winter().temperatures(&axis, 9);
+    let ma = MovingAverage::new(3).predict(&history, &weather);
+    let wr = WeatherRegression::calibrated().predict(&history, &weather);
+    // Same order of magnitude: the weather factor is a modest scaling.
+    let ratio = wr.sum() / ma.sum();
+    assert!((0.7..1.4).contains(&ratio), "predictors diverge: ratio {ratio}");
+}
+
+#[test]
+fn stable_grid_never_triggers_negotiation() {
+    let axis = TimeAxis::hourly();
+    let homes = PopulationBuilder::new().households(50).build(3);
+    let history = history_for(&homes, &axis, 3);
+    let forecast = WeatherModel::winter().temperatures(&axis, 4);
+    let predicted = predict_balance(&MovingAverage::new(3), &history, &forecast);
+    // Ample capacity: double the observed peak.
+    let capacity = Kilowatts(predicted.max() / axis.slot_hours() * 2.0);
+    let production = ProductionModel::two_tier(capacity, Kilowatts(capacity.value() * 2.0));
+    let assessment = evaluate_prediction(&predicted, &production, &PeakDetector::default());
+    assert!(assessment.peak().is_none(), "no peak expected with double capacity");
+}
+
+#[test]
+fn all_methods_work_on_household_derived_scenarios() {
+    let axis = TimeAxis::quarter_hourly();
+    let homes = PopulationBuilder::new().households(80).build(21);
+    let weather = WeatherModel::winter().temperatures(&axis, 21);
+    let curve = aggregate_demand(&homes, &weather, &axis, 21);
+    let interval = curve.peak_interval(8);
+    let scenario =
+        ScenarioBuilder::from_households(&homes, &axis, weather.mean(), interval, 0.8, 21).build();
+    for method in AnnouncementMethod::all() {
+        let report = scenario.run_with(method);
+        assert!(report.converged(), "{method}: {report}");
+        assert!(
+            report.final_overuse() <= report.initial_overuse(),
+            "{method} must not worsen the peak"
+        );
+    }
+}

@@ -1,0 +1,154 @@
+//! Property-based tests (proptest) on the core invariants:
+//! the §3.1 monotonic concession protocol, the §6 reward formula, and
+//! deterministic replay of the distributed runtime.
+
+use loadbal::core::beta::BetaPolicy;
+use loadbal::core::concession::{verify_announcements, verify_bids};
+use loadbal::core::distributed::run_distributed;
+use loadbal::core::preferences::CustomerPreferences;
+use loadbal::core::reward::{
+    overuse_fraction, predicted_use_with_cutdown, RewardFormula, RewardTable, DEFAULT_LEVELS,
+};
+use loadbal::core::session::{CustomerProfile, ScenarioBuilder};
+use loadbal::core::utility_agent::UtilityAgentConfig;
+use loadbal::massim::clock::SimDuration;
+use loadbal::massim::network::NetworkModel;
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, KilowattHours, Money};
+use proptest::prelude::*;
+
+fn arb_customer() -> impl Strategy<Value = CustomerProfile> {
+    (0.2f64..5.0, 0.3f64..1.0, 3.0f64..9.0, 1.0f64..1.2).prop_map(
+        |(k, ceiling, predicted, allowance)| CustomerProfile {
+            predicted_use: KilowattHours(predicted),
+            allowed_use: KilowattHours(predicted * allowance),
+            preferences: CustomerPreferences::from_base_scaled(k, Fraction::clamped(ceiling)),
+        },
+    )
+}
+
+fn arb_beta_policy() -> impl Strategy<Value = BetaPolicy> {
+    prop_oneof![
+        (0.1f64..8.0).prop_map(BetaPolicy::constant),
+        (0.1f64..4.0).prop_map(BetaPolicy::adaptive),
+        ((0.5f64..8.0), (0.3f64..1.0)).prop_map(|(b, d)| BetaPolicy::annealing(b, d)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// §3.1: every reward-table negotiation terminates, announcements
+    /// dominate their predecessors, and bids never retreat — for any
+    /// population and β policy.
+    #[test]
+    fn concession_invariants_hold(
+        customers in prop::collection::vec(arb_customer(), 1..40),
+        policy in arb_beta_policy(),
+        margin in 0.6f64..1.0,
+    ) {
+        let total: f64 = customers.iter().map(|c| c.predicted_use.value()).sum();
+        let mut builder = ScenarioBuilder::new()
+            .normal_use(KilowattHours(total * margin))
+            .config(UtilityAgentConfig::paper().with_beta_policy(policy));
+        for c in customers {
+            builder = builder.customer(c);
+        }
+        let report = builder.build().run();
+        prop_assert!(report.converged());
+        let tables: Vec<_> = report.rounds().iter().filter_map(|r| r.table.clone()).collect();
+        prop_assert!(verify_announcements(&tables).is_ok());
+        let bids: Vec<_> = report.rounds().iter().map(|r| r.bids.clone()).collect();
+        prop_assert!(verify_bids(&bids).is_ok());
+        // Overuse is non-increasing round over round.
+        let mut prev = f64::INFINITY;
+        for r in report.rounds() {
+            let ou = r.overuse_fraction(report.normal_use());
+            prop_assert!(ou <= prev + 1e-9);
+            prev = ou;
+        }
+    }
+
+    /// §6: the update rule never exceeds max_reward, never decreases, and
+    /// is monotone in overuse and β.
+    #[test]
+    fn reward_formula_properties(
+        reward in 0.0f64..30.0,
+        overuse in 0.0f64..2.0,
+        beta in 0.0f64..10.0,
+    ) {
+        let f = RewardFormula::paper();
+        let next = f.next_reward(Money(reward), overuse, beta);
+        prop_assert!(next.value() <= f.max_reward.value() + 1e-9);
+        prop_assert!(next.value() + 1e-12 >= reward);
+        // Monotone in overuse.
+        let more = f.next_reward(Money(reward), overuse + 0.1, beta);
+        prop_assert!(more >= next);
+        // Monotone in beta.
+        let steeper = f.next_reward(Money(reward), overuse, beta + 0.5);
+        prop_assert!(steeper >= next);
+    }
+
+    /// §6: `predicted_use_with_cutdown` is bounded by both inputs and
+    /// non-increasing in the cut-down.
+    #[test]
+    fn predicted_use_properties(
+        predicted in 0.0f64..20.0,
+        allowed in 0.0f64..20.0,
+        cut_a in 0.0f64..1.0,
+        cut_b in 0.0f64..1.0,
+    ) {
+        let p = KilowattHours(predicted);
+        let a = KilowattHours(allowed);
+        let lo = Fraction::clamped(cut_a.min(cut_b));
+        let hi = Fraction::clamped(cut_a.max(cut_b));
+        let at_lo = predicted_use_with_cutdown(p, a, lo);
+        let at_hi = predicted_use_with_cutdown(p, a, hi);
+        prop_assert!(at_lo <= p);
+        prop_assert!(at_hi <= at_lo + KilowattHours(1e-12));
+        prop_assert!(at_lo.value() >= 0.0);
+    }
+
+    /// Customer responses always come from the announced table, never
+    /// retreat, and respect the physical ceiling.
+    #[test]
+    fn customer_response_properties(
+        k in 0.1f64..5.0,
+        ceiling in 0.0f64..1.0,
+        reward_at in 1.0f64..30.0,
+        prev in 0.0f64..0.5,
+    ) {
+        let prefs = CustomerPreferences::from_base_scaled(k, Fraction::clamped(ceiling));
+        let table = RewardTable::quadratic(
+            Interval::new(0, 8),
+            &DEFAULT_LEVELS,
+            Money(reward_at),
+            Fraction::clamped(0.4),
+        );
+        let prev = Fraction::clamped((prev * 10.0).round() / 10.0);
+        let bid = prefs.respond(&table, prev);
+        prop_assert!(bid >= prev);
+        if bid > prev {
+            prop_assert!(table.levels().any(|l| l == bid));
+            prop_assert!(bid <= prefs.max_cutdown());
+        }
+    }
+
+    /// Distributed replay: identical seeds produce identical outcomes
+    /// even over lossy, high-latency networks.
+    #[test]
+    fn distributed_replay_is_deterministic(seed in 0u64..500) {
+        let scenario = ScenarioBuilder::random(15, 0.35, seed).build();
+        let net = NetworkModel::uniform(1, 25).with_drop_probability(0.15);
+        let a = run_distributed(&scenario, net.clone(), seed, SimDuration::from_ticks(150));
+        let b = run_distributed(&scenario, net, seed, SimDuration::from_ticks(150));
+        prop_assert_eq!(a, b);
+    }
+
+    /// Overuse-fraction algebra: consistent with its definition.
+    #[test]
+    fn overuse_fraction_definition(total in 0.0f64..500.0, normal in 0.1f64..500.0) {
+        let f = overuse_fraction(KilowattHours(total), KilowattHours(normal));
+        prop_assert!((f - (total - normal) / normal).abs() < 1e-9);
+    }
+}
