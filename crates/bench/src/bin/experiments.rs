@@ -19,7 +19,9 @@ fn run(id: &str) -> bool {
             println!("Figure 2 (UA own process control):");
             println!(
                 "{}",
-                desire::render::render_tree(&loadbal_core::desire_host::ua_own_process_control_tree())
+                desire::render::render_tree(
+                    &loadbal_core::desire_host::ua_own_process_control_tree()
+                )
             );
             println!("Figure 3 (UA cooperation management):");
             println!(
@@ -29,7 +31,9 @@ fn run(id: &str) -> bool {
             println!("Figure 4 (CA own process control):");
             println!(
                 "{}",
-                desire::render::render_tree(&loadbal_core::desire_host::ca_own_process_control_tree())
+                desire::render::render_tree(
+                    &loadbal_core::desire_host::ca_own_process_control_tree()
+                )
             );
             println!("Figure 5 (CA cooperation management):");
             println!(
@@ -49,8 +53,18 @@ fn run(id: &str) -> bool {
         "shapes" => println!("{}", experiments::shape_ablation(200, 10)),
         "all" => {
             for id in [
-                "fig1", "fig2_5", "fig6_7", "fig8_9", "methods", "formula", "beta", "scaling",
-                "invariants", "market", "categories", "shapes",
+                "fig1",
+                "fig2_5",
+                "fig6_7",
+                "fig8_9",
+                "methods",
+                "formula",
+                "beta",
+                "scaling",
+                "invariants",
+                "market",
+                "categories",
+                "shapes",
             ] {
                 run(id);
                 println!();

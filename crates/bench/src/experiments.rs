@@ -8,6 +8,7 @@ use loadbal_core::outcome::SettlementSummary;
 use loadbal_core::producer_agent::ProducerAgent;
 use loadbal_core::reward::RewardFormula;
 use loadbal_core::session::{NegotiationReport, Scenario, ScenarioBuilder};
+use loadbal_core::sweep::ScenarioSweep;
 use loadbal_core::utility_agent::UtilityAgentConfig;
 use massim::clock::SimDuration;
 use massim::network::NetworkModel;
@@ -59,7 +60,10 @@ pub fn fig1_demand(households: usize, seed: u64) -> Fig1Result {
 impl fmt::Display for Fig1Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         let axis = self.curve.axis();
-        writeln!(f, "E1 / Figure 1 — daily demand curve (kWh per 15-min slot)")?;
+        writeln!(
+            f,
+            "E1 / Figure 1 — daily demand curve (kWh per 15-min slot)"
+        )?;
         writeln!(f, "  {}", self.curve.series().sparkline())?;
         writeln!(
             f,
@@ -83,7 +87,11 @@ impl fmt::Display for Fig1Result {
                 i,
                 axis.start_of(i),
                 v,
-                if v > self.normal_capacity_per_slot { 1 } else { 0 }
+                if v > self.normal_capacity_per_slot {
+                    1
+                } else {
+                    0
+                }
             )?;
         }
         Ok(())
@@ -207,7 +215,11 @@ pub fn fig8_9_customer() -> Fig89Result {
                     )
                 })
                 .collect();
-            CustomerRound { round: r.round, comparison, bid: r.bids[0].value() }
+            CustomerRound {
+                round: r.round,
+                comparison,
+                bid: r.bids[0].value(),
+            }
         })
         .collect();
     Fig89Result { rounds }
@@ -215,7 +227,10 @@ pub fn fig8_9_customer() -> Fig89Result {
 
 impl fmt::Display for Fig89Result {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "E4 / Figures 8–9 — Customer Agent during the negotiation")?;
+        writeln!(
+            f,
+            "E4 / Figures 8–9 — Customer Agent during the negotiation"
+        )?;
         for r in &self.rounds {
             writeln!(f, "  round {}:", r.round)?;
             writeln!(f, "    cutdown  offered  required  acceptable")?;
@@ -293,7 +308,10 @@ pub fn methods_comparison(customers: usize, seed: u64) -> MethodsResult {
             }
         })
         .collect();
-    MethodsResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+    MethodsResult {
+        rows,
+        initial_overuse: scenario.initial_overuse_fraction(),
+    }
 }
 
 impl fmt::Display for MethodsResult {
@@ -363,8 +381,7 @@ pub fn formula_sweep() -> FormulaResult {
     for &overuse in &[0.05, 0.1, 0.2, 0.35, 0.5] {
         for &reward0 in &[5.0, 10.0, 17.0, 25.0] {
             let mut reward = Money(reward0);
-            let first_step =
-                (formula.next_reward(reward, overuse, formula.beta) - reward).value();
+            let first_step = (formula.next_reward(reward, overuse, formula.beta) - reward).value();
             let mut steps = 0;
             loop {
                 let next = formula.next_reward(reward, overuse, formula.beta);
@@ -442,6 +459,10 @@ pub struct BetaResult {
 
 /// E7: the §7 future-work experiment — constant β at several values plus
 /// the two dynamic policies, averaged over seeded populations.
+///
+/// The full policy × seed grid is built once as a [`ScenarioSweep`] and
+/// fanned across cores; the sweep's determinism guarantee (outcomes
+/// byte-identical to a sequential run) keeps the aggregates replayable.
 pub fn beta_sweep(customers: usize, repetitions: usize) -> BetaResult {
     let mut policies: Vec<BetaPolicy> = [0.25, 0.5, 1.0, 2.0, 4.0, 8.0]
         .iter()
@@ -450,32 +471,42 @@ pub fn beta_sweep(customers: usize, repetitions: usize) -> BetaResult {
     policies.push(BetaPolicy::adaptive(1.0));
     policies.push(BetaPolicy::annealing(4.0, 0.7));
 
+    let sweep = policies
+        .iter()
+        .fold(ScenarioSweep::new(), |sweep, &policy| {
+            sweep.seeded_grid(
+                &policy.to_string(),
+                customers,
+                0.35,
+                0..repetitions as u64,
+                move |builder| builder.config(UtilityAgentConfig::paper().with_beta_policy(policy)),
+            )
+        });
+    let outcomes = sweep.run();
+
     let rows = policies
-        .into_iter()
-        .map(|policy| {
-            let mut rounds = 0.0;
-            let mut overuse = 0.0;
-            let mut outlay = 0.0;
-            let mut converged = 0.0;
-            for seed in 0..repetitions as u64 {
-                let report = ScenarioBuilder::random(customers, 0.35, seed)
-                    .config(UtilityAgentConfig::paper().with_beta_policy(policy))
-                    .build()
-                    .run();
-                rounds += report.rounds().len() as f64;
-                overuse += report.final_overuse_fraction();
-                outlay += report.total_rewards().value();
-                if report.converged() {
-                    converged += 1.0;
-                }
-            }
-            let n = repetitions as f64;
+        .iter()
+        .zip(outcomes.chunks(repetitions.max(1)))
+        .map(|(policy, chunk)| {
+            let n = chunk.len() as f64;
             BetaRow {
                 policy: policy.to_string(),
-                mean_rounds: rounds / n,
-                mean_final_overuse: overuse / n,
-                mean_outlay: outlay / n,
-                converged: converged / n,
+                mean_rounds: chunk
+                    .iter()
+                    .map(|o| o.report.rounds().len() as f64)
+                    .sum::<f64>()
+                    / n,
+                mean_final_overuse: chunk
+                    .iter()
+                    .map(|o| o.report.final_overuse_fraction())
+                    .sum::<f64>()
+                    / n,
+                mean_outlay: chunk
+                    .iter()
+                    .map(|o| o.report.total_rewards().value())
+                    .sum::<f64>()
+                    / n,
+                converged: chunk.iter().filter(|o| o.report.converged()).count() as f64 / n,
             }
         })
         .collect();
@@ -539,11 +570,29 @@ pub struct ScalingResult {
 
 /// E8: rounds, message volume and wall-clock versus population size, in
 /// both execution modes.
+///
+/// Scenario construction (population synthesis — the embarrassingly
+/// parallel part) fans across cores with
+/// [`massim::threaded::run_batch`]; the *measured* negotiations then
+/// run sequentially, so each row's microsecond figures are wall-clock
+/// free of co-runner core contention — the scaling shape is the
+/// experiment's entire point.
 pub fn scaling(sizes: &[usize], seed: u64) -> ScalingResult {
-    let rows = sizes
+    let jobs: Vec<massim::threaded::Job<Scenario>> = sizes
         .iter()
         .map(|&n| {
-            let scenario = ScenarioBuilder::random(n, 0.35, seed).build();
+            Box::new(move || ScenarioBuilder::random(n, 0.35, seed).build())
+                as massim::threaded::Job<Scenario>
+        })
+        .collect();
+    let threads = std::thread::available_parallelism()
+        .unwrap_or(std::num::NonZeroUsize::new(1).expect("1 > 0"));
+    let scenarios = massim::threaded::run_batch(jobs, threads);
+
+    let rows = sizes
+        .iter()
+        .zip(scenarios)
+        .map(|(&n, scenario)| {
             let t0 = Instant::now();
             let sync = scenario.run();
             let sync_us = t0.elapsed().as_micros();
@@ -617,7 +666,11 @@ pub fn invariants(populations: usize) -> InvariantsResult {
         let report = ScenarioBuilder::random(40, 0.3 + (seed % 3) as f64 * 0.1, seed)
             .build()
             .run();
-        let tables: Vec<_> = report.rounds().iter().filter_map(|r| r.table.clone()).collect();
+        let tables: Vec<_> = report
+            .rounds()
+            .iter()
+            .filter_map(|r| r.table.clone())
+            .collect();
         if verify_announcements(&tables).is_err() {
             result.announcement_violations += 1;
         }
@@ -636,7 +689,11 @@ impl fmt::Display for InvariantsResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "E9 / §3.1 — monotonic-concession invariants")?;
         writeln!(f, "  populations checked:        {}", self.checked)?;
-        writeln!(f, "  announcement violations:    {}", self.announcement_violations)?;
+        writeln!(
+            f,
+            "  announcement violations:    {}",
+            self.announcement_violations
+        )?;
         writeln!(f, "  bid-retreat violations:     {}", self.bid_violations)?;
         writeln!(f, "  non-convergent negotiations: {}", self.non_convergent)
     }
@@ -693,7 +750,10 @@ pub fn market_comparison(customers: usize, seed: u64) -> MarketResult {
             paid: market.payments.value(),
         },
     ];
-    MarketResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+    MarketResult {
+        rows,
+        initial_overuse: scenario.initial_overuse_fraction(),
+    }
 }
 
 impl fmt::Display for MarketResult {
@@ -712,7 +772,11 @@ impl fmt::Display for MarketResult {
             writeln!(
                 f,
                 "  {:<28} {:>10} {:>9} {:>11.1} {:>9.1}",
-                r.strategy, r.iterations, r.messages, 100.0 * r.final_overuse, r.paid
+                r.strategy,
+                r.iterations,
+                r.messages,
+                100.0 * r.final_overuse,
+                r.paid
             )?;
         }
         Ok(())
@@ -759,7 +823,11 @@ pub fn offer_categories(customers: usize, seed: u64) -> OfferResult {
     let row_from = |variant: String, report: &NegotiationReport| OfferRow {
         variant,
         final_overuse: report.final_overuse_fraction(),
-        acceptors: report.final_bids().iter().filter(|b| b.value() > 0.0).count(),
+        acceptors: report
+            .final_bids()
+            .iter()
+            .filter(|b| b.value() > 0.0)
+            .count(),
         outlay: report.total_rewards().value(),
     };
     let mut rows = vec![row_from("uniform offer".into(), &uniform)];
@@ -770,12 +838,21 @@ pub fn offer_categories(customers: usize, seed: u64) -> OfferResult {
     for buckets in [2usize, 3, 5] {
         let naive = consumption_categories(&scenario, buckets);
         let naive_report = run_categorized_offer(&scenario, &naive);
-        rows.push(row_from(format!("{buckets} naive categories"), &naive_report));
+        rows.push(row_from(
+            format!("{buckets} naive categories"),
+            &naive_report,
+        ));
         let optimized = optimized_categories(&scenario, buckets, &candidates);
         let optimized_report = run_categorized_offer(&scenario, &optimized);
-        rows.push(row_from(format!("{buckets} optimized categories"), &optimized_report));
+        rows.push(row_from(
+            format!("{buckets} optimized categories"),
+            &optimized_report,
+        ));
     }
-    OfferResult { rows, initial_overuse: scenario.initial_overuse_fraction() }
+    OfferResult {
+        rows,
+        initial_overuse: scenario.initial_overuse_fraction(),
+    }
 }
 
 impl fmt::Display for OfferResult {
@@ -794,7 +871,10 @@ impl fmt::Display for OfferResult {
             writeln!(
                 f,
                 "  {:<24} {:>11.1} {:>10} {:>9.1}",
-                r.variant, 100.0 * r.final_overuse, r.acceptors, r.outlay
+                r.variant,
+                100.0 * r.final_overuse,
+                r.acceptors,
+                r.outlay
             )?;
         }
         Ok(())
@@ -844,7 +924,9 @@ pub fn shape_ablation(customers: usize, repetitions: usize) -> ShapeResult {
                 c
             };
             // The Figure-8 customer's opening bid under this shape.
-            let paper = ScenarioBuilder::paper_figure_6().config(config_for()).build();
+            let paper = ScenarioBuilder::paper_figure_6()
+                .config(config_for())
+                .build();
             let paper_report = paper.run();
             let fig8_round1_bid = paper_report.rounds()[0].bids[0].value();
             // Aggregate behaviour over random populations.
@@ -924,9 +1006,17 @@ mod tests {
     fn e3_checkpoints_match_paper() {
         let r = fig6_7_trace();
         assert!((r.round1_reward_04 - 17.0).abs() < 1e-9);
-        assert!((23.5..=26.0).contains(&r.final_reward_04), "{}", r.final_reward_04);
+        assert!(
+            (23.5..=26.0).contains(&r.final_reward_04),
+            "{}",
+            r.final_reward_04
+        );
         assert!((r.initial_overuse - 35.0).abs() < 1e-9);
-        assert!((10.0..=16.0).contains(&r.final_overuse), "{}", r.final_overuse);
+        assert!(
+            (10.0..=16.0).contains(&r.final_overuse),
+            "{}",
+            r.final_overuse
+        );
         assert_eq!(r.report.rounds().len(), 3);
     }
 
@@ -976,8 +1066,16 @@ mod tests {
         // higher": the first step grows with overuse (same reward0), and
         // the trajectory climbs closer to max_reward before the ε rule
         // stops it.
-        let low = r.rows.iter().find(|x| x.overuse == 0.05 && x.reward0 == 17.0).unwrap();
-        let high = r.rows.iter().find(|x| x.overuse == 0.5 && x.reward0 == 17.0).unwrap();
+        let low = r
+            .rows
+            .iter()
+            .find(|x| x.overuse == 0.05 && x.reward0 == 17.0)
+            .unwrap();
+        let high = r
+            .rows
+            .iter()
+            .find(|x| x.overuse == 0.5 && x.reward0 == 17.0)
+            .unwrap();
         assert!(high.first_step > low.first_step);
         assert!(high.final_reward >= low.final_reward);
     }
@@ -1034,7 +1132,10 @@ mod tests {
         let r = shape_ablation(60, 3);
         let quad = r.rows.iter().find(|x| x.shape == "quadratic").unwrap();
         let lin = r.rows.iter().find(|x| x.shape == "linear").unwrap();
-        assert!((quad.fig8_round1_bid - 0.2).abs() < 1e-9, "paper opening bid");
+        assert!(
+            (quad.fig8_round1_bid - 0.2).abs() < 1e-9,
+            "paper opening bid"
+        );
         assert!(
             lin.fig8_round1_bid > 0.2,
             "linear pricing overpays small cut-downs, pulling the opening bid up: {}",

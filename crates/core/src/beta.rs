@@ -57,7 +57,11 @@ impl BetaPolicy {
     /// The default adaptive policy of the E7 experiment.
     pub fn adaptive(beta: f64) -> BetaPolicy {
         assert!(beta >= 0.0 && beta.is_finite(), "beta must be non-negative");
-        BetaPolicy::Adaptive { beta, gain: 0.5, min_progress: 0.02 }
+        BetaPolicy::Adaptive {
+            beta,
+            gain: 0.5,
+            min_progress: 0.02,
+        }
     }
 
     /// The default annealing policy of the E7 experiment.
@@ -114,8 +118,15 @@ impl fmt::Display for BetaPolicy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match *self {
             BetaPolicy::Constant { beta } => write!(f, "constant(β={beta})"),
-            BetaPolicy::Adaptive { beta, gain, min_progress } => {
-                write!(f, "adaptive(β={beta}, gain={gain}, min_progress={min_progress})")
+            BetaPolicy::Adaptive {
+                beta,
+                gain,
+                min_progress,
+            } => {
+                write!(
+                    f,
+                    "adaptive(β={beta}, gain={gain}, min_progress={min_progress})"
+                )
             }
             BetaPolicy::Annealing { beta, decay } => {
                 write!(f, "annealing(β={beta}, decay={decay})")

@@ -11,8 +11,8 @@
 use crate::concession::{NegotiationStatus, TerminationReason};
 use crate::customer_agent::decide_offer;
 use crate::methods::AnnouncementMethod;
-use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
-use powergrid::units::{Fraction, KilowattHours, Money};
+use crate::session::{NegotiationReport, RoundRecord, Scenario};
+use powergrid::units::{Fraction, KilowattHours};
 use serde::{Deserialize, Serialize};
 
 /// A consumption category: all customers whose predicted use falls in
@@ -57,13 +57,19 @@ pub fn consumption_categories(scenario: &Scenario, buckets: usize) -> Vec<Catego
     (0..buckets)
         .map(|i| {
             let lower = min + i as f64 * width;
-            let upper = if i + 1 == buckets { f64::INFINITY } else { lower + width };
+            let upper = if i + 1 == buckets {
+                f64::INFINITY
+            } else {
+                lower + width
+            };
             // Heavier consumers get a stricter cap: base x_max minus 5 %
             // per bucket step.
-            let x_max = Fraction::clamped(
-                scenario.config.offer_x_max.value() - 0.05 * i as f64,
-            );
-            Category { lower: KilowattHours(lower), upper: KilowattHours(upper), x_max }
+            let x_max = Fraction::clamped(scenario.config.offer_x_max.value() - 0.05 * i as f64);
+            Category {
+                lower: KilowattHours(lower),
+                upper: KilowattHours(upper),
+                x_max,
+            }
         })
         .collect()
 }
@@ -137,7 +143,10 @@ pub fn run_categorized_offer(scenario: &Scenario, categories: &[Category]) -> Ne
             .iter()
             .find(|cat| cat.contains(customer.predicted_use))
             .unwrap_or_else(|| {
-                panic!("customer with predicted use {} has no category", customer.predicted_use)
+                panic!(
+                    "customer with predicted use {} has no category",
+                    customer.predicted_use
+                )
             });
         let x_max = category.x_max;
         let accept = decide_offer(
@@ -147,24 +156,16 @@ pub fn run_categorized_offer(scenario: &Scenario, categories: &[Category]) -> Ne
             x_max,
             &scenario.tariff,
         );
-        if accept {
-            let limit = x_max * customer.allowed_use;
-            let new_use = customer.predicted_use.min(limit);
-            let cutdown = if customer.predicted_use.value() > f64::EPSILON {
-                Fraction::clamped((customer.predicted_use - new_use) / customer.predicted_use)
-            } else {
-                Fraction::ZERO
-            };
-            let reward = scenario.tariff.bill_normal(customer.predicted_use)
-                - scenario.tariff.bill_with_limit(new_use, limit);
-            predicted_total += new_use;
-            bids.push(cutdown);
-            settlements.push(Settlement { cutdown, reward: reward.max(Money::ZERO) });
-        } else {
-            predicted_total += customer.predicted_use;
-            bids.push(Fraction::ZERO);
-            settlements.push(Settlement { cutdown: Fraction::ZERO, reward: Money::ZERO });
-        }
+        let (new_use, settlement) = crate::engine::offer_outcome(
+            customer.predicted_use,
+            customer.allowed_use,
+            x_max,
+            &scenario.tariff,
+            accept,
+        );
+        predicted_total += new_use;
+        bids.push(settlement.cutdown);
+        settlements.push(settlement);
     }
 
     let rounds = vec![RoundRecord {

@@ -94,9 +94,17 @@ impl fmt::Display for ConcessionViolation {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ConcessionViolation::AnnouncementRegressed { round } => {
-                write!(f, "announcement in round {round} pays less than its predecessor")
+                write!(
+                    f,
+                    "announcement in round {round} pays less than its predecessor"
+                )
             }
-            ConcessionViolation::BidRetreated { round, customer, previous, current } => write!(
+            ConcessionViolation::BidRetreated {
+                round,
+                customer,
+                previous,
+                current,
+            } => write!(
                 f,
                 "customer {customer} retreated from {previous} to {current} in round {round}"
             ),
@@ -166,7 +174,12 @@ mod tests {
     }
 
     fn table(reward_at: f64) -> RewardTable {
-        RewardTable::quadratic(Interval::new(0, 8), &DEFAULT_LEVELS, Money(reward_at), fr(0.4))
+        RewardTable::quadratic(
+            Interval::new(0, 8),
+            &DEFAULT_LEVELS,
+            Money(reward_at),
+            fr(0.4),
+        )
     }
 
     #[test]
@@ -198,7 +211,14 @@ mod tests {
     fn retreating_bid_detected() {
         let rounds = vec![vec![fr(0.3)], vec![fr(0.2)]];
         let err = verify_bids(&rounds).unwrap_err();
-        assert!(matches!(err, ConcessionViolation::BidRetreated { round: 2, customer: 0, .. }));
+        assert!(matches!(
+            err,
+            ConcessionViolation::BidRetreated {
+                round: 2,
+                customer: 0,
+                ..
+            }
+        ));
     }
 
     #[test]
@@ -214,7 +234,10 @@ mod tests {
         assert!(s.is_converged());
         assert!(s.to_string().contains("overuse acceptable"));
         assert!(!NegotiationStatus::MaxRoundsExceeded.is_converged());
-        assert_eq!(TerminationReason::RewardSaturated.to_string(), "reward table saturated");
+        assert_eq!(
+            TerminationReason::RewardSaturated.to_string(),
+            "reward table saturated"
+        );
     }
 
     #[test]

@@ -22,7 +22,11 @@ pub struct CustomerAgentState {
 impl CustomerAgentState {
     /// Starts a fresh negotiation.
     pub fn new(preferences: CustomerPreferences) -> CustomerAgentState {
-        CustomerAgentState { preferences, previous_bid: Fraction::ZERO, bids: Vec::new() }
+        CustomerAgentState {
+            preferences,
+            previous_bid: Fraction::ZERO,
+            bids: Vec::new(),
+        }
     }
 
     /// The customer's preferences.
@@ -45,7 +49,10 @@ impl CustomerAgentState {
     /// bid in the history.
     pub fn respond(&mut self, table: &RewardTable) -> Fraction {
         let bid = self.preferences.respond(table, self.previous_bid);
-        debug_assert!(bid >= self.previous_bid, "monotonic concession on the CA side");
+        debug_assert!(
+            bid >= self.previous_bid,
+            "monotonic concession on the CA side"
+        );
         self.previous_bid = bid;
         self.bids.push(bid);
         bid
@@ -105,7 +112,8 @@ pub fn rfb_step(
         }
         let y_min = level.complement() * allowed_use;
         let committed_use = predicted_use.min(y_min);
-        let saving = tariff.bill_normal(predicted_use) - tariff.bill_with_limit(committed_use, y_min);
+        let saving =
+            tariff.bill_normal(predicted_use) - tariff.bill_with_limit(committed_use, y_min);
         let effort = preferences.effort_cost(level);
         if saving >= effort && level > target {
             target = level;
@@ -148,7 +156,12 @@ mod tests {
     }
 
     fn table(reward_at: f64) -> RewardTable {
-        RewardTable::quadratic(Interval::new(0, 8), &DEFAULT_LEVELS, Money(reward_at), fr(0.4))
+        RewardTable::quadratic(
+            Interval::new(0, 8),
+            &DEFAULT_LEVELS,
+            Money(reward_at),
+            fr(0.4),
+        )
     }
 
     #[test]
@@ -259,7 +272,13 @@ mod tests {
     fn rfb_stands_still_when_target_reached() {
         let prefs = CustomerPreferences::from_base_scaled(10.0, fr(0.5));
         let tariff = Tariff::default_scheme();
-        let next = rfb_step(&prefs, Fraction::ZERO, KilowattHours(10.0), KilowattHours(10.0), &tariff);
+        let next = rfb_step(
+            &prefs,
+            Fraction::ZERO,
+            KilowattHours(10.0),
+            KilowattHours(10.0),
+            &tariff,
+        );
         assert_eq!(next, Fraction::ZERO, "reluctant customer never moves");
     }
 

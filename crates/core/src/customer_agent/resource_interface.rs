@@ -12,10 +12,7 @@ use powergrid::units::{Fraction, KilowattHours};
 
 /// *Determine needs of resource consumers* (Figure 5): query each RCA for
 /// its saving potential over the interval and sum.
-pub fn total_saving_potential(
-    rcas: &[ResourceConsumerAgent],
-    interval: Interval,
-) -> KilowattHours {
+pub fn total_saving_potential(rcas: &[ResourceConsumerAgent], interval: Interval) -> KilowattHours {
     rcas.iter().map(|rca| rca.saving_potential(interval)).sum()
 }
 
@@ -88,8 +85,7 @@ mod tests {
     fn potential_is_sum_of_devices() {
         let rcas = rcas();
         let total = total_saving_potential(&rcas, evening());
-        let by_hand: KilowattHours =
-            rcas.iter().map(|r| r.saving_potential(evening())).sum();
+        let by_hand: KilowattHours = rcas.iter().map(|r| r.saving_potential(evening())).sum();
         assert_eq!(total, by_hand);
         assert!(total.value() > 0.0);
     }
@@ -127,8 +123,7 @@ mod tests {
     #[test]
     fn inflexible_devices_get_smaller_share() {
         let rcas = rcas();
-        let instructions =
-            implementation_instructions(&rcas, evening(), Fraction::clamped(0.2));
+        let instructions = implementation_instructions(&rcas, evening(), Fraction::clamped(0.2));
         // Laundry (fully flexible) should carry more than cooking (5 %).
         assert!(instructions[1] > instructions[2]);
     }

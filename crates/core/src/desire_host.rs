@@ -13,13 +13,10 @@
 //!   calculation components exchanging facts over information links —
 //!   and is cross-validated against the native synchronous session.
 
-use crate::concession::NegotiationStatus;
-use crate::customer_agent::CustomerAgentState;
-use crate::methods::AnnouncementMethod;
-use crate::reward::{overuse_fraction, predicted_use_with_cutdown, RewardTable};
-use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
-use crate::utility_agent::cooperation::assess_bids;
-use crate::utility_agent::{RewardTableNegotiator, UaDecision};
+use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
+use crate::message::Msg;
+use crate::reward::RewardTable;
+use crate::session::{NegotiationReport, Scenario};
 use desire::component::{Component, FnCalculation};
 use desire::engine::{FactBase, TruthValue};
 use desire::kb::KnowledgeBase;
@@ -27,7 +24,7 @@ use desire::link::{Endpoint, InfoLink};
 use desire::system::System;
 use desire::task_control::TaskControl;
 use desire::term::{Atom, Term};
-use powergrid::units::{Fraction, KilowattHours, Money};
+use powergrid::units::{Fraction, Money};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -79,7 +76,11 @@ pub fn ua_cooperation_tree() -> Component {
     );
     let determine_bid_acceptance = Component::composed(
         "determine_bid_acceptance",
-        vec![leaf("monitor_bid_receipt"), leaf("evaluate_bids"), leaf("select_bids")],
+        vec![
+            leaf("monitor_bid_receipt"),
+            leaf("evaluate_bids"),
+            leaf("select_bids"),
+        ],
         vec![],
         TaskControl::new(),
     );
@@ -105,11 +106,19 @@ pub fn ca_own_process_control_tree() -> Component {
     );
     let evaluate = Component::composed(
         "evaluate_processes",
-        vec![leaf("evaluate_resource_allocation_process"), leaf("evaluate_bidding_process")],
+        vec![
+            leaf("evaluate_resource_allocation_process"),
+            leaf("evaluate_bidding_process"),
+        ],
         vec![],
         TaskControl::new(),
     );
-    Component::composed("own_process_control", vec![determine, evaluate], vec![], TaskControl::new())
+    Component::composed(
+        "own_process_control",
+        vec![determine, evaluate],
+        vec![],
+        TaskControl::new(),
+    )
 }
 
 /// Figure 5: process abstraction levels within *cooperation management*
@@ -158,7 +167,10 @@ pub fn ca_cooperation_tree() -> Component {
 pub fn utility_agent_tree() -> Component {
     use desire::agent_model::{GenericAgentBuilder, GenericTask};
     GenericAgentBuilder::new("utility_agent")
-        .with_task(GenericTask::OwnProcessControl, ua_own_process_control_tree())
+        .with_task(
+            GenericTask::OwnProcessControl,
+            ua_own_process_control_tree(),
+        )
         .with_task(
             GenericTask::AgentSpecificTask,
             Component::composed(
@@ -180,7 +192,10 @@ pub fn utility_agent_tree() -> Component {
 pub fn customer_agent_tree() -> Component {
     use desire::agent_model::{GenericAgentBuilder, GenericTask};
     GenericAgentBuilder::new("customer_agent")
-        .with_task(GenericTask::OwnProcessControl, ca_own_process_control_tree())
+        .with_task(
+            GenericTask::OwnProcessControl,
+            ca_own_process_control_tree(),
+        )
         .with_task(GenericTask::CooperationManagement, ca_cooperation_tree())
         .build()
 }
@@ -211,14 +226,6 @@ pub fn negotiation_info_type() -> desire::info::InfoType {
 // Hosted execution
 // ---------------------------------------------------------------------
 
-/// Shared record the UA calculation component fills in during the run.
-#[derive(Debug, Default)]
-struct HostLog {
-    rounds: Vec<RoundRecord>,
-    status: Option<NegotiationStatus>,
-    final_table: Option<RewardTable>,
-}
-
 fn table_to_facts(round: u32, table: &RewardTable) -> Vec<(Atom, TruthValue)> {
     let mut facts = vec![(
         Atom::new("announce_round", vec![Term::number(f64::from(round))]),
@@ -240,11 +247,7 @@ fn table_to_facts(round: u32, table: &RewardTable) -> Vec<(Atom, TruthValue)> {
     facts
 }
 
-fn facts_to_table(
-    facts: &FactBase,
-    round: u32,
-    template: &RewardTable,
-) -> Option<RewardTable> {
+fn facts_to_table(facts: &FactBase, round: u32, template: &RewardTable) -> Option<RewardTable> {
     let mut entries = Vec::new();
     for (atom, value) in facts.with_predicate(&"announced".into()) {
         if value != TruthValue::True || atom.args.len() != 3 {
@@ -295,93 +298,85 @@ pub fn run_hosted(scenario: &Scenario) -> NegotiationReport {
 /// Panics if the kernel fails to reach quiescence (cannot happen for
 /// terminating negotiations within the task-control round budget).
 pub fn run_hosted_traced(scenario: &Scenario) -> (NegotiationReport, desire::trace::Trace) {
-    let log = Rc::new(RefCell::new(HostLog::default()));
-    let n = scenario.customers.len();
-
     // --- Utility Agent calculation component -------------------------
-    let ua_log = Rc::clone(&log);
-    let mut negotiator = RewardTableNegotiator::new(scenario.config.clone(), scenario.interval);
-    let profiles: Vec<(KilowattHours, KilowattHours)> = scenario
-        .customers
-        .iter()
-        .map(|c| (c.predicted_use, c.allowed_use))
-        .collect();
-    let normal_use = scenario.normal_use;
-    let mut evaluated_round = 0u32;
-    let mut announced_initial = false;
+    // The component is pure fact-translation glue: facts in → engine
+    // inputs, engine effects → facts out. All §3.2.3 round logic lives
+    // in the shared sans-io engine. The method is pinned to reward
+    // tables regardless of `scenario.method`: the hosted composition's
+    // ontology and links only model announce/bid traffic, and this
+    // function's contract is the paper-prototype strategy.
+    let mut engine =
+        UtilityEngine::with_method(scenario, crate::methods::AnnouncementMethod::RewardTables);
+    let assembler = Rc::new(RefCell::new(ReportAssembler::for_engine(&engine)));
+    let ua_assembler = Rc::clone(&assembler);
+    let mut started = false;
     let ua_calc = FnCalculation::new("ua_round", move |input: &FactBase| {
-        let mut log = ua_log.borrow_mut();
-        if log.status.is_some() {
+        if engine.is_settled() {
             return Vec::new();
         }
-        if !announced_initial {
-            announced_initial = true;
-            return table_to_facts(negotiator.round(), negotiator.current_table());
-        }
-        let round = negotiator.round();
-        if round <= evaluated_round {
-            return Vec::new();
-        }
-        // Collect this round's bids: bid(index, round, cutdown).
-        let mut bids: Vec<Option<Fraction>> = vec![None; profiles.len()];
-        for (atom, value) in input.with_predicate(&"bid".into()) {
-            if value != TruthValue::True || atom.args.len() != 3 {
-                continue;
-            }
-            let (Some(i), Some(r), Some(c)) = (
-                atom.args[0].as_number(),
-                atom.args[1].as_number(),
-                atom.args[2].as_number(),
-            ) else {
-                continue;
-            };
-            if (r - f64::from(round)).abs() < 1e-9 {
-                let idx = i as usize;
-                if idx < bids.len() {
-                    bids[idx] = Some(Fraction::clamped(c));
+        if !started {
+            started = true;
+            engine.handle(Input::Start);
+        } else {
+            // Feed this round's bids: bid(index, round, cutdown). Facts
+            // persist across kernel rounds; the engine ignores stale and
+            // duplicate deliveries, so re-feeding is harmless.
+            for (atom, value) in input.with_predicate(&"bid".into()) {
+                if value != TruthValue::True || atom.args.len() != 3 {
+                    continue;
                 }
+                let (Some(i), Some(r), Some(c)) = (
+                    atom.args[0].as_number(),
+                    atom.args[1].as_number(),
+                    atom.args[2].as_number(),
+                ) else {
+                    continue;
+                };
+                engine.handle(Input::Received {
+                    from: Peer::Customer(i as usize),
+                    msg: Msg::Bid {
+                        round: r as u32,
+                        cutdown: Fraction::clamped(c),
+                    },
+                });
             }
         }
-        if bids.iter().any(Option::is_none) {
-            return Vec::new(); // wait for all customer responses
-        }
-        evaluated_round = round;
-        let bids: Vec<Fraction> = bids.into_iter().map(|b| b.expect("checked")).collect();
-        let table = negotiator.current_table().clone();
-        let accepted = assess_bids(&table, &bids);
-        let predicted_total: KilowattHours = profiles
-            .iter()
-            .zip(&accepted)
-            .map(|(&(p, a), &b)| predicted_use_with_cutdown(p, a, b))
-            .sum();
-        log.rounds.push(RoundRecord {
-            round,
-            table: Some(table.clone()),
-            bids: accepted,
-            predicted_total,
-            messages: 2 * profiles.len() as u64,
-        });
-        let overuse = overuse_fraction(predicted_total, normal_use);
-        match negotiator.evaluate(overuse) {
-            UaDecision::Converged(reason) => {
-                log.status = Some(NegotiationStatus::Converged(reason));
-                log.final_table = Some(table);
-                vec![(
-                    Atom::new("negotiation_ended", vec![Term::number(f64::from(round))]),
-                    TruthValue::True,
-                )]
+        let mut out = Vec::new();
+        let mut announced = None;
+        while let Some(effect) = engine.poll_effect() {
+            ua_assembler.borrow_mut().observe(&effect);
+            match effect {
+                // Announcements are broadcast facts: encode each round's
+                // table once, not once per customer.
+                Effect::Send {
+                    msg: Msg::Announce { round, table },
+                    ..
+                } if announced != Some(round) => {
+                    announced = Some(round);
+                    out.extend(table_to_facts(round, &table));
+                }
+                Effect::Settled { .. } => {
+                    out.push((
+                        Atom::new(
+                            "negotiation_ended",
+                            vec![Term::number(f64::from(engine.current_round()))],
+                        ),
+                        TruthValue::True,
+                    ));
+                }
+                // Award sends are counted by the assembler; timers are
+                // meaningless under the kernel's quiescence semantics.
+                _ => {}
             }
-            UaDecision::NextTable(next) => table_to_facts(negotiator.round(), &next),
         }
+        out
     });
-    let utility = Component::calculation("utility_agent", ua_calc)
-        .with_typed_input(negotiation_info_type());
+    let utility =
+        Component::calculation("utility_agent", ua_calc).with_typed_input(negotiation_info_type());
 
     // --- Customer Agents calculation component ------------------------
-    let mut states: Vec<CustomerAgentState> = scenario
-        .customers
-        .iter()
-        .map(|c| CustomerAgentState::new(c.preferences.clone()))
+    let mut engines: Vec<CustomerEngine> = (0..scenario.customers.len())
+        .map(|i| CustomerEngine::for_customer(scenario, i))
         .collect();
     let template = scenario.config.initial_table(scenario.interval);
     let mut responded_round = 0u32;
@@ -402,22 +397,35 @@ pub fn run_hosted_traced(scenario: &Scenario) -> (NegotiationReport, desire::tra
             return Vec::new();
         };
         responded_round = latest;
-        states
+        engines
             .iter_mut()
             .enumerate()
-            .map(|(i, state)| {
-                let bid = state.respond(&table);
-                (
+            .filter_map(|(i, engine)| {
+                engine.handle(Input::Received {
+                    from: Peer::Utility,
+                    msg: Msg::Announce {
+                        round: latest,
+                        table: table.clone(),
+                    },
+                });
+                let Some(Effect::Send {
+                    msg: Msg::Bid { round, cutdown },
+                    ..
+                }) = engine.poll_effect()
+                else {
+                    return None;
+                };
+                Some((
                     Atom::new(
                         "bid",
                         vec![
-                            Term::number(i as f64),
-                            Term::number(f64::from(latest)),
-                            Term::number(bid.value()),
+                            Term::number(f64::from(i as u32)),
+                            Term::number(f64::from(round)),
+                            Term::number(cutdown.value()),
                         ],
                     ),
                     TruthValue::True,
-                )
+                ))
             })
             .collect()
     });
@@ -447,35 +455,11 @@ pub fn run_hosted_traced(scenario: &Scenario) -> (NegotiationReport, desire::tra
         TaskControl::new().with_max_rounds(500),
     );
     let mut system = System::new(root);
-    system.run().expect("DESIRE-hosted negotiation reaches quiescence");
+    system
+        .run()
+        .expect("DESIRE-hosted negotiation reaches quiescence");
 
-    let log = log.borrow();
-    let status = log.status.unwrap_or(NegotiationStatus::MaxRoundsExceeded);
-    let final_table = log
-        .final_table
-        .clone()
-        .or_else(|| log.rounds.last().and_then(|r| r.table.clone()))
-        .expect("at least one round ran");
-    let settlements: Vec<Settlement> = log
-        .rounds
-        .last()
-        .map(|r| {
-            r.bids
-                .iter()
-                .map(|&cutdown| Settlement { cutdown, reward: final_table.reward_for(cutdown) })
-                .collect()
-        })
-        .unwrap_or_default();
-    let report = NegotiationReport::new(
-        AnnouncementMethod::RewardTables,
-        scenario.normal_use,
-        scenario.initial_total(),
-        log.rounds.clone(),
-        status,
-        settlements,
-        n as u64,
-    );
-    drop(log);
+    let report = assembler.borrow().clone().finish();
     (report, system.trace().clone())
 }
 
@@ -565,16 +549,40 @@ mod tests {
     fn typed_interfaces_reject_ill_typed_external_input() {
         let component = Component::calculation(
             "ua",
-            desire::component::FnCalculation::new("noop", |_: &desire::engine::FactBase| Vec::new()),
+            desire::component::FnCalculation::new("noop", |_: &desire::engine::FactBase| {
+                Vec::new()
+            }),
         )
         .with_typed_input(negotiation_info_type());
         let mut component = component;
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-            component
-                .input_mut()
-                .assert(Atom::prop("malicious_injection"), desire::engine::TruthValue::True);
+            component.input_mut().assert(
+                Atom::prop("malicious_injection"),
+                desire::engine::TruthValue::True,
+            );
         }));
-        assert!(result.is_err(), "off-vocabulary input must be rejected loudly");
+        assert!(
+            result.is_err(),
+            "off-vocabulary input must be rejected loudly"
+        );
+    }
+
+    #[test]
+    fn hosted_run_pins_reward_tables_regardless_of_scenario_method() {
+        use crate::methods::AnnouncementMethod;
+        // The hosted composition only models announce/bid traffic, so
+        // run_hosted must negotiate with reward tables even when the
+        // scenario is configured for another method — not quiesce into
+        // an empty degenerate report.
+        let scenario = ScenarioBuilder::random(10, 0.35, 1)
+            .method(AnnouncementMethod::Offer)
+            .build();
+        let hosted = run_hosted(&scenario);
+        let native = scenario.run_with(AnnouncementMethod::RewardTables);
+        assert_eq!(hosted.method(), AnnouncementMethod::RewardTables);
+        assert!(!hosted.rounds().is_empty());
+        assert_eq!(hosted.final_bids(), native.final_bids());
+        assert_eq!(hosted.status(), native.status());
     }
 
     #[test]

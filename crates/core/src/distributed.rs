@@ -1,79 +1,73 @@
-//! Distributed execution: the negotiation as message-passing actors.
+//! Distributed execution: the sans-io engine behind message-passing
+//! actors.
 //!
 //! The paper's vision is "large open distributed industrial systems"
 //! (§7): one Utility Agent process negotiating with thousands of Customer
-//! Agent processes over a real network. This module runs the
-//! reward-table method on the [`massim`] runtime — with latency, loss and
-//! response deadlines — and is cross-validated against the synchronous
-//! session: on a perfect network both produce identical outcomes.
+//! Agent processes over a real network. This module adapts the shared
+//! [`crate::engine`] state machines to the [`massim`] runtime — latency,
+//! loss and response deadlines included. The adapters contain **no
+//! protocol logic**: they translate runtime callbacks into engine
+//! [`Input`]s and engine [`Effect`]s into runtime calls, so on a perfect
+//! network the outcome is identical to [`Scenario::run`] by
+//! construction.
 
 use crate::concession::NegotiationStatus;
-use crate::customer_agent::CustomerAgentState;
+use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
 use crate::message::Msg;
-use crate::methods::AnnouncementMethod;
-use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
 use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
-use crate::utility_agent::cooperation::assess_bids;
-use crate::utility_agent::{RewardTableNegotiator, UaDecision};
 use massim::agent::{Agent, AgentId, Context, TimerToken};
 use massim::clock::SimDuration;
 use massim::metrics::Metrics;
 use massim::network::NetworkModel;
 use massim::runtime::Simulation;
-use powergrid::units::{Fraction, KilowattHours};
 use std::collections::BTreeMap;
 
-/// A Customer Agent process.
+/// A Customer Agent process: a [`CustomerEngine`] on the wire.
 #[derive(Debug)]
 pub struct CustomerProcess {
-    state: CustomerAgentState,
-    awarded: Option<Settlement>,
+    engine: CustomerEngine,
 }
 
 impl CustomerProcess {
-    /// Creates the process from per-customer state.
-    pub fn new(state: CustomerAgentState) -> CustomerProcess {
-        CustomerProcess { state, awarded: None }
+    /// Creates the process around a customer engine.
+    pub fn new(engine: CustomerEngine) -> CustomerProcess {
+        CustomerProcess { engine }
     }
 
     /// The award received at the end, if any.
     pub fn awarded(&self) -> Option<&Settlement> {
-        self.awarded.as_ref()
+        self.engine.awarded()
     }
 }
 
 impl Agent<Msg> for CustomerProcess {
     fn on_message(&mut self, from: AgentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
-        match msg {
-            Msg::Announce { round, table } => {
-                let cutdown = self.state.respond(&table);
-                ctx.send(from, Msg::Bid { round, cutdown });
+        self.engine.handle(Input::Received {
+            from: Peer::Utility,
+            msg,
+        });
+        while let Some(effect) = self.engine.poll_effect() {
+            if let Effect::Send {
+                to: Peer::Utility,
+                msg,
+            } = effect
+            {
+                ctx.send(from, msg);
             }
-            Msg::Award { round, cutdown, reward } => {
-                let _ = round;
-                self.awarded = Some(Settlement { cutdown, reward });
-            }
-            _ => {}
         }
     }
 }
 
-/// The Utility Agent process: announces, collects bids until all arrive
-/// or the round deadline fires, evaluates, and either awards or announces
-/// the next table.
+/// The Utility Agent process: a [`UtilityEngine`] on the wire, with the
+/// per-round response deadline realised as a runtime timer.
 #[derive(Debug)]
 pub struct UtilityProcess {
-    negotiator: RewardTableNegotiator,
+    engine: UtilityEngine,
+    assembler: ReportAssembler,
+    /// Customer agent ids, scenario order (`Peer::Customer(i)` ↔ `customers[i]`).
     customers: Vec<AgentId>,
-    /// `(predicted_use, allowed_use)` per customer, same order as ids.
-    profiles: Vec<(KilowattHours, KilowattHours)>,
-    normal_use: KilowattHours,
+    index_of: BTreeMap<AgentId, usize>,
     deadline: SimDuration,
-    received: BTreeMap<AgentId, Fraction>,
-    last_bids: Vec<Fraction>,
-    concluded_round: u32,
-    rounds: Vec<RoundRecord>,
-    status: Option<NegotiationStatus>,
 }
 
 impl UtilityProcess {
@@ -84,88 +78,56 @@ impl UtilityProcess {
         customers: Vec<AgentId>,
         deadline: SimDuration,
     ) -> UtilityProcess {
-        let profiles = scenario
-            .customers
+        let engine = UtilityEngine::new(scenario);
+        let assembler = ReportAssembler::for_engine(&engine);
+        let index_of = customers
             .iter()
-            .map(|c| (c.predicted_use, c.allowed_use))
-            .collect::<Vec<_>>();
-        let n = profiles.len();
+            .enumerate()
+            .map(|(i, &id)| (id, i))
+            .collect();
         UtilityProcess {
-            negotiator: RewardTableNegotiator::new(scenario.config.clone(), scenario.interval),
+            engine,
+            assembler,
             customers,
-            profiles,
-            normal_use: scenario.normal_use,
+            index_of,
             deadline,
-            received: BTreeMap::new(),
-            last_bids: vec![Fraction::ZERO; n],
-            concluded_round: 0,
-            rounds: Vec::new(),
-            status: None,
         }
     }
 
     /// The per-round history collected so far.
     pub fn rounds(&self) -> &[RoundRecord] {
-        &self.rounds
+        self.assembler.rounds()
     }
 
     /// The final status once the negotiation is over.
     pub fn status(&self) -> Option<NegotiationStatus> {
-        self.status
+        self.assembler.status()
     }
 
-    fn announce_current(&mut self, ctx: &mut Context<'_, Msg>) {
-        let round = self.negotiator.round();
-        let table = self.negotiator.current_table().clone();
-        ctx.broadcast(&self.customers, Msg::Announce { round, table });
-        ctx.set_timer(TimerToken(u64::from(round)), self.deadline);
+    /// The report assembled so far (complete once [`UtilityProcess::status`]
+    /// is `Some`).
+    pub fn report(&self) -> NegotiationReport {
+        self.assembler.clone().finish()
     }
 
-    fn conclude_round(&mut self, ctx: &mut Context<'_, Msg>) {
-        let round = self.negotiator.round();
-        self.concluded_round = round;
-        // Missing responders (lost announce or lost bid) keep their last
-        // known bid — monotonic concession makes this safe.
-        let bids: Vec<Fraction> = self
-            .customers
-            .iter()
-            .zip(&self.last_bids)
-            .map(|(id, &last)| self.received.get(id).copied().unwrap_or(last).max(last))
-            .collect();
-        let table = self.negotiator.current_table().clone();
-        let accepted = assess_bids(&table, &bids);
-        self.last_bids = accepted.clone();
-        self.received.clear();
-
-        let predicted_total: KilowattHours = self
-            .profiles
-            .iter()
-            .zip(&accepted)
-            .map(|(&(pred, allowed), &b)| predicted_use_with_cutdown(pred, allowed, b))
-            .sum();
-        let n = self.customers.len() as u64;
-        self.rounds.push(RoundRecord {
-            round,
-            table: Some(table.clone()),
-            bids: accepted.clone(),
-            predicted_total,
-            messages: 2 * n,
-        });
-        let overuse = overuse_fraction(predicted_total, self.normal_use);
-        match self.negotiator.evaluate(overuse) {
-            UaDecision::Converged(reason) => {
-                self.status = Some(NegotiationStatus::Converged(reason));
-                // No halt: the simulation drains naturally so the award
-                // messages still reach the customers.
-                for (id, &cutdown) in self.customers.clone().iter().zip(&accepted) {
-                    ctx.send(
-                        *id,
-                        Msg::Award { round, cutdown, reward: table.reward_for(cutdown) },
-                    );
+    fn pump(&mut self, ctx: &mut Context<'_, Msg>) {
+        while let Some(effect) = self.engine.poll_effect() {
+            self.assembler.observe(&effect);
+            match effect {
+                Effect::Send {
+                    to: Peer::Customer(i),
+                    msg,
+                } => ctx.send(self.customers[i], msg),
+                Effect::Send {
+                    to: Peer::Utility, ..
+                } => {}
+                Effect::SetTimer { token } => {
+                    ctx.set_timer(TimerToken(token), self.deadline);
                 }
-            }
-            UaDecision::NextTable(_) => {
-                self.announce_current(ctx);
+                // Report observations; no runtime action needed. The
+                // simulation drains naturally after settlement so the
+                // award messages still reach the customers.
+                Effect::RoundComplete(_) | Effect::Settled { .. } => {}
             }
         }
     }
@@ -173,27 +135,24 @@ impl UtilityProcess {
 
 impl Agent<Msg> for UtilityProcess {
     fn on_start(&mut self, ctx: &mut Context<'_, Msg>) {
-        self.announce_current(ctx);
+        self.engine.handle(Input::Start);
+        self.pump(ctx);
     }
 
     fn on_message(&mut self, from: AgentId, msg: Msg, ctx: &mut Context<'_, Msg>) {
-        if let Msg::Bid { round, cutdown } = msg {
-            if round != self.negotiator.round() || self.status.is_some() {
-                return; // stale bid from a slow or replayed message
-            }
-            self.received.insert(from, cutdown);
-            if self.received.len() == self.customers.len() {
-                self.conclude_round(ctx);
-            }
-        }
+        let Some(&i) = self.index_of.get(&from) else {
+            return; // not one of our customers
+        };
+        self.engine.handle(Input::Received {
+            from: Peer::Customer(i),
+            msg,
+        });
+        self.pump(ctx);
     }
 
     fn on_timer(&mut self, token: TimerToken, ctx: &mut Context<'_, Msg>) {
-        let round = token.0 as u32;
-        if round == self.negotiator.round() && self.concluded_round < round && self.status.is_none()
-        {
-            self.conclude_round(ctx);
-        }
+        self.engine.handle(Input::TimerFired { token: token.0 });
+        self.pump(ctx);
     }
 }
 
@@ -206,11 +165,13 @@ pub struct DistributedOutcome {
     pub metrics: Metrics,
 }
 
-/// Runs the reward-table negotiation as a distributed simulation.
+/// Runs the scenario's configured announcement method as a distributed
+/// simulation.
 ///
 /// `deadline` is the UA's per-round response deadline; it must exceed a
 /// network round trip or every round concludes empty. On a perfect
-/// network the outcome is identical to [`Scenario::run`].
+/// network the outcome is identical to [`Scenario::run`] — both drive
+/// the same [`crate::engine`].
 ///
 /// # Panics
 ///
@@ -224,46 +185,27 @@ pub fn run_distributed(
 ) -> DistributedOutcome {
     let mut sim: Simulation<Msg> = Simulation::with_network(seed, network);
     sim.set_logging(false);
-    let customer_ids: Vec<AgentId> = scenario
-        .customers
-        .iter()
-        .map(|c| sim.add_agent(CustomerProcess::new(CustomerAgentState::new(c.preferences.clone()))))
+    let customer_ids: Vec<AgentId> = (0..scenario.customers.len())
+        .map(|i| {
+            sim.add_agent(CustomerProcess::new(CustomerEngine::for_customer(
+                scenario, i,
+            )))
+        })
         .collect();
     let ua = sim.add_agent(UtilityProcess::new(scenario, customer_ids, deadline));
     sim.run().expect("negotiation simulation terminates");
 
     let process = sim.agent::<UtilityProcess>(ua).expect("UA process exists");
-    let rounds = process.rounds().to_vec();
-    let status = process.status().unwrap_or(NegotiationStatus::MaxRoundsExceeded);
-    let final_table = rounds
-        .last()
-        .and_then(|r| r.table.clone())
-        .expect("at least one round concluded");
-    let settlements: Vec<Settlement> = rounds
-        .last()
-        .map(|r| {
-            r.bids
-                .iter()
-                .map(|&cutdown| Settlement { cutdown, reward: final_table.reward_for(cutdown) })
-                .collect()
-        })
-        .unwrap_or_default();
-    let n = scenario.customers.len() as u64;
-    let report = NegotiationReport::new(
-        AnnouncementMethod::RewardTables,
-        scenario.normal_use,
-        scenario.initial_total(),
-        rounds,
-        status,
-        settlements,
-        n,
-    );
-    DistributedOutcome { report, metrics: *sim.metrics() }
+    DistributedOutcome {
+        report: process.report(),
+        metrics: *sim.metrics(),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::methods::AnnouncementMethod;
     use crate::session::ScenarioBuilder;
 
     fn deadline() -> SimDuration {
@@ -297,6 +239,28 @@ mod tests {
     }
 
     #[test]
+    fn other_methods_also_match_their_synchronous_runs() {
+        // The engine behind the wire is method-agnostic, so the actors
+        // now run all three §3.2 methods, not just reward tables.
+        for method in [
+            AnnouncementMethod::Offer,
+            AnnouncementMethod::RequestForBids,
+        ] {
+            let scenario = ScenarioBuilder::random(25, 0.35, 11).method(method).build();
+            let sync = scenario.run();
+            let dist = run_distributed(&scenario, NetworkModel::perfect(), 3, deadline());
+            assert_eq!(dist.report.method(), method);
+            assert_eq!(dist.report.final_bids(), sync.final_bids(), "{method}");
+            assert_eq!(dist.report.status(), sync.status(), "{method}");
+            assert_eq!(
+                dist.report.total_messages(),
+                sync.total_messages(),
+                "{method}"
+            );
+        }
+    }
+
+    #[test]
     fn latency_does_not_change_outcome() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
         let sync = scenario.run();
@@ -319,7 +283,10 @@ mod tests {
             SimDuration::from_ticks(200),
         );
         assert!(dist.report.converged(), "{}", dist.report);
-        assert!(dist.metrics.messages_dropped > 0, "loss should actually occur");
+        assert!(
+            dist.metrics.messages_dropped > 0,
+            "loss should actually occur"
+        );
         // Overuse still improves despite losses.
         assert!(dist.report.final_overuse() <= dist.report.initial_overuse());
     }
@@ -328,12 +295,10 @@ mod tests {
     fn customers_receive_awards() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
         let mut sim: Simulation<Msg> = Simulation::new(1);
-        let ids: Vec<AgentId> = scenario
-            .customers
-            .iter()
-            .map(|c| {
-                sim.add_agent(CustomerProcess::new(CustomerAgentState::new(
-                    c.preferences.clone(),
+        let ids: Vec<AgentId> = (0..scenario.customers.len())
+            .map(|i| {
+                sim.add_agent(CustomerProcess::new(CustomerEngine::for_customer(
+                    &scenario, i,
                 )))
             })
             .collect();

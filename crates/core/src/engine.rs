@@ -1,0 +1,987 @@
+//! The sans-io negotiation engine: one protocol core, every transport.
+//!
+//! The paper defines a single negotiation protocol (§3.2 announcement
+//! methods under monotonic concession), but a system that must run it
+//! synchronously (experiments), over a lossy network (production), and
+//! inside the DESIRE kernel (verification) cannot afford three
+//! implementations. This module holds the protocol as a pair of pure
+//! state machines in the *sans-io* style of production Rust protocol
+//! crates: no clocks, no sockets, no threads — callers feed [`Input`]s
+//! with [`UtilityEngine::handle`] and drain [`Effect`]s with
+//! [`UtilityEngine::poll_effect`], and the *driver* decides what a
+//! "send" or a "timer" physically means.
+//!
+//! * [`UtilityEngine`] — the Utility Agent half, parameterized by
+//!   [`AnnouncementMethod`]; reuses [`RewardTableNegotiator`] (the §6
+//!   reward/concession logic) and
+//!   [`assess_bids`](crate::utility_agent::cooperation::assess_bids).
+//! * [`CustomerEngine`] — the Customer Agent half; reuses
+//!   [`CustomerAgentState`] and the §3.2.1/§3.2.2 decision functions of
+//!   [`crate::customer_agent`].
+//!
+//! Three drivers ship with the crate:
+//!
+//! 1. [`SyncDriver`](crate::sync_driver::SyncDriver) — in-process message
+//!    pump, used by [`Scenario::run`](crate::session::Scenario::run);
+//! 2. the [`massim`] actor adapters in [`crate::distributed`];
+//! 3. the DESIRE component glue in [`crate::desire_host`].
+//!
+//! All three produce their [`NegotiationReport`] through the shared
+//! [`ReportAssembler`], so outcomes agree *by construction* — the
+//! property `tests/cross_mode.rs` checks over random scenarios.
+
+use crate::concession::{NegotiationStatus, TerminationReason};
+use crate::customer_agent::{decide_offer, rfb_step, y_min_for, CustomerAgentState};
+use crate::message::Msg;
+use crate::methods::AnnouncementMethod;
+use crate::preferences::CustomerPreferences;
+use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
+use crate::session::{RoundRecord, Scenario, Settlement};
+use crate::utility_agent::cooperation::assess_bids;
+use crate::utility_agent::{RewardTableNegotiator, UaDecision, UtilityAgentConfig};
+use powergrid::tariff::Tariff;
+use powergrid::units::{Fraction, KilowattHours, Money};
+use std::collections::BTreeMap;
+use std::collections::VecDeque;
+
+/// The counterparty an engine addresses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Peer {
+    /// The (single) Utility Agent.
+    Utility,
+    /// Customer `i`, in scenario order.
+    Customer(usize),
+}
+
+/// Everything the outside world can tell an engine.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Input {
+    /// Begin the negotiation (Utility side only; customers are reactive).
+    Start,
+    /// A protocol message arrived from `from`.
+    Received {
+        /// The message's sender.
+        from: Peer,
+        /// The message.
+        msg: Msg,
+    },
+    /// A timer set through [`Effect::SetTimer`] fired.
+    TimerFired {
+        /// The token the timer was set with.
+        token: u64,
+    },
+}
+
+/// Everything an engine can ask the outside world to do.
+///
+/// `Send` and `SetTimer` are *transport* effects the driver must
+/// perform; `RoundComplete` and `Settled` are *observations* it feeds to
+/// a [`ReportAssembler`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Effect {
+    /// Deliver `msg` to `to`.
+    Send {
+        /// The recipient.
+        to: Peer,
+        /// The message.
+        msg: Msg,
+    },
+    /// Arm a round deadline. Drivers without real time (the synchronous
+    /// pump, the DESIRE kernel) may ignore this: conclusion then happens
+    /// when every response has arrived.
+    SetTimer {
+        /// Token identifying the round; echoed in [`Input::TimerFired`].
+        token: u64,
+    },
+    /// One negotiation round concluded.
+    RoundComplete(RoundRecord),
+    /// The negotiation is over.
+    Settled {
+        /// Protocol outcome.
+        status: NegotiationStatus,
+        /// Per-customer settlements (the monetary
+        /// [`SettlementSummary`](crate::outcome::SettlementSummary) is
+        /// derived from these by [`crate::outcome`]).
+        settlements: Vec<Settlement>,
+    },
+}
+
+// ---------------------------------------------------------------------
+// Utility side
+// ---------------------------------------------------------------------
+
+/// Per-method protocol state of the [`UtilityEngine`].
+#[derive(Debug, Clone, PartialEq)]
+enum MethodState {
+    /// §3.2.3 — driven by the shared [`RewardTableNegotiator`].
+    RewardTables { negotiator: RewardTableNegotiator },
+    /// §3.2.1 — the yes/no replies received so far.
+    Offer { accepts: BTreeMap<usize, bool> },
+    /// §3.2.2 — current round number.
+    RequestForBids { round: u32 },
+}
+
+/// The Utility Agent as a sans-io state machine.
+///
+/// Feed it [`Input`]s, drain [`Effect`]s; it never blocks, allocates per
+/// round only what the round records need, and is identical under every
+/// driver.
+#[derive(Debug, Clone, PartialEq)]
+pub struct UtilityEngine {
+    method: AnnouncementMethod,
+    config: UtilityAgentConfig,
+    tariff: Tariff,
+    /// `(predicted_use, allowed_use)` per customer, scenario order.
+    profiles: Vec<(KilowattHours, KilowattHours)>,
+    normal_use: KilowattHours,
+    initial_total: KilowattHours,
+    state: MethodState,
+    /// Responses received for the current round.
+    received: BTreeMap<usize, Fraction>,
+    /// Accepted cut-down per customer after the last concluded round
+    /// (monotonic-concession floor for missing responders).
+    last_bids: Vec<Fraction>,
+    rounds_run: u32,
+    concluded_round: u32,
+    status: Option<NegotiationStatus>,
+    effects: VecDeque<Effect>,
+}
+
+impl UtilityEngine {
+    /// An engine for `scenario`'s configured method.
+    pub fn new(scenario: &Scenario) -> UtilityEngine {
+        UtilityEngine::with_method(scenario, scenario.method)
+    }
+
+    /// An engine for a specific announcement method on `scenario`.
+    pub fn with_method(scenario: &Scenario, method: AnnouncementMethod) -> UtilityEngine {
+        let profiles: Vec<(KilowattHours, KilowattHours)> = scenario
+            .customers
+            .iter()
+            .map(|c| (c.predicted_use, c.allowed_use))
+            .collect();
+        let n = profiles.len();
+        let state = match method {
+            AnnouncementMethod::RewardTables => MethodState::RewardTables {
+                negotiator: RewardTableNegotiator::new(scenario.config.clone(), scenario.interval),
+            },
+            AnnouncementMethod::Offer => MethodState::Offer {
+                accepts: BTreeMap::new(),
+            },
+            AnnouncementMethod::RequestForBids => MethodState::RequestForBids { round: 1 },
+        };
+        UtilityEngine {
+            method,
+            config: scenario.config.clone(),
+            tariff: scenario.tariff,
+            profiles,
+            normal_use: scenario.normal_use,
+            initial_total: scenario.initial_total(),
+            state,
+            received: BTreeMap::new(),
+            last_bids: vec![Fraction::ZERO; n],
+            rounds_run: 0,
+            concluded_round: 0,
+            status: None,
+            effects: VecDeque::new(),
+        }
+    }
+
+    /// The announcement method being run.
+    pub fn method(&self) -> AnnouncementMethod {
+        self.method
+    }
+
+    /// The normal-use capacity.
+    pub fn normal_use(&self) -> KilowattHours {
+        self.normal_use
+    }
+
+    /// Total predicted consumption before negotiation.
+    pub fn initial_total(&self) -> KilowattHours {
+        self.initial_total
+    }
+
+    /// The negotiation round currently being collected (1-based).
+    pub fn current_round(&self) -> u32 {
+        match &self.state {
+            MethodState::RewardTables { negotiator } => negotiator.round(),
+            MethodState::Offer { .. } => 1,
+            MethodState::RequestForBids { round } => *round,
+        }
+    }
+
+    /// The final status, once settled.
+    pub fn status(&self) -> Option<NegotiationStatus> {
+        self.status
+    }
+
+    /// True once a [`Effect::Settled`] has been emitted.
+    pub fn is_settled(&self) -> bool {
+        self.status.is_some()
+    }
+
+    /// Feeds one input; resulting effects are queued for
+    /// [`UtilityEngine::poll_effect`].
+    pub fn handle(&mut self, input: Input) {
+        match input {
+            Input::Start => self.announce_round(),
+            Input::Received {
+                from: Peer::Customer(i),
+                msg,
+            } => self.on_message(i, msg),
+            Input::Received {
+                from: Peer::Utility,
+                ..
+            } => {}
+            Input::TimerFired { token } => self.on_timer(token),
+        }
+    }
+
+    /// The next pending effect, if any.
+    pub fn poll_effect(&mut self) -> Option<Effect> {
+        self.effects.pop_front()
+    }
+
+    fn n(&self) -> usize {
+        self.profiles.len()
+    }
+
+    /// Queues this round's announcements (plus the round deadline).
+    fn announce_round(&mut self) {
+        let round = self.current_round();
+        for i in 0..self.n() {
+            let msg = match &self.state {
+                MethodState::RewardTables { negotiator } => Msg::Announce {
+                    round,
+                    table: negotiator.current_table().clone(),
+                },
+                MethodState::Offer { .. } => Msg::Offer {
+                    x_max: self.config.offer_x_max,
+                },
+                MethodState::RequestForBids { .. } => Msg::RequestBids { round },
+            };
+            self.effects.push_back(Effect::Send {
+                to: Peer::Customer(i),
+                msg,
+            });
+        }
+        self.effects.push_back(Effect::SetTimer {
+            token: u64::from(round),
+        });
+    }
+
+    fn on_message(&mut self, from: usize, msg: Msg) {
+        if self.status.is_some() || from >= self.n() {
+            return;
+        }
+        let current = self.current_round();
+        let response = match (&self.state, msg) {
+            (MethodState::RewardTables { .. }, Msg::Bid { round, cutdown }) if round == current => {
+                Some(cutdown)
+            }
+            (MethodState::Offer { .. }, Msg::OfferReply { accept }) => {
+                if let MethodState::Offer { accepts } = &mut self.state {
+                    accepts.insert(from, accept);
+                }
+                // Tracked separately; mark receipt with a placeholder.
+                Some(Fraction::ZERO)
+            }
+            (MethodState::RequestForBids { .. }, Msg::NeedBid { round, cutdown, .. })
+                if round == current =>
+            {
+                Some(cutdown)
+            }
+            _ => None, // stale round or off-protocol message
+        };
+        if let Some(cutdown) = response {
+            self.received.insert(from, cutdown);
+            if self.received.len() == self.n() {
+                self.conclude_round();
+            }
+        }
+    }
+
+    fn on_timer(&mut self, token: u64) {
+        let round = token as u32;
+        if round == self.current_round() && self.concluded_round < round && self.status.is_none() {
+            self.conclude_round();
+        }
+    }
+
+    /// Closes the current round with whatever responses arrived (missing
+    /// responders keep their last known bid — monotonic concession makes
+    /// this safe) and either settles or opens the next round.
+    fn conclude_round(&mut self) {
+        let round = self.current_round();
+        self.concluded_round = round;
+        self.rounds_run += 1;
+        match &self.state {
+            MethodState::RewardTables { .. } => self.conclude_reward_tables(round),
+            MethodState::Offer { .. } => self.conclude_offer(),
+            MethodState::RequestForBids { .. } => self.conclude_request_for_bids(round),
+        }
+        self.received.clear();
+    }
+
+    fn predicted_total(&self, bids: &[Fraction]) -> KilowattHours {
+        self.profiles
+            .iter()
+            .zip(bids)
+            .map(|(&(pred, allowed), &b)| predicted_use_with_cutdown(pred, allowed, b))
+            .sum()
+    }
+
+    fn push_round(&mut self, record: RoundRecord) {
+        self.effects.push_back(Effect::RoundComplete(record));
+    }
+
+    /// Emits the award messages and the settled effect.
+    fn settle(
+        &mut self,
+        round: u32,
+        status: NegotiationStatus,
+        settlements: Vec<Settlement>,
+        announce_awards: bool,
+    ) {
+        if announce_awards {
+            for (i, s) in settlements.iter().enumerate() {
+                self.effects.push_back(Effect::Send {
+                    to: Peer::Customer(i),
+                    msg: Msg::Award {
+                        round,
+                        cutdown: s.cutdown,
+                        reward: s.reward,
+                    },
+                });
+            }
+        }
+        self.status = Some(status);
+        self.effects.push_back(Effect::Settled {
+            status,
+            settlements,
+        });
+    }
+
+    fn conclude_reward_tables(&mut self, round: u32) {
+        let MethodState::RewardTables { negotiator } = &mut self.state else {
+            unreachable!("reward-table conclusion in reward-table state");
+        };
+        let table = negotiator.current_table().clone();
+        let bids: Vec<Fraction> = self
+            .last_bids
+            .iter()
+            .enumerate()
+            .map(|(i, &last)| self.received.get(&i).copied().unwrap_or(last).max(last))
+            .collect();
+        let accepted = assess_bids(&table, &bids);
+        self.last_bids = accepted.clone();
+        let predicted_total = self.predicted_total(&accepted);
+        let n = self.n() as u64;
+        let overuse = overuse_fraction(predicted_total, self.normal_use);
+        let MethodState::RewardTables { negotiator } = &mut self.state else {
+            unreachable!();
+        };
+        let decision = negotiator.evaluate(overuse);
+        self.push_round(RoundRecord {
+            round,
+            table: Some(table.clone()),
+            bids: accepted.clone(),
+            predicted_total,
+            messages: 2 * n,
+        });
+        match decision {
+            UaDecision::Converged(reason) => {
+                // The round budget is a backstop, not a protocol rule:
+                // report it as such when the peak is still too high.
+                let status = if self.rounds_run >= self.config.max_rounds
+                    && overuse > self.config.max_allowed_overuse
+                {
+                    NegotiationStatus::MaxRoundsExceeded
+                } else {
+                    NegotiationStatus::Converged(reason)
+                };
+                let settlements: Vec<Settlement> = accepted
+                    .iter()
+                    .map(|&cutdown| Settlement {
+                        cutdown,
+                        reward: table.reward_for(cutdown),
+                    })
+                    .collect();
+                self.settle(round, status, settlements, true);
+            }
+            UaDecision::NextTable(_) => self.announce_round(),
+        }
+    }
+
+    fn conclude_offer(&mut self) {
+        let MethodState::Offer { accepts } = &self.state else {
+            unreachable!("offer conclusion in offer state");
+        };
+        let x_max = self.config.offer_x_max;
+        let mut bids = Vec::with_capacity(self.n());
+        let mut settlements = Vec::with_capacity(self.n());
+        let mut predicted_total = KilowattHours::ZERO;
+        for (i, &(predicted, allowed)) in self.profiles.iter().enumerate() {
+            // A reply lost in transit counts as a decline.
+            let accept = accepts.get(&i).copied().unwrap_or(false);
+            let (new_use, settlement) =
+                offer_outcome(predicted, allowed, x_max, &self.tariff, accept);
+            predicted_total += new_use;
+            bids.push(settlement.cutdown);
+            settlements.push(settlement);
+        }
+        let n = self.n() as u64;
+        self.last_bids = bids.clone();
+        self.push_round(RoundRecord {
+            round: 1,
+            table: None,
+            bids,
+            predicted_total,
+            messages: 2 * n,
+        });
+        self.settle(
+            1,
+            NegotiationStatus::Converged(TerminationReason::SingleRound),
+            settlements,
+            false,
+        );
+    }
+
+    fn conclude_request_for_bids(&mut self, round: u32) {
+        let mut moved = false;
+        let bids: Vec<Fraction> = self
+            .last_bids
+            .iter()
+            .enumerate()
+            .map(|(i, &last)| {
+                let next = self.received.get(&i).copied().unwrap_or(last).max(last);
+                if next > last {
+                    moved = true;
+                }
+                next
+            })
+            .collect();
+        self.last_bids = bids.clone();
+        let predicted_total = self.predicted_total(&bids);
+        let n = self.n() as u64;
+        self.push_round(RoundRecord {
+            round,
+            table: None,
+            bids: bids.clone(),
+            predicted_total,
+            messages: 2 * n,
+        });
+        let overuse = overuse_fraction(predicted_total, self.normal_use);
+        let status = if overuse <= self.config.max_allowed_overuse {
+            Some(NegotiationStatus::Converged(
+                TerminationReason::OveruseAcceptable,
+            ))
+        } else if !moved && self.received.len() == self.n() {
+            // Unanimous stand-still, with every customer heard from. A
+            // missing reply (lost on the network, deadline fired) is
+            // indistinguishable from a concession we did not see, so a
+            // round with absent responders must not terminate the
+            // negotiation; the round budget bounds persistent loss.
+            Some(NegotiationStatus::Converged(TerminationReason::NoMovement))
+        } else if round >= self.config.max_rounds {
+            Some(NegotiationStatus::MaxRoundsExceeded)
+        } else {
+            None
+        };
+        match status {
+            Some(status) => {
+                let settlements: Vec<Settlement> = self
+                    .profiles
+                    .iter()
+                    .zip(&bids)
+                    .map(|(&(predicted, allowed), &cutdown)| {
+                        if cutdown == Fraction::ZERO {
+                            return Settlement {
+                                cutdown,
+                                reward: Money::ZERO,
+                            };
+                        }
+                        let y_min = cutdown.complement() * allowed;
+                        let committed_use = predicted.min(y_min);
+                        let reward = self.tariff.bill_normal(predicted)
+                            - self.tariff.bill_with_limit(committed_use, y_min);
+                        Settlement {
+                            cutdown,
+                            reward: reward.max(Money::ZERO),
+                        }
+                    })
+                    .collect();
+                self.settle(round, status, settlements, true);
+            }
+            None => {
+                let MethodState::RequestForBids { round } = &mut self.state else {
+                    unreachable!();
+                };
+                *round += 1;
+                self.announce_round();
+            }
+        }
+    }
+}
+
+/// The §3.2.1 outcome of one customer's accept/decline on an offer
+/// capping cheap-rate consumption at `x_max · allowed_use`: the new
+/// predicted use and the settlement (implied cut-down plus billing
+/// advantage). The single source of this arithmetic — the engine's
+/// offer method and the categorized-offer refinement
+/// ([`crate::category`]) both call it.
+pub(crate) fn offer_outcome(
+    predicted: KilowattHours,
+    allowed: KilowattHours,
+    x_max: Fraction,
+    tariff: &Tariff,
+    accept: bool,
+) -> (KilowattHours, Settlement) {
+    if !accept {
+        return (
+            predicted,
+            Settlement {
+                cutdown: Fraction::ZERO,
+                reward: Money::ZERO,
+            },
+        );
+    }
+    let limit = x_max * allowed;
+    let new_use = predicted.min(limit);
+    // The implied cut-down, as a fraction of predicted use.
+    let cutdown = if predicted.value() > f64::EPSILON {
+        Fraction::clamped((predicted - new_use) / predicted)
+    } else {
+        Fraction::ZERO
+    };
+    // The "reward" is the billing advantage the utility grants.
+    let reward = tariff.bill_normal(predicted) - tariff.bill_with_limit(new_use, limit);
+    (
+        new_use,
+        Settlement {
+            cutdown,
+            reward: reward.max(Money::ZERO),
+        },
+    )
+}
+
+// ---------------------------------------------------------------------
+// Customer side
+// ---------------------------------------------------------------------
+
+/// One Customer Agent as a sans-io state machine: reacts to
+/// announcements, offers and bid requests with the §5.2/§6.2 decision
+/// logic, and records its award.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CustomerEngine {
+    state: CustomerAgentState,
+    predicted_use: KilowattHours,
+    allowed_use: KilowattHours,
+    tariff: Tariff,
+    /// Current request-for-bids commitment.
+    commitment: Fraction,
+    awarded: Option<Settlement>,
+    effects: VecDeque<Effect>,
+}
+
+impl CustomerEngine {
+    /// An engine for customer `index` of `scenario`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn for_customer(scenario: &Scenario, index: usize) -> CustomerEngine {
+        let c = &scenario.customers[index];
+        CustomerEngine::new(
+            c.preferences.clone(),
+            c.predicted_use,
+            c.allowed_use,
+            scenario.tariff,
+        )
+    }
+
+    /// An engine from explicit parts.
+    pub fn new(
+        preferences: CustomerPreferences,
+        predicted_use: KilowattHours,
+        allowed_use: KilowattHours,
+        tariff: Tariff,
+    ) -> CustomerEngine {
+        CustomerEngine {
+            state: CustomerAgentState::new(preferences),
+            predicted_use,
+            allowed_use,
+            tariff,
+            commitment: Fraction::ZERO,
+            awarded: None,
+            effects: VecDeque::new(),
+        }
+    }
+
+    /// The settlement awarded at the end, if any arrived.
+    pub fn awarded(&self) -> Option<&Settlement> {
+        self.awarded.as_ref()
+    }
+
+    /// All reward-table bids made so far, oldest first.
+    pub fn bid_history(&self) -> &[Fraction] {
+        self.state.bid_history()
+    }
+
+    /// Feeds one input; resulting effects are queued for
+    /// [`CustomerEngine::poll_effect`].
+    pub fn handle(&mut self, input: Input) {
+        let Input::Received { msg, .. } = input else {
+            return; // customers are purely reactive
+        };
+        match msg {
+            Msg::Announce { round, table } => {
+                let cutdown = self.state.respond(&table);
+                self.effects.push_back(Effect::Send {
+                    to: Peer::Utility,
+                    msg: Msg::Bid { round, cutdown },
+                });
+            }
+            Msg::Offer { x_max } => {
+                let accept = decide_offer(
+                    self.state.preferences(),
+                    self.predicted_use,
+                    self.allowed_use,
+                    x_max,
+                    &self.tariff,
+                );
+                self.effects.push_back(Effect::Send {
+                    to: Peer::Utility,
+                    msg: Msg::OfferReply { accept },
+                });
+            }
+            Msg::RequestBids { round } => {
+                let next = rfb_step(
+                    self.state.preferences(),
+                    self.commitment,
+                    self.predicted_use,
+                    self.allowed_use,
+                    &self.tariff,
+                );
+                self.commitment = next;
+                self.effects.push_back(Effect::Send {
+                    to: Peer::Utility,
+                    msg: Msg::NeedBid {
+                        round,
+                        y_min: y_min_for(next, self.allowed_use),
+                        cutdown: next,
+                    },
+                });
+            }
+            Msg::Award {
+                cutdown, reward, ..
+            } => {
+                self.awarded = Some(Settlement { cutdown, reward });
+            }
+            _ => {}
+        }
+    }
+
+    /// The next pending effect, if any.
+    pub fn poll_effect(&mut self) -> Option<Effect> {
+        self.effects.pop_front()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Shared report assembly
+// ---------------------------------------------------------------------
+
+/// Folds the observation effects of a [`UtilityEngine`] into the
+/// [`NegotiationReport`] every driver returns.
+///
+/// Drivers forward each polled effect to [`ReportAssembler::observe`]
+/// (transport effects are counted, not performed) and call
+/// [`ReportAssembler::finish`] once the engine settles.
+#[derive(Debug, Clone)]
+pub struct ReportAssembler {
+    method: AnnouncementMethod,
+    normal_use: KilowattHours,
+    initial_total: KilowattHours,
+    rounds: Vec<RoundRecord>,
+    outcome: Option<(NegotiationStatus, Vec<Settlement>)>,
+    award_messages: u64,
+}
+
+impl ReportAssembler {
+    /// An assembler for the given engine.
+    pub fn for_engine(engine: &UtilityEngine) -> ReportAssembler {
+        ReportAssembler {
+            method: engine.method(),
+            normal_use: engine.normal_use(),
+            initial_total: engine.initial_total(),
+            rounds: Vec::new(),
+            outcome: None,
+            award_messages: 0,
+        }
+    }
+
+    /// Records what an effect means for the report (awards count as the
+    /// extra confirmation messages of §3.2.3).
+    pub fn observe(&mut self, effect: &Effect) {
+        match effect {
+            Effect::Send {
+                msg: Msg::Award { .. },
+                ..
+            } => self.award_messages += 1,
+            Effect::RoundComplete(record) => self.rounds.push(record.clone()),
+            Effect::Settled {
+                status,
+                settlements,
+            } => {
+                self.outcome = Some((*status, settlements.clone()));
+            }
+            _ => {}
+        }
+    }
+
+    /// The rounds observed so far.
+    pub fn rounds(&self) -> &[RoundRecord] {
+        &self.rounds
+    }
+
+    /// The settled status, if the engine finished.
+    pub fn status(&self) -> Option<NegotiationStatus> {
+        self.outcome.as_ref().map(|(s, _)| *s)
+    }
+
+    /// Builds the report. An unsettled engine (e.g. a driver stopping a
+    /// simulation early) reports [`NegotiationStatus::MaxRoundsExceeded`]
+    /// with empty settlements.
+    pub fn finish(self) -> crate::session::NegotiationReport {
+        let (status, settlements) = self
+            .outcome
+            .unwrap_or((NegotiationStatus::MaxRoundsExceeded, Vec::new()));
+        crate::session::NegotiationReport::new(
+            self.method,
+            self.normal_use,
+            self.initial_total,
+            self.rounds,
+            status,
+            settlements,
+            self.award_messages,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn utility_engine_starts_by_announcing_to_everyone() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let mut ua = UtilityEngine::new(&scenario);
+        ua.handle(Input::Start);
+        let mut sends = 0;
+        let mut timers = 0;
+        while let Some(e) = ua.poll_effect() {
+            match e {
+                Effect::Send {
+                    to: Peer::Customer(_),
+                    msg: Msg::Announce { round: 1, .. },
+                } => {
+                    sends += 1;
+                }
+                Effect::SetTimer { token: 1 } => timers += 1,
+                other => panic!("unexpected effect {other:?}"),
+            }
+        }
+        assert_eq!(sends, 20);
+        assert_eq!(timers, 1);
+    }
+
+    #[test]
+    fn customer_engine_bids_from_the_announced_table() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let table = scenario.config.initial_table(scenario.interval);
+        let mut ca = CustomerEngine::for_customer(&scenario, 0);
+        ca.handle(Input::Received {
+            from: Peer::Utility,
+            msg: Msg::Announce { round: 1, table },
+        });
+        let Some(Effect::Send {
+            to: Peer::Utility,
+            msg: Msg::Bid { round: 1, cutdown },
+        }) = ca.poll_effect()
+        else {
+            panic!("expected a bid");
+        };
+        // The Figure 8/9 customer opens at 0.2.
+        assert_eq!(cutdown, Fraction::clamped(0.2));
+        assert!(ca.poll_effect().is_none());
+    }
+
+    #[test]
+    fn stale_bids_are_ignored() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let mut ua = UtilityEngine::new(&scenario);
+        ua.handle(Input::Start);
+        while ua.poll_effect().is_some() {}
+        ua.handle(Input::Received {
+            from: Peer::Customer(0),
+            msg: Msg::Bid {
+                round: 7,
+                cutdown: Fraction::clamped(0.4),
+            },
+        });
+        assert!(
+            ua.poll_effect().is_none(),
+            "bid for a future round must be dropped"
+        );
+        assert_eq!(ua.current_round(), 1);
+    }
+
+    #[test]
+    fn timer_concludes_a_round_with_missing_bids() {
+        let scenario = ScenarioBuilder::random(4, 0.35, 1).build();
+        let mut ua = UtilityEngine::new(&scenario);
+        ua.handle(Input::Start);
+        while ua.poll_effect().is_some() {}
+        // Only customer 0 answers; the deadline closes the round anyway.
+        ua.handle(Input::Received {
+            from: Peer::Customer(0),
+            msg: Msg::Bid {
+                round: 1,
+                cutdown: Fraction::clamped(0.2),
+            },
+        });
+        ua.handle(Input::TimerFired { token: 1 });
+        let mut saw_round = None;
+        while let Some(e) = ua.poll_effect() {
+            if let Effect::RoundComplete(r) = e {
+                saw_round = Some(r);
+            }
+        }
+        let r = saw_round.expect("round concluded on deadline");
+        assert_eq!(r.round, 1);
+        assert_eq!(r.bids[0], Fraction::clamped(0.2));
+        // Missing responders keep their previous (zero) bid.
+        assert!(r.bids[1..].iter().all(|&b| b == Fraction::ZERO));
+        // A late timer for the same round is a no-op.
+        ua.handle(Input::TimerFired { token: 1 });
+        let leftover: Vec<Effect> = std::iter::from_fn(|| ua.poll_effect()).collect();
+        assert!(
+            leftover
+                .iter()
+                .all(|e| !matches!(e, Effect::RoundComplete(_))),
+            "duplicate deadline must not re-conclude: {leftover:?}"
+        );
+    }
+
+    #[test]
+    fn rfb_round_with_no_responses_is_not_stand_still() {
+        // Every reply of a round lost on the network: the deadline fires
+        // with an empty inbox. That must open the next round, not
+        // terminate as Converged(NoMovement).
+        let scenario = ScenarioBuilder::random(5, 0.35, 2)
+            .method(AnnouncementMethod::RequestForBids)
+            .build();
+        let mut ua = UtilityEngine::new(&scenario);
+        ua.handle(Input::Start);
+        while ua.poll_effect().is_some() {}
+        ua.handle(Input::TimerFired { token: 1 });
+        assert!(
+            !ua.is_settled(),
+            "an all-lost round must not settle the negotiation"
+        );
+        assert_eq!(ua.current_round(), 2, "the next round opens instead");
+        let mut requested = 0;
+        while let Some(e) = ua.poll_effect() {
+            if let Effect::Send {
+                msg: Msg::RequestBids { round: 2 },
+                ..
+            } = e
+            {
+                requested += 1;
+            }
+        }
+        assert_eq!(requested, 5, "round 2 re-requests bids from everyone");
+        // A partial round — one stand-still reply, four lost — is not
+        // unanimity either: the lost replies may have been concessions.
+        ua.handle(Input::Received {
+            from: Peer::Customer(0),
+            msg: Msg::NeedBid {
+                round: 2,
+                y_min: KilowattHours(1.0),
+                cutdown: Fraction::ZERO,
+            },
+        });
+        ua.handle(Input::TimerFired { token: 2 });
+        assert!(
+            !ua.is_settled(),
+            "a partially-heard stand-still round must not settle as NoMovement"
+        );
+        // Whereas a round where everyone replied with their old bid IS
+        // unanimous stand-still (here: nobody has conceded past zero
+        // because nobody was asked anything they would accept — use a
+        // fresh engine whose customers all reply with cutdown zero).
+        let mut ua2 = UtilityEngine::new(&scenario);
+        ua2.handle(Input::Start);
+        while ua2.poll_effect().is_some() {}
+        for i in 0..5 {
+            ua2.handle(Input::Received {
+                from: Peer::Customer(i),
+                msg: Msg::NeedBid {
+                    round: 1,
+                    y_min: KilowattHours(1.0),
+                    cutdown: Fraction::ZERO,
+                },
+            });
+        }
+        assert!(
+            ua2.is_settled(),
+            "unanimous stand-still with replies settles"
+        );
+        assert_eq!(
+            ua2.status(),
+            Some(NegotiationStatus::Converged(TerminationReason::NoMovement))
+        );
+    }
+
+    #[test]
+    fn offer_engine_settles_in_one_round_without_awards() {
+        let scenario = ScenarioBuilder::paper_figure_6()
+            .method(AnnouncementMethod::Offer)
+            .build();
+        let mut ua = UtilityEngine::new(&scenario);
+        let mut assembler = ReportAssembler::for_engine(&ua);
+        ua.handle(Input::Start);
+        let mut offers = Vec::new();
+        while let Some(e) = ua.poll_effect() {
+            assembler.observe(&e);
+            if let Effect::Send {
+                to: Peer::Customer(i),
+                msg: Msg::Offer { .. },
+            } = e
+            {
+                offers.push(i);
+            }
+        }
+        assert_eq!(offers.len(), 20);
+        for i in 0..20 {
+            ua.handle(Input::Received {
+                from: Peer::Customer(i),
+                msg: Msg::OfferReply { accept: false },
+            });
+        }
+        while let Some(e) = ua.poll_effect() {
+            assembler.observe(&e);
+        }
+        let report = assembler.finish();
+        assert_eq!(report.rounds().len(), 1);
+        assert_eq!(
+            report.total_messages(),
+            40,
+            "no award confirmations for the offer method"
+        );
+        assert!(report.converged());
+    }
+}

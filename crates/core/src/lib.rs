@@ -14,16 +14,23 @@
 //!   with the Section-6 update rule
 //!   `new_reward = reward + β · overuse · (1 − reward/max_reward) · reward`.
 //!
-//! The negotiation can run in three execution modes that share the same
-//! decision logic and produce the same outcomes:
+//! The protocol itself lives in **one place**: the sans-io [`engine`]
+//! ([`engine::UtilityEngine`] / [`engine::CustomerEngine`]), a pure
+//! state machine fed with [`engine::Input`]s and drained of
+//! [`engine::Effect`]s. Three thin drivers execute it:
 //!
-//! 1. **Synchronous** ([`session`]) — direct round-based execution, used
-//!    by the experiment harness;
+//! 1. **Synchronous** ([`sync_driver::SyncDriver`], behind
+//!    [`session::Scenario::run`]) — an in-process message pump, used by
+//!    the experiment harness and the parallel [`sweep`] runner;
 //! 2. **Distributed** ([`distributed`]) — Utility and Customer Agents as
 //!    [`massim`] actors exchanging [`message::Msg`] over a lossy network;
-//! 3. **DESIRE-hosted** ([`desire_host`]) — the Utility Agent's decision
-//!    step executed inside the [`desire`] compositional framework,
-//!    mirroring the paper's Figures 2–5 process hierarchies.
+//! 3. **DESIRE-hosted** ([`desire_host`]) — the same engines executed
+//!    inside the [`desire`] compositional framework, mirroring the
+//!    paper's Figures 2–5 process hierarchies.
+//!
+//! Because every mode drives the same engine, their outcomes agree by
+//! construction (`tests/cross_mode.rs` checks this property on random
+//! scenarios).
 //!
 //! # Quickstart
 //!
@@ -32,9 +39,48 @@
 //!
 //! // The calibrated Figure 6/7 scenario: capacity 100, predicted use 135.
 //! let scenario = ScenarioBuilder::paper_figure_6().build();
-//! let report = scenario.run();
+//! let report = scenario.run(); // SyncDriver over the sans-io engine
 //! assert!(report.converged());
 //! assert!(report.final_overuse() < report.initial_overuse());
+//! ```
+//!
+//! Driving the engine by hand (what every driver does internally):
+//!
+//! ```
+//! use loadbal_core::prelude::*;
+//!
+//! let scenario = ScenarioBuilder::paper_figure_6().build();
+//! let mut utility = UtilityEngine::new(&scenario);
+//! let mut customers: Vec<CustomerEngine> = (0..scenario.customers.len())
+//!     .map(|i| CustomerEngine::for_customer(&scenario, i))
+//!     .collect();
+//!
+//! utility.handle(Input::Start);
+//! let mut settled = false;
+//! while let Some(effect) = utility.poll_effect() {
+//!     match effect {
+//!         Effect::Send { to: Peer::Customer(i), msg } => {
+//!             customers[i].handle(Input::Received { from: Peer::Utility, msg });
+//!             while let Some(Effect::Send { msg, .. }) = customers[i].poll_effect() {
+//!                 utility.handle(Input::Received { from: Peer::Customer(i), msg });
+//!             }
+//!         }
+//!         Effect::Settled { status, .. } => settled = status.is_converged(),
+//!         _ => {} // timers are unnecessary when every reply arrives
+//!     }
+//! }
+//! assert!(settled);
+//! ```
+//!
+//! Fanning a scenario grid across cores:
+//!
+//! ```
+//! use loadbal_core::prelude::*;
+//!
+//! let sweep = ScenarioSweep::new()
+//!     .seeded_grid("β-sweep", 20, 0.35, 0..4, |b| b);
+//! let outcomes = sweep.run(); // parallel, byte-identical to sequential
+//! assert!(outcomes.iter().all(|o| o.report.converged()));
 //! ```
 
 #![forbid(unsafe_code)]
@@ -45,6 +91,7 @@ pub mod category;
 pub mod concession;
 pub mod desire_host;
 pub mod distributed;
+pub mod engine;
 pub mod market;
 pub mod message;
 pub mod methods;
@@ -55,6 +102,8 @@ pub mod resource_consumer;
 pub mod reward;
 pub mod session;
 pub mod strategy;
+pub mod sweep;
+pub mod sync_driver;
 
 pub mod customer_agent;
 pub mod utility_agent;
@@ -63,6 +112,7 @@ pub mod utility_agent;
 pub mod prelude {
     pub use crate::beta::BetaPolicy;
     pub use crate::concession::{NegotiationStatus, TerminationReason};
+    pub use crate::engine::{CustomerEngine, Effect, Input, Peer, UtilityEngine};
     pub use crate::message::Msg;
     pub use crate::methods::AnnouncementMethod;
     pub use crate::outcome::SettlementSummary;
@@ -72,5 +122,7 @@ pub mod prelude {
         CustomerProfile, NegotiationReport, RoundRecord, Scenario, ScenarioBuilder,
     };
     pub use crate::strategy::select_method;
+    pub use crate::sweep::{ScenarioSweep, SweepOutcome};
+    pub use crate::sync_driver::SyncDriver;
     pub use crate::utility_agent::UtilityAgentConfig;
 }

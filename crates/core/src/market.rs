@@ -118,7 +118,11 @@ pub struct AuctionConfig {
 
 impl Default for AuctionConfig {
     fn default() -> Self {
-        AuctionConfig { price_cap: PricePerKwh(20.0), max_iterations: 30, price_epsilon: 1e-3 }
+        AuctionConfig {
+            price_cap: PricePerKwh(20.0),
+            max_iterations: 30,
+            price_epsilon: 1e-3,
+        }
     }
 }
 
@@ -127,19 +131,14 @@ impl Default for AuctionConfig {
 /// `normal_use · (1 + max_allowed_overuse)`.
 pub fn run_market(scenario: &Scenario, config: AuctionConfig) -> MarketReport {
     let n = scenario.customers.len() as u64;
-    let capacity_target =
-        scenario.normal_use * (1.0 + scenario.config.max_allowed_overuse);
+    let capacity_target = scenario.normal_use * (1.0 + scenario.config.max_allowed_overuse);
 
     let total_at = |price: PricePerKwh| -> (KilowattHours, Vec<Fraction>) {
         let mut cutdowns = Vec::with_capacity(scenario.customers.len());
         let mut total = KilowattHours::ZERO;
         for c in &scenario.customers {
             let cut = demand_response(&c.preferences, c.predicted_use, price);
-            total += crate::reward::predicted_use_with_cutdown(
-                c.predicted_use,
-                c.allowed_use,
-                cut,
-            );
+            total += crate::reward::predicted_use_with_cutdown(c.predicted_use, c.allowed_use, cut);
             cutdowns.push(cut);
         }
         (total, cutdowns)
@@ -150,7 +149,11 @@ pub fn run_market(scenario: &Scenario, config: AuctionConfig) -> MarketReport {
     let mut quote = |price: PricePerKwh, iterations: &mut Vec<AuctionRound>| {
         iteration += 1;
         let (total, cutdowns) = total_at(price);
-        iterations.push(AuctionRound { iteration, price, predicted_total: total });
+        iterations.push(AuctionRound {
+            iteration,
+            price,
+            predicted_total: total,
+        });
         (total, cutdowns)
     };
 

@@ -133,7 +133,11 @@ impl fmt::Display for Msg {
         match self {
             Msg::Announce { round, table } => write!(f, "announce[r{round}] {table}"),
             Msg::Bid { round, cutdown } => write!(f, "bid[r{round}] {cutdown}"),
-            Msg::Award { round, cutdown, reward } => {
+            Msg::Award {
+                round,
+                cutdown,
+                reward,
+            } => {
                 write!(f, "award[r{round}] {cutdown} for {reward}")
             }
             Msg::Offer { x_max } => write!(f, "offer x_max={x_max}"),
@@ -141,11 +145,17 @@ impl fmt::Display for Msg {
                 write!(f, "offer-reply {}", if *accept { "yes" } else { "no" })
             }
             Msg::RequestBids { round } => write!(f, "request-bids[r{round}]"),
-            Msg::NeedBid { round, y_min, cutdown } => {
+            Msg::NeedBid {
+                round,
+                y_min,
+                cutdown,
+            } => {
                 write!(f, "need-bid[r{round}] y_min={y_min} ({cutdown})")
             }
             Msg::QueryAvailability => f.write_str("query-availability"),
-            Msg::Availability { normal_capacity, .. } => {
+            Msg::Availability {
+                normal_capacity, ..
+            } => {
                 write!(f, "availability {normal_capacity}")
             }
             Msg::QuerySavings { interval } => write!(f, "query-savings {interval}"),
@@ -175,20 +185,35 @@ mod tests {
                     fr(0.4),
                 ),
             },
-            Msg::Bid { round: 1, cutdown: fr(0.2) },
-            Msg::Award { round: 3, cutdown: fr(0.4), reward: Money(24.8) },
+            Msg::Bid {
+                round: 1,
+                cutdown: fr(0.2),
+            },
+            Msg::Award {
+                round: 3,
+                cutdown: fr(0.4),
+                reward: Money(24.8),
+            },
             Msg::Offer { x_max: fr(0.8) },
             Msg::OfferReply { accept: true },
             Msg::RequestBids { round: 2 },
-            Msg::NeedBid { round: 2, y_min: KilowattHours(5.0), cutdown: fr(0.3) },
+            Msg::NeedBid {
+                round: 2,
+                y_min: KilowattHours(5.0),
+                cutdown: fr(0.3),
+            },
             Msg::QueryAvailability,
             Msg::Availability {
                 normal_capacity: Kilowatts(100.0),
                 normal_cost: PricePerKwh(0.3),
                 expensive_cost: PricePerKwh(1.1),
             },
-            Msg::QuerySavings { interval: Interval::new(0, 4) },
-            Msg::Savings { potential: KilowattHours(2.0) },
+            Msg::QuerySavings {
+                interval: Interval::new(0, 4),
+            },
+            Msg::Savings {
+                potential: KilowattHours(2.0),
+            },
         ];
         let tags: std::collections::HashSet<_> = msgs.iter().map(|m| m.tag()).collect();
         assert_eq!(tags.len(), msgs.len());
@@ -196,13 +221,24 @@ mod tests {
 
     #[test]
     fn rounds_extracted() {
-        assert_eq!(Msg::Bid { round: 3, cutdown: fr(0.1) }.round(), Some(3));
+        assert_eq!(
+            Msg::Bid {
+                round: 3,
+                cutdown: fr(0.1)
+            }
+            .round(),
+            Some(3)
+        );
         assert_eq!(Msg::QueryAvailability.round(), None);
     }
 
     #[test]
     fn display_is_informative() {
-        let m = Msg::Award { round: 3, cutdown: fr(0.4), reward: Money(24.8) };
+        let m = Msg::Award {
+            round: 3,
+            cutdown: fr(0.4),
+            reward: Money(24.8),
+        };
         let s = m.to_string();
         assert!(s.contains("r3"));
         assert!(s.contains("24.8"));

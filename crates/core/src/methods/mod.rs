@@ -54,8 +54,7 @@ mod tests {
     fn three_distinct_methods() {
         let all = AnnouncementMethod::all();
         assert_eq!(all.len(), 3);
-        let names: std::collections::HashSet<String> =
-            all.iter().map(|m| m.to_string()).collect();
+        let names: std::collections::HashSet<String> = all.iter().map(|m| m.to_string()).collect();
         assert_eq!(names.len(), 3);
     }
 }

@@ -5,76 +5,22 @@
 //! receive that electricity for a lower price. ... Customer Agents may
 //! only answer 'yes' or 'no' to this offer."
 
-use crate::concession::{NegotiationStatus, TerminationReason};
-use crate::customer_agent::decide_offer;
 use crate::methods::AnnouncementMethod;
-use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
-use powergrid::units::{Fraction, KilowattHours, Money};
+use crate::session::{NegotiationReport, Scenario};
+use crate::sync_driver::SyncDriver;
 
-/// Runs the offer method on a scenario.
+/// Runs the offer method on a scenario (a facade over
+/// [`SyncDriver`] and the shared [`crate::engine::UtilityEngine`], which
+/// holds the §3.2.1 accept/decline and billing-advantage logic).
 pub fn run(scenario: &Scenario) -> NegotiationReport {
-    let n = scenario.customers.len() as u64;
-    let x_max = scenario.config.offer_x_max;
-    let mut bids = Vec::with_capacity(scenario.customers.len());
-    let mut settlements = Vec::with_capacity(scenario.customers.len());
-    let mut predicted_total = KilowattHours::ZERO;
-
-    for customer in &scenario.customers {
-        let accept = decide_offer(
-            &customer.preferences,
-            customer.predicted_use,
-            customer.allowed_use,
-            x_max,
-            &scenario.tariff,
-        );
-        if accept {
-            let limit = x_max * customer.allowed_use;
-            let new_use = customer.predicted_use.min(limit);
-            // The implied cut-down, as a fraction of predicted use.
-            let cutdown = if customer.predicted_use.value() > f64::EPSILON {
-                Fraction::clamped(
-                    (customer.predicted_use - new_use) / customer.predicted_use,
-                )
-            } else {
-                Fraction::ZERO
-            };
-            // The "reward" is the billing advantage the utility grants.
-            let reward = scenario.tariff.bill_normal(customer.predicted_use)
-                - scenario.tariff.bill_with_limit(new_use, limit);
-            predicted_total += new_use;
-            bids.push(cutdown);
-            settlements.push(Settlement { cutdown, reward: reward.max(Money::ZERO) });
-        } else {
-            predicted_total += customer.predicted_use;
-            bids.push(Fraction::ZERO);
-            settlements.push(Settlement { cutdown: Fraction::ZERO, reward: Money::ZERO });
-        }
-    }
-
-    let rounds = vec![RoundRecord {
-        round: 1,
-        table: None,
-        bids,
-        predicted_total,
-        // Offer out (N) + yes/no back (N).
-        messages: 2 * n,
-    }];
-
-    NegotiationReport::new(
-        AnnouncementMethod::Offer,
-        scenario.normal_use,
-        scenario.initial_total(),
-        rounds,
-        NegotiationStatus::Converged(TerminationReason::SingleRound),
-        settlements,
-        0,
-    )
+    SyncDriver::with_method(scenario, AnnouncementMethod::Offer).run()
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::session::ScenarioBuilder;
+    use powergrid::units::Fraction;
 
     #[test]
     fn single_round_always() {
@@ -132,9 +78,8 @@ mod tests {
             .method(AnnouncementMethod::Offer)
             .build()
             .run();
-        let acceptors = |r: &NegotiationReport| {
-            r.final_bids().iter().filter(|b| b.value() > 0.0).count()
-        };
+        let acceptors =
+            |r: &NegotiationReport| r.final_bids().iter().filter(|b| b.value() > 0.0).count();
         assert!(
             acceptors(&strict) <= acceptors(&lenient),
             "a harsher cap cannot attract more acceptors"

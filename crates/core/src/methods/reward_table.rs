@@ -5,94 +5,27 @@
 //! cut-down (never retreating); the UA predicts the new balance with the
 //! §6 formulae and either accepts or announces a dominating table.
 
-use crate::concession::NegotiationStatus;
 use crate::methods::AnnouncementMethod;
-use crate::customer_agent::CustomerAgentState;
-use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
-use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
-use crate::utility_agent::cooperation::assess_bids;
-use crate::utility_agent::{RewardTableNegotiator, UaDecision};
-use powergrid::units::KilowattHours;
+use crate::session::{NegotiationReport, Scenario};
+use crate::sync_driver::SyncDriver;
 
-/// Runs the reward-table negotiation on a scenario.
+/// Runs the reward-table negotiation on a scenario (a facade over
+/// [`SyncDriver`]; the announce/collect/evaluate round logic lives in
+/// the shared [`crate::engine::UtilityEngine`], which drives the same
+/// [`crate::utility_agent::RewardTableNegotiator`] in every execution
+/// mode).
 pub fn run(scenario: &Scenario) -> NegotiationReport {
-    let n = scenario.customers.len() as u64;
-    let mut negotiator =
-        RewardTableNegotiator::new(scenario.config.clone(), scenario.interval);
-    let mut agents: Vec<CustomerAgentState> = scenario
-        .customers
-        .iter()
-        .map(|c| CustomerAgentState::new(c.preferences.clone()))
-        .collect();
-
-    let mut rounds = Vec::new();
-    let status;
-    let final_table;
-    loop {
-        let table = negotiator.current_table().clone();
-        let round = negotiator.round();
-        // Announce (N messages) and collect bids (N messages).
-        let bids: Vec<_> = agents.iter_mut().map(|a| a.respond(&table)).collect();
-        let accepted = assess_bids(&table, &bids);
-        let predicted_total: KilowattHours = scenario
-            .customers
-            .iter()
-            .zip(&accepted)
-            .map(|(c, &b)| predicted_use_with_cutdown(c.predicted_use, c.allowed_use, b))
-            .sum();
-        rounds.push(RoundRecord {
-            round,
-            table: Some(table.clone()),
-            bids: accepted,
-            predicted_total,
-            messages: 2 * n,
-        });
-        let overuse = overuse_fraction(predicted_total, scenario.normal_use);
-        match negotiator.evaluate(overuse) {
-            UaDecision::Converged(reason) => {
-                status = if rounds.len() as u32 >= scenario.config.max_rounds
-                    && overuse > scenario.config.max_allowed_overuse
-                {
-                    NegotiationStatus::MaxRoundsExceeded
-                } else {
-                    NegotiationStatus::Converged(reason)
-                };
-                final_table = table;
-                break;
-            }
-            UaDecision::NextTable(_) => {}
-        }
-    }
-
-    // Award messages: one confirmation per customer (§3.2.3 "the Utility
-    // Agent confirms to the Customer Agents that their bids have been
-    // accepted").
-    let settlements: Vec<Settlement> = rounds
-        .last()
-        .expect("at least one round ran")
-        .bids
-        .iter()
-        .map(|&cutdown| Settlement { cutdown, reward: final_table.reward_for(cutdown) })
-        .collect();
-
-    NegotiationReport::new(
-        AnnouncementMethod::RewardTables,
-        scenario.normal_use,
-        scenario.initial_total(),
-        rounds,
-        status,
-        settlements,
-        n,
-    )
+    SyncDriver::with_method(scenario, AnnouncementMethod::RewardTables).run()
 }
 
 #[cfg(test)]
 mod tests {
-    use super::*;
     use crate::beta::BetaPolicy;
-    use crate::concession::{verify_announcements, verify_bids, TerminationReason};
+    use crate::concession::{
+        verify_announcements, verify_bids, NegotiationStatus, TerminationReason,
+    };
     use crate::session::ScenarioBuilder;
-    use powergrid::units::Fraction;
+    use powergrid::units::{Fraction, KilowattHours};
 
     #[test]
     fn announcements_and_bids_are_monotone() {
@@ -112,10 +45,7 @@ mod tests {
     fn always_converges_on_random_populations() {
         for seed in 0..20 {
             let report = ScenarioBuilder::random(50, 0.35, seed).build().run();
-            assert!(
-                report.converged(),
-                "seed {seed} did not converge: {report}"
-            );
+            assert!(report.converged(), "seed {seed} did not converge: {report}");
         }
     }
 

@@ -54,18 +54,13 @@ impl SettlementSummary {
             "report does not match scenario"
         );
         let rewards_paid = report.total_rewards();
-        let energy_saved =
-            (report.initial_overuse() - report.final_overuse()).clamp_non_negative();
+        let energy_saved = (report.initial_overuse() - report.final_overuse()).clamp_non_negative();
         // All saved energy comes out of the expensive tier while overuse
         // remains (demand above normal capacity by construction).
-        let initial_cost = producer.cost_of_energy(
-            scenario.normal_use + report.initial_overuse(),
-            peak_hours,
-        );
-        let final_cost = producer.cost_of_energy(
-            scenario.normal_use + report.final_overuse(),
-            peak_hours,
-        );
+        let initial_cost =
+            producer.cost_of_energy(scenario.normal_use + report.initial_overuse(), peak_hours);
+        let final_cost =
+            producer.cost_of_energy(scenario.normal_use + report.final_overuse(), peak_hours);
         let production_cost_avoided = (initial_cost - final_cost).clamp_non_negative();
         let customer_surplus = scenario
             .customers

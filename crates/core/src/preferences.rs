@@ -44,8 +44,14 @@ impl CustomerPreferences {
     /// Panics if `thresholds` is empty, has duplicate cut-downs, or the
     /// required reward decreases as the cut-down grows (a rational
     /// customer never demands less for giving up more).
-    pub fn new(mut thresholds: Vec<(Fraction, Money)>, max_cutdown: Fraction) -> CustomerPreferences {
-        assert!(!thresholds.is_empty(), "preferences need at least one threshold");
+    pub fn new(
+        mut thresholds: Vec<(Fraction, Money)>,
+        max_cutdown: Fraction,
+    ) -> CustomerPreferences {
+        assert!(
+            !thresholds.is_empty(),
+            "preferences need at least one threshold"
+        );
         thresholds.sort_by_key(|e| e.0);
         for w in thresholds.windows(2) {
             assert!(w[0].0 < w[1].0, "duplicate cut-down {}", w[1].0);
@@ -58,7 +64,10 @@ impl CustomerPreferences {
                 w[1].0
             );
         }
-        CustomerPreferences { thresholds, max_cutdown }
+        CustomerPreferences {
+            thresholds,
+            max_cutdown,
+        }
     }
 
     /// The highlighted customer of Figures 8–9: thresholds
@@ -75,7 +84,10 @@ impl CustomerPreferences {
     ///
     /// Panics if `k` is negative or non-finite.
     pub fn from_base_scaled(k: f64, max_cutdown: Fraction) -> CustomerPreferences {
-        assert!(k >= 0.0 && k.is_finite(), "scale factor must be non-negative");
+        assert!(
+            k >= 0.0 && k.is_finite(),
+            "scale factor must be non-negative"
+        );
         let base = [
             (0.0, 0.0),
             (0.1, 2.0),
@@ -100,7 +112,10 @@ impl CustomerPreferences {
     ///
     /// Panics if `k_min > k_max` or either is negative.
     pub fn population(n: usize, k_min: f64, k_max: f64, seed: u64) -> Vec<CustomerPreferences> {
-        assert!(0.0 <= k_min && k_min <= k_max, "bad scale range [{k_min}, {k_max}]");
+        assert!(
+            0.0 <= k_min && k_min <= k_max,
+            "bad scale range [{k_min}, {k_max}]"
+        );
         let mut rng = StdRng::seed_from_u64(seed ^ 0x0c0f_fee0);
         (0..n)
             .map(|_| {
@@ -257,24 +272,16 @@ mod tests {
         let p = CustomerPreferences::paper_figure_8();
         // Previous bid 0.4; a table paying less than needed cannot pull
         // the bid back down.
-        let stingy = RewardTable::quadratic(
-            Interval::new(72, 80),
-            &DEFAULT_LEVELS,
-            Money(1.0),
-            fr(0.4),
-        );
+        let stingy =
+            RewardTable::quadratic(Interval::new(72, 80), &DEFAULT_LEVELS, Money(1.0), fr(0.4));
         assert_eq!(p.respond(&stingy, fr(0.4)), fr(0.4));
     }
 
     #[test]
     fn physical_ceiling_caps_bids() {
         let p = CustomerPreferences::from_base_scaled(0.1, fr(0.3));
-        let generous = RewardTable::quadratic(
-            Interval::new(72, 80),
-            &DEFAULT_LEVELS,
-            Money(30.0),
-            fr(0.4),
-        );
+        let generous =
+            RewardTable::quadratic(Interval::new(72, 80), &DEFAULT_LEVELS, Money(30.0), fr(0.4));
         let bid = p.respond(&generous, Fraction::ZERO);
         assert_eq!(bid, fr(0.3), "cannot exceed physical ceiling");
     }
@@ -307,8 +314,7 @@ mod tests {
         let a = CustomerPreferences::population(50, 0.7, 1.5, 9);
         let b = CustomerPreferences::population(50, 0.7, 1.5, 9);
         assert_eq!(a, b);
-        let distinct: std::collections::HashSet<String> =
-            a.iter().map(|p| p.to_string()).collect();
+        let distinct: std::collections::HashSet<String> = a.iter().map(|p| p.to_string()).collect();
         assert!(distinct.len() > 10, "population should be heterogeneous");
     }
 
@@ -321,10 +327,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "required reward decreases")]
     fn decreasing_thresholds_panic() {
-        let _ = CustomerPreferences::new(
-            vec![(fr(0.1), Money(5.0)), (fr(0.2), Money(1.0))],
-            fr(0.5),
-        );
+        let _ =
+            CustomerPreferences::new(vec![(fr(0.1), Money(5.0)), (fr(0.2), Money(1.0))], fr(0.5));
     }
 
     #[test]

@@ -63,7 +63,9 @@ impl ProducerAgent {
     /// Marginal production cost saved per kWh of peak energy avoided —
     /// what a unit of negotiated cut-down is worth to the utility.
     pub fn peak_saving_value(&self) -> PricePerKwh {
-        PricePerKwh(self.production.expensive_cost().value() - self.production.normal_cost().value())
+        PricePerKwh(
+            self.production.expensive_cost().value() - self.production.normal_cost().value(),
+        )
     }
 
     /// Production cost of serving `energy` over `hours`.
@@ -77,7 +79,10 @@ mod tests {
     use super::*;
 
     fn agent() -> ProducerAgent {
-        ProducerAgent::new(ProductionModel::two_tier(Kilowatts(100.0), Kilowatts(150.0)))
+        ProducerAgent::new(ProductionModel::two_tier(
+            Kilowatts(100.0),
+            Kilowatts(150.0),
+        ))
     }
 
     #[test]
@@ -91,7 +96,11 @@ mod tests {
     #[test]
     fn availability_msg_roundtrip() {
         match agent().availability_msg() {
-            Msg::Availability { normal_capacity, normal_cost, expensive_cost } => {
+            Msg::Availability {
+                normal_capacity,
+                normal_cost,
+                expensive_cost,
+            } => {
                 assert_eq!(normal_capacity, Kilowatts(100.0));
                 assert!(expensive_cost > normal_cost);
             }

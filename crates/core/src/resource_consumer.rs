@@ -71,7 +71,10 @@ mod tests {
         let axis = TimeAxis::hourly();
         let rigid = Device::new(DeviceKind::Entertainment, Kilowatts(0.3), Fraction::ZERO);
         let rca = ResourceConsumerAgent::new(rigid, &axis, 10.0, 1.0);
-        assert_eq!(rca.saving_potential(Interval::new(18, 22)), KilowattHours::ZERO);
+        assert_eq!(
+            rca.saving_potential(Interval::new(18, 22)),
+            KilowattHours::ZERO
+        );
     }
 
     #[test]

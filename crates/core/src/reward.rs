@@ -34,7 +34,11 @@ impl RewardFormula {
     /// The prototype's parameters calibrated to Figures 6–7: β = 2,
     /// max_reward = 30, ε = 1.
     pub fn paper() -> RewardFormula {
-        RewardFormula { beta: 2.0, max_reward: Money(30.0), epsilon: Money(1.0) }
+        RewardFormula {
+            beta: 2.0,
+            max_reward: Money(30.0),
+            epsilon: Money(1.0),
+        }
     }
 
     /// Creates a formula.
@@ -44,10 +48,17 @@ impl RewardFormula {
     /// Panics if `beta` is negative, `max_reward` is not positive, or
     /// `epsilon` is negative.
     pub fn new(beta: f64, max_reward: Money, epsilon: Money) -> RewardFormula {
-        assert!(beta >= 0.0 && beta.is_finite(), "beta must be a non-negative number");
+        assert!(
+            beta >= 0.0 && beta.is_finite(),
+            "beta must be a non-negative number"
+        );
         assert!(max_reward.value() > 0.0, "max_reward must be positive");
         assert!(epsilon.value() >= 0.0, "epsilon must be non-negative");
-        RewardFormula { beta, max_reward, epsilon }
+        RewardFormula {
+            beta,
+            max_reward,
+            epsilon,
+        }
     }
 
     /// Applies the update rule to one reward value, with `beta` possibly
@@ -125,7 +136,10 @@ impl RewardTable {
     /// Panics if `entries` is empty, contains duplicate cut-downs, or has
     /// rewards that decrease as cut-downs increase.
     pub fn new(interval: Interval, mut entries: Vec<(Fraction, Money)>) -> RewardTable {
-        assert!(!entries.is_empty(), "a reward table needs at least one entry");
+        assert!(
+            !entries.is_empty(),
+            "a reward table needs at least one entry"
+        );
         entries.sort_by_key(|e| e.0);
         for window in entries.windows(2) {
             assert!(
@@ -237,7 +251,10 @@ impl RewardTable {
             .iter()
             .map(|&(c, r)| (c, formula.next_reward(r, overuse, beta)))
             .collect();
-        RewardTable { interval: self.interval, entries }
+        RewardTable {
+            interval: self.interval,
+            entries,
+        }
     }
 
     /// True if every reward in `self` is at least the reward in
@@ -354,8 +371,13 @@ mod tests {
 
     #[test]
     fn overuse_fraction_formula() {
-        assert!((overuse_fraction(KilowattHours(135.0), KilowattHours(100.0)) - 0.35).abs() < 1e-12);
-        assert_eq!(overuse_fraction(KilowattHours(50.0), KilowattHours::ZERO), 0.0);
+        assert!(
+            (overuse_fraction(KilowattHours(135.0), KilowattHours(100.0)) - 0.35).abs() < 1e-12
+        );
+        assert_eq!(
+            overuse_fraction(KilowattHours(50.0), KilowattHours::ZERO),
+            0.0
+        );
         assert!(overuse_fraction(KilowattHours(90.0), KilowattHours(100.0)) < 0.0);
     }
 

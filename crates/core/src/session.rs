@@ -9,7 +9,7 @@
 //! GUI screenshots in Figures 6–9 display).
 
 use crate::concession::NegotiationStatus;
-use crate::methods::{offer, request_bids, reward_table, AnnouncementMethod};
+use crate::methods::AnnouncementMethod;
 use crate::preferences::CustomerPreferences;
 use crate::reward::{overuse_fraction, RewardTable};
 use crate::utility_agent::UtilityAgentConfig;
@@ -61,18 +61,17 @@ impl Scenario {
         overuse_fraction(self.initial_total(), self.normal_use)
     }
 
-    /// Runs the configured announcement method.
+    /// Runs the configured announcement method (a facade over
+    /// [`SyncDriver`](crate::sync_driver::SyncDriver) and the shared
+    /// sans-io [`engine`](crate::engine)).
     pub fn run(&self) -> NegotiationReport {
         self.run_with(self.method)
     }
 
-    /// Runs a specific announcement method on this scenario.
+    /// Runs a specific announcement method on this scenario through the
+    /// synchronous driver.
     pub fn run_with(&self, method: AnnouncementMethod) -> NegotiationReport {
-        match method {
-            AnnouncementMethod::RewardTables => reward_table::run(self),
-            AnnouncementMethod::Offer => offer::run(self),
-            AnnouncementMethod::RequestForBids => request_bids::run(self),
-        }
+        crate::sync_driver::SyncDriver::with_method(self, method).run()
     }
 }
 
@@ -335,7 +334,9 @@ impl ScenarioBuilder {
         let mut customers = Vec::with_capacity(households.len());
         let mut total = KilowattHours::ZERO;
         for h in households {
-            let predicted = h.demand_profile(axis, mean_temp, seed).energy_over(interval);
+            let predicted = h
+                .demand_profile(axis, mean_temp, seed)
+                .energy_over(interval);
             let day_share = interval.hours(*axis) / 24.0;
             let allowed = h.allowed_use() * day_share;
             let ceiling = h.max_cutdown(axis, mean_temp, seed, interval);
@@ -425,7 +426,11 @@ mod tests {
     fn figure_6_trace_matches_paper() {
         let report = ScenarioBuilder::paper_figure_6().build().run();
         // Three rounds, as in Figures 6–7.
-        assert_eq!(report.rounds().len(), 3, "paper trace has 3 rounds: {report}");
+        assert_eq!(
+            report.rounds().len(),
+            3,
+            "paper trace has 3 rounds: {report}"
+        );
         assert_eq!(
             report.status(),
             NegotiationStatus::Converged(TerminationReason::OveruseAcceptable)
@@ -436,18 +441,23 @@ mod tests {
         // Round 3: reward(0.4) ≈ 24.8 (Figure 7; we land at 24.65).
         let r3 = report.rounds()[2].table.as_ref().unwrap();
         let r3_04 = r3.reward_for(Fraction::clamped(0.4)).value();
-        assert!((23.5..=26.0).contains(&r3_04), "round-3 reward(0.4) = {r3_04}");
+        assert!(
+            (23.5..=26.0).contains(&r3_04),
+            "round-3 reward(0.4) = {r3_04}"
+        );
         // Final overuse ≈ 13 (Figure 7; we land at 13.4).
         let final_overuse = report.final_overuse().value();
-        assert!((10.0..=16.0).contains(&final_overuse), "final overuse {final_overuse}");
+        assert!(
+            (10.0..=16.0).contains(&final_overuse),
+            "final overuse {final_overuse}"
+        );
     }
 
     #[test]
     fn figure_8_customer_bids_match_paper() {
         let report = ScenarioBuilder::paper_figure_6().build().run();
         // Customers 0 and 1 are the k = 1.0 Figure 8/9 customers.
-        let per_round: Vec<Fraction> =
-            report.rounds().iter().map(|r| r.bids[0]).collect();
+        let per_round: Vec<Fraction> = report.rounds().iter().map(|r| r.bids[0]).collect();
         assert_eq!(
             per_round,
             vec![
@@ -489,8 +499,7 @@ mod tests {
         use powergrid::time::{TimeAxis, TimeOfDay};
         let axis = TimeAxis::quarter_hourly();
         let homes = PopulationBuilder::new().households(15).build(3);
-        let interval =
-            axis.between(TimeOfDay::hm(17, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
+        let interval = axis.between(TimeOfDay::hm(17, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
         let s = ScenarioBuilder::from_households(&homes, &axis, -4.0, interval, 0.8, 3).build();
         assert_eq!(s.customers.len(), 15);
         assert!(s.initial_overuse_fraction() > 0.0);

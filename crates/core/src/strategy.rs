@@ -82,7 +82,10 @@ pub fn select_method_by_kb(ctx: NegotiationContext) -> AnnouncementMethod {
     use desire::term::{Atom, Term};
     let mut facts = FactBase::new();
     facts.assert(
-        Atom::new("rounds_available", vec![Term::number(f64::from(ctx.rounds_available))]),
+        Atom::new(
+            "rounds_available",
+            vec![Term::number(f64::from(ctx.rounds_available))],
+        ),
         TruthValue::True,
     );
     facts.assert(
@@ -99,9 +102,7 @@ pub fn select_method_by_kb(ctx: NegotiationContext) -> AnnouncementMethod {
     ];
     let derived: Vec<AnnouncementMethod> = candidates
         .iter()
-        .filter(|(name, _)| {
-            facts.holds(&Atom::new("method", vec![Term::constant(*name)]))
-        })
+        .filter(|(name, _)| facts.holds(&Atom::new("method", vec![Term::constant(*name)])))
         .map(|&(_, m)| m)
         .collect();
     assert_eq!(
@@ -120,7 +121,11 @@ mod tests {
     fn kb_and_function_agree_everywhere() {
         for rounds in [0u32, 1, 2, 5, 9, 10, 15, 30] {
             for overuse in [0.05, 0.15, 0.24, 0.25, 0.3, 0.5] {
-                let ctx = NegotiationContext { rounds_available: rounds, overuse, customers: 100 };
+                let ctx = NegotiationContext {
+                    rounds_available: rounds,
+                    overuse,
+                    customers: 100,
+                };
                 let (functional, _) = select_method(ctx);
                 let declarative = select_method_by_kb(ctx);
                 assert_eq!(

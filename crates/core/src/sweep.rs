@@ -1,0 +1,244 @@
+//! Parallel scenario sweeps: fan a grid of negotiations across cores.
+//!
+//! The β-sensitivity and scaling experiments run hundreds of
+//! *independent* negotiations. Each [`Scenario`] is a pure value — its
+//! population is fixed by a seed at build time and
+//! [`Scenario::run_with`] is deterministic — so a sweep parallelizes
+//! perfectly: [`ScenarioSweep::run`] fans the grid across scoped std
+//! worker threads (borrowing the scenarios, results in input order)
+//! and is **byte-identical** to [`ScenarioSweep::run_sequential`].
+//!
+//! # Example
+//!
+//! ```
+//! use loadbal_core::sweep::ScenarioSweep;
+//! use loadbal_core::session::ScenarioBuilder;
+//!
+//! let sweep = ScenarioSweep::new()
+//!     .point("n=10", ScenarioBuilder::random(10, 0.35, 1).build())
+//!     .point("n=20", ScenarioBuilder::random(20, 0.35, 2).build());
+//! let outcomes = sweep.run();
+//! assert_eq!(outcomes.len(), 2);
+//! assert!(outcomes.iter().all(|o| o.report.converged()));
+//! ```
+
+use crate::methods::AnnouncementMethod;
+use crate::session::{NegotiationReport, Scenario};
+use std::num::NonZeroUsize;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// One cell of the sweep grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// Human-readable cell label (policy, size, seed, ...).
+    pub label: String,
+    /// The scenario to negotiate.
+    pub scenario: Scenario,
+    /// The announcement method to run it with.
+    pub method: AnnouncementMethod,
+}
+
+/// One finished cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepOutcome {
+    /// The cell's label.
+    pub label: String,
+    /// The negotiation report.
+    pub report: NegotiationReport,
+}
+
+/// A grid of independent negotiations with a parallel runner.
+#[derive(Debug, Clone, Default)]
+pub struct ScenarioSweep {
+    points: Vec<SweepPoint>,
+    threads: Option<NonZeroUsize>,
+}
+
+impl ScenarioSweep {
+    /// An empty sweep.
+    pub fn new() -> ScenarioSweep {
+        ScenarioSweep {
+            points: Vec::new(),
+            threads: None,
+        }
+    }
+
+    /// Adds a cell running the scenario's configured method.
+    pub fn point(self, label: impl Into<String>, scenario: Scenario) -> ScenarioSweep {
+        let method = scenario.method;
+        self.point_with(label, scenario, method)
+    }
+
+    /// Adds a cell with an explicit announcement method.
+    pub fn point_with(
+        mut self,
+        label: impl Into<String>,
+        scenario: Scenario,
+        method: AnnouncementMethod,
+    ) -> ScenarioSweep {
+        self.points.push(SweepPoint {
+            label: label.into(),
+            scenario,
+            method,
+        });
+        self
+    }
+
+    /// Adds one seeded random-population cell per seed — the common
+    /// "same configuration, many populations" experiment axis. The
+    /// per-cell scenario (and therefore the whole sweep) is a pure
+    /// function of `(customers, overuse, seed)`.
+    pub fn seeded_grid(
+        mut self,
+        label_prefix: &str,
+        customers: usize,
+        overuse: f64,
+        seeds: impl IntoIterator<Item = u64>,
+        configure: impl Fn(crate::session::ScenarioBuilder) -> crate::session::ScenarioBuilder,
+    ) -> ScenarioSweep {
+        for seed in seeds {
+            let builder = crate::session::ScenarioBuilder::random(customers, overuse, seed);
+            let scenario = configure(builder).build();
+            let method = scenario.method;
+            self.points.push(SweepPoint {
+                label: format!("{label_prefix}/seed{seed}"),
+                scenario,
+                method,
+            });
+        }
+        self
+    }
+
+    /// Caps the worker-thread count (defaults to the machine's available
+    /// parallelism).
+    pub fn threads(mut self, threads: NonZeroUsize) -> ScenarioSweep {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Number of cells.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True if the sweep has no cells.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The configured cells.
+    pub fn points(&self) -> &[SweepPoint] {
+        &self.points
+    }
+
+    /// Runs every cell in parallel over std threads; outcomes come back
+    /// in grid order and are byte-identical to
+    /// [`ScenarioSweep::run_sequential`].
+    ///
+    /// Scoped worker threads borrow the grid directly — no scenario is
+    /// cloned, however large the sweep.
+    pub fn run(&self) -> Vec<SweepOutcome> {
+        let threads = self
+            .threads
+            .unwrap_or_else(|| {
+                std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("1 > 0"))
+            })
+            .get()
+            .min(self.points.len());
+        if threads <= 1 {
+            return self.run_sequential();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<SweepOutcome>>> =
+            self.points.iter().map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..threads {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(point) = self.points.get(i) else {
+                        break;
+                    };
+                    let outcome = SweepOutcome {
+                        label: point.label.clone(),
+                        report: point.scenario.run_with(point.method),
+                    };
+                    *slots[i].lock().expect("slot lock") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("slot lock")
+                    .expect("every cell ran")
+            })
+            .collect()
+    }
+
+    /// Runs every cell on the calling thread (the reference order for
+    /// equivalence checks and debugging).
+    pub fn run_sequential(&self) -> Vec<SweepOutcome> {
+        self.points
+            .iter()
+            .map(|p| SweepOutcome {
+                label: p.label.clone(),
+                report: p.scenario.run_with(p.method),
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let sweep = ScenarioSweep::new().seeded_grid("rt", 30, 0.35, 0..12, |b| b);
+        assert_eq!(sweep.len(), 12);
+        let parallel = sweep.run();
+        let sequential = sweep.run_sequential();
+        assert_eq!(
+            parallel, sequential,
+            "parallel sweep must be byte-identical"
+        );
+    }
+
+    #[test]
+    fn labels_and_order_are_stable() {
+        let sweep = ScenarioSweep::new()
+            .point("a", ScenarioBuilder::random(10, 0.3, 1).build())
+            .point_with(
+                "b",
+                ScenarioBuilder::random(10, 0.3, 2).build(),
+                AnnouncementMethod::Offer,
+            );
+        let outcomes = sweep.threads(NonZeroUsize::new(2).expect("2 > 0")).run();
+        assert_eq!(outcomes[0].label, "a");
+        assert_eq!(outcomes[1].label, "b");
+        assert_eq!(outcomes[1].report.method(), AnnouncementMethod::Offer);
+        assert_eq!(outcomes[1].report.rounds().len(), 1);
+    }
+
+    #[test]
+    fn methods_can_vary_per_cell() {
+        let scenario = ScenarioBuilder::random(15, 0.35, 3).build();
+        let sweep = AnnouncementMethod::all()
+            .into_iter()
+            .fold(ScenarioSweep::new(), |s, m| {
+                s.point_with(m.to_string(), scenario.clone(), m)
+            });
+        let outcomes = sweep.run();
+        for (o, m) in outcomes.iter().zip(AnnouncementMethod::all()) {
+            assert_eq!(o.report.method(), m);
+            assert_eq!(
+                o.report,
+                scenario.run_with(m),
+                "sweep must match a direct run"
+            );
+        }
+    }
+}

@@ -1,0 +1,155 @@
+//! The synchronous driver: an in-process message pump over the sans-io
+//! engine.
+//!
+//! This is the fastest of the three execution modes — no simulated
+//! network, no kernel rounds, just function calls — and what
+//! [`Scenario::run`](crate::session::Scenario::run) and the experiment
+//! harness use. Every round trip is a direct exchange between the
+//! [`UtilityEngine`] and each [`CustomerEngine`]; timers are ignored
+//! because every response always arrives.
+
+use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
+use crate::methods::AnnouncementMethod;
+use crate::session::{NegotiationReport, Scenario};
+
+/// Runs a complete negotiation synchronously through the shared engine.
+#[derive(Debug, Clone)]
+pub struct SyncDriver {
+    utility: UtilityEngine,
+    customers: Vec<CustomerEngine>,
+}
+
+impl SyncDriver {
+    /// A driver for `scenario`'s configured method.
+    pub fn new(scenario: &Scenario) -> SyncDriver {
+        SyncDriver::with_method(scenario, scenario.method)
+    }
+
+    /// A driver for a specific announcement method on `scenario`.
+    pub fn with_method(scenario: &Scenario, method: AnnouncementMethod) -> SyncDriver {
+        SyncDriver {
+            utility: UtilityEngine::with_method(scenario, method),
+            customers: (0..scenario.customers.len())
+                .map(|i| CustomerEngine::for_customer(scenario, i))
+                .collect(),
+        }
+    }
+
+    /// Pumps the engines to completion and assembles the report.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine stops emitting effects before settling —
+    /// impossible for the shipped announcement methods, whose
+    /// termination the concession protocol guarantees.
+    pub fn run(mut self) -> NegotiationReport {
+        let mut assembler = ReportAssembler::for_engine(&self.utility);
+        self.utility.handle(Input::Start);
+        while let Some(effect) = self.utility.poll_effect() {
+            assembler.observe(&effect);
+            let Effect::Send {
+                to: Peer::Customer(i),
+                msg,
+            } = effect
+            else {
+                // Timers never fire (all responses arrive); round and
+                // settlement observations are already recorded.
+                continue;
+            };
+            let customer = &mut self.customers[i];
+            customer.handle(Input::Received {
+                from: Peer::Utility,
+                msg,
+            });
+            while let Some(reply) = customer.poll_effect() {
+                if let Effect::Send {
+                    to: Peer::Utility,
+                    msg,
+                } = reply
+                {
+                    self.utility.handle(Input::Received {
+                        from: Peer::Customer(i),
+                        msg,
+                    });
+                }
+            }
+        }
+        assert!(
+            self.utility.is_settled(),
+            "engine ran out of effects before settling"
+        );
+        assembler.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concession::NegotiationStatus;
+    use crate::session::ScenarioBuilder;
+
+    #[test]
+    fn drives_the_paper_trace() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let report = SyncDriver::new(&scenario).run();
+        assert_eq!(report.rounds().len(), 3);
+        assert!(report.converged());
+    }
+
+    #[test]
+    fn all_methods_settle_on_random_populations() {
+        for seed in 0..5 {
+            let scenario = ScenarioBuilder::random(30, 0.35, seed).build();
+            for method in AnnouncementMethod::all() {
+                let report = SyncDriver::with_method(&scenario, method).run();
+                assert!(
+                    matches!(
+                        report.status(),
+                        NegotiationStatus::Converged(_) | NegotiationStatus::MaxRoundsExceeded
+                    ),
+                    "seed {seed} {method}: {report}"
+                );
+                assert_eq!(report.method(), method);
+                assert_eq!(report.settlements().len(), 30);
+            }
+        }
+    }
+
+    #[test]
+    fn customers_learn_their_awards() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let mut driver = SyncDriver::new(&scenario);
+        let mut assembler = ReportAssembler::for_engine(&driver.utility);
+        driver.utility.handle(Input::Start);
+        while let Some(effect) = driver.utility.poll_effect() {
+            assembler.observe(&effect);
+            if let Effect::Send {
+                to: Peer::Customer(i),
+                msg,
+            } = effect
+            {
+                let customer = &mut driver.customers[i];
+                customer.handle(Input::Received {
+                    from: Peer::Utility,
+                    msg,
+                });
+                while let Some(reply) = customer.poll_effect() {
+                    if let Effect::Send {
+                        to: Peer::Utility,
+                        msg,
+                    } = reply
+                    {
+                        driver.utility.handle(Input::Received {
+                            from: Peer::Customer(i),
+                            msg,
+                        });
+                    }
+                }
+            }
+        }
+        let report = assembler.finish();
+        for (engine, settlement) in driver.customers.iter().zip(report.settlements()) {
+            assert_eq!(engine.awarded(), Some(settlement));
+        }
+    }
+}

@@ -101,7 +101,11 @@ mod tests {
         let weather = Series::constant(axis, 0.0);
         let predicted = predict_balance(&MovingAverage::new(2), &history, &weather);
         let lax = evaluate_prediction(&predicted, &production(), &PeakDetector::new(0.10));
-        assert_eq!(lax, BalanceAssessment::Stable, "4 % overuse not worth the effort");
+        assert_eq!(
+            lax,
+            BalanceAssessment::Stable,
+            "4 % overuse not worth the effort"
+        );
         let eager = evaluate_prediction(&predicted, &production(), &PeakDetector::new(0.01));
         assert!(matches!(eager, BalanceAssessment::NegotiationWarranted(_)));
     }

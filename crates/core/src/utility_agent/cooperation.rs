@@ -146,8 +146,13 @@ mod tests {
 
     #[test]
     fn zero_factors_filtered() {
-        let candidates =
-            generate_announcements(&base_table(), &RewardFormula::paper(), 0.3, 2.0, &[0.0, 1.0]);
+        let candidates = generate_announcements(
+            &base_table(),
+            &RewardFormula::paper(),
+            0.3,
+            2.0,
+            &[0.0, 1.0],
+        );
         assert_eq!(candidates.len(), 1);
     }
 
@@ -195,8 +200,13 @@ mod tests {
 
     #[test]
     fn selection_falls_back_to_best_effort() {
-        let mut candidates =
-            generate_announcements(&base_table(), &RewardFormula::paper(), 0.35, 2.0, &[1.0, 2.0]);
+        let mut candidates = generate_announcements(
+            &base_table(),
+            &RewardFormula::paper(),
+            0.35,
+            2.0,
+            &[1.0, 2.0],
+        );
         evaluate_announcements(&mut candidates, &CustomerModel::new());
         let chosen = select_announcement(&candidates, 10.0).unwrap();
         let best = candidates

@@ -139,7 +139,12 @@ mod tests {
     }
 
     fn table(reward_at: f64) -> RewardTable {
-        RewardTable::quadratic(Interval::new(0, 8), &DEFAULT_LEVELS, Money(reward_at), fr(0.4))
+        RewardTable::quadratic(
+            Interval::new(0, 8),
+            &DEFAULT_LEVELS,
+            Money(reward_at),
+            fr(0.4),
+        )
     }
 
     #[test]

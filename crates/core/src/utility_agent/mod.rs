@@ -155,7 +155,13 @@ impl RewardTableNegotiator {
     /// announced as round 1.
     pub fn new(config: UtilityAgentConfig, interval: Interval) -> RewardTableNegotiator {
         let current = config.initial_table(interval);
-        RewardTableNegotiator { config, current, round: 1, stall_rounds: 0, prev_overuse: None }
+        RewardTableNegotiator {
+            config,
+            current,
+            round: 1,
+            stall_rounds: 0,
+            prev_overuse: None,
+        }
     }
 
     /// The table announced for the current round.
@@ -199,7 +205,10 @@ impl RewardTableNegotiator {
         }
         self.prev_overuse = Some(overuse);
 
-        let beta = self.config.beta_policy.beta(self.round - 1, self.stall_rounds);
+        let beta = self
+            .config
+            .beta_policy
+            .beta(self.round - 1, self.stall_rounds);
         let next = self.current.updated(&self.config.formula, overuse, beta);
         if next.max_delta(&self.current) <= self.config.formula.epsilon {
             return UaDecision::Converged(TerminationReason::RewardSaturated);
@@ -233,7 +242,10 @@ mod tests {
     fn low_overuse_converges_immediately() {
         let mut n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
         let d = n.evaluate(0.10);
-        assert_eq!(d, UaDecision::Converged(TerminationReason::OveruseAcceptable));
+        assert_eq!(
+            d,
+            UaDecision::Converged(TerminationReason::OveruseAcceptable)
+        );
     }
 
     #[test]
@@ -261,7 +273,10 @@ mod tests {
                 other => panic!("unexpected {other:?}"),
             }
         }
-        assert!(rounds < 60, "saturation within a reasonable horizon, got {rounds}");
+        assert!(
+            rounds < 60,
+            "saturation within a reasonable horizon, got {rounds}"
+        );
     }
 
     #[test]
@@ -290,6 +305,9 @@ mod tests {
         config.table_shape = TableShape::Linear;
         let t = config.initial_table(interval());
         let r02 = t.reward_for(Fraction::clamped(0.2)).value();
-        assert!((r02 - 8.5).abs() < 1e-9, "linear at 0.2 should be 8.5, got {r02}");
+        assert!(
+            (r02 - 8.5).abs() < 1e-9,
+            "linear at 0.2 should be 8.5, got {r02}"
+        );
     }
 }

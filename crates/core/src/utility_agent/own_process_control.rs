@@ -71,7 +71,8 @@ impl OwnProcessControl {
 
     /// Records one finished negotiation.
     pub fn record(&mut self, report: &NegotiationReport) {
-        self.history.push(NegotiationEvaluation::from_report(report));
+        self.history
+            .push(NegotiationEvaluation::from_report(report));
     }
 
     /// The evaluation history, oldest first.
@@ -81,7 +82,10 @@ impl OwnProcessControl {
 
     /// *Determine general negotiation strategy*: delegate to the §3.2.4
     /// selection knowledge.
-    pub fn determine_strategy(&self, ctx: NegotiationContext) -> (AnnouncementMethod, &'static str) {
+    pub fn determine_strategy(
+        &self,
+        ctx: NegotiationContext,
+    ) -> (AnnouncementMethod, &'static str) {
         select_method(ctx)
     }
 
@@ -113,10 +117,7 @@ impl OwnProcessControl {
     /// True if the last negotiation failed to converge — the trigger for
     /// a strategy review.
     pub fn last_failed(&self) -> bool {
-        self.history
-            .last()
-            .map(|e| !e.converged)
-            .unwrap_or(false)
+        self.history.last().map(|e| !e.converged).unwrap_or(false)
     }
 }
 

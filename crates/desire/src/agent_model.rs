@@ -90,7 +90,10 @@ pub struct GenericAgentBuilder {
 impl GenericAgentBuilder {
     /// Starts building an agent with the given name.
     pub fn new(name: impl Into<Name>) -> GenericAgentBuilder {
-        GenericAgentBuilder { name: name.into(), tasks: Vec::new() }
+        GenericAgentBuilder {
+            name: name.into(),
+            tasks: Vec::new(),
+        }
     }
 
     /// Provides the component refining one generic task. The component is
@@ -160,8 +163,16 @@ fn standard_links() -> Vec<InfoLink> {
     let child_in = |n: &str| Endpoint::ChildInput(Name::from(n));
     let child_out = |n: &str| Endpoint::ChildOutput(Name::from(n));
     vec![
-        InfoLink::identity("communication_in", Endpoint::ParentInput, child_in("agent_interaction_management")),
-        InfoLink::identity("observation_in", Endpoint::ParentInput, child_in("world_interaction_management")),
+        InfoLink::identity(
+            "communication_in",
+            Endpoint::ParentInput,
+            child_in("agent_interaction_management"),
+        ),
+        InfoLink::identity(
+            "observation_in",
+            Endpoint::ParentInput,
+            child_in("world_interaction_management"),
+        ),
         InfoLink::identity(
             "received_info",
             child_out("agent_interaction_management"),
@@ -250,7 +261,10 @@ mod tests {
         // turns them into proposals; interaction sends them out.
         let interaction = reasoning(
             "agent_interaction_management",
-            &["announce_received => received(announcement)", "send(Proposal) => out(Proposal)"],
+            &[
+                "announce_received => received(announcement)",
+                "send(Proposal) => out(Proposal)",
+            ],
         );
         let cooperation = reasoning(
             "cooperation_management",
@@ -267,7 +281,10 @@ mod tests {
             .assert(Atom::prop("announce_received"), TruthValue::True);
         system.run().unwrap();
         assert!(
-            system.root().output().holds(&Atom::parse("out(bid)").unwrap()),
+            system
+                .root()
+                .output()
+                .holds(&Atom::parse("out(bid)").unwrap()),
             "bid must flow: interaction → cooperation → interaction → output"
         );
     }
@@ -282,10 +299,7 @@ mod tests {
             "maintenance_of_world_information",
             &["observed(cold) => world(cold)"],
         );
-        let specific = reasoning(
-            "agent_specific_task",
-            &["world(cold) => predict(peak)"],
-        );
+        let specific = reasoning("agent_specific_task", &["world(cold) => predict(peak)"]);
         let agent = GenericAgentBuilder::new("ua")
             .with_task(GenericTask::WorldInteractionManagement, world)
             .with_task(GenericTask::MaintenanceOfWorldInformation, maintenance)
@@ -298,7 +312,9 @@ mod tests {
             .assert(Atom::prop("temperature_drops"), TruthValue::True);
         system.run().unwrap();
         let specific = system.root().child("agent_specific_task").unwrap();
-        assert!(specific.output().holds(&Atom::parse("predict(peak)").unwrap()));
+        assert!(specific
+            .output()
+            .holds(&Atom::parse("predict(peak)").unwrap()));
     }
 
     #[test]
@@ -307,7 +323,9 @@ mod tests {
         let agent = GenericAgentBuilder::new("a")
             .with_task(GenericTask::CooperationManagement, custom)
             .build();
-        let coop = agent.child("cooperation_management").expect("canonical name");
+        let coop = agent
+            .child("cooperation_management")
+            .expect("canonical name");
         assert!(coop.child("my_cooperation").is_some(), "wrapped inside");
     }
 
@@ -315,8 +333,14 @@ mod tests {
     #[should_panic(expected = "provided twice")]
     fn duplicate_task_panics() {
         let _ = GenericAgentBuilder::new("a")
-            .with_task(GenericTask::OwnProcessControl, placeholder("own_process_control"))
-            .with_task(GenericTask::OwnProcessControl, placeholder("own_process_control"));
+            .with_task(
+                GenericTask::OwnProcessControl,
+                placeholder("own_process_control"),
+            )
+            .with_task(
+                GenericTask::OwnProcessControl,
+                placeholder("own_process_control"),
+            );
     }
 
     #[test]

@@ -56,7 +56,11 @@ impl fmt::Display for DesignIssue {
 pub fn check_design(component: &Component) -> Vec<DesignIssue> {
     let mut issues = Vec::new();
     walk(component, &ComponentPath::root(), &mut issues);
-    issues.sort_by(|a, b| b.severity.cmp(&a.severity).then_with(|| a.path.cmp(&b.path)));
+    issues.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.path.cmp(&b.path))
+    });
     issues
 }
 
@@ -66,7 +70,10 @@ fn walk(component: &Component, parent: &ComponentPath, issues: &mut Vec<DesignIs
         issues.push(DesignIssue {
             severity: Severity::Warning,
             path: path.clone(),
-            message: format!("component name '{}' is not a well-formed identifier", component.name()),
+            message: format!(
+                "component name '{}' is not a well-formed identifier",
+                component.name()
+            ),
         });
     }
     match component.body() {
@@ -188,9 +195,21 @@ mod tests {
         let a = reasoning("a", &["x => y"]);
         let b = reasoning("b", &["y => z"]);
         let links = vec![
-            InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("a".into())),
-            InfoLink::identity("mid", Endpoint::ChildOutput("a".into()), Endpoint::ChildInput("b".into())),
-            InfoLink::identity("out", Endpoint::ChildOutput("b".into()), Endpoint::ParentOutput),
+            InfoLink::identity(
+                "in",
+                Endpoint::ParentInput,
+                Endpoint::ChildInput("a".into()),
+            ),
+            InfoLink::identity(
+                "mid",
+                Endpoint::ChildOutput("a".into()),
+                Endpoint::ChildInput("b".into()),
+            ),
+            InfoLink::identity(
+                "out",
+                Endpoint::ChildOutput("b".into()),
+                Endpoint::ParentOutput,
+            ),
         ];
         let root = Component::composed("sys", vec![a, b], links, TaskControl::new());
         assert!(check_design(&root).is_empty());

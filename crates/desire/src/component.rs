@@ -50,7 +50,10 @@ impl Interface {
 
     /// Creates an interface whose facts must conform to `info_type`.
     pub fn typed(info_type: InfoType) -> Interface {
-        Interface { facts: FactBase::new(), info_type: Some(info_type) }
+        Interface {
+            facts: FactBase::new(),
+            info_type: Some(info_type),
+        }
     }
 
     /// Asserts a fact.
@@ -241,7 +244,11 @@ impl Component {
             name,
             input: Interface::new(),
             output: Interface::new(),
-            body: Body::Composed(Composition { children, links, task_control }),
+            body: Body::Composed(Composition {
+                children,
+                links,
+                task_control,
+            }),
         }
     }
 
@@ -382,7 +389,8 @@ mod tests {
             out
         });
         let mut c = Component::calculation("doubler", calc);
-        c.input_mut().assert(Atom::parse("value(21)").unwrap(), TruthValue::True);
+        c.input_mut()
+            .assert(Atom::parse("value(21)").unwrap(), TruthValue::True);
         c.activate(&Engine::new(), &mut Trace::new()).unwrap();
         assert!(c.output().holds(&Atom::parse("doubled(42)").unwrap()));
     }

@@ -201,13 +201,26 @@ impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EngineError::NonGroundConsequent { rule, consequent } => {
-                write!(f, "rule '{rule}' derived non-ground consequent '{consequent}'")
+                write!(
+                    f,
+                    "rule '{rule}' derived non-ground consequent '{consequent}'"
+                )
             }
-            EngineError::Contradiction { atom, known, derived } => {
-                write!(f, "contradiction on '{atom}': known {known}, derived {derived}")
+            EngineError::Contradiction {
+                atom,
+                known,
+                derived,
+            } => {
+                write!(
+                    f,
+                    "contradiction on '{atom}': known {known}, derived {derived}"
+                )
             }
             EngineError::IterationLimit { limit } => {
-                write!(f, "inference did not reach a fixpoint within {limit} rounds")
+                write!(
+                    f,
+                    "inference did not reach a fixpoint within {limit} rounds"
+                )
             }
         }
     }
@@ -281,11 +294,17 @@ impl Engine {
     /// * [`EngineError::Contradiction`] if a derivation flips a known
     ///   truth value;
     /// * [`EngineError::IterationLimit`] if no fixpoint is reached.
-    pub fn infer(&self, kb: &KnowledgeBase, facts: &mut FactBase) -> Result<InferenceStats, EngineError> {
+    pub fn infer(
+        &self,
+        kb: &KnowledgeBase,
+        facts: &mut FactBase,
+    ) -> Result<InferenceStats, EngineError> {
         let mut stats = InferenceStats::default();
         for round in 0..=self.max_rounds {
             if round == self.max_rounds {
-                return Err(EngineError::IterationLimit { limit: self.max_rounds });
+                return Err(EngineError::IterationLimit {
+                    limit: self.max_rounds,
+                });
             }
             let mut changed = false;
             for rule in kb.rules() {
@@ -389,7 +408,9 @@ mod tests {
         for (text, v) in facts {
             fb.assert(Atom::parse(text).unwrap(), *v);
         }
-        Engine::new().infer(&kb, &mut fb).expect("inference should succeed");
+        Engine::new()
+            .infer(&kb, &mut fb)
+            .expect("inference should succeed");
         fb
     }
 

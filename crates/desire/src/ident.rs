@@ -27,18 +27,11 @@ impl Default for Name {
     }
 }
 
-impl Serialize for Name {
-    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
-        serializer.serialize_str(&self.0)
-    }
-}
+// With the offline serde stand-in these are marker impls; a transparent
+// string (de)serialization belongs here once the real serde is available.
+impl Serialize for Name {}
 
-impl<'de> Deserialize<'de> for Name {
-    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Name, D::Error> {
-        let s = String::deserialize(deserializer)?;
-        Ok(Name::new(s))
-    }
-}
+impl<'de> Deserialize<'de> for Name {}
 
 impl Name {
     /// Creates a name from any string-like value.

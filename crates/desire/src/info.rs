@@ -91,12 +91,21 @@ impl fmt::Display for SignatureError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SignatureError::UnknownPredicate(p) => write!(f, "unknown predicate '{p}'"),
-            SignatureError::ArityMismatch { predicate, expected, actual } => write!(
+            SignatureError::ArityMismatch {
+                predicate,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "predicate '{predicate}' takes {expected} arguments, got {actual}"
             ),
             SignatureError::UnknownConstant(c) => write!(f, "unknown constant '{c}'"),
-            SignatureError::SortMismatch { predicate, position, expected, actual } => write!(
+            SignatureError::SortMismatch {
+                predicate,
+                position,
+                expected,
+                actual,
+            } => write!(
                 f,
                 "argument {position} of '{predicate}' must be sort '{expected}', got '{actual}'"
             ),
@@ -112,8 +121,19 @@ impl InfoType {
     pub fn new(name: impl Into<Name>) -> InfoType {
         let mut sorts = BTreeMap::new();
         let number: Name = NUMBER_SORT.into();
-        sorts.insert(number.clone(), SortDecl { name: number, parent: None });
-        InfoType { name: name.into(), sorts, constants: BTreeMap::new(), predicates: BTreeMap::new() }
+        sorts.insert(
+            number.clone(),
+            SortDecl {
+                name: number,
+                parent: None,
+            },
+        );
+        InfoType {
+            name: name.into(),
+            sorts,
+            constants: BTreeMap::new(),
+            predicates: BTreeMap::new(),
+        }
     }
 
     /// The information type's name.
@@ -126,7 +146,10 @@ impl InfoType {
         let name = name.into();
         self.sorts.insert(
             name.clone(),
-            SortDecl { name, parent: parent.map(Name::from) },
+            SortDecl {
+                name,
+                parent: parent.map(Name::from),
+            },
         );
         self
     }
@@ -142,7 +165,10 @@ impl InfoType {
         let name = name.into();
         self.predicates.insert(
             name.clone(),
-            PredicateDecl { name, arg_sorts: arg_sorts.iter().map(|s| Name::from(*s)).collect() },
+            PredicateDecl {
+                name,
+                arg_sorts: arg_sorts.iter().map(|s| Name::from(*s)).collect(),
+            },
         );
         self
     }
@@ -273,7 +299,9 @@ mod tests {
     #[test]
     fn check_valid_atom() {
         let info = bids_info();
-        assert!(info.check_atom(&Atom::parse("bid(c1, 0.4)").unwrap()).is_ok());
+        assert!(info
+            .check_atom(&Atom::parse("bid(c1, 0.4)").unwrap())
+            .is_ok());
         assert!(info.check_atom(&Atom::parse("active(ua)").unwrap()).is_ok());
     }
 
@@ -287,7 +315,9 @@ mod tests {
     #[test]
     fn supersort_rejected_at_subsort_position() {
         let info = bids_info();
-        let err = info.check_atom(&Atom::parse("bid(ua, 0.4)").unwrap()).unwrap_err();
+        let err = info
+            .check_atom(&Atom::parse("bid(ua, 0.4)").unwrap())
+            .unwrap_err();
         assert!(matches!(err, SignatureError::SortMismatch { .. }));
     }
 
@@ -307,8 +337,17 @@ mod tests {
     #[test]
     fn arity_mismatch() {
         let info = bids_info();
-        let err = info.check_atom(&Atom::parse("bid(c1)").unwrap()).unwrap_err();
-        assert!(matches!(err, SignatureError::ArityMismatch { expected: 2, actual: 1, .. }));
+        let err = info
+            .check_atom(&Atom::parse("bid(c1)").unwrap())
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            SignatureError::ArityMismatch {
+                expected: 2,
+                actual: 1,
+                ..
+            }
+        ));
         assert!(err.to_string().contains("takes 2 arguments"));
     }
 

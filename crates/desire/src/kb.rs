@@ -23,17 +23,26 @@ pub struct Literal {
 impl Literal {
     /// Creates a positive literal.
     pub fn pos(atom: Atom) -> Literal {
-        Literal { atom, positive: true }
+        Literal {
+            atom,
+            positive: true,
+        }
     }
 
     /// Creates a negative literal.
     pub fn neg(atom: Atom) -> Literal {
-        Literal { atom, positive: false }
+        Literal {
+            atom,
+            positive: false,
+        }
     }
 
     /// Applies a substitution to the underlying atom.
     pub fn apply(&self, subst: &Substitution) -> Literal {
-        Literal { atom: self.atom.apply(subst), positive: self.positive }
+        Literal {
+            atom: self.atom.apply(subst),
+            positive: self.positive,
+        }
     }
 }
 
@@ -80,8 +89,14 @@ impl Rule {
     ///
     /// Panics if the head is empty (a rule must conclude something).
     pub fn new(antecedents: Vec<Literal>, consequents: Vec<Literal>) -> Rule {
-        assert!(!consequents.is_empty(), "a rule must have at least one consequent");
-        Rule { antecedents, consequents }
+        assert!(
+            !consequents.is_empty(),
+            "a rule must have at least one consequent"
+        );
+        Rule {
+            antecedents,
+            consequents,
+        }
     }
 
     /// A fact-rule with an empty body.
@@ -120,7 +135,10 @@ impl Rule {
             }
         }
         parser.expect_end()?;
-        Ok(Rule { antecedents, consequents })
+        Ok(Rule {
+            antecedents,
+            consequents,
+        })
     }
 
     /// All variables occurring in the consequents but not in any positive
@@ -196,7 +214,10 @@ pub struct KnowledgeBase {
 impl KnowledgeBase {
     /// Creates an empty knowledge base.
     pub fn new(name: impl Into<Name>) -> KnowledgeBase {
-        KnowledgeBase { name: name.into(), rules: Vec::new() }
+        KnowledgeBase {
+            name: name.into(),
+            rules: Vec::new(),
+        }
     }
 
     /// The knowledge base's name.
@@ -218,8 +239,7 @@ impl KnowledgeBase {
     /// written as string literals in agent definitions.
     pub fn with_rules(mut self, rules: &[&str]) -> KnowledgeBase {
         for text in rules {
-            let rule = Rule::parse(text)
-                .unwrap_or_else(|e| panic!("invalid rule '{text}': {e}"));
+            let rule = Rule::parse(text).unwrap_or_else(|e| panic!("invalid rule '{text}': {e}"));
             self.rules.push(rule);
         }
         self

@@ -101,7 +101,12 @@ impl InfoLink {
             from != Endpoint::ParentOutput,
             "link '{name}' may not read from the parent's output interface"
         );
-        InfoLink { name, from, to, mappings: Vec::new() }
+        InfoLink {
+            name,
+            from,
+            to,
+            mappings: Vec::new(),
+        }
     }
 
     /// An identity link transferring all facts unchanged.
@@ -112,7 +117,10 @@ impl InfoLink {
     /// Adds a predicate mapping (builder style). Once any mapping is
     /// present, only mapped predicates are transferred.
     pub fn with_mapping(mut self, from: impl Into<Name>, to: impl Into<Name>) -> InfoLink {
-        self.mappings.push(AtomMapping { from: from.into(), to: to.into() });
+        self.mappings.push(AtomMapping {
+            from: from.into(),
+            to: to.into(),
+        });
         self
     }
 
@@ -203,7 +211,10 @@ mod tests {
 
     #[test]
     fn mapped_link_renames_and_filters() {
-        let src = facts(&[("announced(17)", TruthValue::True), ("noise", TruthValue::True)]);
+        let src = facts(&[
+            ("announced(17)", TruthValue::True),
+            ("noise", TruthValue::True),
+        ]);
         let mut dst = FactBase::new();
         let link = InfoLink::new(
             "l",
@@ -221,11 +232,7 @@ mod tests {
     fn transfer_is_idempotent() {
         let src = facts(&[("a", TruthValue::True)]);
         let mut dst = FactBase::new();
-        let link = InfoLink::identity(
-            "l",
-            Endpoint::ParentInput,
-            Endpoint::ChildInput("y".into()),
-        );
+        let link = InfoLink::identity("l", Endpoint::ParentInput, Endpoint::ChildInput("y".into()));
         assert_eq!(link.transfer(&src, &mut dst), 1);
         assert_eq!(link.transfer(&src, &mut dst), 0, "no change on re-transfer");
     }
@@ -239,13 +246,21 @@ mod tests {
     #[test]
     #[should_panic(expected = "parent's input")]
     fn writing_parent_input_panics() {
-        let _ = InfoLink::new("l", Endpoint::ChildOutput("x".into()), Endpoint::ParentInput);
+        let _ = InfoLink::new(
+            "l",
+            Endpoint::ChildOutput("x".into()),
+            Endpoint::ParentInput,
+        );
     }
 
     #[test]
     #[should_panic(expected = "parent's output")]
     fn reading_parent_output_panics() {
-        let _ = InfoLink::new("l", Endpoint::ParentOutput, Endpoint::ChildInput("x".into()));
+        let _ = InfoLink::new(
+            "l",
+            Endpoint::ParentOutput,
+            Endpoint::ChildInput("x".into()),
+        );
     }
 
     #[test]

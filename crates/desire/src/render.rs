@@ -32,13 +32,23 @@ fn kind_label(component: &Component) -> &'static str {
     }
 }
 
-fn render_into(component: &Component, prefix: &str, is_last: bool, is_root: bool, out: &mut String) {
+fn render_into(
+    component: &Component,
+    prefix: &str,
+    is_last: bool,
+    is_root: bool,
+    out: &mut String,
+) {
     if is_root {
         out.push_str(format!("{} {}\n", component.name(), kind_label(component)).trim_end());
         out.push('\n');
     } else {
         let connector = if is_last { "└── " } else { "├── " };
-        let line = format!("{prefix}{connector}{} {}", component.name(), kind_label(component));
+        let line = format!(
+            "{prefix}{connector}{} {}",
+            component.name(),
+            kind_label(component)
+        );
         out.push_str(line.trim_end());
         out.push('\n');
     }
@@ -69,7 +79,10 @@ mod tests {
         // Figure 2: own process control of the UA.
         let determine = Component::composed(
             "determine_general_negotiation_strategy",
-            vec![leaf("determine_announcement_method"), leaf("determine_bid_acceptance_strategy")],
+            vec![
+                leaf("determine_announcement_method"),
+                leaf("determine_bid_acceptance_strategy"),
+            ],
             vec![],
             TaskControl::new(),
         );

@@ -40,7 +40,10 @@ impl fmt::Display for SystemError {
                 write!(f, "engine error in {path}: {source}")
             }
             SystemError::NonQuiescent { path, rounds } => {
-                write!(f, "component {path} still active after {rounds} macro-rounds")
+                write!(
+                    f,
+                    "component {path} still active after {rounds} macro-rounds"
+                )
             }
         }
     }
@@ -79,7 +82,10 @@ pub(crate) fn activate_at(
             let kb = kb.clone();
             engine
                 .infer(&kb, &mut working)
-                .map_err(|source| SystemError::Engine { path: child_path.clone(), source })?;
+                .map_err(|source| SystemError::Engine {
+                    path: child_path.clone(),
+                    source,
+                })?;
             let mut derived = 0;
             for (atom, value) in working.iter() {
                 if before.truth(atom) != value {
@@ -92,10 +98,17 @@ pub(crate) fn activate_at(
                 }
             }
             *output.facts_mut() = working;
-            trace.push(TraceEvent::Activated { path: child_path, derived });
+            trace.push(TraceEvent::Activated {
+                path: child_path,
+                derived,
+            });
             Ok(derived)
         }
-        Parts::Calculation { calc, input, output } => {
+        Parts::Calculation {
+            calc,
+            input,
+            output,
+        } => {
             let results = calc.compute(input.facts());
             let mut derived = 0;
             for (atom, value) in results {
@@ -109,13 +122,23 @@ pub(crate) fn activate_at(
                     derived += 1;
                 }
             }
-            trace.push(TraceEvent::Activated { path: child_path, derived });
+            trace.push(TraceEvent::Activated {
+                path: child_path,
+                derived,
+            });
             Ok(derived)
         }
-        Parts::Composed { composition, input, output } => {
+        Parts::Composed {
+            composition,
+            input,
+            output,
+        } => {
             let max_rounds = composition.task_control.max_rounds();
-            let declared: Vec<Name> =
-                composition.children.iter().map(|c| c.name().clone()).collect();
+            let declared: Vec<Name> = composition
+                .children
+                .iter()
+                .map(|c| c.name().clone())
+                .collect();
             let schedule: Vec<Name> = composition
                 .task_control
                 .schedule(&declared)
@@ -135,9 +158,7 @@ pub(crate) fn activate_at(
                     &child_path,
                 );
                 for child_name in &schedule {
-                    if let Some(condition) =
-                        composition.task_control.condition_for(child_name)
-                    {
+                    if let Some(condition) = composition.task_control.condition_for(child_name) {
                         if !input.holds(condition) {
                             continue;
                         }
@@ -164,9 +185,15 @@ pub(crate) fn activate_at(
                 }
             }
             if !quiescent {
-                return Err(SystemError::NonQuiescent { path: child_path, rounds: max_rounds });
+                return Err(SystemError::NonQuiescent {
+                    path: child_path,
+                    rounds: max_rounds,
+                });
             }
-            trace.push(TraceEvent::Activated { path: child_path, derived: total_changed });
+            trace.push(TraceEvent::Activated {
+                path: child_path,
+                derived: total_changed,
+            });
             Ok(total_changed)
         }
     }
@@ -197,8 +224,16 @@ fn component_parts(component: &mut Component) -> Parts<'_> {
     let (input, output, body) = component.split_fields();
     match body {
         Body::Reasoning(kb) => Parts::Reasoning { kb, input, output },
-        Body::Calculation(calc) => Parts::Calculation { calc: calc.as_mut(), input, output },
-        Body::Composed(composition) => Parts::Composed { composition, input, output },
+        Body::Calculation(calc) => Parts::Calculation {
+            calc: calc.as_mut(),
+            input,
+            output,
+        },
+        Body::Composed(composition) => Parts::Composed {
+            composition,
+            input,
+            output,
+        },
     }
 }
 
@@ -285,12 +320,20 @@ pub struct System {
 impl System {
     /// Creates a system with the default engine.
     pub fn new(root: Component) -> System {
-        System { root, engine: Engine::new(), trace: Trace::new() }
+        System {
+            root,
+            engine: Engine::new(),
+            trace: Trace::new(),
+        }
     }
 
     /// Creates a system with a custom engine.
     pub fn with_engine(root: Component, engine: Engine) -> System {
-        System { root, engine, trace: Trace::new() }
+        System {
+            root,
+            engine,
+            trace: Trace::new(),
+        }
     }
 
     /// The root component.
@@ -319,17 +362,22 @@ impl System {
     ///
     /// Returns [`SystemError`] on engine failure or non-quiescence.
     pub fn run(&mut self) -> Result<usize, SystemError> {
-        activate_at(&mut self.root, &self.engine, &mut self.trace, &ComponentPath::root())
+        activate_at(
+            &mut self.root,
+            &self.engine,
+            &mut self.trace,
+            &ComponentPath::root(),
+        )
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::engine::TruthValue;
     use crate::kb::KnowledgeBase;
     use crate::task_control::TaskControl;
     use crate::term::Atom;
-    use crate::engine::TruthValue;
 
     fn reasoning(name: &str, rules: &[&str]) -> Component {
         Component::primitive(name, KnowledgeBase::new(name).with_rules(rules))
@@ -341,7 +389,11 @@ mod tests {
         let a = reasoning("a", &["x => y"]);
         let b = reasoning("b", &["y => z"]);
         let links = vec![
-            InfoLink::identity("in_a", Endpoint::ParentInput, Endpoint::ChildInput("a".into())),
+            InfoLink::identity(
+                "in_a",
+                Endpoint::ParentInput,
+                Endpoint::ChildInput("a".into()),
+            ),
             InfoLink::identity(
                 "a_b",
                 Endpoint::ChildOutput("a".into()),
@@ -368,7 +420,11 @@ mod tests {
         let speaker = reasoning("speaker", &["greet => said(hello)"]);
         let listener = reasoning("listener", &["heard(hello) => reply(hi)"]);
         let links = vec![
-            InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("speaker".into())),
+            InfoLink::identity(
+                "in",
+                Endpoint::ParentInput,
+                Endpoint::ChildInput("speaker".into()),
+            ),
             InfoLink::new(
                 "voice",
                 Endpoint::ChildOutput("speaker".into()),
@@ -383,16 +439,26 @@ mod tests {
         ];
         let root = Component::composed("conv", vec![speaker, listener], links, TaskControl::new());
         let mut system = System::new(root);
-        system.root_mut().input_mut().assert(Atom::prop("greet"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("greet"), TruthValue::True);
         system.run().unwrap();
-        assert!(system.root().output().holds(&Atom::parse("reply(hi)").unwrap()));
+        assert!(system
+            .root()
+            .output()
+            .holds(&Atom::parse("reply(hi)").unwrap()));
     }
 
     #[test]
     fn conditions_gate_children() {
         let worker = reasoning("worker", &["go => done"]);
         let links = vec![
-            InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("worker".into())),
+            InfoLink::identity(
+                "in",
+                Endpoint::ParentInput,
+                Endpoint::ChildInput("worker".into()),
+            ),
             InfoLink::identity(
                 "out",
                 Endpoint::ChildOutput("worker".into()),
@@ -402,10 +468,16 @@ mod tests {
         let tc = TaskControl::new().with_condition("worker", Atom::prop("enabled"));
         let root = Component::composed("sys", vec![worker], links, tc);
         let mut system = System::new(root);
-        system.root_mut().input_mut().assert(Atom::prop("go"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("go"), TruthValue::True);
         system.run().unwrap();
         // Gate closed: worker never ran.
-        assert_eq!(system.root().output().truth(&Atom::prop("done")), TruthValue::Unknown);
+        assert_eq!(
+            system.root().output().truth(&Atom::prop("done")),
+            TruthValue::Unknown
+        );
 
         // Open the gate and re-run.
         system
@@ -423,7 +495,11 @@ mod tests {
             "inner",
             vec![inner_child],
             vec![
-                InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("leaf".into())),
+                InfoLink::identity(
+                    "in",
+                    Endpoint::ParentInput,
+                    Endpoint::ChildInput("leaf".into()),
+                ),
                 InfoLink::identity(
                     "out",
                     Endpoint::ChildOutput("leaf".into()),
@@ -436,7 +512,11 @@ mod tests {
             "outer",
             vec![inner],
             vec![
-                InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("inner".into())),
+                InfoLink::identity(
+                    "in",
+                    Endpoint::ParentInput,
+                    Endpoint::ChildInput("inner".into()),
+                ),
                 InfoLink::identity(
                     "out",
                     Endpoint::ChildOutput("inner".into()),
@@ -446,7 +526,10 @@ mod tests {
             TaskControl::new(),
         );
         let mut system = System::new(outer);
-        system.root_mut().input_mut().assert(Atom::prop("a"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("a"), TruthValue::True);
         system.run().unwrap();
         assert!(system.root().output().holds(&Atom::prop("b")));
     }
@@ -455,12 +538,23 @@ mod tests {
     fn trace_records_activations_and_links() {
         let a = reasoning("a", &["x => y"]);
         let links = vec![
-            InfoLink::identity("in", Endpoint::ParentInput, Endpoint::ChildInput("a".into())),
-            InfoLink::identity("out", Endpoint::ChildOutput("a".into()), Endpoint::ParentOutput),
+            InfoLink::identity(
+                "in",
+                Endpoint::ParentInput,
+                Endpoint::ChildInput("a".into()),
+            ),
+            InfoLink::identity(
+                "out",
+                Endpoint::ChildOutput("a".into()),
+                Endpoint::ParentOutput,
+            ),
         ];
         let root = Component::composed("sys", vec![a], links, TaskControl::new());
         let mut system = System::new(root);
-        system.root_mut().input_mut().assert(Atom::prop("x"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("x"), TruthValue::True);
         system.run().unwrap();
         let trace = system.trace();
         assert!(trace.activation_count(&"a".into()) >= 1);
@@ -477,7 +571,10 @@ mod tests {
         )];
         let root = Component::composed("sys", vec![a], links, TaskControl::new());
         let mut system = System::new(root);
-        system.root_mut().input_mut().assert(Atom::prop("x"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("x"), TruthValue::True);
         let first = system.run().unwrap();
         let second = system.run().unwrap();
         assert!(first > 0);
@@ -494,7 +591,10 @@ mod tests {
         )];
         let root = Component::composed("sys", vec![bad], links, TaskControl::new());
         let mut system = System::new(root);
-        system.root_mut().input_mut().assert(Atom::prop("a"), TruthValue::True);
+        system
+            .root_mut()
+            .input_mut()
+            .assert(Atom::prop("a"), TruthValue::True);
         let err = system.run().unwrap_err();
         match err {
             SystemError::Engine { path, .. } => {

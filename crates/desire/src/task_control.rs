@@ -50,7 +50,11 @@ pub struct TaskControl {
 impl TaskControl {
     /// Default task control: declaration order, no conditions, 100 rounds.
     pub fn new() -> TaskControl {
-        TaskControl { order: None, conditions: Vec::new(), max_rounds: 100 }
+        TaskControl {
+            order: None,
+            conditions: Vec::new(),
+            max_rounds: 100,
+        }
     }
 
     /// Sets an explicit child activation order.
@@ -65,8 +69,10 @@ impl TaskControl {
 
     /// Gates `child` on `condition` holding (true) on the parent input.
     pub fn with_condition(mut self, child: impl Into<Name>, condition: Atom) -> TaskControl {
-        self.conditions
-            .push(ActivationCondition { child: child.into(), condition });
+        self.conditions.push(ActivationCondition {
+            child: child.into(),
+            condition,
+        });
         self
     }
 

@@ -162,7 +162,10 @@ pub struct Atom {
 impl Atom {
     /// Creates an atom.
     pub fn new(predicate: impl Into<Name>, args: Vec<Term>) -> Atom {
-        Atom { predicate: predicate.into(), args }
+        Atom {
+            predicate: predicate.into(),
+            args,
+        }
     }
 
     /// Creates a propositional (0-ary) atom.
@@ -195,7 +198,10 @@ impl Atom {
     /// Renames the predicate, keeping the arguments — the core of an
     /// information-link mapping.
     pub fn renamed(&self, predicate: impl Into<Name>) -> Atom {
-        Atom { predicate: predicate.into(), args: self.args.clone() }
+        Atom {
+            predicate: predicate.into(),
+            args: self.args.clone(),
+        }
     }
 
     /// Parses an atom such as `p`, `p(a, 1.5, X)`.
@@ -308,7 +314,9 @@ fn unify_terms(a: &Term, b: &Term, subst: &mut Substitution) -> bool {
         (Term::Const(x), Term::Const(y)) => x == y,
         (Term::Num(x), Term::Num(y)) => x == y,
         (Term::App(f, xs), Term::App(g, ys)) => {
-            f == g && xs.len() == ys.len() && xs.iter().zip(ys).all(|(x, y)| unify_terms(x, y, subst))
+            f == g
+                && xs.len() == ys.len()
+                && xs.iter().zip(ys).all(|(x, y)| unify_terms(x, y, subst))
         }
         _ => false,
     }
@@ -378,7 +386,10 @@ impl<'a> Parser<'a> {
     }
 
     pub(crate) fn error(&self, message: impl Into<String>) -> ParseError {
-        ParseError { position: self.pos, message: message.into() }
+        ParseError {
+            position: self.pos,
+            message: message.into(),
+        }
     }
 
     pub(crate) fn peek(&mut self) -> Option<char> {
@@ -440,7 +451,12 @@ impl<'a> Parser<'a> {
             return Err(self.error("expected identifier"));
         }
         let ident = &rest[..len];
-        if !ident.chars().next().map(|c| c.is_ascii_alphabetic()).unwrap_or(false) {
+        if !ident
+            .chars()
+            .next()
+            .map(|c| c.is_ascii_alphabetic())
+            .unwrap_or(false)
+        {
             return Err(self.error("identifier must start with a letter"));
         }
         self.pos += len;
@@ -527,7 +543,10 @@ mod tests {
         assert_eq!(Term::parse("-2").unwrap(), Term::number(-2.0));
         assert_eq!(
             Term::parse("f(a, X, 3)").unwrap(),
-            Term::app("f", vec![Term::constant("a"), Term::var("X"), Term::number(3.0)])
+            Term::app(
+                "f",
+                vec![Term::constant("a"), Term::var("X"), Term::number(3.0)]
+            )
         );
         assert!(Term::parse("f(a,,b)").is_err());
         assert!(Term::parse("f(a) junk").is_err());

@@ -46,7 +46,11 @@ impl fmt::Display for TraceEvent {
             TraceEvent::Activated { path, derived } => {
                 write!(f, "activate {path} (+{derived})")
             }
-            TraceEvent::LinkFired { path, link, transferred } => {
+            TraceEvent::LinkFired {
+                path,
+                link,
+                transferred,
+            } => {
                 write!(f, "link {path}::{link} (→{transferred})")
             }
             TraceEvent::FactDerived { path, atom, value } => {
@@ -107,9 +111,9 @@ impl Trace {
     /// Index of the first `FactDerived` event whose atom equals `atom`
     /// (at any component), if any.
     pub fn first_derivation(&self, atom: &Atom) -> Option<usize> {
-        self.events.iter().position(|e| {
-            matches!(e, TraceEvent::FactDerived { atom: a, .. } if a == atom)
-        })
+        self.events
+            .iter()
+            .position(|e| matches!(e, TraceEvent::FactDerived { atom: a, .. } if a == atom))
     }
 
     /// All derivations of facts at components whose leaf name equals
@@ -119,9 +123,7 @@ impl Trace {
         component: &'a Name,
     ) -> impl Iterator<Item = (&'a Atom, TruthValue)> + 'a {
         self.events.iter().filter_map(move |e| match e {
-            TraceEvent::FactDerived { path, atom, value }
-                if path.leaf() == Some(component) =>
-            {
+            TraceEvent::FactDerived { path, atom, value } if path.leaf() == Some(component) => {
                 Some((atom, *value))
             }
             _ => None,
@@ -177,9 +179,15 @@ mod tests {
         assert!(t.is_empty());
         t.push(derived("ua", "announce(17)"));
         t.push(derived("ca", "bid(0.2)"));
-        t.push(TraceEvent::Activated { path: path("ua"), derived: 1 });
+        t.push(TraceEvent::Activated {
+            path: path("ua"),
+            derived: 1,
+        });
         assert_eq!(t.len(), 3);
-        assert_eq!(t.first_derivation(&Atom::parse("bid(0.2)").unwrap()), Some(1));
+        assert_eq!(
+            t.first_derivation(&Atom::parse("bid(0.2)").unwrap()),
+            Some(1)
+        );
         assert_eq!(t.first_derivation(&Atom::prop("missing")), None);
     }
 
@@ -189,16 +197,28 @@ mod tests {
         t.push(derived("ua", "a"));
         t.push(derived("ca", "b"));
         t.push(derived("ua", "c"));
-        let ua: Vec<_> = t.derivations_at(&"ua".into()).map(|(a, _)| a.to_string()).collect();
+        let ua: Vec<_> = t
+            .derivations_at(&"ua".into())
+            .map(|(a, _)| a.to_string())
+            .collect();
         assert_eq!(ua, vec!["a", "c"]);
     }
 
     #[test]
     fn activation_count() {
         let mut t = Trace::new();
-        t.push(TraceEvent::Activated { path: path("ua"), derived: 0 });
-        t.push(TraceEvent::Activated { path: path("ua"), derived: 2 });
-        t.push(TraceEvent::Activated { path: path("ca"), derived: 1 });
+        t.push(TraceEvent::Activated {
+            path: path("ua"),
+            derived: 0,
+        });
+        t.push(TraceEvent::Activated {
+            path: path("ua"),
+            derived: 2,
+        });
+        t.push(TraceEvent::Activated {
+            path: path("ca"),
+            derived: 1,
+        });
         assert_eq!(t.activation_count(&"ua".into()), 2);
         assert_eq!(t.activation_count(&"zz".into()), 0);
     }
@@ -206,7 +226,11 @@ mod tests {
     #[test]
     fn render_contains_events() {
         let mut t = Trace::new();
-        t.push(TraceEvent::LinkFired { path: path("sys"), link: "l1".into(), transferred: 3 });
+        t.push(TraceEvent::LinkFired {
+            path: path("sys"),
+            link: "l1".into(),
+            transferred: 3,
+        });
         let text = t.to_string();
         assert!(text.contains("l1"));
         assert!(text.contains("→3"));

@@ -77,17 +77,28 @@ pub struct Verdict {
 
 impl Verdict {
     fn pass(explanation: impl Into<String>) -> Verdict {
-        Verdict { holds: true, explanation: explanation.into() }
+        Verdict {
+            holds: true,
+            explanation: explanation.into(),
+        }
     }
 
     fn fail(explanation: impl Into<String>) -> Verdict {
-        Verdict { holds: false, explanation: explanation.into() }
+        Verdict {
+            holds: false,
+            explanation: explanation.into(),
+        }
     }
 }
 
 impl fmt::Display for Verdict {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}: {}", if self.holds { "holds" } else { "FAILS" }, self.explanation)
+        write!(
+            f,
+            "{}: {}",
+            if self.holds { "holds" } else { "FAILS" },
+            self.explanation
+        )
     }
 }
 
@@ -108,7 +119,11 @@ fn derivation_indices(
         .iter()
         .enumerate()
         .filter_map(|(i, e)| match e {
-            TraceEvent::FactDerived { path, atom, value: v } => {
+            TraceEvent::FactDerived {
+                path,
+                atom,
+                value: v,
+            } => {
                 if let Some(c) = component {
                     if path.leaf() != Some(c) {
                         return None;
@@ -130,7 +145,11 @@ impl Property {
     /// Checks the property against a trace.
     pub fn check(&self, trace: &Trace) -> Verdict {
         match self {
-            Property::EventuallyDerived { component, atom, value } => {
+            Property::EventuallyDerived {
+                component,
+                atom,
+                value,
+            } => {
                 let hits = derivation_indices(trace, atom, Some(component), Some(*value));
                 if let Some(&i) = hits.first() {
                     Verdict::pass(format!("{atom} derived at event {i} in {component}"))
@@ -178,7 +197,10 @@ impl Property {
                     (_, None) => Verdict::fail(format!("{then} never derived")),
                 }
             }
-            Property::ActivatedAtLeast { component, at_least } => {
+            Property::ActivatedAtLeast {
+                component,
+                at_least,
+            } => {
                 let count = trace.activation_count(component);
                 if count >= *at_least {
                     Verdict::pass(format!("{component} activated {count} time(s)"))
@@ -319,9 +341,15 @@ mod tests {
             path: ComponentPath::root().child("ua".into()),
             derived: 0,
         });
-        let p = Property::ActivatedAtLeast { component: "ua".into(), at_least: 1 };
+        let p = Property::ActivatedAtLeast {
+            component: "ua".into(),
+            at_least: 1,
+        };
         assert!(p.check(&t).holds);
-        let q = Property::ActivatedAtLeast { component: "ua".into(), at_least: 2 };
+        let q = Property::ActivatedAtLeast {
+            component: "ua".into(),
+            at_least: 2,
+        };
         assert!(!q.check(&t).holds);
     }
 

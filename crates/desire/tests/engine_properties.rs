@@ -20,8 +20,7 @@ fn arb_term() -> impl Strategy<Value = Term> {
         (-1000.0f64..1000.0).prop_map(Term::number),
     ];
     leaf.prop_recursive(2, 8, 3, |inner| {
-        (arb_name(), prop::collection::vec(inner, 1..3))
-            .prop_map(|(f, args)| Term::app(f, args))
+        (arb_name(), prop::collection::vec(inner, 1..3)).prop_map(|(f, args)| Term::app(f, args))
     })
 }
 
@@ -33,8 +32,7 @@ fn arb_ground_term() -> impl Strategy<Value = Term> {
 }
 
 fn arb_atom() -> impl Strategy<Value = Atom> {
-    (arb_name(), prop::collection::vec(arb_term(), 0..3))
-        .prop_map(|(p, args)| Atom::new(p, args))
+    (arb_name(), prop::collection::vec(arb_term(), 0..3)).prop_map(|(p, args)| Atom::new(p, args))
 }
 
 fn arb_ground_atom() -> impl Strategy<Value = Atom> {

@@ -77,9 +77,16 @@ impl Horizon {
     ///
     /// Panics if `start_weekday > 6` or `days` is zero.
     pub fn new(days: u64, start_weekday: u8, season: Season) -> Horizon {
-        assert!(start_weekday <= 6, "weekday must be 0..=6, got {start_weekday}");
+        assert!(
+            start_weekday <= 6,
+            "weekday must be 0..=6, got {start_weekday}"
+        );
         assert!(days > 0, "a horizon needs at least one day");
-        Horizon { days, start_weekday, season }
+        Horizon {
+            days,
+            start_weekday,
+            season,
+        }
     }
 
     /// Number of days covered.
@@ -98,8 +105,16 @@ impl Horizon {
             return None;
         }
         let weekday = (u64::from(self.start_weekday) + index) % 7;
-        let day_type = if weekday >= 5 { DayType::Weekend } else { DayType::Weekday };
-        Some(CalendarDay { index, day_type, season: self.season })
+        let day_type = if weekday >= 5 {
+            DayType::Weekend
+        } else {
+            DayType::Weekday
+        };
+        Some(CalendarDay {
+            index,
+            day_type,
+            season: self.season,
+        })
     }
 
     /// Iterates over the days in order.
@@ -144,7 +159,10 @@ mod tests {
         // Starting on a Saturday.
         let h = Horizon::new(3, 5, Season::Summer);
         let types: Vec<DayType> = h.days().map(|d| d.day_type).collect();
-        assert_eq!(types, vec![DayType::Weekend, DayType::Weekend, DayType::Weekday]);
+        assert_eq!(
+            types,
+            vec![DayType::Weekend, DayType::Weekend, DayType::Weekday]
+        );
     }
 
     #[test]

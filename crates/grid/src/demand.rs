@@ -103,7 +103,10 @@ impl DemandCurve {
     /// Panics if `width` is zero or exceeds the day length.
     pub fn peak_interval(&self, width: usize) -> Interval {
         let n = self.len();
-        assert!(width > 0 && width <= n, "peak width {width} out of range (1..={n})");
+        assert!(
+            width > 0 && width <= n,
+            "peak width {width} out of range (1..={n})"
+        );
         let values = self.series.values();
         let mut window: f64 = values[..width].iter().sum();
         let mut best = window;
@@ -171,8 +174,7 @@ pub fn simulate_horizon(
         .map(|day| {
             let weather = model.temperatures(axis, day.index);
             let base = aggregate_demand(households, &weather, axis, day.index);
-            let curve =
-                DemandCurve::new(base.series().scale(day.day_type.intensity_factor()));
+            let curve = DemandCurve::new(base.series().scale(day.day_type.intensity_factor()));
             (curve, weather)
         })
         .collect()

@@ -119,9 +119,7 @@ impl DeviceKind {
             DeviceKind::Laundry => {
                 0.25 * bump(t, 10.0 / 24.0, 1.5 / 24.0) + 0.45 * bump(t, 18.5 / 24.0, 1.5 / 24.0)
             }
-            DeviceKind::Entertainment => {
-                0.10 + 0.75 * bump(t, 20.0 / 24.0, 1.8 / 24.0)
-            }
+            DeviceKind::Entertainment => 0.10 + 0.75 * bump(t, 20.0 / 24.0, 1.8 / 24.0),
             DeviceKind::Other => 0.5,
         }
     }
@@ -174,7 +172,11 @@ impl Device {
             rated_power.value() >= 0.0 && rated_power.is_finite(),
             "rated power must be a non-negative finite number, got {rated_power}"
         );
-        Device { kind, rated_power, flexibility }
+        Device {
+            kind,
+            rated_power,
+            flexibility,
+        }
     }
 
     /// Creates a device with the kind's typical power and flexibility.
@@ -259,7 +261,10 @@ mod tests {
         let load = stove.load_profile(&axis, 0.0, 1.0);
         let peak_slot = load.argmax();
         let dinner = axis.slot_of(TimeOfDay::hm(18, 0).unwrap());
-        assert!((peak_slot as i64 - dinner as i64).abs() <= 4, "peak at slot {peak_slot}");
+        assert!(
+            (peak_slot as i64 - dinner as i64).abs() <= 4,
+            "peak at slot {peak_slot}"
+        );
     }
 
     #[test]

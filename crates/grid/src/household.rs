@@ -14,7 +14,9 @@ use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// Opaque identifier of a household / its Customer Agent.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct HouseholdId(pub u64);
 
 impl fmt::Display for HouseholdId {
@@ -65,8 +67,17 @@ impl Household {
             allowed_use.value() >= 0.0,
             "allowed use must be non-negative, got {allowed_use}"
         );
-        assert!(intensity > 0.0, "intensity must be positive, got {intensity}");
-        Household { id, occupants, devices, allowed_use, intensity }
+        assert!(
+            intensity > 0.0,
+            "intensity must be positive, got {intensity}"
+        );
+        Household {
+            id,
+            occupants,
+            devices,
+            allowed_use,
+            intensity,
+        }
     }
 
     /// Creates a household with the standard equipment set for its size.
@@ -162,7 +173,9 @@ impl Household {
         seed: u64,
         interval: Interval,
     ) -> Fraction {
-        let usage = self.demand_profile(axis, mean_temp, seed).energy_over(interval);
+        let usage = self
+            .demand_profile(axis, mean_temp, seed)
+            .energy_over(interval);
         if usage.value() <= f64::EPSILON {
             return Fraction::ZERO;
         }
@@ -190,7 +203,10 @@ mod tests {
         let four = Household::standard(HouseholdId(1), 4);
         let a = one.demand_profile(&axis(), -4.0, 7).total();
         let b = four.demand_profile(&axis(), -4.0, 7).total();
-        assert!(b > a, "four-person home ({b}) should out-consume single ({a})");
+        assert!(
+            b > a,
+            "four-person home ({b}) should out-consume single ({a})"
+        );
         assert!(four.allowed_use() > one.allowed_use());
     }
 
@@ -203,8 +219,14 @@ mod tests {
     #[test]
     fn demand_is_deterministic_per_seed() {
         let h = Household::standard(HouseholdId(9), 3);
-        assert_eq!(h.demand_profile(&axis(), -4.0, 7), h.demand_profile(&axis(), -4.0, 7));
-        assert_ne!(h.demand_profile(&axis(), -4.0, 7), h.demand_profile(&axis(), -4.0, 8));
+        assert_eq!(
+            h.demand_profile(&axis(), -4.0, 7),
+            h.demand_profile(&axis(), -4.0, 7)
+        );
+        assert_ne!(
+            h.demand_profile(&axis(), -4.0, 7),
+            h.demand_profile(&axis(), -4.0, 8)
+        );
     }
 
     #[test]

@@ -48,12 +48,12 @@ pub mod weather;
 
 /// Convenient glob-import of the most frequently used items.
 pub mod prelude {
+    pub use crate::calendar::{CalendarDay, DayType, Horizon};
     pub use crate::demand::{aggregate_demand, simulate_horizon, DemandCurve};
     pub use crate::device::{Device, DeviceKind};
     pub use crate::household::{Household, HouseholdId};
     pub use crate::peak::{Peak, PeakDetector};
     pub use crate::population::PopulationBuilder;
-    pub use crate::calendar::{CalendarDay, DayType, Horizon};
     pub use crate::prediction::{
         backtest, ExponentialSmoothing, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive,
         WeatherRegression,

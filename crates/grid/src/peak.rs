@@ -81,7 +81,10 @@ impl PeakDetector {
     ///
     /// Panics if `threshold` is negative or not finite.
     pub fn new(threshold: f64) -> PeakDetector {
-        assert!(threshold >= 0.0 && threshold.is_finite(), "threshold must be ≥ 0");
+        assert!(
+            threshold >= 0.0 && threshold.is_finite(),
+            "threshold must be ≥ 0"
+        );
         PeakDetector { threshold }
     }
 
@@ -97,7 +100,9 @@ impl PeakDetector {
     /// Returns `None` in a "stable situation" (§5.1.2): no slot exceeds
     /// capacity, or the peak is too small to warrant negotiation.
     pub fn detect(&self, predicted: &Series, production: &ProductionModel) -> Option<Peak> {
-        let cap = production.normal_capacity_per_slot(predicted.axis()).value();
+        let cap = production
+            .normal_capacity_per_slot(predicted.axis())
+            .value();
         // Find all maximal runs of slots above capacity.
         let mut best: Option<(Interval, f64)> = None;
         let values = predicted.values();
@@ -158,7 +163,9 @@ mod tests {
     #[test]
     fn no_peak_in_stable_situation() {
         let demand = Series::constant(axis(), 80.0);
-        assert!(PeakDetector::default().detect(&demand, &production()).is_none());
+        assert!(PeakDetector::default()
+            .detect(&demand, &production())
+            .is_none());
     }
 
     #[test]
@@ -167,7 +174,9 @@ mod tests {
         for h in 17..21 {
             demand.values_mut()[h] = 130.0;
         }
-        let peak = PeakDetector::default().detect(&demand, &production()).unwrap();
+        let peak = PeakDetector::default()
+            .detect(&demand, &production())
+            .unwrap();
         assert_eq!(peak.interval, Interval::new(17, 21));
         assert!((peak.predicted_overuse.value() - 120.0).abs() < 1e-9);
         assert!((peak.normal_use.value() - 400.0).abs() < 1e-9);
@@ -181,7 +190,9 @@ mod tests {
         for h in 18..20 {
             demand.values_mut()[h] = 140.0; // evening: excess 80
         }
-        let peak = PeakDetector::new(0.0).detect(&demand, &production()).unwrap();
+        let peak = PeakDetector::new(0.0)
+            .detect(&demand, &production())
+            .unwrap();
         assert_eq!(peak.interval, Interval::new(18, 20));
     }
 
@@ -189,8 +200,12 @@ mod tests {
     fn threshold_filters_small_peaks() {
         let mut demand = Series::constant(axis(), 80.0);
         demand.values_mut()[18] = 102.0; // 2 % overuse in that slot
-        assert!(PeakDetector::new(0.05).detect(&demand, &production()).is_none());
-        assert!(PeakDetector::new(0.01).detect(&demand, &production()).is_some());
+        assert!(PeakDetector::new(0.05)
+            .detect(&demand, &production())
+            .is_none());
+        assert!(PeakDetector::new(0.01)
+            .detect(&demand, &production())
+            .is_some());
     }
 
     #[test]
@@ -199,7 +214,9 @@ mod tests {
         let axis = TimeAxis::hourly();
         let mut demand = Series::constant(axis, 50.0);
         demand.values_mut()[18] = 135.0;
-        let peak = PeakDetector::default().detect(&demand, &production()).unwrap();
+        let peak = PeakDetector::default()
+            .detect(&demand, &production())
+            .unwrap();
         assert!((peak.predicted_overuse.value() - 35.0).abs() < 1e-9);
         assert!((peak.overuse_fraction() - 0.35).abs() < 1e-9);
     }

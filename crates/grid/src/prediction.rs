@@ -28,9 +28,16 @@ pub trait LoadPredictor: fmt::Debug {
 }
 
 fn check_history(history: &[Series], axis: TimeAxis) {
-    assert!(!history.is_empty(), "predictor needs at least one day of history");
+    assert!(
+        !history.is_empty(),
+        "predictor needs at least one day of history"
+    );
     for day in history {
-        assert_eq!(day.axis(), axis, "history days must share the forecast axis");
+        assert_eq!(
+            day.axis(),
+            axis,
+            "history days must share the forecast axis"
+        );
     }
 }
 
@@ -81,7 +88,10 @@ impl ExponentialSmoothing {
     ///
     /// Panics if `alpha` is outside `(0, 1]`.
     pub fn new(alpha: f64) -> ExponentialSmoothing {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
         ExponentialSmoothing { alpha }
     }
 }
@@ -138,7 +148,11 @@ impl WeatherRegression {
     /// Panics if `window` is zero or `sensitivity` is negative.
     pub fn new(window: usize, t_ref: f64, sensitivity: f64) -> WeatherRegression {
         assert!(sensitivity >= 0.0, "sensitivity must be non-negative");
-        WeatherRegression { base: MovingAverage::new(window), t_ref, sensitivity }
+        WeatherRegression {
+            base: MovingAverage::new(window),
+            t_ref,
+            sensitivity,
+        }
     }
 
     /// A predictor calibrated to the household heating model of this crate
@@ -178,8 +192,14 @@ impl HoltTrend {
     ///
     /// Panics unless both gains are in `(0, 1]`.
     pub fn new(alpha: f64, beta: f64) -> HoltTrend {
-        assert!(alpha > 0.0 && alpha <= 1.0, "alpha must be in (0, 1], got {alpha}");
-        assert!(beta > 0.0 && beta <= 1.0, "beta must be in (0, 1], got {beta}");
+        assert!(
+            alpha > 0.0 && alpha <= 1.0,
+            "alpha must be in (0, 1], got {alpha}"
+        );
+        assert!(
+            beta > 0.0 && beta <= 1.0,
+            "beta must be in (0, 1], got {beta}"
+        );
         HoltTrend { alpha, beta }
     }
 }
@@ -193,8 +213,7 @@ impl LoadPredictor for HoltTrend {
         for day in &history[1..] {
             for i in 0..n {
                 let prev_level = level[i];
-                level[i] =
-                    self.alpha * day[i] + (1.0 - self.alpha) * (prev_level + trend[i]);
+                level[i] = self.alpha * day[i] + (1.0 - self.alpha) * (prev_level + trend[i]);
                 trend[i] = self.beta * (level[i] - prev_level) + (1.0 - self.beta) * trend[i];
             }
         }
@@ -222,7 +241,11 @@ pub struct Accuracy {
 ///
 /// Panics if the series axes differ.
 pub fn accuracy(predicted: &Series, actual: &Series) -> Accuracy {
-    assert_eq!(predicted.axis(), actual.axis(), "accuracy over mismatched axes");
+    assert_eq!(
+        predicted.axis(),
+        actual.axis(),
+        "accuracy over mismatched axes"
+    );
     let n = actual.len() as f64;
     let mut se = 0.0;
     let mut ape = 0.0;
@@ -291,7 +314,11 @@ pub fn backtest(
             }
         })
         .collect();
-    rows.sort_by(|a, b| a.mean_mape.partial_cmp(&b.mean_mape).expect("finite scores"));
+    rows.sort_by(|a, b| {
+        a.mean_mape
+            .partial_cmp(&b.mean_mape)
+            .expect("finite scores")
+    });
     rows
 }
 
@@ -312,10 +339,16 @@ mod tests {
         let mut history = Vec::new();
         for day in 0..5 {
             let weather = model.temperatures(&axis(), day);
-            history.push(aggregate_demand(&homes, &weather, &axis(), day).series().clone());
+            history.push(
+                aggregate_demand(&homes, &weather, &axis(), day)
+                    .series()
+                    .clone(),
+            );
         }
         let today_weather = model.temperatures(&axis(), 5);
-        let today = aggregate_demand(&homes, &today_weather, &axis(), 5).series().clone();
+        let today = aggregate_demand(&homes, &today_weather, &axis(), 5)
+            .series()
+            .clone();
         (history, today_weather, today)
     }
 
@@ -341,7 +374,11 @@ mod tests {
         let history = vec![old, new.clone(), new.clone(), new.clone(), new.clone()];
         let weather = Series::constant(axis(), 0.0);
         let pred = ExponentialSmoothing::new(0.7).predict(&history, &weather);
-        assert!((pred[0] - 10.0).abs() < 0.1, "pred {} should be near 10", pred[0]);
+        assert!(
+            (pred[0] - 10.0).abs() < 0.1,
+            "pred {} should be near 10",
+            pred[0]
+        );
     }
 
     #[test]
@@ -421,13 +458,17 @@ mod tests {
         let ma = MovingAverage::new(3).predict(&history, &weather);
         let holt_err = accuracy(&holt, &actual_next).rmse;
         let ma_err = accuracy(&ma, &actual_next).rmse;
-        assert!(holt_err < ma_err, "Holt {holt_err} should beat MA {ma_err} on a trend");
+        assert!(
+            holt_err < ma_err,
+            "Holt {holt_err} should beat MA {ma_err} on a trend"
+        );
     }
 
     #[test]
     fn holt_never_predicts_negative() {
-        let history: Vec<Series> =
-            (0..4).map(|d| Series::constant(axis(), (3 - d) as f64)).collect();
+        let history: Vec<Series> = (0..4)
+            .map(|d| Series::constant(axis(), (3 - d) as f64))
+            .collect();
         let weather = Series::constant(axis(), 0.0);
         let pred = HoltTrend::new(0.9, 0.9).predict(&history, &weather);
         assert!(pred.min() >= 0.0);
@@ -445,8 +486,9 @@ mod tests {
         let homes = PopulationBuilder::new().households(40).build(11);
         let model = WeatherModel::winter();
         let mut actuals = history.clone();
-        let mut weathers: Vec<Series> =
-            (0..actuals.len() as u64).map(|d| model.temperatures(&axis(), d)).collect();
+        let mut weathers: Vec<Series> = (0..actuals.len() as u64)
+            .map(|d| model.temperatures(&axis(), d))
+            .collect();
         for day in 5..9u64 {
             let w = model.temperatures(&axis(), day);
             actuals.push(aggregate_demand(&homes, &w, &axis(), day).series().clone());
@@ -463,7 +505,12 @@ mod tests {
         }
         for row in &rows {
             assert!(row.days == actuals.len() - 3);
-            assert!(row.mean_mape < 0.5, "{} wildly off: {}", row.name, row.mean_mape);
+            assert!(
+                row.mean_mape < 0.5,
+                "{} wildly off: {}",
+                row.name,
+                row.mean_mape
+            );
         }
     }
 

@@ -85,7 +85,10 @@ impl ProductionModel {
         normal_cost: PricePerKwh,
         expensive_cost: PricePerKwh,
     ) -> ProductionModel {
-        assert!(normal_capacity.value() >= 0.0, "normal capacity must be non-negative");
+        assert!(
+            normal_capacity.value() >= 0.0,
+            "normal capacity must be non-negative"
+        );
         assert!(
             total_capacity >= normal_capacity,
             "total capacity {total_capacity} below normal capacity {normal_capacity}"
@@ -94,7 +97,12 @@ impl ProductionModel {
             expensive_cost >= normal_cost,
             "expensive production should not be cheaper than normal production"
         );
-        ProductionModel { normal_capacity, total_capacity, normal_cost, expensive_cost }
+        ProductionModel {
+            normal_capacity,
+            total_capacity,
+            normal_cost,
+            expensive_cost,
+        }
     }
 
     /// Base-tier capacity.
@@ -153,7 +161,10 @@ impl ProductionModel {
     /// installed capacity.
     pub fn check_feasible(&self, demanded: Kilowatts) -> Result<(), CapacityExceededError> {
         if demanded > self.total_capacity {
-            Err(CapacityExceededError { demanded, capacity: self.total_capacity })
+            Err(CapacityExceededError {
+                demanded,
+                capacity: self.total_capacity,
+            })
         } else {
             Ok(())
         }
@@ -205,8 +216,7 @@ mod tests {
     fn peak_energy_split_across_tiers() {
         let m = model();
         let cost = m.cost_of_energy(KilowattHours(120.0), 1.0);
-        let expected =
-            100.0 * m.normal_cost().value() + 20.0 * m.expensive_cost().value();
+        let expected = 100.0 * m.normal_cost().value() + 20.0 * m.expensive_cost().value();
         assert!((cost.value() - expected).abs() < 1e-9);
     }
 
@@ -222,7 +232,10 @@ mod tests {
     #[test]
     fn per_slot_capacity_scales_with_axis() {
         let m = model();
-        assert_eq!(m.normal_capacity_per_slot(TimeAxis::hourly()), KilowattHours(100.0));
+        assert_eq!(
+            m.normal_capacity_per_slot(TimeAxis::hourly()),
+            KilowattHours(100.0)
+        );
         assert_eq!(
             m.normal_capacity_per_slot(TimeAxis::quarter_hourly()),
             KilowattHours(25.0)

@@ -74,16 +74,17 @@ impl Series {
 
     /// A series with every slot equal to `value`.
     pub fn constant(axis: TimeAxis, value: f64) -> Series {
-        Series { axis, values: vec![value; axis.slots_per_day()] }
+        Series {
+            axis,
+            values: vec![value; axis.slots_per_day()],
+        }
     }
 
     /// Builds a series by evaluating `f` at the fractional day position of
     /// each slot midpoint (`0.0` = midnight, `0.5` = noon).
     pub fn from_fn(axis: TimeAxis, mut f: impl FnMut(f64) -> f64) -> Series {
         let n = axis.slots_per_day();
-        let values = (0..n)
-            .map(|i| f((i as f64 + 0.5) / n as f64))
-            .collect();
+        let values = (0..n).map(|i| f((i as f64 + 0.5) / n as f64)).collect();
         Series { axis, values }
     }
 
@@ -128,7 +129,11 @@ impl Series {
 
     /// Maximum slot value (`0.0` for an empty series).
     pub fn max(&self) -> f64 {
-        self.values.iter().copied().fold(f64::NEG_INFINITY, f64::max).max(f64::NEG_INFINITY)
+        self.values
+            .iter()
+            .copied()
+            .fold(f64::NEG_INFINITY, f64::max)
+            .max(f64::NEG_INFINITY)
     }
 
     /// Minimum slot value.
@@ -158,7 +163,10 @@ impl Series {
 
     /// Applies `f` to every slot value, producing a new series.
     pub fn map(&self, f: impl FnMut(f64) -> f64) -> Series {
-        Series { axis: self.axis, values: self.values.iter().copied().map(f).collect() }
+        Series {
+            axis: self.axis,
+            values: self.values.iter().copied().map(f).collect(),
+        }
     }
 
     /// Scales every slot by `factor`.
@@ -199,7 +207,10 @@ impl Series {
     ///
     /// Panics if the axes differ.
     pub fn accumulate(&mut self, other: &Series) {
-        assert_eq!(self.axis, other.axis, "cannot accumulate series on different axes");
+        assert_eq!(
+            self.axis, other.axis,
+            "cannot accumulate series on different axes"
+        );
         for (a, b) in self.values.iter_mut().zip(&other.values) {
             *a += b;
         }
@@ -219,7 +230,10 @@ impl Series {
             let window = &self.values[lo..hi];
             out.push(window.iter().sum::<f64>() / window.len() as f64);
         }
-        Series { axis: self.axis, values: out }
+        Series {
+            axis: self.axis,
+            values: out,
+        }
     }
 
     /// Total energy when this series is interpreted as kWh per slot.
@@ -238,7 +252,11 @@ impl Series {
         const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
         let lo = self.min();
         let hi = self.max();
-        let span = if (hi - lo).abs() < f64::EPSILON { 1.0 } else { hi - lo };
+        let span = if (hi - lo).abs() < f64::EPSILON {
+            1.0
+        } else {
+            hi - lo
+        };
         self.values
             .iter()
             .map(|&v| {
@@ -262,7 +280,8 @@ impl Add<&Series> for &Series {
     ///
     /// Panics if the axes differ.
     fn add(self, rhs: &Series) -> Series {
-        self.zip_with(rhs, |a, b| a + b).expect("series axes must match for +")
+        self.zip_with(rhs, |a, b| a + b)
+            .expect("series axes must match for +")
     }
 }
 
@@ -272,7 +291,8 @@ impl Sub<&Series> for &Series {
     ///
     /// Panics if the axes differ.
     fn sub(self, rhs: &Series) -> Series {
-        self.zip_with(rhs, |a, b| a - b).expect("series axes must match for -")
+        self.zip_with(rhs, |a, b| a - b)
+            .expect("series axes must match for -")
     }
 }
 

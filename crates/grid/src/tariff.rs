@@ -43,7 +43,11 @@ impl Tariff {
             lower <= normal && normal <= higher,
             "tariff must satisfy lower ≤ normal ≤ higher, got {lower} / {normal} / {higher}"
         );
-        Tariff { lower, normal, higher }
+        Tariff {
+            lower,
+            normal,
+            higher,
+        }
     }
 
     /// The default scheme used in the experiments (0.6 / 1.0 / 1.8).
@@ -158,7 +162,10 @@ mod tests {
         let u = t.break_even_usage(limit).unwrap();
         let a = t.bill_with_limit(u, limit);
         let b = t.bill_normal(u);
-        assert!((a.value() - b.value()).abs() < 1e-9, "bills at break-even differ");
+        assert!(
+            (a.value() - b.value()).abs() < 1e-9,
+            "bills at break-even differ"
+        );
     }
 
     #[test]

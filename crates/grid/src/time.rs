@@ -23,7 +23,9 @@ pub const MINUTES_PER_DAY: u32 = 24 * 60;
 /// assert_eq!(t.minute(), 30);
 /// assert_eq!(t.to_string(), "18:30");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
 pub struct TimeOfDay {
     minutes: u32,
 }
@@ -58,13 +60,17 @@ impl TimeOfDay {
         if hour >= 24 || minute >= 60 {
             Err(InvalidTimeError { hour, minute })
         } else {
-            Ok(TimeOfDay { minutes: hour * 60 + minute })
+            Ok(TimeOfDay {
+                minutes: hour * 60 + minute,
+            })
         }
     }
 
     /// Creates a time of day from minutes since midnight, wrapping at 24h.
     pub fn from_minutes(minutes: u32) -> TimeOfDay {
-        TimeOfDay { minutes: minutes % MINUTES_PER_DAY }
+        TimeOfDay {
+            minutes: minutes % MINUTES_PER_DAY,
+        }
     }
 
     /// Minutes since midnight.
@@ -352,16 +358,10 @@ mod tests {
     #[test]
     fn between_produces_expected_interval() {
         let axis = TimeAxis::quarter_hourly();
-        let peak = axis.between(
-            TimeOfDay::hm(18, 0).unwrap(),
-            TimeOfDay::hm(20, 0).unwrap(),
-        );
+        let peak = axis.between(TimeOfDay::hm(18, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
         assert_eq!(peak, Interval::new(72, 80));
         // Reversed bounds produce an empty interval rather than panicking.
-        let empty = axis.between(
-            TimeOfDay::hm(20, 0).unwrap(),
-            TimeOfDay::hm(18, 0).unwrap(),
-        );
+        let empty = axis.between(TimeOfDay::hm(20, 0).unwrap(), TimeOfDay::hm(18, 0).unwrap());
         assert!(empty.is_empty());
     }
 

@@ -355,7 +355,10 @@ mod tests {
         let total: KilowattHours = [1.0, 2.0, 3.0].iter().map(|&v| KilowattHours(v)).sum();
         assert_eq!(total.value(), 6.0);
         assert!(KilowattHours(1.0) < KilowattHours(2.0));
-        assert_eq!(KilowattHours(-3.0).clamp_non_negative(), KilowattHours::ZERO);
+        assert_eq!(
+            KilowattHours(-3.0).clamp_non_negative(),
+            KilowattHours::ZERO
+        );
     }
 
     #[test]

@@ -39,7 +39,12 @@ impl Season {
 
     /// All four seasons.
     pub fn all() -> [Season; 4] {
-        [Season::Winter, Season::Spring, Season::Summer, Season::Autumn]
+        [
+            Season::Winter,
+            Season::Spring,
+            Season::Summer,
+            Season::Autumn,
+        ]
     }
 }
 
@@ -83,7 +88,12 @@ pub struct WeatherModel {
 impl WeatherModel {
     /// Creates a model for a season with default amplitude and noise.
     pub fn new(season: Season) -> WeatherModel {
-        WeatherModel { season, diurnal_amplitude: 3.0, noise_sd: 0.5, anomaly: 0.0 }
+        WeatherModel {
+            season,
+            diurnal_amplitude: 3.0,
+            noise_sd: 0.5,
+            anomaly: 0.0,
+        }
     }
 
     /// Winter model (the Figure 1 peak scenario).
@@ -185,7 +195,9 @@ mod tests {
     #[test]
     fn anomaly_shifts_mean() {
         let axis = TimeAxis::hourly();
-        let normal = WeatherModel::winter().with_noise(0.0).mean_temperature(&axis, 0);
+        let normal = WeatherModel::winter()
+            .with_noise(0.0)
+            .mean_temperature(&axis, 0);
         let snap = WeatherModel::winter()
             .with_noise(0.0)
             .with_anomaly(-6.0)
@@ -196,7 +208,9 @@ mod tests {
     #[test]
     fn diurnal_cycle_peaks_in_afternoon() {
         let axis = TimeAxis::hourly();
-        let temps = WeatherModel::winter().with_noise(0.0).temperatures(&axis, 0);
+        let temps = WeatherModel::winter()
+            .with_noise(0.0)
+            .temperatures(&axis, 0);
         let warmest = temps.argmax();
         assert!((14..=16).contains(&warmest), "warmest hour was {warmest}");
     }
@@ -204,7 +218,9 @@ mod tests {
     #[test]
     fn noise_free_model_is_smooth() {
         let axis = TimeAxis::quarter_hourly();
-        let temps = WeatherModel::winter().with_noise(0.0).temperatures(&axis, 0);
+        let temps = WeatherModel::winter()
+            .with_noise(0.0)
+            .temperatures(&axis, 0);
         for i in 1..temps.len() {
             assert!((temps[i] - temps[i - 1]).abs() < 0.5);
         }

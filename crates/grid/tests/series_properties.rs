@@ -6,7 +6,11 @@ use powergrid::time::Interval;
 use proptest::prelude::*;
 
 fn arb_axis() -> impl Strategy<Value = TimeAxis> {
-    prop_oneof![Just(TimeAxis::hourly()), Just(TimeAxis::quarter_hourly()), Just(TimeAxis::new(30))]
+    prop_oneof![
+        Just(TimeAxis::hourly()),
+        Just(TimeAxis::quarter_hourly()),
+        Just(TimeAxis::new(30))
+    ]
 }
 
 fn arb_series() -> impl Strategy<Value = Series> {

@@ -49,7 +49,10 @@ pub trait Agent<M>: 'static {
 #[derive(Debug)]
 pub(crate) enum Effect<M> {
     Send(Envelope<M>),
-    Timer { token: TimerToken, after: SimDuration },
+    Timer {
+        token: TimerToken,
+        after: SimDuration,
+    },
     Halt,
 }
 
@@ -83,7 +86,11 @@ impl<'a, M> Context<'a, M> {
 
     /// Queues a message to another agent (or to itself).
     pub fn send(&mut self, to: AgentId, msg: M) {
-        self.effects.push(Effect::Send(Envelope { from: self.self_id, to, msg }));
+        self.effects.push(Effect::Send(Envelope {
+            from: self.self_id,
+            to,
+            msg,
+        }));
     }
 
     /// Queues the same message to many recipients.
@@ -124,7 +131,12 @@ mod tests {
     use rand::SeedableRng;
 
     fn context(rng: &mut StdRng) -> Context<'_, u32> {
-        Context { self_id: AgentId(7), now: SimTime::from_ticks(5), rng, effects: Vec::new() }
+        Context {
+            self_id: AgentId(7),
+            now: SimTime::from_ticks(5),
+            rng,
+            effects: Vec::new(),
+        }
     }
 
     #[test]
@@ -158,7 +170,13 @@ mod tests {
         let mut ctx = context(&mut rng);
         ctx.set_timer(TimerToken(1), SimDuration::from_ticks(10));
         ctx.halt();
-        assert!(matches!(ctx.effects[0], Effect::Timer { token: TimerToken(1), .. }));
+        assert!(matches!(
+            ctx.effects[0],
+            Effect::Timer {
+                token: TimerToken(1),
+                ..
+            }
+        ));
         assert!(matches!(ctx.effects[1], Effect::Halt));
     }
 
@@ -169,7 +187,9 @@ mod tests {
         assert_eq!(ctx.self_id(), AgentId(7));
         assert_eq!(ctx.now(), SimTime::from_ticks(5));
         let _ = ctx.rng();
-        assert!(format!("{ctx:?}").contains("agent-7") || format!("{ctx:?}").contains("AgentId(7)"));
+        assert!(
+            format!("{ctx:?}").contains("agent-7") || format!("{ctx:?}").contains("AgentId(7)")
+        );
     }
 
     #[test]

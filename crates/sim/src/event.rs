@@ -56,7 +56,10 @@ impl<M> Eq for ScheduledEvent<M> {}
 impl<M> Ord for ScheduledEvent<M> {
     fn cmp(&self, other: &Self) -> Ordering {
         // BinaryHeap is a max-heap; invert to pop the earliest event.
-        other.at.cmp(&self.at).then_with(|| other.seq.cmp(&self.seq))
+        other
+            .at
+            .cmp(&self.at)
+            .then_with(|| other.seq.cmp(&self.seq))
     }
 }
 
@@ -76,7 +79,10 @@ pub struct EventQueue<M> {
 impl<M> EventQueue<M> {
     /// Creates an empty queue.
     pub fn new() -> EventQueue<M> {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
     }
 
     /// Schedules an event at `at`.
@@ -118,7 +124,11 @@ mod tests {
     use super::*;
 
     fn deliver(n: u32) -> EventKind<u32> {
-        EventKind::Deliver(Envelope { from: AgentId(0), to: AgentId(1), msg: n })
+        EventKind::Deliver(Envelope {
+            from: AgentId(0),
+            to: AgentId(1),
+            msg: n,
+        })
     }
 
     #[test]
@@ -163,7 +173,10 @@ mod tests {
         let mut q = EventQueue::new();
         q.schedule(
             SimTime::from_ticks(2),
-            EventKind::Timer { agent: AgentId(1), token: TimerToken(9) },
+            EventKind::Timer {
+                agent: AgentId(1),
+                token: TimerToken(9),
+            },
         );
         q.schedule(SimTime::from_ticks(1), deliver(5));
         assert!(matches!(q.pop().unwrap().kind, EventKind::Deliver(_)));
@@ -176,7 +189,11 @@ mod tests {
         let mut q: EventQueue<f64> = EventQueue::new();
         q.schedule(
             SimTime::from_ticks(1),
-            EventKind::Deliver(Envelope { from: AgentId(0), to: AgentId(1), msg: 24.8 }),
+            EventKind::Deliver(Envelope {
+                from: AgentId(0),
+                to: AgentId(1),
+                msg: 24.8,
+            }),
         );
         assert_eq!(q.len(), 1);
     }

@@ -15,7 +15,7 @@
 //!   injection (lost bids, late bids);
 //! * **metrics** ([`metrics`]) and an **event log** ([`log`]) that the
 //!   experiment harness reads;
-//! * a **crossbeam-threaded batch executor** ([`threaded`]) to fan
+//! * a **std-threaded batch executor** ([`threaded`]) to fan
 //!   independent simulation runs (parameter sweeps) across cores.
 //!
 //! # Example

@@ -63,7 +63,9 @@ pub struct EventLog<M> {
 impl<M> EventLog<M> {
     /// Creates an empty log.
     pub fn new() -> EventLog<M> {
-        EventLog { entries: Vec::new() }
+        EventLog {
+            entries: Vec::new(),
+        }
     }
 
     /// Appends an entry.
@@ -140,7 +142,11 @@ mod tests {
             to: AgentId(1),
             msg: "hello",
         });
-        log.push(LogEntry::Dropped { at: SimTime::from_ticks(2), from: AgentId(0), to: AgentId(2) });
+        log.push(LogEntry::Dropped {
+            at: SimTime::from_ticks(2),
+            from: AgentId(0),
+            to: AgentId(2),
+        });
         log.push(LogEntry::Delivered {
             at: SimTime::from_ticks(3),
             from: AgentId(1),
@@ -155,8 +161,11 @@ mod tests {
 
     #[test]
     fn entry_time() {
-        let e: LogEntry<u8> =
-            LogEntry::TimerFired { at: SimTime::from_ticks(9), agent: AgentId(1), token: TimerToken(0) };
+        let e: LogEntry<u8> = LogEntry::TimerFired {
+            at: SimTime::from_ticks(9),
+            agent: AgentId(1),
+            token: TimerToken(0),
+        };
         assert_eq!(e.time(), SimTime::from_ticks(9));
     }
 

@@ -60,13 +60,20 @@ mod tests {
     fn drop_rate_guards_division() {
         let m = Metrics::new();
         assert_eq!(m.drop_rate(), 0.0);
-        let m2 = Metrics { messages_sent: 10, messages_dropped: 3, ..Metrics::new() };
+        let m2 = Metrics {
+            messages_sent: 10,
+            messages_dropped: 3,
+            ..Metrics::new()
+        };
         assert!((m2.drop_rate() - 0.3).abs() < 1e-12);
     }
 
     #[test]
     fn display_mentions_counts() {
-        let m = Metrics { messages_sent: 5, ..Metrics::new() };
+        let m = Metrics {
+            messages_sent: 5,
+            ..Metrics::new()
+        };
         assert!(m.to_string().contains("sent 5"));
     }
 }

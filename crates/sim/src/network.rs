@@ -33,7 +33,12 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A perfect network: 1-tick latency, no loss.
     pub fn perfect() -> NetworkModel {
-        NetworkModel { min_latency: 1, max_latency: 1, drop_probability: 0.0, outages: Vec::new() }
+        NetworkModel {
+            min_latency: 1,
+            max_latency: 1,
+            drop_probability: 0.0,
+            outages: Vec::new(),
+        }
     }
 
     /// Uniform latency in `[min, max]` ticks, no loss.
@@ -71,7 +76,10 @@ impl NetworkModel {
     ///
     /// Panics unless `0 ≤ p < 1`.
     pub fn with_drop_probability(mut self, p: f64) -> NetworkModel {
-        assert!((0.0..1.0).contains(&p), "drop probability {p} outside [0, 1)");
+        assert!(
+            (0.0..1.0).contains(&p),
+            "drop probability {p} outside [0, 1)"
+        );
         self.drop_probability = p;
         self
     }
@@ -127,7 +135,10 @@ mod tests {
         let net = NetworkModel::perfect();
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
-            assert_eq!(net.route(&mut rng), Delivery::After(SimDuration::from_ticks(1)));
+            assert_eq!(
+                net.route(&mut rng),
+                Delivery::After(SimDuration::from_ticks(1))
+            );
         }
     }
 
@@ -189,20 +200,43 @@ mod tests {
         use crate::clock::SimTime;
         let net = NetworkModel::perfect().with_outage(10, 20);
         let mut rng = StdRng::seed_from_u64(1);
-        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(9)), Delivery::After(_)));
-        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(10)), Delivery::Drop);
-        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(19)), Delivery::Drop);
-        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(20)), Delivery::After(_)));
+        assert!(matches!(
+            net.route_at(&mut rng, SimTime::from_ticks(9)),
+            Delivery::After(_)
+        ));
+        assert_eq!(
+            net.route_at(&mut rng, SimTime::from_ticks(10)),
+            Delivery::Drop
+        );
+        assert_eq!(
+            net.route_at(&mut rng, SimTime::from_ticks(19)),
+            Delivery::Drop
+        );
+        assert!(matches!(
+            net.route_at(&mut rng, SimTime::from_ticks(20)),
+            Delivery::After(_)
+        ));
     }
 
     #[test]
     fn multiple_outages() {
         use crate::clock::SimTime;
-        let net = NetworkModel::perfect().with_outage(0, 5).with_outage(50, 60);
+        let net = NetworkModel::perfect()
+            .with_outage(0, 5)
+            .with_outage(50, 60);
         let mut rng = StdRng::seed_from_u64(2);
-        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(2)), Delivery::Drop);
-        assert!(matches!(net.route_at(&mut rng, SimTime::from_ticks(30)), Delivery::After(_)));
-        assert_eq!(net.route_at(&mut rng, SimTime::from_ticks(55)), Delivery::Drop);
+        assert_eq!(
+            net.route_at(&mut rng, SimTime::from_ticks(2)),
+            Delivery::Drop
+        );
+        assert!(matches!(
+            net.route_at(&mut rng, SimTime::from_ticks(30)),
+            Delivery::After(_)
+        ));
+        assert_eq!(
+            net.route_at(&mut rng, SimTime::from_ticks(55)),
+            Delivery::Drop
+        );
     }
 
     #[test]

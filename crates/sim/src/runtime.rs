@@ -182,7 +182,11 @@ impl<M: Clone + 'static> Simulation<M> {
             (to.0 as usize) < self.agents.len(),
             "external message to unknown agent {to}"
         );
-        self.route(Envelope { from: EXTERNAL, to, msg });
+        self.route(Envelope {
+            from: EXTERNAL,
+            to,
+            msg,
+        });
     }
 
     /// Runs until quiescence or halt.
@@ -217,7 +221,9 @@ impl<M: Clone + 'static> Simulation<M> {
                 return Ok(RunOutcome::Horizon);
             }
             if budget == 0 {
-                return Err(RunError::EventLimit { limit: self.max_events });
+                return Err(RunError::EventLimit {
+                    limit: self.max_events,
+                });
             }
             budget -= 1;
             let event = self.queue.pop().expect("peeked event exists");
@@ -258,7 +264,11 @@ impl<M: Clone + 'static> Simulation<M> {
                     }
                     self.metrics.timers_fired += 1;
                     if let Some(log) = &mut self.log {
-                        log.push(LogEntry::TimerFired { at: self.now, agent, token });
+                        log.push(LogEntry::TimerFired {
+                            at: self.now,
+                            agent,
+                            token,
+                        });
                     }
                     self.run_callback(agent, CallbackKind::Timer(token))?;
                 }
@@ -311,11 +321,16 @@ impl<M: Clone + 'static> Simulation<M> {
             Delivery::Drop => {
                 self.metrics.messages_dropped += 1;
                 if let Some(log) = &mut self.log {
-                    log.push(LogEntry::Dropped { at: self.now, from: env.from, to: env.to });
+                    log.push(LogEntry::Dropped {
+                        at: self.now,
+                        from: env.from,
+                        to: env.to,
+                    });
                 }
             }
             Delivery::After(latency) => {
-                self.queue.schedule(self.now + latency, EventKind::Deliver(env));
+                self.queue
+                    .schedule(self.now + latency, EventKind::Deliver(env));
             }
         }
     }
@@ -388,11 +403,18 @@ mod tests {
     fn ping_pong_runs_to_halt() {
         let mut sim = Simulation::new(1);
         let echo = sim.add_agent(Echo { seen: Vec::new() });
-        let pinger = sim.add_agent(Pinger { target: echo, rounds: 5, pongs: Vec::new() });
+        let pinger = sim.add_agent(Pinger {
+            target: echo,
+            rounds: 5,
+            pongs: Vec::new(),
+        });
         let outcome = sim.run().unwrap();
         assert_eq!(outcome, RunOutcome::Halted);
         assert_eq!(sim.agent::<Echo>(echo).unwrap().seen, vec![0, 1, 2, 3, 4]);
-        assert_eq!(sim.agent::<Pinger>(pinger).unwrap().pongs, vec![0, 1, 2, 3, 4]);
+        assert_eq!(
+            sim.agent::<Pinger>(pinger).unwrap().pongs,
+            vec![0, 1, 2, 3, 4]
+        );
         assert_eq!(sim.metrics().messages_delivered, 10);
     }
 
@@ -416,12 +438,20 @@ mod tests {
             let mut sim: Simulation<Msg> =
                 Simulation::with_network(seed, NetworkModel::uniform(1, 20));
             let echo = sim.add_agent(Echo { seen: Vec::new() });
-            let _ = sim.add_agent(Pinger { target: echo, rounds: 10, pongs: Vec::new() });
+            let _ = sim.add_agent(Pinger {
+                target: echo,
+                rounds: 10,
+                pongs: Vec::new(),
+            });
             sim.run().unwrap();
             (sim.now().ticks(), sim.metrics().messages_delivered)
         }
         assert_eq!(run(99), run(99));
-        assert_ne!(run(99).0, run(100).0, "different seeds give different timings");
+        assert_ne!(
+            run(99).0,
+            run(100).0,
+            "different seeds give different timings"
+        );
     }
 
     #[test]

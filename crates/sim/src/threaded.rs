@@ -1,13 +1,18 @@
-//! Crossbeam-threaded batch execution of independent simulations.
+//! Threaded batch execution of independent simulations.
 //!
 //! Parameter sweeps (the β-sensitivity and scaling experiments) run many
 //! *independent* simulations; each one stays deterministic, and the batch
-//! executor fans them across OS threads with `crossbeam::scope`. Results
-//! come back in input order regardless of completion order.
+//! executor fans them across OS threads with `std::thread::scope`.
+//! Results come back in input order regardless of completion order.
 
-use crossbeam::channel;
+use std::collections::VecDeque;
 use std::num::NonZeroUsize;
+use std::sync::mpsc;
+use std::sync::Mutex;
 use std::thread;
+
+/// A boxed unit of batch work.
+pub type Job<R> = Box<dyn FnOnce() -> R + Send>;
 
 /// Runs `jobs.len()` independent tasks across up to `threads` worker
 /// threads, returning results in input order.
@@ -28,10 +33,7 @@ use std::thread;
 /// let results = run_batch(jobs, NonZeroUsize::new(4).unwrap());
 /// assert_eq!(results, vec![0, 1, 4, 9, 16, 25, 36, 49]);
 /// ```
-pub fn run_batch<R: Send>(
-    jobs: Vec<Box<dyn FnOnce() -> R + Send>>,
-    threads: NonZeroUsize,
-) -> Vec<R> {
+pub fn run_batch<R: Send>(jobs: Vec<Job<R>>, threads: NonZeroUsize) -> Vec<R> {
     let n = jobs.len();
     if n == 0 {
         return Vec::new();
@@ -41,23 +43,21 @@ pub fn run_batch<R: Send>(
         return jobs.into_iter().map(|j| j()).collect();
     }
 
-    let (job_tx, job_rx) = channel::unbounded::<(usize, Box<dyn FnOnce() -> R + Send>)>();
-    let (result_tx, result_rx) = channel::unbounded::<(usize, R)>();
-    for item in jobs.into_iter().enumerate() {
-        job_tx.send(item).expect("queue accepts jobs");
-    }
-    drop(job_tx);
+    let queue: Mutex<VecDeque<(usize, Job<R>)>> =
+        Mutex::new(jobs.into_iter().enumerate().collect());
+    let (result_tx, result_rx) = mpsc::channel::<(usize, R)>();
 
     thread::scope(|scope| {
         for _ in 0..workers {
-            let job_rx = job_rx.clone();
+            let queue = &queue;
             let result_tx = result_tx.clone();
-            scope.spawn(move || {
-                while let Ok((index, job)) = job_rx.recv() {
-                    let result = job();
-                    if result_tx.send((index, result)).is_err() {
-                        break;
-                    }
+            scope.spawn(move || loop {
+                let Some((index, job)) = queue.lock().expect("queue lock").pop_front() else {
+                    break;
+                };
+                let result = job();
+                if result_tx.send((index, result)).is_err() {
+                    break;
                 }
             });
         }
@@ -111,7 +111,10 @@ mod tests {
         let jobs: Vec<Box<dyn FnOnce() -> u32 + Send>> = (0..5u32)
             .map(|i| Box::new(move || i + 1) as Box<dyn FnOnce() -> u32 + Send>)
             .collect();
-        assert_eq!(run_batch(jobs, NonZeroUsize::new(1).unwrap()), vec![1, 2, 3, 4, 5]);
+        assert_eq!(
+            run_batch(jobs, NonZeroUsize::new(1).unwrap()),
+            vec![1, 2, 3, 4, 5]
+        );
     }
 
     #[test]

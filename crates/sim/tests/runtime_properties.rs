@@ -35,7 +35,11 @@ fn run_ring(agents: usize, budget: u32, seed: u64, net: NetworkModel) -> (u64, u
         .map(|i| {
             // Temporarily wire to self; fix below once all ids exist.
             let _ = i;
-            sim.add_agent(Gossip { next: AgentId(0), budget, received: 0 })
+            sim.add_agent(Gossip {
+                next: AgentId(0),
+                budget,
+                received: 0,
+            })
         })
         .collect();
     for (i, &id) in ids.iter().enumerate() {

@@ -1,0 +1,132 @@
+//! A tiny regex-pattern generator: enough of the regex language to serve
+//! the `&str`-as-`Strategy` idiom the tests use (`"[a-z][a-z0-9_]{0,6}"`).
+//!
+//! Supported syntax: literal characters, character classes `[...]` with
+//! ranges (`a-z0-9_`), and repetition `{m}` / `{m,n}` / `?` / `*` / `+`
+//! (the unbounded quantifiers cap at 8).
+
+use crate::test_runner::TestRng;
+
+#[derive(Debug, Clone)]
+struct Atom {
+    choices: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut atoms = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let choices = match chars[i] {
+            '[' => {
+                let mut set = Vec::new();
+                i += 1;
+                while i < chars.len() && chars[i] != ']' {
+                    if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+                        let (lo, hi) = (chars[i], chars[i + 2]);
+                        assert!(lo <= hi, "bad range {lo}-{hi} in pattern {pattern}");
+                        set.extend((lo..=hi).collect::<Vec<char>>());
+                        i += 3;
+                    } else {
+                        set.push(chars[i]);
+                        i += 1;
+                    }
+                }
+                assert!(i < chars.len(), "unterminated class in pattern {pattern}");
+                i += 1; // the ']'
+                set
+            }
+            '\\' => {
+                i += 1;
+                assert!(i < chars.len(), "trailing backslash in pattern {pattern}");
+                let c = chars[i];
+                i += 1;
+                vec![c]
+            }
+            c => {
+                i += 1;
+                vec![c]
+            }
+        };
+        // Optional quantifier.
+        let (min, max) = if i < chars.len() && chars[i] == '{' {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .expect("unterminated quantifier")
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            i = close + 1;
+            match body.split_once(',') {
+                Some((m, n)) => (
+                    m.trim().parse().expect("quantifier min"),
+                    n.trim().parse().expect("quantifier max"),
+                ),
+                None => {
+                    let m: usize = body.trim().parse().expect("quantifier count");
+                    (m, m)
+                }
+            }
+        } else if i < chars.len() && matches!(chars[i], '?' | '*' | '+') {
+            let q = chars[i];
+            i += 1;
+            match q {
+                '?' => (0, 1),
+                '*' => (0, 8),
+                _ => (1, 8),
+            }
+        } else {
+            (1, 1)
+        };
+        assert!(
+            !choices.is_empty(),
+            "empty character class in pattern {pattern}"
+        );
+        atoms.push(Atom { choices, min, max });
+    }
+    atoms
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let mut out = String::new();
+    for atom in parse(pattern) {
+        let count = rng.gen_range(atom.min..=atom.max);
+        for _ in 0..count {
+            out.push(atom.choices[rng.gen_range(0..atom.choices.len())]);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generates_matching_identifiers() {
+        let mut rng = TestRng::new(1);
+        for _ in 0..200 {
+            let s = generate_matching("[a-z][a-z0-9_]{0,6}", &mut rng);
+            assert!(!s.is_empty() && s.len() <= 7, "{s}");
+            let mut cs = s.chars();
+            assert!(cs.next().unwrap().is_ascii_lowercase());
+            assert!(cs.all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn literals_and_quantifiers() {
+        let mut rng = TestRng::new(2);
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        let s = generate_matching("x{3}", &mut rng);
+        assert_eq!(s, "xxx");
+        for _ in 0..50 {
+            let s = generate_matching("a?b+", &mut rng);
+            assert!(s.trim_start_matches('a').chars().all(|c| c == 'b'));
+        }
+    }
+}

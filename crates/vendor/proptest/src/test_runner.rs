@@ -1,0 +1,105 @@
+//! Case runner: a seeded RNG looping over generated cases.
+
+use crate::strategy::Strategy;
+use rand::rngs::StdRng;
+use rand::{Rng, SampleRange, SeedableRng, Standard};
+
+/// Configuration of a property run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Upstream defaults to 256; offline CI favours speed. The
+        // generator is deterministic, so coverage is stable run to run.
+        ProptestConfig { cases: 48 }
+    }
+}
+
+/// The RNG handed to strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// A deterministic RNG for a seed.
+    pub fn new(seed: u64) -> TestRng {
+        TestRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+
+    /// A uniform value from a range.
+    pub fn gen_range<R: SampleRange>(&mut self, range: R) -> R::Output {
+        self.inner.gen_range(range)
+    }
+
+    /// A uniformly random primitive.
+    pub fn gen<T: Standard>(&mut self) -> T {
+        self.inner.gen()
+    }
+
+    /// `true` with probability `p`.
+    pub fn gen_bool(&mut self, p: f64) -> bool {
+        self.inner.gen_bool(p)
+    }
+}
+
+/// Drives one property: N cases from a name-derived seed.
+#[derive(Debug)]
+pub struct TestRunner {
+    cases: u32,
+    executed: u32,
+    rng: TestRng,
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl TestRunner {
+    /// A runner whose RNG stream is derived from the property name, so
+    /// every run of the same test binary generates the same cases.
+    pub fn new(config: ProptestConfig, name: &str) -> TestRunner {
+        TestRunner {
+            cases: config.cases,
+            executed: 0,
+            rng: TestRng::new(fnv1a(name.as_bytes())),
+        }
+    }
+
+    /// Advances to the next case; `false` once all cases ran.
+    pub fn next_case(&mut self) -> bool {
+        if self.executed >= self.cases {
+            return false;
+        }
+        self.executed += 1;
+        true
+    }
+
+    /// Samples one value from a strategy.
+    pub fn sample<S: Strategy + ?Sized>(&mut self, strategy: &S) -> S::Value {
+        strategy.generate(&mut self.rng)
+    }
+}

@@ -1,0 +1,26 @@
+//! Offline stand-in for `serde`.
+//!
+//! No serde *format* crate is available offline, so serialization can
+//! never actually run in this workspace; what the code needs is for the
+//! `Serialize`/`Deserialize` *bounds* to type-check so that every data
+//! structure is declared serializable (and the real serde can be swapped
+//! in unchanged once a registry is reachable). The traits here are
+//! therefore deliberately empty markers, and the derive macros emit
+//! empty impls.
+
+#![forbid(unsafe_code)]
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker for types that can be serialized.
+pub trait Serialize {}
+
+/// Marker for types that can be deserialized from borrowed data.
+pub trait Deserialize<'de>: Sized {}
+
+/// Deserialization-side helpers.
+pub mod de {
+    /// Marker for types deserializable from any lifetime (owned).
+    pub trait DeserializeOwned: for<'de> super::Deserialize<'de> {}
+    impl<T> DeserializeOwned for T where T: for<'de> super::Deserialize<'de> {}
+}

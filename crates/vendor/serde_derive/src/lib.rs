@@ -1,0 +1,169 @@
+//! No-op `Serialize`/`Deserialize` derives for the offline serde
+//! stand-in. The marker traits have no methods, so the derives only need
+//! to name the type (and replicate its generic parameters) in an empty
+//! impl block.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// The parsed shape of a `struct`/`enum`/`union` item header.
+struct ItemHeader {
+    name: String,
+    /// Full generic parameter list, without the angle brackets.
+    params_decl: String,
+    /// Just the parameter names, for the `for Name<...>` position.
+    param_names: Vec<String>,
+}
+
+fn parse_header(input: TokenStream) -> ItemHeader {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    // Skip attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                i += 1; // the `[...]` group
+                if matches!(tokens.get(i), Some(TokenTree::Group(_))) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if matches!(
+                    tokens.get(i),
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+                ) {
+                    i += 1;
+                }
+            }
+            Some(TokenTree::Ident(id))
+                if matches!(id.to_string().as_str(), "struct" | "enum" | "union") =>
+            {
+                i += 1;
+                break;
+            }
+            Some(_) => i += 1,
+            None => panic!("serde derive: no struct/enum/union found"),
+        }
+    }
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde derive: expected type name, found {other:?}"),
+    };
+    i += 1;
+
+    // Collect the generic parameter tokens between `<` and the matching `>`.
+    let mut generics: Vec<TokenTree> = Vec::new();
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            i += 1;
+            let mut depth = 1usize;
+            while depth > 0 {
+                match tokens.get(i) {
+                    Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                        depth += 1;
+                        generics.push(tokens[i].clone());
+                    }
+                    Some(TokenTree::Punct(p)) if p.as_char() == '>' => {
+                        depth -= 1;
+                        if depth > 0 {
+                            generics.push(tokens[i].clone());
+                        }
+                    }
+                    Some(t) => generics.push(t.clone()),
+                    None => panic!("serde derive: unbalanced generics"),
+                }
+                i += 1;
+            }
+        }
+    }
+
+    // Split at top-level commas and extract each parameter's name.
+    let mut param_names = Vec::new();
+    let mut depth = 0usize;
+    let mut current: Vec<TokenTree> = Vec::new();
+    let flush = |current: &mut Vec<TokenTree>, names: &mut Vec<String>| {
+        if current.is_empty() {
+            return;
+        }
+        let name = match &current[0] {
+            TokenTree::Punct(p) if p.as_char() == '\'' => match current.get(1) {
+                Some(TokenTree::Ident(id)) => format!("'{id}"),
+                _ => panic!("serde derive: malformed lifetime parameter"),
+            },
+            TokenTree::Ident(id) if id.to_string() == "const" => match current.get(1) {
+                Some(TokenTree::Ident(id)) => id.to_string(),
+                _ => panic!("serde derive: malformed const parameter"),
+            },
+            TokenTree::Ident(id) => id.to_string(),
+            other => panic!("serde derive: unsupported generic parameter {other:?}"),
+        };
+        names.push(name);
+        current.clear();
+    };
+    for t in generics.iter() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                flush(&mut current, &mut param_names);
+                continue;
+            }
+            _ => {}
+        }
+        current.push(t.clone());
+    }
+    flush(&mut current, &mut param_names);
+
+    let params_decl = generics
+        .iter()
+        .map(|t| t.to_string())
+        .collect::<Vec<_>>()
+        .join(" ");
+    ItemHeader {
+        name,
+        params_decl,
+        param_names,
+    }
+}
+
+fn empty_impl(header: &ItemHeader, trait_path: &str, extra_lifetime: Option<&str>) -> String {
+    let mut decl_parts = Vec::new();
+    if let Some(lt) = extra_lifetime {
+        decl_parts.push(lt.to_string());
+    }
+    if !header.params_decl.is_empty() {
+        decl_parts.push(header.params_decl.clone());
+    }
+    let decl = if decl_parts.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", decl_parts.join(", "))
+    };
+    let args = if header.param_names.is_empty() {
+        String::new()
+    } else {
+        format!("<{}>", header.param_names.join(", "))
+    };
+    format!(
+        "#[automatically_derived] impl{decl} {trait_path} for {}{args} {{}}",
+        header.name
+    )
+}
+
+/// Derives the empty `Serialize` marker impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    empty_impl(&header, "::serde::Serialize", None)
+        .parse()
+        .expect("generated impl parses")
+}
+
+/// Derives the empty `Deserialize` marker impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let header = parse_header(input);
+    empty_impl(&header, "::serde::Deserialize<'de>", Some("'de"))
+        .parse()
+        .expect("generated impl parses")
+}

@@ -11,14 +11,19 @@ use loadbal::core::beta::BetaPolicy;
 use loadbal::core::utility_agent::own_process_control::OwnProcessControl;
 use loadbal::prelude::*;
 
-fn fortnight(config_for_day: impl Fn(&OwnProcessControl, u64) -> UtilityAgentConfig) -> (f64, f64, f64) {
+fn fortnight(
+    config_for_day: impl Fn(&OwnProcessControl, u64) -> UtilityAgentConfig,
+) -> (f64, f64, f64) {
     let mut opc = OwnProcessControl::new();
     let mut rounds = 0.0;
     let mut overuse = 0.0;
     let mut outlay = 0.0;
     for day in 0..14u64 {
         let config = config_for_day(&opc, day);
-        let report = ScenarioBuilder::random(150, 0.35, day).config(config).build().run();
+        let report = ScenarioBuilder::random(150, 0.35, day)
+            .config(config)
+            .build()
+            .run();
         rounds += report.rounds().len() as f64;
         overuse += report.final_overuse_fraction();
         outlay += report.total_rewards().value();
@@ -36,17 +41,35 @@ fn main() {
 
     // The prototype: constant β, never adjusted.
     let (r, o, pay) = fortnight(|_, _| UtilityAgentConfig::paper());
-    println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", "constant β = 2 (prototype)", r, 100.0 * o, pay);
+    println!(
+        "{:<34} {:>7.2} {:>11.2} {:>9.1}",
+        "constant β = 2 (prototype)",
+        r,
+        100.0 * o,
+        pay
+    );
 
     // §7: "dynamically varying the value of beta on the basis of
     // experience" — the own-process-control tuner.
     let (r, o, pay) = fortnight(|opc, _| opc.tune(UtilityAgentConfig::paper()));
-    println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", "experience-tuned β", r, 100.0 * o, pay);
+    println!(
+        "{:<34} {:>7.2} {:>11.2} {:>9.1}",
+        "experience-tuned β",
+        r,
+        100.0 * o,
+        pay
+    );
 
     // Within-negotiation dynamic policies.
     for policy in [BetaPolicy::adaptive(1.0), BetaPolicy::annealing(4.0, 0.7)] {
         let (r, o, pay) =
             fortnight(move |_, _| UtilityAgentConfig::paper().with_beta_policy(policy));
-        println!("{:<34} {:>7.2} {:>11.2} {:>9.1}", policy.to_string(), r, 100.0 * o, pay);
+        println!(
+            "{:<34} {:>7.2} {:>11.2} {:>9.1}",
+            policy.to_string(),
+            r,
+            100.0 * o,
+            pay
+        );
     }
 }

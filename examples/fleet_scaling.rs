@@ -26,8 +26,7 @@ fn main() {
             } else {
                 NetworkModel::uniform(1, 20)
             };
-            let outcome =
-                run_distributed(&scenario, network, 7, SimDuration::from_ticks(200));
+            let outcome = run_distributed(&scenario, network, 7, SimDuration::from_ticks(200));
             println!(
                 "{:>9} {:>9.0} {:>6} {:>10} {:>9} {:>11.1}",
                 n,

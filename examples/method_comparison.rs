@@ -22,7 +22,9 @@ fn main() {
     let history: Vec<Series> = (0..5)
         .map(|day| {
             let weather = model.temperatures(&axis, day);
-            aggregate_demand(&homes, &weather, &axis, day).series().clone()
+            aggregate_demand(&homes, &weather, &axis, day)
+                .series()
+                .clone()
         })
         .collect();
 
@@ -39,9 +41,7 @@ fn main() {
         println!("stable situation — no negotiation needed");
         return;
     };
-    println!(
-        "predicted peak: {peak}\nstrategy selection (§3.2.4):"
-    );
+    println!("predicted peak: {peak}\nstrategy selection (§3.2.4):");
     for rounds_available in [1u32, 5, 20] {
         let (method, rationale) = select_method(NegotiationContext {
             rounds_available,
@@ -70,11 +70,18 @@ fn main() {
         "{:<18} {:>6} {:>9} {:>11} {:>9}",
         "method", "rounds", "messages", "overuse %", "outlay"
     );
-    for method in AnnouncementMethod::all() {
-        let report = scenario.run_with(method);
+    // One sweep cell per announcement method, fanned across cores; each
+    // cell drives the shared sans-io engine through the SyncDriver.
+    let sweep = AnnouncementMethod::all()
+        .into_iter()
+        .fold(ScenarioSweep::new(), |sweep, method| {
+            sweep.point_with(method.to_string(), scenario.clone(), method)
+        });
+    for outcome in sweep.run() {
+        let report = &outcome.report;
         println!(
             "{:<18} {:>6} {:>9} {:>11.1} {:>9.1}",
-            method.to_string(),
+            outcome.label,
             report.rounds().len(),
             report.total_messages(),
             100.0 * report.final_overuse_fraction(),

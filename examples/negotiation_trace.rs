@@ -42,26 +42,44 @@ fn main() {
         let table = round.table.as_ref().expect("table present");
         println!("round {}:", round.round);
         for &(c, offered) in table.entries() {
-            let Some(required) = prefs.required_for(c) else { continue };
+            let Some(required) = prefs.required_for(c) else {
+                continue;
+            };
             println!(
                 "  cut-down {c}: offered {:6.2} vs required {:6.2} → {}",
                 offered.value(),
                 required.value(),
-                if prefs.accepts(c, offered) { "acceptable" } else { "not acceptable" }
+                if prefs.accepts(c, offered) {
+                    "acceptable"
+                } else {
+                    "not acceptable"
+                }
             );
         }
         println!("  → preferred cut-down: {}", round.bids[0]);
     }
 
     println!("\n=== Protocol invariants (§3.1) ===");
-    let tables: Vec<_> = report.rounds().iter().filter_map(|r| r.table.clone()).collect();
+    let tables: Vec<_> = report
+        .rounds()
+        .iter()
+        .filter_map(|r| r.table.clone())
+        .collect();
     let bids: Vec<_> = report.rounds().iter().map(|r| r.bids.clone()).collect();
     println!(
         "announcements monotone: {}",
-        if verify_announcements(&tables).is_ok() { "yes" } else { "VIOLATED" }
+        if verify_announcements(&tables).is_ok() {
+            "yes"
+        } else {
+            "VIOLATED"
+        }
     );
     println!(
         "bids never retreat:     {}",
-        if verify_bids(&bids).is_ok() { "yes" } else { "VIOLATED" }
+        if verify_bids(&bids).is_ok() {
+            "yes"
+        } else {
+            "VIOLATED"
+        }
     );
 }

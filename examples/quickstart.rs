@@ -1,6 +1,12 @@
 //! Quickstart: run the paper's calibrated negotiation and print the
 //! result.
 //!
+//! `Scenario::run()` is a facade over the sans-io `NegotiationEngine`:
+//! a `SyncDriver` pumps `Effect`s between one `UtilityEngine` and the
+//! `CustomerEngine`s. The distributed and DESIRE-hosted modes drive the
+//! very same engine, so what this example prints is what every mode
+//! produces.
+//!
 //! ```text
 //! cargo run --example quickstart
 //! ```
@@ -18,10 +24,37 @@ fn main() {
         100.0 * scenario.initial_overuse_fraction(),
     );
 
+    // One round trip of the engine by hand, to make the sans-io shape
+    // visible: the Utility side announces, a customer answers.
+    let mut utility = UtilityEngine::new(&scenario);
+    let mut first_customer = CustomerEngine::for_customer(&scenario, 0);
+    utility.handle(Input::Start);
+    while let Some(effect) = utility.poll_effect() {
+        if let Effect::Send {
+            to: Peer::Customer(0),
+            msg,
+        } = effect
+        {
+            println!("engine: UA → CA0   {msg}");
+            first_customer.handle(Input::Received {
+                from: Peer::Utility,
+                msg,
+            });
+            while let Some(Effect::Send { msg, .. }) = first_customer.poll_effect() {
+                println!("engine: CA0 → UA   {msg}");
+            }
+        }
+    }
+    println!();
+
+    // The full negotiation through the synchronous driver.
     let report = scenario.run();
     println!("Outcome: {report}");
     for round in report.rounds() {
-        let table = round.table.as_ref().expect("reward-table rounds carry tables");
+        let table = round
+            .table
+            .as_ref()
+            .expect("reward-table rounds carry tables");
         println!(
             "  round {}: reward(0.4) = {:5.2}  predicted use = {:6.1}  overuse = {:5.1}",
             round.round,
@@ -34,16 +67,13 @@ fn main() {
     // Settlement accounting: both sides must gain (§3.1). Peak energy is
     // expensive — the spread between the tiers is what cut-downs are
     // worth to the utility (rewards are in the paper's abstract units).
-    let producer = loadbal::core::producer_agent::ProducerAgent::new(
-        ProductionModel::with_costs(
-            Kilowatts(50.0),
-            Kilowatts(80.0),
-            PricePerKwh(0.3),
-            PricePerKwh(12.0),
-        ),
-    );
-    let summary = loadbal::core::outcome::SettlementSummary::compute(
-        &scenario, &report, &producer, 2.0,
-    );
+    let producer = loadbal::core::producer_agent::ProducerAgent::new(ProductionModel::with_costs(
+        Kilowatts(50.0),
+        Kilowatts(80.0),
+        PricePerKwh(0.3),
+        PricePerKwh(12.0),
+    ));
+    let summary =
+        loadbal::core::outcome::SettlementSummary::compute(&scenario, &report, &producer, 2.0);
     println!("\nSettlement: {summary}");
 }

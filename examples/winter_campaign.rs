@@ -31,9 +31,18 @@ fn main() {
     let mut weathers: Vec<Series> = Vec::new();
     for day in horizon.days() {
         // Mid-campaign cold snap.
-        let anomaly = if (8..12).contains(&day.index) { -6.0 } else { 0.0 };
-        let w = weather_model.clone().with_anomaly(anomaly).temperatures(&axis, day.index);
-        let mut demand = aggregate_demand(&homes, &w, &axis, day.index).series().clone();
+        let anomaly = if (8..12).contains(&day.index) {
+            -6.0
+        } else {
+            0.0
+        };
+        let w = weather_model
+            .clone()
+            .with_anomaly(anomaly)
+            .temperatures(&axis, day.index);
+        let mut demand = aggregate_demand(&homes, &w, &axis, day.index)
+            .series()
+            .clone();
         demand = demand.scale(day.day_type.intensity_factor());
         actuals.push(demand);
         weathers.push(w);

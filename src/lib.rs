@@ -9,19 +9,35 @@
 //! * [`powergrid`] — the electricity-domain substrate (households, demand,
 //!   production, prediction),
 //! * [`massim`] — the deterministic multi-agent message-passing runtime,
-//! * [`core`] (crate `loadbal-core`) — the negotiating agents and the three
-//!   announcement methods.
+//! * [`core`] (crate `loadbal-core`) — the sans-io
+//!   [`NegotiationEngine`](loadbal_core::engine) protocol core, the three
+//!   drivers that execute it (synchronous, distributed, DESIRE-hosted),
+//!   the three §3.2 announcement methods, and the parallel
+//!   [`ScenarioSweep`](loadbal_core::sweep::ScenarioSweep) runner.
 //!
 //! # Quickstart
 //!
 //! ```
 //! use loadbal::prelude::*;
 //!
-//! // A small peak scenario: capacity 100, predicted use 135.
+//! // A small peak scenario: capacity 100, predicted use 135. `run()`
+//! // drives the sans-io engine through the synchronous driver; the
+//! // distributed and DESIRE-hosted modes execute the same engine.
 //! let scenario = ScenarioBuilder::paper_figure_6().build();
 //! let report = scenario.run();
 //! assert!(report.converged());
 //! assert!(report.final_overuse() < report.initial_overuse());
+//! ```
+//!
+//! Sweeping a grid of scenarios across cores:
+//!
+//! ```
+//! use loadbal::prelude::*;
+//!
+//! let outcomes = ScenarioSweep::new()
+//!     .seeded_grid("demo", 15, 0.35, 0..4, |b| b)
+//!     .run(); // std-thread parallel, byte-identical to sequential
+//! assert_eq!(outcomes.len(), 4);
 //! ```
 
 pub use desire;

@@ -1,11 +1,17 @@
 //! The three execution modes — synchronous session, distributed massim
 //! actors, DESIRE-hosted components — must agree on every outcome.
+//!
+//! Since the sans-io redesign all three are thin drivers over the same
+//! `loadbal_core::engine` state machines, so agreement is by
+//! construction; these tests pin that property against regressions in
+//! the drivers' input/effect translation.
 
 use loadbal::core::desire_host::run_hosted;
 use loadbal::core::distributed::run_distributed;
 use loadbal::massim::clock::SimDuration;
 use loadbal::massim::network::NetworkModel;
 use loadbal::prelude::*;
+use proptest::prelude::*;
 
 #[test]
 fn three_modes_agree_on_the_paper_scenario() {
@@ -40,8 +46,16 @@ fn three_modes_agree_on_random_scenarios() {
             SimDuration::from_ticks(100),
         );
         let hosted = run_hosted(&scenario);
-        assert_eq!(dist.report.final_bids(), sync.final_bids(), "seed {seed} (distributed)");
-        assert_eq!(hosted.final_bids(), sync.final_bids(), "seed {seed} (hosted)");
+        assert_eq!(
+            dist.report.final_bids(),
+            sync.final_bids(),
+            "seed {seed} (distributed)"
+        );
+        assert_eq!(
+            hosted.final_bids(),
+            sync.final_bids(),
+            "seed {seed} (hosted)"
+        );
         assert_eq!(dist.report.status(), sync.status(), "seed {seed}");
         assert_eq!(hosted.status(), sync.status(), "seed {seed}");
     }
@@ -62,5 +76,61 @@ fn per_round_tables_agree_between_sync_and_distributed() {
         assert_eq!(a.table, b.table);
         assert_eq!(a.bids, b.bids);
         assert_eq!(a.predicted_total, b.predicted_total);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The strengthened equivalence property: for random seeded
+    /// scenarios the three drivers produce **identical**
+    /// `NegotiationReport`s through the shared engine — not just the
+    /// same final bids, but the same rounds, tables, message counts,
+    /// settlements and status.
+    #[test]
+    fn all_three_drivers_produce_identical_reports(
+        customers in 5usize..30,
+        overuse in 0.2f64..0.5,
+        seed in 0u64..10_000,
+    ) {
+        let scenario = ScenarioBuilder::random(customers, overuse, seed).build();
+        let sync = scenario.run();
+
+        // Distributed, perfect network: byte-identical report.
+        let dist = run_distributed(
+            &scenario,
+            NetworkModel::perfect(),
+            seed,
+            SimDuration::from_ticks(100),
+        );
+        prop_assert_eq!(&dist.report, &sync);
+
+        // DESIRE-hosted: identical report (announcements cross the
+        // kernel's information links as micro-precision facts, but the
+        // tabled levels and thresholds survive that encoding).
+        let hosted = run_hosted(&scenario);
+        prop_assert_eq!(&hosted, &sync);
+    }
+
+    /// The same property for the two non-prototype announcement methods,
+    /// which the distributed driver gained with the shared engine.
+    #[test]
+    fn sync_and_distributed_agree_on_every_method(
+        customers in 5usize..25,
+        seed in 0u64..10_000,
+    ) {
+        for method in AnnouncementMethod::all() {
+            let scenario = ScenarioBuilder::random(customers, 0.35, seed)
+                .method(method)
+                .build();
+            let sync = scenario.run();
+            let dist = run_distributed(
+                &scenario,
+                NetworkModel::perfect(),
+                seed,
+                SimDuration::from_ticks(100),
+            );
+            prop_assert_eq!(&dist.report, &sync, "method {}", method);
+        }
     }
 }

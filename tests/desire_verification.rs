@@ -84,7 +84,10 @@ fn negotiation_terminates_exactly_once() {
             )
         })
         .count();
-    assert_eq!(later_ua_derivations, 0, "the UA stays quiet after termination");
+    assert_eq!(
+        later_ua_derivations, 0,
+        "the UA stays quiet after termination"
+    );
 }
 
 #[test]
@@ -102,10 +105,16 @@ fn both_agents_activated_repeatedly() {
 
 #[test]
 fn paper_process_trees_pass_the_design_checker() {
-    for tree in [utility_agent_tree(), customer_agent_tree(), ua_cooperation_tree()] {
+    for tree in [
+        utility_agent_tree(),
+        customer_agent_tree(),
+        ua_cooperation_tree(),
+    ] {
         let issues = check_design(&tree);
-        let errors: Vec<_> =
-            issues.iter().filter(|i| i.severity == Severity::Error).collect();
+        let errors: Vec<_> = issues
+            .iter()
+            .filter(|i| i.severity == Severity::Error)
+            .collect();
         assert!(errors.is_empty(), "errors in {}: {errors:?}", tree.name());
     }
 }

@@ -48,8 +48,7 @@ fn loss_costs_rounds_but_not_safety() {
     // means the lossy run's final overuse is at most slightly worse.
     assert!(lossy.report.converged());
     assert!(
-        lossy.report.final_overuse_fraction()
-            <= clean.report.final_overuse_fraction() + 0.25,
+        lossy.report.final_overuse_fraction() <= clean.report.final_overuse_fraction() + 0.25,
         "lossy {} vs clean {}",
         lossy.report.final_overuse_fraction(),
         clean.report.final_overuse_fraction()
@@ -136,7 +135,8 @@ fn crashed_customers_do_not_block_the_negotiation() {
         ids,
         SimDuration::from_ticks(50),
     ));
-    sim.run().expect("negotiation with crashed customers terminates");
+    sim.run()
+        .expect("negotiation with crashed customers terminates");
     let process = sim.agent::<UtilityProcess>(ua).expect("UA exists");
     let status = process.status().expect("negotiation concluded");
     assert!(status.is_converged(), "status: {status}");
@@ -152,16 +152,18 @@ fn equal_treatment_all_customers_see_identical_announcements() {
     // §6.1: "the Utility Agent communicates all Customer Agents the same
     // announcements, in compliance with Swedish law". Verify on the
     // delivered-message log.
-    use loadbal::core::customer_agent::CustomerAgentState;
     use loadbal::core::distributed::{CustomerProcess, UtilityProcess};
+    use loadbal::core::engine::CustomerEngine;
     use loadbal::massim::runtime::Simulation;
 
     let scenario = ScenarioBuilder::random(10, 0.35, 2).build();
     let mut sim: Simulation<Msg> = Simulation::new(8);
-    let ids: Vec<_> = scenario
-        .customers
-        .iter()
-        .map(|c| sim.add_agent(CustomerProcess::new(CustomerAgentState::new(c.preferences.clone()))))
+    let ids: Vec<_> = (0..scenario.customers.len())
+        .map(|i| {
+            sim.add_agent(CustomerProcess::new(CustomerEngine::for_customer(
+                &scenario, i,
+            )))
+        })
         .collect();
     let _ua = sim.add_agent(UtilityProcess::new(
         &scenario,

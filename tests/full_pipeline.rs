@@ -13,7 +13,9 @@ fn history_for(homes: &[Household], axis: &TimeAxis, days: u64) -> Vec<Series> {
     (0..days)
         .map(|day| {
             let weather = model.temperatures(axis, day);
-            aggregate_demand(homes, &weather, axis, day).series().clone()
+            aggregate_demand(homes, &weather, axis, day)
+                .series()
+                .clone()
         })
         .collect()
 }
@@ -23,7 +25,9 @@ fn grid_to_negotiation_pipeline_shaves_the_peak() {
     let axis = TimeAxis::quarter_hourly();
     let homes = PopulationBuilder::new().households(200).build(11);
     let history = history_for(&homes, &axis, 5);
-    let forecast = WeatherModel::winter().with_anomaly(-4.0).temperatures(&axis, 6);
+    let forecast = WeatherModel::winter()
+        .with_anomaly(-4.0)
+        .temperatures(&axis, 6);
 
     // UA agent-specific tasks: predict, then evaluate.
     let predicted = predict_balance(&WeatherRegression::calibrated(), &history, &forecast);
@@ -68,7 +72,10 @@ fn predictors_agree_on_stable_history() {
     let wr = WeatherRegression::calibrated().predict(&history, &weather);
     // Same order of magnitude: the weather factor is a modest scaling.
     let ratio = wr.sum() / ma.sum();
-    assert!((0.7..1.4).contains(&ratio), "predictors diverge: ratio {ratio}");
+    assert!(
+        (0.7..1.4).contains(&ratio),
+        "predictors diverge: ratio {ratio}"
+    );
 }
 
 #[test]
@@ -82,7 +89,10 @@ fn stable_grid_never_triggers_negotiation() {
     let capacity = Kilowatts(predicted.max() / axis.slot_hours() * 2.0);
     let production = ProductionModel::two_tier(capacity, Kilowatts(capacity.value() * 2.0));
     let assessment = evaluate_prediction(&predicted, &production, &PeakDetector::default());
-    assert!(assessment.peak().is_none(), "no peak expected with double capacity");
+    assert!(
+        assessment.peak().is_none(),
+        "no peak expected with double capacity"
+    );
 }
 
 #[test]
