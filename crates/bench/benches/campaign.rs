@@ -1,0 +1,55 @@
+//! E13 bench: the grid→negotiation campaign pipeline end to end —
+//! simulate, predict, detect, materialise, negotiate — versus
+//! population size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
+use powergrid::calendar::Horizon;
+use powergrid::population::PopulationBuilder;
+use powergrid::prediction::WeatherRegression;
+use powergrid::weather::{Season, WeatherModel};
+
+fn bench_campaign(c: &mut Criterion) {
+    let mut group = c.benchmark_group("campaign");
+    for &households in &[100usize, 400, 1600] {
+        let homes = PopulationBuilder::new().households(households).build(42);
+        let horizon = Horizon::new(10, 0, Season::Winter);
+        group.bench_with_input(
+            BenchmarkId::new("plan_and_run", households),
+            &homes,
+            |b, homes| {
+                b.iter(|| {
+                    let plan = CampaignPlan::build(
+                        homes,
+                        &WeatherModel::winter(),
+                        &horizon,
+                        &WeatherRegression::calibrated(),
+                        CampaignConfig::default(),
+                    );
+                    std::hint::black_box(plan.run())
+                });
+            },
+        );
+        let plan = CampaignPlan::build(
+            &homes,
+            &WeatherModel::winter(),
+            &horizon,
+            &WeatherRegression::calibrated(),
+            CampaignConfig::default(),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_parallel", households),
+            &plan,
+            |b, plan| b.iter(|| std::hint::black_box(plan.run())),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("run_sequential", households),
+            &plan,
+            |b, plan| b.iter(|| std::hint::black_box(plan.run_sequential())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_campaign);
+criterion_main!(benches);

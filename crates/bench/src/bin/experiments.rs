@@ -9,7 +9,7 @@ use loadbal_bench::experiments;
 
 const USAGE: &str = "usage: experiments <id>
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
-       invariants | market | categories | shapes | all";
+       invariants | market | categories | shapes | campaign | all";
 
 fn run(id: &str) -> bool {
     match id {
@@ -51,6 +51,10 @@ fn run(id: &str) -> bool {
         "market" => println!("{}", experiments::market_comparison(500, 42)),
         "categories" => println!("{}", experiments::offer_categories(500, 42)),
         "shapes" => println!("{}", experiments::shape_ablation(200, 10)),
+        "campaign" => println!(
+            "{}",
+            experiments::campaign_grid(&[100, 250, 500], &powergrid::weather::Season::all(), 42)
+        ),
         "all" => {
             for id in [
                 "fig1",
@@ -65,6 +69,7 @@ fn run(id: &str) -> bool {
                 "market",
                 "categories",
                 "shapes",
+                "campaign",
             ] {
                 run(id);
                 println!();

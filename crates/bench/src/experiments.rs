@@ -1,6 +1,7 @@
 //! The experiment implementations (E1–E9).
 
 use loadbal_core::beta::BetaPolicy;
+use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
 use loadbal_core::concession::{verify_announcements, verify_bids};
 use loadbal_core::distributed::run_distributed;
 use loadbal_core::methods::AnnouncementMethod;
@@ -982,6 +983,108 @@ impl fmt::Display for ShapeResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// E13 — the grid→negotiation pipeline: season × population campaigns
+// ---------------------------------------------------------------------
+
+/// One cell of the campaign grid.
+#[derive(Debug, Clone)]
+pub struct CampaignRow {
+    /// The season simulated.
+    pub season: Season,
+    /// Households in the population.
+    pub households: usize,
+    /// Days evaluated after warmup.
+    pub days: usize,
+    /// Peaks detected and negotiated.
+    pub peaks: usize,
+    /// Negotiations that converged.
+    pub converged: usize,
+    /// Total energy shaved out of the peaks.
+    pub energy_shaved: f64,
+    /// Total reward outlay.
+    pub outlay: f64,
+    /// Mean rounds per negotiation.
+    pub mean_rounds: f64,
+}
+
+/// Result of the campaign-grid experiment.
+#[derive(Debug, Clone)]
+pub struct CampaignGridResult {
+    /// One row per season × population-size cell.
+    pub rows: Vec<CampaignRow>,
+    /// Days per campaign (including warmup).
+    pub horizon_days: u64,
+}
+
+/// E13: the full physical pipeline — population → weather → demand →
+/// prediction → peak detection → one negotiation per peak — swept over
+/// a season × population-size grid. Every cell's peak negotiations fan
+/// across cores through [`ScenarioSweep`] (inside
+/// [`CampaignPlan::run`]), and the determinism guarantee (parallel
+/// byte-identical to sequential) keeps each cell replayable.
+pub fn campaign_grid(sizes: &[usize], seasons: &[Season], seed: u64) -> CampaignGridResult {
+    let horizon_days = 10;
+    let rows = seasons
+        .iter()
+        .flat_map(|&season| {
+            sizes.iter().map(move |&households| {
+                let homes = PopulationBuilder::new().households(households).build(seed);
+                let horizon = Horizon::new(horizon_days, 0, season);
+                let plan = CampaignPlan::build(
+                    &homes,
+                    &WeatherModel::new(season),
+                    &horizon,
+                    &WeatherRegression::calibrated(),
+                    CampaignConfig::default(),
+                );
+                let report = plan.run();
+                CampaignRow {
+                    season,
+                    households,
+                    days: report.days_evaluated,
+                    peaks: report.negotiations(),
+                    converged: report.converged(),
+                    energy_shaved: report.total_energy_shaved().value(),
+                    outlay: report.total_rewards().value(),
+                    mean_rounds: report.mean_rounds(),
+                }
+            })
+        })
+        .collect();
+    CampaignGridResult { rows, horizon_days }
+}
+
+impl fmt::Display for CampaignGridResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E13 — grid→negotiation campaigns ({}-day horizons, warmup 3)",
+            self.horizon_days
+        )?;
+        writeln!(
+            f,
+            "  {:<8} {:>10} {:>5} {:>6} {:>10} {:>12} {:>9} {:>7}",
+            "season", "households", "days", "peaks", "converged", "shaved kWh", "outlay", "rounds"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<8} {:>10} {:>5} {:>6} {:>10} {:>12.1} {:>9.1} {:>7.2}",
+                r.season.to_string(),
+                r.households,
+                r.days,
+                r.peaks,
+                r.converged,
+                r.energy_shaved,
+                r.outlay,
+                r.mean_rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
 /// Convenience used by the Figure 6/7 bench: the calibrated scenario.
 pub fn paper_scenario() -> Scenario {
     ScenarioBuilder::paper_figure_6().build()
@@ -1141,6 +1244,28 @@ mod tests {
             "linear pricing overpays small cut-downs, pulling the opening bid up: {}",
             lin.fig8_round1_bid
         );
+    }
+
+    #[test]
+    fn e13_winter_campaigns_negotiate_and_shave() {
+        let r = campaign_grid(&[40, 80], &[Season::Winter, Season::Summer], 7);
+        assert_eq!(r.rows.len(), 4);
+        for row in &r.rows {
+            assert_eq!(
+                row.converged, row.peaks,
+                "{} n={}: every negotiated peak converges",
+                row.season, row.households
+            );
+        }
+        // Winter campaigns carry the heating-driven evening peaks.
+        let winter: Vec<_> = r
+            .rows
+            .iter()
+            .filter(|x| x.season == Season::Winter)
+            .collect();
+        assert!(winter.iter().all(|x| x.peaks > 0));
+        assert!(winter.iter().all(|x| x.energy_shaved > 0.0));
+        assert!(r.to_string().contains("E13"));
     }
 
     #[test]

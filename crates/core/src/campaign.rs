@@ -1,0 +1,478 @@
+//! Grid-backed negotiation campaigns: negotiate the peaks that
+//! `powergrid` predicts.
+//!
+//! This module closes the loop the paper describes end to end: the
+//! physical model produces per-household demand for a simulated day,
+//! the Utility Agent predicts the aggregate from history and the
+//! weather forecast (§5.1.2), peak detection decides which intervals
+//! warrant negotiating, and every detected peak becomes one
+//! [`Scenario`] — customer preferences derived from each household's
+//! `saving_potential` / `max_cutdown` rather than random betas
+//! ([`ScenarioBuilder::from_peak`]) — negotiated through the shared
+//! sans-io engine.
+//!
+//! A [`CampaignPlan`] is built once (a pure function of population,
+//! weather model, horizon and configuration) and then executed either
+//! sequentially or fanned across cores by [`ScenarioSweep`]; the two
+//! produce byte-identical [`CampaignReport`]s, so season × population
+//! grids are safely parallel.
+//!
+//! ```
+//! use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
+//! use powergrid::calendar::Horizon;
+//! use powergrid::population::PopulationBuilder;
+//! use powergrid::prediction::MovingAverage;
+//! use powergrid::weather::{Season, WeatherModel};
+//!
+//! let homes = PopulationBuilder::new().households(60).build(7);
+//! let horizon = Horizon::new(6, 0, Season::Winter);
+//! let plan = CampaignPlan::build(
+//!     &homes,
+//!     &WeatherModel::winter(),
+//!     &horizon,
+//!     &MovingAverage::new(3),
+//!     CampaignConfig::default(),
+//! );
+//! let report = plan.run(); // parallel; byte-identical to run_sequential()
+//! assert_eq!(report.negotiations(), plan.len());
+//! assert_eq!(report, plan.run_sequential());
+//! ```
+
+use crate::beta::BetaPolicy;
+use crate::methods::AnnouncementMethod;
+use crate::session::{NegotiationReport, ScenarioBuilder};
+use crate::sweep::ScenarioSweep;
+use crate::utility_agent::UtilityAgentConfig;
+use powergrid::calendar::{CalendarDay, Horizon};
+use powergrid::demand::simulate_horizon;
+use powergrid::household::Household;
+use powergrid::peak::{Peak, PeakDetector};
+use powergrid::prediction::LoadPredictor;
+use powergrid::production::ProductionModel;
+use powergrid::series::Series;
+use powergrid::time::TimeAxis;
+use powergrid::units::{KilowattHours, Kilowatts, Money};
+use powergrid::weather::WeatherModel;
+use std::fmt;
+use std::num::NonZeroUsize;
+
+/// Everything a campaign fixes besides population, weather and horizon.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignConfig {
+    /// Slot resolution of the simulated days.
+    pub axis: TimeAxis,
+    /// Days of history accumulated before the first prediction; must be
+    /// at least one and smaller than the horizon.
+    pub warmup_days: usize,
+    /// Normal production capacity as a fraction of the highest per-slot
+    /// demand observed during warmup — below 1.0 guarantees that days
+    /// like the warmup days peak above the capacity line.
+    pub capacity_factor: f64,
+    /// Minimum overuse fraction that makes a peak worth negotiating.
+    pub peak_threshold: f64,
+    /// The announcement method every peak is negotiated with.
+    pub method: AnnouncementMethod,
+    /// The Utility Agent configuration.
+    pub ua_config: UtilityAgentConfig,
+    /// Worker-thread cap for [`CampaignPlan::run`] (`None` = machine
+    /// parallelism).
+    pub threads: Option<NonZeroUsize>,
+}
+
+impl Default for CampaignConfig {
+    /// Quarter-hour slots, three warmup days, capacity at 90 % of the
+    /// warmup peak, 2 % overuse threshold, reward tables with the paper
+    /// UA configuration recalibrated for grid-level peaks: the campaign
+    /// UA negotiates until the peak is back *under the capacity line*
+    /// (`max_allowed_overuse` 0 — grid peaks are a few percent of
+    /// capacity, far below the Figure-6 scenario's 15 % tolerance, which
+    /// would declare every one of them acceptable untouched), and β is
+    /// rescaled from the paper's 2-at-35 %-overuse calibration to the
+    /// ~5 % overuse a real peak carries (the §6 increment is β·overuse·…,
+    /// so the paper β saturates below ε before rewards ever move).
+    fn default() -> CampaignConfig {
+        CampaignConfig {
+            axis: TimeAxis::quarter_hourly(),
+            warmup_days: 3,
+            capacity_factor: 0.90,
+            peak_threshold: 0.02,
+            method: AnnouncementMethod::RewardTables,
+            ua_config: UtilityAgentConfig::paper()
+                .with_max_allowed_overuse(0.0)
+                .with_beta_policy(BetaPolicy::constant(14.0)),
+            threads: None,
+        }
+    }
+}
+
+/// One peak scheduled for negotiation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlannedPeak {
+    /// The day the peak falls on.
+    pub day: CalendarDay,
+    /// The detected peak.
+    pub peak: Peak,
+}
+
+/// One evaluated day of the campaign: its peaks (possibly none).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayPlan {
+    /// The calendar day.
+    pub day: CalendarDay,
+    /// Peaks detected in the day's predicted demand, in time order.
+    pub peaks: Vec<Peak>,
+}
+
+/// A fully materialised campaign: one [`Scenario`](crate::session::Scenario)
+/// per detected peak, ready to run.
+///
+/// Building the plan is deterministic; running it is embarrassingly
+/// parallel (every scenario is an independent pure value).
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    days: Vec<DayPlan>,
+    planned: Vec<PlannedPeak>,
+    sweep: ScenarioSweep,
+    production: ProductionModel,
+}
+
+impl CampaignPlan {
+    /// Plans a campaign: simulates the horizon's actual demand, predicts
+    /// each post-warmup day from its history with `predictor`, detects
+    /// every negotiable peak, and derives one scenario per peak with
+    /// [`ScenarioBuilder::from_peak`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `households` is empty, `config.warmup_days` is zero, or
+    /// the horizon is not longer than the warmup.
+    pub fn build(
+        households: &[Household],
+        weather_model: &WeatherModel,
+        horizon: &Horizon,
+        predictor: &dyn LoadPredictor,
+        config: CampaignConfig,
+    ) -> CampaignPlan {
+        assert!(!households.is_empty(), "a campaign needs households");
+        assert!(config.warmup_days > 0, "prediction needs warmup history");
+        assert!(
+            horizon.len() as usize > config.warmup_days,
+            "horizon of {} days leaves nothing to evaluate after {} warmup days",
+            horizon.len(),
+            config.warmup_days
+        );
+        let axis = config.axis;
+        let simulated = simulate_horizon(households, weather_model, horizon, &axis);
+        let actuals: Vec<Series> = simulated.iter().map(|(c, _)| c.series().clone()).collect();
+        let weathers: Vec<Series> = simulated.into_iter().map(|(_, w)| w).collect();
+
+        // Capacity sized from the warmup days' highest slot demand.
+        let warmup_peak_kwh = actuals[..config.warmup_days]
+            .iter()
+            .map(|s| s.max())
+            .fold(0.0f64, f64::max);
+        let normal = Kilowatts(warmup_peak_kwh / axis.slot_hours() * config.capacity_factor);
+        let production = ProductionModel::two_tier(normal, Kilowatts(normal.value() * 2.0));
+        let detector = PeakDetector::new(config.peak_threshold);
+
+        let mut days = Vec::new();
+        let mut planned = Vec::new();
+        let mut sweep = ScenarioSweep::new();
+        if let Some(threads) = config.threads {
+            sweep = sweep.threads(threads);
+        }
+        for day in horizon.days().skip(config.warmup_days) {
+            let d = day.index as usize;
+            let predicted = predictor.predict(&actuals[..d], &weathers[d]);
+            let peaks = detector.detect_all(&predicted, &production);
+            for peak in &peaks {
+                let scenario = ScenarioBuilder::from_peak(
+                    households,
+                    &axis,
+                    weathers[d].mean(),
+                    peak,
+                    day.index,
+                    day.day_type.intensity_factor(),
+                )
+                .config(config.ua_config.clone())
+                .method(config.method)
+                .build();
+                let label = format!("day{}/{}", day.index, peak.interval);
+                sweep = sweep.point(label, scenario);
+                planned.push(PlannedPeak { day, peak: *peak });
+            }
+            days.push(DayPlan { day, peaks });
+        }
+        CampaignPlan {
+            days,
+            planned,
+            sweep,
+            production,
+        }
+    }
+
+    /// Number of peaks scheduled for negotiation.
+    pub fn len(&self) -> usize {
+        self.planned.len()
+    }
+
+    /// True if no day produced a negotiable peak.
+    pub fn is_empty(&self) -> bool {
+        self.planned.is_empty()
+    }
+
+    /// The per-day plans (peaks per evaluated day, possibly none).
+    pub fn days(&self) -> &[DayPlan] {
+        &self.days
+    }
+
+    /// The production model capacity was sized against.
+    pub fn production(&self) -> &ProductionModel {
+        &self.production
+    }
+
+    /// The underlying sweep grid (one cell per peak).
+    pub fn sweep(&self) -> &ScenarioSweep {
+        &self.sweep
+    }
+
+    /// Negotiates every planned peak in parallel via [`ScenarioSweep`];
+    /// byte-identical to [`CampaignPlan::run_sequential`].
+    pub fn run(&self) -> CampaignReport {
+        self.assemble(self.sweep.run())
+    }
+
+    /// Negotiates every planned peak on the calling thread (the
+    /// reference order for determinism checks).
+    pub fn run_sequential(&self) -> CampaignReport {
+        self.assemble(self.sweep.run_sequential())
+    }
+
+    fn assemble(&self, outcomes: Vec<crate::sweep::SweepOutcome>) -> CampaignReport {
+        let outcomes = self
+            .planned
+            .iter()
+            .zip(outcomes)
+            .map(|(p, o)| IntervalOutcome {
+                day: p.day,
+                peak: p.peak,
+                label: o.label,
+                report: o.report,
+            })
+            .collect();
+        CampaignReport {
+            outcomes,
+            days_evaluated: self.days.len(),
+        }
+    }
+}
+
+/// The result of negotiating one detected peak.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntervalOutcome {
+    /// The day the peak fell on.
+    pub day: CalendarDay,
+    /// The peak that triggered the negotiation.
+    pub peak: Peak,
+    /// The sweep-cell label (`day<i>/<interval>`).
+    pub label: String,
+    /// The negotiation's full report.
+    pub report: NegotiationReport,
+}
+
+impl IntervalOutcome {
+    /// Energy the negotiation took out of this peak interval.
+    pub fn energy_shaved(&self) -> KilowattHours {
+        self.report.energy_shaved()
+    }
+}
+
+/// Aggregate result of a day- or season-campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// One outcome per negotiated peak, in plan order.
+    pub outcomes: Vec<IntervalOutcome>,
+    /// Days the campaign evaluated (post-warmup), peaks or not.
+    pub days_evaluated: usize,
+}
+
+impl CampaignReport {
+    /// Number of peaks negotiated.
+    pub fn negotiations(&self) -> usize {
+        self.outcomes.len()
+    }
+
+    /// Evaluated days on which no peak warranted negotiation.
+    pub fn stable_days(&self) -> usize {
+        let peak_days: std::collections::BTreeSet<u64> =
+            self.outcomes.iter().map(|o| o.day.index).collect();
+        self.days_evaluated - peak_days.len()
+    }
+
+    /// Number of negotiations that converged by protocol rules.
+    pub fn converged(&self) -> usize {
+        self.outcomes
+            .iter()
+            .filter(|o| o.report.converged())
+            .count()
+    }
+
+    /// True if every negotiated peak converged.
+    pub fn all_converged(&self) -> bool {
+        self.converged() == self.negotiations()
+    }
+
+    /// Total energy shaved across every negotiated peak.
+    pub fn total_energy_shaved(&self) -> KilowattHours {
+        self.outcomes.iter().map(|o| o.energy_shaved()).sum()
+    }
+
+    /// Total reward outlay across every negotiated peak.
+    pub fn total_rewards(&self) -> Money {
+        self.outcomes.iter().map(|o| o.report.total_rewards()).sum()
+    }
+
+    /// Mean rounds per negotiation (zero for an empty campaign).
+    pub fn mean_rounds(&self) -> f64 {
+        if self.outcomes.is_empty() {
+            return 0.0;
+        }
+        self.outcomes
+            .iter()
+            .map(|o| o.report.rounds().len() as f64)
+            .sum::<f64>()
+            / self.outcomes.len() as f64
+    }
+}
+
+impl fmt::Display for CampaignReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "campaign: {} days evaluated, {} peaks negotiated ({} converged), \
+             {:.1} kWh shaved, {:.1} rewards paid, {:.2} mean rounds",
+            self.days_evaluated,
+            self.negotiations(),
+            self.converged(),
+            self.total_energy_shaved().value(),
+            self.total_rewards().value(),
+            self.mean_rounds()
+        )?;
+        for o in &self.outcomes {
+            writeln!(
+                f,
+                "  {:<16} {:>2} rounds | overuse {:>5.1}% → {:>5.1}% | shaved {:>7.2} kWh | {}",
+                o.label,
+                o.report.rounds().len(),
+                100.0 * o.report.initial_overuse_fraction(),
+                100.0 * o.report.final_overuse_fraction(),
+                o.energy_shaved().value(),
+                o.report.status()
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use powergrid::population::PopulationBuilder;
+    use powergrid::prediction::{MovingAverage, SeasonalNaive};
+    use powergrid::weather::Season;
+
+    fn small_campaign() -> CampaignPlan {
+        let homes = PopulationBuilder::new().households(40).build(11);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        CampaignPlan::build(
+            &homes,
+            &WeatherModel::winter(),
+            &horizon,
+            &MovingAverage::new(3),
+            CampaignConfig::default(),
+        )
+    }
+
+    #[test]
+    fn plan_covers_every_detected_peak() {
+        let plan = small_campaign();
+        let total_peaks: usize = plan.days().iter().map(|d| d.peaks.len()).sum();
+        assert_eq!(plan.len(), total_peaks);
+        assert_eq!(plan.days().len(), 3, "6-day horizon minus 3 warmup days");
+        assert!(
+            !plan.is_empty(),
+            "winter evenings must peak above 95 % capacity"
+        );
+        assert_eq!(plan.sweep().len(), plan.len());
+    }
+
+    #[test]
+    fn parallel_run_is_byte_identical_to_sequential() {
+        let plan = small_campaign();
+        let parallel = plan.run();
+        let sequential = plan.run_sequential();
+        assert_eq!(parallel, sequential);
+    }
+
+    #[test]
+    fn campaign_converges_and_shaves_energy() {
+        let report = small_campaign().run();
+        assert!(report.all_converged(), "{report}");
+        assert!(report.total_energy_shaved().value() > 0.0, "{report}");
+        assert!(report.negotiations() > 0);
+        assert!(report.stable_days() < report.days_evaluated);
+        let text = report.to_string();
+        assert!(text.contains("peaks negotiated"));
+    }
+
+    #[test]
+    fn plans_are_deterministic() {
+        let a = small_campaign();
+        let b = small_campaign();
+        assert_eq!(a.sweep().points(), b.sweep().points());
+        assert_eq!(a.run(), b.run());
+    }
+
+    #[test]
+    fn predictor_choice_changes_the_plan_not_the_guarantees() {
+        let homes = PopulationBuilder::new().households(30).build(5);
+        let horizon = Horizon::new(5, 2, Season::Winter);
+        let naive = CampaignPlan::build(
+            &homes,
+            &WeatherModel::winter(),
+            &horizon,
+            &SeasonalNaive,
+            CampaignConfig::default(),
+        );
+        let report = naive.run();
+        assert_eq!(report.negotiations(), naive.len());
+        assert!(report.all_converged(), "{report}");
+    }
+
+    #[test]
+    #[should_panic(expected = "leaves nothing to evaluate")]
+    fn short_horizon_panics() {
+        let homes = PopulationBuilder::new().households(5).build(1);
+        let horizon = Horizon::new(3, 0, Season::Winter);
+        let _ = CampaignPlan::build(
+            &homes,
+            &WeatherModel::winter(),
+            &horizon,
+            &MovingAverage::new(3),
+            CampaignConfig::default(),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "needs households")]
+    fn empty_population_panics() {
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let _ = CampaignPlan::build(
+            &[],
+            &WeatherModel::winter(),
+            &horizon,
+            &MovingAverage::new(3),
+            CampaignConfig::default(),
+        );
+    }
+}

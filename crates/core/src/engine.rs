@@ -581,6 +581,14 @@ pub struct CustomerEngine {
     tariff: Tariff,
     /// Current request-for-bids commitment.
     commitment: Fraction,
+    /// Highest request-for-bids round already answered (0 = none). A
+    /// duplicated or reordered-stale `RequestBids` (at-least-once,
+    /// out-of-order transport) must re-send the same commitment, not
+    /// concede another step.
+    answered_rfb_round: u32,
+    /// Highest reward-table round already answered (0 = none), for the
+    /// same idempotency under duplicated or stale announcements.
+    answered_announce_round: u32,
     awarded: Option<Settlement>,
     effects: VecDeque<Effect>,
 }
@@ -614,6 +622,8 @@ impl CustomerEngine {
             allowed_use,
             tariff,
             commitment: Fraction::ZERO,
+            answered_rfb_round: 0,
+            answered_announce_round: 0,
             awarded: None,
             effects: VecDeque::new(),
         }
@@ -637,7 +647,17 @@ impl CustomerEngine {
         };
         match msg {
             Msg::Announce { round, table } => {
-                let cutdown = self.state.respond(&table);
+                // A duplicated *or reordered-stale* announcement
+                // (`round ≤` the newest answered) re-sends the recorded
+                // bid without conceding again or growing the history —
+                // and never regresses the high-water mark, or a later
+                // duplicate of the newest round would re-concede too.
+                let cutdown = if round <= self.answered_announce_round {
+                    self.state.previous_bid()
+                } else {
+                    self.state.respond(&table)
+                };
+                self.answered_announce_round = self.answered_announce_round.max(round);
                 self.effects.push_back(Effect::Send {
                     to: Peer::Utility,
                     msg: Msg::Bid { round, cutdown },
@@ -657,13 +677,20 @@ impl CustomerEngine {
                 });
             }
             Msg::RequestBids { round } => {
-                let next = rfb_step(
-                    self.state.preferences(),
-                    self.commitment,
-                    self.predicted_use,
-                    self.allowed_use,
-                    &self.tariff,
-                );
+                // Same duplicate/stale guard as for announcements: only
+                // a round *beyond* the newest answered one concedes.
+                let next = if round <= self.answered_rfb_round {
+                    self.commitment
+                } else {
+                    rfb_step(
+                        self.state.preferences(),
+                        self.commitment,
+                        self.predicted_use,
+                        self.allowed_use,
+                        &self.tariff,
+                    )
+                };
+                self.answered_rfb_round = self.answered_rfb_round.max(round);
                 self.commitment = next;
                 self.effects.push_back(Effect::Send {
                     to: Peer::Utility,
@@ -817,6 +844,189 @@ mod tests {
         // The Figure 8/9 customer opens at 0.2.
         assert_eq!(cutdown, Fraction::clamped(0.2));
         assert!(ca.poll_effect().is_none());
+    }
+
+    #[test]
+    fn duplicated_announcements_are_idempotent() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let table = scenario.config.initial_table(scenario.interval);
+        let mut ca = CustomerEngine::for_customer(&scenario, 0);
+        for _ in 0..3 {
+            ca.handle(Input::Received {
+                from: Peer::Utility,
+                msg: Msg::Announce {
+                    round: 1,
+                    table: table.clone(),
+                },
+            });
+        }
+        // Three replies, all identical, and a single history entry.
+        let mut bids = Vec::new();
+        while let Some(Effect::Send {
+            msg: Msg::Bid { round: 1, cutdown },
+            ..
+        }) = ca.poll_effect()
+        {
+            bids.push(cutdown);
+        }
+        assert_eq!(bids, vec![Fraction::clamped(0.2); 3]);
+        assert_eq!(ca.bid_history(), &[Fraction::clamped(0.2)]);
+    }
+
+    #[test]
+    fn duplicated_bid_requests_do_not_double_concede() {
+        let scenario = ScenarioBuilder::random(6, 0.35, 3)
+            .method(AnnouncementMethod::RequestForBids)
+            .build();
+        let mut ca = CustomerEngine::for_customer(&scenario, 0);
+        let reply = |ca: &mut CustomerEngine| {
+            ca.handle(Input::Received {
+                from: Peer::Utility,
+                msg: Msg::RequestBids { round: 1 },
+            });
+            let Some(Effect::Send {
+                msg: Msg::NeedBid { cutdown, .. },
+                ..
+            }) = ca.poll_effect()
+            else {
+                panic!("expected a NeedBid reply");
+            };
+            cutdown
+        };
+        let first = reply(&mut ca);
+        let duplicate = reply(&mut ca);
+        assert_eq!(
+            first, duplicate,
+            "a duplicated round-1 request must not advance the concession"
+        );
+        // The next *round* still concedes as usual.
+        ca.handle(Input::Received {
+            from: Peer::Utility,
+            msg: Msg::RequestBids { round: 2 },
+        });
+        let Some(Effect::Send {
+            msg: Msg::NeedBid { cutdown, .. },
+            ..
+        }) = ca.poll_effect()
+        else {
+            panic!("expected a round-2 reply");
+        };
+        assert!(cutdown >= first, "monotonic concession across rounds");
+    }
+
+    #[test]
+    fn reordered_stale_requests_do_not_concede_or_regress_the_guard() {
+        // A reordered network can deliver an *old* round's message after
+        // a newer round was already answered. The customer must neither
+        // concede on the stale message nor let it regress the
+        // duplicate guard (or a later copy of the newest round would
+        // re-concede).
+        let scenario = ScenarioBuilder::random(6, 0.35, 3)
+            .method(AnnouncementMethod::RequestForBids)
+            .build();
+        let mut ca = CustomerEngine::for_customer(&scenario, 0);
+        let reply = |ca: &mut CustomerEngine, round: u32| {
+            ca.handle(Input::Received {
+                from: Peer::Utility,
+                msg: Msg::RequestBids { round },
+            });
+            let Some(Effect::Send {
+                msg: Msg::NeedBid { cutdown, .. },
+                ..
+            }) = ca.poll_effect()
+            else {
+                panic!("expected a NeedBid reply");
+            };
+            cutdown
+        };
+        let r1 = reply(&mut ca, 1);
+        let r2 = reply(&mut ca, 2);
+        // Held-back copy of round 1 arrives late: idempotent reply,
+        // commitment untouched.
+        let stale = reply(&mut ca, 1);
+        assert_eq!(stale, r2, "stale request must re-send the commitment");
+        // And a duplicate of round 2 afterwards is still idempotent.
+        let dup2 = reply(&mut ca, 2);
+        assert_eq!(dup2, r2, "guard must not regress to the stale round");
+        let _ = r1;
+
+        // Same for reward-table announcements.
+        let rt = ScenarioBuilder::paper_figure_6().build();
+        let table = rt.config.initial_table(rt.interval);
+        let mut ca = CustomerEngine::for_customer(&rt, 0);
+        let announce = |ca: &mut CustomerEngine, round: u32| {
+            ca.handle(Input::Received {
+                from: Peer::Utility,
+                msg: Msg::Announce {
+                    round,
+                    table: table.clone(),
+                },
+            });
+            let Some(Effect::Send {
+                msg: Msg::Bid { cutdown, .. },
+                ..
+            }) = ca.poll_effect()
+            else {
+                panic!("expected a bid");
+            };
+            cutdown
+        };
+        let b1 = announce(&mut ca, 1);
+        let b2 = announce(&mut ca, 2);
+        let stale = announce(&mut ca, 1);
+        assert_eq!(stale, b2, "stale announcement re-sends the current bid");
+        assert_eq!(
+            ca.bid_history().len(),
+            2,
+            "no history entry for stale rounds"
+        );
+        let dup = announce(&mut ca, 2);
+        assert_eq!(dup, b2);
+        assert_eq!(ca.bid_history().len(), 2);
+        let _ = b1;
+    }
+
+    #[test]
+    fn duplicated_bids_at_the_utility_are_idempotent() {
+        let scenario = ScenarioBuilder::random(4, 0.35, 1).build();
+        let mut ua = UtilityEngine::new(&scenario);
+        ua.handle(Input::Start);
+        while ua.poll_effect().is_some() {}
+        // Customer 0's bid arrives three times (retransmitting network);
+        // the round must conclude only once all four *distinct* customers
+        // are heard, and with the same bids a single delivery produces.
+        for _ in 0..3 {
+            ua.handle(Input::Received {
+                from: Peer::Customer(0),
+                msg: Msg::Bid {
+                    round: 1,
+                    cutdown: Fraction::clamped(0.2),
+                },
+            });
+        }
+        assert!(
+            std::iter::from_fn(|| ua.poll_effect()).all(|e| !matches!(e, Effect::RoundComplete(_))),
+            "duplicates of one customer must not conclude the round"
+        );
+        for i in 1..4 {
+            ua.handle(Input::Received {
+                from: Peer::Customer(i),
+                msg: Msg::Bid {
+                    round: 1,
+                    cutdown: Fraction::ZERO,
+                },
+            });
+        }
+        let mut rounds = 0;
+        let mut first_bid = None;
+        while let Some(e) = ua.poll_effect() {
+            if let Effect::RoundComplete(r) = e {
+                rounds += 1;
+                first_bid = Some(r.bids[0]);
+            }
+        }
+        assert_eq!(rounds, 1, "exactly one conclusion despite duplicates");
+        assert_eq!(first_bid, Some(Fraction::clamped(0.2)));
     }
 
     #[test]

@@ -82,11 +82,60 @@
 //! let outcomes = sweep.run(); // parallel, byte-identical to sequential
 //! assert!(outcomes.iter().all(|o| o.report.converged()));
 //! ```
+//!
+//! # The `powergrid` → `Scenario` pipeline
+//!
+//! Scenarios need not be synthetic: the [`campaign`] module wires the
+//! physical model into the negotiation core, stage by stage —
+//!
+//! 1. **Simulate** — a [`powergrid::population::PopulationBuilder`]
+//!    population under a [`powergrid::weather::WeatherModel`] over a
+//!    [`powergrid::calendar::Horizon`] yields per-slot demand for every
+//!    day ([`powergrid::demand::simulate_horizon`]);
+//! 2. **Predict** — a [`powergrid::prediction::LoadPredictor`] forecasts
+//!    each post-warmup day from its history and the weather forecast
+//!    (§5.1.2 *determine predicted balance*);
+//! 3. **Detect** — [`powergrid::peak::PeakDetector::detect_all`] finds
+//!    every interval whose predicted overuse warrants the effort of
+//!    negotiating (§5.1.2 *evaluate prediction*);
+//! 4. **Materialise** — each peak becomes a [`session::Scenario`] via
+//!    [`session::ScenarioBuilder::from_peak`]: per-customer predicted
+//!    use is the household's demand over the peak interval, and its
+//!    private preferences are *physically grounded* — the cut-down
+//!    ceiling is `saving_potential / interval usage`
+//!    ([`powergrid::household::Household::max_cutdown`]), the
+//!    reluctance scale falls with that flexibility; no random betas;
+//! 5. **Negotiate** — [`campaign::CampaignPlan::run`] fans every peak's
+//!    negotiation across cores with [`sweep::ScenarioSweep`]
+//!    (byte-identical to sequential execution) and aggregates a
+//!    [`campaign::CampaignReport`]: energy shaved, rounds, convergence
+//!    per interval.
+//!
+//! ```
+//! use loadbal_core::prelude::*;
+//! use powergrid::calendar::Horizon;
+//! use powergrid::population::PopulationBuilder;
+//! use powergrid::prediction::MovingAverage;
+//! use powergrid::weather::{Season, WeatherModel};
+//!
+//! let homes = PopulationBuilder::new().households(50).build(42);
+//! let plan = CampaignPlan::build(
+//!     &homes,
+//!     &WeatherModel::winter(),
+//!     &Horizon::new(6, 0, Season::Winter),
+//!     &MovingAverage::new(3),
+//!     CampaignConfig::default(),
+//! );
+//! let report = plan.run();
+//! assert!(report.all_converged());
+//! assert!(report.total_energy_shaved().value() > 0.0);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod beta;
+pub mod campaign;
 pub mod category;
 pub mod concession;
 pub mod desire_host;
@@ -111,6 +160,7 @@ pub mod utility_agent;
 /// The most frequently used items.
 pub mod prelude {
     pub use crate::beta::BetaPolicy;
+    pub use crate::campaign::{CampaignConfig, CampaignPlan, CampaignReport, IntervalOutcome};
     pub use crate::concession::{NegotiationStatus, TerminationReason};
     pub use crate::engine::{CustomerEngine, Effect, Input, Peer, UtilityEngine};
     pub use crate::message::Msg;

@@ -171,6 +171,27 @@ impl NegotiationReport {
         self.normal_use
     }
 
+    /// Total predicted consumption before negotiation.
+    pub fn initial_total(&self) -> KilowattHours {
+        self.initial_total
+    }
+
+    /// Total predicted consumption after the final round.
+    pub fn final_total(&self) -> KilowattHours {
+        self.rounds
+            .last()
+            .map(|r| r.predicted_total)
+            .unwrap_or(self.initial_total)
+    }
+
+    /// Energy the negotiation took out of the peak interval: the drop in
+    /// total predicted consumption from the initial prediction to the
+    /// final round (unlike [`NegotiationReport::final_overuse`], not
+    /// clamped at the capacity line, so cut-downs below capacity count).
+    pub fn energy_shaved(&self) -> KilowattHours {
+        (self.initial_total - self.final_total()).clamp_non_negative()
+    }
+
     /// Predicted overuse before negotiation, in energy.
     pub fn initial_overuse(&self) -> KilowattHours {
         (self.initial_total - self.normal_use).clamp_non_negative()
@@ -334,12 +355,14 @@ impl ScenarioBuilder {
         let mut customers = Vec::with_capacity(households.len());
         let mut total = KilowattHours::ZERO;
         for h in households {
-            let predicted = h
-                .demand_profile(axis, mean_temp, seed)
-                .energy_over(interval);
+            let (predicted, potential) = h.interval_flexibility(axis, mean_temp, seed, interval);
             let day_share = interval.hours(*axis) / 24.0;
             let allowed = h.allowed_use() * day_share;
-            let ceiling = h.max_cutdown(axis, mean_temp, seed, interval);
+            let ceiling = if predicted.value() <= f64::EPSILON {
+                Fraction::ZERO
+            } else {
+                Fraction::clamped(potential / predicted)
+            };
             let k = rng.gen_range(0.8..2.5);
             total += predicted;
             customers.push(CustomerProfile {
@@ -351,6 +374,67 @@ impl ScenarioBuilder {
         let mut b = ScenarioBuilder::new();
         b.interval = interval;
         b.normal_use = total * capacity_margin;
+        b.customers = customers;
+        b
+    }
+
+    /// Derives a scenario for one *detected* peak: per-customer predicted
+    /// use is each household's demand over the peak interval, the
+    /// normal-use capacity is the grid capacity the peak was detected
+    /// against, and the private preferences are physically grounded —
+    /// the cut-down ceiling is the household's `saving_potential` over
+    /// its interval usage (`max_cutdown`), and its reluctance scale `k`
+    /// falls with that flexibility (a household whose load is mostly
+    /// shiftable is cheap to convince; one with only rigid load demands
+    /// more per cut-down level). No random betas: the same population,
+    /// weather and peak always produce byte-identical scenarios.
+    ///
+    /// `demand_scale` is the day-type intensity factor the aggregate
+    /// curve the peak was detected on carried
+    /// ([`powergrid::calendar::DayType::intensity_factor`]: 1.0 on
+    /// weekdays, 1.08 on weekends) — without it, weekend scenarios would
+    /// understate the demand that caused the peak.
+    pub fn from_peak(
+        households: &[powergrid::household::Household],
+        axis: &powergrid::time::TimeAxis,
+        mean_temp: f64,
+        peak: &powergrid::peak::Peak,
+        seed: u64,
+        demand_scale: f64,
+    ) -> ScenarioBuilder {
+        assert!(
+            demand_scale > 0.0 && demand_scale.is_finite(),
+            "demand scale must be positive, got {demand_scale}"
+        );
+        let interval = peak.interval;
+        let day_share = interval.hours(*axis) / 24.0;
+        let mut customers = Vec::with_capacity(households.len());
+        for h in households {
+            let (usage, potential) = h.interval_flexibility(axis, mean_temp, seed, interval);
+            let (usage, potential) = (usage * demand_scale, potential * demand_scale);
+            let flexibility = if usage.value() > f64::EPSILON {
+                (potential / usage).clamp(0.0, 1.0)
+            } else {
+                0.0
+            };
+            let ceiling = Fraction::clamped(flexibility);
+            // k ∈ [0.6, 2.8]: fully flexible households sit near the
+            // cheap end of the Figure-8 threshold family, rigid ones at
+            // the reluctant end.
+            let k = (2.8 - 2.2 * flexibility).clamp(0.6, 2.8);
+            // The prorated allowance carries the same day-type scale as
+            // demand, or the `.max(usage)` floor would silently erase
+            // weekend households' consumption headroom.
+            let allowed = h.allowed_use() * day_share * demand_scale;
+            customers.push(CustomerProfile {
+                predicted_use: usage,
+                allowed_use: allowed.max(usage),
+                preferences: CustomerPreferences::from_base_scaled(k, ceiling),
+            });
+        }
+        let mut b = ScenarioBuilder::new();
+        b.interval = interval;
+        b.normal_use = peak.normal_use;
         b.customers = customers;
         b
     }
@@ -506,6 +590,86 @@ mod tests {
         for c in &s.customers {
             assert!(c.allowed_use >= c.predicted_use);
         }
+    }
+
+    #[test]
+    fn from_peak_is_deterministic_and_physically_grounded() {
+        use powergrid::peak::Peak;
+        use powergrid::population::PopulationBuilder;
+        use powergrid::time::{TimeAxis, TimeOfDay};
+        use powergrid::units::KilowattHours;
+        let axis = TimeAxis::quarter_hourly();
+        let homes = PopulationBuilder::new().households(25).build(4);
+        let interval = axis.between(TimeOfDay::hm(17, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap());
+        let peak = Peak {
+            interval,
+            predicted_overuse: KilowattHours(30.0),
+            normal_use: KilowattHours(100.0),
+        };
+        let a = ScenarioBuilder::from_peak(&homes, &axis, -4.0, &peak, 9, 1.0).build();
+        let b = ScenarioBuilder::from_peak(&homes, &axis, -4.0, &peak, 9, 1.0).build();
+        assert_eq!(a, b, "same population + peak ⇒ identical scenario");
+        // The weekend intensity factor scales predicted demand (the
+        // ceiling fraction is scale-invariant).
+        let weekend = ScenarioBuilder::from_peak(&homes, &axis, -4.0, &peak, 9, 1.08).build();
+        for (w, c) in weekend.customers.iter().zip(&a.customers) {
+            assert!(
+                (w.predicted_use.value() - 1.08 * c.predicted_use.value()).abs() < 1e-9,
+                "weekend demand carries the 1.08 factor"
+            );
+            // The ceiling fraction is scale-invariant (up to rounding).
+            assert!(
+                (w.preferences.max_cutdown().value() - c.preferences.max_cutdown().value()).abs()
+                    < 1e-12
+            );
+        }
+        assert_eq!(a.normal_use, peak.normal_use);
+        assert_eq!(a.interval, interval);
+        for (c, h) in a.customers.iter().zip(&homes) {
+            // Predicted use is the household's physical demand over the peak.
+            let expected = h.demand_profile(&axis, -4.0, 9).energy_over(interval);
+            assert_eq!(c.predicted_use, expected);
+            // The preference ceiling is the household's physical max cut-down.
+            assert_eq!(
+                c.preferences.max_cutdown(),
+                h.max_cutdown(&axis, -4.0, 9, interval)
+            );
+            assert!(c.allowed_use >= c.predicted_use);
+        }
+        // More flexible households are cheaper to convince (smaller k ⇒
+        // lower required reward at every level).
+        let mut pairs: Vec<_> = a
+            .customers
+            .iter()
+            .map(|c| {
+                (
+                    c.preferences.max_cutdown(),
+                    c.preferences.required_for(Fraction::clamped(0.3)).unwrap(),
+                )
+            })
+            .collect();
+        pairs.sort_by_key(|x| x.0);
+        for w in pairs.windows(2) {
+            assert!(
+                w[0].1 >= w[1].1,
+                "flexibility up ⇒ required reward down: {pairs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn energy_shaved_matches_round_history() {
+        let report = ScenarioBuilder::paper_figure_6().build().run();
+        let last = report.rounds().last().unwrap().predicted_total;
+        assert_eq!(report.final_total(), last);
+        assert_eq!(report.initial_total(), KilowattHours(135.0));
+        assert!(
+            (report.energy_shaved() - (KilowattHours(135.0) - last))
+                .value()
+                .abs()
+                < 1e-12
+        );
+        assert!(report.energy_shaved().value() > 0.0);
     }
 
     #[test]

@@ -154,14 +154,35 @@ impl Household {
         seed: u64,
         interval: Interval,
     ) -> KilowattHours {
+        self.interval_flexibility(axis, mean_temp, seed, interval).1
+    }
+
+    /// Interval demand and saving potential in one pass over the
+    /// devices, returning `(usage, potential)`.
+    ///
+    /// Byte-identical to calling [`Household::demand_profile`] (then
+    /// [`Series::energy_over`]) and [`Household::saving_potential`]
+    /// separately — same jitter stream, same accumulation order — but
+    /// each device's load profile is generated once instead of twice.
+    /// This is the hot path of scenario derivation: one call per
+    /// household per detected peak.
+    pub fn interval_flexibility(
+        &self,
+        axis: &TimeAxis,
+        mean_temp: f64,
+        seed: u64,
+        interval: Interval,
+    ) -> (KilowattHours, KilowattHours) {
         let mut rng = StdRng::seed_from_u64(seed.wrapping_mul(0x9e37_79b9).wrapping_add(self.id.0));
-        let mut total = KilowattHours::ZERO;
+        let mut total = Series::zeros(*axis);
+        let mut potential = KilowattHours::ZERO;
         for device in &self.devices {
             let jitter = rng.gen_range(0.85..1.15);
             let load = device.load_profile(axis, mean_temp, self.intensity * jitter);
-            total += device.saving_potential(&load, interval);
+            potential += device.saving_potential(&load, interval);
+            total.accumulate(&load);
         }
-        total
+        (total.energy_over(interval), potential)
     }
 
     /// The largest cut-down fraction of interval usage the household can
@@ -173,13 +194,10 @@ impl Household {
         seed: u64,
         interval: Interval,
     ) -> Fraction {
-        let usage = self
-            .demand_profile(axis, mean_temp, seed)
-            .energy_over(interval);
+        let (usage, potential) = self.interval_flexibility(axis, mean_temp, seed, interval);
         if usage.value() <= f64::EPSILON {
             return Fraction::ZERO;
         }
-        let potential = self.saving_potential(axis, mean_temp, seed, interval);
         Fraction::clamped(potential / usage)
     }
 }
@@ -264,6 +282,15 @@ mod tests {
         let f = h.max_cutdown(&axis(), -4.0, 7, evening(axis()));
         assert!(f > Fraction::ZERO);
         assert!(f < Fraction::ONE);
+    }
+
+    #[test]
+    fn interval_flexibility_matches_the_two_pass_computation() {
+        let h = Household::standard(HouseholdId(7), 3);
+        let iv = evening(axis());
+        let (usage, potential) = h.interval_flexibility(&axis(), -4.0, 7, iv);
+        assert_eq!(usage, h.demand_profile(&axis(), -4.0, 7).energy_over(iv));
+        assert_eq!(potential, h.saving_potential(&axis(), -4.0, 7, iv));
     }
 
     #[test]

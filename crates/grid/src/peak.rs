@@ -93,19 +93,37 @@ impl PeakDetector {
         self.threshold
     }
 
-    /// Finds the largest contiguous run of slots where `predicted` exceeds
-    /// normal capacity, and returns it as a [`Peak`] if its overuse
-    /// fraction is at or above the threshold.
+    /// Finds the largest-excess peak among [`PeakDetector::detect_all`]'s
+    /// candidates (ties go to the earliest run).
     ///
     /// Returns `None` in a "stable situation" (§5.1.2): no slot exceeds
-    /// capacity, or the peak is too small to warrant negotiation.
+    /// capacity, or no peak is big enough to warrant negotiation. Note
+    /// the threshold applies *per run*: a sharp spike above threshold is
+    /// reported even when a milder, larger-excess run elsewhere in the
+    /// day falls below it.
     pub fn detect(&self, predicted: &Series, production: &ProductionModel) -> Option<Peak> {
+        self.detect_all(predicted, production)
+            .into_iter()
+            .fold(None, |best: Option<Peak>, p| match best {
+                Some(b) if b.predicted_overuse >= p.predicted_overuse => Some(b),
+                _ => Some(p),
+            })
+    }
+
+    /// Finds *every* maximal contiguous run of slots where `predicted`
+    /// exceeds normal capacity whose overuse fraction reaches the
+    /// threshold, in time order.
+    ///
+    /// A day can carry more than one negotiable peak (a morning ramp and
+    /// the evening spike); the campaign pipeline negotiates each one as
+    /// its own [`Scenario`](https://docs.rs/loadbal-core) while
+    /// [`PeakDetector::detect`] keeps the single-peak view of §5.1.2.
+    pub fn detect_all(&self, predicted: &Series, production: &ProductionModel) -> Vec<Peak> {
         let cap = production
             .normal_capacity_per_slot(predicted.axis())
             .value();
-        // Find all maximal runs of slots above capacity.
-        let mut best: Option<(Interval, f64)> = None;
         let values = predicted.values();
+        let mut peaks = Vec::new();
         let mut i = 0;
         while i < values.len() {
             if values[i] > cap {
@@ -115,27 +133,20 @@ impl PeakDetector {
                     excess += values[i] - cap;
                     i += 1;
                 }
-                let candidate = (Interval::new(start, i), excess);
-                match &best {
-                    Some((_, e)) if *e >= excess => {}
-                    _ => best = Some(candidate),
+                let interval = Interval::new(start, i);
+                let peak = Peak {
+                    interval,
+                    predicted_overuse: KilowattHours(excess),
+                    normal_use: KilowattHours(cap * interval.len() as f64),
+                };
+                if peak.overuse_fraction() >= self.threshold {
+                    peaks.push(peak);
                 }
             } else {
                 i += 1;
             }
         }
-        let (interval, excess) = best?;
-        let normal_use = KilowattHours(cap * interval.len() as f64);
-        let peak = Peak {
-            interval,
-            predicted_overuse: KilowattHours(excess),
-            normal_use,
-        };
-        if peak.overuse_fraction() >= self.threshold {
-            Some(peak)
-        } else {
-            None
-        }
+        peaks
     }
 }
 
@@ -206,6 +217,41 @@ mod tests {
         assert!(PeakDetector::new(0.01)
             .detect(&demand, &production())
             .is_some());
+    }
+
+    #[test]
+    fn detect_all_returns_every_peak_in_time_order() {
+        let mut demand = Series::constant(axis(), 80.0);
+        for h in 7..9 {
+            demand.values_mut()[h] = 120.0; // morning ramp: excess 40
+        }
+        for h in 18..20 {
+            demand.values_mut()[h] = 140.0; // evening: excess 80
+        }
+        let peaks = PeakDetector::new(0.0).detect_all(&demand, &production());
+        assert_eq!(peaks.len(), 2);
+        assert_eq!(peaks[0].interval, Interval::new(7, 9));
+        assert_eq!(peaks[1].interval, Interval::new(18, 20));
+        // `detect` keeps the single-largest view of §5.1.2.
+        let best = PeakDetector::new(0.0)
+            .detect(&demand, &production())
+            .unwrap();
+        assert_eq!(best.interval, Interval::new(18, 20));
+        // The threshold filters each run independently.
+        let strict = PeakDetector::new(0.3).detect_all(&demand, &production());
+        assert_eq!(strict.len(), 1);
+        assert_eq!(strict[0].interval, Interval::new(18, 20));
+    }
+
+    #[test]
+    fn equal_excess_ties_go_to_the_earliest_run() {
+        let mut demand = Series::constant(axis(), 80.0);
+        demand.values_mut()[8] = 130.0; // morning: excess 30
+        demand.values_mut()[19] = 130.0; // evening: excess 30
+        let peak = PeakDetector::new(0.0)
+            .detect(&demand, &production())
+            .unwrap();
+        assert_eq!(peak.interval, Interval::new(8, 9));
     }
 
     #[test]

@@ -120,7 +120,9 @@ macro_rules! quantity {
 
         impl Sum for $name {
             fn sum<I: Iterator<Item = $name>>(iter: I) -> $name {
-                $name(iter.map(|q| q.0).sum())
+                // Fold from +0.0: `f64::sum` of an empty iterator is
+                // -0.0, which leaks a spurious minus sign into reports.
+                $name(iter.map(|q| q.0).fold(0.0, |a, b| a + b))
             }
         }
     };

@@ -1,0 +1,112 @@
+//! Property tests of the household demand model — the physical
+//! quantities the grid→negotiation pipeline feeds into customer
+//! profiles, so their invariants gate everything downstream.
+
+use powergrid::household::{Household, HouseholdId};
+use powergrid::prelude::*;
+use powergrid::time::Interval;
+use proptest::prelude::*;
+
+fn arb_axis() -> impl Strategy<Value = TimeAxis> {
+    prop_oneof![
+        Just(TimeAxis::hourly()),
+        Just(TimeAxis::quarter_hourly()),
+        Just(TimeAxis::new(30)),
+    ]
+}
+
+proptest! {
+    /// Demand is a physical energy series: every slot non-negative, and
+    /// a day of any weather sums to strictly positive consumption.
+    #[test]
+    fn demand_profile_is_non_negative(
+        axis in arb_axis(),
+        id in 0u64..10_000,
+        occupants in 1u32..7,
+        temp in -25.0f64..25.0,
+        seed in 0u64..10_000,
+    ) {
+        let h = Household::standard(HouseholdId(id), occupants);
+        let demand = h.demand_profile(&axis, temp, seed);
+        prop_assert_eq!(demand.len(), axis.slots_per_day());
+        prop_assert!(demand.min() >= 0.0, "negative slot in {demand:?}");
+        prop_assert!(demand.total().value() > 0.0, "a household always consumes");
+    }
+
+    /// The profile is a pure function of `(household, axis, temp, seed)`.
+    #[test]
+    fn demand_profile_is_deterministic_per_seed(
+        axis in arb_axis(),
+        id in 0u64..10_000,
+        occupants in 1u32..7,
+        temp in -25.0f64..25.0,
+        seed in 0u64..10_000,
+    ) {
+        let h = Household::standard(HouseholdId(id), occupants);
+        prop_assert_eq!(
+            h.demand_profile(&axis, temp, seed),
+            h.demand_profile(&axis, temp, seed)
+        );
+    }
+
+    /// At fixed temperature and seed, total daily demand grows with
+    /// household size (more occupants ⇒ higher intensity and at least as
+    /// much equipment — the §3.2.1 disparity the offer method trips on).
+    #[test]
+    fn total_demand_monotone_in_occupants(
+        axis in arb_axis(),
+        id in 0u64..10_000,
+        temp in -25.0f64..25.0,
+        seed in 0u64..10_000,
+    ) {
+        let mut previous = 0.0;
+        for occupants in 1u32..=6 {
+            let h = Household::standard(HouseholdId(id), occupants);
+            let total = h.demand_profile(&axis, temp, seed).total().value();
+            prop_assert!(
+                total > previous,
+                "{occupants} occupants use {total}, fewer used {previous}"
+            );
+            previous = total;
+        }
+    }
+
+    /// Colder days never lower demand (heating is the only
+    /// temperature-sensitive load, and it grows as temperature falls).
+    #[test]
+    fn demand_monotone_as_temperature_falls(
+        id in 0u64..10_000,
+        occupants in 1u32..7,
+        temp in -20.0f64..20.0,
+        seed in 0u64..10_000,
+    ) {
+        let axis = TimeAxis::hourly();
+        let h = Household::standard(HouseholdId(id), occupants);
+        let milder = h.demand_profile(&axis, temp, seed).total();
+        let colder = h.demand_profile(&axis, temp - 5.0, seed).total();
+        prop_assert!(colder >= milder);
+    }
+
+    /// The quantities the pipeline derives preferences from are
+    /// physically consistent: saving potential never exceeds interval
+    /// usage, and the implied max cut-down is a valid fraction.
+    #[test]
+    fn saving_potential_bounded_by_usage(
+        id in 0u64..10_000,
+        occupants in 1u32..7,
+        temp in -25.0f64..25.0,
+        seed in 0u64..10_000,
+        start in 0usize..20,
+        len in 1usize..4,
+    ) {
+        let axis = TimeAxis::hourly();
+        let interval = Interval::new(start, (start + len).min(24));
+        let h = Household::standard(HouseholdId(id), occupants);
+        let usage = h.demand_profile(&axis, temp, seed).energy_over(interval);
+        let potential = h.saving_potential(&axis, temp, seed, interval);
+        prop_assert!(potential.value() >= 0.0);
+        prop_assert!(potential <= usage + KilowattHours(1e-9));
+        let cutdown = h.max_cutdown(&axis, temp, seed, interval);
+        prop_assert!((0.0..=1.0).contains(&cutdown.value()));
+    }
+}

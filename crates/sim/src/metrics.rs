@@ -13,6 +13,8 @@ pub struct Metrics {
     pub messages_delivered: u64,
     /// Messages dropped by the network model.
     pub messages_dropped: u64,
+    /// Messages the network model delivered twice.
+    pub messages_duplicated: u64,
     /// Timer events fired.
     pub timers_fired: u64,
     /// Agent callbacks executed (start + message + timer).
@@ -41,10 +43,11 @@ impl fmt::Display for Metrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "sent {} delivered {} dropped {} timers {} callbacks {} end {}",
+            "sent {} delivered {} dropped {} duplicated {} timers {} callbacks {} end {}",
             self.messages_sent,
             self.messages_delivered,
             self.messages_dropped,
+            self.messages_duplicated,
             self.timers_fired,
             self.callbacks,
             self.end_time

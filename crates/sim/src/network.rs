@@ -1,9 +1,12 @@
-//! Network models: latency and loss between agents.
+//! Network models: latency, loss, duplication and reordering between
+//! agents.
 //!
 //! The paper assumes "emerging technologies allowing two-way
 //! communication between utility companies and their customers" — i.e. a
 //! real WAN. Latency spreads bids over time; loss lets the fault-injection
-//! tests exercise "customer never responds" paths.
+//! tests exercise "customer never responds" paths; duplication and
+//! reordering exercise the at-least-once / out-of-order behaviour of any
+//! real transport (retransmitting concentrators, multi-path backhaul).
 
 use crate::clock::SimDuration;
 use rand::rngs::StdRng;
@@ -15,6 +18,9 @@ use serde::{Deserialize, Serialize};
 pub enum Delivery {
     /// Deliver after the given latency.
     After(SimDuration),
+    /// Deliver *two* copies, after the two given latencies (an
+    /// at-least-once transport retransmitting spuriously).
+    Duplicate(SimDuration, SimDuration),
     /// Silently drop the message.
     Drop,
 }
@@ -25,6 +31,13 @@ pub struct NetworkModel {
     min_latency: u64,
     max_latency: u64,
     drop_probability: f64,
+    /// Probability a message is delivered twice.
+    duplicate_probability: f64,
+    /// Probability a message is held back by up to `reorder_extra` extra
+    /// ticks, letting later messages overtake it.
+    reorder_probability: f64,
+    /// Maximum extra delay of a reordered message, in ticks.
+    reorder_extra: u64,
     /// Half-open virtual-time windows `[from, to)` during which every
     /// message is lost (backhaul outage, concentrator reboot, ...).
     outages: Vec<(u64, u64)>,
@@ -33,12 +46,7 @@ pub struct NetworkModel {
 impl NetworkModel {
     /// A perfect network: 1-tick latency, no loss.
     pub fn perfect() -> NetworkModel {
-        NetworkModel {
-            min_latency: 1,
-            max_latency: 1,
-            drop_probability: 0.0,
-            outages: Vec::new(),
-        }
+        NetworkModel::uniform(1, 1)
     }
 
     /// Uniform latency in `[min, max]` ticks, no loss.
@@ -54,6 +62,9 @@ impl NetworkModel {
             min_latency: min,
             max_latency: max,
             drop_probability: 0.0,
+            duplicate_probability: 0.0,
+            reorder_probability: 0.0,
+            reorder_extra: 0,
             outages: Vec::new(),
         }
     }
@@ -84,9 +95,52 @@ impl NetworkModel {
         self
     }
 
+    /// Adds i.i.d. message duplication with probability `p`: a duplicated
+    /// message is delivered twice, each copy with its own latency.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1`.
+    pub fn with_duplicate_probability(mut self, p: f64) -> NetworkModel {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "duplicate probability {p} outside [0, 1)"
+        );
+        self.duplicate_probability = p;
+        self
+    }
+
+    /// Adds i.i.d. reordering: with probability `p` a message is held
+    /// back by an extra `1..=extra` ticks on top of its drawn latency, so
+    /// messages sent later can overtake it.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 ≤ p < 1` and `extra ≥ 1`.
+    pub fn with_reordering(mut self, p: f64, extra: u64) -> NetworkModel {
+        assert!(
+            (0.0..1.0).contains(&p),
+            "reorder probability {p} outside [0, 1)"
+        );
+        assert!(extra >= 1, "reordering needs at least one extra tick");
+        self.reorder_probability = p;
+        self.reorder_extra = extra;
+        self
+    }
+
     /// The configured loss probability.
     pub fn drop_probability(&self) -> f64 {
         self.drop_probability
+    }
+
+    /// The configured duplication probability.
+    pub fn duplicate_probability(&self) -> f64 {
+        self.duplicate_probability
+    }
+
+    /// The configured reordering `(probability, max extra ticks)`.
+    pub fn reordering(&self) -> (f64, u64) {
+        (self.reorder_probability, self.reorder_extra)
     }
 
     /// Latency bounds `(min, max)` in ticks.
@@ -110,12 +164,26 @@ impl NetworkModel {
         if self.drop_probability > 0.0 && rng.gen_range(0.0..1.0) < self.drop_probability {
             return Delivery::Drop;
         }
-        let latency = if self.min_latency == self.max_latency {
+        let first = self.sample_latency(rng);
+        if self.duplicate_probability > 0.0 && rng.gen_range(0.0..1.0) < self.duplicate_probability
+        {
+            let second = self.sample_latency(rng);
+            return Delivery::Duplicate(first, second);
+        }
+        Delivery::After(first)
+    }
+
+    /// One latency draw, including the reordering hold-back.
+    fn sample_latency(&self, rng: &mut StdRng) -> SimDuration {
+        let mut latency = if self.min_latency == self.max_latency {
             self.min_latency
         } else {
             rng.gen_range(self.min_latency..=self.max_latency)
         };
-        Delivery::After(SimDuration::from_ticks(latency))
+        if self.reorder_probability > 0.0 && rng.gen_range(0.0..1.0) < self.reorder_probability {
+            latency += rng.gen_range(1..=self.reorder_extra);
+        }
+        SimDuration::from_ticks(latency)
     }
 }
 
@@ -149,7 +217,7 @@ mod tests {
         for _ in 0..200 {
             match net.route(&mut rng) {
                 Delivery::After(d) => assert!((3..=9).contains(&d.ticks())),
-                Delivery::Drop => panic!("lossless network dropped"),
+                other => panic!("fault-free network produced {other:?}"),
             }
         }
     }
@@ -190,9 +258,90 @@ mod tests {
 
     #[test]
     fn accessors() {
-        let net = NetworkModel::uniform(2, 4).with_drop_probability(0.05);
+        let net = NetworkModel::uniform(2, 4)
+            .with_drop_probability(0.05)
+            .with_duplicate_probability(0.1)
+            .with_reordering(0.2, 7);
         assert_eq!(net.latency_bounds(), (2, 4));
         assert!((net.drop_probability() - 0.05).abs() < 1e-12);
+        assert!((net.duplicate_probability() - 0.1).abs() < 1e-12);
+        assert_eq!(net.reordering(), (0.2, 7));
+    }
+
+    #[test]
+    fn duplicate_rate_roughly_matches() {
+        let net = NetworkModel::perfect().with_duplicate_probability(0.25);
+        let mut rng = StdRng::seed_from_u64(4);
+        let dups = (0..10_000)
+            .filter(|_| matches!(net.route(&mut rng), Delivery::Duplicate(_, _)))
+            .count();
+        let rate = dups as f64 / 10_000.0;
+        assert!((0.2..0.3).contains(&rate), "observed duplicate rate {rate}");
+    }
+
+    #[test]
+    fn duplicate_copies_have_independent_latencies() {
+        let net = NetworkModel::uniform(1, 20).with_duplicate_probability(0.9);
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut differing = 0;
+        for _ in 0..200 {
+            if let Delivery::Duplicate(a, b) = net.route(&mut rng) {
+                assert!((1..=20).contains(&a.ticks()));
+                assert!((1..=20).contains(&b.ticks()));
+                if a != b {
+                    differing += 1;
+                }
+            }
+        }
+        assert!(differing > 0, "copies should not be latency-locked");
+    }
+
+    #[test]
+    fn reordering_extends_latency_within_bounds() {
+        let net = NetworkModel::uniform(3, 3).with_reordering(0.5, 10);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut held_back = 0;
+        for _ in 0..1000 {
+            match net.route(&mut rng) {
+                Delivery::After(d) => {
+                    assert!((3..=13).contains(&d.ticks()), "latency {d:?}");
+                    if d.ticks() > 3 {
+                        held_back += 1;
+                    }
+                }
+                other => panic!("lossless network produced {other:?}"),
+            }
+        }
+        assert!(
+            (300..700).contains(&held_back),
+            "≈half the messages held back, got {held_back}"
+        );
+    }
+
+    #[test]
+    fn faulty_network_is_deterministic_per_seed() {
+        let net = NetworkModel::uniform(1, 10)
+            .with_drop_probability(0.1)
+            .with_duplicate_probability(0.2)
+            .with_reordering(0.3, 15);
+        let run = |seed| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            (0..100).map(|_| net.route(&mut rng)).collect::<Vec<_>>()
+        };
+        assert_eq!(run(11), run(11));
+        assert_ne!(run(11), run(12));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate probability")]
+    fn bad_duplicate_probability_panics() {
+        let _ = NetworkModel::perfect().with_duplicate_probability(1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "extra tick")]
+    fn zero_reorder_extra_panics() {
+        let _ = NetworkModel::perfect().with_reordering(0.5, 0);
     }
 
     #[test]

@@ -332,6 +332,13 @@ impl<M: Clone + 'static> Simulation<M> {
                 self.queue
                     .schedule(self.now + latency, EventKind::Deliver(env));
             }
+            Delivery::Duplicate(first, second) => {
+                self.metrics.messages_duplicated += 1;
+                self.queue
+                    .schedule(self.now + first, EventKind::Deliver(env.clone()));
+                self.queue
+                    .schedule(self.now + second, EventKind::Deliver(env));
+            }
         }
     }
 }
@@ -467,6 +474,52 @@ mod tests {
         assert!(m.messages_dropped > 10, "dropped {}", m.messages_dropped);
         // Echo replies to delivered pings; those replies can drop too.
         assert!(m.messages_delivered < 200);
+    }
+
+    #[test]
+    fn duplicating_network_delivers_twice() {
+        let mut sim: Simulation<Msg> = Simulation::with_network(
+            9,
+            NetworkModel::uniform(1, 1).with_duplicate_probability(0.5),
+        );
+        let echo = sim.add_agent(Echo { seen: Vec::new() });
+        for n in 0..100 {
+            sim.send_external(echo, Msg::Ping(n));
+        }
+        sim.run().unwrap();
+        let m = sim.metrics();
+        assert!(
+            m.messages_duplicated > 10,
+            "duplicated {}",
+            m.messages_duplicated
+        );
+        // Every duplicated ping is seen twice (and its pong can be
+        // duplicated too), so deliveries exceed the send count.
+        let seen = &sim.agent::<Echo>(echo).unwrap().seen;
+        assert!(seen.len() > 100, "echo saw {} pings", seen.len());
+    }
+
+    #[test]
+    fn reordering_network_inverts_delivery_order() {
+        // Two pings injected back to back on a constant-latency network:
+        // without reordering the first always arrives first; with heavy
+        // reordering some seeds invert them.
+        fn order(with_reorder: bool, seed: u64) -> Vec<u32> {
+            let net = if with_reorder {
+                NetworkModel::uniform(1, 1).with_reordering(0.9, 50)
+            } else {
+                NetworkModel::uniform(1, 1)
+            };
+            let mut sim: Simulation<Msg> = Simulation::with_network(seed, net);
+            let echo = sim.add_agent(Echo { seen: Vec::new() });
+            sim.send_external(echo, Msg::Ping(1));
+            sim.send_external(echo, Msg::Ping(2));
+            sim.run().unwrap();
+            sim.agent::<Echo>(echo).unwrap().seen.clone()
+        }
+        assert_eq!(order(false, 3), vec![1, 2]);
+        let inverted = (0..20).any(|seed| order(true, seed) == vec![2, 1]);
+        assert!(inverted, "heavy reordering must invert some pair");
     }
 
     #[test]

@@ -1,0 +1,58 @@
+//! The grid→negotiation pipeline on one simulated week: a 300-household
+//! `powergrid` population's demand is predicted day by day, every
+//! detected peak becomes a negotiation scenario whose customer profiles
+//! are derived from the households' physical saving potential, and the
+//! sans-io engine negotiates them all — fanned across cores by
+//! `ScenarioSweep`, byte-identical to sequential execution.
+//!
+//! ```text
+//! cargo run --release --example day_campaign
+//! ```
+
+use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::prediction::WeatherRegression;
+
+fn main() {
+    let homes = PopulationBuilder::new().households(300).build(42);
+    let horizon = Horizon::new(8, 0, Season::Winter); // Monday-start week + 1
+    let plan = CampaignPlan::build(
+        &homes,
+        &WeatherModel::winter(),
+        &horizon,
+        &WeatherRegression::calibrated(),
+        CampaignConfig::default(),
+    );
+    println!(
+        "planned {} negotiations over {} evaluated days \
+         (normal capacity {:.0} kW)",
+        plan.len(),
+        plan.days().len(),
+        plan.production().normal_capacity().value()
+    );
+    for day in plan.days() {
+        match day.peaks.as_slice() {
+            [] => println!("  day {}: stable — no negotiable peak", day.day.index),
+            peaks => {
+                for p in peaks {
+                    println!("  day {}: {}", day.day.index, p);
+                }
+            }
+        }
+    }
+
+    let parallel = plan.run();
+    let sequential = plan.run_sequential();
+    assert_eq!(
+        parallel, sequential,
+        "parallel campaign must be byte-identical to sequential"
+    );
+    assert!(parallel.all_converged(), "every peak negotiation converges");
+
+    println!();
+    print!("{parallel}");
+    println!(
+        "\ndeterminism check passed: parallel == sequential over {} negotiations",
+        parallel.negotiations()
+    );
+}

@@ -56,6 +56,87 @@ fn loss_costs_rounds_but_not_safety() {
 }
 
 #[test]
+fn duplicated_messages_are_idempotent_end_to_end() {
+    // An at-least-once transport duplicating half of all messages: every
+    // duplicate bid/announcement must be absorbed without changing the
+    // outcome, so the run matches the loss-free synchronous reference
+    // exactly (fixed latency keeps rounds aligned).
+    use loadbal::core::methods::AnnouncementMethod;
+    for method in AnnouncementMethod::all() {
+        let scenario = ScenarioBuilder::random(30, 0.35, 12).method(method).build();
+        let sync = scenario.run();
+        let outcome = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 1).with_duplicate_probability(0.5),
+            17,
+            SimDuration::from_ticks(300),
+        );
+        assert!(
+            outcome.metrics.messages_duplicated > 0,
+            "{method}: duplication must actually occur"
+        );
+        assert_eq!(
+            outcome.report.final_bids(),
+            sync.final_bids(),
+            "{method}: duplicated messages changed the outcome"
+        );
+        assert_eq!(outcome.report.status(), sync.status(), "{method}");
+        assert_eq!(
+            outcome.report.rounds().len(),
+            sync.rounds().len(),
+            "{method}: duplicated messages changed the round count"
+        );
+    }
+}
+
+#[test]
+fn reordered_messages_still_converge_with_monotonic_bids() {
+    use loadbal::core::concession::verify_bids;
+    for seed in [5, 21, 33] {
+        let scenario = ScenarioBuilder::random(35, 0.35, seed).build();
+        let outcome = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 10).with_reordering(0.4, 60),
+            seed,
+            SimDuration::from_ticks(300),
+        );
+        assert!(
+            outcome.report.converged(),
+            "seed {seed}: {}",
+            outcome.report
+        );
+        // Reordering may cost rounds (late bids carry forward) but can
+        // never break monotonic concession or worsen the peak.
+        let bids: Vec<_> = outcome
+            .report
+            .rounds()
+            .iter()
+            .map(|r| r.bids.clone())
+            .collect();
+        assert!(verify_bids(&bids).is_ok(), "seed {seed}: bid retreat");
+        assert!(outcome.report.final_overuse() <= outcome.report.initial_overuse());
+    }
+}
+
+#[test]
+fn chaos_network_loss_duplication_reordering_together() {
+    let scenario = ScenarioBuilder::random(40, 0.35, 27).build();
+    let outcome = run_distributed(
+        &scenario,
+        NetworkModel::uniform(1, 15)
+            .with_drop_probability(0.2)
+            .with_duplicate_probability(0.2)
+            .with_reordering(0.3, 40),
+        31,
+        SimDuration::from_ticks(400),
+    );
+    assert!(outcome.report.converged(), "{}", outcome.report);
+    assert!(outcome.metrics.messages_dropped > 0);
+    assert!(outcome.metrics.messages_duplicated > 0);
+    assert!(outcome.report.final_overuse() <= outcome.report.initial_overuse());
+}
+
+#[test]
 fn negotiation_survives_a_total_outage_window() {
     // The backhaul is completely down for a window covering the first
     // announcement round; the UA's deadlines ride it out and the

@@ -1,0 +1,158 @@
+//! Golden-report regression corpus: the *full* [`NegotiationReport`]
+//! (every round, table, bid, settlement and total) of a fixed set of
+//! scenario × method pairs is snapshotted under `tests/golden/`. Any
+//! protocol drift — a changed reward update, a different round count, a
+//! reordered settlement — fails loudly with a diff-friendly rendering.
+//!
+//! To re-bless after an *intentional* protocol change:
+//!
+//! ```text
+//! GOLDEN_BLESS=1 cargo test --test golden_reports
+//! ```
+//!
+//! then commit the rewritten `tests/golden/*.golden` files alongside the
+//! change that motivated them.
+
+use loadbal::core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal::core::session::{NegotiationReport, Scenario};
+use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::prediction::MovingAverage;
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+/// A stable, diff-friendly rendering of everything a report contains.
+fn render(report: &NegotiationReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "method: {}", report.method()).unwrap();
+    writeln!(out, "normal_use: {:.6}", report.normal_use().value()).unwrap();
+    writeln!(out, "initial_total: {:.6}", report.initial_total().value()).unwrap();
+    writeln!(out, "status: {}", report.status()).unwrap();
+    writeln!(out, "rounds: {}", report.rounds().len()).unwrap();
+    for r in report.rounds() {
+        writeln!(
+            out,
+            "round {}: messages={} predicted_total={:.6}",
+            r.round,
+            r.messages,
+            r.predicted_total.value()
+        )
+        .unwrap();
+        match &r.table {
+            Some(table) => {
+                let entries: Vec<String> = table
+                    .entries()
+                    .iter()
+                    .map(|(c, m)| format!("{:.2}->{:.6}", c.value(), m.value()))
+                    .collect();
+                writeln!(out, "  table [{}]: {}", table.interval(), entries.join(" ")).unwrap();
+            }
+            None => writeln!(out, "  table: none").unwrap(),
+        }
+        let bids: Vec<String> = r.bids.iter().map(|b| format!("{:.2}", b.value())).collect();
+        writeln!(out, "  bids: {}", bids.join(" ")).unwrap();
+    }
+    for (i, s) in report.settlements().iter().enumerate() {
+        writeln!(
+            out,
+            "settlement {i}: cutdown={:.2} reward={:.6}",
+            s.cutdown.value(),
+            s.reward.value()
+        )
+        .unwrap();
+    }
+    writeln!(out, "total_messages: {}", report.total_messages()).unwrap();
+    writeln!(out, "total_rewards: {:.6}", report.total_rewards().value()).unwrap();
+    writeln!(out, "energy_shaved: {:.6}", report.energy_shaved().value()).unwrap();
+    out
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+/// Compares (or, under `GOLDEN_BLESS=1`, rewrites) one snapshot.
+fn check(name: &str, report: &NegotiationReport) {
+    let rendered = render(report);
+    let path = golden_dir().join(format!("{name}.golden"));
+    if std::env::var_os("GOLDEN_BLESS").is_some() {
+        std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
+        std::fs::write(&path, &rendered).expect("write golden file");
+        return;
+    }
+    let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {path:?} ({e}); \
+             run `GOLDEN_BLESS=1 cargo test --test golden_reports` to create it"
+        )
+    });
+    assert_eq!(
+        expected, rendered,
+        "\nprotocol drift detected for '{name}'.\n\
+         If this change is intentional, re-bless with\n\
+         `GOLDEN_BLESS=1 cargo test --test golden_reports`\n\
+         and commit the updated tests/golden/{name}.golden"
+    );
+}
+
+/// The fixed corpus: the calibrated paper scenario, a seeded random
+/// population, and a grid-pipeline scenario — each under all three §3.2
+/// announcement methods.
+fn corpus() -> Vec<(String, Scenario)> {
+    let mut scenarios = vec![
+        (
+            "fig6".to_string(),
+            ScenarioBuilder::paper_figure_6().build(),
+        ),
+        (
+            "random30-s7".to_string(),
+            ScenarioBuilder::random(30, 0.35, 7).build(),
+        ),
+    ];
+    // One scenario straight out of the powergrid pipeline: the first
+    // peak a small winter campaign detects.
+    let homes = PopulationBuilder::new().households(40).build(11);
+    let plan = CampaignPlan::build(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(5, 0, Season::Winter),
+        &MovingAverage::new(2),
+        CampaignConfig {
+            warmup_days: 2,
+            ..CampaignConfig::default()
+        },
+    );
+    let first_peak = plan
+        .sweep()
+        .points()
+        .first()
+        .expect("winter campaign detects at least one peak")
+        .scenario
+        .clone();
+    scenarios.push(("grid-peak".to_string(), first_peak));
+    scenarios
+}
+
+#[test]
+fn reports_match_golden_corpus() {
+    for (name, scenario) in corpus() {
+        for method in AnnouncementMethod::all() {
+            let report = scenario.run_with(method);
+            check(&format!("{name}__{method}"), &report);
+        }
+    }
+}
+
+#[test]
+fn golden_corpus_is_replayable() {
+    // The corpus relies on runs being pure; pin that here so a golden
+    // failure always means protocol drift, never nondeterminism.
+    for (name, scenario) in corpus() {
+        let a = scenario.run();
+        let b = scenario.run();
+        assert_eq!(a, b, "{name}: re-run diverged");
+        assert_eq!(render(&a), render(&b), "{name}: rendering diverged");
+    }
+}

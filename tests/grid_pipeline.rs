@@ -1,0 +1,125 @@
+//! Acceptance test for the grid→negotiation pipeline: a realistic
+//! `PopulationBuilder` population (≥ 200 households) runs a winter
+//! day-campaign — every peak the predictor/detector finds is negotiated
+//! through the sans-io engine, every negotiation converges, energy is
+//! actually shaved, and the whole thing is byte-deterministic across
+//! sequential and `ScenarioSweep`-parallel execution.
+
+use loadbal::core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::prediction::WeatherRegression;
+use std::num::NonZeroUsize;
+
+fn winter_campaign(households: usize) -> CampaignPlan {
+    let homes = PopulationBuilder::new().households(households).build(42);
+    CampaignPlan::build(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(8, 0, Season::Winter),
+        &WeatherRegression::calibrated(),
+        CampaignConfig::default(),
+    )
+}
+
+#[test]
+fn day_campaign_over_200_households_negotiates_every_peak() {
+    let plan = winter_campaign(220);
+
+    // Every detected peak is scheduled for negotiation, none skipped.
+    let detected: usize = plan.days().iter().map(|d| d.peaks.len()).sum();
+    assert!(detected > 0, "a winter week must carry negotiable peaks");
+    assert_eq!(plan.len(), detected);
+
+    let report = plan.run();
+    assert_eq!(
+        report.negotiations(),
+        detected,
+        "every detected peak interval is negotiated"
+    );
+
+    // Every negotiation converges by protocol rules.
+    assert!(report.all_converged(), "{report}");
+    for outcome in &report.outcomes {
+        assert!(
+            outcome.report.converged(),
+            "{}: {}",
+            outcome.label,
+            outcome.report
+        );
+        // The negotiated interval is exactly the detected peak interval.
+        assert_eq!(outcome.peak.interval, {
+            let r = &outcome.report;
+            // Reward tables carry the interval in every announced table.
+            r.rounds()[0]
+                .table
+                .as_ref()
+                .expect("reward-table campaign")
+                .interval()
+        });
+    }
+
+    // The campaign reports real, positive energy savings.
+    let shaved = report.total_energy_shaved();
+    assert!(
+        shaved.value() > 0.0,
+        "campaign shaved {shaved} across {} peaks",
+        report.negotiations()
+    );
+    // Per-outcome shavings sum to the total.
+    let sum: KilowattHours = report.outcomes.iter().map(|o| o.energy_shaved()).sum();
+    assert!((sum - shaved).value().abs() < 1e-9);
+}
+
+#[test]
+fn campaign_is_byte_deterministic_across_execution_modes() {
+    let plan = winter_campaign(200);
+    let parallel = plan.run();
+    let sequential = plan.run_sequential();
+    assert_eq!(
+        parallel, sequential,
+        "parallel campaign must be byte-identical to sequential"
+    );
+
+    // Rebuilding the whole pipeline from the same seed replays exactly,
+    // and an explicit worker cap changes nothing.
+    let rebuilt = winter_campaign(200);
+    assert_eq!(rebuilt.run(), parallel);
+    let capped_config = CampaignConfig {
+        threads: NonZeroUsize::new(2),
+        ..CampaignConfig::default()
+    };
+    let homes = PopulationBuilder::new().households(200).build(42);
+    let capped = CampaignPlan::build(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(8, 0, Season::Winter),
+        &WeatherRegression::calibrated(),
+        capped_config,
+    );
+    assert_eq!(capped.run(), parallel);
+}
+
+#[test]
+fn pipeline_profiles_come_from_the_physical_model() {
+    let plan = winter_campaign(200);
+    let homes = PopulationBuilder::new().households(200).build(42);
+    let point = &plan.sweep().points()[0];
+    let scenario = &point.scenario;
+    assert_eq!(scenario.customers.len(), homes.len());
+    // No customer can be asked for more than its physical ceiling, and
+    // predicted use over the peak is strictly positive for every home.
+    for c in &scenario.customers {
+        assert!(c.predicted_use.value() > 0.0);
+        assert!(c.allowed_use >= c.predicted_use);
+        assert!(c.preferences.max_cutdown() <= Fraction::ONE);
+    }
+    // Settled cut-downs respect the physical ceilings.
+    let report = scenario.run();
+    for (s, c) in report.settlements().iter().zip(&scenario.customers) {
+        assert!(
+            s.cutdown <= c.preferences.max_cutdown(),
+            "settled beyond physical saving potential"
+        );
+    }
+}
