@@ -1,13 +1,24 @@
-//! E13 bench: the grid→negotiation campaign pipeline end to end —
+//! E13/E14 bench: the grid→negotiation campaign pipeline end to end —
 //! simulate, predict, detect, materialise, negotiate — versus
-//! population size.
+//! population size, open- and closed-loop.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal_core::campaign::{CampaignBuilder, CampaignRunner, ClosedLoop, FixedPredictor};
 use powergrid::calendar::Horizon;
+use powergrid::household::Household;
 use powergrid::population::PopulationBuilder;
 use powergrid::prediction::WeatherRegression;
 use powergrid::weather::{Season, WeatherModel};
+
+fn build_runner<'a>(homes: &'a [Household], horizon: &Horizon, closed: bool) -> CampaignRunner<'a> {
+    let builder = CampaignBuilder::new(homes, &WeatherModel::winter(), horizon)
+        .predictor(FixedPredictor(WeatherRegression::calibrated()));
+    if closed {
+        builder.feedback(ClosedLoop).build()
+    } else {
+        builder.build()
+    }
+}
 
 fn bench_campaign(c: &mut Criterion) {
     let mut group = c.benchmark_group("campaign");
@@ -15,37 +26,28 @@ fn bench_campaign(c: &mut Criterion) {
         let homes = PopulationBuilder::new().households(households).build(42);
         let horizon = Horizon::new(10, 0, Season::Winter);
         group.bench_with_input(
-            BenchmarkId::new("plan_and_run", households),
+            BenchmarkId::new("build_and_run", households),
             &homes,
             |b, homes| {
-                b.iter(|| {
-                    let plan = CampaignPlan::build(
-                        homes,
-                        &WeatherModel::winter(),
-                        &horizon,
-                        &WeatherRegression::calibrated(),
-                        CampaignConfig::default(),
-                    );
-                    std::hint::black_box(plan.run())
-                });
+                b.iter(|| std::hint::black_box(build_runner(homes, &horizon, false).run()));
             },
         );
-        let plan = CampaignPlan::build(
-            &homes,
-            &WeatherModel::winter(),
-            &horizon,
-            &WeatherRegression::calibrated(),
-            CampaignConfig::default(),
-        );
+        let runner = build_runner(&homes, &horizon, false);
         group.bench_with_input(
             BenchmarkId::new("run_parallel", households),
-            &plan,
-            |b, plan| b.iter(|| std::hint::black_box(plan.run())),
+            &runner,
+            |b, runner| b.iter(|| std::hint::black_box(runner.run())),
         );
         group.bench_with_input(
             BenchmarkId::new("run_sequential", households),
-            &plan,
-            |b, plan| b.iter(|| std::hint::black_box(plan.run_sequential())),
+            &runner,
+            |b, runner| b.iter(|| std::hint::black_box(runner.run_sequential())),
+        );
+        let closed = build_runner(&homes, &horizon, true);
+        group.bench_with_input(
+            BenchmarkId::new("run_closed_loop", households),
+            &closed,
+            |b, closed| b.iter(|| std::hint::black_box(closed.run())),
         );
     }
     group.finish();

@@ -9,7 +9,7 @@ use loadbal_bench::experiments;
 
 const USAGE: &str = "usage: experiments <id>
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
-       invariants | market | categories | shapes | campaign | all";
+       invariants | market | categories | shapes | campaign | campaign_loop | all";
 
 fn run(id: &str) -> bool {
     match id {
@@ -55,6 +55,7 @@ fn run(id: &str) -> bool {
             "{}",
             experiments::campaign_grid(&[100, 250, 500], &powergrid::weather::Season::all(), 42)
         ),
+        "campaign_loop" => println!("{}", experiments::campaign_loop(220, 42)),
         "all" => {
             for id in [
                 "fig1",
@@ -70,6 +71,7 @@ fn run(id: &str) -> bool {
                 "categories",
                 "shapes",
                 "campaign",
+                "campaign_loop",
             ] {
                 run(id);
                 println!();

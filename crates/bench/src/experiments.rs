@@ -1,7 +1,10 @@
 //! The experiment implementations (E1–E9).
 
 use loadbal_core::beta::BetaPolicy;
-use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal_core::campaign::{
+    CampaignBuilder, CampaignReport, ClosedLoop, FixedPredictor, MarginalCostStop, OpenLoop,
+    Unconditional,
+};
 use loadbal_core::concession::{verify_announcements, verify_bids};
 use loadbal_core::distributed::run_distributed;
 use loadbal_core::methods::AnnouncementMethod;
@@ -1021,8 +1024,9 @@ pub struct CampaignGridResult {
 /// prediction → peak detection → one negotiation per peak — swept over
 /// a season × population-size grid. Every cell's peak negotiations fan
 /// across cores through [`ScenarioSweep`] (inside
-/// [`CampaignPlan::run`]), and the determinism guarantee (parallel
-/// byte-identical to sequential) keeps each cell replayable.
+/// [`CampaignRunner::run`](loadbal_core::campaign::CampaignRunner::run)),
+/// and the determinism guarantee (parallel byte-identical to
+/// sequential) keeps each cell replayable.
 pub fn campaign_grid(sizes: &[usize], seasons: &[Season], seed: u64) -> CampaignGridResult {
     let horizon_days = 10;
     let rows = seasons
@@ -1031,18 +1035,14 @@ pub fn campaign_grid(sizes: &[usize], seasons: &[Season], seed: u64) -> Campaign
             sizes.iter().map(move |&households| {
                 let homes = PopulationBuilder::new().households(households).build(seed);
                 let horizon = Horizon::new(horizon_days, 0, season);
-                let plan = CampaignPlan::build(
-                    &homes,
-                    &WeatherModel::new(season),
-                    &horizon,
-                    &WeatherRegression::calibrated(),
-                    CampaignConfig::default(),
-                );
-                let report = plan.run();
+                let report = CampaignBuilder::new(&homes, &WeatherModel::new(season), &horizon)
+                    .predictor(FixedPredictor(WeatherRegression::calibrated()))
+                    .build()
+                    .run();
                 CampaignRow {
                     season,
                     households,
-                    days: report.days_evaluated,
+                    days: report.days_evaluated(),
                     peaks: report.negotiations(),
                     converged: report.converged(),
                     energy_shaved: report.total_energy_shaved().value(),
@@ -1079,6 +1079,120 @@ impl fmt::Display for CampaignGridResult {
                 r.energy_shaved,
                 r.outlay,
                 r.mean_rounds
+            )?;
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// E14 — the campaign feedback loop: open vs closed, unconditional vs
+// marginal-cost stop
+// ---------------------------------------------------------------------
+
+/// One policy combination of the campaign-loop experiment.
+#[derive(Debug, Clone)]
+pub struct CampaignLoopRow {
+    /// Policy combination name.
+    pub policy: String,
+    /// Peaks detected and negotiated.
+    pub peaks: usize,
+    /// Negotiations that converged.
+    pub converged: usize,
+    /// Total energy shaved out of the peaks.
+    pub energy_shaved: f64,
+    /// Total reward outlay.
+    pub outlay: f64,
+    /// Energy the feedback policy removed from prediction history.
+    pub feedback: f64,
+    /// Negotiations the marginal-cost stop rule ended.
+    pub economic_stops: usize,
+    /// Avoided expensive-production cost minus reward outlay.
+    pub net_gain: f64,
+}
+
+/// Result of the campaign-loop experiment.
+#[derive(Debug, Clone)]
+pub struct CampaignLoopResult {
+    /// One row per feedback × stop-rule combination.
+    pub rows: Vec<CampaignLoopRow>,
+    /// Days per campaign (including warmup).
+    pub horizon_days: u64,
+}
+
+/// E14: the campaign feedback loop — the same winter population run
+/// through every feedback × stop-rule combination. Closed-loop
+/// campaigns train their predictor on post-negotiation consumption, so
+/// later days carry smaller peaks and the campaign shaves (and spends)
+/// less; the marginal-cost stop additionally refuses reward-table
+/// raises that cost more than the expensive production they could
+/// avoid, trading residual overuse within the detector's tolerance for
+/// strictly lower outlay.
+pub fn campaign_loop(households: usize, seed: u64) -> CampaignLoopResult {
+    let horizon_days = 8;
+    let homes = PopulationBuilder::new().households(households).build(seed);
+    let horizon = Horizon::new(horizon_days, 0, Season::Winter);
+    let weather = WeatherModel::winter();
+    let run = |label: &str, closed: bool, stop: bool| {
+        let builder = CampaignBuilder::new(&homes, &weather, &horizon)
+            .predictor(FixedPredictor(WeatherRegression::calibrated()));
+        let builder = if closed {
+            builder.feedback(ClosedLoop)
+        } else {
+            builder.feedback(OpenLoop)
+        };
+        let builder = if stop {
+            builder.stop_rule(MarginalCostStop)
+        } else {
+            builder.stop_rule(Unconditional)
+        };
+        let report: CampaignReport = builder.build().run();
+        CampaignLoopRow {
+            policy: label.to_string(),
+            peaks: report.negotiations(),
+            converged: report.converged(),
+            energy_shaved: report.total_energy_shaved().value(),
+            outlay: report.total_rewards().value(),
+            feedback: report.total_feedback().value(),
+            economic_stops: report.economics.economic_stops,
+            net_gain: report.economics.net_gain.value(),
+        }
+    };
+    CampaignLoopResult {
+        rows: vec![
+            run("open / unconditional", false, false),
+            run("open / marginal-cost stop", false, true),
+            run("closed / unconditional", true, false),
+            run("closed / marginal-cost stop", true, true),
+        ],
+        horizon_days,
+    }
+}
+
+impl fmt::Display for CampaignLoopResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E14 — campaign feedback loop ({}-day horizon, warmup 3)",
+            self.horizon_days
+        )?;
+        writeln!(
+            f,
+            "  {:<28} {:>6} {:>10} {:>12} {:>9} {:>10} {:>6} {:>10}",
+            "policy", "peaks", "converged", "shaved kWh", "outlay", "feedback", "stops", "net gain"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:<28} {:>6} {:>10} {:>12.1} {:>9.1} {:>10.1} {:>6} {:>10.1}",
+                r.policy,
+                r.peaks,
+                r.converged,
+                r.energy_shaved,
+                r.outlay,
+                r.feedback,
+                r.economic_stops,
+                r.net_gain
             )?;
         }
         Ok(())
@@ -1266,6 +1380,30 @@ mod tests {
         assert!(winter.iter().all(|x| x.peaks > 0));
         assert!(winter.iter().all(|x| x.energy_shaved > 0.0));
         assert!(r.to_string().contains("E13"));
+    }
+
+    #[test]
+    fn e14_feedback_shrinks_later_peaks_and_stop_cuts_outlay() {
+        let r = campaign_loop(120, 7);
+        assert_eq!(r.rows.len(), 4);
+        let row = |p: &str| r.rows.iter().find(|x| x.policy == p).unwrap();
+        let open = row("open / unconditional");
+        let open_stop = row("open / marginal-cost stop");
+        let closed = row("closed / unconditional");
+        // Every policy combination converges everywhere.
+        for x in &r.rows {
+            assert_eq!(x.converged, x.peaks, "{}: all converge", x.policy);
+        }
+        // Closed loop feeds negotiated cut-downs into prediction history
+        // and therefore shaves no more than the open loop.
+        assert!(closed.feedback > 0.0);
+        assert_eq!(open.feedback, 0.0);
+        assert!(closed.energy_shaved <= open.energy_shaved + 1e-9);
+        // The marginal-cost stop never spends more than unconditional
+        // negotiation and improves the utility's net position.
+        assert!(open_stop.outlay <= open.outlay + 1e-9);
+        assert!(open_stop.net_gain >= open.net_gain - 1e-9);
+        assert!(r.to_string().contains("E14"));
     }
 
     #[test]

@@ -1,24 +1,37 @@
-//! Grid-backed negotiation campaigns: negotiate the peaks that
-//! `powergrid` predicts.
+//! Policy-driven negotiation campaigns: negotiate the peaks that
+//! `powergrid` predicts, day by day, with feedback.
 //!
-//! This module closes the loop the paper describes end to end: the
-//! physical model produces per-household demand for a simulated day,
-//! the Utility Agent predicts the aggregate from history and the
-//! weather forecast (§5.1.2), peak detection decides which intervals
-//! warrant negotiating, and every detected peak becomes one
-//! [`Scenario`] — customer preferences derived from each household's
-//! `saving_potential` / `max_cutdown` rather than random betas
-//! ([`ScenarioBuilder::from_peak`]) — negotiated through the shared
-//! sans-io engine.
+//! The paper's premise is a *daily cycle*: the Utility Agent predicts
+//! tomorrow's balance, negotiates the peaks that warrant the effort
+//! (§5.1.2), and the settled cut-downs change the consumption the next
+//! prediction is trained on. A campaign is that cycle over a calendar
+//! [`Horizon`], configured by a fluent [`CampaignBuilder`] and three
+//! pluggable policies:
 //!
-//! A [`CampaignPlan`] is built once (a pure function of population,
-//! weather model, horizon and configuration) and then executed either
-//! sequentially or fanned across cores by [`ScenarioSweep`]; the two
-//! produce byte-identical [`CampaignReport`]s, so season × population
-//! grids are safely parallel.
+//! * **[`PredictorPolicy`]** — which [`LoadPredictor`] forecasts each
+//!   day: a fixed model ([`FixedPredictor`]) or one picked per campaign
+//!   from warmup accuracy by rolling backtest ([`BacktestSelected`],
+//!   via [`powergrid::prediction::select_best`]);
+//! * **[`FeedbackPolicy`]** — what enters prediction history: the
+//!   simulated actuals untouched ([`OpenLoop`]) or with each day's
+//!   negotiated cut-downs applied ([`ClosedLoop`]), so predictors train
+//!   on post-negotiation consumption and later days depend on earlier
+//!   outcomes;
+//! * **[`StopPolicy`]** — when the UA stops raising reward tables:
+//!   never before its protocol rules fire ([`Unconditional`]) or as
+//!   soon as the next table would cost more than the expensive
+//!   production still avoidable ([`MarginalCostStop`], priced through
+//!   [`ProducerAgent::peak_saving_value`]).
+//!
+//! The [`CampaignRunner`] produced by [`CampaignBuilder::build`]
+//! executes days **sequentially** (closed-loop feedback makes day *d*
+//! depend on day *d − 1*) but fans each day's peak negotiations across
+//! cores with [`ScenarioSweep`]; [`CampaignRunner::run`] is
+//! byte-identical to [`CampaignRunner::run_sequential`] for any thread
+//! count, so campaigns stay replayable.
 //!
 //! ```
-//! use loadbal_core::campaign::{CampaignConfig, CampaignPlan};
+//! use loadbal_core::campaign::{CampaignBuilder, ClosedLoop, FixedPredictor};
 //! use powergrid::calendar::Horizon;
 //! use powergrid::population::PopulationBuilder;
 //! use powergrid::prediction::MovingAverage;
@@ -26,72 +39,242 @@
 //!
 //! let homes = PopulationBuilder::new().households(60).build(7);
 //! let horizon = Horizon::new(6, 0, Season::Winter);
-//! let plan = CampaignPlan::build(
-//!     &homes,
-//!     &WeatherModel::winter(),
-//!     &horizon,
-//!     &MovingAverage::new(3),
-//!     CampaignConfig::default(),
-//! );
-//! let report = plan.run(); // parallel; byte-identical to run_sequential()
-//! assert_eq!(report.negotiations(), plan.len());
-//! assert_eq!(report, plan.run_sequential());
+//! let runner = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+//!     .predictor(FixedPredictor(MovingAverage::new(3)))
+//!     .feedback(ClosedLoop)
+//!     .build();
+//! let report = runner.run(); // parallel; byte-identical to run_sequential()
+//! assert_eq!(report.negotiations(), report.outcomes.len());
+//! assert_eq!(report, runner.run_sequential());
 //! ```
 
 use crate::beta::BetaPolicy;
 use crate::methods::AnnouncementMethod;
-use crate::session::{NegotiationReport, ScenarioBuilder};
+use crate::producer_agent::ProducerAgent;
+use crate::session::{NegotiationReport, Scenario, ScenarioBuilder};
 use crate::sweep::ScenarioSweep;
-use crate::utility_agent::UtilityAgentConfig;
+use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
 use powergrid::calendar::{CalendarDay, Horizon};
 use powergrid::demand::simulate_horizon;
 use powergrid::household::Household;
 use powergrid::peak::{Peak, PeakDetector};
-use powergrid::prediction::LoadPredictor;
+use powergrid::prediction::{
+    select_best, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive, WeatherRegression,
+};
 use powergrid::production::ProductionModel;
 use powergrid::series::Series;
 use powergrid::time::TimeAxis;
-use powergrid::units::{KilowattHours, Kilowatts, Money};
+use powergrid::units::{KilowattHours, Kilowatts, Money, PricePerKwh};
 use powergrid::weather::WeatherModel;
 use std::fmt;
 use std::num::NonZeroUsize;
 
-/// Everything a campaign fixes besides population, weather and horizon.
-#[derive(Debug, Clone, PartialEq)]
-pub struct CampaignConfig {
-    /// Slot resolution of the simulated days.
-    pub axis: TimeAxis,
-    /// Days of history accumulated before the first prediction; must be
-    /// at least one and smaller than the horizon.
-    pub warmup_days: usize,
-    /// Normal production capacity as a fraction of the highest per-slot
-    /// demand observed during warmup — below 1.0 guarantees that days
-    /// like the warmup days peak above the capacity line.
-    pub capacity_factor: f64,
-    /// Minimum overuse fraction that makes a peak worth negotiating.
-    pub peak_threshold: f64,
-    /// The announcement method every peak is negotiated with.
-    pub method: AnnouncementMethod,
-    /// The Utility Agent configuration.
-    pub ua_config: UtilityAgentConfig,
-    /// Worker-thread cap for [`CampaignPlan::run`] (`None` = machine
-    /// parallelism).
-    pub threads: Option<NonZeroUsize>,
+// ---------------------------------------------------------------------
+// Policies
+// ---------------------------------------------------------------------
+
+/// Chooses the campaign's load predictor from its warmup window.
+pub trait PredictorPolicy: fmt::Debug {
+    /// Warmup days the policy needs before it can choose (validated by
+    /// [`CampaignBuilder::build`]).
+    fn min_warmup_days(&self) -> usize {
+        1
+    }
+
+    /// Chooses the predictor from the warmup window (`actuals` and
+    /// `weathers` hold exactly the warmup days, oldest first).
+    fn choose<'s>(&'s self, actuals: &[Series], weathers: &[Series]) -> &'s dyn LoadPredictor;
 }
 
-impl Default for CampaignConfig {
-    /// Quarter-hour slots, three warmup days, capacity at 90 % of the
-    /// warmup peak, 2 % overuse threshold, reward tables with the paper
-    /// UA configuration recalibrated for grid-level peaks: the campaign
-    /// UA negotiates until the peak is back *under the capacity line*
-    /// (`max_allowed_overuse` 0 — grid peaks are a few percent of
-    /// capacity, far below the Figure-6 scenario's 15 % tolerance, which
-    /// would declare every one of them acceptable untouched), and β is
-    /// rescaled from the paper's 2-at-35 %-overuse calibration to the
-    /// ~5 % overuse a real peak carries (the §6 increment is β·overuse·…,
-    /// so the paper β saturates below ε before rewards ever move).
-    fn default() -> CampaignConfig {
-        CampaignConfig {
+/// The trivial predictor policy: always the given model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FixedPredictor<P: LoadPredictor>(pub P);
+
+impl<P: LoadPredictor> PredictorPolicy for FixedPredictor<P> {
+    fn choose<'s>(&'s self, _actuals: &[Series], _weathers: &[Series]) -> &'s dyn LoadPredictor {
+        &self.0
+    }
+}
+
+/// Picks the campaign predictor by rolling backtest over the warmup
+/// window: the first half of the warmup seeds each candidate, the rest
+/// scores it, and the lowest mean MAPE wins (ties to the earliest
+/// candidate — selection is deterministic).
+#[derive(Debug)]
+pub struct BacktestSelected {
+    candidates: Vec<Box<dyn LoadPredictor>>,
+}
+
+impl BacktestSelected {
+    /// A policy choosing among the given candidates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty.
+    pub fn new(candidates: Vec<Box<dyn LoadPredictor>>) -> BacktestSelected {
+        assert!(
+            !candidates.is_empty(),
+            "backtest selection needs at least one candidate"
+        );
+        BacktestSelected { candidates }
+    }
+
+    /// The standard candidate set: moving average, seasonal naïve,
+    /// calibrated weather regression, and Holt's linear trend.
+    pub fn standard() -> BacktestSelected {
+        BacktestSelected::new(vec![
+            Box::new(MovingAverage::new(3)),
+            Box::new(SeasonalNaive),
+            Box::new(WeatherRegression::calibrated()),
+            Box::new(HoltTrend::new(0.5, 0.2)),
+        ])
+    }
+
+    /// The candidate models.
+    pub fn candidates(&self) -> &[Box<dyn LoadPredictor>] {
+        &self.candidates
+    }
+}
+
+impl PredictorPolicy for BacktestSelected {
+    fn min_warmup_days(&self) -> usize {
+        2 // the backtest needs a split: seed days plus scored days
+    }
+
+    fn choose<'s>(&'s self, actuals: &[Series], weathers: &[Series]) -> &'s dyn LoadPredictor {
+        let refs: Vec<&dyn LoadPredictor> = self.candidates.iter().map(|b| b.as_ref()).collect();
+        let split = (actuals.len() / 2).max(1);
+        select_best(&refs, actuals, weathers, split)
+            .expect("warmup length validated by CampaignBuilder::build")
+    }
+}
+
+/// Decides what a day's consumption looks like once its negotiations
+/// have settled — the series appended to prediction history.
+pub trait FeedbackPolicy: fmt::Debug {
+    /// The history entry for a day, given the day's simulated actual
+    /// series and its negotiated outcomes (empty on stable days).
+    fn history_entry(&self, actual: &Series, outcomes: &[IntervalOutcome]) -> Series;
+}
+
+/// Open loop: prediction history holds the simulated actuals untouched,
+/// as if no customer implemented a cut-down (the pre-feedback campaign
+/// behaviour).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OpenLoop;
+
+impl FeedbackPolicy for OpenLoop {
+    fn history_entry(&self, actual: &Series, _outcomes: &[IntervalOutcome]) -> Series {
+        actual.clone()
+    }
+}
+
+/// Closed loop: each negotiated peak's aggregate cut
+/// ([`NegotiationReport::shaved_fraction`]) is applied to the day's
+/// actual consumption over the peak interval before the day enters
+/// prediction history — predictors train on post-negotiation
+/// consumption, so the next day's forecast reflects the deals.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClosedLoop;
+
+impl FeedbackPolicy for ClosedLoop {
+    fn history_entry(&self, actual: &Series, outcomes: &[IntervalOutcome]) -> Series {
+        let mut entry = actual.clone();
+        let len = entry.len();
+        for o in outcomes {
+            let keep = 1.0 - o.report.shaved_fraction();
+            for i in o
+                .peak
+                .interval
+                .intersect(powergrid::time::Interval::new(0, len))
+            {
+                entry.values_mut()[i] *= keep;
+            }
+        }
+        entry
+    }
+}
+
+/// Decides whether the Utility Agent negotiates each peak to the
+/// protocol's own end or under an economic stop rule.
+pub trait StopPolicy: fmt::Debug {
+    /// The stop rule injected into the UA configuration, priced against
+    /// the campaign's producer (`None` = unconditional).
+    fn economic_stop(&self, producer: &ProducerAgent) -> Option<EconomicStopRule>;
+}
+
+/// Negotiate every peak to the protocol's own termination rules — the
+/// paper's prototype behaviour.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct Unconditional;
+
+impl StopPolicy for Unconditional {
+    fn economic_stop(&self, _producer: &ProducerAgent) -> Option<EconomicStopRule> {
+        None
+    }
+}
+
+/// Stop raising reward tables once the next table — priced at the bids
+/// customers have already committed to — would cost more than the
+/// expensive production still avoidable, valued at the producer's cost
+/// spread ([`ProducerAgent::peak_saving_value`]). Stopped negotiations
+/// settle on the current table and count as converged
+/// ([`crate::concession::TerminationReason::EconomicStop`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MarginalCostStop;
+
+impl StopPolicy for MarginalCostStop {
+    fn economic_stop(&self, producer: &ProducerAgent) -> Option<EconomicStopRule> {
+        Some(EconomicStopRule::for_producer(producer))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Builder
+// ---------------------------------------------------------------------
+
+/// Fluent configuration of a campaign; [`CampaignBuilder::build`]
+/// validates it and produces a ready [`CampaignRunner`].
+#[derive(Debug)]
+pub struct CampaignBuilder<'a> {
+    households: &'a [Household],
+    weather_model: WeatherModel,
+    horizon: Horizon,
+    axis: TimeAxis,
+    warmup_days: usize,
+    capacity_factor: f64,
+    peak_threshold: f64,
+    method: AnnouncementMethod,
+    ua_config: UtilityAgentConfig,
+    threads: Option<NonZeroUsize>,
+    normal_cost: PricePerKwh,
+    expensive_cost: PricePerKwh,
+    predictor: Box<dyn PredictorPolicy + 'a>,
+    feedback: Box<dyn FeedbackPolicy + 'a>,
+    stop: Box<dyn StopPolicy + 'a>,
+}
+
+impl<'a> CampaignBuilder<'a> {
+    /// A builder with the campaign defaults: quarter-hour slots, three
+    /// warmup days, capacity at 90 % of the warmup peak, 2 % overuse
+    /// threshold, reward tables with the grid-recalibrated paper UA
+    /// configuration (the campaign UA negotiates until the peak is back
+    /// *under the capacity line* — `max_allowed_overuse` 0, since grid
+    /// peaks are a few percent of capacity, far below the Figure-6
+    /// scenario's 15 % tolerance — and β rescaled to 14 for the ~5 %
+    /// overuse a real peak carries, because the §6 increment is
+    /// β·overuse·… and the paper β saturates below ε before rewards ever
+    /// move), a calibrated weather-regression predictor, open-loop
+    /// feedback and unconditional negotiation.
+    pub fn new(
+        households: &'a [Household],
+        weather_model: &WeatherModel,
+        horizon: &Horizon,
+    ) -> CampaignBuilder<'a> {
+        CampaignBuilder {
+            households,
+            weather_model: weather_model.clone(),
+            horizon: *horizon,
             axis: TimeAxis::quarter_hourly(),
             warmup_days: 3,
             capacity_factor: 0.90,
@@ -101,170 +284,308 @@ impl Default for CampaignConfig {
                 .with_max_allowed_overuse(0.0)
                 .with_beta_policy(BetaPolicy::constant(14.0)),
             threads: None,
+            normal_cost: ProductionModel::DEFAULT_NORMAL_COST,
+            expensive_cost: ProductionModel::DEFAULT_EXPENSIVE_COST,
+            predictor: Box::new(FixedPredictor(WeatherRegression::calibrated())),
+            feedback: Box::new(OpenLoop),
+            stop: Box::new(Unconditional),
         }
     }
-}
 
-/// One peak scheduled for negotiation.
-#[derive(Debug, Clone, PartialEq)]
-pub struct PlannedPeak {
-    /// The day the peak falls on.
-    pub day: CalendarDay,
-    /// The detected peak.
-    pub peak: Peak,
-}
+    /// Slot resolution of the simulated days.
+    pub fn axis(mut self, axis: TimeAxis) -> Self {
+        self.axis = axis;
+        self
+    }
 
-/// One evaluated day of the campaign: its peaks (possibly none).
-#[derive(Debug, Clone, PartialEq)]
-pub struct DayPlan {
-    /// The calendar day.
-    pub day: CalendarDay,
-    /// Peaks detected in the day's predicted demand, in time order.
-    pub peaks: Vec<Peak>,
-}
+    /// Days of history accumulated before the first prediction; must be
+    /// at least one (and enough for the predictor policy) and smaller
+    /// than the horizon.
+    pub fn warmup_days(mut self, days: usize) -> Self {
+        self.warmup_days = days;
+        self
+    }
 
-/// A fully materialised campaign: one [`Scenario`](crate::session::Scenario)
-/// per detected peak, ready to run.
-///
-/// Building the plan is deterministic; running it is embarrassingly
-/// parallel (every scenario is an independent pure value).
-#[derive(Debug, Clone)]
-pub struct CampaignPlan {
-    days: Vec<DayPlan>,
-    planned: Vec<PlannedPeak>,
-    sweep: ScenarioSweep,
-    production: ProductionModel,
-}
+    /// Normal production capacity as a fraction of the highest per-slot
+    /// demand observed during warmup — below 1.0 guarantees that days
+    /// like the warmup days peak above the capacity line.
+    pub fn capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = factor;
+        self
+    }
 
-impl CampaignPlan {
-    /// Plans a campaign: simulates the horizon's actual demand, predicts
-    /// each post-warmup day from its history with `predictor`, detects
-    /// every negotiable peak, and derives one scenario per peak with
-    /// [`ScenarioBuilder::from_peak`].
+    /// Minimum overuse fraction that makes a peak worth negotiating.
+    pub fn peak_threshold(mut self, threshold: f64) -> Self {
+        self.peak_threshold = threshold;
+        self
+    }
+
+    /// The announcement method every peak is negotiated with.
+    pub fn method(mut self, method: AnnouncementMethod) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// The Utility Agent configuration (a configured [`StopPolicy`] may
+    /// still install its economic stop rule on top).
+    pub fn ua_config(mut self, config: UtilityAgentConfig) -> Self {
+        self.ua_config = config;
+        self
+    }
+
+    /// Worker-thread cap for [`CampaignRunner::run`] (default: machine
+    /// parallelism).
+    pub fn threads(mut self, threads: NonZeroUsize) -> Self {
+        self.threads = Some(threads);
+        self
+    }
+
+    /// Production costs per kWh for the two tiers — the economics the
+    /// producer agent reports and the stop rule prices against.
     ///
     /// # Panics
     ///
-    /// Panics if `households` is empty, `config.warmup_days` is zero, or
-    /// the horizon is not longer than the warmup.
-    pub fn build(
-        households: &[Household],
-        weather_model: &WeatherModel,
-        horizon: &Horizon,
-        predictor: &dyn LoadPredictor,
-        config: CampaignConfig,
-    ) -> CampaignPlan {
-        assert!(!households.is_empty(), "a campaign needs households");
-        assert!(config.warmup_days > 0, "prediction needs warmup history");
+    /// Panics if `expensive` is below `normal` (via
+    /// [`ProductionModel::with_costs`] when the campaign is built).
+    pub fn production_costs(mut self, normal: PricePerKwh, expensive: PricePerKwh) -> Self {
+        self.normal_cost = normal;
+        self.expensive_cost = expensive;
+        self
+    }
+
+    /// The predictor-selection policy.
+    pub fn predictor(mut self, policy: impl PredictorPolicy + 'a) -> Self {
+        self.predictor = Box::new(policy);
+        self
+    }
+
+    /// The demand-feedback policy.
+    pub fn feedback(mut self, policy: impl FeedbackPolicy + 'a) -> Self {
+        self.feedback = Box::new(policy);
+        self
+    }
+
+    /// The economic stop policy.
+    pub fn stop_rule(mut self, policy: impl StopPolicy + 'a) -> Self {
+        self.stop = Box::new(policy);
+        self
+    }
+
+    /// Validates the configuration, simulates the horizon's demand,
+    /// sizes capacity from the warmup days and prices the stop rule —
+    /// everything deterministic that precedes the first negotiation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `households` is empty, `warmup_days` is zero or below
+    /// the predictor policy's minimum, or the horizon is not longer than
+    /// the warmup.
+    pub fn build(self) -> CampaignRunner<'a> {
+        assert!(!self.households.is_empty(), "a campaign needs households");
+        assert!(self.warmup_days > 0, "prediction needs warmup history");
         assert!(
-            horizon.len() as usize > config.warmup_days,
+            self.horizon.len() as usize > self.warmup_days,
             "horizon of {} days leaves nothing to evaluate after {} warmup days",
-            horizon.len(),
-            config.warmup_days
+            self.horizon.len(),
+            self.warmup_days
         );
-        let axis = config.axis;
-        let simulated = simulate_horizon(households, weather_model, horizon, &axis);
+        assert!(
+            self.warmup_days >= self.predictor.min_warmup_days(),
+            "{:?} needs at least {} warmup days, got {}",
+            self.predictor,
+            self.predictor.min_warmup_days(),
+            self.warmup_days
+        );
+        let simulated = simulate_horizon(
+            self.households,
+            &self.weather_model,
+            &self.horizon,
+            &self.axis,
+        );
         let actuals: Vec<Series> = simulated.iter().map(|(c, _)| c.series().clone()).collect();
         let weathers: Vec<Series> = simulated.into_iter().map(|(_, w)| w).collect();
 
         // Capacity sized from the warmup days' highest slot demand.
-        let warmup_peak_kwh = actuals[..config.warmup_days]
+        let warmup_peak_kwh = actuals[..self.warmup_days]
             .iter()
             .map(|s| s.max())
             .fold(0.0f64, f64::max);
-        let normal = Kilowatts(warmup_peak_kwh / axis.slot_hours() * config.capacity_factor);
-        let production = ProductionModel::two_tier(normal, Kilowatts(normal.value() * 2.0));
-        let detector = PeakDetector::new(config.peak_threshold);
+        let normal = Kilowatts(warmup_peak_kwh / self.axis.slot_hours() * self.capacity_factor);
+        let production = ProductionModel::with_costs(
+            normal,
+            Kilowatts(normal.value() * 2.0),
+            self.normal_cost,
+            self.expensive_cost,
+        );
+        let producer = ProducerAgent::new(production);
+        let ua_config = self
+            .ua_config
+            .with_economic_stop(self.stop.economic_stop(&producer));
 
-        let mut days = Vec::new();
-        let mut planned = Vec::new();
-        let mut sweep = ScenarioSweep::new();
-        if let Some(threads) = config.threads {
-            sweep = sweep.threads(threads);
+        CampaignRunner {
+            households: self.households,
+            horizon: self.horizon,
+            axis: self.axis,
+            warmup_days: self.warmup_days,
+            peak_threshold: self.peak_threshold,
+            method: self.method,
+            ua_config,
+            threads: self.threads,
+            predictor: self.predictor,
+            feedback: self.feedback,
+            actuals,
+            weathers,
+            producer,
         }
-        for day in horizon.days().skip(config.warmup_days) {
+    }
+}
+
+// ---------------------------------------------------------------------
+// Runner
+// ---------------------------------------------------------------------
+
+/// A validated campaign ready to execute: the day-by-day
+/// predict → detect → negotiate → feed-back cycle.
+///
+/// Days run sequentially (closed-loop feedback makes them dependent);
+/// each day's peaks fan across cores via [`ScenarioSweep`]. Both entry
+/// points are pure: re-running produces byte-identical
+/// [`CampaignReport`]s, and [`CampaignRunner::run`] equals
+/// [`CampaignRunner::run_sequential`] for any thread count.
+#[derive(Debug)]
+pub struct CampaignRunner<'a> {
+    households: &'a [Household],
+    horizon: Horizon,
+    axis: TimeAxis,
+    warmup_days: usize,
+    peak_threshold: f64,
+    method: AnnouncementMethod,
+    ua_config: UtilityAgentConfig,
+    threads: Option<NonZeroUsize>,
+    predictor: Box<dyn PredictorPolicy + 'a>,
+    feedback: Box<dyn FeedbackPolicy + 'a>,
+    actuals: Vec<Series>,
+    weathers: Vec<Series>,
+    producer: ProducerAgent,
+}
+
+impl CampaignRunner<'_> {
+    /// The production model capacity was sized against.
+    pub fn production(&self) -> &ProductionModel {
+        self.producer.production()
+    }
+
+    /// The producer agent pricing the campaign's economics.
+    pub fn producer(&self) -> &ProducerAgent {
+        &self.producer
+    }
+
+    /// The Utility Agent configuration each peak is negotiated with
+    /// (stop rule already installed).
+    pub fn ua_config(&self) -> &UtilityAgentConfig {
+        &self.ua_config
+    }
+
+    /// Days the campaign will evaluate after warmup.
+    pub fn days_to_evaluate(&self) -> usize {
+        self.horizon.len() as usize - self.warmup_days
+    }
+
+    /// Runs the campaign, fanning each day's peak negotiations across
+    /// cores; byte-identical to [`CampaignRunner::run_sequential`].
+    pub fn run(&self) -> CampaignReport {
+        self.execute(true)
+    }
+
+    /// Runs the campaign entirely on the calling thread (the reference
+    /// order for determinism checks).
+    pub fn run_sequential(&self) -> CampaignReport {
+        self.execute(false)
+    }
+
+    fn execute(&self, parallel: bool) -> CampaignReport {
+        let warmup = self.warmup_days;
+        let predictor = self
+            .predictor
+            .choose(&self.actuals[..warmup], &self.weathers[..warmup]);
+        let detector = PeakDetector::new(self.peak_threshold);
+        let mut history: Vec<Series> = self.actuals[..warmup].to_vec();
+        let mut outcomes = Vec::new();
+        let mut days = Vec::new();
+        for day in self.horizon.days().skip(warmup) {
             let d = day.index as usize;
-            let predicted = predictor.predict(&actuals[..d], &weathers[d]);
-            let peaks = detector.detect_all(&predicted, &production);
+            let predicted = predictor.predict(&history, &self.weathers[d]);
+            let peaks = detector.detect_all(&predicted, self.producer.production());
+            let mut sweep = ScenarioSweep::new();
+            if let Some(threads) = self.threads {
+                sweep = sweep.threads(threads);
+            }
             for peak in &peaks {
                 let scenario = ScenarioBuilder::from_peak(
-                    households,
-                    &axis,
-                    weathers[d].mean(),
+                    self.households,
+                    &self.axis,
+                    self.weathers[d].mean(),
                     peak,
                     day.index,
                     day.day_type.intensity_factor(),
                 )
-                .config(config.ua_config.clone())
-                .method(config.method)
+                .config(self.ua_config.clone())
+                .method(self.method)
                 .build();
                 let label = format!("day{}/{}", day.index, peak.interval);
                 sweep = sweep.point(label, scenario);
-                planned.push(PlannedPeak { day, peak: *peak });
             }
-            days.push(DayPlan { day, peaks });
+            let results = sweep.execute(parallel);
+            // Recover the scenarios from the sweep instead of keeping
+            // clones: each outcome carries its materialised population.
+            let day_outcomes: Vec<IntervalOutcome> = results
+                .into_iter()
+                .zip(&peaks)
+                .zip(sweep.into_points())
+                .map(|((o, peak), point)| IntervalOutcome {
+                    day,
+                    peak: *peak,
+                    label: o.label,
+                    scenario: point.scenario,
+                    report: o.report,
+                })
+                .collect();
+            let entry = self.feedback.history_entry(&self.actuals[d], &day_outcomes);
+            let feedback_delta = (self.actuals[d].total() - entry.total()).clamp_non_negative();
+            history.push(entry);
+            days.push(DayOutcome {
+                day,
+                predictor: predictor.name(),
+                peaks,
+                feedback_delta,
+            });
+            outcomes.extend(day_outcomes);
         }
-        CampaignPlan {
-            days,
-            planned,
-            sweep,
-            production,
-        }
-    }
-
-    /// Number of peaks scheduled for negotiation.
-    pub fn len(&self) -> usize {
-        self.planned.len()
-    }
-
-    /// True if no day produced a negotiable peak.
-    pub fn is_empty(&self) -> bool {
-        self.planned.is_empty()
-    }
-
-    /// The per-day plans (peaks per evaluated day, possibly none).
-    pub fn days(&self) -> &[DayPlan] {
-        &self.days
-    }
-
-    /// The production model capacity was sized against.
-    pub fn production(&self) -> &ProductionModel {
-        &self.production
-    }
-
-    /// The underlying sweep grid (one cell per peak).
-    pub fn sweep(&self) -> &ScenarioSweep {
-        &self.sweep
-    }
-
-    /// Negotiates every planned peak in parallel via [`ScenarioSweep`];
-    /// byte-identical to [`CampaignPlan::run_sequential`].
-    pub fn run(&self) -> CampaignReport {
-        self.assemble(self.sweep.run())
-    }
-
-    /// Negotiates every planned peak on the calling thread (the
-    /// reference order for determinism checks).
-    pub fn run_sequential(&self) -> CampaignReport {
-        self.assemble(self.sweep.run_sequential())
-    }
-
-    fn assemble(&self, outcomes: Vec<crate::sweep::SweepOutcome>) -> CampaignReport {
-        let outcomes = self
-            .planned
-            .iter()
-            .zip(outcomes)
-            .map(|(p, o)| IntervalOutcome {
-                day: p.day,
-                peak: p.peak,
-                label: o.label,
-                report: o.report,
-            })
-            .collect();
+        let economics = CampaignEconomics::compute(&outcomes, &self.producer, self.axis);
         CampaignReport {
             outcomes,
-            days_evaluated: self.days.len(),
+            days,
+            economics,
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Report
+// ---------------------------------------------------------------------
+
+/// One evaluated day of the campaign.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DayOutcome {
+    /// The calendar day.
+    pub day: CalendarDay,
+    /// The predictor that forecast this day (the campaign's choice).
+    pub predictor: &'static str,
+    /// Peaks detected in the day's predicted demand, in time order.
+    pub peaks: Vec<Peak>,
+    /// Energy the feedback policy removed from this day's actual series
+    /// before it entered prediction history (zero open-loop).
+    pub feedback_delta: KilowattHours,
 }
 
 /// The result of negotiating one detected peak.
@@ -276,6 +597,8 @@ pub struct IntervalOutcome {
     pub peak: Peak,
     /// The sweep-cell label (`day<i>/<interval>`).
     pub label: String,
+    /// The materialised scenario (physically grounded customer profiles).
+    pub scenario: Scenario,
     /// The negotiation's full report.
     pub report: NegotiationReport,
 }
@@ -285,15 +608,82 @@ impl IntervalOutcome {
     pub fn energy_shaved(&self) -> KilowattHours {
         self.report.energy_shaved()
     }
+
+    /// True if the marginal-cost stop rule ended this negotiation.
+    pub fn stopped_economically(&self) -> bool {
+        self.report.status()
+            == crate::concession::NegotiationStatus::Converged(
+                crate::concession::TerminationReason::EconomicStop,
+            )
+    }
+}
+
+/// Stop-rule accounting for a campaign, priced by its producer agent.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CampaignEconomics {
+    /// Total reward outlay across every negotiated peak.
+    pub rewards_paid: Money,
+    /// Total energy shaved out of the peaks.
+    pub energy_shaved: KilowattHours,
+    /// Production cost avoided by not serving the shaved overuse at the
+    /// expensive tier ([`ProducerAgent::cost_of_energy`] before minus
+    /// after, per peak) — gross, before the forgone normal-rate revenue
+    /// of the unsold energy.
+    pub production_cost_avoided: Money,
+    /// The shaved overuse priced at the producer's cost spread
+    /// ([`ProducerAgent::peak_saving_value`]) — the *same* per-kWh value
+    /// the marginal-cost stop rule negotiates against, so stop decisions
+    /// and report accounting agree.
+    pub peak_saving: Money,
+    /// Peak saving minus rewards paid.
+    pub net_gain: Money,
+    /// Negotiations the marginal-cost stop rule ended.
+    pub economic_stops: usize,
+}
+
+impl CampaignEconomics {
+    fn compute(outcomes: &[IntervalOutcome], producer: &ProducerAgent, axis: TimeAxis) -> Self {
+        let mut rewards_paid = Money::ZERO;
+        let mut energy_shaved = KilowattHours::ZERO;
+        let mut production_cost_avoided = Money::ZERO;
+        let mut overuse_removed = KilowattHours::ZERO;
+        let mut economic_stops = 0;
+        for o in outcomes {
+            rewards_paid += o.report.total_rewards();
+            energy_shaved += o.energy_shaved();
+            let hours = o.peak.interval.hours(axis);
+            let before =
+                producer.cost_of_energy(o.report.normal_use() + o.report.initial_overuse(), hours);
+            let after =
+                producer.cost_of_energy(o.report.normal_use() + o.report.final_overuse(), hours);
+            production_cost_avoided += (before - after).clamp_non_negative();
+            overuse_removed +=
+                (o.report.initial_overuse() - o.report.final_overuse()).clamp_non_negative();
+            if o.stopped_economically() {
+                economic_stops += 1;
+            }
+        }
+        let peak_saving = overuse_removed * producer.peak_saving_value();
+        CampaignEconomics {
+            rewards_paid,
+            energy_shaved,
+            production_cost_avoided,
+            peak_saving,
+            net_gain: peak_saving - rewards_paid,
+            economic_stops,
+        }
+    }
 }
 
 /// Aggregate result of a day- or season-campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct CampaignReport {
-    /// One outcome per negotiated peak, in plan order.
+    /// One outcome per negotiated peak, in day order.
     pub outcomes: Vec<IntervalOutcome>,
-    /// Days the campaign evaluated (post-warmup), peaks or not.
-    pub days_evaluated: usize,
+    /// One record per evaluated day (peaks or not), in order.
+    pub days: Vec<DayOutcome>,
+    /// Stop-rule accounting against the campaign's producer.
+    pub economics: CampaignEconomics,
 }
 
 impl CampaignReport {
@@ -302,11 +692,14 @@ impl CampaignReport {
         self.outcomes.len()
     }
 
+    /// Days the campaign evaluated (post-warmup), peaks or not.
+    pub fn days_evaluated(&self) -> usize {
+        self.days.len()
+    }
+
     /// Evaluated days on which no peak warranted negotiation.
     pub fn stable_days(&self) -> usize {
-        let peak_days: std::collections::BTreeSet<u64> =
-            self.outcomes.iter().map(|o| o.day.index).collect();
-        self.days_evaluated - peak_days.len()
+        self.days.iter().filter(|d| d.peaks.is_empty()).count()
     }
 
     /// Number of negotiations that converged by protocol rules.
@@ -332,6 +725,12 @@ impl CampaignReport {
         self.outcomes.iter().map(|o| o.report.total_rewards()).sum()
     }
 
+    /// Total energy the feedback policy removed from the actual series
+    /// entering prediction history (zero for an open-loop campaign).
+    pub fn total_feedback(&self) -> KilowattHours {
+        self.days.iter().map(|d| d.feedback_delta).sum()
+    }
+
     /// Mean rounds per negotiation (zero for an empty campaign).
     pub fn mean_rounds(&self) -> f64 {
         if self.outcomes.is_empty() {
@@ -343,6 +742,11 @@ impl CampaignReport {
             .sum::<f64>()
             / self.outcomes.len() as f64
     }
+
+    /// The predictor the campaign chose (None if nothing was evaluated).
+    pub fn predictor(&self) -> Option<&'static str> {
+        self.days.first().map(|d| d.predictor)
+    }
 }
 
 impl fmt::Display for CampaignReport {
@@ -351,13 +755,23 @@ impl fmt::Display for CampaignReport {
             f,
             "campaign: {} days evaluated, {} peaks negotiated ({} converged), \
              {:.1} kWh shaved, {:.1} rewards paid, {:.2} mean rounds",
-            self.days_evaluated,
+            self.days_evaluated(),
             self.negotiations(),
             self.converged(),
             self.total_energy_shaved().value(),
             self.total_rewards().value(),
             self.mean_rounds()
         )?;
+        if let Some(name) = self.predictor() {
+            writeln!(
+                f,
+                "  predictor {} | feedback {:.1} kWh | {} economic stops | net gain {:.1}",
+                name,
+                self.total_feedback().value(),
+                self.economics.economic_stops,
+                self.economics.net_gain.value()
+            )?;
+        }
         for o in &self.outcomes {
             writeln!(
                 f,
@@ -377,102 +791,166 @@ impl fmt::Display for CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::concession::NegotiationStatus;
     use powergrid::population::PopulationBuilder;
-    use powergrid::prediction::{MovingAverage, SeasonalNaive};
+    use powergrid::prediction::SeasonalNaive;
     use powergrid::weather::Season;
 
-    fn small_campaign() -> CampaignPlan {
-        let homes = PopulationBuilder::new().households(40).build(11);
+    fn homes(n: usize, seed: u64) -> Vec<Household> {
+        PopulationBuilder::new().households(n).build(seed)
+    }
+
+    fn small_runner(homes: &[Household]) -> CampaignRunner<'_> {
         let horizon = Horizon::new(6, 0, Season::Winter);
-        CampaignPlan::build(
-            &homes,
-            &WeatherModel::winter(),
-            &horizon,
-            &MovingAverage::new(3),
-            CampaignConfig::default(),
-        )
+        CampaignBuilder::new(homes, &WeatherModel::winter(), &horizon)
+            .predictor(FixedPredictor(MovingAverage::new(3)))
+            .build()
     }
 
     #[test]
-    fn plan_covers_every_detected_peak() {
-        let plan = small_campaign();
-        let total_peaks: usize = plan.days().iter().map(|d| d.peaks.len()).sum();
-        assert_eq!(plan.len(), total_peaks);
-        assert_eq!(plan.days().len(), 3, "6-day horizon minus 3 warmup days");
+    fn report_covers_every_detected_peak() {
+        let homes = homes(40, 11);
+        let report = small_runner(&homes).run();
+        let total_peaks: usize = report.days.iter().map(|d| d.peaks.len()).sum();
+        assert_eq!(report.negotiations(), total_peaks);
+        assert_eq!(report.days_evaluated(), 3, "6-day horizon minus 3 warmup");
         assert!(
-            !plan.is_empty(),
-            "winter evenings must peak above 95 % capacity"
+            report.negotiations() > 0,
+            "winter evenings must peak above 90 % capacity"
         );
-        assert_eq!(plan.sweep().len(), plan.len());
+        assert!(report.predictor().is_some());
     }
 
     #[test]
     fn parallel_run_is_byte_identical_to_sequential() {
-        let plan = small_campaign();
-        let parallel = plan.run();
-        let sequential = plan.run_sequential();
-        assert_eq!(parallel, sequential);
+        let homes = homes(40, 11);
+        let runner = small_runner(&homes);
+        assert_eq!(runner.run(), runner.run_sequential());
     }
 
     #[test]
     fn campaign_converges_and_shaves_energy() {
-        let report = small_campaign().run();
+        let homes = homes(40, 11);
+        let report = small_runner(&homes).run();
         assert!(report.all_converged(), "{report}");
         assert!(report.total_energy_shaved().value() > 0.0, "{report}");
-        assert!(report.negotiations() > 0);
-        assert!(report.stable_days() < report.days_evaluated);
+        assert!(report.stable_days() < report.days_evaluated());
+        assert_eq!(report.total_feedback(), KilowattHours::ZERO, "open loop");
         let text = report.to_string();
         assert!(text.contains("peaks negotiated"));
+        assert!(text.contains("predictor moving-average"));
     }
 
     #[test]
-    fn plans_are_deterministic() {
-        let a = small_campaign();
-        let b = small_campaign();
-        assert_eq!(a.sweep().points(), b.sweep().points());
-        assert_eq!(a.run(), b.run());
+    fn campaigns_are_deterministic() {
+        let homes = homes(40, 11);
+        let a = small_runner(&homes).run();
+        let b = small_runner(&homes).run();
+        assert_eq!(a, b);
     }
 
     #[test]
     fn predictor_choice_changes_the_plan_not_the_guarantees() {
-        let homes = PopulationBuilder::new().households(30).build(5);
+        let homes = homes(30, 5);
         let horizon = Horizon::new(5, 2, Season::Winter);
-        let naive = CampaignPlan::build(
-            &homes,
-            &WeatherModel::winter(),
-            &horizon,
-            &SeasonalNaive,
-            CampaignConfig::default(),
-        );
-        let report = naive.run();
-        assert_eq!(report.negotiations(), naive.len());
+        let report = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .predictor(FixedPredictor(SeasonalNaive))
+            .build()
+            .run();
         assert!(report.all_converged(), "{report}");
+    }
+
+    #[test]
+    fn backtest_policy_picks_a_candidate_and_reports_it() {
+        let homes = homes(30, 5);
+        let horizon = Horizon::new(8, 0, Season::Winter);
+        let report = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(4)
+            .predictor(BacktestSelected::standard())
+            .build()
+            .run();
+        let chosen = report.predictor().expect("days evaluated");
+        let names: Vec<&str> = BacktestSelected::standard()
+            .candidates()
+            .iter()
+            .map(|c| c.name())
+            .collect();
+        assert!(names.contains(&chosen), "{chosen} not a candidate");
+        for day in &report.days {
+            assert_eq!(day.predictor, chosen, "one choice per campaign");
+        }
+    }
+
+    #[test]
+    fn closed_loop_reports_feedback_on_negotiated_days() {
+        let homes = homes(40, 11);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let report = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .predictor(FixedPredictor(MovingAverage::new(3)))
+            .feedback(ClosedLoop)
+            .build()
+            .run();
+        assert!(report.total_feedback().value() > 0.0, "{report}");
+        for day in &report.days {
+            let negotiated: Vec<_> = report
+                .outcomes
+                .iter()
+                .filter(|o| o.day == day.day && o.energy_shaved().value() > 0.0)
+                .collect();
+            if negotiated.is_empty() {
+                assert_eq!(day.feedback_delta, KilowattHours::ZERO);
+            } else {
+                assert!(day.feedback_delta.value() > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn economic_stop_status_is_counted() {
+        let homes = homes(40, 11);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let report = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .predictor(FixedPredictor(MovingAverage::new(3)))
+            .stop_rule(MarginalCostStop)
+            .build()
+            .run();
+        let counted = report
+            .outcomes
+            .iter()
+            .filter(|o| {
+                o.report.status()
+                    == NegotiationStatus::Converged(
+                        crate::concession::TerminationReason::EconomicStop,
+                    )
+            })
+            .count();
+        assert_eq!(report.economics.economic_stops, counted);
+        assert!(report.all_converged(), "economic stops are converged");
     }
 
     #[test]
     #[should_panic(expected = "leaves nothing to evaluate")]
     fn short_horizon_panics() {
-        let homes = PopulationBuilder::new().households(5).build(1);
+        let homes = homes(5, 1);
         let horizon = Horizon::new(3, 0, Season::Winter);
-        let _ = CampaignPlan::build(
-            &homes,
-            &WeatherModel::winter(),
-            &horizon,
-            &MovingAverage::new(3),
-            CampaignConfig::default(),
-        );
+        let _ = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon).build();
     }
 
     #[test]
     #[should_panic(expected = "needs households")]
     fn empty_population_panics() {
         let horizon = Horizon::new(6, 0, Season::Winter);
-        let _ = CampaignPlan::build(
-            &[],
-            &WeatherModel::winter(),
-            &horizon,
-            &MovingAverage::new(3),
-            CampaignConfig::default(),
-        );
+        let _ = CampaignBuilder::new(&[], &WeatherModel::winter(), &horizon).build();
+    }
+
+    #[test]
+    #[should_panic(expected = "warmup days")]
+    fn backtest_selection_needs_two_warmup_days() {
+        let homes = homes(5, 1);
+        let horizon = Horizon::new(4, 0, Season::Winter);
+        let _ = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(1)
+            .predictor(BacktestSelected::standard())
+            .build();
     }
 }

@@ -29,6 +29,10 @@ pub enum TerminationReason {
     NoMovement,
     /// Single-round method (offer) completed.
     SingleRound,
+    /// The marginal-cost stop rule fired: the next reward table would
+    /// cost more than the expensive production still avoidable, so the
+    /// Utility Agent settled on the current table instead of raising.
+    EconomicStop,
 }
 
 impl fmt::Display for TerminationReason {
@@ -38,6 +42,7 @@ impl fmt::Display for TerminationReason {
             TerminationReason::RewardSaturated => "reward table saturated",
             TerminationReason::NoMovement => "no customer movement",
             TerminationReason::SingleRound => "single-round method complete",
+            TerminationReason::EconomicStop => "next table uneconomical",
         };
         f.write_str(s)
     }

@@ -14,7 +14,7 @@
 //! * [`UtilityEngine`] — the Utility Agent half, parameterized by
 //!   [`AnnouncementMethod`]; reuses [`RewardTableNegotiator`] (the §6
 //!   reward/concession logic) and
-//!   [`assess_bids`](crate::utility_agent::cooperation::assess_bids).
+//!   [`assess_bids`](crate::utility_agent::cooperation::assess_bids()).
 //! * [`CustomerEngine`] — the Customer Agent half; reuses
 //!   [`CustomerAgentState`] and the §3.2.1/§3.2.2 decision functions of
 //!   [`crate::customer_agent`].
@@ -26,7 +26,8 @@
 //! 2. the [`massim`] actor adapters in [`crate::distributed`];
 //! 3. the DESIRE component glue in [`crate::desire_host`].
 //!
-//! All three produce their [`NegotiationReport`] through the shared
+//! All three produce their
+//! [`NegotiationReport`](crate::session::NegotiationReport) through the shared
 //! [`ReportAssembler`], so outcomes agree *by construction* — the
 //! property `tests/cross_mode.rs` checks over random scenarios.
 
@@ -382,7 +383,14 @@ impl UtilityEngine {
         let MethodState::RewardTables { negotiator } = &mut self.state else {
             unreachable!();
         };
-        let decision = negotiator.evaluate(overuse);
+        // The economic context for the marginal-cost stop rule: the
+        // energy still predicted above capacity, and a pricer for the
+        // candidate table at the bids customers have already committed
+        // to (a floor on its cost — §3.1 bids never retreat).
+        let remaining = (predicted_total - self.normal_use).clamp_non_negative();
+        let decision = negotiator.evaluate_with_outlay(overuse, remaining, |t| {
+            accepted.iter().map(|&b| t.reward_for(b)).sum()
+        });
         self.push_round(RoundRecord {
             round,
             table: Some(table.clone()),
@@ -721,7 +729,8 @@ impl CustomerEngine {
 // ---------------------------------------------------------------------
 
 /// Folds the observation effects of a [`UtilityEngine`] into the
-/// [`NegotiationReport`] every driver returns.
+/// [`NegotiationReport`](crate::session::NegotiationReport) every driver
+/// returns.
 ///
 /// Drivers forward each polled effect to [`ReportAssembler::observe`]
 /// (transport effects are counted, not performed) and call

@@ -86,30 +86,49 @@
 //! # The `powergrid` → `Scenario` pipeline
 //!
 //! Scenarios need not be synthetic: the [`campaign`] module wires the
-//! physical model into the negotiation core, stage by stage —
+//! physical model into the negotiation core as a day-by-day *feedback*
+//! cycle, driven by a [`campaign::CampaignRunner`] whose behaviour is
+//! fixed by three pluggable policies on its
+//! [`campaign::CampaignBuilder`] —
 //!
 //! 1. **Simulate** — a [`powergrid::population::PopulationBuilder`]
 //!    population under a [`powergrid::weather::WeatherModel`] over a
 //!    [`powergrid::calendar::Horizon`] yields per-slot demand for every
 //!    day ([`powergrid::demand::simulate_horizon`]);
-//! 2. **Predict** — a [`powergrid::prediction::LoadPredictor`] forecasts
-//!    each post-warmup day from its history and the weather forecast
-//!    (§5.1.2 *determine predicted balance*);
-//! 3. **Detect** — [`powergrid::peak::PeakDetector::detect_all`] finds
+//! 2. **Select** — a [`campaign::PredictorPolicy`] fixes the campaign's
+//!    [`powergrid::prediction::LoadPredictor`]: a given model
+//!    ([`campaign::FixedPredictor`]) or the warmup-backtest winner
+//!    ([`campaign::BacktestSelected`], via
+//!    [`powergrid::prediction::select_best`]);
+//! 3. **Predict** — the chosen predictor forecasts each post-warmup day
+//!    from its (possibly feedback-adjusted) history and the weather
+//!    forecast (§5.1.2 *determine predicted balance*);
+//! 4. **Detect** — [`powergrid::peak::PeakDetector::detect_all`] finds
 //!    every interval whose predicted overuse warrants the effort of
 //!    negotiating (§5.1.2 *evaluate prediction*);
-//! 4. **Materialise** — each peak becomes a [`session::Scenario`] via
+//! 5. **Materialise** — each peak becomes a [`session::Scenario`] via
 //!    [`session::ScenarioBuilder::from_peak`]: per-customer predicted
 //!    use is the household's demand over the peak interval, and its
 //!    private preferences are *physically grounded* — the cut-down
 //!    ceiling is `saving_potential / interval usage`
 //!    ([`powergrid::household::Household::max_cutdown`]), the
 //!    reluctance scale falls with that flexibility; no random betas;
-//! 5. **Negotiate** — [`campaign::CampaignPlan::run`] fans every peak's
-//!    negotiation across cores with [`sweep::ScenarioSweep`]
-//!    (byte-identical to sequential execution) and aggregates a
-//!    [`campaign::CampaignReport`]: energy shaved, rounds, convergence
-//!    per interval.
+//! 6. **Negotiate** — the day's peaks fan across cores with
+//!    [`sweep::ScenarioSweep`] (byte-identical to sequential
+//!    execution), each under the campaign's
+//!    [`campaign::StopPolicy`]: unconditionally to the protocol's own
+//!    end, or stopping reward-table raises once the next table costs
+//!    more than the expensive production still avoidable
+//!    ([`campaign::MarginalCostStop`], priced by the
+//!    [`producer_agent::ProducerAgent`]);
+//! 7. **Feed back** — the campaign's [`campaign::FeedbackPolicy`]
+//!    decides what enters prediction history: the simulated actuals
+//!    untouched ([`campaign::OpenLoop`]) or with the day's negotiated
+//!    cut-downs applied ([`campaign::ClosedLoop`]), so the next day's
+//!    forecast reflects the deals. Days therefore run sequentially,
+//!    and the [`campaign::CampaignReport`] records per-day predictor
+//!    choice, feedback deltas and stop-rule accounting
+//!    ([`campaign::CampaignEconomics`]).
 //!
 //! ```
 //! use loadbal_core::prelude::*;
@@ -119,16 +138,18 @@
 //! use powergrid::weather::{Season, WeatherModel};
 //!
 //! let homes = PopulationBuilder::new().households(50).build(42);
-//! let plan = CampaignPlan::build(
+//! let runner = CampaignBuilder::new(
 //!     &homes,
 //!     &WeatherModel::winter(),
 //!     &Horizon::new(6, 0, Season::Winter),
-//!     &MovingAverage::new(3),
-//!     CampaignConfig::default(),
-//! );
-//! let report = plan.run();
+//! )
+//! .predictor(FixedPredictor(MovingAverage::new(3)))
+//! .feedback(ClosedLoop)
+//! .build();
+//! let report = runner.run();
 //! assert!(report.all_converged());
 //! assert!(report.total_energy_shaved().value() > 0.0);
+//! assert!(report.total_feedback().value() > 0.0); // closed loop fed back
 //! ```
 
 #![forbid(unsafe_code)]
@@ -160,7 +181,11 @@ pub mod utility_agent;
 /// The most frequently used items.
 pub mod prelude {
     pub use crate::beta::BetaPolicy;
-    pub use crate::campaign::{CampaignConfig, CampaignPlan, CampaignReport, IntervalOutcome};
+    pub use crate::campaign::{
+        BacktestSelected, CampaignBuilder, CampaignEconomics, CampaignReport, CampaignRunner,
+        ClosedLoop, DayOutcome, FeedbackPolicy, FixedPredictor, IntervalOutcome, MarginalCostStop,
+        OpenLoop, PredictorPolicy, StopPolicy, Unconditional,
+    };
     pub use crate::concession::{NegotiationStatus, TerminationReason};
     pub use crate::engine::{CustomerEngine, Effect, Input, Peer, UtilityEngine};
     pub use crate::message::Msg;

@@ -129,4 +129,69 @@ mod tests {
             a.production().cost_of_energy(KilowattHours(10.0), 1.0)
         );
     }
+
+    #[test]
+    fn cost_of_energy_splits_tiers_by_duration() {
+        // 100 kW of normal capacity over 2 h serves 200 kWh cheaply; the
+        // 50 kWh beyond that is expensive. Units: kW × h → kWh, kWh ×
+        // price/kWh → money.
+        let a = agent();
+        let cost = a.cost_of_energy(KilowattHours(250.0), 2.0);
+        let expected = 200.0 * a.availability().normal_cost.value()
+            + 50.0 * a.availability().expensive_cost.value();
+        assert!((cost.value() - expected).abs() < 1e-9);
+        // Halving the window halves the cheap band: 100 kWh cheap,
+        // 150 kWh expensive.
+        let shorter = a.cost_of_energy(KilowattHours(250.0), 1.0);
+        let expected_short = 100.0 * a.availability().normal_cost.value()
+            + 150.0 * a.availability().expensive_cost.value();
+        assert!((shorter.value() - expected_short).abs() < 1e-9);
+        assert!(shorter > cost, "less cheap capacity ⇒ higher cost");
+    }
+
+    #[test]
+    fn cost_of_energy_is_monotone_and_non_negative() {
+        let a = agent();
+        assert_eq!(a.cost_of_energy(KilowattHours(0.0), 1.0), Money::ZERO);
+        assert_eq!(a.cost_of_energy(KilowattHours(-10.0), 1.0), Money::ZERO);
+        let mut prev = Money::ZERO;
+        for kwh in [10.0, 50.0, 100.0, 150.0, 500.0] {
+            let cost = a.cost_of_energy(KilowattHours(kwh), 1.0);
+            assert!(cost >= prev, "cost must grow with energy served");
+            prev = cost;
+        }
+    }
+
+    #[test]
+    fn peak_saving_value_prices_a_kwh_of_cutdown() {
+        // One kWh shaved out of the expensive band saves the expensive
+        // rate but forgoes serving it at the normal rate elsewhere: the
+        // spread. That must equal the marginal cost drop of serving one
+        // kWh less above capacity minus the normal rate.
+        let a = agent();
+        let cap = KilowattHours(100.0); // normal capacity over 1 h
+        let marginal = a.cost_of_energy(cap + KilowattHours(1.0), 1.0) - a.cost_of_energy(cap, 1.0);
+        let spread = a.peak_saving_value();
+        assert!(
+            (marginal.value() - a.availability().expensive_cost.value()).abs() < 1e-9,
+            "above capacity, the marginal kWh costs the expensive rate"
+        );
+        assert!(
+            (spread.value() - (marginal.value() - a.availability().normal_cost.value())).abs()
+                < 1e-9
+        );
+        assert!(spread.value() > 0.0, "expensive ≥ normal ⇒ spread ≥ 0");
+    }
+
+    #[test]
+    fn peak_saving_value_is_zero_for_flat_pricing() {
+        use powergrid::units::PricePerKwh;
+        let flat = ProducerAgent::new(ProductionModel::with_costs(
+            Kilowatts(100.0),
+            Kilowatts(150.0),
+            PricePerKwh(0.5),
+            PricePerKwh(0.5),
+        ));
+        assert_eq!(flat.peak_saving_value(), PricePerKwh(0.0));
+    }
 }

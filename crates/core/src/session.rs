@@ -192,6 +192,17 @@ impl NegotiationReport {
         (self.initial_total - self.final_total()).clamp_non_negative()
     }
 
+    /// The negotiated aggregate cut as a fraction of the demand that
+    /// entered negotiation, in `[0, 1]` — what a closed-loop campaign
+    /// applies to the interval's actual consumption (zero for an empty
+    /// population).
+    pub fn shaved_fraction(&self) -> f64 {
+        if self.initial_total.value() <= f64::EPSILON {
+            return 0.0;
+        }
+        (self.energy_shaved() / self.initial_total).clamp(0.0, 1.0)
+    }
+
     /// Predicted overuse before negotiation, in energy.
     pub fn initial_overuse(&self) -> KilowattHours {
         (self.initial_total - self.normal_use).clamp_non_negative()

@@ -132,6 +132,13 @@ impl ScenarioSweep {
         &self.points
     }
 
+    /// Consumes the sweep, handing back its cells (grid order) — lets a
+    /// caller that built scenarios into the sweep recover them after
+    /// running without having kept clones.
+    pub fn into_points(self) -> Vec<SweepPoint> {
+        self.points
+    }
+
     /// Runs every cell in parallel over std threads; outcomes come back
     /// in grid order and are byte-identical to
     /// [`ScenarioSweep::run_sequential`].
@@ -175,6 +182,17 @@ impl ScenarioSweep {
                     .expect("every cell ran")
             })
             .collect()
+    }
+
+    /// Dispatches to [`ScenarioSweep::run`] or
+    /// [`ScenarioSweep::run_sequential`] — the switch campaign runners
+    /// flip per day without duplicating the day loop.
+    pub fn execute(&self, parallel: bool) -> Vec<SweepOutcome> {
+        if parallel {
+            self.run()
+        } else {
+            self.run_sequential()
+        }
     }
 
     /// Runs every cell on the calling thread (the reference order for

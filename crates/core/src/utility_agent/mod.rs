@@ -18,9 +18,10 @@ pub mod own_process_control;
 
 use crate::beta::BetaPolicy;
 use crate::concession::TerminationReason;
+use crate::producer_agent::ProducerAgent;
 use crate::reward::{RewardFormula, RewardTable, DEFAULT_LEVELS};
 use powergrid::time::Interval;
-use powergrid::units::{Fraction, Money};
+use powergrid::units::{Fraction, KilowattHours, Money, PricePerKwh};
 use serde::{Deserialize, Serialize};
 
 /// Shape of the initial reward table.
@@ -33,6 +34,49 @@ pub enum TableShape {
     Linear,
 }
 
+/// The marginal-cost stop rule for reward-table negotiations.
+///
+/// Before announcing a §6-raised table, the Utility Agent prices it at
+/// the bids the customers have already committed to (monotonic
+/// concession means those bids can only grow, so this is a floor on what
+/// settling under the raised table will cost) and compares against the
+/// most continuing can be worth: the value of eliminating every kWh
+/// still predicted above normal capacity, at `value_per_kwh`. If the
+/// next table's outlay exceeds that saving, the UA settles on the
+/// current table instead — [`TerminationReason::EconomicStop`], a
+/// converged outcome.
+///
+/// This is deliberately a *budget* test on the whole next-table
+/// commitment, not a marginal-rate test on the raise alone
+/// (`outlay(next) − outlay(current)` vs the saving): the UA refuses to
+/// keep a table in play whose guaranteed cost already exceeds what the
+/// remaining avoidable production is worth, which bounds the outlay a
+/// single peak can absorb. The marginal-rate form never fires on grid
+/// campaigns — committed bids are near zero until the crossing round,
+/// so its left-hand side stays at zero while the overshoot happens.
+///
+/// Campaigns derive `value_per_kwh` from the producer's economics
+/// ([`EconomicStopRule::for_producer`]); the rule is `None` by default,
+/// preserving the paper's unconditional behaviour.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EconomicStopRule {
+    /// What a kWh of negotiated cut-down is worth to the utility.
+    pub value_per_kwh: PricePerKwh,
+}
+
+impl EconomicStopRule {
+    /// Prices the rule from a producer agent: a kWh shaved off the peak
+    /// is worth the producer's
+    /// [`peak_saving_value`](ProducerAgent::peak_saving_value) — the
+    /// expensive/normal cost spread, i.e. the marginal production cost
+    /// the utility avoids.
+    pub fn for_producer(producer: &ProducerAgent) -> EconomicStopRule {
+        EconomicStopRule {
+            value_per_kwh: producer.peak_saving_value(),
+        }
+    }
+}
+
 /// Full configuration of a Utility Agent.
 ///
 /// # Example
@@ -43,6 +87,7 @@ pub enum TableShape {
 /// let config = UtilityAgentConfig::paper();
 /// assert_eq!(config.formula.beta, 2.0);
 /// assert_eq!(config.max_allowed_overuse, 0.15);
+/// assert!(config.economic_stop.is_none());
 /// ```
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct UtilityAgentConfig {
@@ -65,6 +110,9 @@ pub struct UtilityAgentConfig {
     pub offer_x_max: Fraction,
     /// Round budget (a protocol safety net, not a convergence mechanism).
     pub max_rounds: u32,
+    /// The marginal-cost stop rule (`None` = negotiate unconditionally,
+    /// as the paper's prototype does).
+    pub economic_stop: Option<EconomicStopRule>,
 }
 
 impl UtilityAgentConfig {
@@ -81,6 +129,7 @@ impl UtilityAgentConfig {
             table_shape: TableShape::Quadratic,
             offer_x_max: Fraction::clamped(0.8),
             max_rounds: 50,
+            economic_stop: None,
         }
     }
 
@@ -104,6 +153,12 @@ impl UtilityAgentConfig {
     /// Replaces the offer-method `x_max` (builder style).
     pub fn with_offer_x_max(mut self, x_max: Fraction) -> UtilityAgentConfig {
         self.offer_x_max = x_max;
+        self
+    }
+
+    /// Installs (or clears) the marginal-cost stop rule (builder style).
+    pub fn with_economic_stop(mut self, rule: Option<EconomicStopRule>) -> UtilityAgentConfig {
+        self.economic_stop = rule;
         self
     }
 
@@ -180,12 +235,31 @@ impl RewardTableNegotiator {
     }
 
     /// Evaluates the predicted relative overuse after this round's bids
+    /// and decides whether to stop or announce a new table, without the
+    /// economic context — equivalent to [`evaluate_with_outlay`] with no
+    /// remaining overuse to price, so a configured
+    /// [`EconomicStopRule`] never fires through this entry point.
+    ///
+    /// [`evaluate_with_outlay`]: RewardTableNegotiator::evaluate_with_outlay
+    pub fn evaluate(&mut self, overuse: f64) -> UaDecision {
+        self.evaluate_with_outlay(overuse, KilowattHours::ZERO, |_| Money::ZERO)
+    }
+
+    /// Evaluates the predicted relative overuse after this round's bids
     /// and decides whether to stop or announce a new table.
     ///
     /// Termination (§3.2.3 / §6): overuse at or below the allowed
     /// maximum; the table step at most ε ("difference ... less than or
-    /// equal to 1"); or the round budget spent.
-    pub fn evaluate(&mut self, overuse: f64) -> UaDecision {
+    /// equal to 1"); the round budget spent; or — when an
+    /// [`EconomicStopRule`] is configured — the next table priced at the
+    /// committed bids (`outlay_at`) exceeding the value of the
+    /// `remaining_overuse` still avoidable.
+    pub fn evaluate_with_outlay(
+        &mut self,
+        overuse: f64,
+        remaining_overuse: KilowattHours,
+        outlay_at: impl FnOnce(&RewardTable) -> Money,
+    ) -> UaDecision {
         if overuse <= self.config.max_allowed_overuse {
             return UaDecision::Converged(TerminationReason::OveruseAcceptable);
         }
@@ -212,6 +286,12 @@ impl RewardTableNegotiator {
         let next = self.current.updated(&self.config.formula, overuse, beta);
         if next.max_delta(&self.current) <= self.config.formula.epsilon {
             return UaDecision::Converged(TerminationReason::RewardSaturated);
+        }
+        if let Some(rule) = &self.config.economic_stop {
+            let saving = remaining_overuse.clamp_non_negative() * rule.value_per_kwh;
+            if outlay_at(&next) > saving {
+                return UaDecision::Converged(TerminationReason::EconomicStop);
+            }
         }
         debug_assert!(next.dominates(&self.current), "§3.1 monotonic concession");
         self.current = next.clone();
@@ -297,6 +377,59 @@ mod tests {
         assert_eq!(c.max_allowed_overuse, 0.05);
         assert_eq!(c.beta_policy, BetaPolicy::constant(1.0));
         assert_eq!(c.offer_x_max, Fraction::clamped(0.7));
+    }
+
+    #[test]
+    fn economic_stop_fires_when_next_table_outprices_the_saving() {
+        let config = UtilityAgentConfig::paper().with_economic_stop(Some(EconomicStopRule {
+            value_per_kwh: PricePerKwh(1.0),
+        }));
+        let mut n = RewardTableNegotiator::new(config, interval());
+        // 10 kWh still above capacity is worth 10; a next table priced at
+        // 25 for the committed bids is uneconomical — settle now.
+        let d = n.evaluate_with_outlay(0.35, KilowattHours(10.0), |_| Money(25.0));
+        assert_eq!(d, UaDecision::Converged(TerminationReason::EconomicStop));
+        assert_eq!(n.round(), 1, "no table was raised");
+    }
+
+    #[test]
+    fn economic_stop_spares_a_raise_still_worth_it() {
+        let config = UtilityAgentConfig::paper().with_economic_stop(Some(EconomicStopRule {
+            value_per_kwh: PricePerKwh(1.0),
+        }));
+        let mut n = RewardTableNegotiator::new(config, interval());
+        // 100 kWh of avoidable expensive production is worth 100 — more
+        // than the 25 the next table commits to, so the UA keeps raising.
+        let d = n.evaluate_with_outlay(0.35, KilowattHours(100.0), |_| Money(25.0));
+        assert!(matches!(d, UaDecision::NextTable(_)));
+        assert_eq!(n.round(), 2);
+    }
+
+    #[test]
+    fn no_rule_means_unconditional_negotiation() {
+        let mut with_ctx = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        let mut plain = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
+        // Even an absurdly expensive next table is announced when no rule
+        // is configured, and the context-free entry point agrees.
+        let a = with_ctx.evaluate_with_outlay(0.35, KilowattHours(1e-6), |_| Money(1e9));
+        let b = plain.evaluate(0.35);
+        assert_eq!(a, b);
+        assert!(matches!(a, UaDecision::NextTable(_)));
+    }
+
+    #[test]
+    fn stop_rule_pricing_comes_from_the_producer() {
+        use powergrid::production::ProductionModel;
+        use powergrid::units::Kilowatts;
+        let producer = ProducerAgent::new(ProductionModel::with_costs(
+            Kilowatts(100.0),
+            Kilowatts(200.0),
+            PricePerKwh(0.3),
+            PricePerKwh(1.1),
+        ));
+        let rule = EconomicStopRule::for_producer(&producer);
+        assert_eq!(rule.value_per_kwh, producer.peak_saving_value());
+        assert!((rule.value_per_kwh.value() - 0.8).abs() < 1e-12);
     }
 
     #[test]

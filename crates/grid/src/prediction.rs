@@ -276,50 +276,157 @@ pub struct BacktestRow {
     pub days: usize,
 }
 
+/// Why a backtest (or [`select_best`]) could not be evaluated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BacktestError {
+    /// `warmup` was zero: the first prediction needs at least one day of
+    /// history.
+    NoWarmup,
+    /// The data ends inside the warmup: nothing is left to score.
+    InsufficientDays {
+        /// Days of data supplied.
+        days: usize,
+        /// Warmup requested.
+        warmup: usize,
+    },
+    /// The weather series list does not cover the actuals one-to-one.
+    WeatherMismatch {
+        /// Days of actual demand supplied.
+        actuals: usize,
+        /// Weather series supplied.
+        weather: usize,
+    },
+    /// No candidate predictors were supplied.
+    NoCandidates,
+}
+
+impl fmt::Display for BacktestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BacktestError::NoWarmup => write!(f, "backtest needs at least one warmup day"),
+            BacktestError::InsufficientDays { days, warmup } => write!(
+                f,
+                "{days} days leave nothing to evaluate after {warmup} warmup days"
+            ),
+            BacktestError::WeatherMismatch { actuals, weather } => write!(
+                f,
+                "weather must cover every day: {actuals} actuals vs {weather} weather series"
+            ),
+            BacktestError::NoCandidates => write!(f, "no candidate predictors supplied"),
+        }
+    }
+}
+
+impl std::error::Error for BacktestError {}
+
+fn check_backtest(
+    predictors: &[&dyn LoadPredictor],
+    actuals: &[Series],
+    weather: &[Series],
+    warmup: usize,
+) -> Result<(), BacktestError> {
+    if predictors.is_empty() {
+        return Err(BacktestError::NoCandidates);
+    }
+    if warmup == 0 {
+        return Err(BacktestError::NoWarmup);
+    }
+    if actuals.len() <= warmup {
+        return Err(BacktestError::InsufficientDays {
+            days: actuals.len(),
+            warmup,
+        });
+    }
+    if actuals.len() != weather.len() {
+        return Err(BacktestError::WeatherMismatch {
+            actuals: actuals.len(),
+            weather: weather.len(),
+        });
+    }
+    Ok(())
+}
+
+fn score(
+    p: &dyn LoadPredictor,
+    actuals: &[Series],
+    weather: &[Series],
+    warmup: usize,
+) -> BacktestRow {
+    let mut rmse = 0.0;
+    let mut mape = 0.0;
+    let mut days = 0;
+    for d in warmup..actuals.len() {
+        let pred = p.predict(&actuals[..d], &weather[d]);
+        let acc = accuracy(&pred, &actuals[d]);
+        rmse += acc.rmse;
+        mape += acc.mape;
+        days += 1;
+    }
+    BacktestRow {
+        name: p.name(),
+        mean_rmse: rmse / days as f64,
+        mean_mape: mape / days as f64,
+        days,
+    }
+}
+
 /// Rolling-origin backtest: for each day `d ≥ warmup`, predict day `d`
 /// from days `0..d` and score against the actual. Returns one row per
 /// predictor, sorted by MAPE (best first).
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `actuals.len() <= warmup`, if `warmup` is zero, or if the
-/// weather series list does not match the actuals.
+/// Returns a [`BacktestError`] when no predictors are supplied, `warmup`
+/// is zero, `actuals.len() <= warmup`, or the weather series list does
+/// not match the actuals.
 pub fn backtest(
     predictors: &[&dyn LoadPredictor],
     actuals: &[Series],
     weather: &[Series],
     warmup: usize,
-) -> Vec<BacktestRow> {
-    assert!(warmup > 0, "need at least one warmup day");
-    assert!(actuals.len() > warmup, "not enough days to evaluate");
-    assert_eq!(actuals.len(), weather.len(), "weather must cover every day");
+) -> Result<Vec<BacktestRow>, BacktestError> {
+    check_backtest(predictors, actuals, weather, warmup)?;
     let mut rows: Vec<BacktestRow> = predictors
         .iter()
-        .map(|p| {
-            let mut rmse = 0.0;
-            let mut mape = 0.0;
-            let mut days = 0;
-            for d in warmup..actuals.len() {
-                let pred = p.predict(&actuals[..d], &weather[d]);
-                let acc = accuracy(&pred, &actuals[d]);
-                rmse += acc.rmse;
-                mape += acc.mape;
-                days += 1;
-            }
-            BacktestRow {
-                name: p.name(),
-                mean_rmse: rmse / days as f64,
-                mean_mape: mape / days as f64,
-                days,
-            }
-        })
+        .map(|p| score(*p, actuals, weather, warmup))
         .collect();
     rows.sort_by(|a, b| {
         a.mean_mape
             .partial_cmp(&b.mean_mape)
             .expect("finite scores")
     });
-    rows
+    Ok(rows)
+}
+
+/// Picks the candidate with the lowest rolling-backtest MAPE over the
+/// given window (ties go to the earliest candidate, so selection is
+/// deterministic even among equally accurate models).
+///
+/// This is the library form of the hand-rolled "backtest, then match on
+/// the winner's name" loop campaigns used to carry; a campaign's
+/// predictor policy calls it once over the warmup window.
+///
+/// # Errors
+///
+/// Returns a [`BacktestError`] under the same conditions as [`backtest`].
+pub fn select_best<'a>(
+    candidates: &[&'a dyn LoadPredictor],
+    actuals: &[Series],
+    weather: &[Series],
+    warmup: usize,
+) -> Result<&'a dyn LoadPredictor, BacktestError> {
+    check_backtest(candidates, actuals, weather, warmup)?;
+    let best = candidates
+        .iter()
+        .map(|p| score(*p, actuals, weather, warmup).mean_mape)
+        .enumerate()
+        .fold(None, |best: Option<(usize, f64)>, (i, mape)| match best {
+            Some((_, b)) if b <= mape => best,
+            _ => Some((i, mape)),
+        })
+        .expect("candidates checked non-empty")
+        .0;
+    Ok(candidates[best])
 }
 
 #[cfg(test)]
@@ -497,7 +604,7 @@ mod tests {
         let ma = MovingAverage::new(3);
         let naive = SeasonalNaive;
         let holt = HoltTrend::new(0.5, 0.2);
-        let rows = backtest(&[&ma, &naive, &holt], &actuals, &weathers, 3);
+        let rows = backtest(&[&ma, &naive, &holt], &actuals, &weathers, 3).expect("enough days");
         assert_eq!(rows.len(), 3);
         // Sorted best-first.
         for pair in rows.windows(2) {
@@ -515,11 +622,78 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "not enough days")]
     fn backtest_needs_evaluation_days() {
         let actuals = vec![Series::constant(axis(), 1.0); 2];
         let weathers = vec![Series::constant(axis(), 0.0); 2];
         let ma = MovingAverage::new(1);
-        let _ = backtest(&[&ma], &actuals, &weathers, 2);
+        let err = backtest(&[&ma], &actuals, &weathers, 2).unwrap_err();
+        assert_eq!(err, BacktestError::InsufficientDays { days: 2, warmup: 2 });
+        assert!(err.to_string().contains("nothing to evaluate"));
+        // The other misuse modes are errors too, never panics.
+        assert_eq!(
+            backtest(&[&ma], &actuals, &weathers, 0).unwrap_err(),
+            BacktestError::NoWarmup
+        );
+        assert_eq!(
+            backtest(&[], &actuals, &weathers, 1).unwrap_err(),
+            BacktestError::NoCandidates
+        );
+        let short_weather = vec![Series::constant(axis(), 0.0); 1];
+        assert_eq!(
+            backtest(&[&ma], &actuals, &short_weather, 1).unwrap_err(),
+            BacktestError::WeatherMismatch {
+                actuals: 2,
+                weather: 1
+            }
+        );
+    }
+
+    #[test]
+    fn select_best_returns_the_lowest_mape_candidate() {
+        let (history, _, _) = history_and_today();
+        let homes = PopulationBuilder::new().households(40).build(11);
+        let model = WeatherModel::winter();
+        let mut actuals = history;
+        let mut weathers: Vec<Series> = (0..actuals.len() as u64)
+            .map(|d| model.temperatures(&axis(), d))
+            .collect();
+        for day in 5..9u64 {
+            let w = model.temperatures(&axis(), day);
+            actuals.push(aggregate_demand(&homes, &w, &axis(), day).series().clone());
+            weathers.push(w);
+        }
+        let ma = MovingAverage::new(3);
+        let naive = SeasonalNaive;
+        let holt = HoltTrend::new(0.5, 0.2);
+        let candidates: [&dyn LoadPredictor; 3] = [&ma, &naive, &holt];
+        let best = select_best(&candidates, &actuals, &weathers, 3).expect("enough days");
+        let rows = backtest(&candidates, &actuals, &weathers, 3).expect("enough days");
+        assert_eq!(
+            best.name(),
+            rows[0].name,
+            "select_best must agree with the backtest ranking"
+        );
+        // Errors propagate exactly as for `backtest`.
+        assert_eq!(
+            select_best(&candidates, &actuals[..3], &weathers[..3], 3).unwrap_err(),
+            BacktestError::InsufficientDays { days: 3, warmup: 3 }
+        );
+    }
+
+    #[test]
+    fn select_best_breaks_ties_deterministically() {
+        // Two copies of the same model score identically; the earliest
+        // candidate must win so campaign predictor selection is replayable.
+        let history = vec![Series::constant(axis(), 2.0); 5];
+        let weather = vec![Series::constant(axis(), 0.0); 5];
+        let a = MovingAverage::new(2);
+        let b = MovingAverage::new(2);
+        let c = MovingAverage::new(3);
+        let candidates: [&dyn LoadPredictor; 3] = [&a, &b, &c];
+        let best = select_best(&candidates, &history, &weather, 2).expect("enough days");
+        assert!(std::ptr::eq(
+            best as *const dyn LoadPredictor as *const u8,
+            &a as *const MovingAverage as *const u8
+        ));
     }
 }

@@ -2,8 +2,13 @@
 //! `powergrid` population's demand is predicted day by day, every
 //! detected peak becomes a negotiation scenario whose customer profiles
 //! are derived from the households' physical saving potential, and the
-//! sans-io engine negotiates them all — fanned across cores by
-//! `ScenarioSweep`, byte-identical to sequential execution.
+//! sans-io engine negotiates them all — each day's peaks fanned across
+//! cores by `ScenarioSweep`, byte-identical to sequential execution.
+//!
+//! The campaign runs twice: open-loop (prediction history holds the raw
+//! simulated actuals) and closed-loop (each day's negotiated cut-downs
+//! are applied to that day's consumption before it enters history), so
+//! the printout shows how feedback shrinks the following days' peaks.
 //!
 //! ```text
 //! cargo run --release --example day_campaign
@@ -16,21 +21,18 @@ use powergrid::prediction::WeatherRegression;
 fn main() {
     let homes = PopulationBuilder::new().households(300).build(42);
     let horizon = Horizon::new(8, 0, Season::Winter); // Monday-start week + 1
-    let plan = CampaignPlan::build(
-        &homes,
-        &WeatherModel::winter(),
-        &horizon,
-        &WeatherRegression::calibrated(),
-        CampaignConfig::default(),
-    );
+    let runner = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+        .predictor(FixedPredictor(WeatherRegression::calibrated()))
+        .build();
+    let open = runner.run();
     println!(
-        "planned {} negotiations over {} evaluated days \
+        "open loop: {} negotiations over {} evaluated days \
          (normal capacity {:.0} kW)",
-        plan.len(),
-        plan.days().len(),
-        plan.production().normal_capacity().value()
+        open.negotiations(),
+        open.days_evaluated(),
+        runner.production().normal_capacity().value()
     );
-    for day in plan.days() {
+    for day in &open.days {
         match day.peaks.as_slice() {
             [] => println!("  day {}: stable — no negotiable peak", day.day.index),
             peaks => {
@@ -41,18 +43,35 @@ fn main() {
         }
     }
 
-    let parallel = plan.run();
-    let sequential = plan.run_sequential();
+    let sequential = runner.run_sequential();
     assert_eq!(
-        parallel, sequential,
+        open, sequential,
         "parallel campaign must be byte-identical to sequential"
     );
-    assert!(parallel.all_converged(), "every peak negotiation converges");
+    assert!(open.all_converged(), "every peak negotiation converges");
 
     println!();
-    print!("{parallel}");
+    print!("{open}");
+
+    // The same campaign closed-loop: negotiated cut-downs feed back into
+    // the consumption the next prediction is trained on.
+    let closed = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+        .predictor(FixedPredictor(WeatherRegression::calibrated()))
+        .feedback(ClosedLoop)
+        .build()
+        .run();
+    assert!(closed.all_converged());
+    println!();
+    print!("{closed}");
     println!(
-        "\ndeterminism check passed: parallel == sequential over {} negotiations",
-        parallel.negotiations()
+        "\nfeedback fed {:.1} kWh of cut-downs into prediction history; \
+         shaved {:.1} kWh (open loop: {:.1} kWh)",
+        closed.total_feedback().value(),
+        closed.total_energy_shaved().value(),
+        open.total_energy_shaved().value()
+    );
+    println!(
+        "determinism check passed: parallel == sequential over {} negotiations",
+        open.negotiations()
     );
 }

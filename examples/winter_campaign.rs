@@ -18,7 +18,9 @@ use loadbal::core::utility_agent::own_process_control::OwnProcessControl;
 use loadbal::prelude::*;
 use powergrid::calendar::Horizon;
 use powergrid::peak::PeakDetector;
-use powergrid::prediction::{backtest, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive};
+use powergrid::prediction::{
+    backtest, select_best, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive,
+};
 
 fn main() {
     let axis = TimeAxis::quarter_hourly();
@@ -53,16 +55,15 @@ fn main() {
     let naive = SeasonalNaive;
     let holt = HoltTrend::new(0.5, 0.2);
     let predictors: [&dyn LoadPredictor; 3] = [&ma, &naive, &holt];
-    let ranking = backtest(&predictors, &actuals[..7], &weathers[..7], 3);
+    let ranking =
+        backtest(&predictors, &actuals[..7], &weathers[..7], 3).expect("a week leaves eval days");
     println!("predictor backtest over week 1 (MAPE, best first):");
     for row in &ranking {
         println!("  {:<18} {:.3}", row.name, row.mean_mape);
     }
-    let best: &dyn LoadPredictor = match ranking[0].name {
-        "moving-average" => &ma,
-        "seasonal-naive" => &naive,
-        _ => &holt,
-    };
+    let best = select_best(&predictors, &actuals[..7], &weathers[..7], 3)
+        .expect("a week leaves eval days");
+    assert_eq!(best.name(), ranking[0].name);
 
     // Capacity sized to make cold-snap evenings peak above normal.
     let typical_peak = actuals[0].max() / axis.slot_hours();

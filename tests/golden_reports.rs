@@ -13,7 +13,9 @@
 //! then commit the rewritten `tests/golden/*.golden` files alongside the
 //! change that motivated them.
 
-use loadbal::core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal::core::campaign::{
+    CampaignBuilder, CampaignReport, ClosedLoop, FixedPredictor, MarginalCostStop,
+};
 use loadbal::core::session::{NegotiationReport, Scenario};
 use loadbal::prelude::*;
 use powergrid::calendar::Horizon;
@@ -73,13 +75,12 @@ fn golden_dir() -> PathBuf {
         .join("golden")
 }
 
-/// Compares (or, under `GOLDEN_BLESS=1`, rewrites) one snapshot.
-fn check(name: &str, report: &NegotiationReport) {
-    let rendered = render(report);
+/// Compares (or, under `GOLDEN_BLESS=1`, rewrites) one rendered snapshot.
+fn check_rendered(name: &str, rendered: &str) {
     let path = golden_dir().join(format!("{name}.golden"));
     if std::env::var_os("GOLDEN_BLESS").is_some() {
         std::fs::create_dir_all(golden_dir()).expect("create tests/golden");
-        std::fs::write(&path, &rendered).expect("write golden file");
+        std::fs::write(&path, rendered).expect("write golden file");
         return;
     }
     let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
@@ -90,11 +91,16 @@ fn check(name: &str, report: &NegotiationReport) {
     });
     assert_eq!(
         expected, rendered,
-        "\nprotocol drift detected for '{name}'.\n\
+        "\ndrift detected for '{name}'.\n\
          If this change is intentional, re-bless with\n\
          `GOLDEN_BLESS=1 cargo test --test golden_reports`\n\
          and commit the updated tests/golden/{name}.golden"
     );
+}
+
+/// Snapshot-checks one negotiation report.
+fn check(name: &str, report: &NegotiationReport) {
+    check_rendered(name, &render(report));
 }
 
 /// The fixed corpus: the calibrated paper scenario, a seeded random
@@ -114,19 +120,20 @@ fn corpus() -> Vec<(String, Scenario)> {
     // One scenario straight out of the powergrid pipeline: the first
     // peak a small winter campaign detects.
     let homes = PopulationBuilder::new().households(40).build(11);
-    let plan = CampaignPlan::build(
+    // Three days = two warmup + one evaluated: the runner negotiates
+    // only the day whose first peak the corpus wants, and that peak's
+    // scenario is independent of any longer horizon (open loop).
+    let report = CampaignBuilder::new(
         &homes,
         &WeatherModel::winter(),
-        &Horizon::new(5, 0, Season::Winter),
-        &MovingAverage::new(2),
-        CampaignConfig {
-            warmup_days: 2,
-            ..CampaignConfig::default()
-        },
-    );
-    let first_peak = plan
-        .sweep()
-        .points()
+        &Horizon::new(3, 0, Season::Winter),
+    )
+    .warmup_days(2)
+    .predictor(FixedPredictor(MovingAverage::new(2)))
+    .build()
+    .run_sequential();
+    let first_peak = report
+        .outcomes
         .first()
         .expect("winter campaign detects at least one peak")
         .scenario
@@ -143,6 +150,89 @@ fn reports_match_golden_corpus() {
             check(&format!("{name}__{method}"), &report);
         }
     }
+}
+
+/// A stable, diff-friendly rendering of a whole campaign: per-day
+/// predictor choice, peaks and feedback deltas, per-peak negotiation
+/// summaries, and the stop-rule accounting.
+fn render_campaign(report: &CampaignReport) -> String {
+    let mut out = String::new();
+    writeln!(out, "days_evaluated: {}", report.days_evaluated()).unwrap();
+    for d in &report.days {
+        writeln!(
+            out,
+            "day {} ({}): predictor={} peaks={} feedback_delta={:.6}",
+            d.day.index,
+            d.day.day_type,
+            d.predictor,
+            d.peaks.len(),
+            d.feedback_delta.value()
+        )
+        .unwrap();
+    }
+    for o in &report.outcomes {
+        writeln!(
+            out,
+            "outcome {}: rounds={} initial_total={:.6} final_total={:.6} rewards={:.6} status={}",
+            o.label,
+            o.report.rounds().len(),
+            o.report.initial_total().value(),
+            o.report.final_total().value(),
+            o.report.total_rewards().value(),
+            o.report.status()
+        )
+        .unwrap();
+    }
+    let e = &report.economics;
+    writeln!(out, "rewards_paid: {:.6}", e.rewards_paid.value()).unwrap();
+    writeln!(out, "energy_shaved: {:.6}", e.energy_shaved.value()).unwrap();
+    writeln!(
+        out,
+        "production_cost_avoided: {:.6}",
+        e.production_cost_avoided.value()
+    )
+    .unwrap();
+    writeln!(out, "peak_saving: {:.6}", e.peak_saving.value()).unwrap();
+    writeln!(out, "net_gain: {:.6}", e.net_gain.value()).unwrap();
+    writeln!(out, "economic_stops: {}", e.economic_stops).unwrap();
+    out
+}
+
+/// Snapshot-checks one campaign report.
+fn check_campaign(name: &str, report: &CampaignReport) {
+    check_rendered(name, &render_campaign(report));
+}
+
+#[test]
+fn closed_loop_campaign_matches_golden() {
+    // One closed-loop campaign under the marginal-cost stop: pins the
+    // whole feedback cycle — predictor choice, per-day feedback deltas,
+    // per-peak settlements and the stop-rule accounting.
+    let homes = PopulationBuilder::new().households(40).build(11);
+    let report = CampaignBuilder::new(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(6, 0, Season::Winter),
+    )
+    .predictor(FixedPredictor(MovingAverage::new(3)))
+    .feedback(ClosedLoop)
+    .stop_rule(MarginalCostStop)
+    .build()
+    .run();
+    assert_eq!(report, {
+        // The snapshot is only meaningful if the run is pure.
+        CampaignBuilder::new(
+            &homes,
+            &WeatherModel::winter(),
+            &Horizon::new(6, 0, Season::Winter),
+        )
+        .predictor(FixedPredictor(MovingAverage::new(3)))
+        .feedback(ClosedLoop)
+        .stop_rule(MarginalCostStop)
+        .build()
+        .run_sequential()
+    });
+    check_campaign("campaign-closed-loop", &report);
 }
 
 #[test]

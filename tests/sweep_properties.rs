@@ -1,9 +1,11 @@
 //! Property tests pinning the PR-1 determinism claim: a
 //! [`ScenarioSweep`] run in parallel is *byte-identical* to sequential
 //! execution — for arbitrary grids, seeds, methods and thread counts —
-//! and the grid-backed campaign runner inherits the same guarantee.
+//! and the grid-backed campaign runner inherits the same guarantee,
+//! open- and closed-loop (where each day's negotiated cut-downs feed
+//! the next day's prediction, so any nondeterminism would compound).
 
-use loadbal::core::campaign::{CampaignConfig, CampaignPlan};
+use loadbal::core::campaign::{CampaignBuilder, ClosedLoop, FixedPredictor, MarginalCostStop};
 use loadbal::prelude::*;
 use powergrid::calendar::Horizon;
 use powergrid::prediction::MovingAverage;
@@ -75,18 +77,39 @@ proptest! {
     ) {
         let homes = PopulationBuilder::new().households(households).build(pop_seed);
         let horizon = Horizon::new(5, 0, Season::Winter);
-        let config = CampaignConfig {
-            warmup_days: 2,
-            threads: NonZeroUsize::new(threads),
-            ..CampaignConfig::default()
+        let runner = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(2)
+            .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"))
+            .predictor(FixedPredictor(MovingAverage::new(2)))
+            .build();
+        prop_assert_eq!(runner.run(), runner.run_sequential());
+    }
+
+    /// A *closed-loop* campaign — later days depend on earlier outcomes
+    /// through the feedback into prediction history — is byte-identical
+    /// across thread counts, with and without the marginal-cost stop.
+    #[test]
+    fn closed_loop_campaign_is_byte_identical_across_thread_counts(
+        households in 20usize..60,
+        pop_seed in 0u64..50,
+        stop_flag in 0u8..2,
+    ) {
+        let stop = stop_flag == 1;
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(5, 0, Season::Winter);
+        let build = |threads: usize| {
+            let b = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+                .warmup_days(2)
+                .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"))
+                .predictor(FixedPredictor(MovingAverage::new(2)))
+                .feedback(ClosedLoop);
+            if stop { b.stop_rule(MarginalCostStop).build() } else { b.build() }
         };
-        let plan = CampaignPlan::build(
-            &homes,
-            &WeatherModel::winter(),
-            &horizon,
-            &MovingAverage::new(2),
-            config,
-        );
-        prop_assert_eq!(plan.run(), plan.run_sequential());
+        let reference = build(1).run_sequential();
+        for threads in [1usize, 2, 4, 7] {
+            let runner = build(threads);
+            prop_assert_eq!(&runner.run(), &reference, "threads = {}", threads);
+            prop_assert_eq!(&runner.run_sequential(), &reference);
+        }
     }
 }
