@@ -9,7 +9,8 @@ use loadbal_bench::experiments;
 
 const USAGE: &str = "usage: experiments <id>
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
-       invariants | market | categories | shapes | campaign | campaign_loop | all";
+       invariants | market | categories | shapes | campaign | campaign_loop |
+       fleet_scaling | all";
 
 fn run(id: &str) -> bool {
     match id {
@@ -56,6 +57,7 @@ fn run(id: &str) -> bool {
             experiments::campaign_grid(&[100, 250, 500], &powergrid::weather::Season::all(), 42)
         ),
         "campaign_loop" => println!("{}", experiments::campaign_loop(220, 42)),
+        "fleet_scaling" => println!("{}", experiments::fleet_scaling(8, 120, 42)),
         "all" => {
             for id in [
                 "fig1",
@@ -72,6 +74,7 @@ fn run(id: &str) -> bool {
                 "shapes",
                 "campaign",
                 "campaign_loop",
+                "fleet_scaling",
             ] {
                 run(id);
                 println!();

@@ -1199,6 +1199,171 @@ impl fmt::Display for CampaignLoopResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// E15 — fleet scaling: many campaigns on one shared worker pool, and
+// the allocation-free demand hot path
+// ---------------------------------------------------------------------
+
+/// One thread-count row of the fleet-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct FleetScalingRow {
+    /// Worker threads in the shared pool.
+    pub threads: usize,
+    /// Wall-clock of the interleaved fleet run, microseconds.
+    pub fleet_us: u128,
+    /// True if this run was byte-identical to the sequential reference.
+    pub matches_reference: bool,
+}
+
+/// Result of the fleet-scaling experiment.
+#[derive(Debug, Clone)]
+pub struct FleetScalingResult {
+    /// Grid cells (campaigns) in the fleet.
+    pub cells: usize,
+    /// Households per cell.
+    pub households: usize,
+    /// Wall-clock of running every campaign back to back on one thread.
+    pub sequential_us: u128,
+    /// One row per pool size.
+    pub rows: Vec<FleetScalingRow>,
+    /// Peaks negotiated fleet-wide.
+    pub negotiations: usize,
+    /// Wall-clock of simulating one ≥200-household day through the
+    /// allocating [`Household::demand_profile`] path, microseconds.
+    pub alloc_us: u128,
+    /// The same day through [`Household::demand_profile_with`] and one
+    /// reused [`DemandScratch`], microseconds.
+    pub scratch_us: u128,
+    /// `alloc_us / scratch_us`.
+    pub hot_path_speedup: f64,
+}
+
+/// E15: the fleet layer — `cells` campaigns over distinct populations
+/// of `households` homes, interleaved on one shared
+/// [`WorkerPool`](loadbal_core::sweep::WorkerPool) at increasing pool
+/// sizes, each run checked byte-identical against the sequential
+/// reference. Alongside, the demand hot path is timed both ways: one
+/// simulated day of a ≥200-household cell through the allocating
+/// `demand_profile` (one `Series` per device per household) versus the
+/// scratch-reusing `demand_profile_with` the fleet runs on.
+pub fn fleet_scaling(cells: usize, households: usize, seed: u64) -> FleetScalingResult {
+    use loadbal_core::fleet::FleetRunner;
+    let horizon = Horizon::new(6, 0, Season::Winter);
+    let weather = WeatherModel::winter();
+    let populations: Vec<Vec<Household>> = (0..cells as u64)
+        .map(|c| {
+            PopulationBuilder::new()
+                .households(households)
+                .build(seed ^ c)
+        })
+        .collect();
+    let build_fleet = |threads: Option<usize>| {
+        let mut fleet = FleetRunner::new();
+        if let Some(t) = threads {
+            fleet = fleet.threads(std::num::NonZeroUsize::new(t).expect("threads ≥ 1"));
+        }
+        for (i, homes) in populations.iter().enumerate() {
+            let runner = CampaignBuilder::new(homes, &weather, &horizon)
+                .predictor(FixedPredictor(WeatherRegression::calibrated()))
+                .feedback(ClosedLoop)
+                .build();
+            fleet = fleet.cell(format!("cell{i}"), runner);
+        }
+        fleet
+    };
+
+    let reference_fleet = build_fleet(Some(1));
+    let t0 = Instant::now();
+    let reference = reference_fleet.run_sequential();
+    let sequential_us = t0.elapsed().as_micros();
+
+    let rows = [2usize, 4, 8]
+        .iter()
+        .map(|&threads| {
+            let fleet = build_fleet(Some(threads));
+            let t = Instant::now();
+            let report = fleet.run();
+            let fleet_us = t.elapsed().as_micros();
+            FleetScalingRow {
+                threads,
+                fleet_us,
+                matches_reference: report == reference,
+            }
+        })
+        .collect();
+
+    // The demand hot path, both ways, on one ≥200-household day.
+    let axis = TimeAxis::quarter_hourly();
+    let hot_homes = PopulationBuilder::new()
+        .households(households.max(200))
+        .build(seed);
+    let reps = 5;
+    let t_alloc = Instant::now();
+    let mut alloc_total = 0.0;
+    for _ in 0..reps {
+        for h in &hot_homes {
+            alloc_total += h.demand_profile(&axis, -4.0, seed).sum();
+        }
+    }
+    let alloc_us = t_alloc.elapsed().as_micros();
+    let mut scratch = DemandScratch::new(&axis);
+    let t_scratch = Instant::now();
+    let mut scratch_total = 0.0;
+    for _ in 0..reps {
+        for h in &hot_homes {
+            scratch_total += h
+                .demand_profile_with(&axis, -4.0, seed, &mut scratch)
+                .iter()
+                .sum::<f64>();
+        }
+    }
+    let scratch_us = t_scratch.elapsed().as_micros();
+    assert!(
+        (alloc_total - scratch_total).abs() < 1e-6,
+        "both paths simulate the same demand"
+    );
+
+    FleetScalingResult {
+        cells,
+        households,
+        sequential_us,
+        rows,
+        negotiations: reference.negotiations(),
+        alloc_us,
+        scratch_us,
+        hot_path_speedup: alloc_us as f64 / scratch_us.max(1) as f64,
+    }
+}
+
+impl fmt::Display for FleetScalingResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E15 — fleet scaling ({} cells × {} households, {} peaks fleet-wide)",
+            self.cells, self.households, self.negotiations
+        )?;
+        writeln!(f, "  {:>8} {:>12} {:>9}", "threads", "wall µs", "identical")?;
+        writeln!(f, "  {:>8} {:>12} {:>9}", "seq", self.sequential_us, "-")?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>8} {:>12} {:>9}",
+                r.threads,
+                r.fleet_us,
+                if r.matches_reference { "yes" } else { "NO" }
+            )?;
+        }
+        writeln!(
+            f,
+            "  demand hot path ({} households, 5 reps): alloc {} µs vs scratch {} µs ({:.2}×)",
+            self.households.max(200),
+            self.alloc_us,
+            self.scratch_us,
+            self.hot_path_speedup
+        )
+    }
+}
+
 /// Convenience used by the Figure 6/7 bench: the calibrated scenario.
 pub fn paper_scenario() -> Scenario {
     ScenarioBuilder::paper_figure_6().build()
@@ -1404,6 +1569,25 @@ mod tests {
         assert!(open_stop.outlay <= open.outlay + 1e-9);
         assert!(open_stop.net_gain >= open.net_gain - 1e-9);
         assert!(r.to_string().contains("E14"));
+    }
+
+    #[test]
+    fn e15_fleet_is_byte_identical_at_every_pool_size() {
+        let r = fleet_scaling(3, 40, 7);
+        assert_eq!(r.rows.len(), 3);
+        for row in &r.rows {
+            assert!(
+                row.matches_reference,
+                "{} threads diverged from the sequential reference",
+                row.threads
+            );
+        }
+        assert!(r.negotiations > 0, "winter cells must carry peaks");
+        // Timing figures exist (no speed assertion — CI machines vary).
+        assert!(r.scratch_us > 0 || r.alloc_us > 0);
+        let text = r.to_string();
+        assert!(text.contains("E15"));
+        assert!(text.contains("demand hot path"));
     }
 
     #[test]

@@ -17,6 +17,9 @@
 //! | E7 | §7 β sensitivity | [`experiments::beta_sweep`] |
 //! | E8 | §1/§7 scalability | [`experiments::scaling`] |
 //! | E9 | §3.1 concession invariants | [`experiments::invariants`] |
+//! | E13 | grid→negotiation campaigns | [`experiments::campaign_grid`] |
+//! | E14 | campaign feedback loop | [`experiments::campaign_loop`] |
+//! | E15 | fleet scaling + demand hot path | [`experiments::fleet_scaling`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

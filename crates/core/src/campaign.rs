@@ -26,9 +26,11 @@
 //! The [`CampaignRunner`] produced by [`CampaignBuilder::build`]
 //! executes days **sequentially** (closed-loop feedback makes day *d*
 //! depend on day *d − 1*) but fans each day's peak negotiations across
-//! cores with [`ScenarioSweep`]; [`CampaignRunner::run`] is
+//! cores with a [`WorkerPool`]; [`CampaignRunner::run`] is
 //! byte-identical to [`CampaignRunner::run_sequential`] for any thread
-//! count, so campaigns stay replayable.
+//! count, so campaigns stay replayable. To run *many* campaigns on one
+//! shared pool, step them through [`CampaignRunner::progress`] — that
+//! is what [`crate::fleet::FleetRunner`] does.
 //!
 //! ```
 //! use loadbal_core::campaign::{CampaignBuilder, ClosedLoop, FixedPredictor};
@@ -52,11 +54,11 @@ use crate::beta::BetaPolicy;
 use crate::methods::AnnouncementMethod;
 use crate::producer_agent::ProducerAgent;
 use crate::session::{NegotiationReport, Scenario, ScenarioBuilder};
-use crate::sweep::ScenarioSweep;
+use crate::sweep::WorkerPool;
 use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
 use powergrid::calendar::{CalendarDay, Horizon};
 use powergrid::demand::simulate_horizon;
-use powergrid::household::Household;
+use powergrid::household::{DemandScratch, Household};
 use powergrid::peak::{Peak, PeakDetector};
 use powergrid::prediction::{
     select_best, HoltTrend, LoadPredictor, MovingAverage, SeasonalNaive, WeatherRegression,
@@ -74,7 +76,10 @@ use std::num::NonZeroUsize;
 // ---------------------------------------------------------------------
 
 /// Chooses the campaign's load predictor from its warmup window.
-pub trait PredictorPolicy: fmt::Debug {
+///
+/// Policies are `Send + Sync` so a fleet can drive many campaigns from
+/// shared worker threads.
+pub trait PredictorPolicy: fmt::Debug + Send + Sync {
     /// Warmup days the policy needs before it can choose (validated by
     /// [`CampaignBuilder::build`]).
     fn min_warmup_days(&self) -> usize {
@@ -151,7 +156,10 @@ impl PredictorPolicy for BacktestSelected {
 
 /// Decides what a day's consumption looks like once its negotiations
 /// have settled — the series appended to prediction history.
-pub trait FeedbackPolicy: fmt::Debug {
+///
+/// Policies are `Send + Sync` so a fleet can drive many campaigns from
+/// shared worker threads.
+pub trait FeedbackPolicy: fmt::Debug + Send + Sync {
     /// The history entry for a day, given the day's simulated actual
     /// series and its negotiated outcomes (empty on stable days).
     fn history_entry(&self, actual: &Series, outcomes: &[IntervalOutcome]) -> Series;
@@ -197,7 +205,10 @@ impl FeedbackPolicy for ClosedLoop {
 
 /// Decides whether the Utility Agent negotiates each peak to the
 /// protocol's own end or under an economic stop rule.
-pub trait StopPolicy: fmt::Debug {
+///
+/// Policies are `Send + Sync` so a fleet can drive many campaigns from
+/// shared worker threads.
+pub trait StopPolicy: fmt::Debug + Send + Sync {
     /// The stop rule injected into the UA configuration, priced against
     /// the campaign's producer (`None` = unconditional).
     fn economic_stop(&self, producer: &ProducerAgent) -> Option<EconomicStopRule>;
@@ -448,7 +459,7 @@ impl<'a> CampaignBuilder<'a> {
 /// predict → detect → negotiate → feed-back cycle.
 ///
 /// Days run sequentially (closed-loop feedback makes them dependent);
-/// each day's peaks fan across cores via [`ScenarioSweep`]. Both entry
+/// each day's peaks fan across cores via a [`WorkerPool`]. Both entry
 /// points are pure: re-running produces byte-identical
 /// [`CampaignReport`]s, and [`CampaignRunner::run`] equals
 /// [`CampaignRunner::run_sequential`] for any thread count.
@@ -503,68 +514,202 @@ impl CampaignRunner<'_> {
         self.execute(false)
     }
 
-    fn execute(&self, parallel: bool) -> CampaignReport {
+    /// Begins stepping the campaign day by day — the resumable form of
+    /// [`CampaignRunner::run`] that a
+    /// [`FleetRunner`](crate::fleet::FleetRunner) interleaves with other
+    /// campaigns on one shared [`WorkerPool`]: call
+    /// [`CampaignProgress::next_day`] for the day's negotiable work,
+    /// negotiate the scenarios however you like, hand the reports back
+    /// through [`CampaignProgress::complete_day`], and
+    /// [`CampaignProgress::finish`] once `next_day` returns `None`.
+    ///
+    /// Stepping is pure bookkeeping: any driver that negotiates each
+    /// scenario with [`Scenario::run`] produces a report byte-identical
+    /// to [`CampaignRunner::run_sequential`].
+    pub fn progress(&self) -> CampaignProgress<'_> {
         let warmup = self.warmup_days;
-        let predictor = self
+        CampaignProgress {
+            runner: self,
+            predictor: self
+                .predictor
+                .choose(&self.actuals[..warmup], &self.weathers[..warmup]),
+            detector: PeakDetector::new(self.peak_threshold),
+            history: self.actuals[..warmup].to_vec(),
+            scratch: DemandScratch::new(&self.axis),
+            next_index: warmup as u64,
+            outcomes: Vec::new(),
+            days: Vec::new(),
+        }
+    }
+
+    fn execute(&self, parallel: bool) -> CampaignReport {
+        let pool = WorkerPool::sized(self.threads);
+        let mut progress = self.progress();
+        while let Some(plan) = progress.next_day() {
+            let reports = if parallel {
+                pool.run(plan.scenarios.len(), |i| plan.scenarios[i].1.run())
+            } else {
+                plan.scenarios.iter().map(|(_, s)| s.run()).collect()
+            };
+            progress.complete_day(plan, reports);
+        }
+        progress.finish()
+    }
+}
+
+// ---------------------------------------------------------------------
+// Stepping
+// ---------------------------------------------------------------------
+
+/// One day's negotiable work, produced by [`CampaignProgress::next_day`]:
+/// the detected peaks and their materialised scenarios (label +
+/// [`Scenario`]), in time order. Days without peaks carry an empty
+/// scenario list and are completed with no reports.
+#[derive(Debug)]
+pub struct DayPlan {
+    day: CalendarDay,
+    peaks: Vec<Peak>,
+    scenarios: Vec<(String, Scenario)>,
+}
+
+impl DayPlan {
+    /// The calendar day this work belongs to.
+    pub fn day(&self) -> CalendarDay {
+        self.day
+    }
+
+    /// The detected peaks, in time order (one scenario each).
+    pub fn peaks(&self) -> &[Peak] {
+        &self.peaks
+    }
+
+    /// The labelled scenarios to negotiate, in peak order.
+    pub fn scenarios(&self) -> &[(String, Scenario)] {
+        &self.scenarios
+    }
+
+    /// True if the day is stable — nothing to negotiate.
+    pub fn is_stable(&self) -> bool {
+        self.scenarios.is_empty()
+    }
+}
+
+/// A campaign in flight: the predict → detect → materialise → feed-back
+/// bookkeeping of [`CampaignRunner::run`], exposed one day at a time so
+/// external schedulers (the fleet) can interleave the *negotiations* of
+/// many campaigns while each campaign's days stay strictly sequential.
+///
+/// One [`DemandScratch`] lives inside the progress and is reused across
+/// every household of every peak of every day — the campaign's scenario
+/// derivation allocates no per-device series.
+#[derive(Debug)]
+pub struct CampaignProgress<'r> {
+    runner: &'r CampaignRunner<'r>,
+    predictor: &'r dyn LoadPredictor,
+    detector: PeakDetector,
+    history: Vec<Series>,
+    scratch: DemandScratch,
+    next_index: u64,
+    outcomes: Vec<IntervalOutcome>,
+    days: Vec<DayOutcome>,
+}
+
+impl CampaignProgress<'_> {
+    /// Predicts, detects and materialises the next day's work, or `None`
+    /// once the horizon is exhausted. Each returned plan must be handed
+    /// back through [`CampaignProgress::complete_day`] before the next
+    /// call.
+    pub fn next_day(&mut self) -> Option<DayPlan> {
+        let day = self.runner.horizon.day(self.next_index)?;
+        self.next_index += 1;
+        let d = day.index as usize;
+        let predicted = self
             .predictor
-            .choose(&self.actuals[..warmup], &self.weathers[..warmup]);
-        let detector = PeakDetector::new(self.peak_threshold);
-        let mut history: Vec<Series> = self.actuals[..warmup].to_vec();
-        let mut outcomes = Vec::new();
-        let mut days = Vec::new();
-        for day in self.horizon.days().skip(warmup) {
-            let d = day.index as usize;
-            let predicted = predictor.predict(&history, &self.weathers[d]);
-            let peaks = detector.detect_all(&predicted, self.producer.production());
-            let mut sweep = ScenarioSweep::new();
-            if let Some(threads) = self.threads {
-                sweep = sweep.threads(threads);
-            }
-            for peak in &peaks {
-                let scenario = ScenarioBuilder::from_peak(
-                    self.households,
-                    &self.axis,
-                    self.weathers[d].mean(),
+            .predict(&self.history, &self.runner.weathers[d]);
+        let peaks = self
+            .detector
+            .detect_all(&predicted, self.runner.producer.production());
+        let scenarios = peaks
+            .iter()
+            .map(|peak| {
+                let scenario = ScenarioBuilder::from_peak_with(
+                    self.runner.households,
+                    &self.runner.axis,
+                    self.runner.weathers[d].mean(),
                     peak,
                     day.index,
                     day.day_type.intensity_factor(),
+                    &mut self.scratch,
                 )
-                .config(self.ua_config.clone())
-                .method(self.method)
+                .config(self.runner.ua_config.clone())
+                .method(self.runner.method)
                 .build();
-                let label = format!("day{}/{}", day.index, peak.interval);
-                sweep = sweep.point(label, scenario);
-            }
-            let results = sweep.execute(parallel);
-            // Recover the scenarios from the sweep instead of keeping
-            // clones: each outcome carries its materialised population.
-            let day_outcomes: Vec<IntervalOutcome> = results
-                .into_iter()
-                .zip(&peaks)
-                .zip(sweep.into_points())
-                .map(|((o, peak), point)| IntervalOutcome {
-                    day,
-                    peak: *peak,
-                    label: o.label,
-                    scenario: point.scenario,
-                    report: o.report,
-                })
-                .collect();
-            let entry = self.feedback.history_entry(&self.actuals[d], &day_outcomes);
-            let feedback_delta = (self.actuals[d].total() - entry.total()).clamp_non_negative();
-            history.push(entry);
-            days.push(DayOutcome {
+                (format!("day{}/{}", day.index, peak.interval), scenario)
+            })
+            .collect();
+        Some(DayPlan {
+            day,
+            peaks,
+            scenarios,
+        })
+    }
+
+    /// Records a completed day: `reports` must hold one
+    /// [`NegotiationReport`] per plan scenario, in plan order. Applies
+    /// the feedback policy and appends to the campaign's history.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `reports.len()` differs from `plan.scenarios().len()`.
+    pub fn complete_day(&mut self, plan: DayPlan, reports: Vec<NegotiationReport>) {
+        assert_eq!(
+            reports.len(),
+            plan.scenarios.len(),
+            "one report per scenario of the day plan"
+        );
+        let DayPlan {
+            day,
+            peaks,
+            scenarios,
+        } = plan;
+        let d = day.index as usize;
+        let day_outcomes: Vec<IntervalOutcome> = scenarios
+            .into_iter()
+            .zip(reports)
+            .zip(&peaks)
+            .map(|(((label, scenario), report), peak)| IntervalOutcome {
                 day,
-                predictor: predictor.name(),
-                peaks,
-                feedback_delta,
-            });
-            outcomes.extend(day_outcomes);
-        }
-        let economics = CampaignEconomics::compute(&outcomes, &self.producer, self.axis);
+                peak: *peak,
+                label,
+                scenario,
+                report,
+            })
+            .collect();
+        let entry = self
+            .runner
+            .feedback
+            .history_entry(&self.runner.actuals[d], &day_outcomes);
+        let feedback_delta = (self.runner.actuals[d].total() - entry.total()).clamp_non_negative();
+        self.history.push(entry);
+        self.days.push(DayOutcome {
+            day,
+            predictor: self.predictor.name(),
+            peaks,
+            feedback_delta,
+        });
+        self.outcomes.extend(day_outcomes);
+    }
+
+    /// Assembles the finished [`CampaignReport`].
+    ///
+    /// Call after [`CampaignProgress::next_day`] returns `None`; calling
+    /// earlier yields a report over the days completed so far.
+    pub fn finish(self) -> CampaignReport {
+        let economics =
+            CampaignEconomics::compute(&self.outcomes, &self.runner.producer, self.runner.axis);
         CampaignReport {
-            outcomes,
-            days,
+            outcomes: self.outcomes,
+            days: self.days,
             economics,
         }
     }
@@ -672,6 +817,36 @@ impl CampaignEconomics {
             net_gain: peak_saving - rewards_paid,
             economic_stops,
         }
+    }
+}
+
+impl CampaignEconomics {
+    /// The zero element — what an empty campaign (or empty fleet) sums
+    /// to.
+    pub const ZERO: CampaignEconomics = CampaignEconomics {
+        rewards_paid: Money::ZERO,
+        energy_shaved: KilowattHours::ZERO,
+        production_cost_avoided: Money::ZERO,
+        peak_saving: Money::ZERO,
+        net_gain: Money::ZERO,
+        economic_stops: 0,
+    };
+}
+
+impl std::iter::Sum for CampaignEconomics {
+    /// Field-wise aggregation — how a
+    /// [`FleetReport`](crate::fleet::FleetReport) rolls per-cell
+    /// economics up to the fleet (each cell's savings stay priced by its
+    /// own producer).
+    fn sum<I: Iterator<Item = CampaignEconomics>>(iter: I) -> CampaignEconomics {
+        iter.fold(CampaignEconomics::ZERO, |acc, e| CampaignEconomics {
+            rewards_paid: acc.rewards_paid + e.rewards_paid,
+            energy_shaved: acc.energy_shaved + e.energy_shaved,
+            production_cost_avoided: acc.production_cost_avoided + e.production_cost_avoided,
+            peak_saving: acc.peak_saving + e.peak_saving,
+            net_gain: acc.net_gain + e.net_gain,
+            economic_stops: acc.economic_stops + e.economic_stops,
+        })
     }
 }
 

@@ -128,7 +128,24 @@
 //!    forecast reflects the deals. Days therefore run sequentially,
 //!    and the [`campaign::CampaignReport`] records per-day predictor
 //!    choice, feedback deltas and stop-rule accounting
-//!    ([`campaign::CampaignEconomics`]).
+//!    ([`campaign::CampaignEconomics`]);
+//! 8. **Fleet** — a whole service area is many campaigns (one per grid
+//!    cell or household cohort), embarrassingly parallel across cells
+//!    even though days within a cell are sequential. The
+//!    [`fleet::FleetRunner`] drives every cell through the
+//!    [`campaign::CampaignProgress`] stepping API and interleaves all
+//!    cells' peak negotiations on **one** shared
+//!    [`sweep::WorkerPool`], aggregating a [`fleet::FleetReport`]
+//!    (per-cell reports + cross-cell economics) that is byte-identical
+//!    for any thread count. The demand hot path underneath —
+//!    [`powergrid::household::Household::demand_profile_with`] /
+//!    [`powergrid::device::Device::load_profile_into`] — writes into
+//!    reusable [`powergrid::household::DemandScratch`] buffers, so
+//!    scenario derivation allocates nothing per device per household
+//!    per day.
+//!
+//! The full pipeline: grid → prediction → peaks → scenarios → campaign
+//! → **fleet**.
 //!
 //! ```
 //! use loadbal_core::prelude::*;
@@ -162,6 +179,7 @@ pub mod concession;
 pub mod desire_host;
 pub mod distributed;
 pub mod engine;
+pub mod fleet;
 pub mod market;
 pub mod message;
 pub mod methods;
@@ -188,6 +206,7 @@ pub mod prelude {
     };
     pub use crate::concession::{NegotiationStatus, TerminationReason};
     pub use crate::engine::{CustomerEngine, Effect, Input, Peer, UtilityEngine};
+    pub use crate::fleet::{CellReport, FleetReport, FleetRunner};
     pub use crate::message::Msg;
     pub use crate::methods::AnnouncementMethod;
     pub use crate::outcome::SettlementSummary;
@@ -197,7 +216,7 @@ pub mod prelude {
         CustomerProfile, NegotiationReport, RoundRecord, Scenario, ScenarioBuilder,
     };
     pub use crate::strategy::select_method;
-    pub use crate::sweep::{ScenarioSweep, SweepOutcome};
+    pub use crate::sweep::{ScenarioSweep, SweepOutcome, WorkerPool};
     pub use crate::sync_driver::SyncDriver;
     pub use crate::utility_agent::UtilityAgentConfig;
 }

@@ -413,6 +413,34 @@ impl ScenarioBuilder {
         seed: u64,
         demand_scale: f64,
     ) -> ScenarioBuilder {
+        let mut scratch = powergrid::household::DemandScratch::new(axis);
+        ScenarioBuilder::from_peak_with(
+            households,
+            axis,
+            mean_temp,
+            peak,
+            seed,
+            demand_scale,
+            &mut scratch,
+        )
+    }
+
+    /// [`ScenarioBuilder::from_peak`] against a reusable
+    /// [`DemandScratch`](powergrid::household::DemandScratch) —
+    /// byte-identical, but a campaign day loop (or fleet worker) reuses
+    /// one scratch across every household of every peak of every day
+    /// instead of allocating per call. This is the scenario-derivation
+    /// hot path: one device profile per household per peak.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_peak_with(
+        households: &[powergrid::household::Household],
+        axis: &powergrid::time::TimeAxis,
+        mean_temp: f64,
+        peak: &powergrid::peak::Peak,
+        seed: u64,
+        demand_scale: f64,
+        scratch: &mut powergrid::household::DemandScratch,
+    ) -> ScenarioBuilder {
         assert!(
             demand_scale > 0.0 && demand_scale.is_finite(),
             "demand scale must be positive, got {demand_scale}"
@@ -421,7 +449,8 @@ impl ScenarioBuilder {
         let day_share = interval.hours(*axis) / 24.0;
         let mut customers = Vec::with_capacity(households.len());
         for h in households {
-            let (usage, potential) = h.interval_flexibility(axis, mean_temp, seed, interval);
+            let (usage, potential) =
+                h.interval_flexibility_with(axis, mean_temp, seed, interval, scratch);
             let (usage, potential) = (usage * demand_scale, potential * demand_scale);
             let flexibility = if usage.value() > f64::EPSILON {
                 (potential / usage).clamp(0.0, 1.0)
@@ -665,6 +694,37 @@ mod tests {
                 w[0].1 >= w[1].1,
                 "flexibility up ⇒ required reward down: {pairs:?}"
             );
+        }
+    }
+
+    #[test]
+    fn from_peak_with_scratch_matches_allocating_path() {
+        use powergrid::household::DemandScratch;
+        use powergrid::peak::Peak;
+        use powergrid::population::PopulationBuilder;
+        use powergrid::time::{TimeAxis, TimeOfDay};
+        let axis = TimeAxis::quarter_hourly();
+        let homes = PopulationBuilder::new().households(30).build(6);
+        let peak = Peak {
+            interval: axis.between(TimeOfDay::hm(18, 0).unwrap(), TimeOfDay::hm(20, 0).unwrap()),
+            predicted_overuse: KilowattHours(25.0),
+            normal_use: KilowattHours(110.0),
+        };
+        let mut scratch = DemandScratch::new(&axis);
+        // Scratch reuse across consecutive peaks must not leak state.
+        for seed in [2u64, 2, 9] {
+            let fresh = ScenarioBuilder::from_peak(&homes, &axis, -6.0, &peak, seed, 1.08).build();
+            let reused = ScenarioBuilder::from_peak_with(
+                &homes,
+                &axis,
+                -6.0,
+                &peak,
+                seed,
+                1.08,
+                &mut scratch,
+            )
+            .build();
+            assert_eq!(fresh, reused, "seed {seed}");
         }
     }
 

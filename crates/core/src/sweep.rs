@@ -8,6 +8,11 @@
 //! worker threads (borrowing the scenarios, results in input order)
 //! and is **byte-identical** to [`ScenarioSweep::run_sequential`].
 //!
+//! The fan-out machinery itself lives in [`WorkerPool`], a reusable
+//! index-addressed task runner shared by the sweep, the campaign day
+//! loop and the multi-campaign [`fleet`](crate::fleet) scheduler — one
+//! pool type, every parallel surface of the crate.
+//!
 //! # Example
 //!
 //! ```
@@ -25,8 +30,128 @@
 use crate::methods::AnnouncementMethod;
 use crate::session::{NegotiationReport, Scenario};
 use std::num::NonZeroUsize;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::Mutex;
+
+/// A reusable fan-out worker pool over scoped std threads.
+///
+/// The pool is a *policy* (how many workers), not a set of live
+/// threads: every [`WorkerPool::run`] call spawns scoped workers that
+/// borrow the caller's data and join before it returns, so one pool
+/// value can be shared freely — [`ScenarioSweep`] borrows it for a
+/// grid, the campaign day loop for a day's peaks, and the
+/// [`FleetRunner`](crate::fleet::FleetRunner) for whole campaigns — and
+/// results are always returned in task-index order, independent of
+/// scheduling.
+///
+/// Worker panics are caught per task and the **original payload** is
+/// resurfaced on the calling thread once the scope has joined (lowest
+/// task index wins when several tasks panic), so a panicking cell reads
+/// exactly like a panicking sequential run instead of a poisoned-mutex
+/// `.expect` failure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkerPool {
+    threads: NonZeroUsize,
+}
+
+impl WorkerPool {
+    /// A pool with an explicit worker cap.
+    pub fn new(threads: NonZeroUsize) -> WorkerPool {
+        WorkerPool { threads }
+    }
+
+    /// A pool sized to the machine (`std::thread::available_parallelism`,
+    /// falling back to one worker where that is unavailable).
+    pub fn with_available_parallelism() -> WorkerPool {
+        WorkerPool {
+            threads: std::thread::available_parallelism()
+                .unwrap_or(NonZeroUsize::new(1).expect("1 > 0")),
+        }
+    }
+
+    /// A pool with the given cap, or machine parallelism when `None` —
+    /// the convention every `threads(...)` builder knob in this crate
+    /// follows.
+    pub fn sized(threads: Option<NonZeroUsize>) -> WorkerPool {
+        threads.map_or_else(WorkerPool::with_available_parallelism, WorkerPool::new)
+    }
+
+    /// The worker cap.
+    pub fn threads(&self) -> NonZeroUsize {
+        self.threads
+    }
+
+    /// Runs `count` index-addressed tasks across the pool's workers and
+    /// returns their results in index order.
+    ///
+    /// Workers claim indices from a shared atomic counter, so the
+    /// *schedule* is nondeterministic but the returned `Vec` never is:
+    /// element `i` is `task(i)`. With one worker (or one task) the tasks
+    /// run directly on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// If a task panics, the panic is caught on the worker, the
+    /// remaining tasks still run, and the original payload is re-raised
+    /// on the calling thread after all workers have joined.
+    pub fn run<T, F>(&self, count: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize) -> T + Sync,
+    {
+        let workers = self.threads.get().min(count);
+        if workers <= 1 {
+            return (0..count).map(task).collect();
+        }
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<std::thread::Result<T>>>> =
+            (0..count).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    let Some(slot) = slots.get(i) else {
+                        break;
+                    };
+                    let result = catch_unwind(AssertUnwindSafe(|| task(i)));
+                    let panicked = result.is_err();
+                    *slot.lock().expect("no panic can hold a slot lock") = Some(result);
+                    if panicked {
+                        // This worker's state is suspect; let the others
+                        // drain the queue.
+                        break;
+                    }
+                });
+            }
+        });
+        let mut out = Vec::with_capacity(count);
+        let mut panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for slot in slots {
+            match slot.into_inner().expect("no panic can hold a slot lock") {
+                Some(Ok(value)) => out.push(value),
+                Some(Err(payload)) => {
+                    panic.get_or_insert(payload);
+                }
+                // Unclaimed task: only possible when every worker died
+                // on a panic before draining the queue.
+                None => {}
+            }
+        }
+        if let Some(payload) = panic {
+            resume_unwind(payload);
+        }
+        assert_eq!(out.len(), count, "every task ran exactly once");
+        out
+    }
+}
+
+impl Default for WorkerPool {
+    /// A machine-sized pool.
+    fn default() -> Self {
+        WorkerPool::with_available_parallelism()
+    }
+}
 
 /// One cell of the sweep grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -139,49 +264,28 @@ impl ScenarioSweep {
         self.points
     }
 
-    /// Runs every cell in parallel over std threads; outcomes come back
-    /// in grid order and are byte-identical to
+    /// Runs every cell in parallel over the sweep's [`WorkerPool`];
+    /// outcomes come back in grid order and are byte-identical to
     /// [`ScenarioSweep::run_sequential`].
     ///
     /// Scoped worker threads borrow the grid directly — no scenario is
-    /// cloned, however large the sweep.
+    /// cloned, however large the sweep. A panicking cell resurfaces its
+    /// original panic payload here (see [`WorkerPool::run`]), exactly as
+    /// a sequential run would.
     pub fn run(&self) -> Vec<SweepOutcome> {
-        let threads = self
-            .threads
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().unwrap_or(NonZeroUsize::new(1).expect("1 > 0"))
-            })
-            .get()
-            .min(self.points.len());
-        if threads <= 1 {
-            return self.run_sequential();
-        }
-        let next = AtomicUsize::new(0);
-        let slots: Vec<Mutex<Option<SweepOutcome>>> =
-            self.points.iter().map(|_| Mutex::new(None)).collect();
-        std::thread::scope(|scope| {
-            for _ in 0..threads {
-                scope.spawn(|| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
-                    let Some(point) = self.points.get(i) else {
-                        break;
-                    };
-                    let outcome = SweepOutcome {
-                        label: point.label.clone(),
-                        report: point.scenario.run_with(point.method),
-                    };
-                    *slots[i].lock().expect("slot lock") = Some(outcome);
-                });
+        self.pool().run(self.points.len(), |i| {
+            let point = &self.points[i];
+            SweepOutcome {
+                label: point.label.clone(),
+                report: point.scenario.run_with(point.method),
             }
-        });
-        slots
-            .into_iter()
-            .map(|slot| {
-                slot.into_inner()
-                    .expect("slot lock")
-                    .expect("every cell ran")
-            })
-            .collect()
+        })
+    }
+
+    /// The pool the sweep fans out on: the configured cap, or machine
+    /// parallelism.
+    pub fn pool(&self) -> WorkerPool {
+        WorkerPool::sized(self.threads)
     }
 
     /// Dispatches to [`ScenarioSweep::run`] or
@@ -239,6 +343,80 @@ mod tests {
         assert_eq!(outcomes[1].label, "b");
         assert_eq!(outcomes[1].report.method(), AnnouncementMethod::Offer);
         assert_eq!(outcomes[1].report.rounds().len(), 1);
+    }
+
+    #[test]
+    fn pool_returns_results_in_index_order() {
+        let pool = WorkerPool::new(NonZeroUsize::new(4).expect("4 > 0"));
+        let squares = pool.run(100, |i| i * i);
+        assert_eq!(squares, (0..100).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(pool.run(0, |i| i), Vec::<usize>::new());
+        // One task runs on the calling thread.
+        assert_eq!(pool.run(1, |i| i + 7), vec![7]);
+    }
+
+    #[test]
+    fn pool_resurfaces_the_original_panic_payload() {
+        let pool = WorkerPool::new(NonZeroUsize::new(3).expect("3 > 0"));
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(8, |i| {
+                if i == 5 {
+                    panic!("cell 5 exploded");
+                }
+                i
+            })
+        })
+        .expect_err("the worker panic must resurface");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("payload is the original panic message");
+        assert_eq!(message, "cell 5 exploded");
+    }
+
+    #[test]
+    fn pool_reports_the_lowest_index_panic_of_many() {
+        let pool = WorkerPool::new(NonZeroUsize::new(4).expect("4 > 0"));
+        let caught = std::panic::catch_unwind(|| {
+            pool.run(16, |i| {
+                if i % 2 == 1 {
+                    panic!("odd cell {i}");
+                }
+                i
+            })
+        })
+        .expect_err("panics must resurface");
+        let message = caught
+            .downcast_ref::<String>()
+            .expect("formatted panic message");
+        assert_eq!(message, "odd cell 1");
+    }
+
+    #[test]
+    fn sweep_with_a_panicking_cell_resurfaces_the_payload() {
+        // A deliberately panicking cell: a hand-built scenario with no
+        // customers trips the engine's own validation inside a worker.
+        // The sweep must die with that original message, not a
+        // misleading poisoned-slot `.expect`.
+        let good = ScenarioBuilder::random(10, 0.3, 1).build();
+        let mut empty = good.clone();
+        empty.customers.clear();
+        let sweep = ScenarioSweep::new()
+            .point("ok", good)
+            .point("boom", empty)
+            .threads(NonZeroUsize::new(2).expect("2 > 0"));
+        let caught = std::panic::catch_unwind(AssertUnwindSafe(|| sweep.run()))
+            .expect_err("the panicking cell must resurface");
+        let message = caught
+            .downcast_ref::<String>()
+            .cloned()
+            .or_else(|| caught.downcast_ref::<&str>().map(|s| s.to_string()))
+            .expect("original payload");
+        assert!(
+            !message.contains("slot lock"),
+            "must not be the poisoned-slot message: {message}"
+        );
     }
 
     #[test]

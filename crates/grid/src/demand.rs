@@ -4,7 +4,7 @@
 //! demand curve with an evening peak; where it exceeds normal production
 //! capacity, the expensive production band of Figure 1 is entered.
 
-use crate::household::Household;
+use crate::household::{DemandScratch, Household};
 use crate::production::ProductionModel;
 use crate::series::Series;
 use crate::time::{Interval, TimeAxis};
@@ -14,7 +14,10 @@ use serde::{Deserialize, Serialize};
 
 /// Aggregates household demand for a day with the given weather.
 ///
-/// The returned series is in kWh per slot over all households.
+/// The returned series is in kWh per slot over all households. One
+/// [`DemandScratch`] is reused across the whole population, so the hot
+/// path allocates nothing per household (byte-identical to summing
+/// [`Household::demand_profile`] calls).
 pub fn aggregate_demand(
     households: &[Household],
     weather: &Series,
@@ -23,8 +26,12 @@ pub fn aggregate_demand(
 ) -> DemandCurve {
     let mean_temp = weather.mean();
     let mut total = Series::zeros(*axis);
+    let mut scratch = DemandScratch::new(axis);
     for h in households {
-        total.accumulate(&h.demand_profile(axis, mean_temp, seed));
+        let profile = h.demand_profile_with(axis, mean_temp, seed, &mut scratch);
+        for (slot, load) in total.values_mut().iter_mut().zip(profile) {
+            *slot += load;
+        }
     }
     DemandCurve::new(total)
 }

@@ -51,7 +51,7 @@ pub mod prelude {
     pub use crate::calendar::{CalendarDay, DayType, Horizon};
     pub use crate::demand::{aggregate_demand, simulate_horizon, DemandCurve};
     pub use crate::device::{Device, DeviceKind};
-    pub use crate::household::{Household, HouseholdId};
+    pub use crate::household::{DemandScratch, Household, HouseholdId};
     pub use crate::peak::{Peak, PeakDetector};
     pub use crate::population::PopulationBuilder;
     pub use crate::prediction::{

@@ -255,6 +255,57 @@ mod tests {
     }
 
     #[test]
+    fn slot_exactly_at_capacity_is_not_overuse() {
+        // Detection is strict: `values[i] > cap`. A slot sitting exactly
+        // on the capacity line is served by normal production and must
+        // neither open a peak nor extend a neighbouring one.
+        let mut demand = Series::constant(axis(), 80.0);
+        demand.values_mut()[12] = 100.0; // exactly at capacity
+        assert!(
+            PeakDetector::new(0.0)
+                .detect_all(&demand, &production())
+                .is_empty(),
+            "a slot at exactly the capacity line is not a peak"
+        );
+        // At-capacity slots split what would otherwise be one run.
+        demand.values_mut()[11] = 120.0;
+        demand.values_mut()[13] = 120.0;
+        let peaks = PeakDetector::new(0.0).detect_all(&demand, &production());
+        assert_eq!(peaks.len(), 2, "the at-capacity slot splits the run");
+        assert_eq!(peaks[0].interval, Interval::new(11, 12));
+        assert_eq!(peaks[1].interval, Interval::new(13, 14));
+    }
+
+    #[test]
+    fn zero_threshold_reports_any_positive_excess() {
+        let mut demand = Series::constant(axis(), 80.0);
+        demand.values_mut()[6] = 100.0 + 1e-9; // barely above capacity
+        let peaks = PeakDetector::new(0.0).detect_all(&demand, &production());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].interval, Interval::new(6, 7));
+        assert!(peaks[0].predicted_overuse.value() > 0.0);
+        // The same excess vanishes under any positive threshold.
+        assert!(PeakDetector::new(0.01)
+            .detect_all(&demand, &production())
+            .is_empty());
+    }
+
+    #[test]
+    fn run_ending_at_the_last_slot_is_closed() {
+        // A peak still rising at midnight must be closed at the day
+        // boundary with its full excess, not dropped or truncated.
+        let mut demand = Series::constant(axis(), 80.0);
+        for h in 22..24 {
+            demand.values_mut()[h] = 130.0;
+        }
+        let peaks = PeakDetector::new(0.0).detect_all(&demand, &production());
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].interval, Interval::new(22, 24));
+        assert!((peaks[0].predicted_overuse.value() - 60.0).abs() < 1e-9);
+        assert!((peaks[0].normal_use.value() - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
     fn paper_scenario_numbers() {
         // Figures 6–7: normal capacity 100, predicted usage 135 → overuse 35.
         let axis = TimeAxis::hourly();

@@ -12,7 +12,10 @@ use std::fmt;
 
 /// A statistical model predicting today's demand curve from recent history
 /// and (optionally) today's weather forecast.
-pub trait LoadPredictor: fmt::Debug {
+///
+/// Predictors are `Send + Sync`: campaign and fleet runners share one
+/// chosen predictor across worker threads (prediction itself is pure).
+pub trait LoadPredictor: fmt::Debug + Send + Sync {
     /// Predicts today's demand (kWh per slot).
     ///
     /// `history` holds the most recent full days, oldest first; `weather`
@@ -236,6 +239,12 @@ pub struct Accuracy {
 }
 
 /// Computes accuracy of `predicted` against `actual`.
+///
+/// Slots whose actual value is zero are excluded from the MAPE (their
+/// percentage error is undefined); on a day with **no** nonzero slot — a
+/// blackout — the MAPE is defined as `0.0` rather than `0.0 / 0.0`, so
+/// downstream ranking ([`backtest`]'s sort, [`select_best`]) never meets
+/// a NaN score and never panics mid-campaign.
 ///
 /// # Panics
 ///
@@ -678,6 +687,39 @@ mod tests {
             select_best(&candidates, &actuals[..3], &weathers[..3], 3).unwrap_err(),
             BacktestError::InsufficientDays { days: 3, warmup: 3 }
         );
+    }
+
+    #[test]
+    fn blackout_day_yields_zero_mape_not_nan() {
+        // Regression: an all-zero actual day has ape_n == 0; the MAPE
+        // must be defined as 0.0, not NaN, or `backtest`'s score sort and
+        // `select_best` panic on `.expect("finite scores")` mid-campaign.
+        let blackout = Series::zeros(axis());
+        let pred = Series::constant(axis(), 3.0);
+        let acc = accuracy(&pred, &blackout);
+        assert_eq!(acc.mape, 0.0, "blackout MAPE is defined as zero");
+        assert!(acc.rmse.is_finite());
+    }
+
+    #[test]
+    fn backtest_and_selection_survive_a_blackout_day() {
+        // A grid-wide outage in the scored window: every predictor's MAPE
+        // stays finite, ranking still works, and selection is
+        // deterministic — no NaN poisoning the sort.
+        let mut actuals = vec![Series::constant(axis(), 5.0); 3];
+        actuals.push(Series::zeros(axis())); // the blackout day, scored
+        actuals.push(Series::constant(axis(), 5.0));
+        let weathers = vec![Series::constant(axis(), -2.0); actuals.len()];
+        let ma = MovingAverage::new(2);
+        let naive = SeasonalNaive;
+        let candidates: [&dyn LoadPredictor; 2] = [&ma, &naive];
+        let rows = backtest(&candidates, &actuals, &weathers, 2).expect("enough days");
+        for row in &rows {
+            assert!(row.mean_mape.is_finite(), "{}: {}", row.name, row.mean_mape);
+            assert!(row.mean_rmse.is_finite());
+        }
+        let best = select_best(&candidates, &actuals, &weathers, 2).expect("enough days");
+        assert_eq!(best.name(), rows[0].name);
     }
 
     #[test]

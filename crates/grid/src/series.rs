@@ -152,13 +152,18 @@ impl Series {
     }
 
     /// Index of the maximum slot (first one on ties).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the series is empty — consistent with [`Series::mean`]
+    /// and unlike a silent `0`, which would be an out-of-range index.
     pub fn argmax(&self) -> usize {
         self.values
             .iter()
             .enumerate()
             .max_by(|(_, a), (_, b)| a.partial_cmp(b).expect("series values are finite"))
             .map(|(i, _)| i)
-            .unwrap_or(0)
+            .expect("argmax of empty series")
     }
 
     /// Applies `f` to every slot value, producing a new series.
@@ -218,6 +223,13 @@ impl Series {
 
     /// Centered moving average with window `2 * half + 1`, clamped at the
     /// day boundaries. `half == 0` returns a clone.
+    ///
+    /// Windows **saturate** at the series edges — they never wrap around
+    /// midnight. The window for slot `i` is `[i - half, i + half]`
+    /// intersected with `[0, len)`, so edge slots average over fewer
+    /// values (the first slot's window is `[0, half]`); each window is
+    /// divided by its *own* length, which is why a constant series stays
+    /// constant at the edges.
     pub fn smooth(&self, half: usize) -> Series {
         if half == 0 {
             return self.clone();
@@ -381,6 +393,37 @@ mod tests {
         let b = Series::constant(axis(), 2.0);
         a.accumulate(&b);
         assert_eq!(a.sum(), 72.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "argmax of empty series")]
+    fn argmax_of_empty_series_panics() {
+        // An empty series is unconstructible through the public API
+        // (`from_values` validates the length), but deserialization and
+        // future constructors must still get a clear panic rather than a
+        // silent out-of-range index 0.
+        let empty = Series {
+            axis: axis(),
+            values: Vec::new(),
+        };
+        let _ = empty.argmax();
+    }
+
+    #[test]
+    fn smoothing_windows_saturate_at_edges() {
+        // First slot's window is [0, half] — never wrapping to the end of
+        // the day. With a spike at the last slot, the first slot must
+        // stay untouched.
+        let mut v = vec![0.0; 24];
+        v[23] = 12.0;
+        let s = Series::from_values(axis(), v);
+        let sm = s.smooth(2);
+        assert_eq!(sm[0], 0.0, "no wrap-around from the end of the day");
+        // The edge slot averages over its truncated window [21, 23] and
+        // is divided by that window's own length (3, not 5).
+        assert!((sm[23] - 4.0).abs() < 1e-12);
+        assert!((sm[21] - 12.0 / 5.0).abs() < 1e-12);
+        assert_eq!(sm[20], 0.0);
     }
 
     #[test]

@@ -1,0 +1,104 @@
+//! Property tests pinning the fleet-layer determinism claim: a
+//! [`FleetRunner`] interleaving many campaigns' peak negotiations on
+//! one shared worker pool is *byte-identical* to running every campaign
+//! sequentially — for arbitrary cell counts, population mixes, policy
+//! combinations and thread counts. Nondeterministic scheduling, fully
+//! deterministic results.
+
+use loadbal::core::campaign::{
+    CampaignBuilder, CampaignRunner, ClosedLoop, FixedPredictor, MarginalCostStop,
+};
+use loadbal::core::fleet::FleetRunner;
+use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::household::Household;
+use powergrid::prediction::MovingAverage;
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+fn build_cell<'a>(
+    homes: &'a [Household],
+    weather: &WeatherModel,
+    closed: bool,
+    stop: bool,
+) -> CampaignRunner<'a> {
+    let horizon = Horizon::new(5, 0, Season::Winter);
+    let mut b = CampaignBuilder::new(homes, weather, &horizon)
+        .warmup_days(2)
+        .predictor(FixedPredictor(MovingAverage::new(2)));
+    if closed {
+        b = b.feedback(ClosedLoop);
+    }
+    if stop {
+        b = b.stop_rule(MarginalCostStop);
+    }
+    b.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// The tentpole claim: one shared pool over many campaigns returns
+    /// exactly what back-to-back sequential runs do — per-cell reports,
+    /// order, economics, every byte — for any cell mix and thread count.
+    #[test]
+    fn fleet_is_byte_identical_to_sequential(
+        cells in prop::collection::vec(
+            (15usize..45, 0u64..40, any::<bool>(), any::<bool>()),
+            1..5,
+        ),
+        threads in 1usize..9,
+    ) {
+        let weather = WeatherModel::winter();
+        let populations: Vec<Vec<Household>> = cells
+            .iter()
+            .map(|(n, seed, _, _)| PopulationBuilder::new().households(*n).build(*seed))
+            .collect();
+        let mut fleet = FleetRunner::new()
+            .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"));
+        for (i, ((_, _, closed, stop), homes)) in cells.iter().zip(&populations).enumerate() {
+            fleet = fleet.cell(format!("cell{i}"), build_cell(homes, &weather, *closed, *stop));
+        }
+        let interleaved = fleet.run();
+        let sequential = fleet.run_sequential();
+        prop_assert_eq!(&interleaved, &sequential);
+        // Re-running is a pure replay.
+        prop_assert_eq!(&interleaved, &fleet.run());
+        // And every cell matches its standalone campaign, so the fleet
+        // layer adds scheduling, never semantics.
+        for (cell, (label, runner)) in interleaved.cells.iter().zip(fleet.cells()) {
+            prop_assert_eq!(&cell.label, label);
+            prop_assert_eq!(&cell.report, &runner.run_sequential());
+        }
+    }
+
+    /// Thread count is an execution detail: the same fleet fanned over
+    /// 1, 2, 4 and 7 workers always agrees with the single-thread run.
+    #[test]
+    fn fleet_thread_count_never_changes_outcomes(
+        n in 15usize..40,
+        seeds in 1u64..5,
+    ) {
+        let weather = WeatherModel::winter();
+        let populations: Vec<Vec<Household>> = (0..seeds)
+            .map(|s| PopulationBuilder::new().households(n).build(s))
+            .collect();
+        let build_fleet = |threads: usize| {
+            let mut fleet = FleetRunner::new()
+                .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"));
+            for (i, homes) in populations.iter().enumerate() {
+                // Mixed policies: odd cells closed-loop so later days
+                // depend on earlier negotiations inside each cell.
+                fleet = fleet.cell(
+                    format!("cell{i}"),
+                    build_cell(homes, &weather, i % 2 == 1, false),
+                );
+            }
+            fleet
+        };
+        let reference = build_fleet(1).run();
+        for threads in [2usize, 4, 7] {
+            prop_assert_eq!(&build_fleet(threads).run(), &reference, "threads = {}", threads);
+        }
+    }
+}
