@@ -1,0 +1,88 @@
+//! E16 bench: the scheduling + negotiation hot loop.
+//!
+//! Two claims under the stopwatch, mirroring the `hot_loop` experiment.
+//! First, a **persistent** `WorkerPool` (threads spawned once, parked
+//! between batches) beats building a pool per `run` call — the cost the
+//! campaign day loop used to pay once per day per cell. Second, the
+//! scratch-reusing negotiation path (`Scenario::run_in` over one
+//! `NegotiationScratch`) beats fresh engines per peak
+//! (`Scenario::run`), because bid vectors, reward-table snapshots and
+//! effect queues are recycled instead of reallocated — byte-identical
+//! results either way.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use loadbal_core::session::{Scenario, ScenarioBuilder};
+use loadbal_core::sweep::WorkerPool;
+use loadbal_core::sync_driver::NegotiationScratch;
+use std::num::NonZeroUsize;
+
+fn scenarios(count: usize, customers: usize) -> Vec<Scenario> {
+    (0..count as u64)
+        .map(|seed| ScenarioBuilder::random(customers, 0.35, seed).build())
+        .collect()
+}
+
+fn bench_pool_discipline(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_discipline");
+    let threads = NonZeroUsize::new(4).expect("4 > 0");
+    for &batch in &[4usize, 16] {
+        let work = scenarios(batch, 40);
+        // A pool built (threads spawned, joined) per call — the pre-PR
+        // cost model of `WorkerPool::run` over scoped threads.
+        group.bench_with_input(BenchmarkId::new("spawn_per_run", batch), &work, |b, work| {
+            b.iter(|| {
+                let pool = WorkerPool::new(threads);
+                std::hint::black_box(pool.run_with(
+                    work.len(),
+                    NegotiationScratch::new,
+                    |scratch, i| work[i].run_in(work[i].method, scratch),
+                ))
+            })
+        });
+        // One parked pool across every iteration.
+        let pool = WorkerPool::new(threads);
+        group.bench_with_input(BenchmarkId::new("persistent", batch), &work, |b, work| {
+            b.iter(|| {
+                std::hint::black_box(pool.run_with(
+                    work.len(),
+                    NegotiationScratch::new,
+                    |scratch, i| work[i].run_in(work[i].method, scratch),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_negotiation_scratch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("negotiation");
+    for &customers in &[40usize, 160] {
+        let work = scenarios(8, customers);
+        // Fresh engines per peak: one UtilityEngine + N CustomerEngines
+        // allocated per negotiation.
+        group.bench_with_input(BenchmarkId::new("fresh", customers), &work, |b, work| {
+            b.iter(|| {
+                let mut total = 0usize;
+                for s in work {
+                    total += s.run().rounds().len();
+                }
+                std::hint::black_box(total)
+            })
+        });
+        // One scratch, engines reset per peak.
+        group.bench_with_input(BenchmarkId::new("scratch", customers), &work, |b, work| {
+            b.iter(|| {
+                let mut scratch = NegotiationScratch::new();
+                let mut total = 0usize;
+                for s in work {
+                    total += s.run_in(s.method, &mut scratch).rounds().len();
+                }
+                std::hint::black_box(total)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_discipline, bench_negotiation_scratch);
+criterion_main!(benches);

@@ -3,16 +3,54 @@
 //! ```text
 //! cargo run --release -p loadbal-bench --bin experiments -- all
 //! cargo run --release -p loadbal-bench --bin experiments -- fig6_7
+//! cargo run --release -p loadbal-bench --bin experiments -- --json fleet_scaling hot_loop
 //! ```
+//!
+//! `--json` additionally writes machine-readable timing records for the
+//! perf-tracked experiments (`BENCH_E15.json`, `BENCH_E16.json`) into
+//! the current directory, so the performance trajectory is comparable
+//! across PRs.
 
 use loadbal_bench::experiments;
+use std::alloc::{GlobalAlloc, Layout, System};
 
-const USAGE: &str = "usage: experiments <id>
+/// The system allocator with an allocation counter on top, feeding
+/// [`loadbal_bench::alloc_probe`]. Installed only in this binary — the
+/// library stays uninstrumented — so E16 can report real
+/// allocations-per-negotiation figures.
+struct CountingAlloc;
+
+// SAFETY: defers entirely to `System`; the counter update allocates
+// nothing (a relaxed atomic increment).
+#[allow(unsafe_code)]
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        loadbal_bench::alloc_probe::record_alloc();
+        System.alloc(layout)
+    }
+
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const USAGE: &str = "usage: experiments [--json] <id>...
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
        invariants | market | categories | shapes | campaign | campaign_loop |
-       fleet_scaling | all";
+       fleet_scaling | hot_loop | all
+  --json: also write BENCH_E15.json / BENCH_E16.json timing records";
 
-fn run(id: &str) -> bool {
+fn write_json(path: &str, json: &str) {
+    match std::fs::write(path, format!("{json}\n")) {
+        Ok(()) => eprintln!("wrote {path}"),
+        Err(e) => eprintln!("failed to write {path}: {e}"),
+    }
+}
+
+fn run(id: &str, json: bool) -> bool {
     match id {
         "fig1" => println!("{}", experiments::fig1_demand(1000, 42)),
         "fig2_5" => {
@@ -57,7 +95,22 @@ fn run(id: &str) -> bool {
             experiments::campaign_grid(&[100, 250, 500], &powergrid::weather::Season::all(), 42)
         ),
         "campaign_loop" => println!("{}", experiments::campaign_loop(220, 42)),
-        "fleet_scaling" => println!("{}", experiments::fleet_scaling(8, 120, 42)),
+        "fleet_scaling" => {
+            let r = experiments::fleet_scaling(8, 120, 42);
+            println!("{r}");
+            if json {
+                write_json("BENCH_E15.json", &r.to_json());
+            }
+        }
+        "hot_loop" => {
+            // ≥20-day, ≥4-cell winter season: the acceptance shape for
+            // the persistent pool vs spawn-per-day comparison.
+            let r = experiments::hot_loop(4, 100, 24, 4, 42);
+            println!("{r}");
+            if json {
+                write_json("BENCH_E16.json", &r.to_json());
+            }
+        }
         "all" => {
             for id in [
                 "fig1",
@@ -75,8 +128,9 @@ fn run(id: &str) -> bool {
                 "campaign",
                 "campaign_loop",
                 "fleet_scaling",
+                "hot_loop",
             ] {
-                run(id);
+                run(id, json);
                 println!();
             }
         }
@@ -86,13 +140,24 @@ fn run(id: &str) -> bool {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut json = false;
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| {
+            if a == "--json" {
+                json = true;
+                false
+            } else {
+                true
+            }
+        })
+        .collect();
     if args.is_empty() {
         eprintln!("{USAGE}");
         std::process::exit(2);
     }
     for id in &args {
-        if !run(id) {
+        if !run(id, json) {
             eprintln!("unknown experiment '{id}'\n{USAGE}");
             std::process::exit(2);
         }

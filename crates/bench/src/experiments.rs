@@ -673,7 +673,7 @@ pub fn invariants(populations: usize) -> InvariantsResult {
         let tables: Vec<_> = report
             .rounds()
             .iter()
-            .filter_map(|r| r.table.clone())
+            .filter_map(|r| r.table.as_deref().cloned())
             .collect();
         if verify_announcements(&tables).is_err() {
             result.announcement_violations += 1;
@@ -1364,6 +1364,357 @@ impl fmt::Display for FleetScalingResult {
     }
 }
 
+impl FleetScalingResult {
+    /// A machine-readable record of the timings, for `BENCH_E15.json`
+    /// (the experiment binary's `--json` flag) — the cross-PR perf
+    /// trajectory file.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"threads\":{},\"fleet_us\":{},\"identical\":{}}}",
+                    r.threads, r.fleet_us, r.matches_reference
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"E15\",\"cells\":{},\"households\":{},\"negotiations\":{},\
+             \"sequential_us\":{},\"rows\":[{}],\"alloc_us\":{},\"scratch_us\":{},\
+             \"hot_path_speedup\":{:.4}}}",
+            self.cells,
+            self.households,
+            self.negotiations,
+            self.sequential_us,
+            rows.join(","),
+            self.alloc_us,
+            self.scratch_us,
+            self.hot_path_speedup
+        )
+    }
+}
+
+// ---------------------------------------------------------------------
+// E16 — the scheduling + negotiation hot loop: persistent parked pool
+// vs spawn-per-day, scratch-reusing vs fresh-engine negotiation
+// ---------------------------------------------------------------------
+
+/// Result of the hot-loop experiment.
+#[derive(Debug, Clone)]
+pub struct HotLoopResult {
+    /// Grid cells (campaigns).
+    pub cells: usize,
+    /// Households per cell.
+    pub households: usize,
+    /// Horizon length in days (warmup 3).
+    pub days: u64,
+    /// Worker threads per pool.
+    pub threads: usize,
+    /// Peaks negotiated across all cells.
+    pub peaks: usize,
+    /// Wall-clock with a **fresh pool per campaign day** (the pre-PR-5
+    /// cost model: scoped threads spawned and joined every day),
+    /// microseconds.
+    pub spawn_per_day_us: u128,
+    /// The same season on **one persistent pool** (threads spawned
+    /// once, parked between days), microseconds.
+    pub persistent_us: u128,
+    /// `spawn_per_day_us / persistent_us`.
+    pub pool_speedup: f64,
+    /// True if both pool disciplines were byte-identical to the
+    /// sequential reference (asserted — this is the CI smoke).
+    pub identical: bool,
+    /// Negotiations in the engine micro-comparison.
+    pub micro_peaks: usize,
+    /// Repetitions of the micro-comparison.
+    pub micro_reps: usize,
+    /// Negotiating every peak with fresh engines per peak, microseconds.
+    pub fresh_us: u128,
+    /// The same peaks through one reused
+    /// [`NegotiationScratch`](loadbal_core::sync_driver::NegotiationScratch),
+    /// microseconds.
+    pub scratch_us: u128,
+    /// `fresh_us / scratch_us`.
+    pub negotiation_speedup: f64,
+    /// Heap allocations per negotiated peak, fresh-engine path (`None`
+    /// when the counting allocator is not installed — it lives in the
+    /// experiments binary, not the library).
+    pub fresh_allocs_per_peak: Option<f64>,
+    /// Heap allocations per negotiated peak through the scratch.
+    pub scratch_allocs_per_peak: Option<f64>,
+    /// Batches in the pure pool-call overhead micro-comparison.
+    pub call_batches: usize,
+    /// `call_batches` pool calls, each on a **freshly built** pool
+    /// (threads spawned and joined per call — the pre-PR model),
+    /// microseconds.
+    pub call_fresh_us: u128,
+    /// The same calls on the parked persistent pool, microseconds.
+    pub call_persistent_us: u128,
+    /// `call_fresh_us / call_persistent_us` — the per-call spawn +
+    /// teardown overhead the rebuild eliminates.
+    pub call_speedup: f64,
+}
+
+/// E16: the other half of the hot path, after E15 made demand
+/// simulation allocation-free — the *scheduling* and *negotiation*
+/// inner loops.
+///
+/// A season-long campaign calls the worker pool once per day per cell;
+/// before PR 5 every call spawned scoped threads and every negotiation
+/// built fresh engines (bid vectors, reward-table snapshots, effect
+/// queues) per peak. This experiment times the same ≥20-day, multi-cell
+/// season under both disciplines and asserts **byte identity** between
+/// the persistent pool, the spawn-per-day pool and the sequential
+/// reference, then micro-times clone-vs-scratch negotiation over the
+/// season's real peak scenarios (with per-peak allocation counts when
+/// the instrumented binary runs it).
+pub fn hot_loop(
+    cells: usize,
+    households: usize,
+    days: u64,
+    threads: usize,
+    seed: u64,
+) -> HotLoopResult {
+    use loadbal_core::sweep::WorkerPool;
+    use loadbal_core::sync_driver::NegotiationScratch;
+    use std::num::NonZeroUsize;
+
+    let horizon = Horizon::new(days, 0, Season::Winter);
+    let weather = WeatherModel::winter();
+    let populations: Vec<Vec<Household>> = (0..cells as u64)
+        .map(|c| {
+            PopulationBuilder::new()
+                .households(households)
+                .build(seed ^ c)
+        })
+        .collect();
+    let runners: Vec<_> = populations
+        .iter()
+        .map(|homes| {
+            CampaignBuilder::new(homes, &weather, &horizon)
+                .predictor(FixedPredictor(WeatherRegression::calibrated()))
+                .feedback(ClosedLoop)
+                .build()
+        })
+        .collect();
+
+    // Drives one campaign day by day over `pool` (persistent) or over a
+    // fresh, day-scoped pool built by `per_day` — the two disciplines
+    // under comparison share this exact loop.
+    let drive = |runner: &loadbal_core::campaign::CampaignRunner<'_>,
+                 pool: Option<&WorkerPool>|
+     -> CampaignReport {
+        let mut progress = runner.progress();
+        while let Some(plan) = progress.next_day() {
+            let n = plan.scenarios().len();
+            let run_day = |pool: &WorkerPool| {
+                pool.run_with(n, NegotiationScratch::new, |scratch, i| {
+                    let (_, s) = &plan.scenarios()[i];
+                    s.run_in(s.method, scratch)
+                })
+            };
+            let reports = match pool {
+                Some(pool) => run_day(pool),
+                None => {
+                    // The pre-PR cost model: a pool per day, sized like
+                    // the old scoped spawn (min(threads, peaks)), built
+                    // and torn down inside the day loop.
+                    let day_threads = NonZeroUsize::new(threads.min(n.max(1))).expect("≥ 1");
+                    run_day(&WorkerPool::new(day_threads))
+                }
+            };
+            progress.complete_day(plan, reports);
+        }
+        progress.finish()
+    };
+
+    let reference: Vec<CampaignReport> = runners.iter().map(|r| r.run_sequential()).collect();
+
+    let t0 = Instant::now();
+    let spawning: Vec<CampaignReport> = runners.iter().map(|r| drive(r, None)).collect();
+    let spawn_per_day_us = t0.elapsed().as_micros();
+
+    let pool = WorkerPool::new(NonZeroUsize::new(threads.max(1)).expect("≥ 1"));
+    let t1 = Instant::now();
+    let persistent: Vec<CampaignReport> = runners.iter().map(|r| drive(r, Some(&pool))).collect();
+    let persistent_us = t1.elapsed().as_micros();
+
+    assert_eq!(
+        persistent, reference,
+        "persistent pool must be byte-identical to sequential"
+    );
+    assert_eq!(
+        spawning, reference,
+        "spawn-per-day pool must be byte-identical to sequential"
+    );
+    let peaks: usize = reference.iter().map(|r| r.negotiations()).sum();
+
+    // --- clone-vs-scratch negotiation, on the season's real peaks ----
+    let micro: Vec<Scenario> = reference[0]
+        .outcomes
+        .iter()
+        .map(|o| o.scenario.clone())
+        .collect();
+    let micro_reps = 3;
+    let allocs_before = crate::alloc_probe::count();
+    let t2 = Instant::now();
+    let mut fresh_reports = Vec::new();
+    for _ in 0..micro_reps {
+        fresh_reports.clear();
+        fresh_reports.extend(micro.iter().map(|s| s.run()));
+    }
+    let fresh_us = t2.elapsed().as_micros();
+    let fresh_allocs = crate::alloc_probe::count() - allocs_before;
+
+    let mut scratch = NegotiationScratch::new();
+    let allocs_before = crate::alloc_probe::count();
+    let t3 = Instant::now();
+    let mut scratch_reports = Vec::new();
+    for _ in 0..micro_reps {
+        scratch_reports.clear();
+        scratch_reports.extend(micro.iter().map(|s| s.run_in(s.method, &mut scratch)));
+    }
+    let scratch_us = t3.elapsed().as_micros();
+    let scratch_allocs = crate::alloc_probe::count() - allocs_before;
+    assert_eq!(
+        fresh_reports, scratch_reports,
+        "scratch negotiation must be byte-identical to fresh engines"
+    );
+
+    // --- pure pool-call overhead: what one `run` call costs when the
+    // threads must be spawned for it versus when they are parked ------
+    let call_batches = 100usize;
+    let call_tasks = threads.max(2) * 2;
+    let t4 = Instant::now();
+    let mut sink = 0u64;
+    for b in 0..call_batches {
+        let fresh = WorkerPool::new(NonZeroUsize::new(threads.max(2)).expect("≥ 2"));
+        sink += fresh
+            .run(call_tasks, |i| (i as u64).wrapping_mul(b as u64 + 1))
+            .iter()
+            .sum::<u64>();
+    }
+    let call_fresh_us = t4.elapsed().as_micros();
+    let t5 = Instant::now();
+    for b in 0..call_batches {
+        sink += pool
+            .run(call_tasks, |i| (i as u64).wrapping_mul(b as u64 + 1))
+            .iter()
+            .sum::<u64>();
+    }
+    let call_persistent_us = t5.elapsed().as_micros();
+    std::hint::black_box(sink);
+
+    let per_peak = |allocs: u64| {
+        // 0 means the counting allocator is absent (library test run).
+        (allocs > 0).then(|| allocs as f64 / (micro.len().max(1) * micro_reps) as f64)
+    };
+    HotLoopResult {
+        cells,
+        households,
+        days,
+        threads,
+        peaks,
+        spawn_per_day_us,
+        persistent_us,
+        pool_speedup: spawn_per_day_us as f64 / persistent_us.max(1) as f64,
+        identical: true, // asserted above
+        micro_peaks: micro.len(),
+        micro_reps,
+        fresh_us,
+        scratch_us,
+        negotiation_speedup: fresh_us as f64 / scratch_us.max(1) as f64,
+        fresh_allocs_per_peak: per_peak(fresh_allocs),
+        scratch_allocs_per_peak: per_peak(scratch_allocs),
+        call_batches,
+        call_fresh_us,
+        call_persistent_us,
+        call_speedup: call_fresh_us as f64 / call_persistent_us.max(1) as f64,
+    }
+}
+
+impl HotLoopResult {
+    /// A machine-readable record of the timings, for `BENCH_E16.json`
+    /// (the experiment binary's `--json` flag) — the cross-PR perf
+    /// trajectory file.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<f64>| {
+            v.map(|x| format!("{x:.2}"))
+                .unwrap_or_else(|| "null".into())
+        };
+        format!(
+            "{{\"experiment\":\"E16\",\"cells\":{},\"households\":{},\"days\":{},\"threads\":{},\
+             \"peaks\":{},\"spawn_per_day_us\":{},\"persistent_us\":{},\"pool_speedup\":{:.4},\
+             \"identical\":{},\"call_batches\":{},\"call_fresh_us\":{},\"call_persistent_us\":{},\
+             \"call_speedup\":{:.4},\"micro_peaks\":{},\"micro_reps\":{},\"fresh_us\":{},\
+             \"scratch_us\":{},\"negotiation_speedup\":{:.4},\"fresh_allocs_per_peak\":{},\
+             \"scratch_allocs_per_peak\":{}}}",
+            self.cells,
+            self.households,
+            self.days,
+            self.threads,
+            self.peaks,
+            self.spawn_per_day_us,
+            self.persistent_us,
+            self.pool_speedup,
+            self.identical,
+            self.call_batches,
+            self.call_fresh_us,
+            self.call_persistent_us,
+            self.call_speedup,
+            self.micro_peaks,
+            self.micro_reps,
+            self.fresh_us,
+            self.scratch_us,
+            self.negotiation_speedup,
+            opt(self.fresh_allocs_per_peak),
+            opt(self.scratch_allocs_per_peak),
+        )
+    }
+}
+
+impl fmt::Display for HotLoopResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E16 — scheduling + negotiation hot loop ({} cells × {} households, \
+             {}-day season, {} peaks, {} threads)",
+            self.cells, self.households, self.days, self.peaks, self.threads
+        )?;
+        writeln!(
+            f,
+            "  pool discipline:  spawn-per-day {} µs vs persistent {} µs ({:.2}×), identical: {}",
+            self.spawn_per_day_us,
+            self.persistent_us,
+            self.pool_speedup,
+            if self.identical { "yes" } else { "NO" }
+        )?;
+        writeln!(
+            f,
+            "  pool call cost:   fresh-pool {} µs vs parked {} µs over {} calls ({:.1}× — \
+             the per-day spawn cost eliminated)",
+            self.call_fresh_us, self.call_persistent_us, self.call_batches, self.call_speedup
+        )?;
+        writeln!(
+            f,
+            "  negotiation:      fresh engines {} µs vs scratch {} µs ({:.2}×) over {} peaks × {} reps",
+            self.fresh_us, self.scratch_us, self.negotiation_speedup, self.micro_peaks, self.micro_reps
+        )?;
+        match (self.fresh_allocs_per_peak, self.scratch_allocs_per_peak) {
+            (Some(fresh), Some(scratch)) => writeln!(
+                f,
+                "  allocations/peak: fresh {fresh:.1} vs scratch {scratch:.1} ({:.2}×)",
+                fresh / scratch.max(1e-9)
+            ),
+            _ => writeln!(
+                f,
+                "  allocations/peak: (not instrumented — run the experiments binary)"
+            ),
+        }
+    }
+}
+
 /// Convenience used by the Figure 6/7 bench: the calibrated scenario.
 pub fn paper_scenario() -> Scenario {
     ScenarioBuilder::paper_figure_6().build()
@@ -1588,6 +1939,29 @@ mod tests {
         let text = r.to_string();
         assert!(text.contains("E15"));
         assert!(text.contains("demand hot path"));
+    }
+
+    #[test]
+    fn e16_hot_loop_is_byte_identical_and_reports() {
+        // Small season, 2 threads — the CI smoke shape: the experiment
+        // itself asserts persistent == spawn-per-day == sequential.
+        let r = hot_loop(2, 40, 7, 2, 7);
+        assert!(r.identical);
+        assert!(r.peaks > 0, "winter cells must carry peaks");
+        assert!(r.micro_peaks > 0);
+        // Timing figures exist (no speed assertion — CI machines vary).
+        assert!(r.persistent_us > 0 && r.scratch_us > 0);
+        let text = r.to_string();
+        assert!(text.contains("E16"));
+        assert!(text.contains("persistent"));
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\":\"E16\""));
+        assert!(json.contains("\"identical\":true"));
+        // E15's record is machine-readable too.
+        let e15 = fleet_scaling(2, 40, 7);
+        let json = e15.to_json();
+        assert!(json.contains("\"experiment\":\"E15\""));
+        assert!(json.contains("\"rows\":["));
     }
 
     #[test]

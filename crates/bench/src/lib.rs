@@ -20,8 +20,33 @@
 //! | E13 | grid→negotiation campaigns | [`experiments::campaign_grid`] |
 //! | E14 | campaign feedback loop | [`experiments::campaign_loop`] |
 //! | E15 | fleet scaling + demand hot path | [`experiments::fleet_scaling`] |
+//! | E16 | persistent pool + negotiation scratch hot loop | [`experiments::hot_loop`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
+
+/// Allocation counting hook for the experiment binary.
+///
+/// The library never installs a global allocator (that would tax every
+/// test run); the `experiments` *binary* wraps the system allocator and
+/// funnels each allocation through [`alloc_probe::record_alloc`]. An
+/// experiment reads [`alloc_probe::count`] deltas around a timed
+/// section — in uninstrumented contexts (unit tests) the counter stays
+/// at zero and the experiment reports the measurement as unavailable.
+pub mod alloc_probe {
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+
+    /// Called by the instrumented global allocator on every allocation.
+    pub fn record_alloc() {
+        ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Allocations recorded so far (0 when not instrumented).
+    pub fn count() -> u64 {
+        ALLOCATIONS.load(Ordering::Relaxed)
+    }
+}

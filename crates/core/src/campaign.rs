@@ -55,6 +55,7 @@ use crate::methods::AnnouncementMethod;
 use crate::producer_agent::ProducerAgent;
 use crate::session::{NegotiationReport, Scenario, ScenarioBuilder};
 use crate::sweep::WorkerPool;
+use crate::sync_driver::NegotiationScratch;
 use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
 use powergrid::calendar::{CalendarDay, Horizon};
 use powergrid::demand::simulate_horizon;
@@ -70,6 +71,7 @@ use powergrid::units::{KilowattHours, Kilowatts, Money, PricePerKwh};
 use powergrid::weather::WeatherModel;
 use std::fmt;
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 // ---------------------------------------------------------------------
 // Policies
@@ -442,6 +444,7 @@ impl<'a> CampaignBuilder<'a> {
             method: self.method,
             ua_config,
             threads: self.threads,
+            pool: OnceLock::new(),
             predictor: self.predictor,
             feedback: self.feedback,
             actuals,
@@ -473,6 +476,10 @@ pub struct CampaignRunner<'a> {
     method: AnnouncementMethod,
     ua_config: UtilityAgentConfig,
     threads: Option<NonZeroUsize>,
+    /// The persistent worker pool for [`CampaignRunner::run`]: spawned
+    /// on the first parallel run and reused by every day of every
+    /// subsequent run — the day loop pays no per-day thread spawn.
+    pool: OnceLock<WorkerPool>,
     predictor: Box<dyn PredictorPolicy + 'a>,
     feedback: Box<dyn FeedbackPolicy + 'a>,
     actuals: Vec<Series>,
@@ -542,16 +549,42 @@ impl CampaignRunner<'_> {
         }
     }
 
+    /// The persistent [`WorkerPool`] behind [`CampaignRunner::run`]:
+    /// built (threads spawned, parked) on first use, reused across days
+    /// and across repeated runs of this campaign.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::sized(self.threads))
+    }
+
     fn execute(&self, parallel: bool) -> CampaignReport {
-        let pool = WorkerPool::sized(self.threads);
         let mut progress = self.progress();
-        while let Some(plan) = progress.next_day() {
-            let reports = if parallel {
-                pool.run(plan.scenarios.len(), |i| plan.scenarios[i].1.run())
-            } else {
-                plan.scenarios.iter().map(|(_, s)| s.run()).collect()
-            };
-            progress.complete_day(plan, reports);
+        if parallel {
+            // One parked pool across every day; each worker threads one
+            // NegotiationScratch through all the peaks it claims.
+            let pool = self.pool();
+            while let Some(plan) = progress.next_day() {
+                let reports = pool.run_with(
+                    plan.scenarios.len(),
+                    NegotiationScratch::new,
+                    |scratch, i| {
+                        let (_, scenario) = &plan.scenarios[i];
+                        scenario.run_in(scenario.method, scratch)
+                    },
+                );
+                progress.complete_day(plan, reports);
+            }
+        } else {
+            // The reference order reuses one scratch for the whole
+            // season — byte-identical to fresh engines per peak.
+            let mut scratch = NegotiationScratch::new();
+            while let Some(plan) = progress.next_day() {
+                let reports = plan
+                    .scenarios
+                    .iter()
+                    .map(|(_, s)| s.run_in(s.method, &mut scratch))
+                    .collect();
+                progress.complete_day(plan, reports);
+            }
         }
         progress.finish()
     }

@@ -29,6 +29,15 @@ impl CustomerAgentState {
         }
     }
 
+    /// Starts a fresh negotiation in place, keeping the bid-history
+    /// buffer's capacity — behaviourally identical to
+    /// [`CustomerAgentState::new`].
+    pub fn reset(&mut self, preferences: CustomerPreferences) {
+        self.preferences = preferences;
+        self.previous_bid = Fraction::ZERO;
+        self.bids.clear();
+    }
+
     /// The customer's preferences.
     pub fn preferences(&self) -> &CustomerPreferences {
         &self.preferences

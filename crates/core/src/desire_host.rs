@@ -344,25 +344,26 @@ pub fn run_hosted_traced(scenario: &Scenario) -> (NegotiationReport, desire::tra
         let mut out = Vec::new();
         let mut announced = None;
         while let Some(effect) = engine.poll_effect() {
-            ua_assembler.borrow_mut().observe(&effect);
-            match effect {
+            // Settlement is consumed by the assembler below; note it
+            // first so the ended-fact still goes out.
+            if matches!(effect, Effect::Settled { .. }) {
+                out.push((
+                    Atom::new(
+                        "negotiation_ended",
+                        vec![Term::number(f64::from(engine.current_round()))],
+                    ),
+                    TruthValue::True,
+                ));
+            }
+            match ua_assembler.borrow_mut().observe(effect) {
                 // Announcements are broadcast facts: encode each round's
                 // table once, not once per customer.
-                Effect::Send {
+                Some(Effect::Send {
                     msg: Msg::Announce { round, table },
                     ..
-                } if announced != Some(round) => {
+                }) if announced != Some(round) => {
                     announced = Some(round);
                     out.extend(table_to_facts(round, &table));
-                }
-                Effect::Settled { .. } => {
-                    out.push((
-                        Atom::new(
-                            "negotiation_ended",
-                            vec![Term::number(f64::from(engine.current_round()))],
-                        ),
-                        TruthValue::True,
-                    ));
                 }
                 // Award sends are counted by the assembler; timers are
                 // meaningless under the kernel's quiescence semantics.
@@ -396,6 +397,8 @@ pub fn run_hosted_traced(scenario: &Scenario) -> (NegotiationReport, desire::tra
         let Some(table) = facts_to_table(input, latest, &template) else {
             return Vec::new();
         };
+        // One shared snapshot for every customer's announcement.
+        let table = std::sync::Arc::new(table);
         responded_round = latest;
         engines
             .iter_mut()

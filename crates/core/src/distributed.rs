@@ -112,22 +112,19 @@ impl UtilityProcess {
 
     fn pump(&mut self, ctx: &mut Context<'_, Msg>) {
         while let Some(effect) = self.engine.poll_effect() {
-            self.assembler.observe(&effect);
-            match effect {
-                Effect::Send {
+            // Observations (round records, settlements) move into the
+            // assembler; transport effects come back to go on the wire.
+            // The simulation drains naturally after settlement so the
+            // award messages still reach the customers.
+            match self.assembler.observe(effect) {
+                Some(Effect::Send {
                     to: Peer::Customer(i),
                     msg,
-                } => ctx.send(self.customers[i], msg),
-                Effect::Send {
-                    to: Peer::Utility, ..
-                } => {}
-                Effect::SetTimer { token } => {
+                }) => ctx.send(self.customers[i], msg),
+                Some(Effect::SetTimer { token }) => {
                     ctx.set_timer(TimerToken(token), self.deadline);
                 }
-                // Report observations; no runtime action needed. The
-                // simulation drains naturally after settlement so the
-                // award messages still reach the customers.
-                Effect::RoundComplete(_) | Effect::Settled { .. } => {}
+                _ => {}
             }
         }
     }

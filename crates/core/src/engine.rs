@@ -36,14 +36,14 @@ use crate::customer_agent::{decide_offer, rfb_step, y_min_for, CustomerAgentStat
 use crate::message::Msg;
 use crate::methods::AnnouncementMethod;
 use crate::preferences::CustomerPreferences;
-use crate::reward::{overuse_fraction, predicted_use_with_cutdown};
+use crate::reward::{overuse_fraction, predicted_use_with_cutdown, RewardTable};
 use crate::session::{RoundRecord, Scenario, Settlement};
-use crate::utility_agent::cooperation::assess_bids;
+use crate::utility_agent::cooperation::assess_bids_in_place;
 use crate::utility_agent::{RewardTableNegotiator, UaDecision, UtilityAgentConfig};
 use powergrid::tariff::Tariff;
 use powergrid::units::{Fraction, KilowattHours, Money};
-use std::collections::BTreeMap;
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 /// The counterparty an engine addresses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -116,8 +116,8 @@ pub enum Effect {
 enum MethodState {
     /// §3.2.3 — driven by the shared [`RewardTableNegotiator`].
     RewardTables { negotiator: RewardTableNegotiator },
-    /// §3.2.1 — the yes/no replies received so far.
-    Offer { accepts: BTreeMap<usize, bool> },
+    /// §3.2.1 — the yes/no replies received so far (index = customer).
+    Offer { accepts: Vec<Option<bool>> },
     /// §3.2.2 — current round number.
     RequestForBids { round: u32 },
 }
@@ -126,7 +126,10 @@ enum MethodState {
 ///
 /// Feed it [`Input`]s, drain [`Effect`]s; it never blocks, allocates per
 /// round only what the round records need, and is identical under every
-/// driver.
+/// driver. A finished engine can be [`UtilityEngine::reset`] onto the
+/// next scenario, reusing its internal buffers — what the
+/// [`NegotiationScratch`](crate::sync_driver::NegotiationScratch) hot
+/// path does for every peak of a campaign.
 #[derive(Debug, Clone, PartialEq)]
 pub struct UtilityEngine {
     method: AnnouncementMethod,
@@ -137,8 +140,16 @@ pub struct UtilityEngine {
     normal_use: KilowattHours,
     initial_total: KilowattHours,
     state: MethodState,
-    /// Responses received for the current round.
-    received: BTreeMap<usize, Fraction>,
+    /// The shared snapshot of the current round's announced reward
+    /// table (reward-table method only): taken once in
+    /// [`announce_round`](UtilityEngine::handle), reused by every
+    /// announcement message *and* the round record — one table clone
+    /// per round, total.
+    announced: Option<Arc<RewardTable>>,
+    /// Responses received for the current round (index = customer).
+    responses: Vec<Option<Fraction>>,
+    /// Distinct customers heard from this round.
+    responded: usize,
     /// Accepted cut-down per customer after the last concluded round
     /// (monotonic-concession floor for missing responders).
     last_bids: Vec<Fraction>,
@@ -154,6 +165,18 @@ impl UtilityEngine {
         UtilityEngine::with_method(scenario, scenario.method)
     }
 
+    fn initial_state(scenario: &Scenario, method: AnnouncementMethod, n: usize) -> MethodState {
+        match method {
+            AnnouncementMethod::RewardTables => MethodState::RewardTables {
+                negotiator: RewardTableNegotiator::new(scenario.config.clone(), scenario.interval),
+            },
+            AnnouncementMethod::Offer => MethodState::Offer {
+                accepts: vec![None; n],
+            },
+            AnnouncementMethod::RequestForBids => MethodState::RequestForBids { round: 1 },
+        }
+    }
+
     /// An engine for a specific announcement method on `scenario`.
     pub fn with_method(scenario: &Scenario, method: AnnouncementMethod) -> UtilityEngine {
         let profiles: Vec<(KilowattHours, KilowattHours)> = scenario
@@ -162,15 +185,6 @@ impl UtilityEngine {
             .map(|c| (c.predicted_use, c.allowed_use))
             .collect();
         let n = profiles.len();
-        let state = match method {
-            AnnouncementMethod::RewardTables => MethodState::RewardTables {
-                negotiator: RewardTableNegotiator::new(scenario.config.clone(), scenario.interval),
-            },
-            AnnouncementMethod::Offer => MethodState::Offer {
-                accepts: BTreeMap::new(),
-            },
-            AnnouncementMethod::RequestForBids => MethodState::RequestForBids { round: 1 },
-        };
         UtilityEngine {
             method,
             config: scenario.config.clone(),
@@ -178,14 +192,48 @@ impl UtilityEngine {
             profiles,
             normal_use: scenario.normal_use,
             initial_total: scenario.initial_total(),
-            state,
-            received: BTreeMap::new(),
+            state: UtilityEngine::initial_state(scenario, method, n),
+            announced: None,
+            responses: vec![None; n],
+            responded: 0,
             last_bids: vec![Fraction::ZERO; n],
             rounds_run: 0,
             concluded_round: 0,
             status: None,
             effects: VecDeque::new(),
         }
+    }
+
+    /// Re-aims the engine at a fresh scenario, reusing every internal
+    /// buffer (profiles, response table, bid floor, effect queue) —
+    /// behaviourally identical to
+    /// [`UtilityEngine::with_method(scenario, method)`](UtilityEngine::with_method)
+    /// without the per-negotiation allocations.
+    pub fn reset(&mut self, scenario: &Scenario, method: AnnouncementMethod) {
+        let n = scenario.customers.len();
+        self.method = method;
+        self.config = scenario.config.clone();
+        self.tariff = scenario.tariff;
+        self.profiles.clear();
+        self.profiles.extend(
+            scenario
+                .customers
+                .iter()
+                .map(|c| (c.predicted_use, c.allowed_use)),
+        );
+        self.normal_use = scenario.normal_use;
+        self.initial_total = scenario.initial_total();
+        self.state = UtilityEngine::initial_state(scenario, method, n);
+        self.announced = None;
+        self.responses.clear();
+        self.responses.resize(n, None);
+        self.responded = 0;
+        self.last_bids.clear();
+        self.last_bids.resize(n, Fraction::ZERO);
+        self.rounds_run = 0;
+        self.concluded_round = 0;
+        self.status = None;
+        self.effects.clear();
     }
 
     /// The announcement method being run.
@@ -249,13 +297,24 @@ impl UtilityEngine {
     }
 
     /// Queues this round's announcements (plus the round deadline).
+    ///
+    /// The reward-table method snapshots the current table **once** and
+    /// shares it across every recipient's message (see
+    /// [`Msg::Announce`]) — the announcement fan-out costs one table
+    /// clone per round, not one per customer.
     fn announce_round(&mut self) {
         let round = self.current_round();
+        self.announced = match &self.state {
+            MethodState::RewardTables { negotiator } => {
+                Some(Arc::new(negotiator.current_table().clone()))
+            }
+            _ => None,
+        };
         for i in 0..self.n() {
             let msg = match &self.state {
-                MethodState::RewardTables { negotiator } => Msg::Announce {
+                MethodState::RewardTables { .. } => Msg::Announce {
                     round,
-                    table: negotiator.current_table().clone(),
+                    table: Arc::clone(self.announced.as_ref().expect("snapshot taken above")),
                 },
                 MethodState::Offer { .. } => Msg::Offer {
                     x_max: self.config.offer_x_max,
@@ -283,7 +342,7 @@ impl UtilityEngine {
             }
             (MethodState::Offer { .. }, Msg::OfferReply { accept }) => {
                 if let MethodState::Offer { accepts } = &mut self.state {
-                    accepts.insert(from, accept);
+                    accepts[from] = Some(accept);
                 }
                 // Tracked separately; mark receipt with a placeholder.
                 Some(Fraction::ZERO)
@@ -296,8 +355,11 @@ impl UtilityEngine {
             _ => None, // stale round or off-protocol message
         };
         if let Some(cutdown) = response {
-            self.received.insert(from, cutdown);
-            if self.received.len() == self.n() {
+            if self.responses[from].is_none() {
+                self.responded += 1;
+            }
+            self.responses[from] = Some(cutdown);
+            if self.responded == self.n() {
                 self.conclude_round();
             }
         }
@@ -322,7 +384,10 @@ impl UtilityEngine {
             MethodState::Offer { .. } => self.conclude_offer(),
             MethodState::RequestForBids { .. } => self.conclude_request_for_bids(round),
         }
-        self.received.clear();
+        for slot in &mut self.responses {
+            *slot = None;
+        }
+        self.responded = 0;
     }
 
     fn predicted_total(&self, bids: &[Fraction]) -> KilowattHours {
@@ -365,24 +430,32 @@ impl UtilityEngine {
     }
 
     fn conclude_reward_tables(&mut self, round: u32) {
+        let n = self.n();
+        // The round record shares the announce-time snapshot — the one
+        // table clone this round ever makes.
+        let table = self
+            .announced
+            .clone()
+            .expect("a reward-table round is announced before it concludes");
+        let mut accepted: Vec<Fraction> = Vec::with_capacity(n);
+        accepted.extend(
+            self.last_bids
+                .iter()
+                .enumerate()
+                .map(|(i, &last)| self.responses[i].unwrap_or(last).max(last)),
+        );
+        assess_bids_in_place(&table, &mut accepted);
+        self.last_bids.copy_from_slice(&accepted);
+        let predicted_total = self.predicted_total(&accepted);
+        let overuse = overuse_fraction(predicted_total, self.normal_use);
         let MethodState::RewardTables { negotiator } = &mut self.state else {
             unreachable!("reward-table conclusion in reward-table state");
         };
-        let table = negotiator.current_table().clone();
-        let bids: Vec<Fraction> = self
-            .last_bids
-            .iter()
-            .enumerate()
-            .map(|(i, &last)| self.received.get(&i).copied().unwrap_or(last).max(last))
-            .collect();
-        let accepted = assess_bids(&table, &bids);
-        self.last_bids = accepted.clone();
-        let predicted_total = self.predicted_total(&accepted);
-        let n = self.n() as u64;
-        let overuse = overuse_fraction(predicted_total, self.normal_use);
-        let MethodState::RewardTables { negotiator } = &mut self.state else {
-            unreachable!();
-        };
+        debug_assert_eq!(
+            negotiator.current_table(),
+            &*table,
+            "the announced snapshot is this round's table"
+        );
         // The economic context for the marginal-cost stop rule: the
         // energy still predicted above capacity, and a pricer for the
         // candidate table at the bids customers have already committed
@@ -391,12 +464,27 @@ impl UtilityEngine {
         let decision = negotiator.evaluate_with_outlay(overuse, remaining, |t| {
             accepted.iter().map(|&b| t.reward_for(b)).sum()
         });
+        // The settlement payload comes off the same owned vector that
+        // then moves into the round record — the accepted bids are
+        // never cloned.
+        let settlements = match decision {
+            UaDecision::Converged(_) => Some(
+                accepted
+                    .iter()
+                    .map(|&cutdown| Settlement {
+                        cutdown,
+                        reward: table.reward_for(cutdown),
+                    })
+                    .collect::<Vec<Settlement>>(),
+            ),
+            UaDecision::NextTable => None,
+        };
         self.push_round(RoundRecord {
             round,
-            table: Some(table.clone()),
-            bids: accepted.clone(),
+            table: Some(table),
+            bids: accepted,
             predicted_total,
-            messages: 2 * n,
+            messages: 2 * n as u64,
         });
         match decision {
             UaDecision::Converged(reason) => {
@@ -409,16 +497,9 @@ impl UtilityEngine {
                 } else {
                     NegotiationStatus::Converged(reason)
                 };
-                let settlements: Vec<Settlement> = accepted
-                    .iter()
-                    .map(|&cutdown| Settlement {
-                        cutdown,
-                        reward: table.reward_for(cutdown),
-                    })
-                    .collect();
-                self.settle(round, status, settlements, true);
+                self.settle(round, status, settlements.expect("built above"), true);
             }
-            UaDecision::NextTable(_) => self.announce_round(),
+            UaDecision::NextTable => self.announce_round(),
         }
     }
 
@@ -427,26 +508,26 @@ impl UtilityEngine {
             unreachable!("offer conclusion in offer state");
         };
         let x_max = self.config.offer_x_max;
-        let mut bids = Vec::with_capacity(self.n());
-        let mut settlements = Vec::with_capacity(self.n());
+        let n = self.n();
+        let mut bids = Vec::with_capacity(n);
+        let mut settlements = Vec::with_capacity(n);
         let mut predicted_total = KilowattHours::ZERO;
         for (i, &(predicted, allowed)) in self.profiles.iter().enumerate() {
             // A reply lost in transit counts as a decline.
-            let accept = accepts.get(&i).copied().unwrap_or(false);
+            let accept = accepts[i].unwrap_or(false);
             let (new_use, settlement) =
                 offer_outcome(predicted, allowed, x_max, &self.tariff, accept);
             predicted_total += new_use;
             bids.push(settlement.cutdown);
             settlements.push(settlement);
         }
-        let n = self.n() as u64;
-        self.last_bids = bids.clone();
+        self.last_bids.copy_from_slice(&bids);
         self.push_round(RoundRecord {
             round: 1,
             table: None,
             bids,
             predicted_total,
-            messages: 2 * n,
+            messages: 2 * n as u64,
         });
         self.settle(
             1,
@@ -457,35 +538,24 @@ impl UtilityEngine {
     }
 
     fn conclude_request_for_bids(&mut self, round: u32) {
+        let n = self.n();
         let mut moved = false;
-        let bids: Vec<Fraction> = self
-            .last_bids
-            .iter()
-            .enumerate()
-            .map(|(i, &last)| {
-                let next = self.received.get(&i).copied().unwrap_or(last).max(last);
-                if next > last {
-                    moved = true;
-                }
-                next
-            })
-            .collect();
-        self.last_bids = bids.clone();
+        let mut bids: Vec<Fraction> = Vec::with_capacity(n);
+        bids.extend(self.last_bids.iter().enumerate().map(|(i, &last)| {
+            let next = self.responses[i].unwrap_or(last).max(last);
+            if next > last {
+                moved = true;
+            }
+            next
+        }));
+        self.last_bids.copy_from_slice(&bids);
         let predicted_total = self.predicted_total(&bids);
-        let n = self.n() as u64;
-        self.push_round(RoundRecord {
-            round,
-            table: None,
-            bids: bids.clone(),
-            predicted_total,
-            messages: 2 * n,
-        });
         let overuse = overuse_fraction(predicted_total, self.normal_use);
         let status = if overuse <= self.config.max_allowed_overuse {
             Some(NegotiationStatus::Converged(
                 TerminationReason::OveruseAcceptable,
             ))
-        } else if !moved && self.received.len() == self.n() {
+        } else if !moved && self.responded == n {
             // Unanimous stand-still, with every customer heard from. A
             // missing reply (lost on the network, deadline fired) is
             // indistinguishable from a concession we did not see, so a
@@ -497,30 +567,40 @@ impl UtilityEngine {
         } else {
             None
         };
+        // Settlements come off the bid vector before it moves into the
+        // round record — no clone of the bids.
+        let settlements = status.map(|_| {
+            self.profiles
+                .iter()
+                .zip(&bids)
+                .map(|(&(predicted, allowed), &cutdown)| {
+                    if cutdown == Fraction::ZERO {
+                        return Settlement {
+                            cutdown,
+                            reward: Money::ZERO,
+                        };
+                    }
+                    let y_min = cutdown.complement() * allowed;
+                    let committed_use = predicted.min(y_min);
+                    let reward = self.tariff.bill_normal(predicted)
+                        - self.tariff.bill_with_limit(committed_use, y_min);
+                    Settlement {
+                        cutdown,
+                        reward: reward.max(Money::ZERO),
+                    }
+                })
+                .collect::<Vec<Settlement>>()
+        });
+        self.push_round(RoundRecord {
+            round,
+            table: None,
+            bids,
+            predicted_total,
+            messages: 2 * n as u64,
+        });
         match status {
             Some(status) => {
-                let settlements: Vec<Settlement> = self
-                    .profiles
-                    .iter()
-                    .zip(&bids)
-                    .map(|(&(predicted, allowed), &cutdown)| {
-                        if cutdown == Fraction::ZERO {
-                            return Settlement {
-                                cutdown,
-                                reward: Money::ZERO,
-                            };
-                        }
-                        let y_min = cutdown.complement() * allowed;
-                        let committed_use = predicted.min(y_min);
-                        let reward = self.tariff.bill_normal(predicted)
-                            - self.tariff.bill_with_limit(committed_use, y_min);
-                        Settlement {
-                            cutdown,
-                            reward: reward.max(Money::ZERO),
-                        }
-                    })
-                    .collect();
-                self.settle(round, status, settlements, true);
+                self.settle(round, status, settlements.expect("built above"), true);
             }
             None => {
                 let MethodState::RequestForBids { round } = &mut self.state else {
@@ -637,6 +717,27 @@ impl CustomerEngine {
         }
     }
 
+    /// Re-aims the engine at customer `index` of a fresh scenario,
+    /// reusing its buffers (bid history, effect queue) — behaviourally
+    /// identical to [`CustomerEngine::for_customer`] without the
+    /// per-negotiation allocations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range.
+    pub fn reset_for(&mut self, scenario: &Scenario, index: usize) {
+        let c = &scenario.customers[index];
+        self.state.reset(c.preferences.clone());
+        self.predicted_use = c.predicted_use;
+        self.allowed_use = c.allowed_use;
+        self.tariff = scenario.tariff;
+        self.commitment = Fraction::ZERO;
+        self.answered_rfb_round = 0;
+        self.answered_announce_round = 0;
+        self.awarded = None;
+        self.effects.clear();
+    }
+
     /// The settlement awarded at the end, if any arrived.
     pub fn awarded(&self) -> Option<&Settlement> {
         self.awarded.as_ref()
@@ -732,9 +833,11 @@ impl CustomerEngine {
 /// [`NegotiationReport`](crate::session::NegotiationReport) every driver
 /// returns.
 ///
-/// Drivers forward each polled effect to [`ReportAssembler::observe`]
-/// (transport effects are counted, not performed) and call
-/// [`ReportAssembler::finish`] once the engine settles.
+/// Drivers pass each polled effect through [`ReportAssembler::observe`],
+/// which **consumes** the observation effects (round records and
+/// settlements move straight into the report — they are never cloned)
+/// and hands the transport effects back for the driver to perform.
+/// Call [`ReportAssembler::finish`] once the engine settles.
 #[derive(Debug, Clone)]
 pub struct ReportAssembler {
     method: AnnouncementMethod,
@@ -760,20 +863,35 @@ impl ReportAssembler {
 
     /// Records what an effect means for the report (awards count as the
     /// extra confirmation messages of §3.2.3).
-    pub fn observe(&mut self, effect: &Effect) {
+    ///
+    /// Observation effects ([`Effect::RoundComplete`],
+    /// [`Effect::Settled`]) are consumed — their payloads move into the
+    /// report under construction, which is why the engine hands them
+    /// over by value. Transport effects come back out for the driver to
+    /// perform.
+    pub fn observe(&mut self, effect: Effect) -> Option<Effect> {
         match effect {
-            Effect::Send {
-                msg: Msg::Award { .. },
-                ..
-            } => self.award_messages += 1,
-            Effect::RoundComplete(record) => self.rounds.push(record.clone()),
+            Effect::RoundComplete(record) => {
+                self.rounds.push(record);
+                None
+            }
             Effect::Settled {
                 status,
                 settlements,
             } => {
-                self.outcome = Some((*status, settlements.clone()));
+                self.outcome = Some((status, settlements));
+                None
             }
-            _ => {}
+            effect => {
+                if let Effect::Send {
+                    msg: Msg::Award { .. },
+                    ..
+                } = &effect
+                {
+                    self.award_messages += 1;
+                }
+                Some(effect)
+            }
         }
     }
 
@@ -837,7 +955,7 @@ mod tests {
     #[test]
     fn customer_engine_bids_from_the_announced_table() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
-        let table = scenario.config.initial_table(scenario.interval);
+        let table = Arc::new(scenario.config.initial_table(scenario.interval));
         let mut ca = CustomerEngine::for_customer(&scenario, 0);
         ca.handle(Input::Received {
             from: Peer::Utility,
@@ -858,14 +976,14 @@ mod tests {
     #[test]
     fn duplicated_announcements_are_idempotent() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
-        let table = scenario.config.initial_table(scenario.interval);
+        let table = Arc::new(scenario.config.initial_table(scenario.interval));
         let mut ca = CustomerEngine::for_customer(&scenario, 0);
         for _ in 0..3 {
             ca.handle(Input::Received {
                 from: Peer::Utility,
                 msg: Msg::Announce {
                     round: 1,
-                    table: table.clone(),
+                    table: Arc::clone(&table),
                 },
             });
         }
@@ -961,14 +1079,14 @@ mod tests {
 
         // Same for reward-table announcements.
         let rt = ScenarioBuilder::paper_figure_6().build();
-        let table = rt.config.initial_table(rt.interval);
+        let table = Arc::new(rt.config.initial_table(rt.interval));
         let mut ca = CustomerEngine::for_customer(&rt, 0);
         let announce = |ca: &mut CustomerEngine, round: u32| {
             ca.handle(Input::Received {
                 from: Peer::Utility,
                 msg: Msg::Announce {
                     round,
-                    table: table.clone(),
+                    table: Arc::clone(&table),
                 },
             });
             let Some(Effect::Send {
@@ -1175,11 +1293,10 @@ mod tests {
         ua.handle(Input::Start);
         let mut offers = Vec::new();
         while let Some(e) = ua.poll_effect() {
-            assembler.observe(&e);
-            if let Effect::Send {
+            if let Some(Effect::Send {
                 to: Peer::Customer(i),
                 msg: Msg::Offer { .. },
-            } = e
+            }) = assembler.observe(e)
             {
                 offers.push(i);
             }
@@ -1192,7 +1309,7 @@ mod tests {
             });
         }
         while let Some(e) = ua.poll_effect() {
-            assembler.observe(&e);
+            let _ = assembler.observe(e);
         }
         let report = assembler.finish();
         assert_eq!(report.rounds().len(), 1);

@@ -59,11 +59,12 @@ use crate::campaign::{
 };
 use crate::session::NegotiationReport;
 use crate::sweep::WorkerPool;
+use crate::sync_driver::NegotiationScratch;
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Many campaigns over a shared grid, executed on one worker pool.
 ///
@@ -75,6 +76,10 @@ use std::sync::{Arc, Mutex};
 pub struct FleetRunner<'a> {
     cells: Vec<(String, CampaignRunner<'a>)>,
     threads: Option<NonZeroUsize>,
+    /// The persistent shared pool: spawned on the first [`FleetRunner::run`]
+    /// and reused by every later run of this fleet — including runs
+    /// after more cells were added.
+    pool: OnceLock<WorkerPool>,
 }
 
 impl<'a> FleetRunner<'a> {
@@ -83,6 +88,7 @@ impl<'a> FleetRunner<'a> {
         FleetRunner {
             cells: Vec::new(),
             threads: None,
+            pool: OnceLock::new(),
         }
     }
 
@@ -96,10 +102,19 @@ impl<'a> FleetRunner<'a> {
 
     /// Caps the shared pool's worker count (default: machine
     /// parallelism). Per-campaign `threads(...)` settings are ignored
-    /// under the fleet — the whole point is one pool.
+    /// under the fleet — the whole point is one pool. Replaces any pool
+    /// already spawned by a previous run.
     pub fn threads(mut self, threads: NonZeroUsize) -> Self {
         self.threads = Some(threads);
+        self.pool = OnceLock::new();
         self
+    }
+
+    /// The fleet's persistent shared [`WorkerPool`]: built (threads
+    /// spawned, parked) on the first [`FleetRunner::run`] and reused by
+    /// every subsequent run.
+    pub fn pool(&self) -> &WorkerPool {
+        self.pool.get_or_init(|| WorkerPool::sized(self.threads))
     }
 
     /// Number of cells.
@@ -130,7 +145,7 @@ impl<'a> FleetRunner<'a> {
     /// count. A panicking negotiation resurfaces its original payload
     /// here, as with [`WorkerPool::run`].
     pub fn run(&self) -> FleetReport {
-        let pool = WorkerPool::sized(self.threads);
+        let pool = self.pool();
         // The unit of parallelism is the peak negotiation, not the cell:
         // even a single campaign keeps several workers busy on a
         // multi-peak day, so the worker count is not capped by cells.
@@ -147,11 +162,13 @@ impl<'a> FleetRunner<'a> {
         let abort = AtomicBool::new(false);
         let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
         let cursor = AtomicUsize::new(0);
-        // `WorkerPool::run` drives one scheduler loop per worker; its
-        // own panic capture is bypassed because the loop never panics —
-        // cell work is caught below so no worker dies with peaks
-        // outstanding (which would deadlock the others).
-        pool.run(workers, |_| loop {
+        // `WorkerPool::run_with` drives one scheduler loop per worker,
+        // each threading its own NegotiationScratch through every peak
+        // it claims; the pool's own panic capture is bypassed because
+        // the loop never panics — cell work is caught below so no
+        // worker dies with peaks outstanding (which would deadlock the
+        // others).
+        pool.run_with(workers, NegotiationScratch::new, |scratch, _| loop {
             if abort.load(Ordering::Relaxed) || unfinished.load(Ordering::Acquire) == 0 {
                 break;
             }
@@ -159,7 +176,7 @@ impl<'a> FleetRunner<'a> {
             let mut claimed = false;
             for offset in 0..cells.len() {
                 let cell = &cells[(start + offset) % cells.len()];
-                match cell.try_step(&unfinished) {
+                match cell.try_step(&unfinished, scratch) {
                     Ok(stepped) => {
                         if stepped {
                             claimed = true;
@@ -272,8 +289,13 @@ impl<'r> CellExec<'r> {
     /// Tries to make progress on this cell. Returns `Ok(true)` if any
     /// work was done, `Ok(false)` if the cell is finished, mid-advance
     /// under another worker, or has all peaks claimed; `Err` carries a
-    /// panic payload from cell work.
-    fn try_step(&self, unfinished: &AtomicUsize) -> Result<bool, Box<dyn std::any::Any + Send>> {
+    /// panic payload from cell work. The negotiation runs through the
+    /// calling worker's own `scratch` (engine reuse, byte-identical).
+    fn try_step(
+        &self,
+        unfinished: &AtomicUsize,
+        scratch: &mut NegotiationScratch,
+    ) -> Result<bool, Box<dyn std::any::Any + Send>> {
         let claim = {
             // A busy lock means another worker is advancing this cell —
             // steal elsewhere instead of queueing up behind it.
@@ -286,7 +308,10 @@ impl<'r> CellExec<'r> {
             Claim::Busy => Ok(false),
             Claim::Advanced => Ok(true),
             Claim::Negotiate(plan, index) => {
-                let result = catch_unwind(AssertUnwindSafe(|| plan.scenarios()[index].1.run()));
+                let result = catch_unwind(AssertUnwindSafe(|| {
+                    let (_, scenario) = &plan.scenarios()[index];
+                    scenario.run_in(scenario.method, scratch)
+                }));
                 // Release this worker's plan handle *before* storing:
                 // every store therefore happens with the storing
                 // worker's handle already dropped, so the day-completing

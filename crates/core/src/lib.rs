@@ -137,12 +137,25 @@
 //!    cells' peak negotiations on **one** shared
 //!    [`sweep::WorkerPool`], aggregating a [`fleet::FleetReport`]
 //!    (per-cell reports + cross-cell economics) that is byte-identical
-//!    for any thread count. The demand hot path underneath —
-//!    [`powergrid::household::Household::demand_profile_with`] /
-//!    [`powergrid::device::Device::load_profile_into`] — writes into
-//!    reusable [`powergrid::household::DemandScratch`] buffers, so
-//!    scenario derivation allocates nothing per device per household
-//!    per day.
+//!    for any thread count.
+//!
+//! Both hot loops under this pipeline are allocation-lean and
+//! spawn-free. The [`sweep::WorkerPool`] is **persistent**: worker
+//! threads spawn once at first use, park between batches, respawn after
+//! a panic, and are shared by the sweep, every campaign day and the
+//! fleet — no per-day thread spawn (E16). Each pool worker threads a
+//! reusable [`sync_driver::NegotiationScratch`] through the peaks it
+//! claims ([`session::Scenario::run_in`]), so utility/customer engines
+//! are reset in place instead of rebuilt per negotiation, rounds move
+//! their bid vectors into the report instead of cloning them, and each
+//! round's reward table is snapshotted exactly once (shared `Arc` in
+//! [`message::Msg::Announce`] and [`session::RoundRecord`]). The demand
+//! hot path underneath —
+//! [`powergrid::household::Household::demand_profile_with`] /
+//! [`powergrid::device::Device::load_profile_into`] — writes into
+//! reusable [`powergrid::household::DemandScratch`] buffers, so
+//! scenario derivation allocates nothing per device per household per
+//! day (E15).
 //!
 //! The full pipeline: grid → prediction → peaks → scenarios → campaign
 //! → **fleet**.
@@ -169,7 +182,12 @@
 //! assert!(report.total_feedback().value() > 0.0); // closed loop fed back
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny`, not `forbid`: the persistent `WorkerPool` (sweep.rs) needs one
+// tightly-scoped `allow(unsafe_code)` for its lifetime-erased batch
+// hand-off — the same erasure every scoped-thread/pool crate performs —
+// with the safety protocol documented at the single site. Everything
+// else stays safe Rust.
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod beta;
@@ -217,6 +235,6 @@ pub mod prelude {
     };
     pub use crate::strategy::select_method;
     pub use crate::sweep::{ScenarioSweep, SweepOutcome, WorkerPool};
-    pub use crate::sync_driver::SyncDriver;
+    pub use crate::sync_driver::{NegotiationScratch, SyncDriver};
     pub use crate::utility_agent::UtilityAgentConfig;
 }

@@ -11,17 +11,24 @@ use powergrid::time::Interval;
 use powergrid::units::{Fraction, KilowattHours, Kilowatts, Money, PricePerKwh};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// A protocol message.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub enum Msg {
     // ----- announce-reward-tables method (§3.2.3) -----
     /// UA → CA: a reward table for `round`.
+    ///
+    /// The table is behind an [`Arc`]: one round's announcement goes to
+    /// *every* customer, so the negotiation hot loop shares one
+    /// snapshot per round instead of cloning the entry vector per
+    /// recipient (serialization is transparent — real `serde`
+    /// serializes through the `Arc`).
     Announce {
         /// Negotiation round, 1-based.
         round: u32,
-        /// The announced table.
-        table: RewardTable,
+        /// The announced table (shared per-round snapshot).
+        table: Arc<RewardTable>,
     },
     /// CA → UA: the chosen cut-down for `round`.
     Bid {
@@ -178,12 +185,12 @@ mod tests {
         let msgs = [
             Msg::Announce {
                 round: 1,
-                table: RewardTable::quadratic(
+                table: Arc::new(RewardTable::quadratic(
                     Interval::new(0, 4),
                     &DEFAULT_LEVELS,
                     Money(17.0),
                     fr(0.4),
-                ),
+                )),
             },
             Msg::Bid {
                 round: 1,

@@ -33,7 +33,7 @@ mod tests {
         let tables: Vec<_> = report
             .rounds()
             .iter()
-            .filter_map(|r| r.table.clone())
+            .filter_map(|r| r.table.as_deref().cloned())
             .collect();
         assert!(verify_announcements(&tables).is_ok());
         let bid_rounds: Vec<Vec<Fraction>> =

@@ -20,6 +20,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::Arc;
 
 /// One customer in a scenario: the physical quantities and private
 /// preferences its Customer Agent negotiates with.
@@ -73,6 +74,20 @@ impl Scenario {
     pub fn run_with(&self, method: AnnouncementMethod) -> NegotiationReport {
         crate::sync_driver::SyncDriver::with_method(self, method).run()
     }
+
+    /// Runs `method` on this scenario through a reusable
+    /// [`NegotiationScratch`](crate::sync_driver::NegotiationScratch) —
+    /// byte-identical to [`Scenario::run_with`], but the engines (and
+    /// their buffers) are recycled from the scratch instead of
+    /// allocated per negotiation. This is the campaign/fleet hot path:
+    /// one scratch per worker, thousands of peaks.
+    pub fn run_in(
+        &self,
+        method: AnnouncementMethod,
+        scratch: &mut crate::sync_driver::NegotiationScratch,
+    ) -> NegotiationReport {
+        scratch.run(self, method)
+    }
 }
 
 /// Everything that happened in one negotiation round.
@@ -80,8 +95,11 @@ impl Scenario {
 pub struct RoundRecord {
     /// Round number, 1-based.
     pub round: u32,
-    /// The announced reward table (reward-table method only).
-    pub table: Option<RewardTable>,
+    /// The announced reward table (reward-table method only). Shared
+    /// with the round's announcement messages through an [`Arc`]: the
+    /// engine snapshots each round's table exactly once (serialization
+    /// and `Debug`/`PartialEq` are transparent).
+    pub table: Option<Arc<RewardTable>>,
     /// Accepted cut-down per customer after this round.
     pub bids: Vec<Fraction>,
     /// Σ `predicted_use_with_cutdown` over customers (§6).

@@ -7,10 +7,69 @@
 //! harness use. Every round trip is a direct exchange between the
 //! [`UtilityEngine`] and each [`CustomerEngine`]; timers are ignored
 //! because every response always arrives.
+//!
+//! Two entry points share one pump:
+//!
+//! * [`SyncDriver`] — builds fresh engines for one negotiation (the
+//!   simple path);
+//! * [`NegotiationScratch`] — holds the engines across negotiations and
+//!   [resets](UtilityEngine::reset) them per scenario, so a campaign
+//!   worker negotiating thousands of peaks reuses its buffers instead
+//!   of allocating per peak. Byte-identical to the fresh path; the
+//!   sweep/campaign/fleet hot loops thread one scratch per worker,
+//!   exactly like `powergrid`'s `DemandScratch`.
 
 use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
 use crate::methods::AnnouncementMethod;
 use crate::session::{NegotiationReport, Scenario};
+
+/// Pumps a utility engine and its customers to completion and
+/// assembles the report — the single synchronous execution loop behind
+/// both [`SyncDriver::run`] and [`NegotiationScratch::run`].
+///
+/// # Panics
+///
+/// Panics if the engine stops emitting effects before settling —
+/// impossible for the shipped announcement methods, whose termination
+/// the concession protocol guarantees.
+fn pump(utility: &mut UtilityEngine, customers: &mut [CustomerEngine]) -> NegotiationReport {
+    let mut assembler = ReportAssembler::for_engine(utility);
+    utility.handle(Input::Start);
+    while let Some(effect) = utility.poll_effect() {
+        // Observation effects (round records, settlements) move into
+        // the assembler; transport effects come back to be performed.
+        let Some(Effect::Send {
+            to: Peer::Customer(i),
+            msg,
+        }) = assembler.observe(effect)
+        else {
+            // Timers never fire (all responses arrive).
+            continue;
+        };
+        let customer = &mut customers[i];
+        customer.handle(Input::Received {
+            from: Peer::Utility,
+            msg,
+        });
+        while let Some(reply) = customer.poll_effect() {
+            if let Effect::Send {
+                to: Peer::Utility,
+                msg,
+            } = reply
+            {
+                utility.handle(Input::Received {
+                    from: Peer::Customer(i),
+                    msg,
+                });
+            }
+        }
+    }
+    assert!(
+        utility.is_settled(),
+        "engine ran out of effects before settling"
+    );
+    assembler.finish()
+}
 
 /// Runs a complete negotiation synchronously through the shared engine.
 #[derive(Debug, Clone)]
@@ -43,42 +102,69 @@ impl SyncDriver {
     /// impossible for the shipped announcement methods, whose
     /// termination the concession protocol guarantees.
     pub fn run(mut self) -> NegotiationReport {
-        let mut assembler = ReportAssembler::for_engine(&self.utility);
-        self.utility.handle(Input::Start);
-        while let Some(effect) = self.utility.poll_effect() {
-            assembler.observe(&effect);
-            let Effect::Send {
-                to: Peer::Customer(i),
-                msg,
-            } = effect
-            else {
-                // Timers never fire (all responses arrive); round and
-                // settlement observations are already recorded.
-                continue;
-            };
-            let customer = &mut self.customers[i];
-            customer.handle(Input::Received {
-                from: Peer::Utility,
-                msg,
-            });
-            while let Some(reply) = customer.poll_effect() {
-                if let Effect::Send {
-                    to: Peer::Utility,
-                    msg,
-                } = reply
-                {
-                    self.utility.handle(Input::Received {
-                        from: Peer::Customer(i),
-                        msg,
-                    });
-                }
-            }
+        pump(&mut self.utility, &mut self.customers)
+    }
+}
+
+/// Reusable engine buffers for the negotiation hot loop.
+///
+/// A campaign negotiates thousands of peaks; building a fresh
+/// [`UtilityEngine`] plus one [`CustomerEngine`] per customer for every
+/// peak churns through profile vectors, bid histories and effect queues
+/// that are all the same shape each time. A `NegotiationScratch` holds
+/// those engines across negotiations and
+/// [resets](UtilityEngine::reset) them onto each new scenario, so the
+/// buffers (and their capacity) are reused.
+///
+/// Results are **byte-identical** to the fresh-engine path — a reset
+/// engine is behaviourally indistinguishable from a new one — which the
+/// sweep/campaign/fleet byte-identity suites pin. One scratch per
+/// worker (never shared): [`WorkerPool::run_with`] hands each pool
+/// worker its own, exactly like `powergrid`'s `DemandScratch` in the
+/// demand loop.
+///
+/// [`WorkerPool::run_with`]: crate::sweep::WorkerPool::run_with
+#[derive(Debug, Default)]
+pub struct NegotiationScratch {
+    utility: Option<UtilityEngine>,
+    customers: Vec<CustomerEngine>,
+    /// Negotiations run through this scratch (diagnostics).
+    negotiations: u64,
+}
+
+impl NegotiationScratch {
+    /// An empty scratch; buffers are created on first use.
+    pub fn new() -> NegotiationScratch {
+        NegotiationScratch::default()
+    }
+
+    /// Negotiations that have reused this scratch so far.
+    pub fn negotiations(&self) -> u64 {
+        self.negotiations
+    }
+
+    /// Runs `method` on `scenario`, reusing the scratch's engines.
+    /// Byte-identical to
+    /// [`Scenario::run_with`](crate::session::Scenario::run_with).
+    pub fn run(&mut self, scenario: &Scenario, method: AnnouncementMethod) -> NegotiationReport {
+        self.negotiations += 1;
+        let n = scenario.customers.len();
+        self.customers.truncate(n);
+        for (i, engine) in self.customers.iter_mut().enumerate() {
+            engine.reset_for(scenario, i);
         }
-        assert!(
-            self.utility.is_settled(),
-            "engine ran out of effects before settling"
-        );
-        assembler.finish()
+        for i in self.customers.len()..n {
+            self.customers
+                .push(CustomerEngine::for_customer(scenario, i));
+        }
+        let utility = match &mut self.utility {
+            Some(engine) => {
+                engine.reset(scenario, method);
+                engine
+            }
+            slot => slot.insert(UtilityEngine::with_method(scenario, method)),
+        };
+        pump(utility, &mut self.customers)
     }
 }
 
@@ -116,38 +202,45 @@ mod tests {
     }
 
     #[test]
+    fn scratch_reuse_is_byte_identical_to_fresh_engines() {
+        // One scratch across mixed scenario sizes and every method —
+        // growing, shrinking and re-aiming the engine buffers must
+        // never leak state between negotiations.
+        let mut scratch = NegotiationScratch::new();
+        let sizes_and_seeds = [(30usize, 1u64), (12, 2), (30, 1), (45, 3), (12, 2)];
+        for &(n, seed) in &sizes_and_seeds {
+            let scenario = ScenarioBuilder::random(n, 0.35, seed).build();
+            for method in AnnouncementMethod::all() {
+                let fresh = SyncDriver::with_method(&scenario, method).run();
+                let reused = scratch.run(&scenario, method);
+                assert_eq!(fresh, reused, "n={n} seed={seed} {method}");
+            }
+        }
+        assert_eq!(
+            scratch.negotiations(),
+            (sizes_and_seeds.len() * AnnouncementMethod::all().len()) as u64
+        );
+    }
+
+    #[test]
+    fn scratch_matches_the_paper_trace() {
+        let scenario = ScenarioBuilder::paper_figure_6().build();
+        let mut scratch = NegotiationScratch::new();
+        // Run a different negotiation first so the paper trace goes
+        // through *reset* engines, not fresh ones.
+        let _ = scratch.run(
+            &ScenarioBuilder::random(7, 0.4, 9).build(),
+            AnnouncementMethod::RequestForBids,
+        );
+        let report = scratch.run(&scenario, AnnouncementMethod::RewardTables);
+        assert_eq!(report, scenario.run());
+    }
+
+    #[test]
     fn customers_learn_their_awards() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
         let mut driver = SyncDriver::new(&scenario);
-        let mut assembler = ReportAssembler::for_engine(&driver.utility);
-        driver.utility.handle(Input::Start);
-        while let Some(effect) = driver.utility.poll_effect() {
-            assembler.observe(&effect);
-            if let Effect::Send {
-                to: Peer::Customer(i),
-                msg,
-            } = effect
-            {
-                let customer = &mut driver.customers[i];
-                customer.handle(Input::Received {
-                    from: Peer::Utility,
-                    msg,
-                });
-                while let Some(reply) = customer.poll_effect() {
-                    if let Effect::Send {
-                        to: Peer::Utility,
-                        msg,
-                    } = reply
-                    {
-                        driver.utility.handle(Input::Received {
-                            from: Peer::Customer(i),
-                            msg,
-                        });
-                    }
-                }
-            }
-        }
-        let report = assembler.finish();
+        let report = pump(&mut driver.utility, &mut driver.customers);
         for (engine, settlement) in driver.customers.iter().zip(report.settlements()) {
             assert_eq!(engine.awarded(), Some(settlement));
         }

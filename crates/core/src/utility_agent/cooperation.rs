@@ -101,15 +101,21 @@ pub fn select_announcement(
 /// Returns the accepted cut-down per customer (rejected bids count as
 /// zero cut-down).
 pub fn assess_bids(table: &RewardTable, bids: &[Fraction]) -> Vec<Fraction> {
-    bids.iter()
-        .map(|&bid| {
-            if bid == Fraction::ZERO || table.levels().any(|lvl| lvl == bid) {
-                bid
-            } else {
-                Fraction::ZERO
-            }
-        })
-        .collect()
+    let mut accepted = bids.to_vec();
+    assess_bids_in_place(table, &mut accepted);
+    accepted
+}
+
+/// In-place [`assess_bids`]: rejected bids are zeroed where they stand,
+/// so the negotiation hot loop assesses each round's bid vector without
+/// an extra allocation. Semantically identical to
+/// `*bids = assess_bids(table, bids)`.
+pub fn assess_bids_in_place(table: &RewardTable, bids: &mut [Fraction]) {
+    for bid in bids {
+        if *bid != Fraction::ZERO && !table.levels().any(|lvl| lvl == *bid) {
+            *bid = Fraction::ZERO;
+        }
+    }
 }
 
 #[cfg(test)]

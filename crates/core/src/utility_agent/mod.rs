@@ -182,12 +182,15 @@ impl Default for UtilityAgentConfig {
 }
 
 /// The UA's verdict after evaluating a round of bids.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum UaDecision {
     /// Stop: the protocol's own termination rules fired.
     Converged(TerminationReason),
-    /// Continue: announce this table next round.
-    NextTable(RewardTable),
+    /// Continue: announce the (dominating) table now current on the
+    /// negotiator — read it through
+    /// [`RewardTableNegotiator::current_table`]; the decision itself
+    /// stays allocation-free.
+    NextTable,
 }
 
 /// The reward-table negotiation state machine on the UA side.
@@ -294,9 +297,9 @@ impl RewardTableNegotiator {
             }
         }
         debug_assert!(next.dominates(&self.current), "§3.1 monotonic concession");
-        self.current = next.clone();
+        self.current = next;
         self.round += 1;
-        UaDecision::NextTable(next)
+        UaDecision::NextTable
     }
 }
 
@@ -333,8 +336,8 @@ mod tests {
         let mut n = RewardTableNegotiator::new(UtilityAgentConfig::paper(), interval());
         let first = n.current_table().clone();
         match n.evaluate(0.35) {
-            UaDecision::NextTable(t) => {
-                assert!(t.dominates(&first));
+            UaDecision::NextTable => {
+                assert!(n.current_table().dominates(&first));
                 assert_eq!(n.round(), 2);
             }
             other => panic!("expected next table, got {other:?}"),
@@ -348,7 +351,7 @@ mod tests {
         loop {
             rounds += 1;
             match n.evaluate(0.5) {
-                UaDecision::NextTable(_) => continue,
+                UaDecision::NextTable => continue,
                 UaDecision::Converged(TerminationReason::RewardSaturated) => break,
                 other => panic!("unexpected {other:?}"),
             }
@@ -364,7 +367,7 @@ mod tests {
         let mut config = UtilityAgentConfig::paper();
         config.max_rounds = 2;
         let mut n = RewardTableNegotiator::new(config, interval());
-        assert!(matches!(n.evaluate(0.5), UaDecision::NextTable(_)));
+        assert!(matches!(n.evaluate(0.5), UaDecision::NextTable));
         assert!(matches!(n.evaluate(0.5), UaDecision::Converged(_)));
     }
 
@@ -401,7 +404,7 @@ mod tests {
         // 100 kWh of avoidable expensive production is worth 100 — more
         // than the 25 the next table commits to, so the UA keeps raising.
         let d = n.evaluate_with_outlay(0.35, KilowattHours(100.0), |_| Money(25.0));
-        assert!(matches!(d, UaDecision::NextTable(_)));
+        assert!(matches!(d, UaDecision::NextTable));
         assert_eq!(n.round(), 2);
     }
 
@@ -414,7 +417,7 @@ mod tests {
         let a = with_ctx.evaluate_with_outlay(0.35, KilowattHours(1e-6), |_| Money(1e9));
         let b = plain.evaluate(0.35);
         assert_eq!(a, b);
-        assert!(matches!(a, UaDecision::NextTable(_)));
+        assert!(matches!(a, UaDecision::NextTable));
     }
 
     #[test]

@@ -63,7 +63,7 @@ fn main() {
     let tables: Vec<_> = report
         .rounds()
         .iter()
-        .filter_map(|r| r.table.clone())
+        .filter_map(|r| r.table.as_deref().cloned())
         .collect();
     let bids: Vec<_> = report.rounds().iter().map(|r| r.bids.clone()).collect();
     println!(

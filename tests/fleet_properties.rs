@@ -72,6 +72,48 @@ proptest! {
         }
     }
 
+    /// One `FleetRunner` reused across two consecutive `run` calls —
+    /// same (persistent, already-spawned) pool, a *different* cell mix
+    /// the second time — stays byte-identical to fresh sequential runs:
+    /// neither the parked workers nor their per-worker negotiation
+    /// scratches leak any state from the first season into the second.
+    #[test]
+    fn fleet_reused_across_runs_stays_byte_identical(
+        first in prop::collection::vec((15usize..40, 0u64..30, any::<bool>()), 1..3),
+        extra in prop::collection::vec((15usize..40, 30u64..60, any::<bool>()), 1..3),
+        threads in 2usize..7,
+    ) {
+        let weather = WeatherModel::winter();
+        let populations: Vec<Vec<Household>> = first
+            .iter()
+            .chain(&extra)
+            .map(|(n, seed, _)| PopulationBuilder::new().households(*n).build(*seed))
+            .collect();
+        let mut fleet = FleetRunner::new()
+            .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"));
+        for (i, ((_, _, closed), homes)) in first.iter().zip(&populations).enumerate() {
+            fleet = fleet.cell(format!("cell{i}"), build_cell(homes, &weather, *closed, false));
+        }
+        // First run spawns the pool's parked workers.
+        let run1 = fleet.run();
+        prop_assert_eq!(&run1, &fleet.run_sequential());
+        // Grow the mix: the same runner (and the same pool) negotiates
+        // a different fleet on its second run.
+        for (j, ((_, _, closed), homes)) in
+            extra.iter().zip(&populations[first.len()..]).enumerate()
+        {
+            fleet = fleet.cell(format!("extra{j}"), build_cell(homes, &weather, *closed, true));
+        }
+        let run2 = fleet.run();
+        prop_assert_eq!(&run2, &fleet.run_sequential());
+        // The original cells' reports are bit-for-bit unaffected by the
+        // pool reuse and the new neighbours.
+        for (a, b) in run1.cells.iter().zip(&run2.cells) {
+            prop_assert_eq!(a, b);
+        }
+        prop_assert_eq!(run2.len(), first.len() + extra.len());
+    }
+
     /// Thread count is an execution detail: the same fleet fanned over
     /// 1, 2, 4 and 7 workers always agrees with the single-thread run.
     #[test]
