@@ -1,0 +1,319 @@
+//! `season-inspect` — look inside season archives without writing code.
+//!
+//! ```text
+//! season-inspect list <archive>
+//!     Header, tier, per-cell day/outcome counts and economics, all
+//!     from the index (no data blocks are decoded).
+//!
+//! season-inspect dump <archive> [--cell N] [--day D] [--tier T]
+//!     Decode and print day records and negotiation outcomes. --cell
+//!     and --day narrow the dump; --tier (aggregate | settlement |
+//!     full-trace) downgrades the printed detail below what the
+//!     archive stores.
+//!
+//! season-inspect diff <archive-a> <archive-b>
+//!     Compare the two archives' settlements (and settlement-bearing
+//!     digests). Exit 0 when identical, 1 when they differ.
+//! ```
+
+use loadbal_archive::{ArchiveError, SeasonArchive};
+use loadbal_core::campaign::IntervalOutcome;
+use loadbal_core::session::ReportTier;
+use std::fs::File;
+use std::io::BufReader;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let result = match args.first().map(String::as_str) {
+        Some("list") => with_one_path(&args, list),
+        Some("dump") => dump_command(&args),
+        Some("diff") => diff_command(&args),
+        Some(other) => Err(format!("unknown command '{other}'\n\n{USAGE}")),
+        None => Err(USAGE.to_string()),
+    };
+    match result {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("season-inspect: {message}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "usage:\n  \
+    season-inspect list <archive>\n  \
+    season-inspect dump <archive> [--cell N] [--day D] [--tier aggregate|settlement|full-trace]\n  \
+    season-inspect diff <archive-a> <archive-b>";
+
+type Archive = SeasonArchive<BufReader<File>>;
+
+fn open(path: &str) -> Result<Archive, String> {
+    SeasonArchive::open(path).map_err(|e| format!("{path}: {e}"))
+}
+
+fn with_one_path(
+    args: &[String],
+    run: fn(&str, Archive) -> Result<ExitCode, ArchiveError>,
+) -> Result<ExitCode, String> {
+    let path = args.get(1).ok_or(USAGE)?;
+    if args.len() > 2 {
+        return Err(USAGE.to_string());
+    }
+    run(path, open(path)?).map_err(|e| format!("{path}: {e}"))
+}
+
+// ---------------------------------------------------------------------
+// list
+// ---------------------------------------------------------------------
+
+fn list(path: &str, archive: Archive) -> Result<ExitCode, ArchiveError> {
+    println!(
+        "{path}: {} archive, tier {}",
+        archive.kind(),
+        archive.tier()
+    );
+    let index = archive.index();
+    if let Some(e) = &index.fleet_economics {
+        println!(
+            "fleet economics: net_gain={:.3} rewards_paid={:.3} energy_shaved={:.3}",
+            e.net_gain.value(),
+            e.rewards_paid.value(),
+            e.energy_shaved.value()
+        );
+    }
+    for (i, cell) in index.cells.iter().enumerate() {
+        let label = if cell.label.is_empty() {
+            String::new()
+        } else {
+            format!(" ({})", cell.label)
+        };
+        let stored: u64 = cell.days.iter().map(|d| u64::from(d.len)).sum::<u64>()
+            + cell.outcomes.iter().map(|o| u64::from(o.len)).sum::<u64>();
+        println!(
+            "cell {i}{label}: {} days, {} outcomes, {} payload bytes, net_gain={:.3}",
+            cell.days.len(),
+            cell.outcomes.len(),
+            stored,
+            cell.economics.net_gain.value()
+        );
+        for day in &cell.days {
+            let peaks = cell
+                .outcomes
+                .iter()
+                .filter(|o| o.day_index == day.day_index)
+                .count();
+            println!(
+                "  day {:>3}: {} peaks, {} bytes",
+                day.day_index, peaks, day.len
+            );
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+// ---------------------------------------------------------------------
+// dump
+// ---------------------------------------------------------------------
+
+struct DumpOptions {
+    cell: Option<usize>,
+    day: Option<u64>,
+    tier: Option<ReportTier>,
+}
+
+fn dump_command(args: &[String]) -> Result<ExitCode, String> {
+    let path = args.get(1).ok_or(USAGE)?;
+    let mut options = DumpOptions {
+        cell: None,
+        day: None,
+        tier: None,
+    };
+    let mut rest = args[2..].iter();
+    while let Some(flag) = rest.next() {
+        let value = rest.next().ok_or_else(|| format!("{flag} needs a value"))?;
+        match flag.as_str() {
+            "--cell" => {
+                options.cell = Some(value.parse().map_err(|_| format!("bad cell '{value}'"))?);
+            }
+            "--day" => {
+                options.day = Some(value.parse().map_err(|_| format!("bad day '{value}'"))?);
+            }
+            "--tier" => {
+                options.tier = Some(ReportTier::from_name(value).ok_or_else(|| {
+                    format!("unknown tier '{value}' (aggregate | settlement | full-trace)")
+                })?);
+            }
+            other => return Err(format!("unknown flag '{other}'\n\n{USAGE}")),
+        }
+    }
+    let mut archive = open(path)?;
+    dump(&mut archive, &options).map_err(|e| format!("{path}: {e}"))
+}
+
+fn dump(archive: &mut Archive, options: &DumpOptions) -> Result<ExitCode, ArchiveError> {
+    let tier = options.tier.unwrap_or_else(|| archive.tier());
+    let cells: Vec<usize> = match options.cell {
+        Some(c) => vec![c],
+        None => (0..archive.index().cells.len()).collect(),
+    };
+    for cell in cells {
+        let label = {
+            let c = archive
+                .index()
+                .cells
+                .get(cell)
+                .ok_or(ArchiveError::CellOutOfRange {
+                    cell,
+                    cells: archive.index().cells.len(),
+                })?;
+            if c.label.is_empty() {
+                format!("cell {cell}")
+            } else {
+                format!("cell {cell} ({})", c.label)
+            }
+        };
+        let days: Vec<u64> = match options.day {
+            Some(d) => vec![d],
+            None => archive.index().cells[cell]
+                .days
+                .iter()
+                .map(|d| d.day_index)
+                .collect(),
+        };
+        for day_index in days {
+            let day = archive.read_day(cell, day_index)?;
+            println!(
+                "{label} day {day_index} ({} {}): predictor={} peaks={} feedback_delta={:.3}",
+                day.day.season,
+                day.day.day_type,
+                day.predictor,
+                day.peaks.len(),
+                day.feedback_delta.value()
+            );
+            for outcome in archive.read_day_outcomes(cell, day_index)? {
+                print_outcome(&outcome.at_tier(tier), tier);
+            }
+        }
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+fn print_outcome(outcome: &IntervalOutcome, tier: ReportTier) {
+    let report = &outcome.report;
+    let digest = report.digest();
+    println!(
+        "  {}: rounds={} messages={} initial={:.3} final={:.3} rewards={:.3} status={}",
+        outcome.label,
+        digest.rounds,
+        report.total_messages(),
+        report.initial_total().value(),
+        report.final_total().value(),
+        report.total_rewards().value(),
+        report.status()
+    );
+    if tier.keeps_settlements() {
+        for (i, s) in report.settlements().iter().enumerate() {
+            println!(
+                "    settlement {i}: cutdown={:.2} reward={:.3}",
+                s.cutdown.value(),
+                s.reward.value()
+            );
+        }
+    }
+    if tier.keeps_rounds() {
+        for r in report.rounds() {
+            println!(
+                "    round {}: messages={} predicted_total={:.3} bids={}",
+                r.round,
+                r.messages,
+                r.predicted_total.value(),
+                r.bids.len()
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// diff
+// ---------------------------------------------------------------------
+
+fn diff_command(args: &[String]) -> Result<ExitCode, String> {
+    let (path_a, path_b) = match args {
+        [_, a, b] => (a, b),
+        _ => return Err(USAGE.to_string()),
+    };
+    let mut a = open(path_a)?;
+    let mut b = open(path_b)?;
+    diff(&mut a, &mut b).map_err(|e| e.to_string())
+}
+
+/// One comparable line per negotiated peak: final settlements plus the
+/// digest scalars every tier keeps. Tier-independent for any archive at
+/// or above `Settlement`; an `Aggregate` archive simply compares empty
+/// settlement lists plus digests.
+fn settlement_lines(archive: &mut Archive) -> Result<Vec<String>, ArchiveError> {
+    let cells = archive.index().cells.len();
+    let mut lines = Vec::new();
+    for cell in 0..cells {
+        let label = archive.index().cells[cell].label.clone();
+        let days: Vec<u64> = archive.index().cells[cell]
+            .days
+            .iter()
+            .map(|d| d.day_index)
+            .collect();
+        for day in days {
+            for outcome in archive.read_day_outcomes(cell, day)? {
+                let digest = outcome.report.digest();
+                let settlements: Vec<String> = outcome
+                    .report
+                    .settlements()
+                    .iter()
+                    .map(|s| format!("{:.4}@{:.6}", s.cutdown.value(), s.reward.value()))
+                    .collect();
+                lines.push(format!(
+                    "{label}/{}: rounds={} final={:.6} rewards={:.6} [{}]",
+                    outcome.label,
+                    digest.rounds,
+                    digest.final_total.value(),
+                    digest.total_rewards.value(),
+                    settlements.join(" ")
+                ));
+            }
+        }
+    }
+    Ok(lines)
+}
+
+fn diff(a: &mut Archive, b: &mut Archive) -> Result<ExitCode, ArchiveError> {
+    if a.kind() != b.kind() {
+        println!("kind differs: {} vs {}", a.kind(), b.kind());
+        return Ok(ExitCode::FAILURE);
+    }
+    let lines_a = settlement_lines(a)?;
+    let lines_b = settlement_lines(b)?;
+    let mut differences = 0usize;
+    let common = lines_a.len().min(lines_b.len());
+    for i in 0..common {
+        if lines_a[i] != lines_b[i] {
+            differences += 1;
+            println!("- {}", lines_a[i]);
+            println!("+ {}", lines_b[i]);
+        }
+    }
+    for line in &lines_a[common..] {
+        differences += 1;
+        println!("- {line}");
+    }
+    for line in &lines_b[common..] {
+        differences += 1;
+        println!("+ {line}");
+    }
+    if differences == 0 {
+        println!("settlements identical ({} outcomes)", lines_a.len());
+        Ok(ExitCode::SUCCESS)
+    } else {
+        println!("{differences} settlement difference(s)");
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -1,0 +1,752 @@
+//! The byte-level codec: little-endian primitives plus one
+//! encode/decode pair per report type.
+//!
+//! Encoding appends to a caller-owned `Vec<u8>` (blocks are buffered,
+//! length-prefixed and flushed by the writer). Decoding reads from a
+//! bounds-checked cursor over an in-memory block and **never panics**:
+//! every count is checked against the bytes that remain before anything
+//! is allocated, every enum tag is matched exhaustively, and every
+//! value range a core constructor asserts (fractions in `[0, 1]`,
+//! monotone reward tables, ordered tariffs, non-inverted intervals) is
+//! validated first so the constructor's own assertion can never fire on
+//! attacker- or bitrot-shaped bytes.
+
+use crate::error::{corrupt, truncated, ArchiveError};
+use loadbal_core::beta::BetaPolicy;
+use loadbal_core::campaign::{CampaignEconomics, DayOutcome, IntervalOutcome};
+use loadbal_core::concession::{NegotiationStatus, TerminationReason};
+use loadbal_core::methods::AnnouncementMethod;
+use loadbal_core::preferences::CustomerPreferences;
+use loadbal_core::reward::{RewardFormula, RewardTable};
+use loadbal_core::session::{
+    CustomerProfile, NegotiationReport, ReportTier, RoundDigest, RoundRecord, Scenario, Settlement,
+};
+use loadbal_core::utility_agent::{EconomicStopRule, TableShape, UtilityAgentConfig};
+use powergrid::calendar::{CalendarDay, DayType};
+use powergrid::peak::Peak;
+use powergrid::tariff::Tariff;
+use powergrid::time::Interval;
+use powergrid::units::{Fraction, KilowattHours, Money, PricePerKwh};
+use powergrid::weather::Season;
+use std::sync::Arc;
+use std::sync::Mutex;
+
+// ---------------------------------------------------------------------
+// Primitives
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+
+pub(crate) fn put_u16(buf: &mut Vec<u8>, v: u16) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+
+pub(crate) fn put_f64(buf: &mut Vec<u8>, v: f64) {
+    put_u64(buf, v.to_bits());
+}
+
+pub(crate) fn put_str(buf: &mut Vec<u8>, s: &str) {
+    put_u32(buf, s.len() as u32);
+    buf.extend_from_slice(s.as_bytes());
+}
+
+/// A bounds-checked cursor over one decoded block.
+pub(crate) struct Dec<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    context: &'static str,
+}
+
+impl<'a> Dec<'a> {
+    pub(crate) fn new(bytes: &'a [u8], context: &'static str) -> Dec<'a> {
+        Dec {
+            bytes,
+            pos: 0,
+            context,
+        }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    /// Decoding must consume the whole block — trailing garbage means
+    /// the index length and the content disagree.
+    pub(crate) fn finish(self) -> Result<(), ArchiveError> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(corrupt("trailing bytes after block payload"))
+        }
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
+        if self.remaining() < n {
+            return Err(truncated(self.context));
+        }
+        let slice = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(slice)
+    }
+
+    pub(crate) fn u8(&mut self) -> Result<u8, ArchiveError> {
+        Ok(self.take(1)?[0])
+    }
+
+    pub(crate) fn u16(&mut self) -> Result<u16, ArchiveError> {
+        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+    }
+
+    pub(crate) fn u32(&mut self) -> Result<u32, ArchiveError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+    }
+
+    pub(crate) fn u64(&mut self) -> Result<u64, ArchiveError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+    }
+
+    pub(crate) fn f64(&mut self) -> Result<f64, ArchiveError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A count that prefixes `min_item_bytes`-sized items: rejected
+    /// before any allocation if the remaining bytes cannot possibly
+    /// hold it, so corrupt counts never balloon memory.
+    pub(crate) fn count(&mut self, min_item_bytes: usize) -> Result<usize, ArchiveError> {
+        let n = self.u32()? as usize;
+        if n.saturating_mul(min_item_bytes.max(1)) > self.remaining() {
+            return Err(truncated(self.context));
+        }
+        Ok(n)
+    }
+
+    pub(crate) fn str(&mut self) -> Result<String, ArchiveError> {
+        let n = self.count(1)?;
+        let bytes = self.take(n)?;
+        String::from_utf8(bytes.to_vec()).map_err(|_| corrupt("string is not UTF-8"))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Units and small grid types
+// ---------------------------------------------------------------------
+
+fn put_fraction(buf: &mut Vec<u8>, v: Fraction) {
+    put_f64(buf, v.value());
+}
+
+fn fraction(d: &mut Dec) -> Result<Fraction, ArchiveError> {
+    Fraction::new(d.f64()?).map_err(|_| corrupt("fraction outside [0, 1]"))
+}
+
+pub(crate) fn put_interval(buf: &mut Vec<u8>, i: Interval) {
+    put_u64(buf, i.start() as u64);
+    put_u64(buf, i.end() as u64);
+}
+
+pub(crate) fn interval(d: &mut Dec) -> Result<Interval, ArchiveError> {
+    let start = d.u64()? as usize;
+    let end = d.u64()? as usize;
+    if end < start {
+        return Err(corrupt("interval end before start"));
+    }
+    Ok(Interval::new(start, end))
+}
+
+fn put_tariff(buf: &mut Vec<u8>, t: &Tariff) {
+    put_f64(buf, t.lower().value());
+    put_f64(buf, t.normal().value());
+    put_f64(buf, t.higher().value());
+}
+
+fn tariff(d: &mut Dec) -> Result<Tariff, ArchiveError> {
+    let lower = d.f64()?;
+    let normal = d.f64()?;
+    let higher = d.f64()?;
+    // Replicates Tariff::new's assertions as checks (NaN fails both).
+    let ordered = lower >= 0.0 && lower <= normal && normal <= higher;
+    if !ordered {
+        return Err(corrupt("tariff prices unordered or negative"));
+    }
+    Ok(Tariff::new(
+        PricePerKwh(lower),
+        PricePerKwh(normal),
+        PricePerKwh(higher),
+    ))
+}
+
+pub(crate) fn put_calendar_day(buf: &mut Vec<u8>, day: CalendarDay) {
+    put_u64(buf, day.index);
+    put_u8(
+        buf,
+        match day.day_type {
+            DayType::Weekday => 0,
+            DayType::Weekend => 1,
+        },
+    );
+    put_u8(
+        buf,
+        match day.season {
+            Season::Winter => 0,
+            Season::Spring => 1,
+            Season::Summer => 2,
+            Season::Autumn => 3,
+        },
+    );
+}
+
+pub(crate) fn calendar_day(d: &mut Dec) -> Result<CalendarDay, ArchiveError> {
+    let index = d.u64()?;
+    let day_type = match d.u8()? {
+        0 => DayType::Weekday,
+        1 => DayType::Weekend,
+        _ => return Err(corrupt("unknown day type tag")),
+    };
+    let season = match d.u8()? {
+        0 => Season::Winter,
+        1 => Season::Spring,
+        2 => Season::Summer,
+        3 => Season::Autumn,
+        _ => return Err(corrupt("unknown season tag")),
+    };
+    Ok(CalendarDay {
+        index,
+        day_type,
+        season,
+    })
+}
+
+fn put_peak(buf: &mut Vec<u8>, p: &Peak) {
+    put_interval(buf, p.interval);
+    put_f64(buf, p.predicted_overuse.value());
+    put_f64(buf, p.normal_use.value());
+}
+
+fn peak(d: &mut Dec) -> Result<Peak, ArchiveError> {
+    Ok(Peak {
+        interval: interval(d)?,
+        predicted_overuse: KilowattHours(d.f64()?),
+        normal_use: KilowattHours(d.f64()?),
+    })
+}
+
+fn put_method(buf: &mut Vec<u8>, m: AnnouncementMethod) {
+    put_u8(
+        buf,
+        match m {
+            AnnouncementMethod::Offer => 0,
+            AnnouncementMethod::RequestForBids => 1,
+            AnnouncementMethod::RewardTables => 2,
+        },
+    );
+}
+
+fn method(d: &mut Dec) -> Result<AnnouncementMethod, ArchiveError> {
+    Ok(match d.u8()? {
+        0 => AnnouncementMethod::Offer,
+        1 => AnnouncementMethod::RequestForBids,
+        2 => AnnouncementMethod::RewardTables,
+        _ => return Err(corrupt("unknown announcement-method tag")),
+    })
+}
+
+pub(crate) fn put_tier(buf: &mut Vec<u8>, t: ReportTier) {
+    put_u8(
+        buf,
+        match t {
+            ReportTier::Aggregate => 0,
+            ReportTier::Settlement => 1,
+            ReportTier::FullTrace => 2,
+        },
+    );
+}
+
+pub(crate) fn tier(d: &mut Dec) -> Result<ReportTier, ArchiveError> {
+    Ok(match d.u8()? {
+        0 => ReportTier::Aggregate,
+        1 => ReportTier::Settlement,
+        2 => ReportTier::FullTrace,
+        _ => return Err(corrupt("unknown report-tier tag")),
+    })
+}
+
+fn put_status(buf: &mut Vec<u8>, s: NegotiationStatus) {
+    put_u8(
+        buf,
+        match s {
+            NegotiationStatus::Converged(TerminationReason::OveruseAcceptable) => 0,
+            NegotiationStatus::Converged(TerminationReason::RewardSaturated) => 1,
+            NegotiationStatus::Converged(TerminationReason::NoMovement) => 2,
+            NegotiationStatus::Converged(TerminationReason::SingleRound) => 3,
+            NegotiationStatus::Converged(TerminationReason::EconomicStop) => 4,
+            NegotiationStatus::MaxRoundsExceeded => 5,
+        },
+    );
+}
+
+fn status(d: &mut Dec) -> Result<NegotiationStatus, ArchiveError> {
+    Ok(match d.u8()? {
+        0 => NegotiationStatus::Converged(TerminationReason::OveruseAcceptable),
+        1 => NegotiationStatus::Converged(TerminationReason::RewardSaturated),
+        2 => NegotiationStatus::Converged(TerminationReason::NoMovement),
+        3 => NegotiationStatus::Converged(TerminationReason::SingleRound),
+        4 => NegotiationStatus::Converged(TerminationReason::EconomicStop),
+        5 => NegotiationStatus::MaxRoundsExceeded,
+        _ => return Err(corrupt("unknown negotiation-status tag")),
+    })
+}
+
+// ---------------------------------------------------------------------
+// Monotone (cutdown, reward) tables — shared by preferences and tables
+// ---------------------------------------------------------------------
+
+fn put_entries(buf: &mut Vec<u8>, entries: &[(Fraction, Money)]) {
+    put_u32(buf, entries.len() as u32);
+    for (c, m) in entries {
+        put_fraction(buf, *c);
+        put_f64(buf, m.value());
+    }
+}
+
+/// Decodes and validates the invariants `RewardTable::new` and
+/// `CustomerPreferences::new` assert: non-empty, strictly increasing
+/// cut-downs, non-decreasing rewards.
+fn entries(d: &mut Dec) -> Result<Vec<(Fraction, Money)>, ArchiveError> {
+    let n = d.count(16)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push((fraction(d)?, Money(d.f64()?)));
+    }
+    if out.is_empty() {
+        return Err(corrupt("empty cutdown/reward table"));
+    }
+    for w in out.windows(2) {
+        if w[0].0 >= w[1].0 {
+            return Err(corrupt("cutdown/reward table not strictly increasing"));
+        }
+        // NaN rewards must fail too (the core constructors assert
+        // `prev <= next`, which NaN violates).
+        let (prev, next) = (w[0].1.value(), w[1].1.value());
+        if prev.is_nan() || next.is_nan() || prev > next {
+            return Err(corrupt("cutdown/reward table rewards decrease"));
+        }
+    }
+    Ok(out)
+}
+
+fn put_reward_table(buf: &mut Vec<u8>, t: &RewardTable) {
+    put_interval(buf, t.interval());
+    put_entries(buf, t.entries());
+}
+
+fn reward_table(d: &mut Dec) -> Result<RewardTable, ArchiveError> {
+    let interval = interval(d)?;
+    let entries = entries(d)?;
+    Ok(RewardTable::new(interval, entries))
+}
+
+fn put_preferences(buf: &mut Vec<u8>, p: &CustomerPreferences) {
+    put_entries(buf, p.thresholds());
+    put_fraction(buf, p.max_cutdown());
+}
+
+fn preferences(d: &mut Dec) -> Result<CustomerPreferences, ArchiveError> {
+    let thresholds = entries(d)?;
+    let max_cutdown = fraction(d)?;
+    Ok(CustomerPreferences::new(thresholds, max_cutdown))
+}
+
+// ---------------------------------------------------------------------
+// Scenario (utility-agent configuration and customer population)
+// ---------------------------------------------------------------------
+
+fn put_beta_policy(buf: &mut Vec<u8>, p: &BetaPolicy) {
+    match *p {
+        BetaPolicy::Constant { beta } => {
+            put_u8(buf, 0);
+            put_f64(buf, beta);
+        }
+        BetaPolicy::Adaptive {
+            beta,
+            gain,
+            min_progress,
+        } => {
+            put_u8(buf, 1);
+            put_f64(buf, beta);
+            put_f64(buf, gain);
+            put_f64(buf, min_progress);
+        }
+        BetaPolicy::Annealing { beta, decay } => {
+            put_u8(buf, 2);
+            put_f64(buf, beta);
+            put_f64(buf, decay);
+        }
+    }
+}
+
+fn beta_policy(d: &mut Dec) -> Result<BetaPolicy, ArchiveError> {
+    Ok(match d.u8()? {
+        0 => BetaPolicy::Constant { beta: d.f64()? },
+        1 => BetaPolicy::Adaptive {
+            beta: d.f64()?,
+            gain: d.f64()?,
+            min_progress: d.f64()?,
+        },
+        2 => BetaPolicy::Annealing {
+            beta: d.f64()?,
+            decay: d.f64()?,
+        },
+        _ => return Err(corrupt("unknown beta-policy tag")),
+    })
+}
+
+fn put_ua_config(buf: &mut Vec<u8>, c: &UtilityAgentConfig) {
+    put_f64(buf, c.formula.beta);
+    put_f64(buf, c.formula.max_reward.value());
+    put_f64(buf, c.formula.epsilon.value());
+    put_beta_policy(buf, &c.beta_policy);
+    put_f64(buf, c.max_allowed_overuse);
+    put_u32(buf, c.levels.len() as u32);
+    for &l in &c.levels {
+        put_f64(buf, l);
+    }
+    put_f64(buf, c.initial_reward_at.value());
+    put_fraction(buf, c.pin);
+    put_u8(
+        buf,
+        match c.table_shape {
+            TableShape::Quadratic => 0,
+            TableShape::Linear => 1,
+        },
+    );
+    put_fraction(buf, c.offer_x_max);
+    put_u32(buf, c.max_rounds);
+    match &c.economic_stop {
+        None => put_u8(buf, 0),
+        Some(rule) => {
+            put_u8(buf, 1);
+            put_f64(buf, rule.value_per_kwh.value());
+        }
+    }
+}
+
+fn ua_config(d: &mut Dec) -> Result<UtilityAgentConfig, ArchiveError> {
+    let formula = RewardFormula {
+        beta: d.f64()?,
+        max_reward: Money(d.f64()?),
+        epsilon: Money(d.f64()?),
+    };
+    let beta_policy = beta_policy(d)?;
+    let max_allowed_overuse = d.f64()?;
+    let n = d.count(8)?;
+    let mut levels = Vec::with_capacity(n);
+    for _ in 0..n {
+        levels.push(d.f64()?);
+    }
+    let initial_reward_at = Money(d.f64()?);
+    let pin = fraction(d)?;
+    let table_shape = match d.u8()? {
+        0 => TableShape::Quadratic,
+        1 => TableShape::Linear,
+        _ => return Err(corrupt("unknown table-shape tag")),
+    };
+    let offer_x_max = fraction(d)?;
+    let max_rounds = d.u32()?;
+    let economic_stop = match d.u8()? {
+        0 => None,
+        1 => Some(EconomicStopRule {
+            value_per_kwh: PricePerKwh(d.f64()?),
+        }),
+        _ => return Err(corrupt("unknown economic-stop tag")),
+    };
+    Ok(UtilityAgentConfig {
+        formula,
+        beta_policy,
+        max_allowed_overuse,
+        levels,
+        initial_reward_at,
+        pin,
+        table_shape,
+        offer_x_max,
+        max_rounds,
+        economic_stop,
+    })
+}
+
+fn put_scenario(buf: &mut Vec<u8>, s: &Scenario) {
+    put_f64(buf, s.normal_use.value());
+    put_interval(buf, s.interval);
+    put_u32(buf, s.customers.len() as u32);
+    for c in &s.customers {
+        put_f64(buf, c.predicted_use.value());
+        put_f64(buf, c.allowed_use.value());
+        put_preferences(buf, &c.preferences);
+    }
+    put_ua_config(buf, &s.config);
+    put_method(buf, s.method);
+    put_tariff(buf, &s.tariff);
+}
+
+fn scenario(d: &mut Dec) -> Result<Scenario, ArchiveError> {
+    let normal_use = KilowattHours(d.f64()?);
+    let interval = interval(d)?;
+    let n = d.count(16)?;
+    let mut customers = Vec::with_capacity(n);
+    for _ in 0..n {
+        customers.push(CustomerProfile {
+            predicted_use: KilowattHours(d.f64()?),
+            allowed_use: KilowattHours(d.f64()?),
+            preferences: preferences(d)?,
+        });
+    }
+    Ok(Scenario {
+        normal_use,
+        interval,
+        customers,
+        config: ua_config(d)?,
+        method: method(d)?,
+        tariff: tariff(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Negotiation reports
+// ---------------------------------------------------------------------
+
+fn put_round(buf: &mut Vec<u8>, r: &RoundRecord) {
+    put_u32(buf, r.round);
+    match &r.table {
+        None => put_u8(buf, 0),
+        Some(t) => {
+            put_u8(buf, 1);
+            put_reward_table(buf, t);
+        }
+    }
+    put_u32(buf, r.bids.len() as u32);
+    for b in &r.bids {
+        put_fraction(buf, *b);
+    }
+    put_f64(buf, r.predicted_total.value());
+    put_u64(buf, r.messages);
+}
+
+fn round(d: &mut Dec) -> Result<RoundRecord, ArchiveError> {
+    let round = d.u32()?;
+    let table = match d.u8()? {
+        0 => None,
+        1 => Some(Arc::new(reward_table(d)?)),
+        _ => return Err(corrupt("unknown reward-table tag")),
+    };
+    let n = d.count(8)?;
+    let mut bids = Vec::with_capacity(n);
+    for _ in 0..n {
+        bids.push(fraction(d)?);
+    }
+    Ok(RoundRecord {
+        round,
+        table,
+        bids,
+        predicted_total: KilowattHours(d.f64()?),
+        messages: d.u64()?,
+    })
+}
+
+/// Encodes a report downgraded to (at most) `tier` on the way out —
+/// the storage a lower tier would have dropped at assembly time is
+/// simply not written.
+pub(crate) fn put_report(buf: &mut Vec<u8>, r: &NegotiationReport, tier: ReportTier) {
+    let tier = tier.min(r.tier());
+    put_method(buf, r.method());
+    put_f64(buf, r.normal_use().value());
+    put_f64(buf, r.initial_total().value());
+    put_tier(buf, tier);
+    let digest = r.digest();
+    put_u32(buf, digest.rounds);
+    put_u64(buf, digest.messages);
+    put_f64(buf, digest.final_total.value());
+    put_f64(buf, digest.total_rewards.value());
+    put_u32(buf, digest.customers);
+    let rounds: &[RoundRecord] = if tier.keeps_rounds() { r.rounds() } else { &[] };
+    put_u32(buf, rounds.len() as u32);
+    for rec in rounds {
+        put_round(buf, rec);
+    }
+    put_status(buf, r.status());
+    let settlements: &[Settlement] = if tier.keeps_settlements() {
+        r.settlements()
+    } else {
+        &[]
+    };
+    put_u32(buf, settlements.len() as u32);
+    for s in settlements {
+        put_fraction(buf, s.cutdown);
+        put_f64(buf, s.reward.value());
+    }
+    put_u64(buf, r.extra_messages());
+}
+
+pub(crate) fn report(d: &mut Dec) -> Result<NegotiationReport, ArchiveError> {
+    let method = method(d)?;
+    let normal_use = KilowattHours(d.f64()?);
+    let initial_total = KilowattHours(d.f64()?);
+    let tier = tier(d)?;
+    let digest = RoundDigest {
+        rounds: d.u32()?,
+        messages: d.u64()?,
+        final_total: KilowattHours(d.f64()?),
+        total_rewards: Money(d.f64()?),
+        customers: d.u32()?,
+    };
+    let n = d.count(17)?;
+    let mut rounds = Vec::with_capacity(n);
+    for _ in 0..n {
+        rounds.push(round(d)?);
+    }
+    let status = status(d)?;
+    let n = d.count(16)?;
+    let mut settlements = Vec::with_capacity(n);
+    for _ in 0..n {
+        settlements.push(Settlement {
+            cutdown: fraction(d)?,
+            reward: Money(d.f64()?),
+        });
+    }
+    let extra_messages = d.u64()?;
+    if !rounds.is_empty() && !tier.keeps_rounds() {
+        return Err(corrupt("round records below the full-trace tier"));
+    }
+    if !settlements.is_empty() && !tier.keeps_settlements() {
+        return Err(corrupt("settlements below the settlement tier"));
+    }
+    Ok(NegotiationReport::from_parts(
+        method,
+        normal_use,
+        initial_total,
+        tier,
+        digest,
+        rounds,
+        status,
+        settlements,
+        extra_messages,
+    ))
+}
+
+// ---------------------------------------------------------------------
+// Day and outcome blocks
+// ---------------------------------------------------------------------
+
+/// Predictor names come back as `&'static str`; known model names are
+/// matched first and genuinely novel names are interned once (bounded
+/// by the distinct names an archive contains, never re-leaked).
+fn intern_predictor(name: String) -> &'static str {
+    const KNOWN: [&str; 5] = [
+        "moving-average",
+        "exponential-smoothing",
+        "seasonal-naive",
+        "weather-regression",
+        "holt-trend",
+    ];
+    if let Some(k) = KNOWN.iter().find(|k| **k == name) {
+        return k;
+    }
+    static INTERNED: Mutex<Vec<&'static str>> = Mutex::new(Vec::new());
+    let mut interned = INTERNED.lock().unwrap_or_else(|p| p.into_inner());
+    if let Some(k) = interned.iter().find(|k| **k == name) {
+        return k;
+    }
+    let leaked: &'static str = Box::leak(name.into_boxed_str());
+    interned.push(leaked);
+    leaked
+}
+
+pub(crate) fn put_day_outcome(buf: &mut Vec<u8>, day: &DayOutcome) {
+    put_calendar_day(buf, day.day);
+    put_str(buf, day.predictor);
+    put_u32(buf, day.peaks.len() as u32);
+    for p in &day.peaks {
+        put_peak(buf, p);
+    }
+    put_f64(buf, day.feedback_delta.value());
+}
+
+pub(crate) fn day_outcome(d: &mut Dec) -> Result<DayOutcome, ArchiveError> {
+    let day = calendar_day(d)?;
+    let predictor = intern_predictor(d.str()?);
+    let n = d.count(32)?;
+    let mut peaks = Vec::with_capacity(n);
+    for _ in 0..n {
+        peaks.push(peak(d)?);
+    }
+    Ok(DayOutcome {
+        day,
+        predictor,
+        peaks,
+        feedback_delta: KilowattHours(d.f64()?),
+    })
+}
+
+pub(crate) fn put_interval_outcome(buf: &mut Vec<u8>, o: &IntervalOutcome, tier: ReportTier) {
+    put_calendar_day(buf, o.day);
+    put_peak(buf, &o.peak);
+    put_str(buf, &o.label);
+    match o.scenario.as_ref().filter(|_| tier.keeps_rounds()) {
+        None => put_u8(buf, 0),
+        Some(s) => {
+            put_u8(buf, 1);
+            put_scenario(buf, s);
+        }
+    }
+    put_report(buf, &o.report, tier);
+}
+
+pub(crate) fn interval_outcome(d: &mut Dec) -> Result<IntervalOutcome, ArchiveError> {
+    let day = calendar_day(d)?;
+    let peak = peak(d)?;
+    let label = d.str()?;
+    let scenario = match d.u8()? {
+        0 => None,
+        1 => Some(scenario(d)?),
+        _ => return Err(corrupt("unknown scenario tag")),
+    };
+    Ok(IntervalOutcome {
+        day,
+        peak,
+        label,
+        scenario,
+        report: report(d)?,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Economics (index payload)
+// ---------------------------------------------------------------------
+
+pub(crate) fn put_economics(buf: &mut Vec<u8>, e: &CampaignEconomics) {
+    put_f64(buf, e.rewards_paid.value());
+    put_f64(buf, e.energy_shaved.value());
+    put_f64(buf, e.production_cost_avoided.value());
+    put_f64(buf, e.peak_saving.value());
+    put_f64(buf, e.net_gain.value());
+    put_u64(buf, e.economic_stops as u64);
+}
+
+pub(crate) fn economics(d: &mut Dec) -> Result<CampaignEconomics, ArchiveError> {
+    Ok(CampaignEconomics {
+        rewards_paid: Money(d.f64()?),
+        energy_shaved: KilowattHours(d.f64()?),
+        production_cost_avoided: Money(d.f64()?),
+        peak_saving: Money(d.f64()?),
+        net_gain: Money(d.f64()?),
+        economic_stops: d.u64()? as usize,
+    })
+}

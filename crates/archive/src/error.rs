@@ -1,0 +1,125 @@
+//! The typed failure modes of archive I/O.
+//!
+//! Decoding never panics: every length is bounds-checked before it is
+//! trusted, every enum tag and every value range is validated before a
+//! core constructor (which may assert its invariants) is called, so a
+//! corrupt, truncated or wrong-version archive always surfaces as an
+//! [`ArchiveError`].
+
+use std::fmt;
+use std::io;
+
+/// Whether an archive stores one campaign or a whole fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArchiveKind {
+    /// One [`CampaignReport`](loadbal_core::campaign::CampaignReport).
+    Campaign,
+    /// A [`FleetReport`](loadbal_core::fleet::FleetReport): labelled
+    /// cells plus fleet economics.
+    Fleet,
+}
+
+impl fmt::Display for ArchiveKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            ArchiveKind::Campaign => "campaign",
+            ArchiveKind::Fleet => "fleet",
+        })
+    }
+}
+
+/// Everything that can go wrong reading or writing a season archive.
+#[derive(Debug)]
+pub enum ArchiveError {
+    /// The underlying reader/writer failed.
+    Io(io::Error),
+    /// The file does not start with the `LBSA` magic — not an archive.
+    BadMagic,
+    /// The header carries a format version this build cannot decode.
+    UnsupportedVersion(u16),
+    /// The file ends before the structure it promises (a cut-off
+    /// download, a partial write).
+    Truncated {
+        /// What was being read when the bytes ran out.
+        context: &'static str,
+    },
+    /// The bytes are structurally invalid: a bad tag, an out-of-range
+    /// value, an offset pointing outside the file.
+    Corrupt {
+        /// What was being decoded when the inconsistency surfaced.
+        context: &'static str,
+    },
+    /// A cell index beyond the archive's cell count.
+    CellOutOfRange {
+        /// The requested cell.
+        cell: usize,
+        /// Cells the archive holds.
+        cells: usize,
+    },
+    /// No day with the requested index exists in the cell.
+    DayNotFound {
+        /// The cell searched.
+        cell: usize,
+        /// The requested day index.
+        day: u64,
+    },
+    /// The archive holds a different [`ArchiveKind`] than the read API
+    /// requires (e.g. [`read_campaign`](crate::SeasonArchive::read_campaign)
+    /// on a fleet archive).
+    WrongKind {
+        /// What the call needed.
+        expected: ArchiveKind,
+        /// What the archive holds.
+        found: ArchiveKind,
+    },
+}
+
+impl fmt::Display for ArchiveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchiveError::Io(e) => write!(f, "archive i/o failed: {e}"),
+            ArchiveError::BadMagic => f.write_str("not a season archive (bad magic)"),
+            ArchiveError::UnsupportedVersion(v) => {
+                write!(f, "unsupported archive format version {v}")
+            }
+            ArchiveError::Truncated { context } => {
+                write!(f, "archive truncated while reading {context}")
+            }
+            ArchiveError::Corrupt { context } => write!(f, "archive corrupt: {context}"),
+            ArchiveError::CellOutOfRange { cell, cells } => {
+                write!(f, "cell {cell} out of range (archive has {cells})")
+            }
+            ArchiveError::DayNotFound { cell, day } => {
+                write!(f, "cell {cell} has no day {day}")
+            }
+            ArchiveError::WrongKind { expected, found } => {
+                write!(f, "expected a {expected} archive, found a {found} archive")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ArchiveError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ArchiveError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ArchiveError {
+    fn from(e: io::Error) -> ArchiveError {
+        ArchiveError::Io(e)
+    }
+}
+
+/// Shorthand used throughout the decoders.
+pub(crate) fn corrupt(context: &'static str) -> ArchiveError {
+    ArchiveError::Corrupt { context }
+}
+
+/// Shorthand used throughout the decoders.
+pub(crate) fn truncated(context: &'static str) -> ArchiveError {
+    ArchiveError::Truncated { context }
+}

@@ -1,0 +1,122 @@
+//! Tiered season archives: a compact, versioned, *seekable* binary
+//! format for [`CampaignReport`](loadbal_core::campaign::CampaignReport)s
+//! and [`FleetReport`](loadbal_core::fleet::FleetReport)s, plus the
+//! `season-inspect` CLI that lists, dumps and diffs them.
+//!
+//! The workspace's vendored `serde` is a derive-compatibility stub with
+//! no real serialization behind it, so this crate carries its own codec:
+//! a hand-written little-endian format designed for the two things a
+//! season archive is actually used for — *pulling one day back out
+//! without decoding the season*, and *storing low-tier seasons in a few
+//! hundred bytes per day*.
+//!
+//! # What goes in
+//!
+//! Archives are written at a [`ReportTier`](loadbal_core::session::ReportTier):
+//! the writer downgrades on the way out, so a
+//! [`ReportTier::Settlement`](loadbal_core::session::ReportTier::Settlement)
+//! archive of a full-trace season simply never encodes round records or
+//! materialised scenarios — no intermediate clone, no wasted bytes.
+//! Reading an archive yields exactly what
+//! [`CampaignReport::at_tier`](loadbal_core::campaign::CampaignReport::at_tier)
+//! would have produced in memory.
+//!
+//! # On-disk format (version 1)
+//!
+//! All integers are little-endian; `f64` is stored as its IEEE-754 bit
+//! pattern (`to_bits`, little-endian), so round-trips are bit-exact.
+//! Strings are a `u32` byte length followed by UTF-8. A file has four
+//! sections:
+//!
+//! ```text
+//! ┌────────────────────────────────────────────────────────────────┐
+//! │ HEADER (12 bytes)                                              │
+//! │   magic     [u8; 4] = "LBSA"                                   │
+//! │   version   u16     = 1                                        │
+//! │   tier      u8        0=aggregate 1=settlement 2=full-trace    │
+//! │   kind      u8        0=campaign 1=fleet                       │
+//! │   cells     u32       number of cells (1 for a campaign)       │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ DATA: per cell, in cell order:                                 │
+//! │   one BLOCK per evaluated day   (codec: DayOutcome)            │
+//! │   one BLOCK per negotiated peak (codec: IntervalOutcome)       │
+//! │ where BLOCK = payload_len: u32, payload: [u8; payload_len]     │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ INDEX (one blob, decoded on open)                              │
+//! │   fleet economics               -- fleet archives only         │
+//! │   cell_count u32, then per cell:                               │
+//! │     label: str                                                 │
+//! │     economics (5 × f64 + u64)                                  │
+//! │     day_count u32,     day entries     (day u64, off u64, len  │
+//! │                                         u32)                   │
+//! │     outcome_count u32, outcome entries (day u64, start u64,    │
+//! │                                         end u64, off u64, len  │
+//! │                                         u32)                   │
+//! ├────────────────────────────────────────────────────────────────┤
+//! │ TRAILER (16 bytes)                                             │
+//! │   index_offset u64, index_len u32, magic [u8; 4] = "LBIX"      │
+//! └────────────────────────────────────────────────────────────────┘
+//! ```
+//!
+//! Offsets in the index are absolute file offsets of a block's length
+//! prefix; the prefix is cross-checked against the index `len` on every
+//! read. [`SeasonArchive::open`] parses only header + trailer + index,
+//! so `list` and single-day reads are O(index) regardless of season
+//! size. The trailer-at-the-end layout is what lets the *writer* run
+//! over a plain [`Write`](std::io::Write) sink with no seeking.
+//!
+//! # Failure behaviour
+//!
+//! Decoding never panics. Foreign files fail with
+//! [`ArchiveError::BadMagic`], future versions with
+//! [`ArchiveError::UnsupportedVersion`], cut-off files with
+//! [`ArchiveError::Truncated`], and bit-rot with
+//! [`ArchiveError::Corrupt`] — every count is bounds-checked against
+//! the remaining bytes before allocation, and every value range a core
+//! constructor asserts is validated before that constructor runs.
+//!
+//! # Example
+//!
+//! ```
+//! use loadbal_archive::{write_campaign, SeasonArchive};
+//! use loadbal_core::campaign::{CampaignBuilder, FixedPredictor};
+//! use loadbal_core::session::ReportTier;
+//! use powergrid::calendar::Horizon;
+//! use powergrid::population::PopulationBuilder;
+//! use powergrid::prediction::MovingAverage;
+//! use powergrid::weather::{Season, WeatherModel};
+//!
+//! let homes = PopulationBuilder::new().households(12).build(5);
+//! let report = CampaignBuilder::new(
+//!     &homes,
+//!     &WeatherModel::winter(),
+//!     &Horizon::new(3, 0, Season::Winter),
+//! )
+//! .warmup_days(2)
+//! .predictor(FixedPredictor(MovingAverage::new(2)))
+//! .report_tier(ReportTier::Settlement)
+//! .build()
+//! .run_sequential();
+//!
+//! let dir = std::env::temp_dir().join("loadbal-archive-doc");
+//! std::fs::create_dir_all(&dir).unwrap();
+//! let path = dir.join("doc-season.lbsa");
+//! write_campaign(&path, &report, ReportTier::Settlement).unwrap();
+//!
+//! let mut archive = SeasonArchive::open(&path).unwrap();
+//! assert_eq!(archive.read_campaign().unwrap(), report);
+//! std::fs::remove_file(&path).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod codec;
+pub mod error;
+pub mod format;
+pub mod reader;
+pub mod writer;
+
+pub use error::{ArchiveError, ArchiveKind};
+pub use reader::{ArchiveIndex, CellIndex, DayEntry, OutcomeEntry, SeasonArchive};
+pub use writer::{write_campaign, write_campaign_to, write_fleet, write_fleet_to, WriteStats};

@@ -7,29 +7,31 @@
 //! ```
 //!
 //! `--json` additionally writes machine-readable timing records for the
-//! perf-tracked experiments (`BENCH_E15.json`, `BENCH_E16.json`) into
-//! the current directory, so the performance trajectory is comparable
-//! across PRs.
+//! perf-tracked experiments (`BENCH_E15.json`, `BENCH_E16.json`,
+//! `BENCH_E17.json`) into the current directory, so the performance
+//! trajectory is comparable across PRs.
 
 use loadbal_bench::experiments;
 use std::alloc::{GlobalAlloc, Layout, System};
 
-/// The system allocator with an allocation counter on top, feeding
+/// The system allocator with count + byte accounting on top, feeding
 /// [`loadbal_bench::alloc_probe`]. Installed only in this binary — the
 /// library stays uninstrumented — so E16 can report real
-/// allocations-per-negotiation figures.
+/// allocations-per-negotiation figures and E17 real retained-bytes
+/// figures per report tier.
 struct CountingAlloc;
 
-// SAFETY: defers entirely to `System`; the counter update allocates
-// nothing (a relaxed atomic increment).
+// SAFETY: defers entirely to `System`; the counter updates allocate
+// nothing (relaxed atomic arithmetic).
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        loadbal_bench::alloc_probe::record_alloc();
+        loadbal_bench::alloc_probe::record_alloc(layout.size());
         System.alloc(layout)
     }
 
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        loadbal_bench::alloc_probe::record_dealloc(layout.size());
         System.dealloc(ptr, layout)
     }
 }
@@ -40,8 +42,8 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const USAGE: &str = "usage: experiments [--json] <id>...
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
        invariants | market | categories | shapes | campaign | campaign_loop |
-       fleet_scaling | hot_loop | all
-  --json: also write BENCH_E15.json / BENCH_E16.json timing records";
+       fleet_scaling | hot_loop | report_tiers | all
+  --json: also write BENCH_E15.json / BENCH_E16.json / BENCH_E17.json records";
 
 fn write_json(path: &str, json: &str) {
     match std::fs::write(path, format!("{json}\n")) {
@@ -111,6 +113,15 @@ fn run(id: &str, json: bool) -> bool {
                 write_json("BENCH_E16.json", &r.to_json());
             }
         }
+        "report_tiers" => {
+            // The acceptance shape: a 4-cell × 24-day season per tier,
+            // sequential so every tier negotiates identically.
+            let r = experiments::report_tiers(4, 100, 24, 42);
+            println!("{r}");
+            if json {
+                write_json("BENCH_E17.json", &r.to_json());
+            }
+        }
         "all" => {
             for id in [
                 "fig1",
@@ -129,6 +140,7 @@ fn run(id: &str, json: bool) -> bool {
                 "campaign_loop",
                 "fleet_scaling",
                 "hot_loop",
+                "report_tiers",
             ] {
                 run(id, json);
                 println!();

@@ -21,32 +21,72 @@
 //! | E14 | campaign feedback loop | [`experiments::campaign_loop`] |
 //! | E15 | fleet scaling + demand hot path | [`experiments::fleet_scaling`] |
 //! | E16 | persistent pool + negotiation scratch hot loop | [`experiments::hot_loop`] |
+//! | E17 | report tiers: retained memory + archive bytes/day | [`experiments::report_tiers`] |
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod experiments;
 
-/// Allocation counting hook for the experiment binary.
+/// Allocation accounting hooks for the experiment binary.
 ///
 /// The library never installs a global allocator (that would tax every
 /// test run); the `experiments` *binary* wraps the system allocator and
-/// funnels each allocation through [`alloc_probe::record_alloc`]. An
-/// experiment reads [`alloc_probe::count`] deltas around a timed
-/// section — in uninstrumented contexts (unit tests) the counter stays
-/// at zero and the experiment reports the measurement as unavailable.
+/// funnels each allocation through [`alloc_probe::record_alloc`] and
+/// each deallocation through [`alloc_probe::record_dealloc`]. An
+/// experiment reads count / byte deltas around a timed or retained
+/// section — in uninstrumented contexts (unit tests) the counters stay
+/// at zero, [`alloc_probe::installed`] reports `false`, and the
+/// experiment reports the measurement as unavailable.
 pub mod alloc_probe {
-    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
 
     static ALLOCATIONS: AtomicU64 = AtomicU64::new(0);
+    static BYTES: AtomicU64 = AtomicU64::new(0);
+    static LIVE: AtomicI64 = AtomicI64::new(0);
+    static PEAK: AtomicI64 = AtomicI64::new(0);
 
-    /// Called by the instrumented global allocator on every allocation.
-    pub fn record_alloc() {
+    /// Called by the instrumented global allocator on every allocation
+    /// of `bytes` bytes.
+    pub fn record_alloc(bytes: usize) {
         ALLOCATIONS.fetch_add(1, Ordering::Relaxed);
+        BYTES.fetch_add(bytes as u64, Ordering::Relaxed);
+        let live = LIVE.fetch_add(bytes as i64, Ordering::Relaxed) + bytes as i64;
+        PEAK.fetch_max(live, Ordering::Relaxed);
+    }
+
+    /// Called by the instrumented global allocator on every
+    /// deallocation of `bytes` bytes.
+    pub fn record_dealloc(bytes: usize) {
+        LIVE.fetch_sub(bytes as i64, Ordering::Relaxed);
     }
 
     /// Allocations recorded so far (0 when not instrumented).
     pub fn count() -> u64 {
         ALLOCATIONS.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bytes allocated so far (0 when not instrumented).
+    pub fn bytes() -> u64 {
+        BYTES.load(Ordering::Relaxed)
+    }
+
+    /// Bytes currently live (allocated minus freed). Deltas of this
+    /// around building a long-lived value measure what that value
+    /// *retains*, as opposed to what building it churned through.
+    pub fn live_bytes() -> i64 {
+        LIVE.load(Ordering::Relaxed)
+    }
+
+    /// High-water mark of [`live_bytes`].
+    pub fn peak_bytes() -> i64 {
+        PEAK.load(Ordering::Relaxed)
+    }
+
+    /// True when a counting allocator is feeding the probe (any
+    /// allocation has been recorded — in the instrumented binary that
+    /// is always the case long before an experiment starts).
+    pub fn installed() -> bool {
+        count() > 0
     }
 }

@@ -53,7 +53,7 @@
 use crate::beta::BetaPolicy;
 use crate::methods::AnnouncementMethod;
 use crate::producer_agent::ProducerAgent;
-use crate::session::{NegotiationReport, Scenario, ScenarioBuilder};
+use crate::session::{NegotiationReport, ReportTier, Scenario, ScenarioBuilder};
 use crate::sweep::WorkerPool;
 use crate::sync_driver::NegotiationScratch;
 use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
@@ -259,6 +259,7 @@ pub struct CampaignBuilder<'a> {
     peak_threshold: f64,
     method: AnnouncementMethod,
     ua_config: UtilityAgentConfig,
+    report_tier: ReportTier,
     threads: Option<NonZeroUsize>,
     normal_cost: PricePerKwh,
     expensive_cost: PricePerKwh,
@@ -296,6 +297,7 @@ impl<'a> CampaignBuilder<'a> {
             ua_config: UtilityAgentConfig::paper()
                 .with_max_allowed_overuse(0.0)
                 .with_beta_policy(BetaPolicy::constant(14.0)),
+            report_tier: ReportTier::FullTrace,
             threads: None,
             normal_cost: ProductionModel::DEFAULT_NORMAL_COST,
             expensive_cost: ProductionModel::DEFAULT_EXPENSIVE_COST,
@@ -343,6 +345,18 @@ impl<'a> CampaignBuilder<'a> {
     /// still install its economic stop rule on top).
     pub fn ua_config(mut self, config: UtilityAgentConfig) -> Self {
         self.ua_config = config;
+        self
+    }
+
+    /// How much of each negotiation the campaign's reports retain
+    /// (default [`ReportTier::FullTrace`]). Lower tiers negotiate
+    /// identically — every scalar in the report and economics is
+    /// unchanged — but the per-round records (and, below `FullTrace`,
+    /// the materialised scenarios) are streamed away at the source
+    /// instead of accumulated, which is what makes season- and
+    /// fleet-scale campaigns fit in memory.
+    pub fn report_tier(mut self, tier: ReportTier) -> Self {
+        self.report_tier = tier;
         self
     }
 
@@ -443,6 +457,7 @@ impl<'a> CampaignBuilder<'a> {
             peak_threshold: self.peak_threshold,
             method: self.method,
             ua_config,
+            report_tier: self.report_tier,
             threads: self.threads,
             pool: OnceLock::new(),
             predictor: self.predictor,
@@ -475,6 +490,7 @@ pub struct CampaignRunner<'a> {
     peak_threshold: f64,
     method: AnnouncementMethod,
     ua_config: UtilityAgentConfig,
+    report_tier: ReportTier,
     threads: Option<NonZeroUsize>,
     /// The persistent worker pool for [`CampaignRunner::run`]: spawned
     /// on the first parallel run and reused by every day of every
@@ -502,6 +518,18 @@ impl CampaignRunner<'_> {
     /// (stop rule already installed).
     pub fn ua_config(&self) -> &UtilityAgentConfig {
         &self.ua_config
+    }
+
+    /// The tier this campaign's reports retain.
+    pub fn report_tier(&self) -> ReportTier {
+        self.report_tier
+    }
+
+    /// Overrides the report tier after building — how a
+    /// [`FleetRunner`](crate::fleet::FleetRunner) applies one fleet-wide
+    /// tier across cells built elsewhere.
+    pub fn set_report_tier(&mut self, tier: ReportTier) {
+        self.report_tier = tier;
     }
 
     /// Days the campaign will evaluate after warmup.
@@ -568,7 +596,7 @@ impl CampaignRunner<'_> {
                     NegotiationScratch::new,
                     |scratch, i| {
                         let (_, scenario) = &plan.scenarios[i];
-                        scenario.run_in(scenario.method, scratch)
+                        scenario.run_in_at(scenario.method, plan.tier, scratch)
                     },
                 );
                 progress.complete_day(plan, reports);
@@ -581,7 +609,7 @@ impl CampaignRunner<'_> {
                 let reports = plan
                     .scenarios
                     .iter()
-                    .map(|(_, s)| s.run_in(s.method, &mut scratch))
+                    .map(|(_, s)| s.run_in_at(s.method, plan.tier, &mut scratch))
                     .collect();
                 progress.complete_day(plan, reports);
             }
@@ -603,12 +631,21 @@ pub struct DayPlan {
     day: CalendarDay,
     peaks: Vec<Peak>,
     scenarios: Vec<(String, Scenario)>,
+    tier: ReportTier,
 }
 
 impl DayPlan {
     /// The calendar day this work belongs to.
     pub fn day(&self) -> CalendarDay {
         self.day
+    }
+
+    /// The tier the campaign wants this day's negotiations reported at
+    /// — external drivers (the fleet) negotiate with
+    /// [`Scenario::run_in_at`] so lower tiers never materialise the
+    /// storage they would immediately drop.
+    pub fn tier(&self) -> ReportTier {
+        self.tier
     }
 
     /// The detected peaks, in time order (one scenario each).
@@ -684,6 +721,7 @@ impl CampaignProgress<'_> {
             day,
             peaks,
             scenarios,
+            tier: self.runner.report_tier,
         })
     }
 
@@ -704,6 +742,7 @@ impl CampaignProgress<'_> {
             day,
             peaks,
             scenarios,
+            tier,
         } = plan;
         let d = day.index as usize;
         let day_outcomes: Vec<IntervalOutcome> = scenarios
@@ -714,7 +753,11 @@ impl CampaignProgress<'_> {
                 day,
                 peak: *peak,
                 label,
-                scenario,
+                // The materialised scenario (its customer profiles
+                // dominate an outcome's footprint) is only worth
+                // carrying when the full trace is: the digest already
+                // holds everything feedback and economics read.
+                scenario: tier.keeps_rounds().then_some(scenario),
                 report,
             })
             .collect();
@@ -775,9 +818,11 @@ pub struct IntervalOutcome {
     pub peak: Peak,
     /// The sweep-cell label (`day<i>/<interval>`).
     pub label: String,
-    /// The materialised scenario (physically grounded customer profiles).
-    pub scenario: Scenario,
-    /// The negotiation's full report.
+    /// The materialised scenario (physically grounded customer
+    /// profiles) — retained only at
+    /// [`ReportTier::FullTrace`].
+    pub scenario: Option<Scenario>,
+    /// The negotiation's report, at the campaign's tier.
     pub report: NegotiationReport,
 }
 
@@ -785,6 +830,24 @@ impl IntervalOutcome {
     /// Energy the negotiation took out of this peak interval.
     pub fn energy_shaved(&self) -> KilowattHours {
         self.report.energy_shaved()
+    }
+
+    /// Copies this outcome down to `tier` (see
+    /// [`NegotiationReport::at_tier`]): the report is downgraded and the
+    /// scenario dropped below
+    /// [`ReportTier::FullTrace`].
+    pub fn at_tier(&self, tier: ReportTier) -> IntervalOutcome {
+        IntervalOutcome {
+            day: self.day,
+            peak: self.peak,
+            label: self.label.clone(),
+            scenario: if tier.keeps_rounds() {
+                self.scenario.clone()
+            } else {
+                None
+            },
+            report: self.report.at_tier(tier),
+        }
     }
 
     /// True if the marginal-cost stop rule ended this negotiation.
@@ -946,7 +1009,7 @@ impl CampaignReport {
         }
         self.outcomes
             .iter()
-            .map(|o| o.report.rounds().len() as f64)
+            .map(|o| f64::from(o.report.digest().rounds))
             .sum::<f64>()
             / self.outcomes.len() as f64
     }
@@ -954,6 +1017,19 @@ impl CampaignReport {
     /// The predictor the campaign chose (None if nothing was evaluated).
     pub fn predictor(&self) -> Option<&'static str> {
         self.days.first().map(|d| d.predictor)
+    }
+
+    /// Copies the whole report down to `tier` — equal to what running
+    /// the campaign with
+    /// [`CampaignBuilder::report_tier`] at `tier` produces, which the
+    /// tier-equivalence tests pin and the archive writer uses to
+    /// downgrade on the way out.
+    pub fn at_tier(&self, tier: ReportTier) -> CampaignReport {
+        CampaignReport {
+            outcomes: self.outcomes.iter().map(|o| o.at_tier(tier)).collect(),
+            days: self.days.clone(),
+            economics: self.economics,
+        }
     }
 }
 
@@ -985,7 +1061,7 @@ impl fmt::Display for CampaignReport {
                 f,
                 "  {:<16} {:>2} rounds | overuse {:>5.1}% → {:>5.1}% | shaved {:>7.2} kWh | {}",
                 o.label,
-                o.report.rounds().len(),
+                o.report.digest().rounds,
                 100.0 * o.report.initial_overuse_fraction(),
                 100.0 * o.report.final_overuse_fraction(),
                 o.energy_shaved().value(),

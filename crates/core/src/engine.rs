@@ -831,30 +831,59 @@ impl CustomerEngine {
 
 /// Folds the observation effects of a [`UtilityEngine`] into the
 /// [`NegotiationReport`](crate::session::NegotiationReport) every driver
-/// returns.
+/// returns — the tier-aware sink of the reporting subsystem.
 ///
 /// Drivers pass each polled effect through [`ReportAssembler::observe`],
 /// which **consumes** the observation effects (round records and
 /// settlements move straight into the report — they are never cloned)
 /// and hands the transport effects back for the driver to perform.
 /// Call [`ReportAssembler::finish`] once the engine settles.
+///
+/// The assembler enforces the
+/// [`ReportTier`](crate::session::ReportTier) *at the source*: every
+/// observation is folded into the running
+/// [`RoundDigest`](crate::session::RoundDigest), but a round record is
+/// only *stored* at [`ReportTier::FullTrace`] and settlements only at
+/// [`ReportTier::Settlement`] or above — below those tiers the payloads
+/// are dropped on the spot, so a `Settlement`-tier season never
+/// accumulates per-round storage at all (pinned by the `report_tiers`
+/// bench experiment's allocation guard).
+///
+/// [`ReportTier`]: crate::session::ReportTier
+/// [`ReportTier::FullTrace`]: crate::session::ReportTier::FullTrace
+/// [`ReportTier::Settlement`]: crate::session::ReportTier::Settlement
 #[derive(Debug, Clone)]
 pub struct ReportAssembler {
     method: AnnouncementMethod,
     normal_use: KilowattHours,
     initial_total: KilowattHours,
+    tier: crate::session::ReportTier,
+    digest: crate::session::RoundDigest,
     rounds: Vec<RoundRecord>,
     outcome: Option<(NegotiationStatus, Vec<Settlement>)>,
     award_messages: u64,
 }
 
 impl ReportAssembler {
-    /// An assembler for the given engine.
+    /// A full-trace assembler for the given engine (the historical
+    /// behaviour — every round record is kept).
     pub fn for_engine(engine: &UtilityEngine) -> ReportAssembler {
+        ReportAssembler::for_engine_at(engine, crate::session::ReportTier::FullTrace)
+    }
+
+    /// An assembler for the given engine retaining only what `tier`
+    /// keeps.
+    pub fn for_engine_at(
+        engine: &UtilityEngine,
+        tier: crate::session::ReportTier,
+    ) -> ReportAssembler {
+        let initial_total = engine.initial_total();
         ReportAssembler {
             method: engine.method(),
             normal_use: engine.normal_use(),
-            initial_total: engine.initial_total(),
+            initial_total,
+            tier,
+            digest: crate::session::RoundDigest::starting_at(initial_total),
             rounds: Vec::new(),
             outcome: None,
             award_messages: 0,
@@ -865,20 +894,29 @@ impl ReportAssembler {
     /// extra confirmation messages of §3.2.3).
     ///
     /// Observation effects ([`Effect::RoundComplete`],
-    /// [`Effect::Settled`]) are consumed — their payloads move into the
-    /// report under construction, which is why the engine hands them
-    /// over by value. Transport effects come back out for the driver to
-    /// perform.
+    /// [`Effect::Settled`]) are consumed — their payloads are folded
+    /// into the digest, then moved into the report under construction
+    /// or dropped, as the tier dictates. Transport effects come back
+    /// out for the driver to perform.
     pub fn observe(&mut self, effect: Effect) -> Option<Effect> {
         match effect {
             Effect::RoundComplete(record) => {
-                self.rounds.push(record);
+                self.digest.observe_round(&record);
+                if self.tier.keeps_rounds() {
+                    self.rounds.push(record);
+                }
                 None
             }
             Effect::Settled {
                 status,
                 settlements,
             } => {
+                self.digest.observe_settlements(&settlements);
+                let settlements = if self.tier.keeps_settlements() {
+                    settlements
+                } else {
+                    Vec::new()
+                };
                 self.outcome = Some((status, settlements));
                 None
             }
@@ -895,7 +933,14 @@ impl ReportAssembler {
         }
     }
 
-    /// The rounds observed so far.
+    /// The tier this assembler retains.
+    pub fn tier(&self) -> crate::session::ReportTier {
+        self.tier
+    }
+
+    /// The rounds observed so far (empty below
+    /// [`ReportTier::FullTrace`](crate::session::ReportTier::FullTrace);
+    /// the count is in the digest).
     pub fn rounds(&self) -> &[RoundRecord] {
         &self.rounds
     }
@@ -912,10 +957,12 @@ impl ReportAssembler {
         let (status, settlements) = self
             .outcome
             .unwrap_or((NegotiationStatus::MaxRoundsExceeded, Vec::new()));
-        crate::session::NegotiationReport::new(
+        crate::session::NegotiationReport::from_parts(
             self.method,
             self.normal_use,
             self.initial_total,
+            self.tier,
+            self.digest,
             self.rounds,
             status,
             settlements,

@@ -57,7 +57,7 @@
 use crate::campaign::{
     CampaignEconomics, CampaignProgress, CampaignReport, CampaignRunner, DayPlan,
 };
-use crate::session::NegotiationReport;
+use crate::session::{NegotiationReport, ReportTier};
 use crate::sweep::WorkerPool;
 use crate::sync_driver::NegotiationScratch;
 use std::fmt;
@@ -97,6 +97,18 @@ impl<'a> FleetRunner<'a> {
     /// over one shared household/production grid).
     pub fn cell(mut self, label: impl Into<String>, runner: CampaignRunner<'a>) -> Self {
         self.cells.push((label.into(), runner));
+        self
+    }
+
+    /// Applies one [`ReportTier`] fleet-wide: every cell added so far
+    /// (and each cell's own
+    /// [`CampaignBuilder::report_tier`](crate::campaign::CampaignBuilder::report_tier)
+    /// choice) is overridden. A season-scale fleet typically runs at
+    /// [`ReportTier::Settlement`] and archives the result.
+    pub fn report_tier(mut self, tier: ReportTier) -> Self {
+        for (_, runner) in &mut self.cells {
+            runner.set_report_tier(tier);
+        }
         self
     }
 
@@ -310,7 +322,7 @@ impl<'r> CellExec<'r> {
             Claim::Negotiate(plan, index) => {
                 let result = catch_unwind(AssertUnwindSafe(|| {
                     let (_, scenario) = &plan.scenarios()[index];
-                    scenario.run_in(scenario.method, scratch)
+                    scenario.run_in_at(scenario.method, plan.tier(), scratch)
                 }));
                 // Release this worker's plan handle *before* storing:
                 // every store therefore happens with the storing
@@ -493,6 +505,23 @@ impl FleetReport {
     /// Total reward outlay across all cells.
     pub fn total_rewards(&self) -> powergrid::units::Money {
         self.cells.iter().map(|c| c.report.total_rewards()).sum()
+    }
+
+    /// Copies the whole fleet report down to `tier` (see
+    /// [`CampaignReport::at_tier`]); the fleet economics are scalars and
+    /// survive unchanged.
+    pub fn at_tier(&self, tier: ReportTier) -> FleetReport {
+        FleetReport {
+            cells: self
+                .cells
+                .iter()
+                .map(|c| CellReport {
+                    label: c.label.clone(),
+                    report: c.report.at_tier(tier),
+                })
+                .collect(),
+            economics: self.economics,
+        }
     }
 }
 

@@ -137,7 +137,22 @@
 //!    cells' peak negotiations on **one** shared
 //!    [`sweep::WorkerPool`], aggregating a [`fleet::FleetReport`]
 //!    (per-cell reports + cross-cell economics) that is byte-identical
-//!    for any thread count.
+//!    for any thread count;
+//! 9. **Report** — how much of all that a season *retains* is a policy,
+//!    not a constant: a [`session::ReportTier`] chosen per campaign
+//!    ([`campaign::CampaignBuilder::report_tier`] /
+//!    `FleetRunner::report_tier`) and enforced at the source in the
+//!    report assembler. [`session::ReportTier::Aggregate`] keeps digest
+//!    scalars only, [`session::ReportTier::Settlement`] adds per-customer
+//!    settlements and economics, [`session::ReportTier::FullTrace`] keeps
+//!    every round, table and bid. Lower tiers never *store* the dropped
+//!    detail (E17 pins the retained-memory ratio), yet every tier
+//!    reports identical digest scalars and economics, and streaming at a
+//!    tier equals downgrading a full-trace report via
+//!    [`session::NegotiationReport::at_tier`] after the fact. Season
+//!    reports persist to compact versioned binary archives — seekable
+//!    per cell and per day without decoding the season — via the
+//!    `loadbal-archive` crate and its `season-inspect` CLI.
 //!
 //! Both hot loops under this pipeline are allocation-lean and
 //! spawn-free. The [`sweep::WorkerPool`] is **persistent**: worker
@@ -158,7 +173,7 @@
 //! day (E15).
 //!
 //! The full pipeline: grid → prediction → peaks → scenarios → campaign
-//! → **fleet**.
+//! → fleet → **tiered report / archive**.
 //!
 //! ```
 //! use loadbal_core::prelude::*;
@@ -231,7 +246,8 @@ pub mod prelude {
     pub use crate::preferences::CustomerPreferences;
     pub use crate::reward::{RewardFormula, RewardTable};
     pub use crate::session::{
-        CustomerProfile, NegotiationReport, RoundRecord, Scenario, ScenarioBuilder,
+        CustomerProfile, NegotiationReport, ReportTier, RoundDigest, RoundRecord, Scenario,
+        ScenarioBuilder,
     };
     pub use crate::strategy::select_method;
     pub use crate::sweep::{ScenarioSweep, SweepOutcome, WorkerPool};

@@ -88,6 +88,134 @@ impl Scenario {
     ) -> NegotiationReport {
         scratch.run(self, method)
     }
+
+    /// [`Scenario::run_in`] at a chosen [`ReportTier`]: identical
+    /// negotiation, but the report only *retains* what the tier keeps
+    /// (the [`RoundDigest`] scalars always survive). `FullTrace` is
+    /// byte-identical to [`Scenario::run_in`].
+    pub fn run_in_at(
+        &self,
+        method: AnnouncementMethod,
+        tier: ReportTier,
+        scratch: &mut crate::sync_driver::NegotiationScratch,
+    ) -> NegotiationReport {
+        scratch.run_at(self, method, tier)
+    }
+}
+
+/// How much of a negotiation a report *retains*.
+///
+/// The tier never changes what is negotiated — every scalar accessor
+/// ([`NegotiationReport::final_total`],
+/// [`NegotiationReport::total_rewards`], …) answers identically at every
+/// tier, because the [`ReportAssembler`](crate::engine::ReportAssembler)
+/// folds each observation into the [`RoundDigest`] as it streams past.
+/// What differs is the storage kept behind the accessors:
+///
+/// * [`ReportTier::Aggregate`] — per-negotiation scalars only (the
+///   digest); no round records, no settlements, no scenario.
+/// * [`ReportTier::Settlement`] — the digest plus the final per-customer
+///   [`Settlement`]s; no round records, no scenario.
+/// * [`ReportTier::FullTrace`] — everything, byte-identical to the
+///   pre-tier behaviour: every [`RoundRecord`] (tables, bids) and, in a
+///   campaign, the materialised [`Scenario`].
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub enum ReportTier {
+    /// Per-day/per-peak scalars only.
+    Aggregate,
+    /// Final settlements and economics, no round records.
+    Settlement,
+    /// Today's behaviour: the complete per-round history.
+    #[default]
+    FullTrace,
+}
+
+impl ReportTier {
+    /// All tiers, cheapest first.
+    pub fn all() -> [ReportTier; 3] {
+        [
+            ReportTier::Aggregate,
+            ReportTier::Settlement,
+            ReportTier::FullTrace,
+        ]
+    }
+
+    /// True if reports at this tier keep per-round records.
+    pub fn keeps_rounds(self) -> bool {
+        self == ReportTier::FullTrace
+    }
+
+    /// True if reports at this tier keep per-customer settlements.
+    pub fn keeps_settlements(self) -> bool {
+        self >= ReportTier::Settlement
+    }
+
+    /// The stable kebab-case name (archive headers, BENCH records, CLI).
+    pub fn name(self) -> &'static str {
+        match self {
+            ReportTier::Aggregate => "aggregate",
+            ReportTier::Settlement => "settlement",
+            ReportTier::FullTrace => "full-trace",
+        }
+    }
+
+    /// Parses [`ReportTier::name`] back (CLI flags, archive tooling).
+    pub fn from_name(name: &str) -> Option<ReportTier> {
+        ReportTier::all().into_iter().find(|t| t.name() == name)
+    }
+}
+
+impl fmt::Display for ReportTier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The per-negotiation scalars that survive every [`ReportTier`] — the
+/// streaming fold of the round records and settlements a lower tier
+/// drops.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RoundDigest {
+    /// Rounds the negotiation ran.
+    pub rounds: u32,
+    /// Messages exchanged across all rounds (excluding awards).
+    pub messages: u64,
+    /// Σ predicted use after the final round (the initial total if no
+    /// round completed).
+    pub final_total: KilowattHours,
+    /// Total reward outlay across settlements.
+    pub total_rewards: Money,
+    /// Customers settled with.
+    pub customers: u32,
+}
+
+impl RoundDigest {
+    /// The digest of a negotiation that has not completed any round:
+    /// `final_total` starts at the initial prediction.
+    pub fn starting_at(initial_total: KilowattHours) -> RoundDigest {
+        RoundDigest {
+            rounds: 0,
+            messages: 0,
+            final_total: initial_total,
+            total_rewards: Money::ZERO,
+            customers: 0,
+        }
+    }
+
+    /// Folds one completed round into the digest.
+    pub fn observe_round(&mut self, record: &RoundRecord) {
+        self.rounds += 1;
+        self.messages += record.messages;
+        self.final_total = record.predicted_total;
+    }
+
+    /// Folds the final settlements into the digest.
+    pub fn observe_settlements(&mut self, settlements: &[Settlement]) {
+        self.total_rewards = settlements.iter().map(|s| s.reward).sum();
+        self.customers = settlements.len() as u32;
+    }
 }
 
 /// Everything that happened in one negotiation round.
@@ -126,11 +254,18 @@ pub struct Settlement {
 }
 
 /// The complete result of one negotiation.
+///
+/// What the report *stores* depends on its [`ReportTier`]; what it can
+/// *answer* does not — every scalar accessor reads the [`RoundDigest`]
+/// that survives all tiers, so campaign feedback and economics work
+/// identically whether the rounds were kept or streamed away.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct NegotiationReport {
     method: AnnouncementMethod,
     normal_use: KilowattHours,
     initial_total: KilowattHours,
+    tier: ReportTier,
+    digest: RoundDigest,
     rounds: Vec<RoundRecord>,
     status: NegotiationStatus,
     settlements: Vec<Settlement>,
@@ -138,7 +273,9 @@ pub struct NegotiationReport {
 }
 
 impl NegotiationReport {
-    /// Assembles a report (used by the method implementations).
+    /// Assembles a full-trace report (used by the method
+    /// implementations); the digest is derived from the stored rounds
+    /// and settlements.
     pub(crate) fn new(
         method: AnnouncementMethod,
         normal_use: KilowattHours,
@@ -148,10 +285,17 @@ impl NegotiationReport {
         settlements: Vec<Settlement>,
         extra_messages: u64,
     ) -> NegotiationReport {
+        let mut digest = RoundDigest::starting_at(initial_total);
+        for r in &rounds {
+            digest.observe_round(r);
+        }
+        digest.observe_settlements(&settlements);
         NegotiationReport {
             method,
             normal_use,
             initial_total,
+            tier: ReportTier::FullTrace,
+            digest,
             rounds,
             status,
             settlements,
@@ -159,12 +303,87 @@ impl NegotiationReport {
         }
     }
 
+    /// Reassembles a report from its stored parts — the
+    /// `loadbal-archive` decoder's entry point. The caller vouches for
+    /// consistency (a tier below `FullTrace` carries empty `rounds`; the
+    /// digest matches whatever was folded at assembly time); nothing is
+    /// recomputed and nothing panics.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        method: AnnouncementMethod,
+        normal_use: KilowattHours,
+        initial_total: KilowattHours,
+        tier: ReportTier,
+        digest: RoundDigest,
+        rounds: Vec<RoundRecord>,
+        status: NegotiationStatus,
+        settlements: Vec<Settlement>,
+        extra_messages: u64,
+    ) -> NegotiationReport {
+        NegotiationReport {
+            method,
+            normal_use,
+            initial_total,
+            tier,
+            digest,
+            rounds,
+            status,
+            settlements,
+            extra_messages,
+        }
+    }
+
+    /// Copies this report down to `tier`, dropping whatever the lower
+    /// tier does not keep (a tier at or above the report's own is a
+    /// plain clone). Streaming a negotiation at `tier` and downgrading a
+    /// `FullTrace` report with `at_tier` produce equal reports — the
+    /// archive writer and the tier-equivalence tests rely on it.
+    pub fn at_tier(&self, tier: ReportTier) -> NegotiationReport {
+        let tier = tier.min(self.tier);
+        NegotiationReport {
+            method: self.method,
+            normal_use: self.normal_use,
+            initial_total: self.initial_total,
+            tier,
+            digest: self.digest,
+            rounds: if tier.keeps_rounds() {
+                self.rounds.clone()
+            } else {
+                Vec::new()
+            },
+            status: self.status,
+            settlements: if tier.keeps_settlements() {
+                self.settlements.clone()
+            } else {
+                Vec::new()
+            },
+            extra_messages: self.extra_messages,
+        }
+    }
+
+    /// The tier this report was assembled at — what it stores, not what
+    /// it can answer.
+    pub fn tier(&self) -> ReportTier {
+        self.tier
+    }
+
+    /// The tier-independent scalar fold of the negotiation.
+    pub fn digest(&self) -> RoundDigest {
+        self.digest
+    }
+
+    /// Messages beyond the per-round counts (awards/confirmations).
+    pub fn extra_messages(&self) -> u64 {
+        self.extra_messages
+    }
+
     /// The announcement method used.
     pub fn method(&self) -> AnnouncementMethod {
         self.method
     }
 
-    /// The per-round history.
+    /// The per-round history — empty below [`ReportTier::FullTrace`]
+    /// (the count survives in [`NegotiationReport::digest`]).
     pub fn rounds(&self) -> &[RoundRecord] {
         &self.rounds
     }
@@ -179,7 +398,9 @@ impl NegotiationReport {
         self.status.is_converged()
     }
 
-    /// Per-customer settlements.
+    /// Per-customer settlements — empty below
+    /// [`ReportTier::Settlement`] (the total survives in
+    /// [`NegotiationReport::digest`]).
     pub fn settlements(&self) -> &[Settlement] {
         &self.settlements
     }
@@ -196,10 +417,7 @@ impl NegotiationReport {
 
     /// Total predicted consumption after the final round.
     pub fn final_total(&self) -> KilowattHours {
-        self.rounds
-            .last()
-            .map(|r| r.predicted_total)
-            .unwrap_or(self.initial_total)
+        self.digest.final_total
     }
 
     /// Energy the negotiation took out of the peak interval: the drop in
@@ -228,12 +446,7 @@ impl NegotiationReport {
 
     /// Predicted overuse after the final round, in energy.
     pub fn final_overuse(&self) -> KilowattHours {
-        let total = self
-            .rounds
-            .last()
-            .map(|r| r.predicted_total)
-            .unwrap_or(self.initial_total);
-        (total - self.normal_use).clamp_non_negative()
+        (self.digest.final_total - self.normal_use).clamp_non_negative()
     }
 
     /// Initial relative overuse.
@@ -243,22 +456,17 @@ impl NegotiationReport {
 
     /// Final relative overuse.
     pub fn final_overuse_fraction(&self) -> f64 {
-        let total = self
-            .rounds
-            .last()
-            .map(|r| r.predicted_total)
-            .unwrap_or(self.initial_total);
-        overuse_fraction(total, self.normal_use)
+        overuse_fraction(self.digest.final_total, self.normal_use)
     }
 
     /// Total reward outlay across settlements.
     pub fn total_rewards(&self) -> Money {
-        self.settlements.iter().map(|s| s.reward).sum()
+        self.digest.total_rewards
     }
 
     /// Total messages exchanged (rounds plus awards/confirmations).
     pub fn total_messages(&self) -> u64 {
-        self.rounds.iter().map(|r| r.messages).sum::<u64>() + self.extra_messages
+        self.digest.messages + self.extra_messages
     }
 
     /// Final accepted cut-down per customer.
@@ -273,7 +481,7 @@ impl fmt::Display for NegotiationReport {
             f,
             "{} | {} rounds | overuse {:.1} → {:.1} | rewards {:.1} | msgs {} | {}",
             self.method,
-            self.rounds.len(),
+            self.digest.rounds,
             self.initial_overuse().value(),
             self.final_overuse().value(),
             self.total_rewards().value(),

@@ -21,19 +21,24 @@
 
 use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
 use crate::methods::AnnouncementMethod;
-use crate::session::{NegotiationReport, Scenario};
+use crate::session::{NegotiationReport, ReportTier, Scenario};
 
 /// Pumps a utility engine and its customers to completion and
-/// assembles the report — the single synchronous execution loop behind
-/// both [`SyncDriver::run`] and [`NegotiationScratch::run`].
+/// assembles the report at the given [`ReportTier`] — the single
+/// synchronous execution loop behind both [`SyncDriver::run`] and
+/// [`NegotiationScratch::run`].
 ///
 /// # Panics
 ///
 /// Panics if the engine stops emitting effects before settling —
 /// impossible for the shipped announcement methods, whose termination
 /// the concession protocol guarantees.
-fn pump(utility: &mut UtilityEngine, customers: &mut [CustomerEngine]) -> NegotiationReport {
-    let mut assembler = ReportAssembler::for_engine(utility);
+fn pump(
+    utility: &mut UtilityEngine,
+    customers: &mut [CustomerEngine],
+    tier: ReportTier,
+) -> NegotiationReport {
+    let mut assembler = ReportAssembler::for_engine_at(utility, tier);
     utility.handle(Input::Start);
     while let Some(effect) = utility.poll_effect() {
         // Observation effects (round records, settlements) move into
@@ -102,7 +107,11 @@ impl SyncDriver {
     /// impossible for the shipped announcement methods, whose
     /// termination the concession protocol guarantees.
     pub fn run(mut self) -> NegotiationReport {
-        pump(&mut self.utility, &mut self.customers)
+        pump(
+            &mut self.utility,
+            &mut self.customers,
+            ReportTier::FullTrace,
+        )
     }
 }
 
@@ -147,6 +156,18 @@ impl NegotiationScratch {
     /// Byte-identical to
     /// [`Scenario::run_with`](crate::session::Scenario::run_with).
     pub fn run(&mut self, scenario: &Scenario, method: AnnouncementMethod) -> NegotiationReport {
+        self.run_at(scenario, method, ReportTier::FullTrace)
+    }
+
+    /// [`NegotiationScratch::run`] retaining only what `tier` keeps —
+    /// the negotiation itself is identical; the
+    /// [`ReportAssembler`] simply stops storing what the tier drops.
+    pub fn run_at(
+        &mut self,
+        scenario: &Scenario,
+        method: AnnouncementMethod,
+        tier: ReportTier,
+    ) -> NegotiationReport {
         self.negotiations += 1;
         let n = scenario.customers.len();
         self.customers.truncate(n);
@@ -164,7 +185,7 @@ impl NegotiationScratch {
             }
             slot => slot.insert(UtilityEngine::with_method(scenario, method)),
         };
-        pump(utility, &mut self.customers)
+        pump(utility, &mut self.customers, tier)
     }
 }
 
@@ -240,7 +261,11 @@ mod tests {
     fn customers_learn_their_awards() {
         let scenario = ScenarioBuilder::paper_figure_6().build();
         let mut driver = SyncDriver::new(&scenario);
-        let report = pump(&mut driver.utility, &mut driver.customers);
+        let report = pump(
+            &mut driver.utility,
+            &mut driver.customers,
+            ReportTier::FullTrace,
+        );
         for (engine, settlement) in driver.customers.iter().zip(report.settlements()) {
             assert_eq!(engine.awarded(), Some(settlement));
         }

@@ -2,7 +2,7 @@
 //! reproduction of Brazier et al., *Agents Negotiating for Load Balancing
 //! of Electricity Use* (ICDCS 1998).
 //!
-//! This crate re-exports the four member crates:
+//! This crate re-exports the five member crates:
 //!
 //! * [`desire`] — the compositional agent framework (DESIRE) the paper's
 //!   prototype was built in,
@@ -13,7 +13,12 @@
 //!   [`NegotiationEngine`](loadbal_core::engine) protocol core, the three
 //!   drivers that execute it (synchronous, distributed, DESIRE-hosted),
 //!   the three §3.2 announcement methods, and the parallel
-//!   [`ScenarioSweep`](loadbal_core::sweep::ScenarioSweep) runner.
+//!   [`ScenarioSweep`](loadbal_core::sweep::ScenarioSweep) runner,
+//! * [`archive`] (crate `loadbal-archive`) — compact versioned binary
+//!   season archives for tiered campaign/fleet reports
+//!   ([`ReportTier`](loadbal_core::session::ReportTier)), seekable per
+//!   cell and per day, with the `season-inspect` CLI to list, dump and
+//!   diff them (see `examples/season_archive.rs`).
 //!
 //! # Quickstart
 //!
@@ -41,6 +46,7 @@
 //! ```
 
 pub use desire;
+pub use loadbal_archive as archive;
 pub use loadbal_core as core;
 pub use massim;
 pub use powergrid;

@@ -16,7 +16,7 @@
 use loadbal::core::campaign::{
     CampaignBuilder, CampaignReport, ClosedLoop, FixedPredictor, MarginalCostStop,
 };
-use loadbal::core::session::{NegotiationReport, Scenario};
+use loadbal::core::session::{NegotiationReport, ReportTier, Scenario};
 use loadbal::prelude::*;
 use powergrid::calendar::Horizon;
 use powergrid::prediction::MovingAverage;
@@ -137,7 +137,8 @@ fn corpus() -> Vec<(String, Scenario)> {
         .first()
         .expect("winter campaign detects at least one peak")
         .scenario
-        .clone();
+        .clone()
+        .expect("full-trace campaigns retain scenarios");
     scenarios.push(("grid-peak".to_string(), first_peak));
     scenarios
 }
@@ -203,13 +204,32 @@ fn check_campaign(name: &str, report: &CampaignReport) {
     check_rendered(name, &render_campaign(report));
 }
 
-#[test]
-fn closed_loop_campaign_matches_golden() {
-    // One closed-loop campaign under the marginal-cost stop: pins the
-    // whole feedback cycle — predictor choice, per-day feedback deltas,
-    // per-peak settlements and the stop-rule accounting.
+/// The tier-golden rendering: everything [`render_campaign`] shows plus
+/// what distinguishes the tiers — the stored tier and the retained
+/// settlements — so the `aggregate` and `settlement` snapshots differ
+/// where (and only where) the tiers do.
+fn render_campaign_at_tier(report: &CampaignReport) -> String {
+    let mut out = render_campaign(report);
+    for o in &report.outcomes {
+        writeln!(out, "outcome {}: tier={}", o.label, o.report.tier()).unwrap();
+        for (i, s) in o.report.settlements().iter().enumerate() {
+            writeln!(
+                out,
+                "  settlement {i}: cutdown={:.2} reward={:.6}",
+                s.cutdown.value(),
+                s.reward.value()
+            )
+            .unwrap();
+        }
+    }
+    out
+}
+
+/// The closed-loop fixture shared by the full-trace golden and the
+/// per-tier goldens, run at `tier` (parallel).
+fn closed_loop_fixture(tier: ReportTier, sequential: bool) -> CampaignReport {
     let homes = PopulationBuilder::new().households(40).build(11);
-    let report = CampaignBuilder::new(
+    let campaign = CampaignBuilder::new(
         &homes,
         &WeatherModel::winter(),
         &Horizon::new(6, 0, Season::Winter),
@@ -217,22 +237,56 @@ fn closed_loop_campaign_matches_golden() {
     .predictor(FixedPredictor(MovingAverage::new(3)))
     .feedback(ClosedLoop)
     .stop_rule(MarginalCostStop)
-    .build()
-    .run();
-    assert_eq!(report, {
-        // The snapshot is only meaningful if the run is pure.
-        CampaignBuilder::new(
-            &homes,
-            &WeatherModel::winter(),
-            &Horizon::new(6, 0, Season::Winter),
-        )
-        .predictor(FixedPredictor(MovingAverage::new(3)))
-        .feedback(ClosedLoop)
-        .stop_rule(MarginalCostStop)
-        .build()
-        .run_sequential()
-    });
+    .report_tier(tier)
+    .build();
+    if sequential {
+        campaign.run_sequential()
+    } else {
+        campaign.run()
+    }
+}
+
+#[test]
+fn closed_loop_campaign_matches_golden() {
+    // One closed-loop campaign under the marginal-cost stop: pins the
+    // whole feedback cycle — predictor choice, per-day feedback deltas,
+    // per-peak settlements and the stop-rule accounting.
+    let report = closed_loop_fixture(ReportTier::FullTrace, false);
+    // The snapshot is only meaningful if the run is pure.
+    assert_eq!(report, closed_loop_fixture(ReportTier::FullTrace, true));
     check_campaign("campaign-closed-loop", &report);
+}
+
+#[test]
+fn tiered_campaigns_match_goldens_and_downgrades() {
+    // The same fixture at the two lower tiers: pins what each tier
+    // keeps (settlements but no rounds at Settlement; scalars only at
+    // Aggregate) and that streaming at a tier equals downgrading a
+    // full-trace run after the fact.
+    let full = closed_loop_fixture(ReportTier::FullTrace, false);
+    for tier in [ReportTier::Aggregate, ReportTier::Settlement] {
+        let streamed = closed_loop_fixture(tier, false);
+        assert_eq!(
+            streamed,
+            full.at_tier(tier),
+            "streaming at {tier} diverged from at_tier({tier}) downgrade"
+        );
+        assert_eq!(streamed, closed_loop_fixture(tier, true));
+        for outcome in &streamed.outcomes {
+            assert_eq!(outcome.report.tier(), tier);
+            assert!(outcome.report.rounds().is_empty(), "{tier} kept rounds");
+            assert_eq!(outcome.scenario.is_some(), tier.keeps_rounds());
+            assert_eq!(
+                !outcome.report.settlements().is_empty(),
+                tier.keeps_settlements(),
+                "{tier} settlements retention wrong"
+            );
+        }
+        check_rendered(
+            &format!("campaign-closed-loop__{tier}"),
+            &render_campaign_at_tier(&streamed),
+        );
+    }
 }
 
 #[test]

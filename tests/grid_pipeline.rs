@@ -107,7 +107,10 @@ fn campaign_is_byte_deterministic_across_execution_modes() {
 fn pipeline_profiles_come_from_the_physical_model() {
     let homes = homes(200);
     let report = winter_runner(&homes).run();
-    let scenario = &report.outcomes[0].scenario;
+    let scenario = report.outcomes[0]
+        .scenario
+        .as_ref()
+        .expect("full-trace campaigns retain scenarios");
     assert_eq!(scenario.customers.len(), homes.len());
     // No customer can be asked for more than its physical ceiling, and
     // predicted use over the peak is strictly positive for every home.
