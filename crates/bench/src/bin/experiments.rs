@@ -42,8 +42,9 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const USAGE: &str = "usage: experiments [--json] <id>...
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
        invariants | market | categories | shapes | campaign | campaign_loop |
-       fleet_scaling | hot_loop | report_tiers | all
-  --json: also write BENCH_E15.json / BENCH_E16.json / BENCH_E17.json records";
+       fleet_scaling | hot_loop | report_tiers | fault_resilience | all
+  --json: also write BENCH_E15.json / BENCH_E16.json / BENCH_E17.json /
+          BENCH_E18.json records";
 
 fn write_json(path: &str, json: &str) {
     match std::fs::write(path, format!("{json}\n")) {
@@ -122,6 +123,16 @@ fn run(id: &str, json: bool) -> bool {
                 write_json("BENCH_E17.json", &r.to_json());
             }
         }
+        "fault_resilience" => {
+            // The acceptance shape: a 3-cell × 10-day winter season run
+            // sync, distributed-clean (asserted byte-identical) and once
+            // per fault class, diffed peak by peak.
+            let r = experiments::fault_resilience(3, 60, 10, 42);
+            println!("{r}");
+            if json {
+                write_json("BENCH_E18.json", &r.to_json());
+            }
+        }
         "all" => {
             for id in [
                 "fig1",
@@ -141,6 +152,7 @@ fn run(id: &str, json: bool) -> bool {
                 "fleet_scaling",
                 "hot_loop",
                 "report_tiers",
+                "fault_resilience",
             ] {
                 run(id, json);
                 println!();

@@ -7,9 +7,11 @@ use loadbal_core::campaign::{
 };
 use loadbal_core::concession::{verify_announcements, verify_bids};
 use loadbal_core::distributed::run_distributed;
+use loadbal_core::execution::ExecutionMode;
 use loadbal_core::methods::AnnouncementMethod;
 use loadbal_core::outcome::SettlementSummary;
 use loadbal_core::producer_agent::ProducerAgent;
+use loadbal_core::resilience::{FaultClass, ResilienceReport};
 use loadbal_core::reward::RewardFormula;
 use loadbal_core::session::{NegotiationReport, ReportTier, Scenario, ScenarioBuilder};
 use loadbal_core::sweep::ScenarioSweep;
@@ -2062,6 +2064,265 @@ impl ReportTiersResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// E18 — fault resilience: clean vs faulty distributed seasons
+// ---------------------------------------------------------------------
+
+/// One fault class's row of the resilience experiment.
+#[derive(Debug, Clone)]
+pub struct FaultResilienceRow {
+    /// The injected fault class.
+    pub class: FaultClass,
+    /// Mean `|Δ cut-down|` across matched settlements.
+    pub mean_drift: f64,
+    /// Largest single settlement drift.
+    pub max_drift: f64,
+    /// Faulty minus clean reward outlay (positive: faults cost money).
+    pub reward_delta: f64,
+    /// Faulty minus clean negotiation rounds.
+    pub extra_rounds: i64,
+    /// Faulty minus clean protocol messages.
+    pub extra_messages: i64,
+    /// Rounds the UA concluded on its deadline.
+    pub deadline_forced: u64,
+    /// Messages the network dropped.
+    pub dropped: u64,
+    /// Messages the network duplicated.
+    pub duplicated: u64,
+    /// Peaks matched against the clean season.
+    pub matched_peaks: usize,
+    /// Peaks present in only one season (closed-loop divergence).
+    pub unmatched_peaks: usize,
+    /// Wall-clock of the faulty season, microseconds.
+    pub wall_us: u128,
+}
+
+/// Result of the fault-resilience experiment.
+#[derive(Debug, Clone)]
+pub struct FaultResilienceResult {
+    /// Grid cells (campaigns) in the fleet.
+    pub cells: usize,
+    /// Households per cell.
+    pub households: usize,
+    /// Horizon length in days.
+    pub days: u64,
+    /// True if the distributed-clean season's
+    /// [`FleetReport`](loadbal_core::fleet::FleetReport) was
+    /// byte-identical to the sync season's — the §3.2 transparency
+    /// claim, asserted end to end.
+    pub clean_identical_to_sync: bool,
+    /// Peaks negotiated in the clean season.
+    pub negotiations: usize,
+    /// Wall-clock of the sync season, microseconds.
+    pub sync_wall_us: u128,
+    /// Wall-clock of the distributed-clean season, microseconds.
+    pub clean_wall_us: u128,
+    /// Messages the clean season put on the (perfect) wire.
+    pub clean_messages: u64,
+    /// One row per injected fault class.
+    pub rows: Vec<FaultResilienceRow>,
+    /// Runtime context for the JSON record.
+    pub meta: BenchMeta,
+}
+
+/// E18: what an unreliable network costs a season. The same
+/// `cells`-cell winter fleet runs once synchronously, once distributed
+/// over a perfect network (asserted byte-identical — the paper's
+/// location-transparency claim), and once per [`FaultClass`] over that
+/// class's stock faulty network; the [`ResilienceReport`] diffs each
+/// faulty season against the clean one peak by peak.
+///
+/// Settlement tier: drift needs settlements, and this is the tier a
+/// season-scale study would actually run at.
+pub fn fault_resilience(
+    cells: usize,
+    households: usize,
+    days: u64,
+    seed: u64,
+) -> FaultResilienceResult {
+    use loadbal_core::fleet::FleetRunner;
+    let horizon = Horizon::new(days, 0, Season::Winter);
+    let weather = WeatherModel::winter();
+    let populations: Vec<Vec<Household>> = (0..cells as u64)
+        .map(|c| {
+            PopulationBuilder::new()
+                .households(households)
+                .build(seed ^ c)
+        })
+        .collect();
+    let threads = std::num::NonZeroUsize::new(4).expect("4 > 0");
+    let build_fleet = |mode: ExecutionMode| {
+        let mut fleet = FleetRunner::new().threads(threads);
+        for (i, homes) in populations.iter().enumerate() {
+            let runner = CampaignBuilder::new(homes, &weather, &horizon)
+                .predictor(FixedPredictor(WeatherRegression::calibrated()))
+                .feedback(ClosedLoop)
+                .build();
+            fleet = fleet.cell(format!("cell{i}"), runner);
+        }
+        fleet.report_tier(ReportTier::Settlement).execution(mode)
+    };
+
+    let t0 = Instant::now();
+    let sync = build_fleet(ExecutionMode::sync()).run();
+    let sync_wall_us = t0.elapsed().as_micros();
+
+    let t0 = Instant::now();
+    let (clean, clean_traffic) =
+        build_fleet(ExecutionMode::distributed_clean().with_seed(seed)).run_instrumented();
+    let clean_wall_us = t0.elapsed().as_micros();
+    let clean_identical_to_sync = clean == sync;
+
+    let mut walls = Vec::new();
+    let report = ResilienceReport::against_baseline(
+        &clean,
+        &clean_traffic,
+        seed,
+        &FaultClass::all(),
+        |mode| {
+            let t = Instant::now();
+            let out = build_fleet(mode).run_instrumented();
+            walls.push(t.elapsed().as_micros());
+            out
+        },
+    );
+
+    let rows = report
+        .outcomes()
+        .iter()
+        .zip(walls)
+        .map(|(o, wall_us)| FaultResilienceRow {
+            class: o.class,
+            mean_drift: o.mean_drift(),
+            max_drift: o.max_drift(),
+            reward_delta: o.reward_delta().value(),
+            extra_rounds: o.extra_rounds(),
+            extra_messages: o.extra_messages(),
+            deadline_forced: o.traffic().deadline_forced_rounds,
+            dropped: o.traffic().messages_dropped,
+            duplicated: o.traffic().messages_duplicated,
+            matched_peaks: o.matched_peaks(),
+            unmatched_peaks: o.unmatched_peaks(),
+            wall_us,
+        })
+        .collect();
+
+    FaultResilienceResult {
+        cells,
+        households,
+        days,
+        clean_identical_to_sync,
+        negotiations: clean.negotiations(),
+        sync_wall_us,
+        clean_wall_us,
+        clean_messages: report.clean_traffic().messages_sent,
+        rows,
+        meta: BenchMeta::capture(ReportTier::Settlement, threads.get()),
+    }
+}
+
+impl fmt::Display for FaultResilienceResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E18 — fault resilience ({} cells × {} households, {}-day season, {} peaks)",
+            self.cells, self.households, self.days, self.negotiations
+        )?;
+        writeln!(
+            f,
+            "  sync {} µs | distributed-clean {} µs ({} wire messages), identical: {}",
+            self.sync_wall_us,
+            self.clean_wall_us,
+            self.clean_messages,
+            if self.clean_identical_to_sync {
+                "yes"
+            } else {
+                "NO"
+            }
+        )?;
+        writeln!(
+            f,
+            "  {:>9} {:>10} {:>9} {:>9} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>10}",
+            "class",
+            "drift mean",
+            "max",
+            "Δrewards",
+            "+rounds",
+            "+msgs",
+            "forced",
+            "dropped",
+            "dup'd",
+            "unmatched",
+            "wall µs"
+        )?;
+        for r in &self.rows {
+            writeln!(
+                f,
+                "  {:>9} {:>10.4} {:>9.4} {:>9.2} {:>7} {:>7} {:>8} {:>7} {:>7} {:>9} {:>10}",
+                r.class.name(),
+                r.mean_drift,
+                r.max_drift,
+                r.reward_delta,
+                r.extra_rounds,
+                r.extra_messages,
+                r.deadline_forced,
+                r.dropped,
+                r.duplicated,
+                r.unmatched_peaks,
+                r.wall_us
+            )?;
+        }
+        Ok(())
+    }
+}
+
+impl FaultResilienceResult {
+    /// A machine-readable record for `BENCH_E18.json` (the experiment
+    /// binary's `--json` flag) — per-class settlement drift, reward
+    /// loss and wire counters for the cross-PR trajectory.
+    pub fn to_json(&self) -> String {
+        let rows: Vec<String> = self
+            .rows
+            .iter()
+            .map(|r| {
+                format!(
+                    "{{\"class\":\"{}\",\"mean_drift\":{:.6},\"max_drift\":{:.6},\
+                     \"reward_delta\":{:.4},\"extra_rounds\":{},\"extra_messages\":{},\
+                     \"deadline_forced\":{},\"dropped\":{},\"duplicated\":{},\
+                     \"matched_peaks\":{},\"unmatched_peaks\":{},\"wall_us\":{}}}",
+                    r.class.name(),
+                    r.mean_drift,
+                    r.max_drift,
+                    r.reward_delta,
+                    r.extra_rounds,
+                    r.extra_messages,
+                    r.deadline_forced,
+                    r.dropped,
+                    r.duplicated,
+                    r.matched_peaks,
+                    r.unmatched_peaks,
+                    r.wall_us
+                )
+            })
+            .collect();
+        format!(
+            "{{\"experiment\":\"E18\",{},\"cells\":{},\"households\":{},\"days\":{},\
+             \"negotiations\":{},\"clean_identical_to_sync\":{},\"sync_wall_us\":{},\
+             \"clean_wall_us\":{},\"clean_messages\":{},\"rows\":[{}]}}",
+            self.meta.to_json(),
+            self.cells,
+            self.households,
+            self.days,
+            self.negotiations,
+            self.clean_identical_to_sync,
+            self.sync_wall_us,
+            self.clean_wall_us,
+            self.clean_messages,
+            rows.join(",")
+        )
+    }
+}
+
 /// Convenience used by the Figure 6/7 bench: the calibrated scenario.
 pub fn paper_scenario() -> Scenario {
     ScenarioBuilder::paper_figure_6().build()
@@ -2363,6 +2624,54 @@ mod tests {
         let json = r.to_json();
         assert!(json.contains("\"experiment\":\"E17\""));
         assert!(json.contains("\"scalars_identical\":true"));
+    }
+
+    #[test]
+    fn e18_clean_is_sync_and_faults_degrade_measurably() {
+        // The CI smoke shape: a small 2-cell winter season, every class.
+        let r = fault_resilience(2, 30, 5, 7);
+        assert!(
+            r.clean_identical_to_sync,
+            "distributed-clean must reproduce the sync season byte for byte"
+        );
+        assert!(r.negotiations > 0, "winter cells must carry peaks");
+        assert!(r.clean_messages > 0);
+        assert_eq!(r.rows.len(), 4);
+        let row = |class: FaultClass| {
+            r.rows
+                .iter()
+                .find(|x| x.class == class)
+                .expect("every class benchmarked")
+        };
+        // Each class leaves exactly its own fingerprint on the wire.
+        let drop = row(FaultClass::Drop);
+        assert!(drop.dropped > 0);
+        assert_eq!(drop.duplicated, 0);
+        assert!(
+            drop.deadline_forced > 0,
+            "15 % loss must force rounds onto the deadline"
+        );
+        let dup = row(FaultClass::Duplicate);
+        assert!(dup.duplicated > 0);
+        assert_eq!(dup.dropped, 0);
+        let reorder = row(FaultClass::Reorder);
+        assert_eq!(reorder.dropped, 0);
+        assert_eq!(reorder.duplicated, 0);
+        let outage = row(FaultClass::Outage);
+        assert!(outage.dropped > 0, "in-flight messages die in the window");
+        // Every season terminated and was diffed peak by peak.
+        for x in &r.rows {
+            assert!(x.matched_peaks > 0, "{}: no peaks matched", x.class);
+            assert!(x.mean_drift >= 0.0 && x.max_drift >= x.mean_drift);
+        }
+        let text = r.to_string();
+        assert!(text.contains("E18"));
+        assert!(text.contains("identical: yes"));
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\":\"E18\""));
+        assert!(json.contains("\"clean_identical_to_sync\":true"));
+        assert!(json.contains("\"class\":\"outage\""));
+        assert!(json.contains("\"meta\":{"));
     }
 
     #[test]

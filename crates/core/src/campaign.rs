@@ -51,6 +51,7 @@
 //! ```
 
 use crate::beta::BetaPolicy;
+use crate::execution::{peak_seed, ExecutionMode, NetworkTraffic, TrafficCell};
 use crate::methods::AnnouncementMethod;
 use crate::producer_agent::ProducerAgent;
 use crate::session::{NegotiationReport, ReportTier, Scenario, ScenarioBuilder};
@@ -260,6 +261,7 @@ pub struct CampaignBuilder<'a> {
     method: AnnouncementMethod,
     ua_config: UtilityAgentConfig,
     report_tier: ReportTier,
+    execution: ExecutionMode,
     threads: Option<NonZeroUsize>,
     normal_cost: PricePerKwh,
     expensive_cost: PricePerKwh,
@@ -298,6 +300,7 @@ impl<'a> CampaignBuilder<'a> {
                 .with_max_allowed_overuse(0.0)
                 .with_beta_policy(BetaPolicy::constant(14.0)),
             report_tier: ReportTier::FullTrace,
+            execution: ExecutionMode::Sync,
             threads: None,
             normal_cost: ProductionModel::DEFAULT_NORMAL_COST,
             expensive_cost: ProductionModel::DEFAULT_EXPENSIVE_COST,
@@ -357,6 +360,19 @@ impl<'a> CampaignBuilder<'a> {
     /// fleet-scale campaigns fit in memory.
     pub fn report_tier(mut self, tier: ReportTier) -> Self {
         self.report_tier = tier;
+        self
+    }
+
+    /// How each peak's negotiation actually executes (default
+    /// [`ExecutionMode::Sync`]): the in-process pump, or a seeded
+    /// [`massim`] simulation per peak over a network model. A
+    /// distributed-*clean* campaign reports byte-identically to a sync
+    /// one at every tier (the byte-identity suites pin this); a faulty
+    /// network degrades the season measurably, with the wire activity
+    /// accumulated as [`NetworkTraffic`] (see
+    /// [`CampaignRunner::run_instrumented`]).
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        self.execution = mode;
         self
     }
 
@@ -458,6 +474,7 @@ impl<'a> CampaignBuilder<'a> {
             method: self.method,
             ua_config,
             report_tier: self.report_tier,
+            execution: self.execution,
             threads: self.threads,
             pool: OnceLock::new(),
             predictor: self.predictor,
@@ -491,6 +508,7 @@ pub struct CampaignRunner<'a> {
     method: AnnouncementMethod,
     ua_config: UtilityAgentConfig,
     report_tier: ReportTier,
+    execution: ExecutionMode,
     threads: Option<NonZeroUsize>,
     /// The persistent worker pool for [`CampaignRunner::run`]: spawned
     /// on the first parallel run and reused by every day of every
@@ -532,6 +550,18 @@ impl CampaignRunner<'_> {
         self.report_tier = tier;
     }
 
+    /// The execution mode each peak negotiates under.
+    pub fn execution_mode(&self) -> &ExecutionMode {
+        &self.execution
+    }
+
+    /// Overrides the execution mode after building — how a
+    /// [`FleetRunner`](crate::fleet::FleetRunner) applies one fleet-wide
+    /// mode across cells built elsewhere.
+    pub fn set_execution_mode(&mut self, mode: ExecutionMode) {
+        self.execution = mode;
+    }
+
     /// Days the campaign will evaluate after warmup.
     pub fn days_to_evaluate(&self) -> usize {
         self.horizon.len() as usize - self.warmup_days
@@ -540,12 +570,28 @@ impl CampaignRunner<'_> {
     /// Runs the campaign, fanning each day's peak negotiations across
     /// cores; byte-identical to [`CampaignRunner::run_sequential`].
     pub fn run(&self) -> CampaignReport {
-        self.execute(true)
+        self.execute(true).0
     }
 
     /// Runs the campaign entirely on the calling thread (the reference
     /// order for determinism checks).
     pub fn run_sequential(&self) -> CampaignReport {
+        self.execute(false).0
+    }
+
+    /// [`CampaignRunner::run`] plus the season's accumulated
+    /// [`NetworkTraffic`] — all-zero under [`ExecutionMode::Sync`],
+    /// wire/drop/deadline counters under a distributed mode. The report
+    /// is byte-identical to [`CampaignRunner::run`]'s; the traffic is
+    /// deterministic for a given mode (order-independent sums over
+    /// per-peak seeded simulations).
+    pub fn run_instrumented(&self) -> (CampaignReport, NetworkTraffic) {
+        self.execute(true)
+    }
+
+    /// [`CampaignRunner::run_instrumented`] in the sequential reference
+    /// order — identical report *and* identical traffic.
+    pub fn run_sequential_instrumented(&self) -> (CampaignReport, NetworkTraffic) {
         self.execute(false)
     }
 
@@ -574,6 +620,7 @@ impl CampaignRunner<'_> {
             next_index: warmup as u64,
             outcomes: Vec::new(),
             days: Vec::new(),
+            traffic: NetworkTraffic::ZERO,
         }
     }
 
@@ -584,20 +631,19 @@ impl CampaignRunner<'_> {
         self.pool.get_or_init(|| WorkerPool::sized(self.threads))
     }
 
-    fn execute(&self, parallel: bool) -> CampaignReport {
+    fn execute(&self, parallel: bool) -> (CampaignReport, NetworkTraffic) {
         let mut progress = self.progress();
         if parallel {
             // One parked pool across every day; each worker threads one
-            // NegotiationScratch through all the peaks it claims.
+            // NegotiationScratch through all the peaks it claims —
+            // through the sync pump or the distributed simulation,
+            // whichever the campaign's execution mode says.
             let pool = self.pool();
             while let Some(plan) = progress.next_day() {
                 let reports = pool.run_with(
                     plan.scenarios.len(),
                     NegotiationScratch::new,
-                    |scratch, i| {
-                        let (_, scenario) = &plan.scenarios[i];
-                        scenario.run_in_at(scenario.method, plan.tier, scratch)
-                    },
+                    |scratch, i| plan.negotiate(i, scratch),
                 );
                 progress.complete_day(plan, reports);
             }
@@ -606,15 +652,14 @@ impl CampaignRunner<'_> {
             // season — byte-identical to fresh engines per peak.
             let mut scratch = NegotiationScratch::new();
             while let Some(plan) = progress.next_day() {
-                let reports = plan
-                    .scenarios
-                    .iter()
-                    .map(|(_, s)| s.run_in_at(s.method, plan.tier, &mut scratch))
+                let reports = (0..plan.scenarios.len())
+                    .map(|i| plan.negotiate(i, &mut scratch))
                     .collect();
                 progress.complete_day(plan, reports);
             }
         }
-        progress.finish()
+        let traffic = progress.traffic();
+        (progress.finish(), traffic)
     }
 }
 
@@ -632,6 +677,11 @@ pub struct DayPlan {
     peaks: Vec<Peak>,
     scenarios: Vec<(String, Scenario)>,
     tier: ReportTier,
+    mode: ExecutionMode,
+    /// Wire activity of this day's distributed negotiations, folded in
+    /// through [`DayPlan::negotiate`] by however many workers share the
+    /// plan (atomic sums — deterministic under any scheduling).
+    traffic: TrafficCell,
 }
 
 impl DayPlan {
@@ -662,6 +712,51 @@ impl DayPlan {
     pub fn is_stable(&self) -> bool {
         self.scenarios.is_empty()
     }
+
+    /// The execution mode this day's negotiations run under.
+    pub fn execution_mode(&self) -> &ExecutionMode {
+        &self.mode
+    }
+
+    /// Negotiates scenario `index` of this plan through `scratch`,
+    /// honouring the campaign's [`ExecutionMode`]: the in-process sync
+    /// pump, or one seeded [`massim`] simulation over the mode's network
+    /// (its per-peak seed fixed by the plan's day and the scenario's
+    /// position — never by which worker runs it). Distributed wire
+    /// activity accumulates on the plan and reaches the campaign's
+    /// [`NetworkTraffic`] when the plan is handed back through
+    /// [`CampaignProgress::complete_day`].
+    ///
+    /// Every driver of a campaign (the runner's own day loop, the
+    /// fleet's shared-pool scheduler) negotiates through this method so
+    /// the mode is honoured everywhere.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of range of
+    /// [`DayPlan::scenarios`].
+    pub fn negotiate(&self, index: usize, scratch: &mut NegotiationScratch) -> NegotiationReport {
+        let (_, scenario) = &self.scenarios[index];
+        match &self.mode {
+            ExecutionMode::Sync => scenario.run_in_at(scenario.method, self.tier, scratch),
+            ExecutionMode::Distributed {
+                network,
+                deadline,
+                seed,
+            } => {
+                let outcome = scratch.run_distributed_at(
+                    scenario,
+                    scenario.method,
+                    self.tier,
+                    network,
+                    peak_seed(*seed, self.day.index, index as u64),
+                    *deadline,
+                );
+                self.traffic.record(&outcome);
+                outcome.report
+            }
+        }
+    }
 }
 
 /// A campaign in flight: the predict → detect → materialise → feed-back
@@ -682,6 +777,7 @@ pub struct CampaignProgress<'r> {
     next_index: u64,
     outcomes: Vec<IntervalOutcome>,
     days: Vec<DayOutcome>,
+    traffic: NetworkTraffic,
 }
 
 impl CampaignProgress<'_> {
@@ -722,6 +818,8 @@ impl CampaignProgress<'_> {
             peaks,
             scenarios,
             tier: self.runner.report_tier,
+            mode: self.runner.execution.clone(),
+            traffic: TrafficCell::default(),
         })
     }
 
@@ -738,11 +836,13 @@ impl CampaignProgress<'_> {
             plan.scenarios.len(),
             "one report per scenario of the day plan"
         );
+        self.traffic += plan.traffic.snapshot();
         let DayPlan {
             day,
             peaks,
             scenarios,
             tier,
+            ..
         } = plan;
         let d = day.index as usize;
         let day_outcomes: Vec<IntervalOutcome> = scenarios
@@ -774,6 +874,13 @@ impl CampaignProgress<'_> {
             feedback_delta,
         });
         self.outcomes.extend(day_outcomes);
+    }
+
+    /// The [`NetworkTraffic`] accumulated over the days completed so
+    /// far — all-zero for a sync campaign. Read before
+    /// [`CampaignProgress::finish`].
+    pub fn traffic(&self) -> NetworkTraffic {
+        self.traffic
     }
 
     /// Assembles the finished [`CampaignReport`].

@@ -15,6 +15,7 @@ use crate::concession::NegotiationStatus;
 use crate::engine::{CustomerEngine, Effect, Input, Peer, ReportAssembler, UtilityEngine};
 use crate::message::Msg;
 use crate::session::{NegotiationReport, RoundRecord, Scenario, Settlement};
+use crate::sync_driver::NegotiationScratch;
 use massim::agent::{Agent, AgentId, Context, TimerToken};
 use massim::clock::SimDuration;
 use massim::metrics::Metrics;
@@ -37,6 +38,12 @@ impl CustomerProcess {
     /// The award received at the end, if any.
     pub fn awarded(&self) -> Option<&Settlement> {
         self.engine.awarded()
+    }
+
+    /// Unwraps the engine — how a hot loop recovers its buffers after a
+    /// run (see [`NegotiationScratch::run_distributed_at`]).
+    pub fn into_engine(self) -> CustomerEngine {
+        self.engine
     }
 }
 
@@ -78,8 +85,25 @@ impl UtilityProcess {
         customers: Vec<AgentId>,
         deadline: SimDuration,
     ) -> UtilityProcess {
-        let engine = UtilityEngine::new(scenario);
-        let assembler = ReportAssembler::for_engine(&engine);
+        UtilityProcess::with_engine_at(
+            UtilityEngine::new(scenario),
+            customers,
+            deadline,
+            crate::session::ReportTier::FullTrace,
+        )
+    }
+
+    /// Creates the UA process around an already-built engine, assembling
+    /// the report at `tier` — the constructor the scratch-reusing hot
+    /// path uses, so a campaign's distributed negotiations neither
+    /// rebuild engines nor retain more than their tier keeps.
+    pub fn with_engine_at(
+        engine: UtilityEngine,
+        customers: Vec<AgentId>,
+        deadline: SimDuration,
+        tier: crate::session::ReportTier,
+    ) -> UtilityProcess {
+        let assembler = ReportAssembler::for_engine_at(&engine, tier);
         let index_of = customers
             .iter()
             .enumerate()
@@ -92,6 +116,13 @@ impl UtilityProcess {
             index_of,
             deadline,
         }
+    }
+
+    /// Unwraps the process into its engine and finished report — how the
+    /// hot loop recovers the UA engine for reuse after a run.
+    pub fn into_engine_and_report(self) -> (UtilityEngine, NegotiationReport) {
+        let report = self.assembler.finish();
+        (self.engine, report)
     }
 
     /// The per-round history collected so far.
@@ -160,6 +191,9 @@ pub struct DistributedOutcome {
     pub report: NegotiationReport,
     /// Runtime metrics: real message counts, drops, virtual end time.
     pub metrics: Metrics,
+    /// Rounds the UA concluded on its response deadline instead of a
+    /// full response set — zero on a clean network.
+    pub deadline_forced_rounds: u64,
 }
 
 /// Runs the scenario's configured announcement method as a distributed
@@ -196,6 +230,72 @@ pub fn run_distributed(
     DistributedOutcome {
         report: process.report(),
         metrics: *sim.metrics(),
+        deadline_forced_rounds: process.engine.deadline_forced_rounds(),
+    }
+}
+
+impl NegotiationScratch {
+    /// Runs `method` on `scenario` through the distributed simulation,
+    /// reusing the scratch's engines — the distributed twin of
+    /// [`NegotiationScratch::run_at`]. The engines are checked out of
+    /// the scratch, moved into the simulation's processes, and recovered
+    /// afterwards via [`Simulation::take_agent`], so a campaign fanning
+    /// thousands of peaks through the network keeps its per-worker
+    /// buffers. Byte-identical to [`run_distributed`] for the same
+    /// scenario, network, seed and deadline (at
+    /// [`ReportTier::FullTrace`](crate::session::ReportTier::FullTrace)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation fails (event-budget exhaustion —
+    /// impossible for terminating negotiations).
+    pub fn run_distributed_at(
+        &mut self,
+        scenario: &Scenario,
+        method: crate::methods::AnnouncementMethod,
+        tier: crate::session::ReportTier,
+        network: &NetworkModel,
+        seed: u64,
+        deadline: SimDuration,
+    ) -> DistributedOutcome {
+        let (utility, customer_engines) = self.checkout(scenario, method);
+        let mut sim: Simulation<Msg> = Simulation::with_network(seed, network.clone());
+        sim.set_logging(false);
+        // Registration order matches `run_distributed` (customers in
+        // scenario order, then the UA) so the seeded event interleaving
+        // is identical.
+        let customer_ids: Vec<AgentId> = customer_engines
+            .into_iter()
+            .map(|engine| sim.add_agent(CustomerProcess::new(engine)))
+            .collect();
+        let ua = sim.add_agent(UtilityProcess::with_engine_at(
+            utility,
+            customer_ids.clone(),
+            deadline,
+            tier,
+        ));
+        sim.run().expect("negotiation simulation terminates");
+
+        let metrics = *sim.metrics();
+        let customers = customer_ids
+            .iter()
+            .map(|&id| {
+                sim.take_agent::<CustomerProcess>(id)
+                    .expect("customer process exists")
+                    .into_engine()
+            })
+            .collect();
+        let (utility, report) = sim
+            .take_agent::<UtilityProcess>(ua)
+            .expect("UA process exists")
+            .into_engine_and_report();
+        let deadline_forced_rounds = utility.deadline_forced_rounds();
+        self.check_in(utility, customers);
+        DistributedOutcome {
+            report,
+            metrics,
+            deadline_forced_rounds,
+        }
     }
 }
 
@@ -319,5 +419,63 @@ mod tests {
         let a = run_distributed(&scenario, net.clone(), 42, SimDuration::from_ticks(300));
         let b = run_distributed(&scenario, net, 42, SimDuration::from_ticks(300));
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn scratch_distributed_matches_fresh_engines() {
+        use crate::session::ReportTier;
+        // One scratch across mixed sizes, methods and networks — the
+        // checked-out/recovered engines must behave exactly like fresh
+        // ones, faults included.
+        let mut scratch = NegotiationScratch::new();
+        let nets = [
+            NetworkModel::perfect(),
+            NetworkModel::uniform(1, 15)
+                .with_drop_probability(0.15)
+                .with_duplicate_probability(0.1)
+                .with_reordering(0.2, 20),
+        ];
+        for &(n, seed) in &[(30usize, 1u64), (12, 2), (30, 1), (45, 3)] {
+            for method in AnnouncementMethod::all() {
+                let scenario = ScenarioBuilder::random(n, 0.35, seed)
+                    .method(method)
+                    .build();
+                for net in &nets {
+                    let fresh =
+                        run_distributed(&scenario, net.clone(), seed, SimDuration::from_ticks(300));
+                    let reused = scratch.run_distributed_at(
+                        &scenario,
+                        method,
+                        ReportTier::FullTrace,
+                        net,
+                        seed,
+                        SimDuration::from_ticks(300),
+                    );
+                    assert_eq!(fresh, reused, "n={n} seed={seed} {method}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn lossy_runs_report_deadline_forced_rounds() {
+        let scenario = ScenarioBuilder::random(30, 0.35, 3).build();
+        let clean = run_distributed(
+            &scenario,
+            NetworkModel::perfect(),
+            9,
+            SimDuration::from_ticks(200),
+        );
+        assert_eq!(clean.deadline_forced_rounds, 0, "clean runs never force");
+        let lossy = run_distributed(
+            &scenario,
+            NetworkModel::uniform(1, 10).with_drop_probability(0.3),
+            9,
+            SimDuration::from_ticks(200),
+        );
+        assert!(
+            lossy.deadline_forced_rounds > 0,
+            "30% loss must force at least one round"
+        );
     }
 }

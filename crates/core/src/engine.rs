@@ -155,6 +155,11 @@ pub struct UtilityEngine {
     last_bids: Vec<Fraction>,
     rounds_run: u32,
     concluded_round: u32,
+    /// Rounds concluded by the response deadline firing rather than by
+    /// every customer answering — always zero under the synchronous
+    /// driver (where timers never fire) and on a clean network; the
+    /// resilience layer reads it as a degradation signal.
+    deadline_forced: u64,
     status: Option<NegotiationStatus>,
     effects: VecDeque<Effect>,
 }
@@ -199,6 +204,7 @@ impl UtilityEngine {
             last_bids: vec![Fraction::ZERO; n],
             rounds_run: 0,
             concluded_round: 0,
+            deadline_forced: 0,
             status: None,
             effects: VecDeque::new(),
         }
@@ -232,6 +238,7 @@ impl UtilityEngine {
         self.last_bids.resize(n, Fraction::ZERO);
         self.rounds_run = 0;
         self.concluded_round = 0;
+        self.deadline_forced = 0;
         self.status = None;
         self.effects.clear();
     }
@@ -263,6 +270,13 @@ impl UtilityEngine {
     /// The final status, once settled.
     pub fn status(&self) -> Option<NegotiationStatus> {
         self.status
+    }
+
+    /// Rounds this engine concluded because the response deadline fired
+    /// before every customer answered (always zero under the
+    /// synchronous driver and on a clean network).
+    pub fn deadline_forced_rounds(&self) -> u64 {
+        self.deadline_forced
     }
 
     /// True once a [`Effect::Settled`] has been emitted.
@@ -368,6 +382,7 @@ impl UtilityEngine {
     fn on_timer(&mut self, token: u64) {
         let round = token as u32;
         if round == self.current_round() && self.concluded_round < round && self.status.is_none() {
+            self.deadline_forced += 1;
             self.conclude_round();
         }
     }

@@ -57,6 +57,7 @@
 use crate::campaign::{
     CampaignEconomics, CampaignProgress, CampaignReport, CampaignRunner, DayPlan,
 };
+use crate::execution::{ExecutionMode, NetworkTraffic};
 use crate::session::{NegotiationReport, ReportTier};
 use crate::sweep::WorkerPool;
 use crate::sync_driver::NegotiationScratch;
@@ -112,6 +113,20 @@ impl<'a> FleetRunner<'a> {
         self
     }
 
+    /// Applies one [`ExecutionMode`] fleet-wide: every cell added so
+    /// far (and each cell's own
+    /// [`CampaignBuilder::execution`](crate::campaign::CampaignBuilder::execution)
+    /// choice) is overridden, so the whole fleet negotiates sync, over
+    /// a clean simulated network, or over a faulty one. Per-peak seeds
+    /// derive from each peak's (day, index) position, so identical
+    /// cells still produce identical reports under any mode.
+    pub fn execution(mut self, mode: ExecutionMode) -> Self {
+        for (_, runner) in &mut self.cells {
+            runner.set_execution_mode(mode.clone());
+        }
+        self
+    }
+
     /// Caps the shared pool's worker count (default: machine
     /// parallelism). Per-campaign `threads(...)` settings are ignored
     /// under the fleet — the whole point is one pool. Replaces any pool
@@ -157,13 +172,23 @@ impl<'a> FleetRunner<'a> {
     /// count. A panicking negotiation resurfaces its original payload
     /// here, as with [`WorkerPool::run`].
     pub fn run(&self) -> FleetReport {
+        self.run_instrumented().0
+    }
+
+    /// [`FleetRunner::run`] plus each cell's accumulated
+    /// [`NetworkTraffic`] (cell order) — all-zero under
+    /// [`ExecutionMode::Sync`]. The report is byte-identical to
+    /// [`FleetRunner::run`]'s, and the traffic is deterministic for a
+    /// given mode (order-independent sums over per-peak seeded
+    /// simulations), for any thread count.
+    pub fn run_instrumented(&self) -> (FleetReport, Vec<NetworkTraffic>) {
         let pool = self.pool();
         // The unit of parallelism is the peak negotiation, not the cell:
         // even a single campaign keeps several workers busy on a
         // multi-peak day, so the worker count is not capped by cells.
         let workers = pool.threads().get();
         if workers <= 1 || self.cells.is_empty() {
-            return self.run_sequential();
+            return self.run_sequential_instrumented();
         }
         let cells: Vec<CellExec<'_>> = self
             .cells
@@ -216,29 +241,47 @@ impl<'a> FleetRunner<'a> {
         if let Some(payload) = panic.into_inner().unwrap_or_else(|p| p.into_inner()) {
             resume_unwind(payload);
         }
-        let reports = cells
+        let (reports, traffic) = cells
             .into_iter()
             .zip(&self.cells)
-            .map(|(cell, (label, _))| CellReport {
-                label: label.clone(),
-                report: cell.into_report(),
+            .map(|(cell, (label, _))| {
+                let (report, traffic) = cell.into_parts();
+                (
+                    CellReport {
+                        label: label.clone(),
+                        report,
+                    },
+                    traffic,
+                )
             })
-            .collect();
-        FleetReport::assemble(reports)
+            .unzip();
+        (FleetReport::assemble(reports), traffic)
     }
 
     /// Runs every campaign back to back on the calling thread — the
     /// reference order for determinism checks.
     pub fn run_sequential(&self) -> FleetReport {
-        FleetReport::assemble(
-            self.cells
-                .iter()
-                .map(|(label, runner)| CellReport {
-                    label: label.clone(),
-                    report: runner.run_sequential(),
-                })
-                .collect(),
-        )
+        self.run_sequential_instrumented().0
+    }
+
+    /// [`FleetRunner::run_instrumented`] in the sequential reference
+    /// order.
+    pub fn run_sequential_instrumented(&self) -> (FleetReport, Vec<NetworkTraffic>) {
+        let (reports, traffic) = self
+            .cells
+            .iter()
+            .map(|(label, runner)| {
+                let (report, traffic) = runner.run_sequential_instrumented();
+                (
+                    CellReport {
+                        label: label.clone(),
+                        report,
+                    },
+                    traffic,
+                )
+            })
+            .unzip();
+        (FleetReport::assemble(reports), traffic)
     }
 }
 
@@ -273,7 +316,7 @@ struct CellState<'r> {
     /// pool starts.
     progress: Option<CampaignProgress<'r>>,
     active: Option<ActiveDay>,
-    report: Option<CampaignReport>,
+    report: Option<(CampaignReport, NetworkTraffic)>,
 }
 
 enum Claim {
@@ -320,10 +363,7 @@ impl<'r> CellExec<'r> {
             Claim::Busy => Ok(false),
             Claim::Advanced => Ok(true),
             Claim::Negotiate(plan, index) => {
-                let result = catch_unwind(AssertUnwindSafe(|| {
-                    let (_, scenario) = &plan.scenarios()[index];
-                    scenario.run_in_at(scenario.method, plan.tier(), scratch)
-                }));
+                let result = catch_unwind(AssertUnwindSafe(|| plan.negotiate(index, scratch)));
                 // Release this worker's plan handle *before* storing:
                 // every store therefore happens with the storing
                 // worker's handle already dropped, so the day-completing
@@ -380,7 +420,8 @@ impl<'r> CellExec<'r> {
                 }
                 None => {
                     let progress = state.progress.take().expect("just inserted");
-                    state.report = Some(progress.finish());
+                    let traffic = progress.traffic();
+                    state.report = Some((progress.finish(), traffic));
                     unfinished.fetch_sub(1, Ordering::Release);
                     break;
                 }
@@ -425,7 +466,7 @@ impl<'r> CellExec<'r> {
         Ok(())
     }
 
-    fn into_report(self) -> CampaignReport {
+    fn into_parts(self) -> (CampaignReport, NetworkTraffic) {
         self.state
             .into_inner()
             .unwrap_or_else(|p| p.into_inner())

@@ -120,7 +120,16 @@
 //!    end, or stopping reward-table raises once the next table costs
 //!    more than the expensive production still avoidable
 //!    ([`campaign::MarginalCostStop`], priced by the
-//!    [`producer_agent::ProducerAgent`]);
+//!    [`producer_agent::ProducerAgent`]). *How* each peak negotiates is
+//!    the campaign's [`execution::ExecutionMode`]
+//!    ([`campaign::CampaignBuilder::execution`] /
+//!    [`fleet::FleetRunner::execution`]): the in-process sync pump, or a
+//!    seeded [`massim`] simulation per peak over a
+//!    [`massim::network::NetworkModel`] — byte-identical to sync when
+//!    the network is clean, measurably degraded when it is faulty, with
+//!    wire activity accumulated as [`execution::NetworkTraffic`] and
+//!    clean-vs-faulty seasons compared per fault class by
+//!    [`resilience::ResilienceReport`];
 //! 7. **Feed back** — the campaign's [`campaign::FeedbackPolicy`]
 //!    decides what enters prediction history: the simulated actuals
 //!    untouched ([`campaign::OpenLoop`]) or with the day's negotiated
@@ -212,6 +221,7 @@ pub mod concession;
 pub mod desire_host;
 pub mod distributed;
 pub mod engine;
+pub mod execution;
 pub mod fleet;
 pub mod market;
 pub mod message;
@@ -219,6 +229,7 @@ pub mod methods;
 pub mod outcome;
 pub mod preferences;
 pub mod producer_agent;
+pub mod resilience;
 pub mod resource_consumer;
 pub mod reward;
 pub mod session;
@@ -239,11 +250,13 @@ pub mod prelude {
     };
     pub use crate::concession::{NegotiationStatus, TerminationReason};
     pub use crate::engine::{CustomerEngine, Effect, Input, Peer, UtilityEngine};
+    pub use crate::execution::{ExecutionMode, NetworkTraffic};
     pub use crate::fleet::{CellReport, FleetReport, FleetRunner};
     pub use crate::message::Msg;
     pub use crate::methods::AnnouncementMethod;
     pub use crate::outcome::SettlementSummary;
     pub use crate::preferences::CustomerPreferences;
+    pub use crate::resilience::{CellResilience, FaultClass, FaultOutcome, ResilienceReport};
     pub use crate::reward::{RewardFormula, RewardTable};
     pub use crate::session::{
         CustomerProfile, NegotiationReport, ReportTier, RoundDigest, RoundRecord, Scenario,

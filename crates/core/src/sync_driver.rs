@@ -168,6 +168,15 @@ impl NegotiationScratch {
         method: AnnouncementMethod,
         tier: ReportTier,
     ) -> NegotiationReport {
+        self.reset_onto(scenario, method);
+        let utility = self.utility.as_mut().expect("reset populated the engine");
+        pump(utility, &mut self.customers, tier)
+    }
+
+    /// Re-aims every engine at `scenario`, reusing buffers: existing
+    /// customer engines are reset in place, extras dropped, missing ones
+    /// built fresh; same for the utility engine.
+    fn reset_onto(&mut self, scenario: &Scenario, method: AnnouncementMethod) {
         self.negotiations += 1;
         let n = scenario.customers.len();
         self.customers.truncate(n);
@@ -178,14 +187,33 @@ impl NegotiationScratch {
             self.customers
                 .push(CustomerEngine::for_customer(scenario, i));
         }
-        let utility = match &mut self.utility {
-            Some(engine) => {
-                engine.reset(scenario, method);
-                engine
-            }
-            slot => slot.insert(UtilityEngine::with_method(scenario, method)),
-        };
-        pump(utility, &mut self.customers, tier)
+        match &mut self.utility {
+            Some(engine) => engine.reset(scenario, method),
+            slot => *slot = Some(UtilityEngine::with_method(scenario, method)),
+        }
+    }
+
+    /// Resets the scratch onto `scenario` and hands the engines out by
+    /// value — for drivers (the distributed one) that must *own* their
+    /// engines for the duration of a run. Pair with
+    /// [`NegotiationScratch::check_in`] to return them so the next
+    /// negotiation reuses the buffers.
+    pub(crate) fn checkout(
+        &mut self,
+        scenario: &Scenario,
+        method: AnnouncementMethod,
+    ) -> (UtilityEngine, Vec<CustomerEngine>) {
+        self.reset_onto(scenario, method);
+        (
+            self.utility.take().expect("reset populated the engine"),
+            std::mem::take(&mut self.customers),
+        )
+    }
+
+    /// Returns engines previously [checked out](NegotiationScratch::checkout).
+    pub(crate) fn check_in(&mut self, utility: UtilityEngine, customers: Vec<CustomerEngine>) {
+        self.utility = Some(utility);
+        self.customers = customers;
     }
 }
 

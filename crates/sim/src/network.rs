@@ -3,10 +3,33 @@
 //!
 //! The paper assumes "emerging technologies allowing two-way
 //! communication between utility companies and their customers" — i.e. a
-//! real WAN. Latency spreads bids over time; loss lets the fault-injection
-//! tests exercise "customer never responds" paths; duplication and
-//! reordering exercise the at-least-once / out-of-order behaviour of any
-//! real transport (retransmitting concentrators, multi-path backhaul).
+//! real WAN. Each fault class has a distinct, observable effect on a
+//! negotiation run over this network:
+//!
+//! * **Latency** ([`NetworkModel::uniform`]) spreads bids over virtual
+//!   time but changes no outcome: every response still arrives before
+//!   the round deadline, so settlements are identical to the
+//!   synchronous run.
+//! * **Loss** ([`NetworkModel::with_drop_probability`]) makes customers
+//!   fall silent for a round. The Utility Agent's deadline timer then
+//!   concludes the round with each missing responder held at its last
+//!   known bid (monotonic concession makes that safe), so negotiations
+//!   take extra rounds, settlements drift toward earlier — more
+//!   conservative — cut-downs, and some conclude deadline-forced.
+//! * **Duplication** ([`NetworkModel::with_duplicate_probability`])
+//!   delivers a message twice. The engines are idempotent per round
+//!   (a repeated bid or announcement is ignored), so duplication alone
+//!   never changes a settlement — only the wire counters.
+//! * **Reordering** ([`NetworkModel::with_reordering`]) holds a message
+//!   back so later traffic overtakes it. A bid that slips past its
+//!   round's deadline is treated exactly like a lost one (the round
+//!   concludes without it, stale arrivals are discarded), so heavy
+//!   reordering shows up as deadline-forced rounds and drifted
+//!   settlements, lighter than outright loss at the same probability.
+//! * **Outages** ([`NetworkModel::with_outage`]) drop *everything* in a
+//!   virtual-time window (backhaul outage, concentrator reboot). Rounds
+//!   that straddle the window conclude empty on the deadline timer and
+//!   the protocol re-converges afterwards from the held bid floor.
 
 use crate::clock::SimDuration;
 use rand::rngs::StdRng;
@@ -81,49 +104,51 @@ impl NetworkModel {
         self
     }
 
-    /// Adds i.i.d. message loss with probability `p`.
+    /// Validates a fault probability: any value in the closed range
+    /// `[0, 1]` is legal (`1.0` means "every message"); anything else —
+    /// including NaN — is a configuration bug worth failing loudly on.
+    fn checked_probability(p: f64, what: &str) -> f64 {
+        assert!(
+            (0.0..=1.0).contains(&p),
+            "{what} probability must be within [0, 1], got {p}"
+        );
+        p
+    }
+
+    /// Adds i.i.d. message loss with probability `p`. `p = 1.0` is a
+    /// total blackout: every message is dropped.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ p < 1`.
+    /// Panics unless `0 ≤ p ≤ 1` (NaN rejected).
     pub fn with_drop_probability(mut self, p: f64) -> NetworkModel {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "drop probability {p} outside [0, 1)"
-        );
-        self.drop_probability = p;
+        self.drop_probability = NetworkModel::checked_probability(p, "drop");
         self
     }
 
     /// Adds i.i.d. message duplication with probability `p`: a duplicated
     /// message is delivered twice, each copy with its own latency.
+    /// `p = 1.0` duplicates every message.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ p < 1`.
+    /// Panics unless `0 ≤ p ≤ 1` (NaN rejected).
     pub fn with_duplicate_probability(mut self, p: f64) -> NetworkModel {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "duplicate probability {p} outside [0, 1)"
-        );
-        self.duplicate_probability = p;
+        self.duplicate_probability = NetworkModel::checked_probability(p, "duplicate");
         self
     }
 
     /// Adds i.i.d. reordering: with probability `p` a message is held
     /// back by an extra `1..=extra` ticks on top of its drawn latency, so
-    /// messages sent later can overtake it.
+    /// messages sent later can overtake it. `p = 1.0` holds back every
+    /// message.
     ///
     /// # Panics
     ///
-    /// Panics unless `0 ≤ p < 1` and `extra ≥ 1`.
+    /// Panics unless `0 ≤ p ≤ 1` (NaN rejected) and `extra ≥ 1`.
     pub fn with_reordering(mut self, p: f64, extra: u64) -> NetworkModel {
-        assert!(
-            (0.0..1.0).contains(&p),
-            "reorder probability {p} outside [0, 1)"
-        );
         assert!(extra >= 1, "reordering needs at least one extra tick");
-        self.reorder_probability = p;
+        self.reorder_probability = NetworkModel::checked_probability(p, "reorder");
         self.reorder_extra = extra;
         self
     }
@@ -251,9 +276,33 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "outside")]
-    fn bad_drop_probability_panics() {
-        let _ = NetworkModel::perfect().with_drop_probability(1.0);
+    #[should_panic(expected = "drop probability must be within [0, 1]")]
+    fn negative_drop_probability_panics() {
+        let _ = NetworkModel::perfect().with_drop_probability(-0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "drop probability must be within [0, 1]")]
+    fn nan_drop_probability_panics() {
+        let _ = NetworkModel::perfect().with_drop_probability(f64::NAN);
+    }
+
+    #[test]
+    fn total_drop_probability_drops_everything() {
+        let net = NetworkModel::perfect().with_drop_probability(1.0);
+        let mut rng = StdRng::seed_from_u64(13);
+        for _ in 0..100 {
+            assert_eq!(net.route(&mut rng), Delivery::Drop);
+        }
+    }
+
+    #[test]
+    fn total_duplicate_probability_duplicates_everything() {
+        let net = NetworkModel::perfect().with_duplicate_probability(1.0);
+        let mut rng = StdRng::seed_from_u64(14);
+        for _ in 0..100 {
+            assert!(matches!(net.route(&mut rng), Delivery::Duplicate(_, _)));
+        }
     }
 
     #[test]
@@ -333,9 +382,15 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "duplicate probability")]
+    #[should_panic(expected = "duplicate probability must be within [0, 1]")]
     fn bad_duplicate_probability_panics() {
-        let _ = NetworkModel::perfect().with_duplicate_probability(1.0);
+        let _ = NetworkModel::perfect().with_duplicate_probability(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "reorder probability must be within [0, 1]")]
+    fn bad_reorder_probability_panics() {
+        let _ = NetworkModel::perfect().with_reordering(2.0, 5);
     }
 
     #[test]

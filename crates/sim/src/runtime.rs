@@ -58,6 +58,7 @@ impl std::error::Error for RunError {}
 trait AnyAgent<M>: Agent<M> {
     fn as_any(&self) -> &dyn Any;
     fn as_any_mut(&mut self) -> &mut dyn Any;
+    fn into_any(self: Box<Self>) -> Box<dyn Any>;
 }
 
 impl<M, T: Agent<M> + 'static> AnyAgent<M> for T {
@@ -67,6 +68,17 @@ impl<M, T: Agent<M> + 'static> AnyAgent<M> for T {
     fn as_any_mut(&mut self) -> &mut dyn Any {
         self
     }
+    fn into_any(self: Box<Self>) -> Box<dyn Any> {
+        self
+    }
+}
+
+/// Placeholder left behind by [`Simulation::take_agent`]: absorbs any
+/// message or timer addressed to the vacated id.
+struct TakenAgent;
+
+impl<M> Agent<M> for TakenAgent {
+    fn on_message(&mut self, _from: AgentId, _msg: M, _ctx: &mut Context<'_, M>) {}
 }
 
 /// A deterministic discrete-event simulation over messages of type `M`.
@@ -154,6 +166,23 @@ impl<M: Clone + 'static> Simulation<M> {
         self.agents
             .get_mut(id.0 as usize)
             .and_then(|a| a.as_any_mut().downcast_mut::<T>())
+    }
+
+    /// Moves an agent out of the simulation, leaving an inert
+    /// placeholder at its id (ids stay dense; later traffic to the slot
+    /// is absorbed). `None` if the id is unknown or the concrete type
+    /// does not match — the original agent stays in place in that case.
+    ///
+    /// The intended use is recovering agent state after a run — e.g. the
+    /// negotiation engines a hot loop wants to reuse for the next
+    /// simulation instead of rebuilding.
+    pub fn take_agent<T: 'static>(&mut self, id: AgentId) -> Option<T> {
+        let slot = self.agents.get_mut(id.0 as usize)?;
+        if !slot.as_any().is::<T>() {
+            return None;
+        }
+        let taken = std::mem::replace(slot, Box::new(TakenAgent));
+        taken.into_any().downcast::<T>().ok().map(|boxed| *boxed)
     }
 
     /// Current virtual time.
@@ -618,5 +647,25 @@ mod tests {
     fn external_to_unknown_agent_panics() {
         let mut sim: Simulation<Msg> = Simulation::new(1);
         sim.send_external(AgentId(0), Msg::Ping(0));
+    }
+
+    #[test]
+    fn take_agent_moves_state_out() {
+        let mut sim = Simulation::new(1);
+        let echo = sim.add_agent(Echo { seen: Vec::new() });
+        sim.send_external(echo, Msg::Ping(3));
+        sim.run().unwrap();
+        assert!(
+            sim.take_agent::<Pinger>(echo).is_none(),
+            "wrong type must leave the agent in place"
+        );
+        let taken = sim.take_agent::<Echo>(echo).unwrap();
+        assert_eq!(taken.seen, vec![3]);
+        // The slot is now inert: a second take finds nothing and later
+        // traffic to the id is absorbed rather than erroring.
+        assert!(sim.take_agent::<Echo>(echo).is_none());
+        assert!(sim.take_agent::<Echo>(AgentId(99)).is_none());
+        sim.send_external(echo, Msg::Ping(4));
+        assert!(sim.run().is_ok());
     }
 }

@@ -6,12 +6,17 @@
 //! construction; these tests pin that property against regressions in
 //! the drivers' input/effect translation.
 
+use loadbal::core::campaign::{CampaignBuilder, ClosedLoop, FixedPredictor};
 use loadbal::core::desire_host::run_hosted;
 use loadbal::core::distributed::run_distributed;
+use loadbal::core::fleet::FleetRunner;
 use loadbal::massim::clock::SimDuration;
 use loadbal::massim::network::NetworkModel;
 use loadbal::prelude::*;
+use powergrid::calendar::Horizon;
+use powergrid::prediction::MovingAverage;
 use proptest::prelude::*;
+use std::num::NonZeroUsize;
 
 #[test]
 fn three_modes_agree_on_the_paper_scenario() {
@@ -132,5 +137,86 @@ proptest! {
             );
             prop_assert_eq!(&dist.report, &sync, "method {}", method);
         }
+    }
+
+    /// The campaign hot path's distributed driver — the scratch-reusing
+    /// [`NegotiationScratch::run_distributed_at`] — agrees with the sync
+    /// pump at **every** report tier over a perfect network, through a
+    /// scratch whose engine buffers were shaped by a previous
+    /// negotiation.
+    #[test]
+    fn scratch_distributed_clean_matches_sync_at_any_tier(
+        customers in 5usize..25,
+        seed in 0u64..10_000,
+        tier_ix in 0usize..3,
+    ) {
+        let tier =
+            [ReportTier::Aggregate, ReportTier::Settlement, ReportTier::FullTrace][tier_ix];
+        let scenario = ScenarioBuilder::random(customers, 0.35, seed).build();
+        let mut scratch = NegotiationScratch::new();
+        // Dirty the scratch first so the run goes through reset engines.
+        let _ = scratch.run(
+            &ScenarioBuilder::random(7, 0.4, 9).build(),
+            AnnouncementMethod::RequestForBids,
+        );
+        let sync = scratch.run_at(&scenario, scenario.method, tier);
+        let outcome = scratch.run_distributed_at(
+            &scenario,
+            scenario.method,
+            tier,
+            &NetworkModel::perfect(),
+            seed,
+            SimDuration::from_ticks(300),
+        );
+        prop_assert_eq!(&outcome.report, &sync, "tier {:?}", tier);
+        prop_assert_eq!(outcome.deadline_forced_rounds, 0);
+        prop_assert_eq!(outcome.metrics.messages_dropped, 0);
+    }
+}
+
+#[test]
+fn fleet_distributed_clean_is_byte_identical_to_sync_at_every_tier() {
+    // The transparency claim at the top of the stack: a whole fleet —
+    // shared pool, interleaved scheduling, closed-loop feedback —
+    // reports the same bytes whether its peaks negotiate in-process or
+    // as seeded simulations over a perfect network.
+    let north = PopulationBuilder::new().households(35).build(1);
+    let south = PopulationBuilder::new().households(25).build(2);
+    let weather = WeatherModel::winter();
+    let horizon = Horizon::new(5, 0, Season::Winter);
+    for tier in [
+        ReportTier::Aggregate,
+        ReportTier::Settlement,
+        ReportTier::FullTrace,
+    ] {
+        let fleet = |mode: ExecutionMode| {
+            let cell = |homes| {
+                CampaignBuilder::new(homes, &weather, &horizon)
+                    .warmup_days(2)
+                    .predictor(FixedPredictor(MovingAverage::new(2)))
+                    .feedback(ClosedLoop)
+                    .build()
+            };
+            FleetRunner::new()
+                .cell("north", cell(&north))
+                .cell("south", cell(&south))
+                .threads(NonZeroUsize::new(3).expect("3 > 0"))
+                .report_tier(tier)
+                .execution(mode)
+        };
+        let sync = fleet(ExecutionMode::sync()).run();
+        let distributed = fleet(ExecutionMode::distributed_clean().with_seed(7));
+        let (interleaved, traffic) = distributed.run_instrumented();
+        assert_eq!(interleaved, sync, "{tier:?}: interleaved");
+        assert_eq!(
+            distributed.run_sequential(),
+            sync,
+            "{tier:?}: sequential distributed"
+        );
+        // Real messages crossed the wire; none were lost or forced.
+        let total: u64 = traffic.iter().map(|t| t.messages_sent).sum();
+        assert!(total > 0, "{tier:?}: no wire traffic recorded");
+        assert!(traffic.iter().all(|t| t.messages_dropped == 0));
+        assert!(traffic.iter().all(|t| t.deadline_forced_rounds == 0));
     }
 }

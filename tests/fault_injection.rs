@@ -229,6 +229,75 @@ fn crashed_customers_do_not_block_the_negotiation() {
 }
 
 #[test]
+fn campaign_fault_matrix_every_class_terminates_and_reproduces() {
+    // The season-scale fault matrix: a closed-loop winter campaign run
+    // once per fault class. Every campaign must terminate with every
+    // peak settled — converged within the protocol's own termination
+    // rule, or concluded on the UA's deadline (which the traffic
+    // counters then flag) — and the whole run, counters included, must
+    // be exactly reproducible from its seed.
+    use loadbal::core::campaign::{CampaignBuilder, ClosedLoop, FixedPredictor};
+    use powergrid::calendar::Horizon;
+    use powergrid::prediction::MovingAverage;
+
+    let homes = PopulationBuilder::new().households(25).build(4);
+    let weather = WeatherModel::winter();
+    let horizon = Horizon::new(5, 0, Season::Winter);
+    for class in FaultClass::all() {
+        let run = || {
+            CampaignBuilder::new(&homes, &weather, &horizon)
+                .warmup_days(2)
+                .predictor(FixedPredictor(MovingAverage::new(2)))
+                .feedback(ClosedLoop)
+                .report_tier(ReportTier::Settlement)
+                .execution(class.mode(17))
+                .build()
+                .run_instrumented()
+        };
+        let (report, traffic) = run();
+        assert!(report.negotiations() > 0, "{class}: no peaks negotiated");
+        for outcome in &report.outcomes {
+            // Termination is unconditional; under faults a negotiation
+            // may conclude by ε-convergence or by exhausting its round
+            // budget, but it always settles every customer.
+            assert!(
+                outcome.report.status().is_converged()
+                    || outcome.report.status() == NegotiationStatus::MaxRoundsExceeded,
+                "{class} {}: {}",
+                outcome.label,
+                outcome.report.status()
+            );
+            assert_eq!(
+                outcome.report.settlements().len(),
+                homes.len(),
+                "{class} {}: every customer settles",
+                outcome.label
+            );
+        }
+        assert_eq!(traffic.negotiations as usize, report.negotiations());
+        // Each class leaves exactly its own fingerprint on the wire.
+        match class {
+            FaultClass::Drop | FaultClass::Outage => {
+                assert!(traffic.messages_dropped > 0, "{class}: fault must bite");
+                assert_eq!(traffic.messages_duplicated, 0, "{class}");
+            }
+            FaultClass::Duplicate => {
+                assert!(traffic.messages_duplicated > 0, "{class}: fault must bite");
+                assert_eq!(traffic.messages_dropped, 0, "{class}");
+            }
+            FaultClass::Reorder => {
+                assert_eq!(traffic.messages_dropped, 0, "{class}");
+                assert_eq!(traffic.messages_duplicated, 0, "{class}");
+            }
+        }
+        // Exact reproducibility: reports and counters, byte for byte.
+        let (again, traffic_again) = run();
+        assert_eq!(report, again, "{class}: report not reproducible");
+        assert_eq!(traffic, traffic_again, "{class}: counters not reproducible");
+    }
+}
+
+#[test]
 fn equal_treatment_all_customers_see_identical_announcements() {
     // §6.1: "the Utility Agent communicates all Customer Agents the same
     // announcements, in compliance with Swedish law". Verify on the

@@ -289,6 +289,47 @@ fn tiered_campaigns_match_goldens_and_downgrades() {
     }
 }
 
+/// The distributed-faulty fixture: the closed-loop campaign's grid and
+/// policies, but with every peak negotiated as a seeded simulation over
+/// the drop-class faulty network. Settlement tier — the tier a faulty
+/// season study would actually run at.
+fn distributed_faulty_fixture(sequential: bool) -> (CampaignReport, NetworkTraffic) {
+    let homes = PopulationBuilder::new().households(40).build(11);
+    let campaign = CampaignBuilder::new(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(6, 0, Season::Winter),
+    )
+    .predictor(FixedPredictor(MovingAverage::new(3)))
+    .feedback(ClosedLoop)
+    .stop_rule(MarginalCostStop)
+    .report_tier(ReportTier::Settlement)
+    .execution(FaultClass::Drop.mode(23))
+    .build();
+    if sequential {
+        campaign.run_sequential_instrumented()
+    } else {
+        campaign.run_instrumented()
+    }
+}
+
+#[test]
+fn distributed_faulty_campaign_matches_golden() {
+    // A faulty distributed season is still a pure function of its seed:
+    // lost messages, deadline-forced rounds and all. The snapshot pins
+    // the degraded settlements *and* the wire counters, so any drift in
+    // the network model, the per-peak seeding or the deadline handling
+    // fails loudly.
+    let (report, traffic) = distributed_faulty_fixture(false);
+    let (seq_report, seq_traffic) = distributed_faulty_fixture(true);
+    assert_eq!(report, seq_report, "parallel faulty run diverged");
+    assert_eq!(traffic, seq_traffic, "traffic counters diverged");
+    assert!(traffic.messages_dropped > 0, "the drop fault must bite");
+    let mut rendered = render_campaign_at_tier(&report);
+    writeln!(rendered, "traffic: {traffic}").unwrap();
+    check_rendered("campaign-distributed-faulty", &rendered);
+}
+
 #[test]
 fn golden_corpus_is_replayable() {
     // The corpus relies on runs being pure; pin that here so a golden

@@ -85,6 +85,47 @@ proptest! {
         prop_assert_eq!(runner.run(), runner.run_sequential());
     }
 
+    /// The execution-mode transparency claim at the campaign layer: a
+    /// campaign whose peaks negotiate as seeded simulations over a
+    /// *perfect* network produces the **same bytes** as the in-process
+    /// sync campaign — for any grid, any report tier, any thread count,
+    /// any base seed. Per-peak seeds derive from (day, peak) positions,
+    /// so worker scheduling can never leak into the result.
+    #[test]
+    fn distributed_clean_campaign_is_byte_identical_to_sync(
+        households in 20usize..50,
+        pop_seed in 0u64..50,
+        threads in 1usize..5,
+        tier_ix in 0usize..3,
+        base_seed in 0u64..1000,
+    ) {
+        let tier = [ReportTier::Aggregate, ReportTier::Settlement, ReportTier::FullTrace][tier_ix];
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(5, 0, Season::Winter);
+        let build = |mode: ExecutionMode| {
+            CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+                .warmup_days(2)
+                .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"))
+                .predictor(FixedPredictor(MovingAverage::new(2)))
+                .feedback(ClosedLoop)
+                .report_tier(tier)
+                .execution(mode)
+                .build()
+        };
+        let sync = build(ExecutionMode::sync()).run_sequential();
+        let distributed = build(ExecutionMode::distributed_clean().with_seed(base_seed));
+        let (parallel, traffic) = distributed.run_instrumented();
+        prop_assert_eq!(&parallel, &sync, "tier {:?}, threads {}", tier, threads);
+        prop_assert_eq!(&distributed.run_sequential(), &sync);
+        // The perfect network carried real messages and lost nothing.
+        prop_assert_eq!(traffic.negotiations as usize, sync.negotiations());
+        if traffic.negotiations > 0 {
+            prop_assert!(traffic.messages_sent > 0);
+        }
+        prop_assert_eq!(traffic.messages_dropped, 0);
+        prop_assert_eq!(traffic.deadline_forced_rounds, 0);
+    }
+
     /// A *closed-loop* campaign — later days depend on earlier outcomes
     /// through the feedback into prediction history — is byte-identical
     /// across thread counts, with and without the marginal-cost stop.
