@@ -42,9 +42,10 @@ static ALLOC: CountingAlloc = CountingAlloc;
 const USAGE: &str = "usage: experiments [--json] <id>...
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
        invariants | market | categories | shapes | campaign | campaign_loop |
-       fleet_scaling | hot_loop | report_tiers | fault_resilience | all
+       fleet_scaling | hot_loop | report_tiers | fault_resilience |
+       adaptive_loops | all
   --json: also write BENCH_E15.json / BENCH_E16.json / BENCH_E17.json /
-          BENCH_E18.json records";
+          BENCH_E18.json / BENCH_E19.json records";
 
 fn write_json(path: &str, json: &str) {
     match std::fs::write(path, format!("{json}\n")) {
@@ -133,6 +134,17 @@ fn run(id: &str, json: bool) -> bool {
                 write_json("BENCH_E18.json", &r.to_json());
             }
         }
+        "adaptive_loops" => {
+            // The acceptance shape: the same seeded winter season run
+            // static and with all three self-tuning loops on, adaptive
+            // economics asserted no worse and byte-identity asserted
+            // across threads and sync/distributed-clean modes.
+            let r = experiments::adaptive_loops(220, 16, 42);
+            println!("{r}");
+            if json {
+                write_json("BENCH_E19.json", &r.to_json());
+            }
+        }
         "all" => {
             for id in [
                 "fig1",
@@ -153,6 +165,7 @@ fn run(id: &str, json: bool) -> bool {
                 "hot_loop",
                 "report_tiers",
                 "fault_resilience",
+                "adaptive_loops",
             ] {
                 run(id, json);
                 println!();

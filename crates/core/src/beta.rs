@@ -75,6 +75,38 @@ impl BetaPolicy {
         BetaPolicy::Annealing { beta, decay }
     }
 
+    /// The base β the policy starts a negotiation from — the value
+    /// experience-based tuning
+    /// ([`crate::utility_agent::own_process_control::OwnProcessControl::tune`])
+    /// adjusts between campaign days.
+    pub fn base_beta(&self) -> f64 {
+        match *self {
+            BetaPolicy::Constant { beta }
+            | BetaPolicy::Adaptive { beta, .. }
+            | BetaPolicy::Annealing { beta, .. } => beta,
+        }
+    }
+
+    /// The same policy shape with its base β replaced.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `beta` is negative or non-finite.
+    pub fn with_base_beta(self, beta: f64) -> BetaPolicy {
+        assert!(beta >= 0.0 && beta.is_finite(), "beta must be non-negative");
+        match self {
+            BetaPolicy::Constant { .. } => BetaPolicy::Constant { beta },
+            BetaPolicy::Adaptive {
+                gain, min_progress, ..
+            } => BetaPolicy::Adaptive {
+                beta,
+                gain,
+                min_progress,
+            },
+            BetaPolicy::Annealing { decay, .. } => BetaPolicy::Annealing { beta, decay },
+        }
+    }
+
     /// The β to use in `round` (0-based), given the negotiation history.
     ///
     /// `stall_rounds` counts consecutive rounds without meaningful

@@ -50,6 +50,7 @@
 //! assert_eq!(report, runner.run_sequential());
 //! ```
 
+use crate::adaptive::{RenegotiationRule, StaticTuning, TuningPolicy};
 use crate::beta::BetaPolicy;
 use crate::execution::{peak_seed, ExecutionMode, NetworkTraffic, TrafficCell};
 use crate::methods::AnnouncementMethod;
@@ -57,6 +58,7 @@ use crate::producer_agent::ProducerAgent;
 use crate::session::{NegotiationReport, ReportTier, Scenario, ScenarioBuilder};
 use crate::sweep::WorkerPool;
 use crate::sync_driver::NegotiationScratch;
+use crate::utility_agent::own_process_control::OwnProcessControl;
 use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
 use powergrid::calendar::{CalendarDay, Horizon};
 use powergrid::demand::simulate_horizon;
@@ -92,6 +94,26 @@ pub trait PredictorPolicy: fmt::Debug + Send + Sync {
     /// Chooses the predictor from the warmup window (`actuals` and
     /// `weathers` hold exactly the warmup days, oldest first).
     fn choose<'s>(&'s self, actuals: &[Series], weathers: &[Series]) -> &'s dyn LoadPredictor;
+
+    /// Re-considers the choice at a day boundary, after `days_evaluated`
+    /// post-warmup days have completed. `history` holds the campaign's
+    /// feedback-adjusted prediction history (warmup plus evaluated days,
+    /// oldest first) and `weathers` the aligned weather series. `None`
+    /// keeps the current predictor; the default policy never re-selects
+    /// — [`crate::adaptive::RollingWindow`] closes this loop.
+    ///
+    /// Called in the sequential day boundary, never inside the parallel
+    /// peak fan-out, so re-selection cannot perturb byte-identity across
+    /// thread counts or execution modes.
+    fn reselect<'s>(
+        &'s self,
+        days_evaluated: usize,
+        history: &[Series],
+        weathers: &[Series],
+    ) -> Option<&'s dyn LoadPredictor> {
+        let _ = (days_evaluated, history, weathers);
+        None
+    }
 }
 
 /// The trivial predictor policy: always the given model.
@@ -166,6 +188,16 @@ pub trait FeedbackPolicy: fmt::Debug + Send + Sync {
     /// The history entry for a day, given the day's simulated actual
     /// series and its negotiated outcomes (empty on stable days).
     fn history_entry(&self, actual: &Series, outcomes: &[IntervalOutcome]) -> Series;
+
+    /// Whether (and how) the campaign revisits residual overuse the
+    /// same day: `Some(rule)` makes the day loop re-detect peaks on the
+    /// post-negotiation predicted profile after each pass and
+    /// renegotiate them before the calendar advances, for at most
+    /// `rule.max_passes` extra passes. The default never renegotiates —
+    /// [`crate::adaptive::RenegotiateResidual`] closes this loop.
+    fn renegotiate(&self) -> Option<RenegotiationRule> {
+        None
+    }
 }
 
 /// Open loop: prediction history holds the simulated actuals untouched,
@@ -268,6 +300,7 @@ pub struct CampaignBuilder<'a> {
     predictor: Box<dyn PredictorPolicy + 'a>,
     feedback: Box<dyn FeedbackPolicy + 'a>,
     stop: Box<dyn StopPolicy + 'a>,
+    tuning: Box<dyn TuningPolicy + 'a>,
 }
 
 impl<'a> CampaignBuilder<'a> {
@@ -307,6 +340,7 @@ impl<'a> CampaignBuilder<'a> {
             predictor: Box::new(FixedPredictor(WeatherRegression::calibrated())),
             feedback: Box::new(OpenLoop),
             stop: Box::new(Unconditional),
+            tuning: Box::new(StaticTuning),
         }
     }
 
@@ -414,6 +448,18 @@ impl<'a> CampaignBuilder<'a> {
         self
     }
 
+    /// The day-boundary tuning policy: how each completed day's
+    /// settlement experience (recorded into the campaign's
+    /// [`OwnProcessControl`]) shapes the *next* day's
+    /// [`UtilityAgentConfig`]. The default [`StaticTuning`] keeps the
+    /// built configuration all season;
+    /// [`AdaptiveTuning`](crate::adaptive::AdaptiveTuning) closes the
+    /// paper's §7 experience loop.
+    pub fn tuning(mut self, policy: impl TuningPolicy + 'a) -> Self {
+        self.tuning = Box::new(policy);
+        self
+    }
+
     /// Validates the configuration, simulates the horizon's demand,
     /// sizes capacity from the warmup days and prices the stop rule —
     /// everything deterministic that precedes the first negotiation.
@@ -479,6 +525,7 @@ impl<'a> CampaignBuilder<'a> {
             pool: OnceLock::new(),
             predictor: self.predictor,
             feedback: self.feedback,
+            tuning: self.tuning,
             actuals,
             weathers,
             producer,
@@ -516,6 +563,7 @@ pub struct CampaignRunner<'a> {
     pool: OnceLock<WorkerPool>,
     predictor: Box<dyn PredictorPolicy + 'a>,
     feedback: Box<dyn FeedbackPolicy + 'a>,
+    tuning: Box<dyn TuningPolicy + 'a>,
     actuals: Vec<Series>,
     weathers: Vec<Series>,
     producer: ProducerAgent,
@@ -618,6 +666,9 @@ impl CampaignRunner<'_> {
             history: self.actuals[..warmup].to_vec(),
             scratch: DemandScratch::new(&self.axis),
             next_index: warmup as u64,
+            ua_config: self.ua_config.clone(),
+            control: OwnProcessControl::new(),
+            pending: None,
             outcomes: Vec::new(),
             days: Vec::new(),
             traffic: NetworkTraffic::ZERO,
@@ -678,6 +729,11 @@ pub struct DayPlan {
     scenarios: Vec<(String, Scenario)>,
     tier: ReportTier,
     mode: ExecutionMode,
+    /// Scenarios already negotiated for this day by earlier passes —
+    /// offsets the per-peak distributed seeds so a renegotiation pass
+    /// never replays the primary pass's network randomness (zero for
+    /// the primary plan, which keeps pre-adaptive seeds unchanged).
+    seed_base: u64,
     /// Wire activity of this day's distributed negotiations, folded in
     /// through [`DayPlan::negotiate`] by however many workers share the
     /// plan (atomic sums — deterministic under any scheduling).
@@ -749,7 +805,7 @@ impl DayPlan {
                     scenario.method,
                     self.tier,
                     network,
-                    peak_seed(*seed, self.day.index, index as u64),
+                    peak_seed(*seed, self.day.index, self.seed_base + index as u64),
                     *deadline,
                 );
                 self.traffic.record(&outcome);
@@ -767,6 +823,14 @@ impl DayPlan {
 /// One [`DemandScratch`] lives inside the progress and is reused across
 /// every household of every peak of every day — the campaign's scenario
 /// derivation allocates no per-device series.
+///
+/// The progress also owns the campaign's **adaptive state** — the
+/// current [`UtilityAgentConfig`], the [`OwnProcessControl`] recording
+/// every settlement, the live predictor and any staged renegotiation
+/// pass. All of it advances only inside
+/// [`CampaignProgress::complete_day`], i.e. in the sequential day
+/// boundary, which is why adaptive campaigns stay byte-identical across
+/// thread counts and execution modes.
 #[derive(Debug)]
 pub struct CampaignProgress<'r> {
     runner: &'r CampaignRunner<'r>,
@@ -775,9 +839,38 @@ pub struct CampaignProgress<'r> {
     history: Vec<Series>,
     scratch: DemandScratch,
     next_index: u64,
+    /// The UA configuration the *next* plan's scenarios negotiate with —
+    /// starts as the runner's and drifts under the tuning policy.
+    ua_config: UtilityAgentConfig,
+    /// Evaluation of every settlement completed so far (the paper's own
+    /// process control), fed to the tuning policy at each day boundary.
+    control: OwnProcessControl,
+    /// The calendar day whose passes are still in flight — holds the
+    /// day's predicted profile, accumulated outcomes and any staged
+    /// renegotiation peaks until the day is finalised.
+    pending: Option<PendingDay>,
     outcomes: Vec<IntervalOutcome>,
     days: Vec<DayOutcome>,
     traffic: NetworkTraffic,
+}
+
+/// Bookkeeping for the day currently being negotiated: created by
+/// [`CampaignProgress::next_day`] when the calendar advances, grown by
+/// each completed pass, consumed when the day finalises.
+#[derive(Debug)]
+struct PendingDay {
+    day: CalendarDay,
+    /// The profile the day's peaks were detected on — renegotiation
+    /// re-detects on this series with the settled cut-downs applied.
+    predicted: Series,
+    outcomes: Vec<IntervalOutcome>,
+    peaks: Vec<Peak>,
+    /// Negotiation passes completed for this day (primary included).
+    passes_done: usize,
+    /// Residual peaks staged for the next renegotiation pass, each with
+    /// the fraction of the originally predicted interval energy still
+    /// standing (the pass's demand scale).
+    staged: Vec<(Peak, f64)>,
 }
 
 impl CampaignProgress<'_> {
@@ -785,7 +878,18 @@ impl CampaignProgress<'_> {
     /// once the horizon is exhausted. Each returned plan must be handed
     /// back through [`CampaignProgress::complete_day`] before the next
     /// call.
+    ///
+    /// When the feedback policy renegotiates
+    /// ([`FeedbackPolicy::renegotiate`]) and the previous pass left
+    /// residual peaks staged, the returned plan is a **renegotiation
+    /// pass over the same calendar day** (labels carry a `#r<pass>`
+    /// suffix) rather than the next day — external drivers need no
+    /// special handling, pass plans flow through the same
+    /// negotiate/complete cycle.
     pub fn next_day(&mut self) -> Option<DayPlan> {
+        if let Some(plan) = self.next_pass_plan() {
+            return Some(plan);
+        }
         let day = self.runner.horizon.day(self.next_index)?;
         self.next_index += 1;
         let d = day.index as usize;
@@ -807,25 +911,112 @@ impl CampaignProgress<'_> {
                     day.day_type.intensity_factor(),
                     &mut self.scratch,
                 )
-                .config(self.runner.ua_config.clone())
+                .config(self.ua_config.clone())
                 .method(self.runner.method)
                 .build();
                 (format!("day{}/{}", day.index, peak.interval), scenario)
             })
             .collect();
+        self.pending = Some(PendingDay {
+            day,
+            predicted,
+            outcomes: Vec::new(),
+            peaks: Vec::new(),
+            passes_done: 0,
+            staged: Vec::new(),
+        });
         Some(DayPlan {
             day,
             peaks,
             scenarios,
             tier: self.runner.report_tier,
             mode: self.runner.execution.clone(),
+            seed_base: 0,
             traffic: TrafficCell::default(),
         })
     }
 
-    /// Records a completed day: `reports` must hold one
-    /// [`NegotiationReport`] per plan scenario, in plan order. Applies
-    /// the feedback policy and appends to the campaign's history.
+    /// Materialises the staged renegotiation pass, if any: the residual
+    /// peaks re-detected by the last [`CampaignProgress::complete_day`],
+    /// each scenario scaled down to the demand still standing after the
+    /// passes already settled, negotiated against the current UA
+    /// configuration with the rule's threshold as the allowed-overuse
+    /// band (so a completed pass leaves nothing it would re-detect).
+    fn next_pass_plan(&mut self) -> Option<DayPlan> {
+        let (day, pass, seed_base, staged) = self.pending.as_mut().and_then(|p| {
+            if p.staged.is_empty() {
+                None
+            } else {
+                Some((
+                    p.day,
+                    p.passes_done,
+                    p.outcomes.len() as u64,
+                    std::mem::take(&mut p.staged),
+                ))
+            }
+        })?;
+        let rule = self
+            .runner
+            .feedback
+            .renegotiate()
+            .expect("staged residual peaks imply a renegotiation rule");
+        let d = day.index as usize;
+        let config = self
+            .ua_config
+            .clone()
+            .with_max_allowed_overuse(rule.threshold);
+        let mut peaks = Vec::with_capacity(staged.len());
+        let mut scenarios = Vec::with_capacity(staged.len());
+        for (peak, scale) in staged {
+            let scenario = ScenarioBuilder::from_peak_with(
+                self.runner.households,
+                &self.runner.axis,
+                self.runner.weathers[d].mean(),
+                &peak,
+                day.index,
+                day.day_type.intensity_factor() * scale,
+                &mut self.scratch,
+            )
+            .config(config.clone())
+            .method(self.runner.method)
+            .build();
+            scenarios.push((
+                format!("day{}/{}#r{pass}", day.index, peak.interval),
+                scenario,
+            ));
+            peaks.push(peak);
+        }
+        Some(DayPlan {
+            day,
+            peaks,
+            scenarios,
+            tier: self.runner.report_tier,
+            mode: self.runner.execution.clone(),
+            seed_base,
+            traffic: TrafficCell::default(),
+        })
+    }
+
+    /// The Utility Agent configuration the next plan's scenarios will
+    /// negotiate with — the runner's until a tuning policy moves it.
+    pub fn ua_config(&self) -> &UtilityAgentConfig {
+        &self.ua_config
+    }
+
+    /// The campaign's own process control: one evaluation per settled
+    /// negotiation so far.
+    pub fn control(&self) -> &OwnProcessControl {
+        &self.control
+    }
+
+    /// Records a completed pass: `reports` must hold one
+    /// [`NegotiationReport`] per plan scenario, in plan order. Every
+    /// settlement is evaluated into the campaign's
+    /// [`OwnProcessControl`]; then either a renegotiation pass is staged
+    /// (residual peaks re-detected on the post-negotiation profile, see
+    /// [`FeedbackPolicy::renegotiate`]) or the day finalises — feedback
+    /// enters prediction history, the tuning policy shapes the next
+    /// day's UA configuration and the predictor policy may re-select.
     ///
     /// # Panics
     ///
@@ -844,7 +1035,6 @@ impl CampaignProgress<'_> {
             tier,
             ..
         } = plan;
-        let d = day.index as usize;
         let day_outcomes: Vec<IntervalOutcome> = scenarios
             .into_iter()
             .zip(reports)
@@ -861,19 +1051,83 @@ impl CampaignProgress<'_> {
                 report,
             })
             .collect();
+        for o in &day_outcomes {
+            self.control.record(&o.report);
+        }
+        let pass_shaved = day_outcomes
+            .iter()
+            .any(|o| o.report.energy_shaved().value() > 1e-9);
+        let pending = self
+            .pending
+            .as_mut()
+            .expect("complete_day follows next_day");
+        debug_assert_eq!(pending.day, day, "plans complete in order");
+        pending.outcomes.extend(day_outcomes);
+        pending.peaks.extend(peaks);
+        pending.passes_done += 1;
+
+        // Loop 2: stage an intra-day renegotiation pass while the rule
+        // allows one, the last pass still moved energy, and the settled
+        // cut-downs leave residual peaks on the predicted profile.
+        if let Some(rule) = self.runner.feedback.renegotiate() {
+            if pass_shaved && pending.passes_done <= rule.max_passes {
+                let residual = ClosedLoop.history_entry(&pending.predicted, &pending.outcomes);
+                let staged: Vec<(Peak, f64)> = PeakDetector::new(rule.threshold)
+                    .detect_all(&residual, self.runner.producer.production())
+                    .into_iter()
+                    .filter_map(|peak| {
+                        let before = pending.predicted.energy_over(peak.interval).value();
+                        let after = residual.energy_over(peak.interval).value();
+                        // Only renegotiate intervals that still carry
+                        // real demand; the scale re-materialises the
+                        // households at the consumption still standing.
+                        (before > 1e-9 && after > 1e-9)
+                            .then(|| (peak, (after / before).clamp(1e-6, 1.0)))
+                    })
+                    .collect();
+                if !staged.is_empty() {
+                    pending.staged = staged;
+                    return; // next_day serves the pass before the calendar moves
+                }
+            }
+        }
+
+        // The day is settled: apply feedback and close the day boundary.
+        let done = self.pending.take().expect("pending day just updated");
+        let d = day.index as usize;
         let entry = self
             .runner
             .feedback
-            .history_entry(&self.runner.actuals[d], &day_outcomes);
+            .history_entry(&self.runner.actuals[d], &done.outcomes);
         let feedback_delta = (self.runner.actuals[d].total() - entry.total()).clamp_non_negative();
+        let negotiated = !done.outcomes.is_empty();
         self.history.push(entry);
         self.days.push(DayOutcome {
             day,
             predictor: self.predictor.name(),
-            peaks,
+            peaks: done.peaks,
             feedback_delta,
         });
-        self.outcomes.extend(day_outcomes);
+        self.outcomes.extend(done.outcomes);
+
+        // Loop 1: tomorrow's UA configuration from today's experience —
+        // only when the day brought new experience, so stable days
+        // cannot compound an adjustment out of stale evaluations.
+        if negotiated {
+            self.ua_config = self
+                .runner
+                .tuning
+                .next_config(&self.control, &self.ua_config);
+        }
+        // Loop 3: the predictor policy may re-select on the updated
+        // feedback-adjusted history.
+        if let Some(p) = self.runner.predictor.reselect(
+            self.days.len(),
+            &self.history,
+            &self.runner.weathers[..self.history.len()],
+        ) {
+            self.predictor = p;
+        }
     }
 
     /// The [`NetworkTraffic`] accumulated over the days completed so

@@ -138,7 +138,23 @@
 //!    and the [`campaign::CampaignReport`] records per-day predictor
 //!    choice, feedback deltas and stop-rule accounting
 //!    ([`campaign::CampaignEconomics`]);
-//! 8. **Fleet** — a whole service area is many campaigns (one per grid
+//! 8. **Adapt** — the [`adaptive`] subsystem closes the paper's three
+//!    self-tuning loops at the sequential day boundary: every
+//!    settlement is evaluated into an
+//!    [`utility_agent::own_process_control::OwnProcessControl`] whose
+//!    experience shapes the next day's β and allowed-overuse band
+//!    ([`adaptive::AdaptiveTuning`], a [`adaptive::TuningPolicy`] —
+//!    §7's "dynamically varying the value of beta on the basis of
+//!    experience"); residual overuse left by an economic stop is
+//!    re-detected on the post-negotiation profile and renegotiated the
+//!    *same* day on a fresh reward ladder
+//!    ([`adaptive::RenegotiateResidual`]); and the predictor choice is
+//!    re-run on a sliding window of feedback-adjusted history as the
+//!    season drifts ([`adaptive::RollingWindow`]). Because all three
+//!    loops live between [`campaign::CampaignProgress::complete_day`]
+//!    and the next plan — never inside the parallel peak fan-out —
+//!    adaptive campaigns keep every byte-identity guarantee;
+//! 9. **Fleet** — a whole service area is many campaigns (one per grid
 //!    cell or household cohort), embarrassingly parallel across cells
 //!    even though days within a cell are sequential. The
 //!    [`fleet::FleetRunner`] drives every cell through the
@@ -147,21 +163,21 @@
 //!    [`sweep::WorkerPool`], aggregating a [`fleet::FleetReport`]
 //!    (per-cell reports + cross-cell economics) that is byte-identical
 //!    for any thread count;
-//! 9. **Report** — how much of all that a season *retains* is a policy,
-//!    not a constant: a [`session::ReportTier`] chosen per campaign
-//!    ([`campaign::CampaignBuilder::report_tier`] /
-//!    `FleetRunner::report_tier`) and enforced at the source in the
-//!    report assembler. [`session::ReportTier::Aggregate`] keeps digest
-//!    scalars only, [`session::ReportTier::Settlement`] adds per-customer
-//!    settlements and economics, [`session::ReportTier::FullTrace`] keeps
-//!    every round, table and bid. Lower tiers never *store* the dropped
-//!    detail (E17 pins the retained-memory ratio), yet every tier
-//!    reports identical digest scalars and economics, and streaming at a
-//!    tier equals downgrading a full-trace report via
-//!    [`session::NegotiationReport::at_tier`] after the fact. Season
-//!    reports persist to compact versioned binary archives — seekable
-//!    per cell and per day without decoding the season — via the
-//!    `loadbal-archive` crate and its `season-inspect` CLI.
+//! 10. **Report** — how much of all that a season *retains* is a policy,
+//!     not a constant: a [`session::ReportTier`] chosen per campaign
+//!     ([`campaign::CampaignBuilder::report_tier`] /
+//!     `FleetRunner::report_tier`) and enforced at the source in the
+//!     report assembler. [`session::ReportTier::Aggregate`] keeps digest
+//!     scalars only, [`session::ReportTier::Settlement`] adds per-customer
+//!     settlements and economics, [`session::ReportTier::FullTrace`] keeps
+//!     every round, table and bid. Lower tiers never *store* the dropped
+//!     detail (E17 pins the retained-memory ratio), yet every tier
+//!     reports identical digest scalars and economics, and streaming at a
+//!     tier equals downgrading a full-trace report via
+//!     [`session::NegotiationReport::at_tier`] after the fact. Season
+//!     reports persist to compact versioned binary archives — seekable
+//!     per cell and per day without decoding the season — via the
+//!     `loadbal-archive` crate and its `season-inspect` CLI.
 //!
 //! Both hot loops under this pipeline are allocation-lean and
 //! spawn-free. The [`sweep::WorkerPool`] is **persistent**: worker
@@ -214,6 +230,7 @@
 #![deny(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adaptive;
 pub mod beta;
 pub mod campaign;
 pub mod category;
@@ -242,6 +259,10 @@ pub mod utility_agent;
 
 /// The most frequently used items.
 pub mod prelude {
+    pub use crate::adaptive::{
+        AdaptiveTuning, RenegotiateResidual, RenegotiationRule, RollingWindow, StaticTuning,
+        TuningPolicy,
+    };
     pub use crate::beta::BetaPolicy;
     pub use crate::campaign::{
         BacktestSelected, CampaignBuilder, CampaignEconomics, CampaignReport, CampaignRunner,

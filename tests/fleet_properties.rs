@@ -35,6 +35,17 @@ fn build_cell<'a>(
     b.build()
 }
 
+fn build_adaptive_cell<'a>(homes: &'a [Household], weather: &WeatherModel) -> CampaignRunner<'a> {
+    let horizon = Horizon::new(6, 0, Season::Winter);
+    CampaignBuilder::new(homes, weather, &horizon)
+        .warmup_days(2)
+        .predictor(RollingWindow::standard(3, 2))
+        .feedback(RenegotiateResidual::new(2, 0.005))
+        .tuning(AdaptiveTuning)
+        .stop_rule(MarginalCostStop)
+        .build()
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(12))]
 
@@ -141,6 +152,39 @@ proptest! {
         let reference = build_fleet(1).run();
         for threads in [2usize, 4, 7] {
             prop_assert_eq!(&build_fleet(threads).run(), &reference, "threads = {}", threads);
+        }
+    }
+
+    /// Adaptive cells keep the fleet guarantee: campaigns running all
+    /// three self-tuning loops (rolling predictor re-selection,
+    /// same-day renegotiation, experience-tuned β), interleaved with
+    /// plain cells on one shared pool, are byte-identical to their
+    /// standalone sequential runs — each cell's tuned state is its own.
+    #[test]
+    fn fleet_with_adaptive_cells_is_byte_identical_to_sequential(
+        cells in prop::collection::vec((15usize..40, 0u64..40, any::<bool>()), 1..4),
+        threads in 1usize..7,
+    ) {
+        let weather = WeatherModel::winter();
+        let populations: Vec<Vec<Household>> = cells
+            .iter()
+            .map(|(n, seed, _)| PopulationBuilder::new().households(*n).build(*seed))
+            .collect();
+        let mut fleet = FleetRunner::new()
+            .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"));
+        for (i, ((_, _, adaptive), homes)) in cells.iter().zip(&populations).enumerate() {
+            let cell = if *adaptive {
+                build_adaptive_cell(homes, &weather)
+            } else {
+                build_cell(homes, &weather, true, false)
+            };
+            fleet = fleet.cell(format!("cell{i}"), cell);
+        }
+        let interleaved = fleet.run();
+        prop_assert_eq!(&interleaved, &fleet.run_sequential());
+        for (cell, (label, runner)) in interleaved.cells.iter().zip(fleet.cells()) {
+            prop_assert_eq!(&cell.label, label);
+            prop_assert_eq!(&cell.report, &runner.run_sequential());
         }
     }
 }

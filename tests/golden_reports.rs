@@ -289,6 +289,39 @@ fn tiered_campaigns_match_goldens_and_downgrades() {
     }
 }
 
+/// The adaptive fixture: the closed-loop campaign's grid with all
+/// three self-tuning loops closed — rolling predictor re-selection,
+/// same-day residual renegotiation and experience-tuned β/band.
+fn adaptive_fixture(sequential: bool) -> CampaignReport {
+    let homes = PopulationBuilder::new().households(40).build(11);
+    let campaign = CampaignBuilder::new(
+        &homes,
+        &WeatherModel::winter(),
+        &Horizon::new(6, 0, Season::Winter),
+    )
+    .predictor(RollingWindow::standard(3, 2))
+    .feedback(RenegotiateResidual::new(2, 0.005))
+    .tuning(AdaptiveTuning)
+    .stop_rule(MarginalCostStop)
+    .build();
+    if sequential {
+        campaign.run_sequential()
+    } else {
+        campaign.run()
+    }
+}
+
+#[test]
+fn adaptive_campaign_matches_golden() {
+    // The full adaptive stack on the closed-loop grid: pins the tuned
+    // configs' effect on every settlement, the renegotiation pass
+    // labels and the re-selected predictor trail, so any drift in the
+    // three day-boundary loops fails loudly.
+    let report = adaptive_fixture(false);
+    assert_eq!(report, adaptive_fixture(true), "adaptive run not pure");
+    check_campaign("campaign-adaptive", &report);
+}
+
 /// The distributed-faulty fixture: the closed-loop campaign's grid and
 /// policies, but with every peak negotiated as a seeded simulation over
 /// the drop-class faulty network. Settlement tier — the tier a faulty

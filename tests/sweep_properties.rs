@@ -153,4 +153,122 @@ proptest! {
             prop_assert_eq!(&runner.run_sequential(), &reference);
         }
     }
+
+    /// The full adaptive stack — rolling predictor re-selection,
+    /// same-day renegotiation and experience-tuned β — is byte-identical
+    /// across thread counts: all three self-tuning loops live in the
+    /// sequential day boundary, never inside the parallel peak fan-out.
+    #[test]
+    fn adaptive_campaign_is_byte_identical_across_thread_counts(
+        households in 20usize..60,
+        pop_seed in 0u64..50,
+        window in 2usize..5,
+        every in 1usize..4,
+        passes in 1usize..4,
+    ) {
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let build = |threads: usize| {
+            CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+                .warmup_days(2)
+                .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"))
+                .predictor(RollingWindow::standard(window, every))
+                .feedback(RenegotiateResidual::new(passes, 0.005))
+                .tuning(AdaptiveTuning)
+                .stop_rule(MarginalCostStop)
+                .build()
+        };
+        let reference = build(1).run_sequential();
+        for threads in [1usize, 2, 4, 7] {
+            let runner = build(threads);
+            prop_assert_eq!(&runner.run(), &reference, "threads = {}", threads);
+            prop_assert_eq!(&runner.run_sequential(), &reference);
+        }
+    }
+
+    /// An adaptive campaign on the clean distributed driver reproduces
+    /// the sync season byte for byte: the day-boundary loops (tuning,
+    /// renegotiation staging, predictor re-selection) see identical
+    /// settlement reports whichever driver negotiated them.
+    #[test]
+    fn adaptive_distributed_clean_campaign_is_byte_identical_to_sync(
+        households in 20usize..50,
+        pop_seed in 0u64..50,
+        threads in 1usize..5,
+        base_seed in 0u64..1000,
+    ) {
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let build = |mode: ExecutionMode| {
+            CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+                .warmup_days(2)
+                .threads(NonZeroUsize::new(threads).expect("threads ≥ 1"))
+                .predictor(RollingWindow::standard(3, 2))
+                .feedback(RenegotiateResidual::new(2, 0.005))
+                .tuning(AdaptiveTuning)
+                .stop_rule(MarginalCostStop)
+                .execution(mode)
+                .build()
+        };
+        let sync = build(ExecutionMode::sync()).run_sequential();
+        let distributed = build(ExecutionMode::distributed_clean().with_seed(base_seed));
+        prop_assert_eq!(&distributed.run(), &sync);
+        prop_assert_eq!(&distributed.run_sequential(), &sync);
+    }
+
+    /// Renegotiation regression: every pass label stays within the
+    /// configured bound, and no negotiation — primary or renegotiated —
+    /// ever increases the overuse it was asked to remove.
+    #[test]
+    fn renegotiation_is_bounded_and_never_increases_overuse(
+        households in 20usize..60,
+        pop_seed in 0u64..50,
+        passes in 1usize..4,
+    ) {
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(6, 0, Season::Winter);
+        let report = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(2)
+            .predictor(FixedPredictor(MovingAverage::new(2)))
+            .feedback(RenegotiateResidual::new(passes, 0.0))
+            .stop_rule(MarginalCostStop)
+            .build()
+            .run();
+        for o in &report.outcomes {
+            if let Some(ix) = o.label.find("#r") {
+                let pass: usize = o.label[ix + 2..].parse().expect("pass suffix");
+                prop_assert!(pass >= 1 && pass <= passes, "label {}", o.label);
+            }
+            prop_assert!(
+                o.report.final_overuse().value() <= o.report.initial_overuse().value() + 1e-9,
+                "{} increased overuse",
+                o.label
+            );
+        }
+    }
+
+    /// A renegotiation rule whose threshold no residual can reach is
+    /// exactly the closed loop: the delegation changes nothing until a
+    /// residual peak actually qualifies.
+    #[test]
+    fn unreachable_renegotiation_threshold_is_plain_closed_loop(
+        households in 20usize..60,
+        pop_seed in 0u64..50,
+    ) {
+        let homes = PopulationBuilder::new().households(households).build(pop_seed);
+        let horizon = Horizon::new(5, 0, Season::Winter);
+        let renegotiated = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(2)
+            .predictor(FixedPredictor(MovingAverage::new(2)))
+            .feedback(RenegotiateResidual::new(3, 10.0))
+            .build()
+            .run();
+        let plain = CampaignBuilder::new(&homes, &WeatherModel::winter(), &horizon)
+            .warmup_days(2)
+            .predictor(FixedPredictor(MovingAverage::new(2)))
+            .feedback(ClosedLoop)
+            .build()
+            .run();
+        prop_assert_eq!(&renegotiated, &plain);
+    }
 }
