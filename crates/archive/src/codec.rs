@@ -91,28 +91,37 @@ impl<'a> Dec<'a> {
     }
 
     fn take(&mut self, n: usize) -> Result<&'a [u8], ArchiveError> {
-        if self.remaining() < n {
-            return Err(truncated(self.context));
-        }
-        let slice = &self.bytes[self.pos..self.pos + n];
+        let slice = self
+            .bytes
+            .get(self.pos..self.pos.saturating_add(n))
+            .ok_or_else(|| truncated(self.context))?;
         self.pos += n;
         Ok(slice)
     }
 
+    /// Like [`Dec::take`] but returns a fixed-size array, so the
+    /// integer readers need no length-asserting conversion.
+    fn take_n<const N: usize>(&mut self) -> Result<[u8; N], ArchiveError> {
+        self.take(N)?
+            .try_into()
+            .map_err(|_| truncated(self.context))
+    }
+
     pub(crate) fn u8(&mut self) -> Result<u8, ArchiveError> {
-        Ok(self.take(1)?[0])
+        let [byte] = self.take_n::<1>()?;
+        Ok(byte)
     }
 
     pub(crate) fn u16(&mut self) -> Result<u16, ArchiveError> {
-        Ok(u16::from_le_bytes(self.take(2)?.try_into().expect("len 2")))
+        Ok(u16::from_le_bytes(self.take_n::<2>()?))
     }
 
     pub(crate) fn u32(&mut self) -> Result<u32, ArchiveError> {
-        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("len 4")))
+        Ok(u32::from_le_bytes(self.take_n::<4>()?))
     }
 
     pub(crate) fn u64(&mut self) -> Result<u64, ArchiveError> {
-        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("len 8")))
+        Ok(u64::from_le_bytes(self.take_n::<8>()?))
     }
 
     pub(crate) fn f64(&mut self) -> Result<f64, ArchiveError> {
@@ -330,13 +339,13 @@ fn entries(d: &mut Dec) -> Result<Vec<(Fraction, Money)>, ArchiveError> {
     if out.is_empty() {
         return Err(corrupt("empty cutdown/reward table"));
     }
-    for w in out.windows(2) {
-        if w[0].0 >= w[1].0 {
+    for (a, b) in out.iter().zip(out.iter().skip(1)) {
+        if a.0 >= b.0 {
             return Err(corrupt("cutdown/reward table not strictly increasing"));
         }
         // NaN rewards must fail too (the core constructors assert
         // `prev <= next`, which NaN violates).
-        let (prev, next) = (w[0].1.value(), w[1].1.value());
+        let (prev, next) = (a.1.value(), b.1.value());
         if prev.is_nan() || next.is_nan() || prev > next {
             return Err(corrupt("cutdown/reward table rewards decrease"));
         }

@@ -105,10 +105,13 @@ impl<R: Read + Seek> SeasonArchive<R> {
         reader.seek(SeekFrom::Start(0))?;
         let mut head = [0u8; HEADER_LEN as usize];
         reader.read_exact(&mut head)?;
-        if &head[0..4] != MAGIC {
+        let Some((magic, head_rest)) = head.split_first_chunk::<4>() else {
+            return Err(ArchiveError::Truncated { context: "header" });
+        };
+        if magic != MAGIC {
             return Err(ArchiveError::BadMagic);
         }
-        let mut d = Dec::new(&head[4..], "header");
+        let mut d = Dec::new(head_rest, "header");
         let version = d.u16()?;
         if version != VERSION {
             return Err(ArchiveError::UnsupportedVersion(version));
@@ -125,10 +128,13 @@ impl<R: Read + Seek> SeasonArchive<R> {
         reader.seek(SeekFrom::End(-(TRAILER_LEN as i64)))?;
         let mut tail = [0u8; TRAILER_LEN as usize];
         reader.read_exact(&mut tail)?;
-        if &tail[12..16] != TRAILER_MAGIC {
+        let Some((tail_rest, trailer_magic)) = tail.split_last_chunk::<4>() else {
+            return Err(ArchiveError::Truncated { context: "trailer" });
+        };
+        if trailer_magic != TRAILER_MAGIC {
             return Err(corrupt("trailer magic missing"));
         }
-        let mut d = Dec::new(&tail[..12], "trailer");
+        let mut d = Dec::new(tail_rest, "trailer");
         let index_offset = d.u64()?;
         let index_len = u64::from(d.u32()?);
         if index_offset < HEADER_LEN || index_offset + index_len + TRAILER_LEN != total {
@@ -307,9 +313,14 @@ impl<R: Read + Seek> SeasonArchive<R> {
             .index
             .fleet_economics
             .ok_or(corrupt("fleet archive missing fleet economics"))?;
-        let mut cells = Vec::with_capacity(self.index.cells.len());
-        for i in 0..self.index.cells.len() {
-            let label = self.index.cells[i].label.clone();
+        let labels: Vec<String> = self
+            .index
+            .cells
+            .iter()
+            .map(|cell| cell.label.clone())
+            .collect();
+        let mut cells = Vec::with_capacity(labels.len());
+        for (i, label) in labels.into_iter().enumerate() {
             cells.push(CellReport {
                 label,
                 report: self.read_cell(i)?,

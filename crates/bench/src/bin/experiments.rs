@@ -23,13 +23,20 @@ struct CountingAlloc;
 
 // SAFETY: defers entirely to `System`; the counter updates allocate
 // nothing (relaxed atomic arithmetic).
+// lint: allow(unsafe-pool) reason="GlobalAlloc is an unsafe trait; the counting allocator exists only in this binary so library runs stay uninstrumented"
 #[allow(unsafe_code)]
 unsafe impl GlobalAlloc for CountingAlloc {
+    // SAFETY: same contract as `System::alloc`, to which this defers
+    // unchanged after bumping the (allocation-free) counters.
+    // lint: allow(unsafe-pool) reason="required signature of the GlobalAlloc trait"
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
         loadbal_bench::alloc_probe::record_alloc(layout.size());
         System.alloc(layout)
     }
 
+    // SAFETY: same contract as `System::dealloc`; `ptr` is passed
+    // through untouched.
+    // lint: allow(unsafe-pool) reason="required signature of the GlobalAlloc trait"
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         loadbal_bench::alloc_probe::record_dealloc(layout.size());
         System.dealloc(ptr, layout)
@@ -177,6 +184,10 @@ fn run(id: &str, json: bool) -> bool {
 }
 
 fn main() {
+    // Fail fast on an unclean tree: every record stamps `lint_clean`,
+    // and perf numbers from a tree violating the determinism/safety
+    // invariants are not comparable across PRs.
+    loadbal_bench::lint_check::assert_clean();
     let mut json = false;
     let args: Vec<String> = std::env::args()
         .skip(1)

@@ -1210,7 +1210,10 @@ impl fmt::Display for CampaignLoopResult {
 /// report tier the season ran at, the worker threads involved, and
 /// whether the counting allocator was feeding
 /// [`crate::alloc_probe`] (it is only installed in the experiments
-/// binary, so library test runs record `false`).
+/// binary, so library test runs record `false`), and whether the
+/// source tree passed the `loadbal-lint` invariants
+/// ([`crate::lint_check`]) — timings from a tree that violates the
+/// determinism rules are not comparable across PRs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BenchMeta {
     /// Report tier the measured season ran at.
@@ -1219,6 +1222,8 @@ pub struct BenchMeta {
     pub threads: usize,
     /// True when allocation figures come from the counting allocator.
     pub alloc_probe: bool,
+    /// True when the workspace lint pass reported no findings.
+    pub lint_clean: bool,
 }
 
 impl BenchMeta {
@@ -1228,14 +1233,15 @@ impl BenchMeta {
             report_tier,
             threads,
             alloc_probe: crate::alloc_probe::installed(),
+            lint_clean: crate::lint_check::lint_clean(),
         }
     }
 
     /// The `"meta":{...}` JSON fragment (no trailing comma).
     pub fn to_json(&self) -> String {
         format!(
-            "\"meta\":{{\"report_tier\":\"{}\",\"threads\":{},\"alloc_probe\":{}}}",
-            self.report_tier, self.threads, self.alloc_probe
+            "\"meta\":{{\"report_tier\":\"{}\",\"threads\":{},\"alloc_probe\":{},\"lint_clean\":{}}}",
+            self.report_tier, self.threads, self.alloc_probe, self.lint_clean
         )
     }
 }
@@ -2916,6 +2922,10 @@ mod tests {
             assert!(
                 json.contains("\"alloc_probe\":false"),
                 "probe must be reported absent in library tests: {json}"
+            );
+            assert!(
+                json.contains("\"lint_clean\":true"),
+                "the landed tree must benchmark lint-clean: {json}"
             );
         }
         assert!(e16.to_json().contains("\"threads\":2"));

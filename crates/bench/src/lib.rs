@@ -27,6 +27,7 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod lint_check;
 
 /// Allocation accounting hooks for the experiment binary.
 ///

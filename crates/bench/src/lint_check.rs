@@ -1,0 +1,54 @@
+//! Lint self-check for perf records.
+//!
+//! Every `BENCH_E*.json` record stamps `lint_clean` into its `meta`
+//! block so the perf trajectory can never silently come from a tree
+//! that violates the determinism/safety invariants `loadbal-lint`
+//! enforces — a nondeterministic tree produces timings that are not
+//! comparable across PRs. The experiments binary additionally calls
+//! [`assert_clean`] up front, failing fast with the findings instead
+//! of burning minutes of benchmarking on an unclean tree.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+/// The workspace root, reconstructed from this crate's manifest dir
+/// (`crates/bench` → two levels up). Returns `None` when the layout
+/// is not the source tree (e.g. a relocated binary).
+fn workspace_root() -> Option<PathBuf> {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    root.join("Cargo.toml").exists().then_some(root)
+}
+
+/// Runs the workspace lint pass once and caches the findings
+/// (rendered, one per line; empty when clean or when the source tree
+/// is unavailable).
+fn findings() -> &'static [String] {
+    static FINDINGS: OnceLock<Vec<String>> = OnceLock::new();
+    FINDINGS.get_or_init(|| {
+        let Some(root) = workspace_root() else {
+            return Vec::new();
+        };
+        match loadbal_lint::lint_workspace(&root) {
+            Ok(found) => found.iter().map(|f| f.to_string()).collect(),
+            Err(e) => vec![format!("lint pass failed to walk the workspace: {e}")],
+        }
+    })
+}
+
+/// True when the workspace lint pass reports no findings (cached; the
+/// pass runs at most once per process). Also true when the source
+/// tree is unavailable — absence of sources is not a lint violation.
+pub fn lint_clean() -> bool {
+    findings().is_empty()
+}
+
+/// Panics with every finding when the tree is not lint-clean. The
+/// experiments binary calls this before measuring anything.
+pub fn assert_clean() {
+    let found = findings();
+    assert!(
+        found.is_empty(),
+        "refusing to benchmark an unclean tree; fix or waive:\n{}",
+        found.join("\n")
+    );
+}

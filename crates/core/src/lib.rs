@@ -200,6 +200,40 @@
 //! The full pipeline: grid → prediction → peaks → scenarios → campaign
 //! → fleet → **tiered report / archive**.
 //!
+//! # Determinism & safety invariants
+//!
+//! Every byte-identity guarantee above (parallel == sequential,
+//! distributed-clean == sync, adaptive runs identical across thread
+//! counts) rests on source-level discipline that the type system does
+//! not enforce. The workspace therefore carries its own static
+//! analysis pass, `loadbal-lint` (`crates/lint`), which walks every
+//! first-party source file and enforces:
+//!
+//! * **Determinism** — no `HashMap`/`HashSet` (iteration order is
+//!   seeded per process), no `Instant::now`/`SystemTime` wall clocks,
+//!   no `std::env` reads and no OS-entropy or thread-identity APIs in
+//!   non-test code of this crate, `powergrid`, `massim`,
+//!   `loadbal-archive` and `desire`. Ordered collections, the
+//!   scenario's seeded RNG and caller-supplied configuration are the
+//!   sanctioned alternatives.
+//! * **Unsafe confinement** — `unsafe` appears only inside
+//!   [`sweep`]'s `mod pool` (the lifetime-erased batch hand-off of
+//!   the persistent `WorkerPool`), every block or impl directly
+//!   preceded by a `// SAFETY:` comment; every other crate root
+//!   carries `#![forbid(unsafe_code)]` (this crate: `deny`, see the
+//!   header below).
+//! * **Panic discipline** — the archive decode paths return typed
+//!   errors (`loadbal_archive::ArchiveError`) instead of
+//!   `unwrap`/`expect`/indexing, so a corrupt season file can never
+//!   take down a fleet run.
+//!
+//! The pass runs three ways and must stay clean in all of them: the
+//! `loadbal-lint --workspace` binary, the CI `lint-invariants` job,
+//! and the tier-1 test `tests/lint_conformance.rs` under plain
+//! `cargo test -q`. Violations that are genuinely sanctioned carry an
+//! inline `// lint: allow(<rule>) reason="…"` waiver; a waiver
+//! without a reason is itself a finding.
+//!
 //! ```
 //! use loadbal_core::prelude::*;
 //! use powergrid::calendar::Horizon;

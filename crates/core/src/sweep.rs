@@ -461,10 +461,15 @@ mod pool {
     }
     impl<T> Copy for SlotTable<T> {}
 
-    // SAFETY: every executor writes only the slots whose indices it
-    // uniquely claimed, and the submitter does not read (or free) the
-    // table until all executors are done.
+    // SAFETY: the table is a raw pointer into the submitting frame's
+    // slot buffer; sending it to a worker is sound because every
+    // executor writes only the slots whose indices it uniquely
+    // claimed, and the submitter does not read (or free) the buffer
+    // until all executors are done.
     unsafe impl<T: Send> Send for SlotTable<T> {}
+    // SAFETY: sharing the table between executors is sound for the
+    // same reason — disjoint claimed indices mean no two threads ever
+    // touch the same slot, so `&SlotTable` hands out no aliased `&mut`.
     unsafe impl<T: Send> Sync for SlotTable<T> {}
 
     impl Drop for WorkerPool {

@@ -1,0 +1,135 @@
+//! `loadbal-lint` — run the workspace determinism-and-safety pass.
+//!
+//! ```text
+//! loadbal-lint --workspace [--json] [--root <dir>]
+//! loadbal-lint <file.rs>... [--json] [--root <dir>]
+//! ```
+//!
+//! Exit status: 0 clean, 1 findings, 2 usage or I/O error. With
+//! explicit files, paths are linted relative to the workspace root so
+//! per-crate rule scoping still applies. See the `loadbal_lint` crate
+//! docs for every rule, the waiver syntax, and the rationale.
+
+use loadbal_lint::{findings_to_json, lint_file, lint_workspace, rel_path, Finding};
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: loadbal-lint [--workspace] [--json] [--root <dir>] [files...]
+  --workspace   lint every workspace .rs file (default when no files given)
+  --json        machine-readable findings on stdout
+  --root <dir>  workspace root (default: nearest ancestor with a [workspace] manifest)";
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut workspace = false;
+    let mut root_arg: Option<PathBuf> = None;
+    let mut files: Vec<PathBuf> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--workspace" => workspace = true,
+            "--root" => match args.next() {
+                Some(dir) => root_arg = Some(PathBuf::from(dir)),
+                None => return usage_error("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                return usage_error(&format!("unknown flag '{flag}'"));
+            }
+            file => files.push(PathBuf::from(file)),
+        }
+    }
+    if !workspace && files.is_empty() {
+        workspace = true;
+    }
+
+    let root = match root_arg.or_else(find_workspace_root) {
+        Some(root) => root,
+        None => return usage_error("no workspace root found (pass --root)"),
+    };
+
+    let findings = if workspace {
+        match lint_workspace(&root) {
+            Ok(findings) => findings,
+            Err(e) => {
+                eprintln!("loadbal-lint: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        let mut findings: Vec<Finding> = Vec::new();
+        for file in &files {
+            let abs = if file.is_absolute() {
+                file.clone()
+            } else {
+                root.join(file)
+            };
+            let src = match std::fs::read_to_string(&abs) {
+                Ok(src) => src,
+                Err(e) => {
+                    eprintln!("loadbal-lint: {}: {e}", file.display());
+                    return ExitCode::from(2);
+                }
+            };
+            findings.extend(lint_file(&rel_path(&root, &abs), &src));
+        }
+        findings.sort();
+        findings
+    };
+
+    if json {
+        println!("{}", findings_to_json(&findings));
+    } else {
+        for finding in &findings {
+            println!("{finding}");
+        }
+        if findings.is_empty() {
+            eprintln!("loadbal-lint: clean");
+        } else {
+            eprintln!(
+                "loadbal-lint: {} finding{}",
+                findings.len(),
+                if findings.len() == 1 { "" } else { "s" }
+            );
+        }
+    }
+    if findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::from(1)
+    }
+}
+
+fn usage_error(message: &str) -> ExitCode {
+    eprintln!("loadbal-lint: {message}\n{USAGE}");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor of the current directory whose `Cargo.toml`
+/// declares `[workspace]`; falls back to this crate's parent workspace
+/// (so `cargo run -p loadbal-lint` works from anywhere in the tree).
+fn find_workspace_root() -> Option<PathBuf> {
+    if let Ok(mut dir) = std::env::current_dir() {
+        loop {
+            if is_workspace_root(&dir) {
+                return Some(dir);
+            }
+            if !dir.pop() {
+                break;
+            }
+        }
+    }
+    let baked = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    baked.canonicalize().ok().filter(|p| is_workspace_root(p))
+}
+
+fn is_workspace_root(dir: &Path) -> bool {
+    std::fs::read_to_string(dir.join("Cargo.toml"))
+        .map(|manifest| manifest.contains("[workspace]"))
+        .unwrap_or(false)
+}

@@ -1,0 +1,459 @@
+//! A hand-rolled Rust token scanner.
+//!
+//! The linter's rules are token-level, so the scanner's only job is to
+//! classify every byte of a source file correctly enough that rule
+//! matching never fires inside a comment or a string literal and never
+//! misses code because a literal or comment was left "open". It
+//! understands:
+//!
+//! * line comments (`//`, `///`, `//!`) and **nested** block comments
+//!   (`/* /* */ */`),
+//! * string literals with escapes, byte strings (`b"…"`),
+//! * raw strings with any number of hashes (`r"…"`, `r##"…"##`,
+//!   `br#"…"#`) and raw identifiers (`r#match`),
+//! * character literals vs. lifetimes (`'x'`, `'\n'`, `b'x'` vs `'a`,
+//!   `'static`),
+//! * identifiers, numbers, and single-character punctuation.
+//!
+//! It is deliberately *not* a full lexer: numbers are approximate
+//! (`1..3` may lex as one number token and a dot) and multi-character
+//! operators come out as single punctuation tokens. None of that
+//! matters for the rules, which only look at identifiers, `::` paths,
+//! `!` macro bangs, and bracket adjacency. What does matter — and what
+//! the scanner guarantees (property-tested on arbitrary byte soup) —
+//! is that token spans are in-bounds, non-overlapping, strictly
+//! ordered, and aligned to UTF-8 character boundaries, and that the
+//! scanner never panics on malformed input.
+
+/// What a [`Token`] is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// Numeric literal (approximate: suffixes and float dots included).
+    Number,
+    /// Single punctuation character.
+    Punct,
+    /// `// …` to end of line (doc comments included).
+    LineComment,
+    /// `/* … */`, nesting respected (doc comments included).
+    BlockComment,
+    /// `"…"` or `b"…"` with escapes.
+    Str,
+    /// `r"…"`, `r#"…"#`, `br##"…"##` — no escapes, hash-delimited.
+    RawStr,
+    /// `'x'`, `'\n'`, `b'x'`.
+    Char,
+    /// `'ident` in type position.
+    Lifetime,
+}
+
+/// One classified span of the source.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    /// Classification.
+    pub kind: TokenKind,
+    /// Byte offset of the first byte (inclusive, char-aligned).
+    pub start: usize,
+    /// Byte offset one past the last byte (exclusive, char-aligned).
+    pub end: usize,
+    /// 1-based line of `start`.
+    pub line: u32,
+}
+
+/// A scanned file: the source plus its token stream.
+#[derive(Debug)]
+pub struct Scan<'a> {
+    /// The source text the tokens index into.
+    pub src: &'a str,
+    /// All tokens in source order (whitespace is not tokenized).
+    pub tokens: Vec<Token>,
+}
+
+impl<'a> Scan<'a> {
+    /// The text of one token.
+    pub fn text(&self, token: &Token) -> &'a str {
+        self.src.get(token.start..token.end).unwrap_or("")
+    }
+
+    /// 1-based line of the token's last byte (block comments and
+    /// string literals span lines).
+    pub fn end_line(&self, token: &Token) -> u32 {
+        let newlines = self.text(token).bytes().filter(|&b| b == b'\n').count();
+        token.line + newlines as u32
+    }
+}
+
+/// Tokenizes `src`. Never panics; unterminated literals and comments
+/// run to end of input.
+pub fn scan(src: &str) -> Scan<'_> {
+    let mut lexer = Lexer {
+        src,
+        bytes: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        tokens: Vec::new(),
+    };
+    lexer.run();
+    Scan {
+        src,
+        tokens: lexer.tokens,
+    }
+}
+
+struct Lexer<'a> {
+    src: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+    line: u32,
+    tokens: Vec<Token>,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_'
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, offset: usize) -> Option<u8> {
+        self.bytes.get(self.pos + offset).copied()
+    }
+
+    /// Advances past exactly one char (UTF-8 aware), counting newlines.
+    fn bump(&mut self) {
+        if let Some(&b) = self.bytes.get(self.pos) {
+            if b == b'\n' {
+                self.line += 1;
+            }
+            let width = match self.src.get(self.pos..) {
+                Some(rest) => rest.chars().next().map_or(1, char::len_utf8),
+                None => 1, // mid-char position cannot happen; defensive
+            };
+            self.pos += width;
+        }
+    }
+
+    /// Advances past `n` ASCII bytes known to contain no newline.
+    fn bump_ascii(&mut self, n: usize) {
+        self.pos += n;
+    }
+
+    fn push(&mut self, kind: TokenKind, start: usize, line: u32) {
+        debug_assert!(start < self.pos);
+        self.tokens.push(Token {
+            kind,
+            start,
+            end: self.pos,
+            line,
+        });
+    }
+
+    fn run(&mut self) {
+        while self.pos < self.bytes.len() {
+            let start = self.pos;
+            let line = self.line;
+            let b = self.bytes[self.pos];
+            match b {
+                b' ' | b'\t' | b'\r' | b'\n' => self.bump(),
+                b'/' if self.peek(1) == Some(b'/') => {
+                    while self.pos < self.bytes.len() && self.bytes[self.pos] != b'\n' {
+                        self.bump();
+                    }
+                    self.push(TokenKind::LineComment, start, line);
+                }
+                b'/' if self.peek(1) == Some(b'*') => {
+                    self.block_comment(start, line);
+                }
+                b'"' => {
+                    self.string_literal(TokenKind::Str, start, line);
+                }
+                b'\'' => {
+                    self.char_or_lifetime(start, line);
+                }
+                b'r' | b'b' => {
+                    self.maybe_prefixed_literal(start, line);
+                }
+                _ if is_ident_start(b) => {
+                    self.ident(start, line);
+                }
+                _ if b.is_ascii_digit() => {
+                    self.number(start, line);
+                }
+                _ => {
+                    self.bump();
+                    self.push(TokenKind::Punct, start, line);
+                }
+            }
+        }
+    }
+
+    /// At `/*`: consumes the comment, respecting nesting.
+    fn block_comment(&mut self, start: usize, line: u32) {
+        self.bump_ascii(2);
+        let mut depth = 1usize;
+        while self.pos < self.bytes.len() && depth > 0 {
+            if self.bytes[self.pos] == b'/' && self.peek(1) == Some(b'*') {
+                depth += 1;
+                self.bump_ascii(2);
+            } else if self.bytes[self.pos] == b'*' && self.peek(1) == Some(b'/') {
+                depth -= 1;
+                self.bump_ascii(2);
+            } else {
+                self.bump();
+            }
+        }
+        self.push(TokenKind::BlockComment, start, line);
+    }
+
+    /// At the opening quote of a (byte) string: consumes through the
+    /// closing quote, honoring `\` escapes.
+    fn string_literal(&mut self, kind: TokenKind, start: usize, line: u32) {
+        self.bump(); // opening "
+        while self.pos < self.bytes.len() {
+            match self.bytes[self.pos] {
+                b'\\' => {
+                    self.bump();
+                    self.bump(); // the escaped char (any, incl. ")
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        self.push(kind, start, line);
+    }
+
+    /// At `'`: a char literal (`'x'`, `'\n'`) or a lifetime (`'a`).
+    fn char_or_lifetime(&mut self, start: usize, line: u32) {
+        let mut rest = self.src.get(self.pos + 1..).unwrap_or("").chars();
+        let first = rest.next();
+        let second = rest.next();
+        match (first, second) {
+            // '\…' — escaped char literal: scan to the closing quote.
+            (Some('\\'), _) => {
+                self.bump(); // '
+                self.bump(); // backslash
+                self.bump(); // escaped char
+                while self.pos < self.bytes.len() {
+                    let b = self.bytes[self.pos];
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, start, line);
+            }
+            // 'x' — plain one-char literal.
+            (Some(_), Some('\'')) => {
+                self.bump();
+                self.bump();
+                self.bump();
+                self.push(TokenKind::Char, start, line);
+            }
+            // 'ident — lifetime.
+            _ => {
+                self.bump(); // '
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.bump_ascii(1);
+                }
+                self.push(TokenKind::Lifetime, start, line);
+            }
+        }
+    }
+
+    /// At `r` or `b`: raw strings (`r"…"`, `r##"…"##`), byte strings
+    /// (`b"…"`, `br#"…"#`), byte chars (`b'x'`), raw identifiers
+    /// (`r#match`), or a plain identifier starting with `r`/`b`.
+    fn maybe_prefixed_literal(&mut self, start: usize, line: u32) {
+        let b0 = self.bytes[self.pos];
+        let mut prefix = 1usize; // bytes of r/b/br prefix
+        if b0 == b'b' && self.peek(1) == Some(b'r') {
+            prefix = 2;
+        }
+        let raw = b0 == b'r' || prefix == 2;
+        if raw {
+            // Count hashes after the r.
+            let mut hashes = 0usize;
+            while self.peek(prefix + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            if self.peek(prefix + hashes) == Some(b'"') {
+                self.bump_ascii(prefix + hashes + 1);
+                self.raw_string_tail(hashes, start, line);
+                return;
+            }
+            if b0 == b'r' && hashes >= 1 && self.peek(prefix + hashes).is_some_and(is_ident_start) {
+                // Raw identifier r#match: token text keeps the prefix.
+                self.bump_ascii(prefix + hashes);
+                while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+                    self.bump_ascii(1);
+                }
+                self.push(TokenKind::Ident, start, line);
+                return;
+            }
+        }
+        if b0 == b'b' {
+            if self.peek(1) == Some(b'"') {
+                self.bump_ascii(1);
+                self.string_literal(TokenKind::Str, start, line);
+                return;
+            }
+            if self.peek(1) == Some(b'\'') {
+                // b'x' is always a literal, never a lifetime.
+                self.bump_ascii(1);
+                self.bump(); // '
+                while self.pos < self.bytes.len() {
+                    let c = self.bytes[self.pos];
+                    if c == b'\\' {
+                        self.bump();
+                        self.bump();
+                        continue;
+                    }
+                    self.bump();
+                    if c == b'\'' {
+                        break;
+                    }
+                }
+                self.push(TokenKind::Char, start, line);
+                return;
+            }
+        }
+        self.ident(start, line);
+    }
+
+    /// After the opening quote of a raw string with `hashes` hashes:
+    /// consumes through `"` followed by that many hashes.
+    fn raw_string_tail(&mut self, hashes: usize, start: usize, line: u32) {
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos] == b'"' {
+                let mut matched = 0usize;
+                while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                    matched += 1;
+                }
+                if matched == hashes {
+                    self.bump_ascii(1 + hashes);
+                    self.push(TokenKind::RawStr, start, line);
+                    return;
+                }
+            }
+            self.bump();
+        }
+        self.push(TokenKind::RawStr, start, line);
+    }
+
+    fn ident(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() && is_ident_continue(self.bytes[self.pos]) {
+            self.bump_ascii(1);
+        }
+        self.push(TokenKind::Ident, start, line);
+    }
+
+    /// Approximate numeric literal: digits/letters/underscores plus a
+    /// dot when followed by a digit (so `1..3` leaves the range dots
+    /// alone but `1.5e-3` stays one token up to the `-`).
+    fn number(&mut self, start: usize, line: u32) {
+        while self.pos < self.bytes.len() {
+            let b = self.bytes[self.pos];
+            let dot_in_float = b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit());
+            if is_ident_continue(b) || dot_in_float {
+                self.bump_ascii(1);
+            } else {
+                break;
+            }
+        }
+        self.push(TokenKind::Number, start, line);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, String)> {
+        let scan = scan(src);
+        scan.tokens
+            .iter()
+            .map(|t| (t.kind, scan.text(t).to_string()))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_comments_strings_and_code() {
+        let got = kinds("let x = \"// not a comment\"; // real comment");
+        assert_eq!(
+            got,
+            vec![
+                (TokenKind::Ident, "let".into()),
+                (TokenKind::Ident, "x".into()),
+                (TokenKind::Punct, "=".into()),
+                (TokenKind::Str, "\"// not a comment\"".into()),
+                (TokenKind::Punct, ";".into()),
+                (TokenKind::LineComment, "// real comment".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_block_comments_close_correctly() {
+        let got = kinds("/* outer /* inner */ still */ code");
+        assert_eq!(
+            got,
+            vec![
+                (
+                    TokenKind::BlockComment,
+                    "/* outer /* inner */ still */".into()
+                ),
+                (TokenKind::Ident, "code".into()),
+            ]
+        );
+    }
+
+    #[test]
+    fn raw_strings_do_not_leak_state() {
+        let got = kinds(r####"let s = r#"quote " and // slashes"#; after()"####);
+        assert!(got.contains(&(
+            TokenKind::RawStr,
+            r###"r#"quote " and // slashes"#"###.into()
+        )));
+        assert!(got.contains(&(TokenKind::Ident, "after".into())));
+    }
+
+    #[test]
+    fn char_literals_vs_lifetimes() {
+        let got = kinds(r"fn f<'a>(x: &'a str) { let c = 'x'; let n = '\n'; }");
+        let lifetimes: Vec<_> = got
+            .iter()
+            .filter(|(k, _)| *k == TokenKind::Lifetime)
+            .collect();
+        let chars: Vec<_> = got.iter().filter(|(k, _)| *k == TokenKind::Char).collect();
+        assert_eq!(lifetimes.len(), 2, "{got:?}");
+        assert_eq!(chars.len(), 2, "{got:?}");
+    }
+
+    #[test]
+    fn byte_literals_and_raw_idents() {
+        let got = kinds(r##"let b = b'x'; let s = b"bytes"; let r = r#match;"##);
+        assert!(got.contains(&(TokenKind::Char, "b'x'".into())));
+        assert!(got.contains(&(TokenKind::Str, "b\"bytes\"".into())));
+        assert!(got.contains(&(TokenKind::Ident, "r#match".into())));
+    }
+
+    #[test]
+    fn escaped_quote_does_not_end_string() {
+        let got = kinds(r#"let s = "a \" b"; next"#);
+        assert!(got.contains(&(TokenKind::Str, r#""a \" b""#.into())));
+        assert!(got.contains(&(TokenKind::Ident, "next".into())));
+    }
+
+    #[test]
+    fn lines_are_tracked() {
+        let scan = scan("a\nb\n  c");
+        let lines: Vec<u32> = scan.tokens.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,225 @@
+//! Property tests for the token scanner: it must never panic on
+//! arbitrary byte soup, every span it emits must be well-formed, and
+//! string/comment state must never leak past a complete token.
+
+use loadbal_lint::scanner::{scan, TokenKind};
+use proptest::prelude::*;
+
+/// Every span invariant the rules layer depends on. Panics (via the
+/// returned message) name the first violated invariant.
+fn check_span_invariants(src: &str) -> Result<(), String> {
+    let scanned = scan(src);
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for (i, t) in scanned.tokens.iter().enumerate() {
+        if t.start >= t.end {
+            return Err(format!(
+                "token {i}: empty or inverted span {}..{}",
+                t.start, t.end
+            ));
+        }
+        if t.start < prev_end {
+            return Err(format!(
+                "token {i}: overlaps previous (start {} < {prev_end})",
+                t.start
+            ));
+        }
+        if t.end > src.len() {
+            return Err(format!(
+                "token {i}: end {} out of bounds (len {})",
+                t.end,
+                src.len()
+            ));
+        }
+        if !src.is_char_boundary(t.start) || !src.is_char_boundary(t.end) {
+            return Err(format!(
+                "token {i}: span {}..{} not char-aligned",
+                t.start, t.end
+            ));
+        }
+        if t.line < prev_line {
+            return Err(format!(
+                "token {i}: line {} went backwards from {prev_line}",
+                t.line
+            ));
+        }
+        let newlines_before = src[..t.start].bytes().filter(|&b| b == b'\n').count() as u32;
+        if t.line != newlines_before + 1 {
+            return Err(format!(
+                "token {i}: line {} but {} newlines precede offset {}",
+                t.line, newlines_before, t.start
+            ));
+        }
+        // Whitespace is never tokenized, so the gap between tokens
+        // must be pure whitespace.
+        let gap = &src[prev_end..t.start];
+        if !gap.chars().all(char::is_whitespace) {
+            return Err(format!("token {i}: non-whitespace gap {gap:?} before it"));
+        }
+        prev_end = t.end;
+        prev_line = scanned.end_line(t);
+    }
+    let tail = &src[prev_end..];
+    if !tail.chars().all(char::is_whitespace) {
+        return Err(format!("unscanned non-whitespace tail {tail:?}"));
+    }
+    Ok(())
+}
+
+/// Complete, self-delimiting source fragments. Concatenating any of
+/// these (whitespace-separated) yields input where no literal or
+/// comment state may leak into the next fragment.
+const COMPLETE_FRAGMENTS: &[&str] = &[
+    "ident",
+    "let",
+    "0xff_u32",
+    "1.5e3",
+    "\"str with \\\" escape and // marker\"",
+    "r#\"raw \" quote and /* marker \"#",
+    "r\"plain raw\"",
+    "br##\"byte raw \"# almost\"##",
+    "b\"bytes \\\" here\"",
+    "'x'",
+    "'\\n'",
+    "'\\''",
+    "b'q'",
+    "'static",
+    "'a",
+    "r#match",
+    "/* block /* nested */ comment */",
+    "// line comment\n",
+    "#[cfg(test)]",
+    "::",
+    "{ } ( ) [ ]",
+    "! . ; , -> =>",
+];
+
+/// Fragments that may legitimately swallow everything after them
+/// (unterminated literals/comments run to end of input, by design).
+const OPEN_FRAGMENTS: &[&str] = &[
+    "\"unterminated",
+    "r#\"unterminated raw",
+    "/* unterminated block",
+    "b\"open bytes",
+];
+
+fn join_fragments(indices: &[usize], table: &[&str]) -> String {
+    let mut out = String::new();
+    for &i in indices {
+        out.push_str(table[i % table.len()]);
+        out.push(' ');
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The scanner neither panics nor emits malformed spans on
+    /// arbitrary (lossily decoded) byte soup.
+    #[test]
+    fn byte_soup_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..512)) {
+        let src = String::from_utf8_lossy(&bytes);
+        if let Err(msg) = check_span_invariants(&src) {
+            prop_assert!(false, "{msg} on {src:?}");
+        }
+    }
+
+    /// Same guarantee on inputs biased toward the scanner's tricky
+    /// state transitions: quote/hash/backslash/comment-marker salads.
+    #[test]
+    fn delimiter_soup_never_panics(
+        picks in prop::collection::vec(0usize..14, 0..96),
+    ) {
+        const ALPHABET: &[&str] = &[
+            "\"", "'", "\\", "#", "r", "b", "br", "//", "/*", "*/", "\n", "x", "r#", " ",
+        ];
+        let src: String = picks.iter().map(|&i| ALPHABET[i % ALPHABET.len()]).collect();
+        if let Err(msg) = check_span_invariants(&src) {
+            prop_assert!(false, "{msg} on {src:?}");
+        }
+    }
+
+    /// The whole rules layer (scanning + classification + waiver
+    /// parsing) never panics either, whatever the file contents.
+    #[test]
+    fn lint_file_never_panics(
+        bytes in prop::collection::vec(any::<u8>(), 0..384),
+        profile in 0usize..4,
+    ) {
+        let src = String::from_utf8_lossy(&bytes);
+        let path = [
+            "crates/core/src/soup.rs",
+            "crates/archive/src/soup.rs",
+            "crates/core/src/sweep.rs",
+            "crates/grid/src/lib.rs",
+        ][profile];
+        let _ = loadbal_lint::lint_file(path, &src);
+    }
+
+    /// No false state leak: after any sequence of *complete* tokens, a
+    /// sentinel identifier still scans as code — never as part of a
+    /// string, comment, char, or lifetime.
+    #[test]
+    fn complete_tokens_never_swallow_the_sentinel(
+        picks in prop::collection::vec(0usize..COMPLETE_FRAGMENTS.len(), 0..24),
+    ) {
+        let mut src = join_fragments(&picks, COMPLETE_FRAGMENTS);
+        src.push_str("\nsentinel_zz9");
+        let scanned = scan(&src);
+        let sentinel: Vec<_> = scanned
+            .tokens
+            .iter()
+            .filter(|t| scanned.text(t) == "sentinel_zz9")
+            .collect();
+        prop_assert_eq!(sentinel.len(), 1, "sentinel lost in {:?}", src);
+        prop_assert_eq!(sentinel[0].kind, TokenKind::Ident);
+        // And no literal/comment token may contain it.
+        for t in &scanned.tokens {
+            if matches!(
+                t.kind,
+                TokenKind::Str | TokenKind::RawStr | TokenKind::LineComment | TokenKind::BlockComment
+            ) {
+                prop_assert!(
+                    !scanned.text(t).contains("sentinel_zz9"),
+                    "sentinel swallowed by {:?} in {:?}",
+                    t.kind,
+                    src
+                );
+            }
+        }
+    }
+
+    /// Unterminated literals are the one sanctioned swallow: they run
+    /// to end of input but still satisfy every span invariant.
+    #[test]
+    fn open_fragments_swallow_cleanly(
+        picks in prop::collection::vec(0usize..COMPLETE_FRAGMENTS.len(), 0..12),
+        open in 0usize..OPEN_FRAGMENTS.len(),
+    ) {
+        let mut src = join_fragments(&picks, COMPLETE_FRAGMENTS);
+        src.push_str(OPEN_FRAGMENTS[open]);
+        src.push_str(" trailing_txt");
+        if let Err(msg) = check_span_invariants(&src) {
+            prop_assert!(false, "{msg} on {src:?}");
+        }
+        // The final token reaches end of input.
+        let scanned = scan(&src);
+        let last = scanned.tokens.last().expect("open literal yields a token");
+        prop_assert_eq!(last.end, src.len());
+    }
+}
+
+#[test]
+fn empty_and_whitespace_inputs_scan_to_nothing() {
+    assert!(scan("").tokens.is_empty());
+    assert!(scan(" \t\r\n \n").tokens.is_empty());
+    check_span_invariants("").unwrap();
+    check_span_invariants("  \n\t").unwrap();
+}
+
+#[test]
+fn multibyte_utf8_stays_char_aligned() {
+    let src = "let α = \"héllo — ß\"; // cömment\nlet 你 = '好';";
+    check_span_invariants(src).unwrap();
+}

@@ -45,6 +45,8 @@
 //! assert_eq!(outcomes.len(), 4);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub use desire;
 pub use loadbal_archive as archive;
 pub use loadbal_core as core;

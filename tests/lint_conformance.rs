@@ -1,0 +1,31 @@
+//! Tier-1 conformance: the landed workspace is lint-clean.
+//!
+//! This runs the exact same pass as `loadbal-lint --workspace` and the
+//! CI `lint-invariants` job, so a determinism or safety regression
+//! fails plain `cargo test -q` — no extra tooling required.
+
+use std::path::Path;
+
+#[test]
+fn workspace_is_lint_clean() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = loadbal_lint::lint_workspace(root).expect("workspace walk succeeds");
+    assert!(
+        findings.is_empty(),
+        "the workspace must be lint-clean; fix or waive (with a reason) each of:\n{}",
+        findings
+            .iter()
+            .map(|f| format!("  {f}"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn json_rendering_of_the_workspace_pass_is_well_formed() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let findings = loadbal_lint::lint_workspace(root).expect("workspace walk succeeds");
+    let json = loadbal_lint::findings_to_json(&findings);
+    // Clean tree renders as an empty JSON array either way.
+    assert_eq!(json.trim(), "[]");
+}
