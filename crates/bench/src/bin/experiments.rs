@@ -50,9 +50,9 @@ const USAGE: &str = "usage: experiments [--json] <id>...
   ids: fig1 | fig2_5 | fig6_7 | fig8_9 | methods | formula | beta | scaling |
        invariants | market | categories | shapes | campaign | campaign_loop |
        fleet_scaling | hot_loop | report_tiers | fault_resilience |
-       adaptive_loops | all
+       adaptive_loops | city_scale | city_scale_smoke | all
   --json: also write BENCH_E15.json / BENCH_E16.json / BENCH_E17.json /
-          BENCH_E18.json / BENCH_E19.json records";
+          BENCH_E18.json / BENCH_E19.json / BENCH_E20.json records";
 
 fn write_json(path: &str, json: &str) {
     match std::fs::write(path, format!("{json}\n")) {
@@ -152,6 +152,31 @@ fn run(id: &str, json: bool) -> bool {
                 write_json("BENCH_E19.json", &r.to_json());
             }
         }
+        "city_scale" => {
+            // The acceptance shape: one million households as a single
+            // struct-of-arrays slab, sharded zero-copy across 64 cells,
+            // a 5-day winter season at settlement tier. At this scale
+            // the ≥5× slab-vs-per-object demand synthesis claim is
+            // asserted, not just recorded.
+            let r = experiments::city_scale(1_000_000, 64, 5, 42);
+            println!("{r}");
+            assert!(
+                r.speedup_vs_object >= 5.0,
+                "slab demand synthesis only {:.1}× the per-object path (acceptance: ≥5×)",
+                r.speedup_vs_object
+            );
+            if json {
+                write_json("BENCH_E20.json", &r.to_json());
+            }
+        }
+        "city_scale_smoke" => {
+            // The CI shape: 50k households across 2 shards — exercises
+            // the identical machinery (sharding, settlement season,
+            // three-path demand agreement, twin-population identity)
+            // in seconds rather than minutes.
+            let r = experiments::city_scale(50_000, 2, 5, 42);
+            println!("{r}");
+        }
         "all" => {
             for id in [
                 "fig1",
@@ -173,6 +198,7 @@ fn run(id: &str, json: bool) -> bool {
                 "report_tiers",
                 "fault_resilience",
                 "adaptive_loops",
+                "city_scale",
             ] {
                 run(id, json);
                 println!();

@@ -1224,24 +1224,39 @@ pub struct BenchMeta {
     pub alloc_probe: bool,
     /// True when the workspace lint pass reported no findings.
     pub lint_clean: bool,
+    /// Which population backend fed the measured season: `"object"`
+    /// (per-[`Household`] trees, the default) or `"slab"` (the
+    /// struct-of-arrays [`PopulationSlab`](powergrid::slab::PopulationSlab)
+    /// backend). Both are byte-identical in results, but their timings
+    /// are not comparable, so every record states which path ran.
+    pub population_path: &'static str,
 }
 
 impl BenchMeta {
-    /// Captures the context for an experiment run.
+    /// Captures the context for an experiment run (object-backend
+    /// population unless overridden with [`BenchMeta::population_path`]).
     pub fn capture(report_tier: ReportTier, threads: usize) -> BenchMeta {
         BenchMeta {
             report_tier,
             threads,
             alloc_probe: crate::alloc_probe::installed(),
             lint_clean: crate::lint_check::lint_clean(),
+            population_path: "object",
         }
+    }
+
+    /// Overrides the recorded population backend (`"object"` | `"slab"`).
+    pub fn population_path(mut self, path: &'static str) -> BenchMeta {
+        self.population_path = path;
+        self
     }
 
     /// The `"meta":{...}` JSON fragment (no trailing comma).
     pub fn to_json(&self) -> String {
         format!(
-            "\"meta\":{{\"report_tier\":\"{}\",\"threads\":{},\"alloc_probe\":{},\"lint_clean\":{}}}",
-            self.report_tier, self.threads, self.alloc_probe, self.lint_clean
+            "\"meta\":{{\"report_tier\":\"{}\",\"threads\":{},\"alloc_probe\":{},\"lint_clean\":{},\
+             \"population_path\":\"{}\"}}",
+            self.report_tier, self.threads, self.alloc_probe, self.lint_clean, self.population_path
         )
     }
 }
@@ -2658,6 +2673,300 @@ impl AdaptiveLoopsResult {
     }
 }
 
+// ---------------------------------------------------------------------
+// E20 — city scale: one struct-of-arrays population, a sharded fleet
+// ---------------------------------------------------------------------
+
+/// Result of the city-scale experiment.
+#[derive(Debug, Clone)]
+pub struct CityScaleResult {
+    /// Households in the city (one slab).
+    pub households: usize,
+    /// Grid cells the slab was sharded into (zero-copy views).
+    pub cells: usize,
+    /// Horizon length in days (including warm-up).
+    pub days: u64,
+    /// Device entries across the whole slab.
+    pub device_entries: usize,
+    /// Wall-clock of [`PopulationBuilder::build_slab`], microseconds.
+    pub build_slab_us: u128,
+    /// Bytes the slab's arrays retain for the whole city.
+    pub slab_bytes: usize,
+    /// `slab_bytes / households`.
+    pub bytes_per_household: f64,
+    /// One-day demand synthesis over the full city, per-object
+    /// [`Household::demand_profile`] path (allocates per household),
+    /// microseconds.
+    pub object_demand_us: u128,
+    /// Same day via the scratch-cached object path
+    /// ([`aggregate_demand`]), microseconds.
+    pub scratch_demand_us: u128,
+    /// Same day via the batched slab kernel
+    /// ([`aggregate_demand_slab`]), microseconds.
+    pub slab_demand_us: u128,
+    /// `object_demand_us / slab_demand_us` — the acceptance headline
+    /// (must be ≥ 5).
+    pub speedup_vs_object: f64,
+    /// `scratch_demand_us / slab_demand_us` — the honest figure against
+    /// the already-allocation-free object path.
+    pub speedup_vs_scratch: f64,
+    /// Wall-clock of the sharded Settlement-tier season, microseconds.
+    pub season_us: u128,
+    /// Peak negotiations the season carried across all shards.
+    pub negotiations: usize,
+    /// True if every negotiation converged.
+    pub all_converged: bool,
+    /// Live-bytes delta across the season run (`None` without the
+    /// counting allocator).
+    pub season_retained_bytes: Option<i64>,
+    /// Process-lifetime heap high-water mark after the season, bytes
+    /// (`None` without the counting allocator).
+    pub peak_heap_bytes: Option<i64>,
+    /// True if a small-population slab-sharded season reproduced the
+    /// object-backend season byte for byte (also asserted).
+    pub identity_ok: bool,
+    /// Runtime context for the JSON record (`population_path: "slab"`).
+    pub meta: BenchMeta,
+}
+
+/// E20: negotiating a season for a whole city on one box. One
+/// [`PopulationSlab`] holds every household as struct-of-arrays
+/// columns; [`FleetRunner::sharded_slab`](loadbal_core::fleet::FleetRunner::sharded_slab)
+/// splits it into `cells` contiguous zero-copy views and negotiates a
+/// `days`-day winter season at [`ReportTier::Settlement`] on the shared
+/// worker pool.
+///
+/// Three things are measured and two asserted:
+///
+/// * **Throughput** — one day of demand synthesis over the full city
+///   on the per-object path, the scratch-cached object path and the
+///   slab kernel, all three asserted equal slot for slot; the slab must
+///   be ≥ 5× the per-object path at full scale (asserted by the
+///   experiment binary, where timings are meaningful — library smoke
+///   runs only record the figures).
+/// * **Memory** — the slab's retained bytes per household, plus the
+///   season's live-bytes delta and the heap high-water mark when the
+///   counting allocator is installed.
+/// * **Identity** — a small twin population runs the same season once
+///   per backend; the reports must be equal byte for byte (asserted).
+pub fn city_scale(households: usize, cells: usize, days: u64, seed: u64) -> CityScaleResult {
+    use loadbal_core::fleet::FleetRunner;
+    use powergrid::demand::aggregate_demand;
+    use powergrid::slab::aggregate_demand_slab;
+
+    let axis = TimeAxis::quarter_hourly();
+    let horizon = Horizon::new(days, 0, Season::Winter);
+    let weather_model = WeatherModel::winter();
+    let builder = PopulationBuilder::new().households(households);
+
+    // --- build the two backends (object trees only for comparison) ---
+    let t0 = Instant::now();
+    let slab = builder.build_slab(seed);
+    let build_slab_us = t0.elapsed().as_micros();
+    let homes = builder.build(seed);
+    let slab_bytes = slab.retained_bytes();
+
+    // --- one-day demand synthesis over the full city, three paths ---
+    let weather = weather_model.temperatures(&axis, seed);
+    let mean_temp = weather.mean();
+    let t0 = Instant::now();
+    let mut naive = Series::zeros(axis);
+    for h in &homes {
+        let profile = h.demand_profile(&axis, mean_temp, seed);
+        for (slot, load) in naive.values_mut().iter_mut().zip(profile.values()) {
+            *slot += load;
+        }
+    }
+    let object_demand_us = t0.elapsed().as_micros().max(1);
+    let t0 = Instant::now();
+    let scratch_curve = aggregate_demand(&homes, &weather, &axis, seed);
+    let scratch_demand_us = t0.elapsed().as_micros().max(1);
+    let t0 = Instant::now();
+    let slab_curve = aggregate_demand_slab(slab.view(), &weather, &axis, seed);
+    let slab_demand_us = t0.elapsed().as_micros().max(1);
+    assert_eq!(
+        slab_curve, scratch_curve,
+        "slab demand kernel diverged from the object path"
+    );
+    assert_eq!(
+        slab_curve.series().values(),
+        naive.values(),
+        "scratch paths diverged from per-object demand_profile"
+    );
+    let speedup_vs_object = object_demand_us as f64 / slab_demand_us as f64;
+    let speedup_vs_scratch = scratch_demand_us as f64 / slab_demand_us as f64;
+
+    // --- the sharded Settlement-tier season ---
+    fn build_cell<'a>(
+        pop: powergrid::slab::PopulationRef<'a>,
+        weather_model: &'a WeatherModel,
+        horizon: &'a Horizon,
+    ) -> loadbal_core::campaign::CampaignRunner<'a> {
+        CampaignBuilder::new_ref(pop, weather_model, horizon)
+            .warmup_days(2)
+            .predictor(FixedPredictor(MovingAverage::new(2)))
+            .feedback(ClosedLoop)
+            .build()
+    }
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let fleet = FleetRunner::new()
+        .sharded_slab(&slab, cells, |pop, _| {
+            build_cell(pop, &weather_model, &horizon)
+        })
+        .report_tier(ReportTier::Settlement);
+    let probe = crate::alloc_probe::installed();
+    let live_before = crate::alloc_probe::live_bytes();
+    let t0 = Instant::now();
+    let report = fleet.run();
+    let season_us = t0.elapsed().as_micros();
+    let season_retained = crate::alloc_probe::live_bytes() - live_before;
+    let peak_heap = crate::alloc_probe::peak_bytes();
+    let negotiations = report.negotiations();
+    let all_converged = report.all_converged();
+    assert_eq!(report.len(), cells);
+    drop(report);
+
+    // --- small-population identity: slab season == object season ---
+    let twin_builder = PopulationBuilder::new().households(400);
+    let twin_slab = twin_builder.build_slab(seed);
+    let twin_homes = twin_builder.build(seed);
+    let slab_report = FleetRunner::new()
+        .sharded_slab(&twin_slab, 2, |pop, _| {
+            build_cell(pop, &weather_model, &horizon)
+        })
+        .report_tier(ReportTier::Settlement)
+        .run();
+    let mut object_fleet = FleetRunner::new();
+    let mut start = 0;
+    for (i, shard) in twin_slab.shards(2).into_iter().enumerate() {
+        let end = start + shard.len();
+        object_fleet = object_fleet.cell(
+            format!("shard-{i}"),
+            build_cell(
+                powergrid::slab::PopulationRef::Objects(&twin_homes[start..end]),
+                &weather_model,
+                &horizon,
+            ),
+        );
+        start = end;
+    }
+    let object_report = object_fleet.report_tier(ReportTier::Settlement).run();
+    let identity_ok = slab_report == object_report;
+    assert!(
+        identity_ok,
+        "slab-backed season diverged from the object-backed season"
+    );
+
+    CityScaleResult {
+        households,
+        cells,
+        days,
+        device_entries: slab.device_entries(),
+        build_slab_us,
+        slab_bytes,
+        bytes_per_household: slab_bytes as f64 / households.max(1) as f64,
+        object_demand_us,
+        scratch_demand_us,
+        slab_demand_us,
+        speedup_vs_object,
+        speedup_vs_scratch,
+        season_us,
+        negotiations,
+        all_converged,
+        season_retained_bytes: probe.then_some(season_retained),
+        peak_heap_bytes: probe.then_some(peak_heap),
+        identity_ok,
+        meta: BenchMeta::capture(ReportTier::Settlement, threads).population_path("slab"),
+    }
+}
+
+impl fmt::Display for CityScaleResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "E20 — city scale ({} households as one slab, {} shards, {}-day winter season, \
+             settlement tier)",
+            self.households, self.cells, self.days
+        )?;
+        writeln!(
+            f,
+            "  slab: {} device entries, {} B retained ({:.1} B/household), built in {} µs",
+            self.device_entries, self.slab_bytes, self.bytes_per_household, self.build_slab_us
+        )?;
+        writeln!(
+            f,
+            "  one-day demand synthesis: per-object {} µs | scratch object {} µs | slab {} µs",
+            self.object_demand_us, self.scratch_demand_us, self.slab_demand_us
+        )?;
+        writeln!(
+            f,
+            "  slab speedup: {:.1}× vs per-object (target ≥ 5), {:.2}× vs scratch object",
+            self.speedup_vs_object, self.speedup_vs_scratch
+        )?;
+        let retained = self
+            .season_retained_bytes
+            .map(|b| format!("{b} B retained"))
+            .unwrap_or_else(|| "retained n/a (no probe)".into());
+        let peak = self
+            .peak_heap_bytes
+            .map(|b| format!("{b} B heap high-water"))
+            .unwrap_or_else(|| "high-water n/a (no probe)".into());
+        writeln!(
+            f,
+            "  season: {} µs, {} negotiations, converged: {}, {retained}, {peak}",
+            self.season_us,
+            self.negotiations,
+            if self.all_converged { "all" } else { "NOT ALL" }
+        )?;
+        writeln!(
+            f,
+            "  slab season == object season (400-household twin): {}",
+            if self.identity_ok {
+                "byte-identical"
+            } else {
+                "DIVERGED"
+            }
+        )
+    }
+}
+
+impl CityScaleResult {
+    /// A machine-readable record for `BENCH_E20.json` (the experiment
+    /// binary's `--json` flag) — the cross-PR city-scale trajectory.
+    pub fn to_json(&self) -> String {
+        let opt = |v: Option<i64>| v.map(|x| x.to_string()).unwrap_or_else(|| "null".into());
+        format!(
+            "{{\"experiment\":\"E20\",{},\"households\":{},\"cells\":{},\"days\":{},\
+             \"device_entries\":{},\"build_slab_us\":{},\"slab_bytes\":{},\
+             \"bytes_per_household\":{:.1},\"object_demand_us\":{},\"scratch_demand_us\":{},\
+             \"slab_demand_us\":{},\"speedup_vs_object\":{:.2},\"speedup_vs_scratch\":{:.2},\
+             \"season_us\":{},\"negotiations\":{},\"all_converged\":{},\
+             \"season_retained_bytes\":{},\"peak_heap_bytes\":{},\"identity_ok\":{}}}",
+            self.meta.to_json(),
+            self.households,
+            self.cells,
+            self.days,
+            self.device_entries,
+            self.build_slab_us,
+            self.slab_bytes,
+            self.bytes_per_household,
+            self.object_demand_us,
+            self.scratch_demand_us,
+            self.slab_demand_us,
+            self.speedup_vs_object,
+            self.speedup_vs_scratch,
+            self.season_us,
+            self.negotiations,
+            self.all_converged,
+            opt(self.season_retained_bytes),
+            opt(self.peak_heap_bytes),
+            self.identity_ok
+        )
+    }
+}
+
 /// Convenience used by the Figure 6/7 bench: the calibrated scenario.
 pub fn paper_scenario() -> Scenario {
     ScenarioBuilder::paper_figure_6().build()
@@ -2927,6 +3236,10 @@ mod tests {
                 json.contains("\"lint_clean\":true"),
                 "the landed tree must benchmark lint-clean: {json}"
             );
+            assert!(
+                json.contains("\"population_path\":\"object\""),
+                "records must state which population backend ran: {json}"
+            );
         }
         assert!(e16.to_json().contains("\"threads\":2"));
     }
@@ -3046,6 +3359,33 @@ mod tests {
         assert!(json.contains("\"overuse_removed\""));
         assert!(json.contains("\"economics_no_worse\":true"));
         assert!(json.contains("\"meta\":{"));
+    }
+
+    #[test]
+    fn e20_city_scale_smoke_is_identical_and_reports() {
+        // The CI smoke shape scaled far below the 10⁶-household
+        // acceptance run: the experiment itself asserts all three
+        // demand paths agree slot for slot and that the slab-backed
+        // twin season is byte-identical to the object-backed one.
+        let r = city_scale(600, 2, 5, 7);
+        assert!(r.identity_ok);
+        assert!(r.all_converged);
+        assert!(r.negotiations > 0, "winter shards must carry peaks");
+        // Every standard household has 7 or 8 devices.
+        assert!((r.device_entries as f64 / r.households as f64) >= 7.0);
+        assert!(r.slab_bytes > 0 && r.bytes_per_household > 0.0);
+        // Timing figures exist (no speed assertion — CI machines vary;
+        // the ≥5× claim is asserted at full scale by the binary).
+        assert!(r.slab_demand_us > 0 && r.object_demand_us > 0);
+        assert!(r.season_retained_bytes.is_none(), "no probe in tests");
+        let text = r.to_string();
+        assert!(text.contains("E20"));
+        assert!(text.contains("byte-identical"));
+        let json = r.to_json();
+        assert!(json.contains("\"experiment\":\"E20\""));
+        assert!(json.contains("\"population_path\":\"slab\""));
+        assert!(json.contains("\"identity_ok\":true"));
+        assert!(json.contains("\"speedup_vs_object\":"));
     }
 
     #[test]

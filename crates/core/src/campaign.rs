@@ -61,7 +61,7 @@ use crate::sync_driver::NegotiationScratch;
 use crate::utility_agent::own_process_control::OwnProcessControl;
 use crate::utility_agent::{EconomicStopRule, UtilityAgentConfig};
 use powergrid::calendar::{CalendarDay, Horizon};
-use powergrid::demand::simulate_horizon;
+use powergrid::demand::simulate_horizon_ref;
 use powergrid::household::{DemandScratch, Household};
 use powergrid::peak::{Peak, PeakDetector};
 use powergrid::prediction::{
@@ -69,6 +69,7 @@ use powergrid::prediction::{
 };
 use powergrid::production::ProductionModel;
 use powergrid::series::Series;
+use powergrid::slab::PopulationRef;
 use powergrid::time::TimeAxis;
 use powergrid::units::{KilowattHours, Kilowatts, Money, PricePerKwh};
 use powergrid::weather::WeatherModel;
@@ -283,7 +284,7 @@ impl StopPolicy for MarginalCostStop {
 /// validates it and produces a ready [`CampaignRunner`].
 #[derive(Debug)]
 pub struct CampaignBuilder<'a> {
-    households: &'a [Household],
+    population: PopulationRef<'a>,
     weather_model: WeatherModel,
     horizon: Horizon,
     axis: TimeAxis,
@@ -320,8 +321,22 @@ impl<'a> CampaignBuilder<'a> {
         weather_model: &WeatherModel,
         horizon: &Horizon,
     ) -> CampaignBuilder<'a> {
+        CampaignBuilder::new_ref(PopulationRef::Objects(households), weather_model, horizon)
+    }
+
+    /// [`CampaignBuilder::new`] over either population backend — hand it
+    /// a [`SlabView`](powergrid::slab::SlabView) (or a whole
+    /// [`PopulationSlab`](powergrid::slab::PopulationSlab) via
+    /// `slab.view().into()`) to run a city-scale cell without
+    /// materialising per-object households; the campaign negotiates
+    /// byte-identically either way.
+    pub fn new_ref(
+        population: PopulationRef<'a>,
+        weather_model: &WeatherModel,
+        horizon: &Horizon,
+    ) -> CampaignBuilder<'a> {
         CampaignBuilder {
-            households,
+            population,
             weather_model: weather_model.clone(),
             horizon: *horizon,
             axis: TimeAxis::quarter_hourly(),
@@ -470,7 +485,7 @@ impl<'a> CampaignBuilder<'a> {
     /// the predictor policy's minimum, or the horizon is not longer than
     /// the warmup.
     pub fn build(self) -> CampaignRunner<'a> {
-        assert!(!self.households.is_empty(), "a campaign needs households");
+        assert!(!self.population.is_empty(), "a campaign needs households");
         assert!(self.warmup_days > 0, "prediction needs warmup history");
         assert!(
             self.horizon.len() as usize > self.warmup_days,
@@ -485,8 +500,8 @@ impl<'a> CampaignBuilder<'a> {
             self.predictor.min_warmup_days(),
             self.warmup_days
         );
-        let simulated = simulate_horizon(
-            self.households,
+        let simulated = simulate_horizon_ref(
+            self.population,
             &self.weather_model,
             &self.horizon,
             &self.axis,
@@ -512,7 +527,7 @@ impl<'a> CampaignBuilder<'a> {
             .with_economic_stop(self.stop.economic_stop(&producer));
 
         CampaignRunner {
-            households: self.households,
+            population: self.population,
             horizon: self.horizon,
             axis: self.axis,
             warmup_days: self.warmup_days,
@@ -547,7 +562,7 @@ impl<'a> CampaignBuilder<'a> {
 /// [`CampaignRunner::run_sequential`] for any thread count.
 #[derive(Debug)]
 pub struct CampaignRunner<'a> {
-    households: &'a [Household],
+    population: PopulationRef<'a>,
     horizon: Horizon,
     axis: TimeAxis,
     warmup_days: usize,
@@ -902,8 +917,8 @@ impl CampaignProgress<'_> {
         let scenarios = peaks
             .iter()
             .map(|peak| {
-                let scenario = ScenarioBuilder::from_peak_with(
-                    self.runner.households,
+                let scenario = ScenarioBuilder::from_peak_ref(
+                    self.runner.population,
                     &self.runner.axis,
                     self.runner.weathers[d].mean(),
                     peak,
@@ -968,8 +983,8 @@ impl CampaignProgress<'_> {
         let mut peaks = Vec::with_capacity(staged.len());
         let mut scenarios = Vec::with_capacity(staged.len());
         for (peak, scale) in staged {
-            let scenario = ScenarioBuilder::from_peak_with(
-                self.runner.households,
+            let scenario = ScenarioBuilder::from_peak_ref(
+                self.runner.population,
                 &self.runner.axis,
                 self.runner.weathers[d].mean(),
                 &peak,

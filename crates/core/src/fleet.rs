@@ -61,6 +61,7 @@ use crate::execution::{ExecutionMode, NetworkTraffic};
 use crate::session::{NegotiationReport, ReportTier};
 use crate::sweep::WorkerPool;
 use crate::sync_driver::NegotiationScratch;
+use powergrid::slab::{PopulationRef, PopulationSlab};
 use std::fmt;
 use std::num::NonZeroUsize;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
@@ -98,6 +99,32 @@ impl<'a> FleetRunner<'a> {
     /// over one shared household/production grid).
     pub fn cell(mut self, label: impl Into<String>, runner: CampaignRunner<'a>) -> Self {
         self.cells.push((label.into(), runner));
+        self
+    }
+
+    /// Shards one [`PopulationSlab`] across `cells` contiguous,
+    /// zero-copy [`SlabView`](powergrid::slab::SlabView)s (via
+    /// [`PopulationSlab::shards`]) and adds one campaign cell per shard,
+    /// labelled `shard-<i>`. `configure` builds each shard's
+    /// [`CampaignRunner`] from its population view — typically
+    /// `CampaignBuilder::new_ref(shard, ...)` plus whatever policies the
+    /// season needs. This is how a city-scale population (~10⁶
+    /// households) becomes a fleet without duplicating a single byte of
+    /// population data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cells` is zero (via [`PopulationSlab::shards`]).
+    pub fn sharded_slab(
+        mut self,
+        slab: &'a PopulationSlab,
+        cells: usize,
+        mut configure: impl FnMut(PopulationRef<'a>, usize) -> CampaignRunner<'a>,
+    ) -> Self {
+        for (i, shard) in slab.shards(cells).into_iter().enumerate() {
+            let runner = configure(PopulationRef::Slab(shard), i);
+            self = self.cell(format!("shard-{i}"), runner);
+        }
         self
     }
 
@@ -621,6 +648,51 @@ mod tests {
         } else {
             b.build()
         }
+    }
+
+    #[test]
+    fn sharded_slab_fleet_matches_object_slice_fleet() {
+        let weather = WeatherModel::winter();
+        let horizon = Horizon::new(5, 0, Season::Winter);
+        let builder = PopulationBuilder::new().households(23);
+        let slab = builder.build_slab(9);
+        let homes = builder.build(9);
+        fn build<'a>(
+            pop: PopulationRef<'a>,
+            weather: &'a WeatherModel,
+            horizon: &'a Horizon,
+        ) -> CampaignRunner<'a> {
+            CampaignBuilder::new_ref(pop, weather, horizon)
+                .warmup_days(2)
+                .predictor(FixedPredictor(MovingAverage::new(2)))
+                .feedback(ClosedLoop)
+                .build()
+        }
+        let slab_fleet =
+            FleetRunner::new().sharded_slab(&slab, 3, |pop, _| build(pop, &weather, &horizon));
+        // Same cells, built from contiguous object slices at the same
+        // offsets — household ids and every derived byte must agree.
+        let mut object_fleet = FleetRunner::new();
+        let mut start = 0;
+        for (i, shard) in slab.shards(3).into_iter().enumerate() {
+            let end = start + shard.len();
+            object_fleet = object_fleet.cell(
+                format!("shard-{i}"),
+                build(
+                    PopulationRef::Objects(&homes[start..end]),
+                    &weather,
+                    &horizon,
+                ),
+            );
+            start = end;
+        }
+        assert_eq!(start, homes.len());
+        let report = slab_fleet.run();
+        assert_eq!(report.len(), 3);
+        assert_eq!(report.cells[0].label, "shard-0");
+        assert_eq!(report.cells[2].label, "shard-2");
+        assert_eq!(report, object_fleet.run());
+        assert!(report.all_converged());
     }
 
     #[test]

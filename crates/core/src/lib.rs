@@ -94,7 +94,18 @@
 //! 1. **Simulate** — a [`powergrid::population::PopulationBuilder`]
 //!    population under a [`powergrid::weather::WeatherModel`] over a
 //!    [`powergrid::calendar::Horizon`] yields per-slot demand for every
-//!    day ([`powergrid::demand::simulate_horizon`]);
+//!    day ([`powergrid::demand::simulate_horizon`]). The population
+//!    arrives through either backend of
+//!    [`powergrid::slab::PopulationRef`]: per-object
+//!    [`powergrid::household::Household`] trees, or the
+//!    struct-of-arrays [`powergrid::slab::PopulationSlab`]
+//!    (`PopulationBuilder::build_slab`) whose batched kernels make
+//!    city-scale populations practical on one box — byte-identical
+//!    results either way, so every campaign layer
+//!    ([`campaign::CampaignBuilder::new_ref`],
+//!    [`session::ScenarioBuilder::from_peak_ref`],
+//!    [`powergrid::demand::simulate_horizon_ref`]) is
+//!    backend-agnostic;
 //! 2. **Select** — a [`campaign::PredictorPolicy`] fixes the campaign's
 //!    [`powergrid::prediction::LoadPredictor`]: a given model
 //!    ([`campaign::FixedPredictor`]) or the warmup-backtest winner
@@ -162,7 +173,9 @@
 //!    cells' peak negotiations on **one** shared
 //!    [`sweep::WorkerPool`], aggregating a [`fleet::FleetReport`]
 //!    (per-cell reports + cross-cell economics) that is byte-identical
-//!    for any thread count;
+//!    for any thread count. One city-scale slab shards across cells
+//!    zero-copy by offset range ([`fleet::FleetRunner::sharded_slab`],
+//!    E20: a ~10⁶-household settlement-tier season);
 //! 10. **Report** — how much of all that a season *retains* is a policy,
 //!     not a constant: a [`session::ReportTier`] chosen per campaign
 //!     ([`campaign::CampaignBuilder::report_tier`] /

@@ -667,37 +667,68 @@ impl ScenarioBuilder {
         demand_scale: f64,
         scratch: &mut powergrid::household::DemandScratch,
     ) -> ScenarioBuilder {
+        ScenarioBuilder::from_peak_ref(
+            powergrid::slab::PopulationRef::Objects(households),
+            axis,
+            mean_temp,
+            peak,
+            seed,
+            demand_scale,
+            scratch,
+        )
+    }
+
+    /// [`ScenarioBuilder::from_peak_with`] over either population
+    /// backend ([`PopulationRef`](powergrid::slab::PopulationRef)) —
+    /// the slab arm derives the same customers through the batched
+    /// [`interval_flexibility_slab`](powergrid::slab::interval_flexibility_slab)
+    /// kernel, byte-identical to the per-object arm.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_peak_ref(
+        population: powergrid::slab::PopulationRef<'_>,
+        axis: &powergrid::time::TimeAxis,
+        mean_temp: f64,
+        peak: &powergrid::peak::Peak,
+        seed: u64,
+        demand_scale: f64,
+        scratch: &mut powergrid::household::DemandScratch,
+    ) -> ScenarioBuilder {
         assert!(
             demand_scale > 0.0 && demand_scale.is_finite(),
             "demand scale must be positive, got {demand_scale}"
         );
         let interval = peak.interval;
         let day_share = interval.hours(*axis) / 24.0;
-        let mut customers = Vec::with_capacity(households.len());
-        for h in households {
-            let (usage, potential) =
-                h.interval_flexibility_with(axis, mean_temp, seed, interval, scratch);
-            let (usage, potential) = (usage * demand_scale, potential * demand_scale);
-            let flexibility = if usage.value() > f64::EPSILON {
-                (potential / usage).clamp(0.0, 1.0)
-            } else {
-                0.0
-            };
-            let ceiling = Fraction::clamped(flexibility);
-            // k ∈ [0.6, 2.8]: fully flexible households sit near the
-            // cheap end of the Figure-8 threshold family, rigid ones at
-            // the reluctant end.
-            let k = (2.8 - 2.2 * flexibility).clamp(0.6, 2.8);
-            // The prorated allowance carries the same day-type scale as
-            // demand, or the `.max(usage)` floor would silently erase
-            // weekend households' consumption headroom.
-            let allowed = h.allowed_use() * day_share * demand_scale;
-            customers.push(CustomerProfile {
-                predicted_use: usage,
-                allowed_use: allowed.max(usage),
-                preferences: CustomerPreferences::from_base_scaled(k, ceiling),
-            });
-        }
+        let mut customers = Vec::with_capacity(population.len());
+        population.interval_flexibility_for_each(
+            axis,
+            mean_temp,
+            seed,
+            interval,
+            scratch,
+            |i, usage, potential| {
+                let (usage, potential) = (usage * demand_scale, potential * demand_scale);
+                let flexibility = if usage.value() > f64::EPSILON {
+                    (potential / usage).clamp(0.0, 1.0)
+                } else {
+                    0.0
+                };
+                let ceiling = Fraction::clamped(flexibility);
+                // k ∈ [0.6, 2.8]: fully flexible households sit near the
+                // cheap end of the Figure-8 threshold family, rigid ones at
+                // the reluctant end.
+                let k = (2.8 - 2.2 * flexibility).clamp(0.6, 2.8);
+                // The prorated allowance carries the same day-type scale as
+                // demand, or the `.max(usage)` floor would silently erase
+                // weekend households' consumption headroom.
+                let allowed = population.allowed_use(i) * day_share * demand_scale;
+                customers.push(CustomerProfile {
+                    predicted_use: usage,
+                    allowed_use: allowed.max(usage),
+                    preferences: CustomerPreferences::from_base_scaled(k, ceiling),
+                });
+            },
+        );
         let mut b = ScenarioBuilder::new();
         b.interval = interval;
         b.normal_use = peak.normal_use;

@@ -7,6 +7,7 @@
 use crate::household::{DemandScratch, Household};
 use crate::production::ProductionModel;
 use crate::series::Series;
+use crate::slab::{aggregate_demand_slab_with, PopulationRef};
 use crate::time::{Interval, TimeAxis};
 use crate::units::KilowattHours;
 use crate::weather::WeatherModel;
@@ -34,6 +35,25 @@ pub fn aggregate_demand(
         }
     }
     DemandCurve::new(total)
+}
+
+/// [`aggregate_demand`] over either population backend — dispatches to
+/// the per-object path or the batched slab kernel
+/// ([`aggregate_demand_slab_with`]); both produce bit-for-bit the same
+/// curve for the same population.
+pub fn aggregate_demand_ref(
+    population: PopulationRef<'_>,
+    weather: &Series,
+    axis: &TimeAxis,
+    seed: u64,
+) -> DemandCurve {
+    match population {
+        PopulationRef::Objects(households) => aggregate_demand(households, weather, axis, seed),
+        PopulationRef::Slab(view) => {
+            let mut scratch = DemandScratch::new(axis);
+            aggregate_demand_slab_with(view, weather, axis, seed, &mut scratch)
+        }
+    }
 }
 
 /// Convenience: demand for a weather model rather than a realised series.
@@ -176,11 +196,22 @@ pub fn simulate_horizon(
     horizon: &crate::calendar::Horizon,
     axis: &TimeAxis,
 ) -> Vec<(DemandCurve, Series)> {
+    simulate_horizon_ref(PopulationRef::Objects(households), model, horizon, axis)
+}
+
+/// [`simulate_horizon`] over either population backend — byte-identical
+/// across backends day by day.
+pub fn simulate_horizon_ref(
+    population: PopulationRef<'_>,
+    model: &WeatherModel,
+    horizon: &crate::calendar::Horizon,
+    axis: &TimeAxis,
+) -> Vec<(DemandCurve, Series)> {
     horizon
         .days()
         .map(|day| {
             let weather = model.temperatures(axis, day.index);
-            let base = aggregate_demand(households, &weather, axis, day.index);
+            let base = aggregate_demand_ref(population, &weather, axis, day.index);
             let curve = DemandCurve::new(base.series().scale(day.day_type.intensity_factor()));
             (curve, weather)
         })

@@ -12,6 +12,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::sync::OnceLock;
 
 /// Opaque identifier of a household / its Customer Agent.
 #[derive(
@@ -39,15 +40,15 @@ impl fmt::Display for HouseholdId {
 #[derive(Debug, Clone, Default)]
 pub struct DemandScratch {
     /// Accumulated household demand (kWh per slot).
-    total: Vec<f64>,
+    pub(crate) total: Vec<f64>,
     /// The single device profile being accumulated.
-    device: Vec<f64>,
+    pub(crate) device: Vec<f64>,
     /// Duty-cycle shapes per device kind at the current resolution —
     /// the transcendental part of a load profile, which depends only on
     /// `(kind, resolution)` and is therefore shared across households,
     /// days and peaks. Populated lazily; cleared when the resolution
     /// changes.
-    shapes: Vec<(DeviceKind, Vec<f64>)>,
+    pub(crate) shapes: Vec<(DeviceKind, Vec<f64>)>,
 }
 
 impl DemandScratch {
@@ -68,7 +69,7 @@ impl DemandScratch {
         &self.total
     }
 
-    fn ensure(&mut self, n: usize) {
+    pub(crate) fn ensure(&mut self, n: usize) {
         if self.total.len() != n {
             self.total.resize(n, 0.0);
             self.shapes.clear();
@@ -82,7 +83,11 @@ impl DemandScratch {
 /// The cached duty shape for `kind` at resolution `n`, computing it on
 /// first use. Free-standing so callers can hold disjoint borrows of the
 /// scratch's other buffers.
-fn shape_of(shapes: &mut Vec<(DeviceKind, Vec<f64>)>, kind: DeviceKind, n: usize) -> &[f64] {
+pub(crate) fn shape_of(
+    shapes: &mut Vec<(DeviceKind, Vec<f64>)>,
+    kind: DeviceKind,
+    n: usize,
+) -> &[f64] {
     if let Some(pos) = shapes.iter().position(|(k, _)| *k == kind) {
         return &shapes[pos].1;
     }
@@ -90,6 +95,36 @@ fn shape_of(shapes: &mut Vec<(DeviceKind, Vec<f64>)>, kind: DeviceKind, n: usize
     kind.duty_shape_into(&mut shape);
     shapes.push((kind, shape));
     &shapes.last().expect("just pushed").1
+}
+
+/// The shared standard equipment list for a household of `occupants`:
+/// the 7-device base set, plus laundry for multi-person homes. Built
+/// once per process and cloned per household, so population
+/// construction does not re-derive every `Device::typical` from kind
+/// constants a million times over. Device-list *order* is load-bearing:
+/// the per-household jitter stream draws one value per device in this
+/// order, so it is pinned by the byte-identity suites.
+pub(crate) fn standard_devices(occupants: u32) -> &'static [Device] {
+    static TEMPLATES: OnceLock<[Vec<Device>; 2]> = OnceLock::new();
+    let [single, multi] = TEMPLATES.get_or_init(|| {
+        let base = vec![
+            Device::typical(DeviceKind::SpaceHeating),
+            Device::typical(DeviceKind::WaterHeater),
+            Device::typical(DeviceKind::Refrigeration),
+            Device::typical(DeviceKind::Lighting),
+            Device::typical(DeviceKind::Cooking),
+            Device::typical(DeviceKind::Entertainment),
+            Device::typical(DeviceKind::Other),
+        ];
+        let mut with_laundry = base.clone();
+        with_laundry.push(Device::typical(DeviceKind::Laundry));
+        [base, with_laundry]
+    });
+    if occupants >= 2 {
+        multi
+    } else {
+        single
+    }
 }
 
 /// A domestic consumer: occupants, equipment and contract.
@@ -154,18 +189,7 @@ impl Household {
     /// weakness of the take-it-or-leave-it offer method.
     pub fn standard(id: HouseholdId, occupants: u32) -> Household {
         let occupants = occupants.max(1);
-        let mut devices = vec![
-            Device::typical(DeviceKind::SpaceHeating),
-            Device::typical(DeviceKind::WaterHeater),
-            Device::typical(DeviceKind::Refrigeration),
-            Device::typical(DeviceKind::Lighting),
-            Device::typical(DeviceKind::Cooking),
-            Device::typical(DeviceKind::Entertainment),
-            Device::typical(DeviceKind::Other),
-        ];
-        if occupants >= 2 {
-            devices.push(Device::typical(DeviceKind::Laundry));
-        }
+        let devices = standard_devices(occupants).to_vec();
         let intensity = 0.6 + 0.2 * f64::from(occupants);
         // Contracted allowance: generous margin above typical winter use.
         let allowed = KilowattHours(18.0 + 9.0 * f64::from(occupants));

@@ -5,9 +5,32 @@
 //! that the negotiation methods face realistic heterogeneity.
 
 use crate::household::{Household, HouseholdId};
+use crate::slab::PopulationSlab;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use serde::{Deserialize, Serialize};
+
+/// Maps one uniform draw `pick ∈ [0, Σweights)` onto an occupant count
+/// (bucket index + 1) by cumulative subtraction.
+///
+/// Float edge: the subtractions can accumulate enough rounding error
+/// that `pick` ends up ≥ every remaining weight and the loop falls
+/// through. The fallback is the **last positive-weight bucket** — the
+/// one whose cumulative upper edge is the full total — never a
+/// zero-weight bucket and never a silent `occupants = 1`.
+fn pick_occupants(weights: &[f64; 5], mut pick: f64) -> u32 {
+    for (k, &w) in weights.iter().enumerate() {
+        if pick < w {
+            return k as u32 + 1;
+        }
+        pick -= w;
+    }
+    let last = weights
+        .iter()
+        .rposition(|&w| w > 0.0)
+        .expect("size_weights are validated non-negative and not all zero");
+    last as u32 + 1
+}
 
 /// Builder for a synthetic population of households.
 ///
@@ -62,20 +85,29 @@ impl PopulationBuilder {
     pub fn build(&self, seed: u64) -> Vec<Household> {
         let mut rng = StdRng::seed_from_u64(seed ^ 0x00b5_e001);
         let total: f64 = self.size_weights.iter().sum();
-        (0..self.households)
-            .map(|i| {
-                let mut pick = rng.gen_range(0.0..total);
-                let mut occupants = 1u32;
-                for (k, &w) in self.size_weights.iter().enumerate() {
-                    if pick < w {
-                        occupants = k as u32 + 1;
-                        break;
-                    }
-                    pick -= w;
-                }
-                Household::standard(HouseholdId(i as u64), occupants)
-            })
-            .collect()
+        let mut homes = Vec::with_capacity(self.households);
+        for i in 0..self.households {
+            let pick = rng.gen_range(0.0..total);
+            let occupants = pick_occupants(&self.size_weights, pick);
+            homes.push(Household::standard(HouseholdId(i as u64), occupants));
+        }
+        homes
+    }
+
+    /// Generates the same population as [`PopulationBuilder::build`]
+    /// directly into a struct-of-arrays [`PopulationSlab`]: identical
+    /// RNG stream, byte-identical field values, but no per-household
+    /// heap tree — the backend for city-scale runs.
+    pub fn build_slab(&self, seed: u64) -> PopulationSlab {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x00b5_e001);
+        let total: f64 = self.size_weights.iter().sum();
+        let mut slab = PopulationSlab::with_capacity(self.households);
+        for i in 0..self.households {
+            let pick = rng.gen_range(0.0..total);
+            let occupants = pick_occupants(&self.size_weights, pick);
+            slab.push_standard(HouseholdId(i as u64), occupants);
+        }
+        slab
     }
 }
 
@@ -131,5 +163,47 @@ mod tests {
     #[should_panic(expected = "non-negative")]
     fn zero_weights_panic() {
         let _ = PopulationBuilder::new().size_weights([0.0; 5]);
+    }
+
+    #[test]
+    fn fall_through_picks_last_positive_bucket_not_singles() {
+        // Adversarial weights: `0.1 + 0.7` rounds to exactly the
+        // cumulative edge, so after subtracting 0.1 the draw equals the
+        // remaining weight 0.7, `pick < w` fails for every bucket
+        // (buckets 3..5 have zero weight) and the loop falls through.
+        // The fallback must be the last *positive* bucket (2 occupants),
+        // not the zero-weight bucket 5 and not a silent 1.
+        let weights = [0.1, 0.7, 0.0, 0.0, 0.0];
+        assert_eq!(pick_occupants(&weights, 0.1 + 0.7), 2);
+        // In-range draws are untouched by the fix.
+        assert_eq!(pick_occupants(&weights, 0.05), 1);
+        assert_eq!(pick_occupants(&weights, 0.3), 2);
+        // A single-bucket distribution falls back to itself.
+        assert_eq!(pick_occupants(&[0.0, 0.0, 1.0, 0.0, 0.0], 1.0), 3);
+    }
+
+    #[test]
+    fn slab_backend_builds_identical_field_values() {
+        use crate::slab::PopulationSlab;
+        let b = PopulationBuilder::new().households(120);
+        assert_eq!(
+            b.build_slab(7),
+            PopulationSlab::from_households(&b.build(7))
+        );
+        // Skewed weights exercise both template arms (laundry / none).
+        let skew = PopulationBuilder::new()
+            .households(60)
+            .size_weights([1.0, 0.0, 0.0, 0.0, 2.0]);
+        assert_eq!(
+            skew.build_slab(3),
+            PopulationSlab::from_households(&skew.build(3))
+        );
+    }
+
+    #[test]
+    fn slab_backend_is_deterministic_per_seed() {
+        let b = PopulationBuilder::new().households(40);
+        assert_eq!(b.build_slab(5), b.build_slab(5));
+        assert_ne!(b.build_slab(5), b.build_slab(6));
     }
 }

@@ -22,6 +22,30 @@ fn workspace_is_lint_clean() {
 }
 
 #[test]
+fn slab_hot_path_is_inside_the_lint_walk() {
+    // The struct-of-arrays kernels are the hottest deterministic code
+    // in the workspace; a walk that silently skipped them would let a
+    // wall-clock read or HashMap iteration land in the demand path
+    // unflagged. Pin both that the file is visited and that the
+    // determinism rules fire on slab-shaped code.
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let files = loadbal_lint::workspace_files(root).expect("workspace walk succeeds");
+    assert!(
+        files.iter().any(|f| f.ends_with("crates/grid/src/slab.rs")),
+        "crates/grid/src/slab.rs must be covered by the workspace lint pass"
+    );
+    // Fixture: the same rules that keep slab.rs clean must flag a
+    // planted violation in a file at its path.
+    let planted =
+        "pub fn aggregate_demand_slab_with() {\n    let t0 = std::time::Instant::now();\n}\n";
+    let findings = loadbal_lint::lint_file("crates/grid/src/slab.rs", planted);
+    assert!(
+        findings.iter().any(|f| f.to_string().contains("det-time")),
+        "det-time must fire on a wall-clock read planted in slab.rs: {findings:?}"
+    );
+}
+
+#[test]
 fn json_rendering_of_the_workspace_pass_is_well_formed() {
     let root = Path::new(env!("CARGO_MANIFEST_DIR"));
     let findings = loadbal_lint::lint_workspace(root).expect("workspace walk succeeds");
